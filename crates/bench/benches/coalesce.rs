@@ -1,0 +1,67 @@
+//! Criterion benches for the parcel layer (backs Table 2).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use lg_net::parcel::Parcel;
+use lg_net::{Coalescer, SimLink, TransportCost};
+
+fn bench_coalescer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coalescer");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("offer_no_flush", |b| {
+        let mut coal = Coalescer::new(1_000_000, 1_000_000, u64::MAX / 2);
+        let mut seq = 0u64;
+        b.iter(|| {
+            seq += 1;
+            // Rotate destinations so buffers stay small-ish.
+            let dest = (seq % 64) as u32;
+            std::hint::black_box(coal.offer(Parcel::new(0, dest, 0, seq, Vec::new()), seq));
+            if seq % 1_000_000 == 0 {
+                coal.flush_all(seq);
+            }
+        });
+    });
+    group.bench_function("offer_window8", |b| {
+        let mut coal = Coalescer::new(8, 64, u64::MAX / 2);
+        let mut seq = 0u64;
+        b.iter(|| {
+            seq += 1;
+            std::hint::black_box(coal.offer(Parcel::new(0, 1, 0, seq, Vec::new()), seq));
+        });
+    });
+    group.finish();
+}
+
+fn bench_link(c: &mut Criterion) {
+    use lg_net::coalesce::{FlushReason, WireMessage};
+    let mut group = c.benchmark_group("sim_link");
+    for nparcels in [1usize, 64] {
+        group.throughput(Throughput::Elements(nparcels as u64));
+        group.bench_function(format!("transmit_{nparcels}_parcels"), |b| {
+            let mut link = SimLink::new(TransportCost::cluster());
+            let mut t = 0u64;
+            b.iter(|| {
+                t += 10_000;
+                let msg = WireMessage {
+                    dest: 1,
+                    parcels: (0..nparcels as u64)
+                        .map(|s| Parcel::new(0, 1, 0, s, vec![0u8; 64]))
+                        .collect(),
+                    reason: FlushReason::Window,
+                    t_ns: t,
+                };
+                std::hint::black_box(link.transmit(&msg, |_| t));
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(30);
+    targets = bench_coalescer, bench_link
+}
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Criterion benches for the work-stealing runtime (spawn/execute cost,
+//! parallel_for chunking — backs Fig 4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lg_core::LookingGlass;
+use lg_runtime::{PoolConfig, ThreadPool};
+
+fn pool() -> ThreadPool {
+    ThreadPool::new(LookingGlass::builder().build(), PoolConfig::default())
+}
+
+fn bench_spawn_execute(c: &mut Criterion) {
+    let p = pool();
+    let mut group = c.benchmark_group("spawn_execute");
+    group.throughput(Throughput::Elements(1000));
+    group.bench_function("fire_and_forget_1000", |b| {
+        b.iter(|| {
+            for _ in 0..1000 {
+                p.spawn_named("bench_task", || {});
+            }
+            p.wait_idle();
+        })
+    });
+    group.bench_function("scoped_1000", |b| {
+        b.iter(|| {
+            p.scope(|s| {
+                for _ in 0..1000 {
+                    s.spawn_named("bench_scoped", || {});
+                }
+            });
+        })
+    });
+    group.finish();
+}
+
+fn bench_parallel_for_chunks(c: &mut Criterion) {
+    let p = pool();
+    let n = 100_000usize;
+    let data: Vec<u64> = (0..n as u64).collect();
+    let mut group = c.benchmark_group("parallel_for_chunk");
+    group.throughput(Throughput::Elements(n as u64));
+    for chunk in [64usize, 1024, 16384] {
+        group.bench_with_input(BenchmarkId::from_parameter(chunk), &chunk, |b, &chunk| {
+            b.iter(|| {
+                let data = &data;
+                p.parallel_for("bench_pf", 0..n, chunk, move |i| {
+                    std::hint::black_box(data[i].wrapping_mul(31));
+                });
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_join_handle(c: &mut Criterion) {
+    let p = pool();
+    c.bench_function("spawn_join_roundtrip", |b| {
+        b.iter(|| p.spawn("bench_join", || 42u64).join().unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(30);
+    targets = bench_spawn_execute, bench_parallel_for_chunks, bench_join_handle
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion benches for the discrete-event simulator itself: how much
+//! simulated work can be pushed per host-second (bounds experiment sizes).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use lg_sim::{MachineSpec, SimRuntime, SimTask, SimWorkload};
+
+fn bench_sim_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim");
+    for tasks in [16usize, 256] {
+        group.throughput(Throughput::Elements(tasks as u64));
+        group.bench_function(format!("run_batch_{tasks}_tasks"), |b| {
+            let mut sim = SimRuntime::new(MachineSpec::server32());
+            b.iter(|| {
+                sim.submit_all((0..tasks).map(|_| SimTask::new("b", 1e6, 5e5)));
+                std::hint::black_box(sim.run_until_idle());
+            })
+        });
+    }
+    group.bench_function("stencil_timestep_64_tasks", |b| {
+        let mut sim = SimRuntime::new(MachineSpec::server32());
+        let w = SimWorkload::stencil(1e8, 64);
+        b.iter(|| {
+            sim.submit_all(w.step_batch());
+            std::hint::black_box(sim.run_until_idle());
+        })
+    });
+    group.finish();
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    use lg_sim::EventQueue;
+    c.bench_function("event_queue_schedule_pop", |b| {
+        let mut q = EventQueue::new();
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 3;
+            q.schedule(t % 1000, t);
+            std::hint::black_box(q.pop());
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(30);
+    targets = bench_sim_step, bench_event_queue
+}
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Criterion benches for the statistics primitives every event touches.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lg_metrics::{CounterRegistry, Ewma, Histogram, SlidingWindow, TimeSeries, Welford};
+
+fn bench_welford(c: &mut Criterion) {
+    c.bench_function("welford_update", |b| {
+        let mut w = Welford::new();
+        let mut x = 0.0f64;
+        b.iter(|| {
+            x += 1.0;
+            w.update(std::hint::black_box(x));
+        });
+        std::hint::black_box(w.mean());
+    });
+    c.bench_function("welford_merge", |b| {
+        let mut a = Welford::new();
+        let mut other = Welford::new();
+        for i in 0..1000 {
+            other.update(i as f64);
+        }
+        b.iter(|| a.merge(std::hint::black_box(&other)));
+    });
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    c.bench_function("histogram_record", |b| {
+        let mut h = Histogram::new();
+        let mut v = 1u64;
+        b.iter(|| {
+            v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
+            h.record(std::hint::black_box(v >> 32));
+        });
+        std::hint::black_box(h.count());
+    });
+    c.bench_function("histogram_p99", |b| {
+        let mut h = Histogram::new();
+        for i in 0..100_000u64 {
+            h.record(i * 37 % 1_000_000);
+        }
+        b.iter(|| std::hint::black_box(h.p99()));
+    });
+}
+
+fn bench_small_structs(c: &mut Criterion) {
+    c.bench_function("ewma_update", |b| {
+        let mut e = Ewma::new(0.1);
+        let mut x = 0.0;
+        b.iter(|| {
+            x += 0.5;
+            e.update(std::hint::black_box(x));
+        });
+        std::hint::black_box(e.value());
+    });
+    c.bench_function("sliding_window_push", |b| {
+        let mut w = SlidingWindow::new(256);
+        let mut x = 0.0;
+        b.iter(|| {
+            x += 1.0;
+            w.push(std::hint::black_box(x));
+        });
+        std::hint::black_box(w.mean());
+    });
+    c.bench_function("timeseries_push", |b| {
+        let mut ts = TimeSeries::new(1024);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1000;
+            ts.push(std::hint::black_box(t), 1.0);
+        });
+        std::hint::black_box(ts.len());
+    });
+}
+
+fn bench_counters(c: &mut Criterion) {
+    let reg = CounterRegistry::new();
+    let counter = reg.counter("bench");
+    c.bench_function("counter_inc", |b| b.iter(|| counter.inc()));
+    c.bench_function("counter_lookup_and_inc", |b| {
+        b.iter(|| reg.counter(std::hint::black_box("bench")).inc())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(30);
+    targets = bench_welford, bench_histogram, bench_small_structs, bench_counters
+}
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Criterion benches for search-step and policy-engine cost (the control
+//! plane must be cheap relative to measurement epochs).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lg_core::knob::{AtomicKnob, KnobSpec};
+use lg_core::policy::{FnPolicy, PolicyDecision};
+use lg_core::{KnobRegistry, PolicyEngine};
+use lg_tuning::{Dim, HillClimb, RandomSearch, Search, Space};
+use std::sync::Arc;
+
+fn bench_search_step(c: &mut Criterion) {
+    let space = || Space::new(vec![Dim::range("a", 0, 1000, 1), Dim::range("b", 0, 1000, 1)]);
+    c.bench_function("hillclimb_propose_report", |b| {
+        let mut hc = HillClimb::new(space());
+        b.iter(|| {
+            match hc.propose() {
+                Some(p) => {
+                    let y = ((p[0] - 500).pow(2) + (p[1] - 500).pow(2)) as f64;
+                    hc.report(&p, y);
+                }
+                None => hc = HillClimb::new(space()),
+            };
+        });
+    });
+    c.bench_function("random_propose_report", |b| {
+        let mut rs = RandomSearch::new(space(), usize::MAX / 2, 1);
+        b.iter(|| {
+            let p = rs.propose().unwrap();
+            rs.report(&p, p[0] as f64);
+        });
+    });
+}
+
+fn bench_policy_engine(c: &mut Criterion) {
+    let knobs = Arc::new(KnobRegistry::new());
+    knobs.register(AtomicKnob::new(KnobSpec::new("k", 0, 1000), 0));
+    let engine = PolicyEngine::new(knobs);
+    for i in 0..8 {
+        engine.register_periodic(
+            FnPolicy::new(format!("p{i}"), |_, _| PolicyDecision::noop()),
+            1,
+            0,
+        );
+    }
+    let mut t = 0u64;
+    c.bench_function("policy_engine_step_8_policies", |b| {
+        b.iter(|| {
+            t += 10;
+            std::hint::black_box(engine.step(t));
+        })
+    });
+}
+
+fn bench_knob_set(c: &mut Criterion) {
+    let knobs = KnobRegistry::new();
+    knobs.register(AtomicKnob::new(KnobSpec::new("k", 0, 1000), 0));
+    let mut v = 0i64;
+    c.bench_function("knob_registry_set", |b| {
+        b.iter(|| {
+            v = (v + 1) % 1000;
+            knobs.set("k", std::hint::black_box(v));
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(30);
+    targets = bench_search_step, bench_policy_engine, bench_knob_set
+}
+criterion_main!(benches);

@@ -1,0 +1,131 @@
+//! Fig 4 — task granularity: sweep and online tuning.
+//!
+//! Granularity trades per-task scheduling overhead against parallelism
+//! and load balance. Two substrates:
+//!
+//! * **Simulated**: a fixed work volume decomposed into `tasks_per_step`
+//!   tasks on the 32-core machine with 2 µs scheduling overhead. Too few
+//!   tasks (< cores) idle cores; too many pay overhead. Expected shape:
+//!   a U in completion time with a flat bottom, minimum at a small
+//!   multiple of the core count.
+//! * **Real**: `parallel_for` chunk-size sweep over the compute kernel on
+//!   this host, plus an online hill-climbing session on the chunk knob
+//!   that should land on the flat bottom of the measured curve.
+
+use crate::report::{fmt_f, write_csv, Table};
+use lg_core::Knob;
+use lg_core::{SessionConfig, SessionStep, TuningSession};
+use lg_runtime::{PoolConfig, ThreadPool};
+use lg_sim::{MachineSpec, SimRuntime, SimTask};
+use lg_tuning::{Dim, HillClimb, Space};
+use lg_workloads::ComputeKernel;
+use std::time::Instant;
+
+/// Simulated completion time for one step of fixed work split `ntasks`
+/// ways.
+pub fn sim_time_for_decomposition(spec: &MachineSpec, total_ops: f64, ntasks: usize) -> f64 {
+    let mut sim = SimRuntime::new(*spec);
+    let ops_each = total_ops / ntasks as f64;
+    sim.submit_all((0..ntasks).map(|_| SimTask::new("grain", ops_each, 0.0)));
+    sim.run_until_idle().elapsed_s()
+}
+
+/// Real wall time for one `parallel_for` pass with the given chunk size.
+pub fn real_time_for_chunk(pool: &ThreadPool, kernel: &mut ComputeKernel, chunk: usize) -> f64 {
+    let t0 = Instant::now();
+    kernel.run_parallel(pool, chunk);
+    t0.elapsed().as_secs_f64()
+}
+
+/// Runs the experiment.
+pub fn run(fast: bool) {
+    // --- Simulated sweep ---
+    let spec = MachineSpec::server32();
+    let total_ops = if fast { 1e8 } else { 1e9 };
+    let mut table = Table::new(
+        "Fig 4a: completion time vs decomposition width (sim, 32 cores, 2us overhead)",
+        &["tasks_per_step", "time_ms"],
+    );
+    let widths: Vec<usize> = vec![1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384];
+    for &n in &widths {
+        let t = sim_time_for_decomposition(&spec, total_ops, n);
+        table.push(&[n.to_string(), fmt_f(t * 1e3)]);
+    }
+    println!("{}", table.render());
+    let p = write_csv(&table, "fig4a_granularity_sim");
+    println!("wrote {}", p.display());
+
+    // --- Real sweep + online tuner ---
+    let lg = lg_core::LookingGlass::builder().build();
+    let pool = ThreadPool::new(lg.clone(), PoolConfig::default());
+    let n = if fast { 20_000 } else { 200_000 };
+    let iters = if fast { 20 } else { 50 };
+    let mut kernel = ComputeKernel::new(n, iters);
+    let mut table = Table::new(
+        "Fig 4b: wall time vs chunk size (real runtime, this host)",
+        &["chunk", "time_ms"],
+    );
+    let chunks: Vec<usize> = (0..=14).map(|e| 1usize << e).collect();
+    for &chunk in &chunks {
+        let t = real_time_for_chunk(&pool, &mut kernel, chunk);
+        table.push(&[chunk.to_string(), fmt_f(t * 1e3)]);
+    }
+    println!("{}", table.render());
+    let p = write_csv(&table, "fig4b_granularity_real");
+    println!("wrote {}", p.display());
+
+    // Online tuning of the chunk knob.
+    let knob = pool.chunk_knob("chunk", 1, 1 << 14, 1);
+    let space = Space::new(vec![Dim::pow2("chunk", 0, 14)]);
+    let search = Box::new(HillClimb::from_start(space, &[1]).with_min_improvement(0.02));
+    let mut session = TuningSession::new(
+        SessionConfig::single("chunk", 0, 0),
+        search,
+        lg.knobs().clone(),
+    );
+    let mut table = Table::new(
+        "Fig 4c: online chunk tuning trace (hill climb, 2% hysteresis)",
+        &["epoch", "chunk", "time_ms"],
+    );
+    let mut epoch = 0;
+    loop {
+        match session.next(lg.now_ns()) {
+            SessionStep::Done { best } => {
+                if let Some((point, t)) = best {
+                    println!("tuned chunk = {} ({} ms/pass)", point[0], fmt_f(t * 1e3));
+                }
+                break;
+            }
+            SessionStep::Measure { point: _, .. } => {
+                let chunk = knob.get().max(1) as usize;
+                let t = real_time_for_chunk(&pool, &mut kernel, chunk);
+                table.push(&[epoch.to_string(), chunk.to_string(), fmt_f(t * 1e3)]);
+                session.complete(t);
+                epoch += 1;
+            }
+        }
+    }
+    println!("{}", table.render());
+    let p = write_csv(&table, "fig4c_granularity_tuned");
+    println!("wrote {}\n", p.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_u_shape() {
+        let spec = MachineSpec::server32();
+        let too_few = sim_time_for_decomposition(&spec, 1e8, 1);
+        let right = sim_time_for_decomposition(&spec, 1e8, 64);
+        let too_many = sim_time_for_decomposition(&spec, 1e8, 50_000);
+        assert!(too_few > right * 5.0, "1 task can't use 32 cores: {too_few} vs {right}");
+        assert!(too_many > right * 1.5, "50k tasks should pay overhead: {too_many} vs {right}");
+    }
+
+    #[test]
+    fn runs_fast() {
+        run(true);
+    }
+}

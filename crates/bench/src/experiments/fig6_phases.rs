@@ -1,0 +1,230 @@
+//! Fig 6 — phase-aware adaptation.
+//!
+//! A workload alternating memory-bound and compute-bound phases defeats
+//! any single static configuration: the memory phase wants a throttled
+//! cap, the compute phase wants the whole machine. Compared policies:
+//!
+//! * **static-K** — fixed cap for the whole run;
+//! * **oracle** — per-phase best static cap (exhaustive, not realizable
+//!   online);
+//! * **adaptive** — a hill-climbing session re-started at every phase
+//!   boundary (the phase markers are the trigger), paying real search
+//!   epochs inside each phase.
+//!
+//! Expected shape: adaptive total energy lands within ~10% of the oracle
+//! and clearly beats the best static configuration.
+
+use crate::experiments::common::{best_pow2_cap, pow2_caps, run_steps};
+use crate::report::{fmt_f, write_csv, Table};
+use lg_core::{Clock as _, SessionConfig, SessionStep, TuningSession};
+use lg_sim::workload_model::PhasedSimWorkload;
+use lg_sim::{MachineSpec, SimRuntime, SimWorkload};
+use lg_tuning::{Dim, HillClimb, Space};
+
+/// Result of one policy run.
+#[derive(Clone, Debug)]
+pub struct PolicyResult {
+    /// Policy label.
+    pub name: String,
+    /// Total virtual time (s).
+    pub time_s: f64,
+    /// Total energy (J).
+    pub energy_j: f64,
+}
+
+impl PolicyResult {
+    /// Energy-delay product.
+    pub fn edp(&self) -> f64 {
+        self.energy_j * self.time_s
+    }
+}
+
+fn phased(fast: bool) -> (PhasedSimWorkload, usize, usize) {
+    let ops = if fast { 5e7 } else { 2e8 };
+    let period = if fast { 24 } else { 40 };
+    let phases = 4;
+    (
+        PhasedSimWorkload::new(SimWorkload::stencil(ops, 64), SimWorkload::compute(ops, 64), period),
+        period,
+        phases,
+    )
+}
+
+/// Runs the whole phased workload at one static cap.
+pub fn run_static(spec: &MachineSpec, w: &PhasedSimWorkload, total_steps: usize, cap: usize) -> PolicyResult {
+    let mut sim = SimRuntime::new(*spec);
+    sim.set_cap(cap);
+    let mut time_s = 0.0;
+    let mut energy = 0.0;
+    for step in 0..total_steps {
+        sim.submit_all(w.step_batch(step));
+        let r = sim.run_until_idle();
+        time_s += r.elapsed_s();
+        energy += r.energy_j;
+    }
+    PolicyResult { name: format!("static-{cap}"), time_s, energy_j: energy }
+}
+
+/// Oracle: per-phase best static cap, switched for free at boundaries.
+pub fn run_oracle(spec: &MachineSpec, w: &PhasedSimWorkload, total_steps: usize) -> PolicyResult {
+    let (cap_a, _) = best_pow2_cap(spec, &w.a, 1);
+    let (cap_b, _) = best_pow2_cap(spec, &w.b, 1);
+    let mut sim = SimRuntime::new(*spec);
+    let mut time_s = 0.0;
+    let mut energy = 0.0;
+    for step in 0..total_steps {
+        let cap = if w.phase_index(step).is_multiple_of(2) { cap_a } else { cap_b };
+        sim.set_cap(cap);
+        sim.submit_all(w.step_batch(step));
+        let r = sim.run_until_idle();
+        time_s += r.elapsed_s();
+        energy += r.energy_j;
+    }
+    PolicyResult { name: format!("oracle({cap_a}/{cap_b})"), time_s, energy_j: energy }
+}
+
+/// Adaptive: hill-climb session restarted at each phase boundary. Returns
+/// the result plus the per-step cap trace.
+pub fn run_adaptive(
+    spec: &MachineSpec,
+    w: &PhasedSimWorkload,
+    total_steps: usize,
+) -> (PolicyResult, Vec<(usize, i64)>) {
+    let mut sim = SimRuntime::new(*spec);
+    let mut time_s = 0.0;
+    let mut energy = 0.0;
+    let mut trace = Vec::new();
+    let mut session: Option<TuningSession> = None;
+    let mut last_phase = usize::MAX;
+    let mut step = 0usize;
+    while step < total_steps {
+        let phase = w.phase_index(step);
+        if phase != last_phase {
+            // Phase boundary: restart the search from the current cap
+            // (warm start — the previous phase's winner is the prior).
+            last_phase = phase;
+            let current = sim.lg().knobs().value("thread_cap").unwrap_or(spec.cores as i64);
+            let space = Space::new(vec![Dim::values("thread_cap", pow2_caps(spec.cores))]);
+            let search = Box::new(
+                HillClimb::from_start(space, &[current]).with_min_improvement(0.01),
+            );
+            session = Some(TuningSession::new(
+                SessionConfig::single("thread_cap", 0, 0),
+                search,
+                sim.lg().knobs().clone(),
+            ));
+        }
+        let s = session.as_mut().expect("session exists");
+        if s.is_finished() {
+            // Converged for this phase: run at the winner.
+            sim.submit_all(w.step_batch(step));
+            let r = sim.run_until_idle();
+            time_s += r.elapsed_s();
+            energy += r.energy_j;
+            trace.push((step, sim.lg().knobs().value("thread_cap").unwrap()));
+            step += 1;
+            continue;
+        }
+        match s.next(sim.clock().now_ns()) {
+            SessionStep::Done { .. } => { /* loop re-checks is_finished */ }
+            SessionStep::Measure { point, .. } => {
+                // One epoch = one workload step under the candidate cap.
+                // The phase may end mid-epoch; adaptation pays that cost.
+                let steps_this_epoch = 1.min(total_steps - step);
+                let r = run_steps(&mut sim, w.active_at(step), steps_this_epoch);
+                time_s += r.elapsed_s();
+                energy += r.energy_j;
+                trace.push((step, point[0]));
+                step += steps_this_epoch;
+                s.complete(r.energy_j * r.elapsed_s());
+            }
+        }
+    }
+    (
+        PolicyResult { name: "adaptive".into(), time_s, energy_j: energy },
+        trace,
+    )
+}
+
+/// Runs the experiment.
+pub fn run(fast: bool) {
+    let spec = MachineSpec::server32();
+    let (w, period, phases) = phased(fast);
+    let total_steps = period * phases;
+
+    let mut table = Table::new(
+        "Fig 6 / summary: phase-alternating workload, total cost per policy",
+        &["policy", "time_s", "energy_j", "edp"],
+    );
+    let mut results = Vec::new();
+    for cap in [4, 8, 16, 32] {
+        results.push(run_static(&spec, &w, total_steps, cap));
+    }
+    results.push(run_oracle(&spec, &w, total_steps));
+    let (adaptive, trace) = run_adaptive(&spec, &w, total_steps);
+    results.push(adaptive);
+    for r in &results {
+        table.row(&[r.name.clone(), fmt_f(r.time_s), fmt_f(r.energy_j), fmt_f(r.edp())]);
+    }
+    println!("{}", table.render());
+    let p = write_csv(&table, "fig6_phases_summary");
+    println!("wrote {}", p.display());
+
+    let mut trace_table = Table::new(
+        "Fig 6: adaptive cap trace (step, cap)",
+        &["step", "cap"],
+    );
+    for (step, cap) in &trace {
+        trace_table.push(&[step.to_string(), cap.to_string()]);
+    }
+    println!("{} rows in cap trace", trace_table.len());
+    let p = write_csv(&trace_table, "fig6_phases_trace");
+    println!("wrote {}\n", p.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adaptive_beats_worst_static_and_approaches_oracle() {
+        let spec = MachineSpec::server32();
+        let (w, period, phases) = phased(true);
+        let total = period * phases;
+        let static32 = run_static(&spec, &w, total, 32);
+        let static4 = run_static(&spec, &w, total, 4);
+        let oracle = run_oracle(&spec, &w, total);
+        let (adaptive, trace) = run_adaptive(&spec, &w, total);
+        let worst = static32.edp().max(static4.edp());
+        assert!(
+            adaptive.edp() < worst,
+            "adaptive {} should beat worst static {}",
+            adaptive.edp(),
+            worst
+        );
+        assert!(
+            adaptive.edp() < oracle.edp() * 1.35,
+            "adaptive {} should be within 35% of oracle {}",
+            adaptive.edp(),
+            oracle.edp()
+        );
+        // The cap must actually move between phases.
+        let caps: std::collections::HashSet<i64> = trace.iter().map(|(_, c)| *c).collect();
+        assert!(caps.len() > 1, "adaptive cap never moved");
+    }
+
+    #[test]
+    fn oracle_uses_different_caps_per_phase() {
+        let spec = MachineSpec::server32();
+        let (w, _, _) = phased(true);
+        let (cap_a, _) = best_pow2_cap(&spec, &w.a, 1);
+        let (cap_b, _) = best_pow2_cap(&spec, &w.b, 1);
+        assert_ne!(cap_a, cap_b, "phases should want different caps");
+        assert!(cap_a < cap_b, "memory phase should throttle below compute phase");
+    }
+
+    #[test]
+    fn runs_fast() {
+        run(true);
+    }
+}

@@ -1,0 +1,63 @@
+//! One module per table/figure of the reconstructed evaluation.
+//!
+//! Every experiment follows the same contract: a `run(fast: bool)`
+//! function that prints an aligned table to stdout and writes a CSV under
+//! `target/experiments/`. `fast` shrinks problem sizes so the whole suite
+//! (and its tests) stays tractable on small machines; the shapes the
+//! experiments demonstrate are preserved.
+
+pub mod abl1_dvfs;
+pub mod abl2_stall;
+pub mod common;
+pub mod fig1_overhead;
+pub mod fig2_concurrency;
+pub mod fig3_convergence;
+pub mod fig4_granularity;
+pub mod fig5_sampling;
+pub mod fig6_phases;
+pub mod fig7_dispatch;
+pub mod tbl1_static_vs_adaptive;
+pub mod tbl2_coalescing;
+pub mod tbl3_search;
+
+/// CLI entry point for the `experiments` binary.
+pub fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let which: Vec<&str> = args.iter().map(|s| s.as_str()).filter(|a| !a.starts_with("--")).collect();
+    let selected = if which.is_empty() || which.contains(&"all") {
+        vec![
+            "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "tbl1", "tbl2", "tbl3",
+            "abl1", "abl2",
+        ]
+    } else {
+        which
+    };
+    for name in selected {
+        run_one(name, fast);
+    }
+}
+
+/// Runs a single experiment by id.
+pub fn run_one(name: &str, fast: bool) {
+    match name {
+        "fig1" => fig1_overhead::run(fast),
+        "fig2" => fig2_concurrency::run(fast),
+        "fig3" => fig3_convergence::run(fast),
+        "fig4" => fig4_granularity::run(fast),
+        "fig5" => fig5_sampling::run(fast),
+        "fig6" => fig6_phases::run(fast),
+        "fig7" => fig7_dispatch::run(fast),
+        "tbl1" => tbl1_static_vs_adaptive::run(fast),
+        "tbl2" => tbl2_coalescing::run(fast),
+        "tbl3" => tbl3_search::run(fast),
+        "abl1" => abl1_dvfs::run(fast),
+        "abl2" => abl2_stall::run(fast),
+        other => {
+            eprintln!(
+                "unknown experiment '{other}'; expected fig1..fig7, tbl1..tbl3, abl1, abl2, or all"
+            );
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Aligned-text tables and CSV output for the experiment harness.
+//!
+//! Deliberately tiny: the evaluation's presentation layer is plain text
+//! (stdout) plus CSV files under `target/experiments/` that external
+//! plotting tools can consume.
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// A simple column-aligned table.
+#[derive(Clone, Debug)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringified cells).
+    ///
+    /// # Panics
+    /// Panics if the cell count does not match the header count.
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Convenience: appends a row of displayable values.
+    pub fn push<D: std::fmt::Display>(&mut self, cells: &[D]) {
+        self.row(&cells.iter().map(|c| c.to_string()).collect::<Vec<_>>());
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as aligned text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as CSV (headers + rows).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.headers.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            let escaped: Vec<String> = row
+                .iter()
+                .map(|c| {
+                    if c.contains(',') || c.contains('"') {
+                        format!("\"{}\"", c.replace('"', "\"\""))
+                    } else {
+                        c.clone()
+                    }
+                })
+                .collect();
+            out.push_str(&escaped.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Directory experiment outputs are written to.
+pub fn output_dir() -> PathBuf {
+    let dir = Path::new("target").join("experiments");
+    std::fs::create_dir_all(&dir).expect("failed to create target/experiments");
+    dir
+}
+
+/// Writes a table's CSV form to `target/experiments/<name>.csv` and
+/// returns the path.
+pub fn write_csv(table: &Table, name: &str) -> PathBuf {
+    let path = output_dir().join(format!("{name}.csv"));
+    let mut f = std::fs::File::create(&path).expect("failed to create CSV file");
+    f.write_all(table.to_csv().as_bytes()).expect("failed to write CSV");
+    path
+}
+
+/// Formats a float with engineering-style precision for tables.
+pub fn fmt_f(x: f64) -> String {
+    if x == 0.0 {
+        "0".into()
+    } else if x.abs() >= 1000.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 10.0 {
+        format!("{x:.1}")
+    } else if x.abs() >= 0.01 {
+        format!("{x:.3}")
+    } else {
+        format!("{x:.2e}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("Demo", &["name", "value"]);
+        t.push(&["a", "1"]);
+        t.push(&["longer", "22"]);
+        let r = t.render();
+        assert!(r.contains("== Demo =="));
+        assert!(r.contains("name"));
+        let lines: Vec<&str> = r.lines().collect();
+        // All data lines the same width.
+        assert_eq!(lines[3].len(), lines[4].len());
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(&["has,comma".into(), "has\"quote".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"has,comma\""));
+        assert!(csv.contains("\"has\"\"quote\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn fmt_f_ranges() {
+        assert_eq!(fmt_f(0.0), "0");
+        assert_eq!(fmt_f(1234.6), "1235");
+        assert_eq!(fmt_f(42.25), "42.2");
+        assert_eq!(fmt_f(1.5), "1.500");
+        assert_eq!(fmt_f(0.0001), "1.00e-4");
+    }
+
+    #[test]
+    fn write_csv_creates_file() {
+        let mut t = Table::new("w", &["c"]);
+        t.push(&[7]);
+        let p = write_csv(&t, "unit_test_report");
+        assert!(p.exists());
+        let content = std::fs::read_to_string(p).unwrap();
+        assert_eq!(content, "c\n7\n");
+    }
+}

@@ -1,0 +1,299 @@
+//! Reusable built-in policies.
+//!
+//! The policy engine takes arbitrary [`crate::policy::Policy`]
+//! implementations; these are the stock ones the original system ships as
+//! presets, built only on public introspection/actuation surfaces:
+//!
+//! * [`PowerCapPolicy`] — RCR-style reactive governor: keep a sampled
+//!   power metric under a cap by stepping a knob down, with hysteresis
+//!   and a recovery watermark.
+//! * [`HighWatermarkPolicy`] — generic threshold rule mapping a metric
+//!   range to a knob value (the building block for queue-depth and
+//!   memory-pressure governors).
+
+use crate::policy::{Policy, PolicyDecision, Trigger};
+use crate::samples::SampleHistoryListener;
+use std::sync::Arc;
+
+/// Reactive power-cap governor.
+///
+/// Every evaluation (register it periodically), reads the trailing mean
+/// of `metric` from the sample history:
+///
+/// * mean > `cap_w` → multiply the knob by `decrease_factor` (< 1);
+/// * mean < `recover_w` → increase the knob by one `step`;
+/// * otherwise hold.
+pub struct PowerCapPolicy {
+    history: Arc<SampleHistoryListener>,
+    metric: String,
+    knob: String,
+    cap_w: f64,
+    recover_w: f64,
+    window_ns: u64,
+    decrease_factor: f64,
+    step: i64,
+    knob_max: i64,
+    /// Last value this policy wrote (tracks its own actuation without
+    /// reading the registry, which it cannot access from `evaluate`).
+    current: i64,
+}
+
+impl PowerCapPolicy {
+    /// Creates a governor over `knob ∈ [1, knob_max]`, starting from
+    /// `initial`.
+    ///
+    /// # Panics
+    /// Panics on malformed thresholds (`cap_w <= recover_w`) or factors.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        history: Arc<SampleHistoryListener>,
+        metric: impl Into<String>,
+        knob: impl Into<String>,
+        cap_w: f64,
+        recover_w: f64,
+        window_ns: u64,
+        initial: i64,
+        knob_max: i64,
+    ) -> Box<Self> {
+        assert!(cap_w > recover_w, "cap must exceed the recovery watermark");
+        assert!(window_ns > 0, "window must be positive");
+        Box::new(Self {
+            history,
+            metric: metric.into(),
+            knob: knob.into(),
+            cap_w,
+            recover_w,
+            window_ns,
+            decrease_factor: 0.5,
+            step: 1,
+            knob_max,
+            current: initial,
+        })
+    }
+
+    /// Current value the governor believes the knob holds.
+    pub fn current(&self) -> i64 {
+        self.current
+    }
+}
+
+impl Policy for PowerCapPolicy {
+    fn name(&self) -> &str {
+        "power-cap"
+    }
+
+    fn evaluate(&mut self, _now_ns: u64, _trigger: Trigger<'_>) -> PolicyDecision {
+        let Some(mean) = self.history.mean_over(&self.metric, self.window_ns) else {
+            return PolicyDecision::noop();
+        };
+        if mean > self.cap_w {
+            let next = ((self.current as f64 * self.decrease_factor).floor() as i64).max(1);
+            if next != self.current {
+                self.current = next;
+                return PolicyDecision::set(self.knob.clone(), next);
+            }
+        } else if mean < self.recover_w && self.current < self.knob_max {
+            self.current = (self.current + self.step).min(self.knob_max);
+            return PolicyDecision::set(self.knob.clone(), self.current);
+        }
+        PolicyDecision::noop()
+    }
+}
+
+/// Maps a metric's trailing mean onto a knob through ordered thresholds:
+/// the knob is set to the value of the highest band whose threshold the
+/// metric meets or exceeds (bands must be sorted by threshold ascending).
+pub struct HighWatermarkPolicy {
+    history: Arc<SampleHistoryListener>,
+    metric: String,
+    knob: String,
+    window_ns: u64,
+    /// `(threshold, knob_value)` sorted ascending by threshold.
+    bands: Vec<(f64, i64)>,
+    /// Knob value when the metric is below every threshold.
+    default: i64,
+    last_set: Option<i64>,
+}
+
+impl HighWatermarkPolicy {
+    /// Creates a banded governor.
+    ///
+    /// # Panics
+    /// Panics if `bands` is empty or not sorted ascending by threshold.
+    pub fn new(
+        history: Arc<SampleHistoryListener>,
+        metric: impl Into<String>,
+        knob: impl Into<String>,
+        window_ns: u64,
+        bands: Vec<(f64, i64)>,
+        default: i64,
+    ) -> Box<Self> {
+        assert!(!bands.is_empty(), "need at least one band");
+        assert!(
+            bands.windows(2).all(|w| w[0].0 < w[1].0),
+            "bands must be sorted ascending by threshold"
+        );
+        Box::new(Self {
+            history,
+            metric: metric.into(),
+            knob: knob.into(),
+            window_ns,
+            bands,
+            default,
+            last_set: None,
+        })
+    }
+}
+
+impl Policy for HighWatermarkPolicy {
+    fn name(&self) -> &str {
+        "high-watermark"
+    }
+
+    fn evaluate(&mut self, _now_ns: u64, _trigger: Trigger<'_>) -> PolicyDecision {
+        let Some(mean) = self.history.mean_over(&self.metric, self.window_ns) else {
+            return PolicyDecision::noop();
+        };
+        let target = self
+            .bands
+            .iter()
+            .rev()
+            .find(|(thr, _)| mean >= *thr)
+            .map(|(_, v)| *v)
+            .unwrap_or(self.default);
+        if self.last_set == Some(target) {
+            return PolicyDecision::noop(); // no redundant actuation
+        }
+        self.last_set = Some(target);
+        PolicyDecision::set(self.knob.clone(), target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Event, TaskNames};
+    use crate::knob::{AtomicKnob, KnobRegistry, KnobSpec};
+    use crate::listener::Listener as _;
+    use crate::policy::PolicyEngine;
+
+    fn setup() -> (TaskNames, Arc<SampleHistoryListener>, Arc<KnobRegistry>, Arc<PolicyEngine>) {
+        let names = TaskNames::new();
+        let history = Arc::new(SampleHistoryListener::new(names.clone(), 128));
+        let knobs = Arc::new(KnobRegistry::new());
+        knobs.register(AtomicKnob::new(KnobSpec::new("thread_cap", 1, 32), 32));
+        let engine = PolicyEngine::new(knobs.clone());
+        (names, history, knobs, engine)
+    }
+
+    fn feed(names: &TaskNames, h: &SampleHistoryListener, t: u64, watts: f64) {
+        let id = names.intern("power");
+        h.on_event(&Event::SampleValue { metric: id, t_ns: t, value: watts });
+    }
+
+    #[test]
+    fn power_cap_halves_until_under_cap() {
+        let (names, history, knobs, engine) = setup();
+        engine.register_periodic(
+            PowerCapPolicy::new(history.clone(), "power", "thread_cap", 100.0, 40.0, 1_000_000, 32, 32),
+            1_000,
+            0,
+        );
+        // Hot: 150 W sustained.
+        for i in 0..5 {
+            feed(&names, &history, i * 100, 150.0);
+        }
+        engine.step(1_000);
+        assert_eq!(knobs.value("thread_cap"), Some(16));
+        engine.step(2_000);
+        assert_eq!(knobs.value("thread_cap"), Some(8));
+    }
+
+    #[test]
+    fn power_cap_recovers_below_watermark() {
+        let (names, history, knobs, engine) = setup();
+        engine.register_periodic(
+            PowerCapPolicy::new(history.clone(), "power", "thread_cap", 100.0, 40.0, 1_000_000, 4, 32),
+            1_000,
+            0,
+        );
+        knobs.set("thread_cap", 4);
+        for i in 0..5 {
+            feed(&names, &history, i * 100, 20.0); // cool
+        }
+        engine.step(1_000);
+        assert_eq!(knobs.value("thread_cap"), Some(5));
+        engine.step(2_000);
+        assert_eq!(knobs.value("thread_cap"), Some(6));
+    }
+
+    #[test]
+    fn power_cap_holds_in_deadband() {
+        let (names, history, knobs, engine) = setup();
+        engine.register_periodic(
+            PowerCapPolicy::new(history.clone(), "power", "thread_cap", 100.0, 40.0, 1_000_000, 8, 32),
+            1_000,
+            0,
+        );
+        knobs.set("thread_cap", 8);
+        for i in 0..5 {
+            feed(&names, &history, i * 100, 70.0); // between watermarks
+        }
+        let before = knobs.change_count();
+        engine.step(1_000);
+        assert_eq!(knobs.value("thread_cap"), Some(8));
+        assert_eq!(knobs.change_count(), before, "deadband must not actuate");
+    }
+
+    #[test]
+    fn power_cap_noop_without_samples() {
+        let (_names, history, knobs, engine) = setup();
+        engine.register_periodic(
+            PowerCapPolicy::new(history, "power", "thread_cap", 100.0, 40.0, 1_000_000, 32, 32),
+            1_000,
+            0,
+        );
+        engine.step(1_000);
+        assert_eq!(knobs.value("thread_cap"), Some(32));
+    }
+
+    #[test]
+    fn watermark_bands_select_and_dedupe() {
+        let (names, history, knobs, engine) = setup();
+        knobs.register(AtomicKnob::new(KnobSpec::new("window", 1, 512), 1));
+        engine.register_periodic(
+            HighWatermarkPolicy::new(
+                history.clone(),
+                "power",
+                "window",
+                1_000_000,
+                vec![(50.0, 8), (100.0, 64)],
+                1,
+            ),
+            1_000,
+            0,
+        );
+        feed(&names, &history, 0, 120.0);
+        engine.step(1_000);
+        assert_eq!(knobs.value("window"), Some(64));
+        let changes_after_first = knobs.change_count();
+        // Same band again: no redundant actuation.
+        feed(&names, &history, 1_500, 110.0);
+        engine.step(2_000);
+        assert_eq!(knobs.change_count(), changes_after_first);
+        // Drop below every threshold: default band.
+        for t in [2_100u64, 2_200, 2_300, 2_400] {
+            feed(&names, &history, t * 1_000, 10.0);
+        }
+        engine.step(3_000);
+        assert_eq!(knobs.value("window"), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "cap must exceed")]
+    fn rejects_inverted_thresholds() {
+        let names = TaskNames::new();
+        let history = Arc::new(SampleHistoryListener::new(names, 16));
+        let _ = PowerCapPolicy::new(history, "m", "k", 10.0, 20.0, 1, 1, 8);
+    }
+}

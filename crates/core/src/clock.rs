@@ -1,0 +1,136 @@
+//! Wall and virtual clocks behind one trait.
+//!
+//! Every timestamp in the observation layer is "nanoseconds since the
+//! clock's origin" as a `u64`. The real runtime uses [`WallClock`]
+//! (monotonic `Instant`); the simulator uses [`VirtualClock`], a shared
+//! atomic advanced only by the discrete-event loop. Policies, profiles,
+//! energy meters, and tuning sessions are all written against [`Clock`],
+//! which is what lets the *same* adaptation code run in both worlds.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A monotonic nanosecond clock.
+pub trait Clock: Send + Sync {
+    /// Nanoseconds since the clock's origin.
+    fn now_ns(&self) -> u64;
+}
+
+/// Monotonic wall clock anchored at construction time.
+#[derive(Clone, Debug)]
+pub struct WallClock {
+    origin: Instant,
+}
+
+impl WallClock {
+    /// Creates a wall clock whose origin is "now".
+    pub fn new() -> Self {
+        Self { origin: Instant::now() }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now_ns(&self) -> u64 {
+        self.origin.elapsed().as_nanos() as u64
+    }
+}
+
+/// Shared virtual clock advanced explicitly by a simulator.
+///
+/// Cloning shares the underlying time cell.
+#[derive(Clone, Debug, Default)]
+pub struct VirtualClock {
+    now: Arc<AtomicU64>,
+}
+
+impl VirtualClock {
+    /// Creates a virtual clock at t = 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advances the clock to `t_ns`.
+    ///
+    /// # Panics
+    /// Panics if `t_ns` is earlier than the current time — virtual time
+    /// must be monotone; a violation indicates a simulator bug.
+    pub fn advance_to(&self, t_ns: u64) {
+        let prev = self.now.swap(t_ns, Ordering::SeqCst);
+        assert!(prev <= t_ns, "virtual time went backwards: {prev} -> {t_ns}");
+    }
+
+    /// Advances the clock by `dt_ns`.
+    pub fn advance_by(&self, dt_ns: u64) {
+        self.now.fetch_add(dt_ns, Ordering::SeqCst);
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now_ns(&self) -> u64 {
+        self.now.load(Ordering::SeqCst)
+    }
+}
+
+impl Clock for Arc<dyn Clock> {
+    fn now_ns(&self) -> u64 {
+        (**self).now_ns()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_monotone_and_advancing() {
+        let c = WallClock::new();
+        let a = c.now_ns();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let b = c.now_ns();
+        assert!(b > a);
+    }
+
+    #[test]
+    fn virtual_clock_starts_at_zero() {
+        let c = VirtualClock::new();
+        assert_eq!(c.now_ns(), 0);
+    }
+
+    #[test]
+    fn virtual_clock_advances() {
+        let c = VirtualClock::new();
+        c.advance_to(100);
+        assert_eq!(c.now_ns(), 100);
+        c.advance_by(50);
+        assert_eq!(c.now_ns(), 150);
+    }
+
+    #[test]
+    fn virtual_clock_clones_share_time() {
+        let a = VirtualClock::new();
+        let b = a.clone();
+        a.advance_to(42);
+        assert_eq!(b.now_ns(), 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "virtual time went backwards")]
+    fn virtual_clock_rejects_regression() {
+        let c = VirtualClock::new();
+        c.advance_to(100);
+        c.advance_to(99);
+    }
+
+    #[test]
+    fn dyn_clock_arc_works() {
+        let c: Arc<dyn Clock> = Arc::new(VirtualClock::new());
+        assert_eq!(c.now_ns(), 0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Active-task and active-worker tracking.
+//!
+//! Concurrency throttling needs to know how parallel the application
+//! actually is right now, and how that evolved. This listener maintains
+//! instantaneous gauges (active tasks, online workers) plus a bounded
+//! time series of the active-task count, updated on every lifecycle event.
+
+use crate::event::Event;
+use crate::listener::Listener;
+use lg_metrics::TimeSeries;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicI64, Ordering};
+
+/// Listener tracking instantaneous and historical concurrency.
+pub struct ConcurrencyListener {
+    active_tasks: AtomicI64,
+    online_workers: AtomicI64,
+    peak_tasks: AtomicI64,
+    history: Mutex<TimeSeries>,
+}
+
+impl ConcurrencyListener {
+    /// Creates a tracker whose history retains ~`history_len` points.
+    pub fn new(history_len: usize) -> Self {
+        Self {
+            active_tasks: AtomicI64::new(0),
+            online_workers: AtomicI64::new(0),
+            peak_tasks: AtomicI64::new(0),
+            history: Mutex::new(TimeSeries::new(history_len.max(4))),
+        }
+    }
+
+    /// Tasks currently executing.
+    pub fn active_tasks(&self) -> i64 {
+        self.active_tasks.load(Ordering::Relaxed)
+    }
+
+    /// Workers currently online (started and not stopped/parked).
+    pub fn online_workers(&self) -> i64 {
+        self.online_workers.load(Ordering::Relaxed)
+    }
+
+    /// Highest active-task count observed.
+    pub fn peak_tasks(&self) -> i64 {
+        self.peak_tasks.load(Ordering::Relaxed)
+    }
+
+    /// Mean active-task count over the trailing `horizon_ns` of history.
+    pub fn mean_active_over(&self, horizon_ns: u64) -> Option<f64> {
+        self.history.lock().mean_over_trailing(horizon_ns)
+    }
+
+    /// Copies the retained `(t_ns, active_tasks)` history.
+    pub fn history(&self) -> Vec<(u64, f64)> {
+        self.history.lock().iter().collect()
+    }
+
+    fn record(&self, t_ns: u64, delta: i64) {
+        let now = self.active_tasks.fetch_add(delta, Ordering::Relaxed) + delta;
+        self.peak_tasks.fetch_max(now, Ordering::Relaxed);
+        self.history.lock().push(t_ns, now as f64);
+    }
+}
+
+impl Listener for ConcurrencyListener {
+    fn name(&self) -> &str {
+        "concurrency"
+    }
+
+    fn on_event(&self, event: &Event) {
+        match *event {
+            Event::TaskBegin { t_ns, .. } | Event::TaskResume { t_ns, .. } => self.record(t_ns, 1),
+            Event::TaskEnd { t_ns, .. } | Event::TaskYield { t_ns, .. } => self.record(t_ns, -1),
+            Event::WorkerStart { .. } => {
+                self.online_workers.fetch_add(1, Ordering::Relaxed);
+            }
+            Event::WorkerStop { .. } => {
+                self.online_workers.fetch_sub(1, Ordering::Relaxed);
+            }
+            _ => {}
+        }
+    }
+}
+
+impl std::fmt::Debug for ConcurrencyListener {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ConcurrencyListener")
+            .field("active_tasks", &self.active_tasks())
+            .field("online_workers", &self.online_workers())
+            .field("peak_tasks", &self.peak_tasks())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TaskNames;
+
+    #[test]
+    fn task_begin_end_balance() {
+        let names = TaskNames::new();
+        let id = names.intern("t");
+        let c = ConcurrencyListener::new(64);
+        c.on_event(&Event::TaskBegin { task: id, worker: 0, t_ns: 1 });
+        c.on_event(&Event::TaskBegin { task: id, worker: 1, t_ns: 2 });
+        assert_eq!(c.active_tasks(), 2);
+        c.on_event(&Event::TaskEnd { task: id, worker: 0, t_ns: 3, elapsed_ns: 2 });
+        assert_eq!(c.active_tasks(), 1);
+        assert_eq!(c.peak_tasks(), 2);
+    }
+
+    #[test]
+    fn yield_resume_adjusts_active() {
+        let names = TaskNames::new();
+        let id = names.intern("t");
+        let c = ConcurrencyListener::new(64);
+        c.on_event(&Event::TaskBegin { task: id, worker: 0, t_ns: 1 });
+        c.on_event(&Event::TaskYield { task: id, worker: 0, t_ns: 2 });
+        assert_eq!(c.active_tasks(), 0);
+        c.on_event(&Event::TaskResume { task: id, worker: 0, t_ns: 3 });
+        assert_eq!(c.active_tasks(), 1);
+    }
+
+    #[test]
+    fn worker_lifecycle() {
+        let c = ConcurrencyListener::new(64);
+        c.on_event(&Event::WorkerStart { worker: 0, t_ns: 0 });
+        c.on_event(&Event::WorkerStart { worker: 1, t_ns: 0 });
+        assert_eq!(c.online_workers(), 2);
+        c.on_event(&Event::WorkerStop { worker: 1, t_ns: 5 });
+        assert_eq!(c.online_workers(), 1);
+    }
+
+    #[test]
+    fn history_records_transitions() {
+        let names = TaskNames::new();
+        let id = names.intern("t");
+        let c = ConcurrencyListener::new(64);
+        c.on_event(&Event::TaskBegin { task: id, worker: 0, t_ns: 10 });
+        c.on_event(&Event::TaskEnd { task: id, worker: 0, t_ns: 20, elapsed_ns: 10 });
+        let h = c.history();
+        assert_eq!(h, vec![(10, 1.0), (20, 0.0)]);
+    }
+
+    #[test]
+    fn mean_active_over_window() {
+        let names = TaskNames::new();
+        let id = names.intern("t");
+        let c = ConcurrencyListener::new(64);
+        for i in 0..4u64 {
+            c.on_event(&Event::TaskBegin { task: id, worker: 0, t_ns: i * 100 });
+        }
+        // History values are 1,2,3,4 → trailing mean over everything = 2.5.
+        assert_eq!(c.mean_active_over(u64::MAX), Some(2.5));
+    }
+
+    #[test]
+    fn ignores_samples_and_ticks() {
+        let c = ConcurrencyListener::new(64);
+        c.on_event(&Event::PeriodicTick { t_ns: 0 });
+        assert_eq!(c.active_tasks(), 0);
+        assert!(c.history().is_empty());
+    }
+}

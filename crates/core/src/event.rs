@@ -1,0 +1,304 @@
+//! The observation vocabulary.
+//!
+//! Events are small `Copy`-friendly records: task names are interned once
+//! into a [`TaskId`] so the hot path moves a `u32`, not a string. Sampled
+//! values carry their metric name as an interned id through the same table
+//! (names and metrics share one namespace, which keeps the table simple
+//! and the ids unambiguous in traces).
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Interned identifier for a task type or metric name.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub u32);
+
+/// Two-way intern table mapping names to [`TaskId`]s.
+///
+/// Interning takes a write lock once per *new* name; resolving an existing
+/// name takes a read lock; resolving an id to a name is lock-held-briefly.
+/// Cloning shares the table.
+#[derive(Clone, Default)]
+pub struct TaskNames {
+    inner: Arc<RwLock<NamesInner>>,
+}
+
+#[derive(Default)]
+struct NamesInner {
+    by_name: HashMap<String, TaskId>,
+    by_id: Vec<String>,
+}
+
+impl TaskNames {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its stable id.
+    pub fn intern(&self, name: &str) -> TaskId {
+        if let Some(&id) = self.inner.read().by_name.get(name) {
+            return id;
+        }
+        let mut w = self.inner.write();
+        if let Some(&id) = w.by_name.get(name) {
+            return id;
+        }
+        let id = TaskId(w.by_id.len() as u32);
+        w.by_id.push(name.to_owned());
+        w.by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Resolves an id to its name, if the id was produced by this table.
+    pub fn resolve(&self, id: TaskId) -> Option<String> {
+        self.inner.read().by_id.get(id.0 as usize).cloned()
+    }
+
+    /// Looks up an existing name without interning.
+    pub fn lookup(&self, name: &str) -> Option<TaskId> {
+        self.inner.read().by_name.get(name).copied()
+    }
+
+    /// Number of interned names.
+    pub fn len(&self) -> usize {
+        self.inner.read().by_id.len()
+    }
+
+    /// True when no names are interned.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl std::fmt::Debug for TaskNames {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskNames").field("len", &self.len()).finish()
+    }
+}
+
+/// One observation. `t_ns` timestamps come from the instance's [`crate::Clock`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Event {
+    /// A task of the given type began executing on a worker.
+    TaskBegin {
+        /// Task type.
+        task: TaskId,
+        /// Executing worker index.
+        worker: usize,
+        /// Timestamp.
+        t_ns: u64,
+    },
+    /// The matching task finished; `elapsed_ns` is its execution time.
+    TaskEnd {
+        /// Task type.
+        task: TaskId,
+        /// Executing worker index.
+        worker: usize,
+        /// Timestamp.
+        t_ns: u64,
+        /// Execution time of this task instance.
+        elapsed_ns: u64,
+    },
+    /// A task yielded the worker (cooperative suspension).
+    TaskYield {
+        /// Task type.
+        task: TaskId,
+        /// Worker index.
+        worker: usize,
+        /// Timestamp.
+        t_ns: u64,
+    },
+    /// A previously yielded task resumed.
+    TaskResume {
+        /// Task type.
+        task: TaskId,
+        /// Worker index.
+        worker: usize,
+        /// Timestamp.
+        t_ns: u64,
+    },
+    /// A worker thread came online.
+    WorkerStart {
+        /// Worker index.
+        worker: usize,
+        /// Timestamp.
+        t_ns: u64,
+    },
+    /// A worker thread went offline (parked by throttling or shut down).
+    WorkerStop {
+        /// Worker index.
+        worker: usize,
+        /// Timestamp.
+        t_ns: u64,
+    },
+    /// An asynchronous sampler produced a value for a named metric.
+    SampleValue {
+        /// Interned metric name.
+        metric: TaskId,
+        /// Timestamp.
+        t_ns: u64,
+        /// Sampled value.
+        value: f64,
+    },
+    /// An application phase began (named like a task).
+    PhaseBegin {
+        /// Phase name id.
+        phase: TaskId,
+        /// Timestamp.
+        t_ns: u64,
+    },
+    /// An application phase ended.
+    PhaseEnd {
+        /// Phase name id.
+        phase: TaskId,
+        /// Timestamp.
+        t_ns: u64,
+    },
+    /// Periodic heartbeat from the policy engine's ticker.
+    PeriodicTick {
+        /// Timestamp.
+        t_ns: u64,
+    },
+    /// Application-defined event with a small payload.
+    Custom {
+        /// Event kind id (interned).
+        kind: TaskId,
+        /// Timestamp.
+        t_ns: u64,
+        /// Payload value (meaning is kind-specific).
+        value: i64,
+    },
+}
+
+impl Event {
+    /// The event's timestamp.
+    pub fn t_ns(&self) -> u64 {
+        match *self {
+            Event::TaskBegin { t_ns, .. }
+            | Event::TaskEnd { t_ns, .. }
+            | Event::TaskYield { t_ns, .. }
+            | Event::TaskResume { t_ns, .. }
+            | Event::WorkerStart { t_ns, .. }
+            | Event::WorkerStop { t_ns, .. }
+            | Event::SampleValue { t_ns, .. }
+            | Event::PhaseBegin { t_ns, .. }
+            | Event::PhaseEnd { t_ns, .. }
+            | Event::PeriodicTick { t_ns }
+            | Event::Custom { t_ns, .. } => t_ns,
+        }
+    }
+
+    /// Short kind label for traces and tests.
+    pub fn kind_str(&self) -> &'static str {
+        match self {
+            Event::TaskBegin { .. } => "task_begin",
+            Event::TaskEnd { .. } => "task_end",
+            Event::TaskYield { .. } => "task_yield",
+            Event::TaskResume { .. } => "task_resume",
+            Event::WorkerStart { .. } => "worker_start",
+            Event::WorkerStop { .. } => "worker_stop",
+            Event::SampleValue { .. } => "sample",
+            Event::PhaseBegin { .. } => "phase_begin",
+            Event::PhaseEnd { .. } => "phase_end",
+            Event::PeriodicTick { .. } => "tick",
+            Event::Custom { .. } => "custom",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_stable_and_deduplicating() {
+        let names = TaskNames::new();
+        let a = names.intern("stencil");
+        let b = names.intern("compute");
+        let a2 = names.intern("stencil");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(names.len(), 2);
+        assert_eq!(names.resolve(a).as_deref(), Some("stencil"));
+        assert_eq!(names.resolve(b).as_deref(), Some("compute"));
+    }
+
+    #[test]
+    fn lookup_does_not_intern() {
+        let names = TaskNames::new();
+        assert_eq!(names.lookup("missing"), None);
+        assert_eq!(names.len(), 0);
+        let id = names.intern("present");
+        assert_eq!(names.lookup("present"), Some(id));
+    }
+
+    #[test]
+    fn resolve_unknown_id_is_none() {
+        let names = TaskNames::new();
+        assert!(names.resolve(TaskId(99)).is_none());
+    }
+
+    #[test]
+    fn clones_share_the_table() {
+        let names = TaskNames::new();
+        let other = names.clone();
+        let id = names.intern("shared");
+        assert_eq!(other.lookup("shared"), Some(id));
+    }
+
+    #[test]
+    fn concurrent_interning_agrees() {
+        let names = TaskNames::new();
+        let mut joins = Vec::new();
+        for _ in 0..8 {
+            let names = names.clone();
+            joins.push(std::thread::spawn(move || {
+                (0..100).map(|i| names.intern(&format!("task{}", i % 10))).collect::<Vec<_>>()
+            }));
+        }
+        let results: Vec<Vec<TaskId>> = joins.into_iter().map(|j| j.join().unwrap()).collect();
+        assert_eq!(names.len(), 10);
+        // Every thread must agree on every name's id.
+        for r in &results[1..] {
+            assert_eq!(r, &results[0]);
+        }
+    }
+
+    #[test]
+    fn event_timestamp_accessor() {
+        let names = TaskNames::new();
+        let id = names.intern("t");
+        let events = [
+            Event::TaskBegin { task: id, worker: 0, t_ns: 5 },
+            Event::TaskEnd { task: id, worker: 0, t_ns: 9, elapsed_ns: 4 },
+            Event::PeriodicTick { t_ns: 11 },
+            Event::SampleValue { metric: id, t_ns: 13, value: 1.0 },
+        ];
+        assert_eq!(events.iter().map(Event::t_ns).collect::<Vec<_>>(), vec![5, 9, 11, 13]);
+    }
+
+    #[test]
+    fn kind_strings_are_distinct() {
+        let names = TaskNames::new();
+        let id = names.intern("t");
+        let all = [
+            Event::TaskBegin { task: id, worker: 0, t_ns: 0 },
+            Event::TaskEnd { task: id, worker: 0, t_ns: 0, elapsed_ns: 0 },
+            Event::TaskYield { task: id, worker: 0, t_ns: 0 },
+            Event::TaskResume { task: id, worker: 0, t_ns: 0 },
+            Event::WorkerStart { worker: 0, t_ns: 0 },
+            Event::WorkerStop { worker: 0, t_ns: 0 },
+            Event::SampleValue { metric: id, t_ns: 0, value: 0.0 },
+            Event::PhaseBegin { phase: id, t_ns: 0 },
+            Event::PhaseEnd { phase: id, t_ns: 0 },
+            Event::PeriodicTick { t_ns: 0 },
+            Event::Custom { kind: id, t_ns: 0, value: 0 },
+        ];
+        let mut kinds: Vec<&str> = all.iter().map(Event::kind_str).collect();
+        kinds.sort();
+        kinds.dedup();
+        assert_eq!(kinds.len(), all.len());
+    }
+}

@@ -1,0 +1,231 @@
+//! Knobs — the write side of adaptation.
+//!
+//! A [`Knob`] is a named integer actuator with declared bounds: the thread
+//! cap, the chunk size, the coalescing window, the sampling period. The
+//! subsystems that *own* the underlying state implement `Knob` (e.g. the
+//! runtime's `ThreadCap`); policies and tuning sessions find them in the
+//! [`KnobRegistry`] by name and drive them uniformly. Every set is
+//! validated against the bounds and recorded, so adaptation activity is
+//! auditable after the fact.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+
+/// Declared bounds and identity of a knob.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct KnobSpec {
+    /// Unique name, e.g. `"thread_cap"`.
+    pub name: String,
+    /// Smallest settable value (inclusive).
+    pub min: i64,
+    /// Largest settable value (inclusive).
+    pub max: i64,
+}
+
+impl KnobSpec {
+    /// Creates a spec.
+    ///
+    /// # Panics
+    /// Panics if `min > max`.
+    pub fn new(name: impl Into<String>, min: i64, max: i64) -> Self {
+        assert!(min <= max, "knob min must be <= max");
+        Self { name: name.into(), min, max }
+    }
+}
+
+/// An integer actuator.
+pub trait Knob: Send + Sync {
+    /// The knob's identity and bounds.
+    fn spec(&self) -> KnobSpec;
+    /// Current value.
+    fn get(&self) -> i64;
+    /// Sets the value. Implementations may clamp internally, but callers
+    /// going through [`KnobRegistry::set`] are bounds-checked first.
+    fn set(&self, value: i64);
+}
+
+/// A self-contained atomic knob — useful when the controlled subsystem
+/// polls the value rather than reacting to the set (e.g. chunk size read
+/// at the start of each `parallel_for`).
+pub struct AtomicKnob {
+    spec: KnobSpec,
+    value: AtomicI64,
+}
+
+impl AtomicKnob {
+    /// Creates a knob with the given spec and initial value (clamped).
+    pub fn new(spec: KnobSpec, initial: i64) -> Arc<Self> {
+        let v = initial.clamp(spec.min, spec.max);
+        Arc::new(Self { spec, value: AtomicI64::new(v) })
+    }
+}
+
+impl Knob for AtomicKnob {
+    fn spec(&self) -> KnobSpec {
+        self.spec.clone()
+    }
+    fn get(&self) -> i64 {
+        self.value.load(Ordering::Acquire)
+    }
+    fn set(&self, value: i64) {
+        self.value.store(value.clamp(self.spec.min, self.spec.max), Ordering::Release);
+    }
+}
+
+/// One recorded actuation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct KnobChange {
+    /// Knob name.
+    pub name: String,
+    /// Value before the set.
+    pub from: i64,
+    /// Value after the set.
+    pub to: i64,
+}
+
+/// Registry of knobs, with bounds checking and an actuation log.
+#[derive(Default)]
+pub struct KnobRegistry {
+    knobs: RwLock<HashMap<String, Arc<dyn Knob>>>,
+    log: RwLock<Vec<KnobChange>>,
+}
+
+impl KnobRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a knob under its spec name. Replaces any previous knob
+    /// with the same name (re-registration after a subsystem restart).
+    pub fn register(&self, knob: Arc<dyn Knob>) {
+        let name = knob.spec().name.clone();
+        self.knobs.write().insert(name, knob);
+    }
+
+    /// Removes a knob by name; returns true if present.
+    pub fn deregister(&self, name: &str) -> bool {
+        self.knobs.write().remove(name).is_some()
+    }
+
+    /// Looks up a knob.
+    pub fn get(&self, name: &str) -> Option<Arc<dyn Knob>> {
+        self.knobs.read().get(name).cloned()
+    }
+
+    /// Current value of a knob, if registered.
+    pub fn value(&self, name: &str) -> Option<i64> {
+        self.get(name).map(|k| k.get())
+    }
+
+    /// Sets `name` to `value` after clamping to the knob's bounds.
+    /// Returns the applied value, or `None` if the knob is unknown.
+    pub fn set(&self, name: &str, value: i64) -> Option<i64> {
+        let knob = self.get(name)?;
+        let spec = knob.spec();
+        let clamped = value.clamp(spec.min, spec.max);
+        let from = knob.get();
+        knob.set(clamped);
+        self.log.write().push(KnobChange { name: name.to_owned(), from, to: clamped });
+        Some(clamped)
+    }
+
+    /// Every registered knob's spec, sorted by name.
+    pub fn specs(&self) -> Vec<KnobSpec> {
+        let mut v: Vec<KnobSpec> = self.knobs.read().values().map(|k| k.spec()).collect();
+        v.sort_by(|a, b| a.name.cmp(&b.name));
+        v
+    }
+
+    /// Copy of the actuation log.
+    pub fn changes(&self) -> Vec<KnobChange> {
+        self.log.read().clone()
+    }
+
+    /// Number of actuations recorded.
+    pub fn change_count(&self) -> usize {
+        self.log.read().len()
+    }
+}
+
+impl std::fmt::Debug for KnobRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KnobRegistry")
+            .field("knobs", &self.knobs.read().len())
+            .field("changes", &self.change_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn knob(name: &str, min: i64, max: i64, init: i64) -> Arc<AtomicKnob> {
+        AtomicKnob::new(KnobSpec::new(name, min, max), init)
+    }
+
+    #[test]
+    fn atomic_knob_clamps() {
+        let k = knob("k", 1, 10, 5);
+        assert_eq!(k.get(), 5);
+        k.set(100);
+        assert_eq!(k.get(), 10);
+        k.set(-100);
+        assert_eq!(k.get(), 1);
+    }
+
+    #[test]
+    fn initial_value_clamped() {
+        let k = knob("k", 2, 4, 99);
+        assert_eq!(k.get(), 4);
+    }
+
+    #[test]
+    fn registry_set_and_log() {
+        let reg = KnobRegistry::new();
+        reg.register(knob("cap", 1, 32, 32));
+        assert_eq!(reg.set("cap", 8), Some(8));
+        assert_eq!(reg.set("cap", 1000), Some(32));
+        assert_eq!(reg.value("cap"), Some(32));
+        let log = reg.changes();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0], KnobChange { name: "cap".into(), from: 32, to: 8 });
+        assert_eq!(log[1], KnobChange { name: "cap".into(), from: 8, to: 32 });
+    }
+
+    #[test]
+    fn unknown_knob_is_none() {
+        let reg = KnobRegistry::new();
+        assert_eq!(reg.set("nope", 1), None);
+        assert_eq!(reg.value("nope"), None);
+        assert!(!reg.deregister("nope"));
+    }
+
+    #[test]
+    fn reregistration_replaces() {
+        let reg = KnobRegistry::new();
+        reg.register(knob("k", 0, 10, 3));
+        reg.register(knob("k", 0, 100, 50));
+        assert_eq!(reg.value("k"), Some(50));
+        assert_eq!(reg.specs().len(), 1);
+        assert_eq!(reg.specs()[0].max, 100);
+    }
+
+    #[test]
+    fn specs_sorted() {
+        let reg = KnobRegistry::new();
+        reg.register(knob("zz", 0, 1, 0));
+        reg.register(knob("aa", 0, 1, 0));
+        let names: Vec<String> = reg.specs().into_iter().map(|s| s.name).collect();
+        assert_eq!(names, vec!["aa", "zz"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "knob min must be <= max")]
+    fn bad_spec_rejected() {
+        let _ = KnobSpec::new("k", 5, 4);
+    }
+}

@@ -1,0 +1,66 @@
+//! # lg-core — observation, introspection, and policy-driven adaptation
+//!
+//! The heart of `looking-glass`: everything between "an event happened in
+//! the runtime" and "a knob was turned in response".
+//!
+//! ## Architecture
+//!
+//! ```text
+//!   runtime / net / app            lg-core                     knobs
+//!  ───────────────────   ───────────────────────────   ─────────────────
+//!   TaskBegin/TaskEnd ──▶ Dispatcher ──▶ ProfileListener
+//!   SampleValue       ──▶    │      ──▶ ConcurrencyListener
+//!   WorkerStart/Stop  ──▶    │      ──▶ TraceListener
+//!                            └──────▶ PolicyEngine ──▶ KnobRegistry ──▶ ThreadCap,
+//!                                        ▲    │                          ChunkSize,
+//!                                 introspection state                    CoalesceWindow
+//!                                        │    ▼
+//!                                    TuningSession ◀─▶ lg-tuning::Search
+//! ```
+//!
+//! * [`event::Event`] — the observation vocabulary (task lifecycle, samples,
+//!   worker lifecycle, phases, custom).
+//! * [`listener::Listener`] + [`listener::Dispatcher`] — the fan-out
+//!   pipeline; registration is dynamic, the dispatch path is a snapshot
+//!   read (no lock held while listeners run).
+//! * [`profile`] — per-task-name streaming profiles (Welford).
+//! * [`concurrency`] — active task/worker tracking over time.
+//! * [`trace`] — bounded ring-buffer event trace with drop accounting.
+//! * [`policy`] — periodic and event-triggered policies; the engine runs
+//!   on a wall-clock thread or is stepped manually under virtual time.
+//! * [`knob`] — named integer actuators with bounds; the write side of
+//!   adaptation.
+//! * [`session`] — the online tuning loop: settle → measure → report →
+//!   move, generic over any [`lg_tuning::Search`].
+//! * [`clock`] — wall and virtual clocks behind one trait so every layer
+//!   works identically in real execution and simulation.
+//! * [`instance::LookingGlass`] — wires the pieces together and provides
+//!   the RAII [`instance::Timer`] used to instrument application code.
+
+#![warn(missing_docs)]
+
+pub mod builtin;
+pub mod clock;
+pub mod concurrency;
+pub mod event;
+pub mod instance;
+pub mod knob;
+pub mod listener;
+pub mod policy;
+pub mod profile;
+pub mod samples;
+pub mod session;
+pub mod trace;
+
+pub use clock::{Clock, VirtualClock, WallClock};
+pub use concurrency::ConcurrencyListener;
+pub use event::{Event, TaskId, TaskNames};
+pub use instance::{LookingGlass, LookingGlassBuilder, Timer};
+pub use knob::{Knob, KnobRegistry, KnobSpec};
+pub use listener::{Dispatcher, Listener};
+pub use policy::{Policy, PolicyDecision, PolicyEngine, PolicyHandle};
+pub use builtin::{HighWatermarkPolicy, PowerCapPolicy};
+pub use profile::{ProfileListener, ProfileSnapshot, TaskProfile};
+pub use samples::SampleHistoryListener;
+pub use session::{EpochReport, SessionConfig, SessionStep, TuningSession};
+pub use trace::{TraceListener, TraceRecord};

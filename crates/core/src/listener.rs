@@ -1,0 +1,257 @@
+//! Listener trait and fan-out dispatcher.
+//!
+//! The dispatcher is the single point every event flows through, so its
+//! hot path matters: dispatch reads an `Arc` snapshot of the listener list
+//! under a briefly-held lock and then runs the listeners with no lock held.
+//! Registration swaps in a new snapshot (copy-on-write), so registering or
+//! removing listeners never blocks in-flight dispatches, and a dispatch
+//! that races a removal simply delivers to the old set once more — benign
+//! for observation.
+
+use crate::event::Event;
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A consumer of observation events.
+///
+/// Listeners must be fast and must not block: they run inline on the
+/// emitting thread (a runtime worker, the sampler, or the policy ticker).
+pub trait Listener: Send + Sync {
+    /// Short name for diagnostics.
+    fn name(&self) -> &str;
+    /// Handles one event.
+    fn on_event(&self, event: &Event);
+}
+
+/// Handle returned by [`Dispatcher::register`]; pass to
+/// [`Dispatcher::deregister`] to remove the listener.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ListenerHandle(u64);
+
+/// A registered listener with its registration id.
+type ListenerEntry = (u64, Arc<dyn Listener>);
+
+/// Copy-on-write fan-out of events to registered listeners.
+pub struct Dispatcher {
+    listeners: RwLock<Arc<Vec<ListenerEntry>>>,
+    next_id: AtomicU64,
+    enabled: AtomicBool,
+    dispatched: AtomicU64,
+}
+
+impl Default for Dispatcher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Dispatcher {
+    /// Creates a dispatcher with no listeners, enabled.
+    pub fn new() -> Self {
+        Self {
+            listeners: RwLock::new(Arc::new(Vec::new())),
+            next_id: AtomicU64::new(1),
+            enabled: AtomicBool::new(true),
+            dispatched: AtomicU64::new(0),
+        }
+    }
+
+    /// Registers a listener; events are delivered from this call onward.
+    pub fn register(&self, listener: Arc<dyn Listener>) -> ListenerHandle {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let mut guard = self.listeners.write();
+        let mut next = (**guard).clone();
+        next.push((id, listener));
+        *guard = Arc::new(next);
+        ListenerHandle(id)
+    }
+
+    /// Removes a previously registered listener. Returns true if found.
+    pub fn deregister(&self, handle: ListenerHandle) -> bool {
+        let mut guard = self.listeners.write();
+        let before = guard.len();
+        let next: Vec<ListenerEntry> =
+            guard.iter().filter(|(id, _)| *id != handle.0).cloned().collect();
+        let removed = next.len() != before;
+        *guard = Arc::new(next);
+        removed
+    }
+
+    /// Globally enables or disables dispatch (the "observation off" switch;
+    /// the overhead experiment measures both sides of it).
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::Release);
+    }
+
+    /// Whether dispatch is enabled.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Acquire)
+    }
+
+    /// Number of registered listeners.
+    pub fn listener_count(&self) -> usize {
+        self.listeners.read().len()
+    }
+
+    /// Total events delivered (multiplied across listeners).
+    pub fn dispatched(&self) -> u64 {
+        self.dispatched.load(Ordering::Relaxed)
+    }
+
+    /// Delivers `event` to every registered listener.
+    #[inline]
+    pub fn dispatch(&self, event: &Event) {
+        if !self.enabled.load(Ordering::Acquire) {
+            return;
+        }
+        let snapshot = { self.listeners.read().clone() };
+        if snapshot.is_empty() {
+            return;
+        }
+        for (_, l) in snapshot.iter() {
+            l.on_event(event);
+        }
+        self.dispatched.fetch_add(snapshot.len() as u64, Ordering::Relaxed);
+    }
+}
+
+impl std::fmt::Debug for Dispatcher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Dispatcher")
+            .field("listeners", &self.listener_count())
+            .field("enabled", &self.is_enabled())
+            .field("dispatched", &self.dispatched())
+            .finish()
+    }
+}
+
+/// A listener that forwards events to a closure — handy in tests and for
+/// one-off hooks.
+pub struct FnListener<F: Fn(&Event) + Send + Sync> {
+    name: String,
+    f: F,
+}
+
+impl<F: Fn(&Event) + Send + Sync> FnListener<F> {
+    /// Wraps `f` as a listener called `name`.
+    pub fn new(name: impl Into<String>, f: F) -> Self {
+        Self { name: name.into(), f }
+    }
+}
+
+impl<F: Fn(&Event) + Send + Sync> Listener for FnListener<F> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn on_event(&self, event: &Event) {
+        (self.f)(event)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TaskNames;
+    use std::sync::atomic::AtomicUsize;
+
+    fn tick(t: u64) -> Event {
+        Event::PeriodicTick { t_ns: t }
+    }
+
+    #[test]
+    fn delivers_to_all_listeners() {
+        let d = Dispatcher::new();
+        let a = Arc::new(AtomicUsize::new(0));
+        let b = Arc::new(AtomicUsize::new(0));
+        let (ac, bc) = (a.clone(), b.clone());
+        d.register(Arc::new(FnListener::new("a", move |_| {
+            ac.fetch_add(1, Ordering::Relaxed);
+        })));
+        d.register(Arc::new(FnListener::new("b", move |_| {
+            bc.fetch_add(1, Ordering::Relaxed);
+        })));
+        d.dispatch(&tick(1));
+        d.dispatch(&tick(2));
+        assert_eq!(a.load(Ordering::Relaxed), 2);
+        assert_eq!(b.load(Ordering::Relaxed), 2);
+        assert_eq!(d.dispatched(), 4);
+    }
+
+    #[test]
+    fn deregister_stops_delivery() {
+        let d = Dispatcher::new();
+        let n = Arc::new(AtomicUsize::new(0));
+        let nc = n.clone();
+        let h = d.register(Arc::new(FnListener::new("x", move |_| {
+            nc.fetch_add(1, Ordering::Relaxed);
+        })));
+        d.dispatch(&tick(1));
+        assert!(d.deregister(h));
+        d.dispatch(&tick(2));
+        assert_eq!(n.load(Ordering::Relaxed), 1);
+        assert!(!d.deregister(h), "double deregister must return false");
+    }
+
+    #[test]
+    fn disabled_dispatch_is_a_noop() {
+        let d = Dispatcher::new();
+        let n = Arc::new(AtomicUsize::new(0));
+        let nc = n.clone();
+        d.register(Arc::new(FnListener::new("x", move |_| {
+            nc.fetch_add(1, Ordering::Relaxed);
+        })));
+        d.set_enabled(false);
+        d.dispatch(&tick(1));
+        assert_eq!(n.load(Ordering::Relaxed), 0);
+        d.set_enabled(true);
+        d.dispatch(&tick(2));
+        assert_eq!(n.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn empty_dispatcher_counts_nothing() {
+        let d = Dispatcher::new();
+        d.dispatch(&tick(1));
+        assert_eq!(d.dispatched(), 0);
+    }
+
+    #[test]
+    fn listener_can_be_registered_during_concurrent_dispatch() {
+        let d = Arc::new(Dispatcher::new());
+        let stop = Arc::new(AtomicBool::new(false));
+        let emitter = {
+            let d = d.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let mut t = 0;
+                while !stop.load(Ordering::Relaxed) {
+                    d.dispatch(&tick(t));
+                    t += 1;
+                }
+            })
+        };
+        for i in 0..50 {
+            let h = d.register(Arc::new(FnListener::new(format!("l{i}"), |_| {})));
+            if i % 2 == 0 {
+                d.deregister(h);
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        emitter.join().unwrap();
+        assert_eq!(d.listener_count(), 25);
+    }
+
+    #[test]
+    fn events_carry_payloads_through() {
+        let names = TaskNames::new();
+        let id = names.intern("t");
+        let d = Dispatcher::new();
+        let seen = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let sc = seen.clone();
+        d.register(Arc::new(FnListener::new("rec", move |e| sc.lock().push(*e))));
+        let e = Event::TaskEnd { task: id, worker: 3, t_ns: 77, elapsed_ns: 11 };
+        d.dispatch(&e);
+        assert_eq!(seen.lock().as_slice(), &[e]);
+    }
+}

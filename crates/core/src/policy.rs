@@ -1,0 +1,484 @@
+//! The policy engine: periodic and event-triggered policies.
+//!
+//! A [`Policy`] inspects introspection state and returns a
+//! [`PolicyDecision`] — typically a set of knob writes. The engine
+//! supports two trigger styles, mirroring the synchronous/asynchronous
+//! split in the observation layer:
+//!
+//! * **Periodic** policies run every `period_ns`. Under a wall clock the
+//!   engine owns a ticker thread; under a virtual clock the simulator
+//!   calls [`PolicyEngine::step`] as time advances — same policies, same
+//!   semantics, no OS dependency.
+//! * **Event-triggered** policies run inline when a matching event is
+//!   dispatched (the engine is itself a [`Listener`]).
+//!
+//! Decisions are applied through the [`KnobRegistry`], so every actuation
+//! is bounds-checked and logged regardless of which policy produced it.
+
+use crate::clock::Clock;
+use crate::event::Event;
+use crate::knob::KnobRegistry;
+use crate::listener::Listener;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// What a policy wants done.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PolicyDecision {
+    /// Knob writes to apply, as `(knob_name, value)`.
+    pub sets: Vec<(String, i64)>,
+    /// If true, the policy is finished and should be deregistered.
+    pub retire: bool,
+}
+
+impl PolicyDecision {
+    /// A decision that does nothing.
+    pub fn noop() -> Self {
+        Self::default()
+    }
+
+    /// A decision setting a single knob.
+    pub fn set(name: impl Into<String>, value: i64) -> Self {
+        Self { sets: vec![(name.into(), value)], retire: false }
+    }
+
+    /// Marks the policy finished after this decision.
+    pub fn and_retire(mut self) -> Self {
+        self.retire = true;
+        self
+    }
+}
+
+/// A reactive adaptation rule.
+pub trait Policy: Send {
+    /// Diagnostic name.
+    fn name(&self) -> &str;
+
+    /// Called on each matching trigger with the current time.
+    fn evaluate(&mut self, now_ns: u64, trigger: Trigger<'_>) -> PolicyDecision;
+}
+
+/// Why a policy is being evaluated.
+#[derive(Clone, Copy, Debug)]
+pub enum Trigger<'a> {
+    /// Periodic timer fired.
+    Periodic,
+    /// A matching event was dispatched.
+    Event(&'a Event),
+}
+
+/// Handle identifying a registered policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PolicyHandle(u64);
+
+/// Event filter for event-triggered policies.
+pub type EventFilter = Box<dyn Fn(&Event) -> bool + Send + Sync>;
+
+struct Registered {
+    id: u64,
+    policy: Box<dyn Policy>,
+    kind: Kind,
+}
+
+enum Kind {
+    Periodic { period_ns: u64, next_due_ns: u64 },
+    Triggered { filter: EventFilter },
+}
+
+/// The policy engine.
+///
+/// Owns registered policies; applies their decisions through the knob
+/// registry. Use [`PolicyEngine::step`] to advance periodic policies under
+/// an explicit clock reading, or [`PolicyEngine::spawn_ticker`] to drive
+/// them from a wall-clock thread.
+pub struct PolicyEngine {
+    policies: Mutex<Vec<Registered>>,
+    knobs: Arc<KnobRegistry>,
+    next_id: AtomicU64,
+    evaluations: AtomicU64,
+    actuations: AtomicU64,
+}
+
+impl PolicyEngine {
+    /// Creates an engine applying decisions to `knobs`.
+    pub fn new(knobs: Arc<KnobRegistry>) -> Arc<Self> {
+        Arc::new(Self {
+            policies: Mutex::new(Vec::new()),
+            knobs,
+            next_id: AtomicU64::new(1),
+            evaluations: AtomicU64::new(0),
+            actuations: AtomicU64::new(0),
+        })
+    }
+
+    /// Registers a periodic policy first due at `now_ns + period_ns`.
+    pub fn register_periodic(
+        &self,
+        policy: Box<dyn Policy>,
+        period_ns: u64,
+        now_ns: u64,
+    ) -> PolicyHandle {
+        assert!(period_ns > 0, "period must be positive");
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.policies.lock().push(Registered {
+            id,
+            policy,
+            kind: Kind::Periodic { period_ns, next_due_ns: now_ns + period_ns },
+        });
+        PolicyHandle(id)
+    }
+
+    /// Registers an event-triggered policy with a filter.
+    pub fn register_triggered(&self, policy: Box<dyn Policy>, filter: EventFilter) -> PolicyHandle {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.policies.lock().push(Registered { id, policy, kind: Kind::Triggered { filter } });
+        PolicyHandle(id)
+    }
+
+    /// Deregisters a policy; returns true if it was present.
+    pub fn deregister(&self, handle: PolicyHandle) -> bool {
+        let mut ps = self.policies.lock();
+        let before = ps.len();
+        ps.retain(|r| r.id != handle.0);
+        ps.len() != before
+    }
+
+    /// Number of registered policies.
+    pub fn policy_count(&self) -> usize {
+        self.policies.lock().len()
+    }
+
+    /// Total policy evaluations.
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations.load(Ordering::Relaxed)
+    }
+
+    /// Total knob writes applied on behalf of policies.
+    pub fn actuations(&self) -> u64 {
+        self.actuations.load(Ordering::Relaxed)
+    }
+
+    fn apply(&self, decision: &PolicyDecision) {
+        for (name, value) in &decision.sets {
+            if self.knobs.set(name, *value).is_some() {
+                self.actuations.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Runs every periodic policy that is due at `now_ns`. A policy that
+    /// fell multiple periods behind fires once and is rescheduled from
+    /// `now_ns` (no catch-up bursts). Returns the number of evaluations.
+    pub fn step(&self, now_ns: u64) -> usize {
+        let mut decisions: Vec<PolicyDecision> = Vec::new();
+        let mut fired = 0usize;
+        {
+            let mut ps = self.policies.lock();
+            let mut retired: Vec<u64> = Vec::new();
+            for r in ps.iter_mut() {
+                if let Kind::Periodic { period_ns, next_due_ns } = &mut r.kind {
+                    if now_ns >= *next_due_ns {
+                        let d = r.policy.evaluate(now_ns, Trigger::Periodic);
+                        *next_due_ns = now_ns + *period_ns;
+                        fired += 1;
+                        if d.retire {
+                            retired.push(r.id);
+                        }
+                        decisions.push(d);
+                    }
+                }
+            }
+            if !retired.is_empty() {
+                ps.retain(|r| !retired.contains(&r.id));
+            }
+        }
+        // Apply outside the policy lock: knob sets may be observed by
+        // listeners that re-enter the engine.
+        for d in &decisions {
+            self.apply(d);
+        }
+        self.evaluations.fetch_add(fired as u64, Ordering::Relaxed);
+        fired
+    }
+
+    /// Spawns a wall-clock ticker driving [`PolicyEngine::step`] every
+    /// `period`. Returns a guard that stops the ticker when dropped.
+    pub fn spawn_ticker(
+        self: &Arc<Self>,
+        clock: Arc<dyn Clock>,
+        period: std::time::Duration,
+    ) -> TickerGuard {
+        assert!(!period.is_zero(), "ticker period must be positive");
+        let stop = Arc::new(AtomicBool::new(false));
+        let engine = self.clone();
+        let thread_stop = stop.clone();
+        let handle = std::thread::Builder::new()
+            .name("lg-policy-ticker".into())
+            .spawn(move || {
+                while !thread_stop.load(Ordering::Acquire) {
+                    std::thread::sleep(period);
+                    engine.step(clock.now_ns());
+                }
+            })
+            .expect("failed to spawn policy ticker");
+        TickerGuard { stop, handle: Some(handle) }
+    }
+}
+
+impl Listener for PolicyEngine {
+    fn name(&self) -> &str {
+        "policy-engine"
+    }
+
+    fn on_event(&self, event: &Event) {
+        // Evaluate matching triggered policies. Decisions are collected
+        // under the lock, applied after, and retirement honored.
+        let mut decisions = Vec::new();
+        {
+            let mut ps = self.policies.lock();
+            let mut retired: Vec<u64> = Vec::new();
+            for r in ps.iter_mut() {
+                if let Kind::Triggered { filter } = &r.kind {
+                    if filter(event) {
+                        let d = r.policy.evaluate(event.t_ns(), Trigger::Event(event));
+                        if d.retire {
+                            retired.push(r.id);
+                        }
+                        decisions.push(d);
+                    }
+                }
+            }
+            if !retired.is_empty() {
+                ps.retain(|r| !retired.contains(&r.id));
+            }
+        }
+        self.evaluations.fetch_add(decisions.len() as u64, Ordering::Relaxed);
+        for d in &decisions {
+            self.apply(d);
+        }
+    }
+}
+
+impl std::fmt::Debug for PolicyEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PolicyEngine")
+            .field("policies", &self.policy_count())
+            .field("evaluations", &self.evaluations())
+            .field("actuations", &self.actuations())
+            .finish()
+    }
+}
+
+/// Stops the ticker thread on drop.
+pub struct TickerGuard {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Drop for TickerGuard {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// A policy built from a closure — the common case for simple rules.
+pub struct FnPolicy<F: FnMut(u64, Trigger<'_>) -> PolicyDecision + Send> {
+    name: String,
+    f: F,
+}
+
+impl<F: FnMut(u64, Trigger<'_>) -> PolicyDecision + Send> FnPolicy<F> {
+    /// Wraps `f` as a policy called `name`.
+    pub fn new(name: impl Into<String>, f: F) -> Box<Self> {
+        Box::new(Self { name: name.into(), f })
+    }
+}
+
+impl<F: FnMut(u64, Trigger<'_>) -> PolicyDecision + Send> Policy for FnPolicy<F> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn evaluate(&mut self, now_ns: u64, trigger: Trigger<'_>) -> PolicyDecision {
+        (self.f)(now_ns, trigger)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knob::{AtomicKnob, KnobSpec};
+
+    fn registry_with(name: &str, min: i64, max: i64, init: i64) -> Arc<KnobRegistry> {
+        let reg = Arc::new(KnobRegistry::new());
+        reg.register(AtomicKnob::new(KnobSpec::new(name, min, max), init));
+        reg
+    }
+
+    #[test]
+    fn periodic_policy_fires_on_schedule() {
+        let knobs = registry_with("cap", 1, 32, 32);
+        let engine = PolicyEngine::new(knobs.clone());
+        let fired = Arc::new(AtomicU64::new(0));
+        let fc = fired.clone();
+        engine.register_periodic(
+            FnPolicy::new("p", move |_, _| {
+                fc.fetch_add(1, Ordering::Relaxed);
+                PolicyDecision::noop()
+            }),
+            100,
+            0,
+        );
+        assert_eq!(engine.step(50), 0, "not yet due");
+        assert_eq!(engine.step(100), 1);
+        assert_eq!(engine.step(150), 0, "rescheduled to 200");
+        assert_eq!(engine.step(500), 1, "no catch-up burst");
+        assert_eq!(fired.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn decisions_actuate_knobs() {
+        let knobs = registry_with("cap", 1, 32, 32);
+        let engine = PolicyEngine::new(knobs.clone());
+        engine.register_periodic(
+            FnPolicy::new("throttle", |_, _| PolicyDecision::set("cap", 8)),
+            10,
+            0,
+        );
+        engine.step(10);
+        assert_eq!(knobs.value("cap"), Some(8));
+        assert_eq!(engine.actuations(), 1);
+    }
+
+    #[test]
+    fn out_of_bounds_sets_are_clamped() {
+        let knobs = registry_with("cap", 1, 16, 16);
+        let engine = PolicyEngine::new(knobs.clone());
+        engine.register_periodic(
+            FnPolicy::new("wild", |_, _| PolicyDecision::set("cap", 10_000)),
+            10,
+            0,
+        );
+        engine.step(10);
+        assert_eq!(knobs.value("cap"), Some(16));
+    }
+
+    #[test]
+    fn unknown_knob_does_not_count_as_actuation() {
+        let knobs = registry_with("cap", 1, 16, 16);
+        let engine = PolicyEngine::new(knobs);
+        engine.register_periodic(
+            FnPolicy::new("typo", |_, _| PolicyDecision::set("cpa", 2)),
+            10,
+            0,
+        );
+        engine.step(10);
+        assert_eq!(engine.actuations(), 0);
+    }
+
+    #[test]
+    fn triggered_policy_filters_events() {
+        let knobs = registry_with("window", 1, 512, 1);
+        let engine = PolicyEngine::new(knobs.clone());
+        engine.register_triggered(
+            FnPolicy::new("on-phase", |_, trigger| {
+                if let Trigger::Event(Event::PhaseBegin { .. }) = trigger {
+                    PolicyDecision::set("window", 64)
+                } else {
+                    PolicyDecision::noop()
+                }
+            }),
+            Box::new(|e| matches!(e, Event::PhaseBegin { .. })),
+        );
+        let names = crate::event::TaskNames::new();
+        let phase = names.intern("ph");
+        engine.on_event(&Event::PeriodicTick { t_ns: 0 });
+        assert_eq!(knobs.value("window"), Some(1), "filter must gate");
+        engine.on_event(&Event::PhaseBegin { phase, t_ns: 1 });
+        assert_eq!(knobs.value("window"), Some(64));
+        assert_eq!(engine.evaluations(), 1);
+    }
+
+    #[test]
+    fn retire_removes_triggered_policy() {
+        let knobs = registry_with("k", 0, 10, 0);
+        let engine = PolicyEngine::new(knobs.clone());
+        engine.register_triggered(
+            FnPolicy::new("once", |_, _| PolicyDecision::set("k", 5).and_retire()),
+            Box::new(|_| true),
+        );
+        engine.on_event(&Event::PeriodicTick { t_ns: 0 });
+        assert_eq!(engine.policy_count(), 0);
+        knobs.set("k", 0);
+        engine.on_event(&Event::PeriodicTick { t_ns: 1 });
+        assert_eq!(knobs.value("k"), Some(0), "retired policy must not fire again");
+    }
+
+    #[test]
+    fn deregister_by_handle() {
+        let knobs = registry_with("k", 0, 10, 0);
+        let engine = PolicyEngine::new(knobs);
+        let h = engine.register_periodic(FnPolicy::new("p", |_, _| PolicyDecision::noop()), 10, 0);
+        assert_eq!(engine.policy_count(), 1);
+        assert!(engine.deregister(h));
+        assert_eq!(engine.policy_count(), 0);
+        assert!(!engine.deregister(h));
+    }
+
+    #[test]
+    fn multiple_periodic_policies_independent_schedules() {
+        let knobs = registry_with("k", 0, 100, 0);
+        let engine = PolicyEngine::new(knobs);
+        let fast = Arc::new(AtomicU64::new(0));
+        let slow = Arc::new(AtomicU64::new(0));
+        let (f, s) = (fast.clone(), slow.clone());
+        engine.register_periodic(
+            FnPolicy::new("fast", move |_, _| {
+                f.fetch_add(1, Ordering::Relaxed);
+                PolicyDecision::noop()
+            }),
+            10,
+            0,
+        );
+        engine.register_periodic(
+            FnPolicy::new("slow", move |_, _| {
+                s.fetch_add(1, Ordering::Relaxed);
+                PolicyDecision::noop()
+            }),
+            100,
+            0,
+        );
+        for t in (10..=100).step_by(10) {
+            engine.step(t);
+        }
+        assert_eq!(fast.load(Ordering::Relaxed), 10);
+        assert_eq!(slow.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn wall_clock_ticker_drives_steps() {
+        use crate::clock::WallClock;
+        let knobs = registry_with("k", 0, 1000, 0);
+        let engine = PolicyEngine::new(knobs.clone());
+        let count = Arc::new(AtomicU64::new(0));
+        let c = count.clone();
+        engine.register_periodic(
+            FnPolicy::new("tick", move |_, _| {
+                c.fetch_add(1, Ordering::Relaxed);
+                PolicyDecision::noop()
+            }),
+            1, // due almost immediately in ns terms
+            0,
+        );
+        let guard = engine.spawn_ticker(Arc::new(WallClock::new()), std::time::Duration::from_millis(1));
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+        while count.load(Ordering::Relaxed) < 3 && std::time::Instant::now() < deadline {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        drop(guard);
+        assert!(count.load(Ordering::Relaxed) >= 3, "ticker did not drive policies");
+    }
+}

@@ -1,0 +1,357 @@
+//! Online tuning sessions: the measure → report → move loop.
+//!
+//! A [`TuningSession`] binds together a set of knobs (by name), a search
+//! strategy from `lg-tuning`, and an epoch protocol:
+//!
+//! 1. **Actuate** — ask the search for the next candidate point and write
+//!    it to the knobs.
+//! 2. **Settle** — wait `settle_ns` for the runtime to reach steady state
+//!    under the new configuration (in-flight tasks drain, workers park).
+//! 3. **Measure** — the caller observes the objective over `measure_ns`
+//!    (throughput from profiles, energy from the meter, EDP, …).
+//! 4. **Report** — feed the objective back; the search decides where to
+//!    look next.
+//!
+//! The session is clock-agnostic: the caller supplies timestamps, so the
+//! same code drives wall-clock tuning on the real runtime and virtual-time
+//! tuning in the simulator. [`TuningSession::run_blocking`] is a
+//! convenience driver for the wall-clock case.
+
+use crate::knob::KnobRegistry;
+use lg_tuning::{Point, Search};
+use std::sync::Arc;
+
+/// Session configuration.
+#[derive(Clone, Debug)]
+pub struct SessionConfig {
+    /// Knob names, in the same order as the search space's dimensions.
+    pub knob_names: Vec<String>,
+    /// Settle time after actuation before measurement should begin.
+    pub settle_ns: u64,
+    /// Measurement window length.
+    pub measure_ns: u64,
+    /// Hard cap on epochs (0 = unlimited).
+    pub max_epochs: usize,
+}
+
+impl SessionConfig {
+    /// Config for a single knob with the given windows.
+    pub fn single(knob: impl Into<String>, settle_ns: u64, measure_ns: u64) -> Self {
+        Self { knob_names: vec![knob.into()], settle_ns, measure_ns, max_epochs: 0 }
+    }
+}
+
+/// One completed epoch.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EpochReport {
+    /// Epoch index, starting at 0.
+    pub epoch: usize,
+    /// Configuration evaluated.
+    pub point: Point,
+    /// Objective observed (lower is better).
+    pub objective: f64,
+    /// Time the epoch's measurement began.
+    pub measured_from_ns: u64,
+}
+
+/// What the caller should do next.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SessionStep {
+    /// Knobs were set to `point`; measure the objective starting at
+    /// `measure_from_ns` for the configured window, then call
+    /// [`TuningSession::complete`].
+    Measure {
+        /// The configuration under test.
+        point: Point,
+        /// Earliest timestamp at which measurement is representative.
+        measure_from_ns: u64,
+    },
+    /// The search has converged (or hit `max_epochs`); `best` holds the
+    /// winning configuration, which has been re-applied to the knobs.
+    Done {
+        /// Best `(point, objective)`, if anything was measured.
+        best: Option<(Point, f64)>,
+    },
+}
+
+/// An online tuning session (see module docs).
+pub struct TuningSession {
+    cfg: SessionConfig,
+    search: Box<dyn Search>,
+    knobs: Arc<KnobRegistry>,
+    pending: Option<(Point, u64)>,
+    history: Vec<EpochReport>,
+    finished: bool,
+}
+
+impl TuningSession {
+    /// Creates a session.
+    ///
+    /// # Panics
+    /// Panics if `knob_names` is empty.
+    pub fn new(cfg: SessionConfig, search: Box<dyn Search>, knobs: Arc<KnobRegistry>) -> Self {
+        assert!(!cfg.knob_names.is_empty(), "session needs at least one knob");
+        Self { cfg, search, knobs, pending: None, history: Vec::new(), finished: false }
+    }
+
+    /// Starts the next epoch at time `now_ns`: proposes a point, actuates
+    /// the knobs, and tells the caller when to measure.
+    ///
+    /// # Panics
+    /// Panics if an epoch is already in flight (call
+    /// [`TuningSession::complete`] first) or if the proposed point's arity
+    /// does not match `knob_names`.
+    pub fn next(&mut self, now_ns: u64) -> SessionStep {
+        assert!(self.pending.is_none(), "epoch already in flight");
+        if self.finished
+            || (self.cfg.max_epochs > 0 && self.history.len() >= self.cfg.max_epochs)
+        {
+            return self.finish();
+        }
+        match self.search.propose() {
+            None => self.finish(),
+            Some(point) => {
+                assert_eq!(
+                    point.len(),
+                    self.cfg.knob_names.len(),
+                    "search space arity != knob count"
+                );
+                for (name, value) in self.cfg.knob_names.iter().zip(&point) {
+                    self.knobs.set(name, *value);
+                }
+                let measure_from_ns = now_ns + self.cfg.settle_ns;
+                self.pending = Some((point.clone(), measure_from_ns));
+                SessionStep::Measure { point, measure_from_ns }
+            }
+        }
+    }
+
+    /// Completes the in-flight epoch with the measured objective.
+    ///
+    /// # Panics
+    /// Panics if no epoch is in flight.
+    pub fn complete(&mut self, objective: f64) {
+        let (point, measured_from_ns) =
+            self.pending.take().expect("complete() without a pending epoch");
+        self.search.report(&point, objective);
+        self.history.push(EpochReport {
+            epoch: self.history.len(),
+            point,
+            objective,
+            measured_from_ns,
+        });
+    }
+
+    fn finish(&mut self) -> SessionStep {
+        self.finished = true;
+        let best = self.search.best();
+        if let Some((point, _)) = &best {
+            // Leave the system running at the winner.
+            for (name, value) in self.cfg.knob_names.iter().zip(point) {
+                self.knobs.set(name, *value);
+            }
+        }
+        SessionStep::Done { best }
+    }
+
+    /// True once `next` has returned [`SessionStep::Done`].
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Completed epochs so far.
+    pub fn history(&self) -> &[EpochReport] {
+        &self.history
+    }
+
+    /// Best `(point, objective)` reported so far.
+    pub fn best(&self) -> Option<(Point, f64)> {
+        self.search.best()
+    }
+
+    /// Configured measurement window length.
+    pub fn measure_ns(&self) -> u64 {
+        self.cfg.measure_ns
+    }
+
+    /// Wall-clock convenience driver: repeatedly actuates, sleeps the
+    /// settle window, and calls `measure` (which should observe for the
+    /// measurement window and return the objective) until done. Returns
+    /// the best configuration.
+    pub fn run_blocking(
+        &mut self,
+        clock: &dyn crate::clock::Clock,
+        mut measure: impl FnMut(&Point, u64) -> f64,
+    ) -> Option<(Point, f64)> {
+        loop {
+            match self.next(clock.now_ns()) {
+                SessionStep::Done { best } => return best,
+                SessionStep::Measure { point, measure_from_ns } => {
+                    let now = clock.now_ns();
+                    if measure_from_ns > now {
+                        std::thread::sleep(std::time::Duration::from_nanos(measure_from_ns - now));
+                    }
+                    let objective = measure(&point, self.cfg.measure_ns);
+                    self.complete(objective);
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for TuningSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TuningSession")
+            .field("epochs", &self.history.len())
+            .field("finished", &self.finished)
+            .field("strategy", &self.search.name())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knob::{AtomicKnob, KnobSpec};
+    use lg_tuning::{Dim, HillClimb, Space};
+
+    fn knobs_with_cap(max: i64) -> Arc<KnobRegistry> {
+        let reg = Arc::new(KnobRegistry::new());
+        reg.register(AtomicKnob::new(KnobSpec::new("cap", 1, max), max));
+        reg
+    }
+
+    fn drive(session: &mut TuningSession, f: impl Fn(&Point) -> f64) -> Option<(Point, f64)> {
+        let mut now = 0u64;
+        loop {
+            match session.next(now) {
+                SessionStep::Done { best } => return best,
+                SessionStep::Measure { point, measure_from_ns } => {
+                    now = measure_from_ns + session.measure_ns();
+                    let y = f(&point);
+                    session.complete(y);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn session_finds_knee_and_applies_winner() {
+        let knobs = knobs_with_cap(32);
+        let space = Space::new(vec![Dim::range("cap", 1, 32, 1)]);
+        let search = Box::new(HillClimb::from_start(space, &[32]));
+        let cfg = SessionConfig::single("cap", 1_000, 10_000);
+        let mut session = TuningSession::new(cfg, search, knobs.clone());
+        // Objective: EDP-like bowl with minimum at cap = 12.
+        let best = drive(&mut session, |p| ((p[0] - 12) * (p[0] - 12)) as f64 + 3.0).unwrap();
+        assert_eq!(best.0, vec![12]);
+        assert_eq!(knobs.value("cap"), Some(12), "winner must be left applied");
+        assert!(session.is_finished());
+    }
+
+    #[test]
+    fn knobs_follow_every_epoch() {
+        let knobs = knobs_with_cap(8);
+        let space = Space::new(vec![Dim::range("cap", 1, 8, 1)]);
+        let search = Box::new(HillClimb::from_start(space, &[4]));
+        let cfg = SessionConfig::single("cap", 0, 0);
+        let mut session = TuningSession::new(cfg, search, knobs.clone());
+        let mut now = 0;
+        while let SessionStep::Measure { point, .. } = session.next(now) {
+            assert_eq!(knobs.value("cap"), Some(point[0]), "knob must track epoch config");
+            session.complete(point[0] as f64); // minimum at cap = 1
+            now += 1;
+        }
+        assert_eq!(knobs.value("cap"), Some(1));
+    }
+
+    #[test]
+    fn settle_window_is_respected() {
+        let knobs = knobs_with_cap(4);
+        let space = Space::new(vec![Dim::range("cap", 1, 4, 1)]);
+        let search = Box::new(HillClimb::from_start(space, &[2]));
+        let cfg = SessionConfig { knob_names: vec!["cap".into()], settle_ns: 500, measure_ns: 100, max_epochs: 0 };
+        let mut session = TuningSession::new(cfg, search, knobs);
+        match session.next(1_000) {
+            SessionStep::Measure { measure_from_ns, .. } => assert_eq!(measure_from_ns, 1_500),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn max_epochs_caps_session() {
+        let knobs = knobs_with_cap(32);
+        let space = Space::new(vec![Dim::range("cap", 1, 32, 1)]);
+        let search = Box::new(HillClimb::from_start(space, &[16]));
+        let cfg = SessionConfig { knob_names: vec!["cap".into()], settle_ns: 0, measure_ns: 0, max_epochs: 3 };
+        let mut session = TuningSession::new(cfg, search, knobs);
+        let mut epochs = 0;
+        let mut now = 0;
+        loop {
+            match session.next(now) {
+                SessionStep::Done { .. } => break,
+                SessionStep::Measure { point, .. } => {
+                    session.complete(point[0] as f64);
+                    epochs += 1;
+                    now += 1;
+                }
+            }
+        }
+        assert_eq!(epochs, 3);
+        assert_eq!(session.history().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "epoch already in flight")]
+    fn double_next_panics() {
+        let knobs = knobs_with_cap(4);
+        let space = Space::new(vec![Dim::range("cap", 1, 4, 1)]);
+        let search = Box::new(HillClimb::from_start(space, &[2]));
+        let mut session =
+            TuningSession::new(SessionConfig::single("cap", 0, 0), search, knobs);
+        let _ = session.next(0);
+        let _ = session.next(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "without a pending epoch")]
+    fn complete_without_epoch_panics() {
+        let knobs = knobs_with_cap(4);
+        let space = Space::new(vec![Dim::range("cap", 1, 4, 1)]);
+        let search = Box::new(HillClimb::from_start(space, &[2]));
+        let mut session =
+            TuningSession::new(SessionConfig::single("cap", 0, 0), search, knobs);
+        session.complete(1.0);
+    }
+
+    #[test]
+    fn history_is_faithful() {
+        let knobs = knobs_with_cap(4);
+        let space = Space::new(vec![Dim::range("cap", 1, 4, 1)]);
+        let search = Box::new(HillClimb::from_start(space, &[2]));
+        let mut session =
+            TuningSession::new(SessionConfig::single("cap", 10, 0), search, knobs);
+        drive(&mut session, |p| p[0] as f64);
+        let h = session.history();
+        assert!(!h.is_empty());
+        for (i, e) in h.iter().enumerate() {
+            assert_eq!(e.epoch, i);
+            assert_eq!(e.objective, e.point[0] as f64);
+        }
+    }
+
+    #[test]
+    fn run_blocking_drives_to_completion() {
+        use crate::clock::WallClock;
+        let knobs = knobs_with_cap(8);
+        let space = Space::new(vec![Dim::range("cap", 1, 8, 1)]);
+        let search = Box::new(HillClimb::from_start(space, &[8]));
+        let cfg = SessionConfig { knob_names: vec!["cap".into()], settle_ns: 1, measure_ns: 1, max_epochs: 0 };
+        let mut session = TuningSession::new(cfg, search, knobs);
+        let clock = WallClock::new();
+        let best = session
+            .run_blocking(&clock, |p, _window| ((p[0] - 5) * (p[0] - 5)) as f64)
+            .unwrap();
+        assert_eq!(best.0, vec![5]);
+    }
+}

@@ -1,0 +1,179 @@
+//! Bounded ring-buffer event tracing.
+//!
+//! Keeps the last `capacity` events verbatim for post-hoc inspection (the
+//! experiment harness dumps them; tests assert on ordering). When full, the
+//! oldest record is overwritten and a drop counter increments — tracing
+//! must never grow without bound or apply backpressure to the runtime.
+
+use crate::event::Event;
+use crate::listener::Listener;
+use parking_lot::Mutex;
+
+/// One retained trace record.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TraceRecord {
+    /// Monotone sequence number assigned at capture.
+    pub seq: u64,
+    /// The event.
+    pub event: Event,
+}
+
+struct TraceInner {
+    buf: Vec<Option<TraceRecord>>,
+    head: usize,
+    seq: u64,
+    overwritten: u64,
+}
+
+/// Listener retaining the most recent events in a ring buffer.
+pub struct TraceListener {
+    inner: Mutex<TraceInner>,
+    capacity: usize,
+}
+
+impl TraceListener {
+    /// Creates a tracer retaining at most `capacity` events.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace capacity must be positive");
+        Self {
+            inner: Mutex::new(TraceInner {
+                buf: vec![None; capacity],
+                head: 0,
+                seq: 0,
+                overwritten: 0,
+            }),
+            capacity,
+        }
+    }
+
+    /// Copies the retained records oldest → newest.
+    pub fn records(&self) -> Vec<TraceRecord> {
+        let inner = self.inner.lock();
+        let mut out = Vec::with_capacity(self.capacity);
+        for i in 0..self.capacity {
+            let idx = (inner.head + i) % self.capacity;
+            if let Some(r) = inner.buf[idx] {
+                out.push(r);
+            }
+        }
+        out
+    }
+
+    /// Number of events that were overwritten after the buffer filled.
+    pub fn overwritten(&self) -> u64 {
+        self.inner.lock().overwritten
+    }
+
+    /// Total events ever captured.
+    pub fn captured(&self) -> u64 {
+        self.inner.lock().seq
+    }
+
+    /// Clears the buffer and counters.
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.buf.iter_mut().for_each(|s| *s = None);
+        inner.head = 0;
+        inner.seq = 0;
+        inner.overwritten = 0;
+    }
+}
+
+impl Listener for TraceListener {
+    fn name(&self) -> &str {
+        "trace"
+    }
+
+    fn on_event(&self, event: &Event) {
+        let mut inner = self.inner.lock();
+        let seq = inner.seq;
+        inner.seq += 1;
+        let head = inner.head;
+        if inner.buf[head].is_some() {
+            inner.overwritten += 1;
+        }
+        inner.buf[head] = Some(TraceRecord { seq, event: *event });
+        inner.head = (head + 1) % self.capacity;
+    }
+}
+
+impl std::fmt::Debug for TraceListener {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("TraceListener")
+            .field("capacity", &self.capacity)
+            .field("captured", &inner.seq)
+            .field("overwritten", &inner.overwritten)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tick(t: u64) -> Event {
+        Event::PeriodicTick { t_ns: t }
+    }
+
+    #[test]
+    fn retains_in_order_under_capacity() {
+        let tr = TraceListener::new(8);
+        for t in 0..5 {
+            tr.on_event(&tick(t));
+        }
+        let recs = tr.records();
+        assert_eq!(recs.len(), 5);
+        assert!(recs.windows(2).all(|w| w[0].seq + 1 == w[1].seq));
+        assert_eq!(recs[0].event, tick(0));
+        assert_eq!(recs[4].event, tick(4));
+        assert_eq!(tr.overwritten(), 0);
+    }
+
+    #[test]
+    fn overwrites_oldest_when_full() {
+        let tr = TraceListener::new(4);
+        for t in 0..10 {
+            tr.on_event(&tick(t));
+        }
+        let recs = tr.records();
+        assert_eq!(recs.len(), 4);
+        assert_eq!(recs[0].event, tick(6));
+        assert_eq!(recs[3].event, tick(9));
+        assert_eq!(tr.overwritten(), 6);
+        assert_eq!(tr.captured(), 10);
+    }
+
+    #[test]
+    fn sequence_numbers_are_global() {
+        let tr = TraceListener::new(2);
+        for t in 0..5 {
+            tr.on_event(&tick(t));
+        }
+        let recs = tr.records();
+        assert_eq!(recs.iter().map(|r| r.seq).collect::<Vec<_>>(), vec![3, 4]);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let tr = TraceListener::new(4);
+        for t in 0..10 {
+            tr.on_event(&tick(t));
+        }
+        tr.clear();
+        assert!(tr.records().is_empty());
+        assert_eq!(tr.overwritten(), 0);
+        assert_eq!(tr.captured(), 0);
+        tr.on_event(&tick(99));
+        assert_eq!(tr.records()[0].seq, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = TraceListener::new(0);
+    }
+}

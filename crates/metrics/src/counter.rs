@@ -1,0 +1,227 @@
+//! Named atomic counters and gauges.
+//!
+//! The observation layer needs shared, hot-path-cheap integer metrics:
+//! tasks spawned, steals, parks, parcels sent, bytes moved. A
+//! [`CounterRegistry`] interns names once and hands out cloneable handles
+//! backed by `Arc<AtomicU64>` / `Arc<AtomicI64>`, so updates are a single
+//! atomic RMW with no lock and no lookup.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Cloneable handle to a monotonically increasing counter.
+#[derive(Clone, Debug)]
+pub struct CounterHandle(Arc<AtomicU64>);
+
+impl CounterHandle {
+    /// Increments by 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increments by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Cloneable handle to a gauge (a signed value that may go up and down).
+#[derive(Clone, Debug)]
+pub struct GaugeHandle(Arc<AtomicI64>);
+
+impl GaugeHandle {
+    /// Sets the gauge to `v`.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative) and returns the new value.
+    #[inline]
+    pub fn add(&self, delta: i64) -> i64 {
+        self.0.fetch_add(delta, Ordering::Relaxed) + delta
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Registry of named counters and gauges.
+///
+/// Lookup/creation takes a write lock; handle operations are lock-free.
+/// Registries are cheap to share via `Arc`.
+///
+/// # Examples
+///
+/// ```
+/// use lg_metrics::CounterRegistry;
+/// let reg = CounterRegistry::new();
+/// let steals = reg.counter("scheduler.steals");
+/// steals.inc();
+/// steals.add(4);
+/// assert_eq!(reg.counter("scheduler.steals").get(), 5);
+/// ```
+#[derive(Default)]
+pub struct CounterRegistry {
+    counters: RwLock<HashMap<String, CounterHandle>>,
+    gauges: RwLock<HashMap<String, GaugeHandle>>,
+}
+
+impl std::fmt::Debug for CounterRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CounterRegistry")
+            .field("counters", &self.counters.read().len())
+            .field("gauges", &self.gauges.read().len())
+            .finish()
+    }
+}
+
+impl CounterRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the counter named `name`, creating it at zero if absent.
+    pub fn counter(&self, name: &str) -> CounterHandle {
+        if let Some(h) = self.counters.read().get(name) {
+            return h.clone();
+        }
+        let mut w = self.counters.write();
+        w.entry(name.to_owned())
+            .or_insert_with(|| CounterHandle(Arc::new(AtomicU64::new(0))))
+            .clone()
+    }
+
+    /// Returns the gauge named `name`, creating it at zero if absent.
+    pub fn gauge(&self, name: &str) -> GaugeHandle {
+        if let Some(h) = self.gauges.read().get(name) {
+            return h.clone();
+        }
+        let mut w = self.gauges.write();
+        w.entry(name.to_owned())
+            .or_insert_with(|| GaugeHandle(Arc::new(AtomicI64::new(0))))
+            .clone()
+    }
+
+    /// Snapshot of every counter as `(name, value)`, sorted by name.
+    pub fn snapshot_counters(&self) -> Vec<(String, u64)> {
+        let mut v: Vec<(String, u64)> = self
+            .counters
+            .read()
+            .iter()
+            .map(|(k, h)| (k.clone(), h.get()))
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Snapshot of every gauge as `(name, value)`, sorted by name.
+    pub fn snapshot_gauges(&self) -> Vec<(String, i64)> {
+        let mut v: Vec<(String, i64)> = self
+            .gauges
+            .read()
+            .iter()
+            .map(|(k, h)| (k.clone(), h.get()))
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Number of distinct counters registered.
+    pub fn counter_count(&self) -> usize {
+        self.counters.read().len()
+    }
+
+    /// Number of distinct gauges registered.
+    pub fn gauge_count(&self) -> usize {
+        self.gauges.read().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc as StdArc;
+
+    #[test]
+    fn same_name_same_counter() {
+        let reg = CounterRegistry::new();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        a.inc();
+        b.add(9);
+        assert_eq!(a.get(), 10);
+        assert_eq!(reg.counter_count(), 1);
+    }
+
+    #[test]
+    fn distinct_names_distinct_counters() {
+        let reg = CounterRegistry::new();
+        reg.counter("a").inc();
+        reg.counter("b").add(2);
+        let snap = reg.snapshot_counters();
+        assert_eq!(snap, vec![("a".into(), 1), ("b".into(), 2)]);
+    }
+
+    #[test]
+    fn gauge_up_and_down() {
+        let reg = CounterRegistry::new();
+        let g = reg.gauge("active");
+        assert_eq!(g.add(5), 5);
+        assert_eq!(g.add(-2), 3);
+        g.set(-7);
+        assert_eq!(g.get(), -7);
+    }
+
+    #[test]
+    fn counters_and_gauges_namespaces_are_disjoint() {
+        let reg = CounterRegistry::new();
+        reg.counter("n").add(1);
+        reg.gauge("n").set(100);
+        assert_eq!(reg.counter("n").get(), 1);
+        assert_eq!(reg.gauge("n").get(), 100);
+    }
+
+    #[test]
+    fn concurrent_increments_do_not_lose_updates() {
+        let reg = StdArc::new(CounterRegistry::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let reg = reg.clone();
+            handles.push(std::thread::spawn(move || {
+                let c = reg.counter("shared");
+                for _ in 0..10_000 {
+                    c.inc();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(reg.counter("shared").get(), 80_000);
+    }
+
+    #[test]
+    fn snapshot_is_sorted() {
+        let reg = CounterRegistry::new();
+        for name in ["zeta", "alpha", "mid"] {
+            reg.counter(name).inc();
+        }
+        let names: Vec<String> = reg.snapshot_counters().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["alpha", "mid", "zeta"]);
+    }
+}

@@ -1,0 +1,207 @@
+//! Exponentially weighted moving averages.
+//!
+//! Policies react to *recent* behaviour, not all-time aggregates. The EWMA
+//! here supports both the classic fixed-α update and a time-aware variant
+//! that decays by elapsed time, which is what the sampling listeners use so
+//! that irregular sample spacing does not bias the average.
+
+/// Exponentially weighted moving average with fixed smoothing factor.
+///
+/// `α ∈ (0, 1]`: larger α weights recent observations more heavily.
+///
+/// # Examples
+///
+/// ```
+/// use lg_metrics::Ewma;
+/// let mut e = Ewma::new(0.5);
+/// e.update(10.0);
+/// e.update(20.0);
+/// assert!((e.value() - 15.0).abs() < 1e-12);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct Ewma {
+    alpha: f64,
+    value: f64,
+    initialized: bool,
+}
+
+impl Ewma {
+    /// Creates an EWMA with smoothing factor `alpha`.
+    ///
+    /// # Panics
+    /// Panics if `alpha` is not in `(0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1], got {alpha}");
+        Self { alpha, value: 0.0, initialized: false }
+    }
+
+    /// Creates an EWMA whose α corresponds to a half-life of `n` updates:
+    /// after `n` updates the weight of an old observation halves.
+    pub fn with_halflife(n: f64) -> Self {
+        assert!(n > 0.0, "half-life must be positive");
+        Self::new(1.0 - 0.5f64.powf(1.0 / n))
+    }
+
+    /// Folds an observation into the average. The first observation seeds
+    /// the average exactly (no bias toward zero).
+    #[inline]
+    pub fn update(&mut self, x: f64) {
+        if self.initialized {
+            self.value += self.alpha * (x - self.value);
+        } else {
+            self.value = x;
+            self.initialized = true;
+        }
+    }
+
+    /// Current value of the average; 0 before any update.
+    #[inline]
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// Whether at least one observation has been folded.
+    pub fn is_initialized(&self) -> bool {
+        self.initialized
+    }
+
+    /// Resets to the uninitialized state.
+    pub fn reset(&mut self) {
+        self.value = 0.0;
+        self.initialized = false;
+    }
+}
+
+/// Time-aware EWMA: decay is proportional to elapsed time rather than to
+/// update count, so irregularly spaced samples are weighted correctly.
+///
+/// The decay constant is expressed as a *time constant* τ: an observation's
+/// weight falls to `1/e` after τ nanoseconds.
+#[derive(Clone, Copy, Debug)]
+pub struct TimeEwma {
+    tau_ns: f64,
+    value: f64,
+    last_t_ns: u64,
+    initialized: bool,
+}
+
+impl TimeEwma {
+    /// Creates a time-aware EWMA with time constant `tau_ns` nanoseconds.
+    ///
+    /// # Panics
+    /// Panics if `tau_ns` is zero.
+    pub fn new(tau_ns: u64) -> Self {
+        assert!(tau_ns > 0, "time constant must be positive");
+        Self { tau_ns: tau_ns as f64, value: 0.0, last_t_ns: 0, initialized: false }
+    }
+
+    /// Folds an observation taken at absolute time `t_ns`.
+    ///
+    /// Out-of-order samples (t earlier than the previous sample) are folded
+    /// with zero elapsed time, i.e. minimal weight change.
+    pub fn update(&mut self, t_ns: u64, x: f64) {
+        if !self.initialized {
+            self.value = x;
+            self.last_t_ns = t_ns;
+            self.initialized = true;
+            return;
+        }
+        let dt = t_ns.saturating_sub(self.last_t_ns) as f64;
+        let w = 1.0 - (-dt / self.tau_ns).exp();
+        self.value += w * (x - self.value);
+        self.last_t_ns = self.last_t_ns.max(t_ns);
+    }
+
+    /// Current value of the average; 0 before any update.
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// Whether at least one observation has been folded.
+    pub fn is_initialized(&self) -> bool {
+        self.initialized
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_update_seeds_exactly() {
+        let mut e = Ewma::new(0.1);
+        e.update(42.0);
+        assert_eq!(e.value(), 42.0);
+    }
+
+    #[test]
+    fn converges_to_constant_input() {
+        let mut e = Ewma::new(0.2);
+        for _ in 0..200 {
+            e.update(7.5);
+        }
+        assert!((e.value() - 7.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tracks_step_change() {
+        let mut e = Ewma::new(0.5);
+        for _ in 0..10 {
+            e.update(0.0);
+        }
+        for _ in 0..20 {
+            e.update(100.0);
+        }
+        assert!((e.value() - 100.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn halflife_semantics() {
+        let mut e = Ewma::with_halflife(10.0);
+        e.update(1.0);
+        // After exactly 10 further updates of 0, the value should be ~0.5.
+        for _ in 0..10 {
+            e.update(0.0);
+        }
+        assert!((e.value() - 0.5).abs() < 0.02, "value {}", e.value());
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in (0, 1]")]
+    fn rejects_bad_alpha() {
+        let _ = Ewma::new(0.0);
+    }
+
+    #[test]
+    fn alpha_one_tracks_last_value() {
+        let mut e = Ewma::new(1.0);
+        e.update(3.0);
+        e.update(9.0);
+        assert_eq!(e.value(), 9.0);
+    }
+
+    #[test]
+    fn time_ewma_decays_by_elapsed_time() {
+        let mut e = TimeEwma::new(1_000);
+        e.update(0, 0.0);
+        // One full time constant later, weight = 1 - 1/e ≈ 0.632.
+        e.update(1_000, 1.0);
+        assert!((e.value() - 0.6321).abs() < 1e-3, "value {}", e.value());
+    }
+
+    #[test]
+    fn time_ewma_zero_dt_barely_moves() {
+        let mut e = TimeEwma::new(1_000_000);
+        e.update(100, 0.0);
+        e.update(100, 1000.0);
+        assert!(e.value().abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_ewma_out_of_order_is_safe() {
+        let mut e = TimeEwma::new(1_000);
+        e.update(5_000, 10.0);
+        e.update(1_000, 50.0); // earlier timestamp: folded with dt = 0
+        assert!((e.value() - 10.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,272 @@
+//! Analytic package power model and energy integration.
+//!
+//! The original system read package power from RAPL via RCRToolkit. That
+//! telemetry is unavailable here, so we substitute the standard analytic
+//! model used to *validate* such telemetry:
+//!
+//! ```text
+//! P(t) = P_idle + Σ_{active cores c} P_core · intensity_c(t)
+//! ```
+//!
+//! where `intensity ∈ [0, 1]` captures how hard a core is working (a stalled,
+//! memory-bound core burns less dynamic power than a saturated FPU). The
+//! crucial property for adaptation — power rises roughly linearly with
+//! active concurrency while memory-bound throughput saturates — is exactly
+//! reproduced, so energy-optimal concurrency sits below maximum concurrency
+//! for bandwidth-bound workloads, which is the phenomenon concurrency
+//! throttling exploits.
+//!
+//! [`EnergyMeter`] integrates `P · dt` over either wall or virtual time; the
+//! caller supplies timestamps so the meter is clock-agnostic.
+
+/// Analytic package power model.
+///
+/// # Examples
+///
+/// ```
+/// use lg_metrics::PowerModel;
+/// let m = PowerModel::new(20.0, 5.0);
+/// assert_eq!(m.power(0, 1.0), 20.0);          // idle package
+/// assert_eq!(m.power(4, 1.0), 40.0);          // 4 saturated cores
+/// assert_eq!(m.power(4, 0.5), 30.0);          // 4 half-stalled cores
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PowerModel {
+    /// Static package power in watts, drawn regardless of activity.
+    pub p_idle: f64,
+    /// Dynamic power in watts of one core at intensity 1.0.
+    pub p_core: f64,
+}
+
+impl PowerModel {
+    /// Creates a model with the given idle and per-core power (watts).
+    ///
+    /// # Panics
+    /// Panics if either parameter is negative.
+    pub fn new(p_idle: f64, p_core: f64) -> Self {
+        assert!(p_idle >= 0.0 && p_core >= 0.0, "power parameters must be non-negative");
+        Self { p_idle, p_core }
+    }
+
+    /// A model shaped like a contemporary server socket: 25 W idle,
+    /// 4.5 W per active core.
+    pub fn server_socket() -> Self {
+        Self::new(25.0, 4.5)
+    }
+
+    /// Instantaneous package power for `active_cores` cores running at the
+    /// given mean `intensity ∈ [0, 1]`.
+    #[inline]
+    pub fn power(&self, active_cores: usize, intensity: f64) -> f64 {
+        self.p_idle + self.p_core * active_cores as f64 * intensity.clamp(0.0, 1.0)
+    }
+}
+
+/// Report produced by [`EnergyMeter::report`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EnergyReport {
+    /// Total elapsed time covered by the integration, in seconds.
+    pub elapsed_s: f64,
+    /// Integrated energy in joules.
+    pub energy_j: f64,
+    /// Mean power over the elapsed time, in watts.
+    pub mean_power_w: f64,
+    /// Energy-delay product (J·s) — the canonical throttling objective.
+    pub edp: f64,
+    /// Energy-delay-squared product (J·s²), weighting delay more heavily.
+    pub ed2p: f64,
+}
+
+/// Integrates power over time from a stream of `(t_ns, power_w)` samples.
+///
+/// Between samples, power is held constant at the previous sample's value
+/// (zero-order hold). Works with any monotone clock; the experiment harness
+/// feeds it virtual-time samples from the simulator and wall-time samples
+/// from the real runtime sampler.
+///
+/// # Examples
+///
+/// ```
+/// use lg_metrics::EnergyMeter;
+/// let mut m = EnergyMeter::new();
+/// m.sample(0, 100.0);
+/// m.sample(1_000_000_000, 100.0); // 1 s at 100 W
+/// let r = m.report();
+/// assert!((r.energy_j - 100.0).abs() < 1e-9);
+/// assert!((r.edp - 100.0).abs() < 1e-9);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct EnergyMeter {
+    start_ns: Option<u64>,
+    last_ns: u64,
+    last_power_w: f64,
+    energy_j: f64,
+}
+
+impl EnergyMeter {
+    /// Creates an empty meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds a power sample at absolute time `t_ns`.
+    ///
+    /// The first sample sets the integration origin. Samples with
+    /// non-increasing timestamps contribute no energy (dt = 0) but update
+    /// the held power level.
+    pub fn sample(&mut self, t_ns: u64, power_w: f64) {
+        match self.start_ns {
+            None => {
+                self.start_ns = Some(t_ns);
+                self.last_ns = t_ns;
+                self.last_power_w = power_w;
+            }
+            Some(_) => {
+                let dt_s = t_ns.saturating_sub(self.last_ns) as f64 * 1e-9;
+                self.energy_j += self.last_power_w * dt_s;
+                self.last_ns = self.last_ns.max(t_ns);
+                self.last_power_w = power_w;
+            }
+        }
+    }
+
+    /// Elapsed integration time in seconds.
+    pub fn elapsed_s(&self) -> f64 {
+        match self.start_ns {
+            None => 0.0,
+            Some(s) => (self.last_ns - s) as f64 * 1e-9,
+        }
+    }
+
+    /// Energy integrated so far, in joules.
+    pub fn energy_j(&self) -> f64 {
+        self.energy_j
+    }
+
+    /// Produces a summary report. All-zero if fewer than two samples.
+    pub fn report(&self) -> EnergyReport {
+        let elapsed_s = self.elapsed_s();
+        let energy_j = self.energy_j;
+        let mean_power_w = if elapsed_s > 0.0 { energy_j / elapsed_s } else { 0.0 };
+        EnergyReport {
+            elapsed_s,
+            energy_j,
+            mean_power_w,
+            edp: energy_j * elapsed_s,
+            ed2p: energy_j * elapsed_s * elapsed_s,
+        }
+    }
+
+    /// Resets the meter to the empty state.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_power_with_zero_cores() {
+        let m = PowerModel::new(30.0, 6.0);
+        assert_eq!(m.power(0, 1.0), 30.0);
+        assert_eq!(m.power(0, 0.0), 30.0);
+    }
+
+    #[test]
+    fn power_linear_in_cores() {
+        let m = PowerModel::new(10.0, 2.0);
+        for k in 0..16 {
+            assert!((m.power(k, 1.0) - (10.0 + 2.0 * k as f64)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn intensity_clamped() {
+        let m = PowerModel::new(0.0, 10.0);
+        assert_eq!(m.power(1, 2.0), 10.0);
+        assert_eq!(m.power(1, -1.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_power_rejected() {
+        let _ = PowerModel::new(-1.0, 1.0);
+    }
+
+    #[test]
+    fn constant_power_integration() {
+        let mut m = EnergyMeter::new();
+        m.sample(0, 50.0);
+        m.sample(2_000_000_000, 50.0);
+        assert!((m.energy_j() - 100.0).abs() < 1e-9);
+        let r = m.report();
+        assert!((r.mean_power_w - 50.0).abs() < 1e-9);
+        assert!((r.elapsed_s - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_order_hold_semantics() {
+        let mut m = EnergyMeter::new();
+        m.sample(0, 100.0);
+        m.sample(1_000_000_000, 0.0); // 1 s at 100 W, then drop to 0
+        m.sample(2_000_000_000, 0.0); // 1 s at 0 W
+        assert!((m.energy_j() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn step_change_integrates_piecewise() {
+        let mut m = EnergyMeter::new();
+        m.sample(0, 10.0);
+        m.sample(500_000_000, 30.0); // 0.5 s @ 10 W = 5 J
+        m.sample(1_000_000_000, 30.0); // 0.5 s @ 30 W = 15 J
+        assert!((m.energy_j() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_sample_zero_energy() {
+        let mut m = EnergyMeter::new();
+        m.sample(123, 99.0);
+        assert_eq!(m.energy_j(), 0.0);
+        assert_eq!(m.report().elapsed_s, 0.0);
+        assert_eq!(m.report().mean_power_w, 0.0);
+    }
+
+    #[test]
+    fn out_of_order_sample_adds_no_energy() {
+        let mut m = EnergyMeter::new();
+        m.sample(1_000_000, 10.0);
+        m.sample(2_000_000, 10.0);
+        let before = m.energy_j();
+        m.sample(500_000, 1000.0); // stale timestamp
+        assert_eq!(m.energy_j(), before);
+    }
+
+    #[test]
+    fn edp_and_ed2p_relationship() {
+        let mut m = EnergyMeter::new();
+        m.sample(0, 40.0);
+        m.sample(3_000_000_000, 40.0); // 3 s at 40 W → 120 J
+        let r = m.report();
+        assert!((r.edp - 360.0).abs() < 1e-6);
+        assert!((r.ed2p - 1080.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn energy_at_least_idle_envelope() {
+        // For any schedule, using the model: energy >= p_idle * elapsed.
+        let model = PowerModel::new(15.0, 3.0);
+        let mut m = EnergyMeter::new();
+        let mut t = 0u64;
+        for step in 0..100u64 {
+            let cores = (step % 7) as usize;
+            let intensity = ((step % 11) as f64) / 10.0;
+            m.sample(t, model.power(cores, intensity));
+            t += 10_000_000;
+        }
+        m.sample(t, model.power(0, 0.0));
+        let r = m.report();
+        assert!(r.energy_j >= model.p_idle * r.elapsed_s - 1e-9);
+    }
+}

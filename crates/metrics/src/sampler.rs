@@ -1,0 +1,307 @@
+//! Asynchronous periodic sampling of counter sources.
+//!
+//! Synchronous (inline) instrumentation captures task lifecycles; the
+//! *asynchronous* half of the observation layer is a background thread that
+//! periodically polls registered [`Sampled`] sources — OS counters, power
+//! meters, runtime gauges — and delivers `(t_ns, name, value)` observations
+//! to a sink callback (in the full system, the `lg-core` event dispatcher).
+//!
+//! The sampling period is itself an adaptation knob (see `Fig 5` in
+//! DESIGN.md): short periods give policies fresher data at the cost of
+//! perturbing the application.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A source of named sampled values.
+///
+/// Implementations must be cheap and non-blocking: the sampler thread polls
+/// every source each period.
+pub trait Sampled: Send + Sync {
+    /// Stable name of this source (used as the metric name prefix).
+    fn name(&self) -> &str;
+    /// Reads the current values as `(suffix, value)` pairs, appending them
+    /// to `out`. Using an out-param avoids per-poll allocation for
+    /// single-value sources.
+    fn sample(&self, out: &mut Vec<(String, f64)>);
+}
+
+/// A trivially constructed source wrapping a closure.
+pub struct FnSource<F: Fn() -> f64 + Send + Sync> {
+    name: String,
+    f: F,
+}
+
+impl<F: Fn() -> f64 + Send + Sync> FnSource<F> {
+    /// Wraps `f` as a single-value source named `name`.
+    pub fn new(name: impl Into<String>, f: F) -> Self {
+        Self { name: name.into(), f }
+    }
+}
+
+impl<F: Fn() -> f64 + Send + Sync> Sampled for FnSource<F> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn sample(&self, out: &mut Vec<(String, f64)>) {
+        out.push((String::new(), (self.f)()));
+    }
+}
+
+/// Configuration for a [`Sampler`].
+#[derive(Clone, Copy, Debug)]
+pub struct SamplerConfig {
+    /// Initial sampling period.
+    pub period: Duration,
+    /// If true, the first poll happens immediately rather than after one
+    /// period.
+    pub sample_immediately: bool,
+}
+
+impl Default for SamplerConfig {
+    fn default() -> Self {
+        Self { period: Duration::from_millis(10), sample_immediately: false }
+    }
+}
+
+/// Background sampling thread.
+///
+/// Samples every registered source once per period and invokes the sink
+/// with `(t_ns, full_name, value)`. `t_ns` is nanoseconds since sampler
+/// start. The period can be changed at runtime (it is an adaptation knob);
+/// the change takes effect at the next wakeup.
+///
+/// Dropping the sampler stops the thread and joins it.
+pub struct Sampler {
+    shared: Arc<Shared>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+struct Shared {
+    stop: AtomicBool,
+    period_ns: AtomicU64,
+    polls: AtomicU64,
+    wake: Condvar,
+    wake_lock: Mutex<()>,
+}
+
+impl Sampler {
+    /// Starts a sampler over `sources`, delivering to `sink`.
+    pub fn start(
+        config: SamplerConfig,
+        sources: Vec<Arc<dyn Sampled>>,
+        sink: impl Fn(u64, &str, f64) + Send + 'static,
+    ) -> Self {
+        let shared = Arc::new(Shared {
+            stop: AtomicBool::new(false),
+            period_ns: AtomicU64::new(config.period.as_nanos() as u64),
+            polls: AtomicU64::new(0),
+            wake: Condvar::new(),
+            wake_lock: Mutex::new(()),
+        });
+        let thread_shared = shared.clone();
+        let thread = std::thread::Builder::new()
+            .name("lg-sampler".into())
+            .spawn(move || {
+                let origin = Instant::now();
+                let mut buf: Vec<(String, f64)> = Vec::new();
+                let mut name_buf = String::new();
+                if !config.sample_immediately {
+                    thread_shared.wait_one_period();
+                }
+                while !thread_shared.stop.load(Ordering::Acquire) {
+                    let t_ns = origin.elapsed().as_nanos() as u64;
+                    for src in &sources {
+                        buf.clear();
+                        src.sample(&mut buf);
+                        for (suffix, value) in buf.drain(..) {
+                            name_buf.clear();
+                            name_buf.push_str(src.name());
+                            if !suffix.is_empty() {
+                                name_buf.push('.');
+                                name_buf.push_str(&suffix);
+                            }
+                            sink(t_ns, &name_buf, value);
+                        }
+                    }
+                    thread_shared.polls.fetch_add(1, Ordering::Relaxed);
+                    thread_shared.wait_one_period();
+                }
+            })
+            .expect("failed to spawn sampler thread");
+        Self { shared, thread: Some(thread) }
+    }
+
+    /// Changes the sampling period; takes effect at the next wakeup.
+    ///
+    /// # Panics
+    /// Panics if `period` is zero.
+    pub fn set_period(&self, period: Duration) {
+        assert!(!period.is_zero(), "sampling period must be positive");
+        self.shared.period_ns.store(period.as_nanos() as u64, Ordering::Release);
+        // Nudge the thread so a long old period doesn't delay the change.
+        let _guard = self.shared.wake_lock.lock();
+        self.shared.wake.notify_all();
+    }
+
+    /// Current sampling period.
+    pub fn period(&self) -> Duration {
+        Duration::from_nanos(self.shared.period_ns.load(Ordering::Acquire))
+    }
+
+    /// Number of completed poll sweeps.
+    pub fn polls(&self) -> u64 {
+        self.shared.polls.load(Ordering::Relaxed)
+    }
+
+    /// Stops the sampler thread and waits for it to exit.
+    pub fn stop(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        {
+            let _guard = self.shared.wake_lock.lock();
+            self.shared.wake.notify_all();
+        }
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Shared {
+    fn wait_one_period(&self) {
+        let period = Duration::from_nanos(self.period_ns.load(Ordering::Acquire));
+        let mut guard = self.wake_lock.lock();
+        if self.stop.load(Ordering::Acquire) {
+            return;
+        }
+        // A notification (period change or stop) ends the wait early; the
+        // caller re-checks stop and re-reads the period.
+        self.wake.wait_for(&mut guard, period);
+    }
+}
+
+impl Drop for Sampler {
+    fn drop(&mut self) {
+        self.stop_inner();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn polls_all_sources_each_sweep() {
+        let calls = Arc::new(AtomicUsize::new(0));
+        let c1 = calls.clone();
+        let c2 = calls.clone();
+        let sources: Vec<Arc<dyn Sampled>> = vec![
+            Arc::new(FnSource::new("a", move || {
+                c1.fetch_add(1, Ordering::Relaxed);
+                1.0
+            })),
+            Arc::new(FnSource::new("b", move || {
+                c2.fetch_add(1, Ordering::Relaxed);
+                2.0
+            })),
+        ];
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let sink_seen = seen.clone();
+        let sampler = Sampler::start(
+            SamplerConfig { period: Duration::from_millis(1), sample_immediately: true },
+            sources,
+            move |_t, name, v| sink_seen.lock().push((name.to_owned(), v)),
+        );
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while sampler.polls() < 3 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        sampler.stop();
+        let seen = seen.lock();
+        assert!(seen.iter().any(|(n, v)| n == "a" && *v == 1.0));
+        assert!(seen.iter().any(|(n, v)| n == "b" && *v == 2.0));
+        assert!(calls.load(Ordering::Relaxed) >= 6);
+    }
+
+    #[test]
+    fn timestamps_monotone() {
+        let sources: Vec<Arc<dyn Sampled>> = vec![Arc::new(FnSource::new("x", || 0.0))];
+        let ts = Arc::new(Mutex::new(Vec::new()));
+        let sink_ts = ts.clone();
+        let sampler = Sampler::start(
+            SamplerConfig { period: Duration::from_millis(1), sample_immediately: true },
+            sources,
+            move |t, _n, _v| sink_ts.lock().push(t),
+        );
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while sampler.polls() < 5 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        sampler.stop();
+        let ts = ts.lock();
+        assert!(ts.len() >= 5);
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn set_period_takes_effect() {
+        let sources: Vec<Arc<dyn Sampled>> = vec![Arc::new(FnSource::new("x", || 0.0))];
+        let sampler = Sampler::start(
+            SamplerConfig { period: Duration::from_secs(3600), sample_immediately: false },
+            sources,
+            |_t, _n, _v| {},
+        );
+        assert_eq!(sampler.polls(), 0);
+        sampler.set_period(Duration::from_millis(1));
+        assert_eq!(sampler.period(), Duration::from_millis(1));
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while sampler.polls() == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(sampler.polls() > 0, "period change did not wake the sampler");
+        sampler.stop();
+    }
+
+    #[test]
+    fn drop_stops_thread() {
+        let sources: Vec<Arc<dyn Sampled>> = vec![Arc::new(FnSource::new("x", || 0.0))];
+        let sampler = Sampler::start(SamplerConfig::default(), sources, |_t, _n, _v| {});
+        drop(sampler); // must not hang
+    }
+
+    #[test]
+    fn multi_value_source_suffixes() {
+        struct Multi;
+        impl Sampled for Multi {
+            fn name(&self) -> &str {
+                "m"
+            }
+            fn sample(&self, out: &mut Vec<(String, f64)>) {
+                out.push(("one".into(), 1.0));
+                out.push(("two".into(), 2.0));
+            }
+        }
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let sink_seen = seen.clone();
+        let sampler = Sampler::start(
+            SamplerConfig { period: Duration::from_millis(1), sample_immediately: true },
+            vec![Arc::new(Multi)],
+            move |_t, name, v| sink_seen.lock().push((name.to_owned(), v)),
+        );
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while sampler.polls() < 1 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        sampler.stop();
+        let seen = seen.lock();
+        assert!(seen.iter().any(|(n, v)| n == "m.one" && *v == 1.0));
+        assert!(seen.iter().any(|(n, v)| n == "m.two" && *v == 2.0));
+    }
+}

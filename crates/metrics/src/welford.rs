@@ -1,0 +1,288 @@
+//! Numerically stable streaming mean/variance via Welford's algorithm.
+//!
+//! Welford's online algorithm maintains the running mean and the sum of
+//! squared deviations (`m2`) in a single pass, avoiding the catastrophic
+//! cancellation of the naive `E[x²] - E[x]²` formulation. Two accumulators
+//! can be merged with the parallel (Chan et al.) update, which is what the
+//! per-worker profile shards in `lg-core` rely on.
+
+/// Streaming accumulator for count, mean, variance, min, max, and sum.
+///
+/// Updates are O(1) and allocation-free; merging two accumulators is O(1).
+///
+/// # Examples
+///
+/// ```
+/// use lg_metrics::Welford;
+/// let mut w = Welford::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     w.update(x);
+/// }
+/// assert_eq!(w.count(), 8);
+/// assert!((w.mean() - 5.0).abs() < 1e-12);
+/// assert!((w.population_variance() - 4.0).abs() < 1e-12);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+    sum: f64,
+}
+
+impl Default for Welford {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Welford {
+    /// Creates an empty accumulator.
+    pub const fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+        }
+    }
+
+    /// Folds one observation into the accumulator.
+    #[inline]
+    pub fn update(&mut self, x: f64) {
+        self.count += 1;
+        self.sum += x;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+        if x < self.min {
+            self.min = x;
+        }
+        if x > self.max {
+            self.max = x;
+        }
+    }
+
+    /// Merges another accumulator into this one (parallel variance update).
+    ///
+    /// The result is identical (up to floating-point rounding) to having
+    /// fed every observation of `other` into `self` directly.
+    pub fn merge(&mut self, other: &Welford) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations folded so far.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean of the observations; 0 if empty.
+    #[inline]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sum of all observations.
+    #[inline]
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Smallest observation; `+inf` if empty.
+    #[inline]
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation; `-inf` if empty.
+    #[inline]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Population variance (`m2 / n`); 0 if fewer than one observation.
+    pub fn population_variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample variance (`m2 / (n - 1)`); 0 if fewer than two observations.
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.population_variance().sqrt()
+    }
+
+    /// Coefficient of variation (stddev / mean); 0 when the mean is 0.
+    pub fn cv(&self) -> f64 {
+        let m = self.mean();
+        if m == 0.0 {
+            0.0
+        } else {
+            self.stddev() / m.abs()
+        }
+    }
+
+    /// True when no observations have been folded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Resets the accumulator to the empty state.
+    pub fn reset(&mut self) {
+        *self = Self::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(xs: &[f64]) -> (f64, f64) {
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        (mean, var)
+    }
+
+    #[test]
+    fn empty_is_sane() {
+        let w = Welford::new();
+        assert_eq!(w.count(), 0);
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.population_variance(), 0.0);
+        assert_eq!(w.sample_variance(), 0.0);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn single_observation() {
+        let mut w = Welford::new();
+        w.update(42.0);
+        assert_eq!(w.count(), 1);
+        assert_eq!(w.mean(), 42.0);
+        assert_eq!(w.min(), 42.0);
+        assert_eq!(w.max(), 42.0);
+        assert_eq!(w.population_variance(), 0.0);
+        assert_eq!(w.sample_variance(), 0.0);
+    }
+
+    #[test]
+    fn matches_naive_two_pass() {
+        let xs: Vec<f64> = (0..1000).map(|i| ((i * 37) % 101) as f64 * 0.5 - 13.0).collect();
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.update(x);
+        }
+        let (mean, var) = naive(&xs);
+        assert!((w.mean() - mean).abs() < 1e-9, "{} vs {}", w.mean(), mean);
+        assert!((w.population_variance() - var).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stable_under_large_offset() {
+        // Naive E[x^2]-E[x]^2 loses all precision here; Welford must not.
+        let offset = 1e9;
+        let mut w = Welford::new();
+        for i in 0..100 {
+            w.update(offset + (i % 10) as f64);
+        }
+        let expected_var = {
+            let xs: Vec<f64> = (0..100).map(|i| (i % 10) as f64).collect();
+            naive(&xs).1
+        };
+        assert!((w.population_variance() - expected_var).abs() < 1e-6);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..500).map(|i| (i as f64).sin() * 100.0).collect();
+        let mut whole = Welford::new();
+        for &x in &xs {
+            whole.update(x);
+        }
+        for split in [0usize, 1, 250, 499, 500] {
+            let (a, b) = xs.split_at(split);
+            let mut wa = Welford::new();
+            let mut wb = Welford::new();
+            a.iter().for_each(|&x| wa.update(x));
+            b.iter().for_each(|&x| wb.update(x));
+            wa.merge(&wb);
+            assert_eq!(wa.count(), whole.count());
+            assert!((wa.mean() - whole.mean()).abs() < 1e-9);
+            assert!((wa.m2 - whole.m2).abs() < 1e-6);
+            assert_eq!(wa.min(), whole.min());
+            assert_eq!(wa.max(), whole.max());
+        }
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut w = Welford::new();
+        w.update(1.0);
+        w.update(2.0);
+        let before = w;
+        w.merge(&Welford::new());
+        assert_eq!(w.count(), before.count());
+        assert_eq!(w.mean(), before.mean());
+
+        let mut e = Welford::new();
+        e.merge(&before);
+        assert_eq!(e.count(), before.count());
+        assert_eq!(e.mean(), before.mean());
+    }
+
+    #[test]
+    fn cv_of_constant_stream_is_zero() {
+        let mut w = Welford::new();
+        for _ in 0..10 {
+            w.update(5.0);
+        }
+        assert!(w.cv().abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut w = Welford::new();
+        w.update(3.0);
+        w.reset();
+        assert!(w.is_empty());
+        assert_eq!(w.sum(), 0.0);
+    }
+}

@@ -1,0 +1,275 @@
+//! Bounded sliding-window statistics.
+//!
+//! Tuning epochs measure the objective over the *most recent* window of
+//! behaviour. [`SlidingWindow`] keeps the last `capacity` observations in a
+//! ring buffer and answers mean/min/max/sum/rate queries over exactly that
+//! window. [`RateWindow`] additionally timestamps observations and reports
+//! events-per-second over a time horizon.
+
+/// Ring buffer of the most recent `capacity` f64 observations with O(1)
+/// amortized update and O(n) (n = window length) statistics queries.
+///
+/// # Examples
+///
+/// ```
+/// use lg_metrics::SlidingWindow;
+/// let mut w = SlidingWindow::new(3);
+/// for x in [1.0, 2.0, 3.0, 4.0] {
+///     w.push(x);
+/// }
+/// assert_eq!(w.len(), 3);
+/// assert_eq!(w.mean(), 3.0); // window holds [2, 3, 4]
+/// ```
+#[derive(Clone, Debug)]
+pub struct SlidingWindow {
+    buf: Vec<f64>,
+    capacity: usize,
+    head: usize,
+    len: usize,
+    running_sum: f64,
+}
+
+impl SlidingWindow {
+    /// Creates a window holding at most `capacity` observations.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "window capacity must be positive");
+        Self { buf: vec![0.0; capacity], capacity, head: 0, len: 0, running_sum: 0.0 }
+    }
+
+    /// Pushes an observation, evicting the oldest when full.
+    pub fn push(&mut self, x: f64) {
+        if self.len == self.capacity {
+            self.running_sum -= self.buf[self.head];
+        } else {
+            self.len += 1;
+        }
+        self.buf[self.head] = x;
+        self.running_sum += x;
+        self.head = (self.head + 1) % self.capacity;
+        // Periodically re-sum to bound floating point drift.
+        if self.head == 0 {
+            self.running_sum = self.iter().sum();
+        }
+    }
+
+    /// Number of observations currently held.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no observations are held.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True when the window has reached capacity.
+    pub fn is_full(&self) -> bool {
+        self.len == self.capacity
+    }
+
+    /// Sum over the window.
+    pub fn sum(&self) -> f64 {
+        self.running_sum
+    }
+
+    /// Mean over the window; 0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.len == 0 {
+            0.0
+        } else {
+            self.running_sum / self.len as f64
+        }
+    }
+
+    /// Minimum over the window; `+inf` if empty.
+    pub fn min(&self) -> f64 {
+        self.iter().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Maximum over the window; `-inf` if empty.
+    pub fn max(&self) -> f64 {
+        self.iter().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Population standard deviation over the window; 0 if empty.
+    pub fn stddev(&self) -> f64 {
+        if self.len == 0 {
+            return 0.0;
+        }
+        let m = self.mean();
+        let var = self.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / self.len as f64;
+        var.sqrt()
+    }
+
+    /// Iterates oldest → newest over the held observations.
+    pub fn iter(&self) -> impl Iterator<Item = f64> + '_ {
+        (0..self.len).map(move |i| {
+            let idx = (self.head + self.capacity - self.len + i) % self.capacity;
+            self.buf[idx]
+        })
+    }
+
+    /// Most recent observation, if any.
+    pub fn last(&self) -> Option<f64> {
+        if self.len == 0 {
+            None
+        } else {
+            Some(self.buf[(self.head + self.capacity - 1) % self.capacity])
+        }
+    }
+
+    /// Clears the window.
+    pub fn clear(&mut self) {
+        self.len = 0;
+        self.head = 0;
+        self.running_sum = 0.0;
+    }
+}
+
+/// Sliding window of timestamped event counts for rate (events/sec) queries.
+///
+/// Observations are `(t_ns, count)` pairs; [`RateWindow::rate_per_sec`]
+/// reports the total count within the trailing `horizon_ns`, divided by the
+/// horizon. Timestamps may come from a wall clock or a virtual clock.
+#[derive(Clone, Debug)]
+pub struct RateWindow {
+    horizon_ns: u64,
+    entries: std::collections::VecDeque<(u64, u64)>,
+    total_in_window: u64,
+}
+
+impl RateWindow {
+    /// Creates a rate window with the given trailing time horizon.
+    ///
+    /// # Panics
+    /// Panics if `horizon_ns` is zero.
+    pub fn new(horizon_ns: u64) -> Self {
+        assert!(horizon_ns > 0, "horizon must be positive");
+        Self { horizon_ns, entries: std::collections::VecDeque::new(), total_in_window: 0 }
+    }
+
+    /// Records `count` events at time `t_ns` and evicts expired entries.
+    pub fn record(&mut self, t_ns: u64, count: u64) {
+        self.entries.push_back((t_ns, count));
+        self.total_in_window += count;
+        self.evict(t_ns);
+    }
+
+    fn evict(&mut self, now_ns: u64) {
+        let cutoff = now_ns.saturating_sub(self.horizon_ns);
+        while let Some(&(t, c)) = self.entries.front() {
+            if t < cutoff {
+                self.entries.pop_front();
+                self.total_in_window -= c;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Events per second over the trailing horizon, evaluated at `now_ns`.
+    pub fn rate_per_sec(&mut self, now_ns: u64) -> f64 {
+        self.evict(now_ns);
+        self.total_in_window as f64 * 1e9 / self.horizon_ns as f64
+    }
+
+    /// Raw event count currently inside the horizon (after eviction at the
+    /// last `record`/`rate_per_sec` call).
+    pub fn count_in_window(&self) -> u64 {
+        self.total_in_window
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_then_evicts_fifo() {
+        let mut w = SlidingWindow::new(4);
+        for x in 1..=6 {
+            w.push(x as f64);
+        }
+        let held: Vec<f64> = w.iter().collect();
+        assert_eq!(held, vec![3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(w.sum(), 18.0);
+        assert_eq!(w.min(), 3.0);
+        assert_eq!(w.max(), 6.0);
+        assert_eq!(w.last(), Some(6.0));
+    }
+
+    #[test]
+    fn partial_window_stats() {
+        let mut w = SlidingWindow::new(10);
+        w.push(2.0);
+        w.push(4.0);
+        assert_eq!(w.len(), 2);
+        assert!(!w.is_full());
+        assert_eq!(w.mean(), 3.0);
+        assert!((w.stddev() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_window_stats() {
+        let w = SlidingWindow::new(5);
+        assert!(w.is_empty());
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.last(), None);
+        assert_eq!(w.min(), f64::INFINITY);
+    }
+
+    #[test]
+    fn running_sum_matches_iter_sum_over_many_wraps() {
+        let mut w = SlidingWindow::new(7);
+        for i in 0..10_000 {
+            w.push((i as f64).sin() * 1e6);
+            let expect: f64 = w.iter().sum();
+            assert!((w.sum() - expect).abs() < 1e-3, "drift at i={i}");
+        }
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut w = SlidingWindow::new(3);
+        w.push(1.0);
+        w.clear();
+        assert!(w.is_empty());
+        assert_eq!(w.sum(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = SlidingWindow::new(0);
+    }
+
+    #[test]
+    fn rate_window_basic() {
+        let mut r = RateWindow::new(1_000_000_000); // 1 s horizon
+        for i in 0..10 {
+            r.record(i * 100_000_000, 5); // every 100 ms
+        }
+        // At t = 900ms all ten entries are inside the horizon.
+        let rate = r.rate_per_sec(900_000_000);
+        assert!((rate - 50.0).abs() < 1e-9, "rate {rate}");
+    }
+
+    #[test]
+    fn rate_window_evicts_old() {
+        let mut r = RateWindow::new(1_000);
+        r.record(0, 100);
+        r.record(2_000, 1);
+        // The t=0 entry is older than 2_000 - 1_000 = cutoff 1_000.
+        assert_eq!(r.count_in_window(), 1);
+    }
+
+    #[test]
+    fn rate_window_empty_after_long_idle() {
+        let mut r = RateWindow::new(1_000);
+        r.record(0, 10);
+        assert_eq!(r.rate_per_sec(10_000), 0.0);
+    }
+}

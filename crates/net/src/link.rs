@@ -1,0 +1,257 @@
+//! Simulated serialized link over virtual time.
+//!
+//! Wire messages queue for a single serialized channel (think NIC TX):
+//! message `m` departs at `max(submit_time, link_free_time)`, occupies the
+//! link for `occupancy(bytes)`, and arrives `latency` after departure. The
+//! link tracks per-parcel end-to-end latency (from the parcel's *offer*
+//! time, so coalescing queueing delay is included) and achieved rates —
+//! the quantities Table 2 reports.
+
+use crate::coalesce::WireMessage;
+use crate::cost::TransportCost;
+use lg_metrics::Histogram;
+
+/// A delivered parcel with timing.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Delivery {
+    /// Destination locality.
+    pub dest: u32,
+    /// Parcel sequence number.
+    pub seq: u64,
+    /// Arrival time.
+    pub arrived_ns: u64,
+}
+
+/// Aggregate link statistics.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LinkReport {
+    /// Wire messages sent.
+    pub wire_messages: u64,
+    /// Parcels delivered.
+    pub parcels: u64,
+    /// Total payload+header bytes moved.
+    pub bytes: u64,
+    /// Busy time of the link (occupancy sum), nanoseconds.
+    pub busy_ns: u64,
+    /// Time the last delivery arrives.
+    pub last_arrival_ns: u64,
+    /// Mean parcels per wire message.
+    pub mean_coalesce: f64,
+    /// Mean end-to-end parcel latency (from offer to arrival), ns.
+    pub mean_latency_ns: f64,
+    /// 99th-percentile parcel latency, ns.
+    pub p99_latency_ns: u64,
+}
+
+impl LinkReport {
+    /// Achieved parcel throughput over the makespan (parcels/second).
+    pub fn parcels_per_sec(&self) -> f64 {
+        if self.last_arrival_ns == 0 {
+            0.0
+        } else {
+            self.parcels as f64 * 1e9 / self.last_arrival_ns as f64
+        }
+    }
+}
+
+/// The simulated link (see module docs).
+pub struct SimLink {
+    cost: TransportCost,
+    free_at_ns: u64,
+    wire_messages: u64,
+    parcels: u64,
+    bytes: u64,
+    busy_ns: u64,
+    last_arrival_ns: u64,
+    latency_hist: Histogram,
+    latency_sum: f64,
+}
+
+impl SimLink {
+    /// Creates an idle link with the given cost model.
+    pub fn new(cost: TransportCost) -> Self {
+        Self {
+            cost,
+            free_at_ns: 0,
+            wire_messages: 0,
+            parcels: 0,
+            bytes: 0,
+            busy_ns: 0,
+            last_arrival_ns: 0,
+            latency_hist: Histogram::new(),
+            latency_sum: 0.0,
+        }
+    }
+
+    /// The cost model.
+    pub fn cost(&self) -> &TransportCost {
+        &self.cost
+    }
+
+    /// Time at which the link next becomes free.
+    pub fn free_at_ns(&self) -> u64 {
+        self.free_at_ns
+    }
+
+    /// Transmits a wire message submitted at `msg.t_ns`; `offer_times`
+    /// maps each contained parcel's `seq` to the time it was originally
+    /// offered to the coalescer (for end-to-end latency accounting).
+    /// Returns the per-parcel deliveries (all arrive together).
+    pub fn transmit(
+        &mut self,
+        msg: &WireMessage,
+        offer_time_of: impl Fn(u64) -> u64,
+    ) -> Vec<Delivery> {
+        let bytes = msg.wire_bytes();
+        let depart = msg.t_ns.max(self.free_at_ns);
+        let occupancy = self.cost.occupancy_ns(bytes);
+        self.free_at_ns = depart + occupancy;
+        self.busy_ns += occupancy;
+        let arrive = self.free_at_ns + self.cost.latency_ns;
+        self.wire_messages += 1;
+        self.bytes += bytes as u64;
+        self.last_arrival_ns = self.last_arrival_ns.max(arrive);
+        msg.parcels
+            .iter()
+            .map(|p| {
+                self.parcels += 1;
+                let offered = offer_time_of(p.seq);
+                let lat = arrive.saturating_sub(offered);
+                self.latency_hist.record(lat);
+                self.latency_sum += lat as f64;
+                Delivery { dest: p.dest, seq: p.seq, arrived_ns: arrive }
+            })
+            .collect()
+    }
+
+    /// Aggregate statistics so far.
+    pub fn report(&self) -> LinkReport {
+        LinkReport {
+            wire_messages: self.wire_messages,
+            parcels: self.parcels,
+            bytes: self.bytes,
+            busy_ns: self.busy_ns,
+            last_arrival_ns: self.last_arrival_ns,
+            mean_coalesce: if self.wire_messages == 0 {
+                0.0
+            } else {
+                self.parcels as f64 / self.wire_messages as f64
+            },
+            mean_latency_ns: if self.parcels == 0 {
+                0.0
+            } else {
+                self.latency_sum / self.parcels as f64
+            },
+            p99_latency_ns: self.latency_hist.p99(),
+        }
+    }
+}
+
+impl std::fmt::Debug for SimLink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimLink")
+            .field("wire_messages", &self.wire_messages)
+            .field("parcels", &self.parcels)
+            .field("free_at_ns", &self.free_at_ns)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coalesce::FlushReason;
+    use crate::parcel::Parcel;
+
+    fn msg(t_ns: u64, nparcels: usize, bytes_each: usize) -> WireMessage {
+        WireMessage {
+            dest: 1,
+            parcels: (0..nparcels as u64)
+                .map(|seq| Parcel::new(0, 1, 0, seq, vec![0; bytes_each]))
+                .collect(),
+            reason: FlushReason::Window,
+            t_ns,
+        }
+    }
+
+    #[test]
+    fn single_message_timing() {
+        let mut link = SimLink::new(TransportCost::new(1_000, 1.0, 500));
+        let m = msg(0, 1, 68); // wire = 32 + 68 = 100 bytes
+        let deliveries = link.transmit(&m, |_| 0);
+        assert_eq!(deliveries.len(), 1);
+        // occupancy = 1000 + 100 = 1100; arrive at 1100 + 500 = 1600.
+        assert_eq!(deliveries[0].arrived_ns, 1_600);
+        assert_eq!(link.free_at_ns(), 1_100);
+    }
+
+    #[test]
+    fn serialization_queues_messages() {
+        let mut link = SimLink::new(TransportCost::new(1_000, 0.0, 0));
+        let d1 = link.transmit(&msg(0, 1, 0), |_| 0);
+        let d2 = link.transmit(&msg(0, 1, 0), |_| 0);
+        assert_eq!(d1[0].arrived_ns, 1_000); // β = 0: occupancy is α only
+        assert_eq!(d2[0].arrived_ns, 2_000); // queued behind the first
+    }
+
+    #[test]
+    fn idle_gap_does_not_queue() {
+        let mut link = SimLink::new(TransportCost::new(100, 0.0, 0));
+        link.transmit(&msg(0, 1, 0), |_| 0);
+        let d = link.transmit(&msg(10_000, 1, 0), |_| 0);
+        assert_eq!(d[0].arrived_ns, 10_100);
+    }
+
+    #[test]
+    fn coalesced_message_beats_individual_sends() {
+        let cost = TransportCost::cluster();
+        let mut single = SimLink::new(cost);
+        for i in 0..64u64 {
+            single.transmit(&msg(0, 1, 64), |_| i); // 64 separate messages
+        }
+        let mut coal = SimLink::new(cost);
+        coal.transmit(&msg(0, 64, 64), |_| 0); // one 64-parcel message
+        let rs = single.report();
+        let rc = coal.report();
+        assert_eq!(rs.parcels, rc.parcels);
+        assert!(
+            rc.last_arrival_ns * 5 < rs.last_arrival_ns,
+            "coalescing should be ≥5× faster here: {} vs {}",
+            rc.last_arrival_ns,
+            rs.last_arrival_ns
+        );
+    }
+
+    #[test]
+    fn latency_includes_queueing_from_offer_time() {
+        let mut link = SimLink::new(TransportCost::new(100, 0.0, 0));
+        // Parcel offered at t=0 but flushed at t=900.
+        let m = msg(900, 1, 0);
+        link.transmit(&m, |_| 0);
+        let r = link.report();
+        // Arrival = 900 (flush) + 100 (α) = 1000; latency from offer = 1000.
+        assert!((r.mean_latency_ns - 1_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn report_aggregates() {
+        let mut link = SimLink::new(TransportCost::new(100, 1.0, 10));
+        link.transmit(&msg(0, 4, 16), |_| 0);
+        link.transmit(&msg(0, 2, 16), |_| 0);
+        let r = link.report();
+        assert_eq!(r.wire_messages, 2);
+        assert_eq!(r.parcels, 6);
+        assert_eq!(r.mean_coalesce, 3.0);
+        assert_eq!(r.bytes as usize, 4 * 48 + 2 * 48);
+        assert!(r.parcels_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn empty_link_report() {
+        let link = SimLink::new(TransportCost::cluster());
+        let r = link.report();
+        assert_eq!(r.wire_messages, 0);
+        assert_eq!(r.mean_coalesce, 0.0);
+        assert_eq!(r.parcels_per_sec(), 0.0);
+    }
+}

@@ -1,0 +1,65 @@
+//! Parcels: active messages between localities.
+
+/// Identifies a locality (node) in the parcel layer.
+pub type LocalityId = u32;
+
+/// An active message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Parcel {
+    /// Source locality.
+    pub src: LocalityId,
+    /// Destination locality.
+    pub dest: LocalityId,
+    /// Application tag (dispatch key at the destination).
+    pub tag: u32,
+    /// Monotone per-source sequence number (assigned by the sender; used
+    /// to verify ordering invariants).
+    pub seq: u64,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl Parcel {
+    /// Creates a parcel.
+    pub fn new(src: LocalityId, dest: LocalityId, tag: u32, seq: u64, payload: Vec<u8>) -> Self {
+        Self { src, dest, tag, seq, payload }
+    }
+
+    /// Payload size in bytes.
+    pub fn len(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// True if the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.payload.is_empty()
+    }
+
+    /// Total wire footprint including the fixed header.
+    pub fn wire_bytes(&self) -> usize {
+        Self::HEADER_BYTES + self.payload.len()
+    }
+
+    /// Fixed per-parcel header size on the wire.
+    pub const HEADER_BYTES: usize = 32;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_footprint_includes_header() {
+        let p = Parcel::new(0, 1, 7, 0, vec![0u8; 100]);
+        assert_eq!(p.len(), 100);
+        assert_eq!(p.wire_bytes(), 132);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn empty_payload() {
+        let p = Parcel::new(0, 1, 7, 3, Vec::new());
+        assert!(p.is_empty());
+        assert_eq!(p.wire_bytes(), Parcel::HEADER_BYTES);
+    }
+}

@@ -1,0 +1,39 @@
+//! # lg-runtime — instrumentable work-stealing task runtime
+//!
+//! A from-scratch task-parallel runtime in the HPX/TBB mold, built to be
+//! *observed and adapted*: every scheduling decision emits `lg-core`
+//! events, and the runtime exposes its control parameters as knobs.
+//!
+//! * [`pool::ThreadPool`] — N workers with Chase–Lev work-stealing deques
+//!   (`crossbeam-deque`) and a global injector; idle workers park on a
+//!   condvar after a bounded spin/steal search.
+//! * [`throttle`] — the **thread cap**: workers whose index is ≥ the cap
+//!   park at task boundaries and resume when the cap rises. This is the
+//!   concurrency-throttling actuator the energy experiments drive.
+//! * [`task`] — named tasks and [`task::JoinHandle`]s.
+//! * [`scope`] — structured fork-join: `pool.scope(|s| s.spawn(...))`
+//!   guarantees all spawned tasks finish before `scope` returns.
+//! * [`par_iter`] — `parallel_for` over index ranges with a tunable chunk
+//!   size (the granularity knob).
+//!
+//! ## Events emitted
+//!
+//! | Event | When |
+//! |---|---|
+//! | `WorkerStart`/`WorkerStop` | worker thread lifecycle |
+//! | `TaskBegin`/`TaskEnd` | around every task body |
+//! | counter `rt.spawned` / `rt.executed` / `rt.steals` / `rt.parks` | scheduling |
+
+#![warn(missing_docs)]
+
+pub mod par_iter;
+pub mod pool;
+pub mod scope;
+pub mod task;
+pub mod throttle;
+
+pub use par_iter::ParallelForStats;
+pub use pool::{PoolConfig, ThreadPool};
+pub use scope::Scope;
+pub use task::JoinHandle;
+pub use throttle::ThreadCap;

@@ -1,0 +1,580 @@
+//! The work-stealing thread pool.
+//!
+//! Classic three-level scheduling (the rayon/HPX shape):
+//!
+//! 1. **Local deque** — each worker owns a Chase–Lev deque; tasks spawned
+//!    *from* a worker go there (LIFO pop for locality).
+//! 2. **Global injector** — tasks spawned from outside land in an MPMC
+//!    injector; workers batch-steal from it.
+//! 3. **Stealing** — an idle worker scans the other workers' deques
+//!    (FIFO steal) starting from a per-worker rotation point.
+//!
+//! Idle workers spin through a bounded number of search rounds, then park
+//! on a condvar; every `spawn` notifies one parked worker. Throttled
+//! workers (index ≥ cap) park in [`crate::throttle::ThreadCap`] instead,
+//! and re-enter the search loop when the cap rises.
+//!
+//! Task bodies run under `catch_unwind`: a panicking task increments a
+//! counter and (for [`ThreadPool::spawn`]) surfaces through the
+//! [`JoinHandle`]; it never takes a worker down.
+
+use crate::task::{join_pair, JoinHandle, Task};
+use crate::throttle::ThreadCap;
+use crossbeam::deque::{Injector, Stealer, Worker as Deque};
+use lg_core::{Event, LookingGlass};
+use lg_metrics::{CounterHandle, CounterRegistry};
+use parking_lot::{Condvar, Mutex};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Pool configuration.
+#[derive(Clone, Debug)]
+pub struct PoolConfig {
+    /// Number of worker threads.
+    pub workers: usize,
+    /// Spin rounds through the full search before parking.
+    pub spin_rounds: usize,
+    /// Register the pool's `thread_cap` knob on the instance's registry.
+    pub register_knobs: bool,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        Self {
+            workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            spin_rounds: 16,
+            register_knobs: true,
+        }
+    }
+}
+
+impl PoolConfig {
+    /// Config with an explicit worker count.
+    pub fn with_workers(workers: usize) -> Self {
+        Self { workers, ..Default::default() }
+    }
+}
+
+thread_local! {
+    /// (pool id, worker index, pointer to the worker's local deque).
+    ///
+    /// The pointer is only dereferenced by the owning thread while the
+    /// worker loop is alive; it is cleared before the loop exits.
+    static CURRENT_WORKER: Cell<Option<(usize, usize, *const Deque<Task>)>> =
+        const { Cell::new(None) };
+}
+
+static POOL_IDS: AtomicUsize = AtomicUsize::new(1);
+
+pub(crate) struct PoolShared {
+    pub(crate) id: usize,
+    injector: Injector<Task>,
+    stealers: Vec<Stealer<Task>>,
+    lg: Arc<LookingGlass>,
+    cap: ThreadCap,
+    shutdown: AtomicBool,
+    /// Tasks submitted and not yet finished (for `wait_idle`).
+    pending: AtomicUsize,
+    idle_lock: Mutex<()>,
+    idle_cv: Condvar,
+    /// Waiters blocked in `wait_idle`.
+    idle_waiters_lock: Mutex<()>,
+    idle_waiters_cv: Condvar,
+    panics: AtomicUsize,
+    c_spawned: CounterHandle,
+    c_executed: CounterHandle,
+    c_steals: CounterHandle,
+    c_parks: CounterHandle,
+}
+
+/// The work-stealing thread pool. Dropping it drains nothing: it signals
+/// shutdown, wakes everyone, and joins the workers (pending tasks that
+/// were not yet started are dropped).
+pub struct ThreadPool {
+    shared: Arc<PoolShared>,
+    counters: Arc<CounterRegistry>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Creates a pool attached to a `LookingGlass` instance.
+    ///
+    /// # Panics
+    /// Panics if `config.workers` is zero.
+    pub fn new(lg: Arc<LookingGlass>, config: PoolConfig) -> Self {
+        assert!(config.workers > 0, "pool needs at least one worker");
+        let counters = Arc::new(CounterRegistry::new());
+        let deques: Vec<Deque<Task>> = (0..config.workers).map(|_| Deque::new_fifo()).collect();
+        let stealers = deques.iter().map(|d| d.stealer()).collect();
+        let cap = ThreadCap::new(config.workers);
+        if config.register_knobs {
+            lg.knobs().register(Arc::new(cap.clone()));
+        }
+        let shared = Arc::new(PoolShared {
+            id: POOL_IDS.fetch_add(1, Ordering::Relaxed),
+            injector: Injector::new(),
+            stealers,
+            lg,
+            cap,
+            shutdown: AtomicBool::new(false),
+            pending: AtomicUsize::new(0),
+            idle_lock: Mutex::new(()),
+            idle_cv: Condvar::new(),
+            idle_waiters_lock: Mutex::new(()),
+            idle_waiters_cv: Condvar::new(),
+            panics: AtomicUsize::new(0),
+            c_spawned: counters.counter("rt.spawned"),
+            c_executed: counters.counter("rt.executed"),
+            c_steals: counters.counter("rt.steals"),
+            c_parks: counters.counter("rt.parks"),
+        });
+        let handles = deques
+            .into_iter()
+            .enumerate()
+            .map(|(index, deque)| {
+                let shared = shared.clone();
+                let spin_rounds = config.spin_rounds;
+                std::thread::Builder::new()
+                    .name(format!("lg-worker-{index}"))
+                    .spawn(move || worker_loop(shared, deque, index, spin_rounds))
+                    .expect("failed to spawn worker")
+            })
+            .collect();
+        Self { shared, counters, handles }
+    }
+
+    /// The observation instance this pool reports to.
+    pub fn lg(&self) -> &Arc<LookingGlass> {
+        &self.shared.lg
+    }
+
+    /// The pool's thread-cap (also registered as knob `"thread_cap"`).
+    pub fn thread_cap(&self) -> ThreadCap {
+        self.shared.cap.clone()
+    }
+
+    /// Scheduling counters (`rt.spawned`, `rt.executed`, `rt.steals`,
+    /// `rt.parks`).
+    pub fn counters(&self) -> &Arc<CounterRegistry> {
+        &self.counters
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.shared.stealers.len()
+    }
+
+    /// Panics contained so far.
+    pub fn panics(&self) -> usize {
+        self.shared.panics.load(Ordering::Relaxed)
+    }
+
+    /// Tasks submitted and not yet finished.
+    pub fn pending(&self) -> usize {
+        self.shared.pending.load(Ordering::Acquire)
+    }
+
+    /// Spawns a fire-and-forget named task.
+    pub fn spawn_named(&self, name: &str, body: impl FnOnce() + Send + 'static) {
+        let id = self.shared.lg.intern(name);
+        self.shared.push(Task::new(id, Box::new(body)));
+    }
+
+    /// Spawns a named task returning a [`JoinHandle`] for its result.
+    pub fn spawn<T: Send + 'static>(
+        &self,
+        name: &str,
+        body: impl FnOnce() -> T + Send + 'static,
+    ) -> JoinHandle<T> {
+        let id = self.shared.lg.intern(name);
+        let (tx, rx) = join_pair();
+        self.shared.push(Task::new(
+            id,
+            Box::new(move || {
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(body)) {
+                    Ok(v) => tx.send(v),
+                    Err(_) => {
+                        tx.send_panicked();
+                        // Re-panic so the worker's own catch_unwind counts it.
+                        std::panic::panic_any(crate::pool::ContainedPanic);
+                    }
+                }
+            }),
+        ));
+        rx
+    }
+
+    /// Blocks until no tasks are pending. Concurrent spawns can of course
+    /// re-arm the pool; this is a quiescence point, not a barrier.
+    pub fn wait_idle(&self) {
+        let mut g = self.shared.idle_waiters_lock.lock();
+        while self.shared.pending.load(Ordering::Acquire) != 0 {
+            self.shared
+                .idle_waiters_cv
+                .wait_for(&mut g, std::time::Duration::from_millis(50));
+        }
+    }
+
+    pub(crate) fn shared(&self) -> &Arc<PoolShared> {
+        &self.shared
+    }
+}
+
+/// Marker payload for panics already surfaced through a JoinHandle.
+pub(crate) struct ContainedPanic;
+
+impl PoolShared {
+    pub(crate) fn push(&self, task: Task) {
+        self.pending.fetch_add(1, Ordering::AcqRel);
+        self.c_spawned.inc();
+        let mut task = Some(task);
+        CURRENT_WORKER.with(|cw| {
+            if let Some((pool_id, _idx, deque)) = cw.get() {
+                if pool_id == self.id {
+                    // SAFETY: the pointer refers to the deque owned by
+                    // *this* thread's worker loop, which is alive for the
+                    // duration of any task body (including this call).
+                    unsafe { (*deque).push(task.take().expect("task present")) };
+                }
+            }
+        });
+        if let Some(task) = task {
+            self.injector.push(task);
+        }
+        let _g = self.idle_lock.lock();
+        self.idle_cv.notify_one();
+    }
+
+    fn find_task(&self, local: &Deque<Task>, index: usize) -> Option<Task> {
+        if let Some(t) = local.pop() {
+            return Some(t);
+        }
+        loop {
+            match self.injector.steal_batch_and_pop(local) {
+                crossbeam::deque::Steal::Success(t) => return Some(t),
+                crossbeam::deque::Steal::Retry => continue,
+                crossbeam::deque::Steal::Empty => break,
+            }
+        }
+        let n = self.stealers.len();
+        for off in 1..n {
+            let victim = (index + off) % n;
+            loop {
+                match self.stealers[victim].steal() {
+                    crossbeam::deque::Steal::Success(t) => {
+                        self.c_steals.inc();
+                        return Some(t);
+                    }
+                    crossbeam::deque::Steal::Retry => continue,
+                    crossbeam::deque::Steal::Empty => break,
+                }
+            }
+        }
+        None
+    }
+
+    fn finish_task(&self) {
+        if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let _g = self.idle_waiters_lock.lock();
+            self.idle_waiters_cv.notify_all();
+        }
+    }
+
+    /// If the calling thread is one of this pool's workers, pops and runs
+    /// one pending task (work-stealing join support: a worker blocked in a
+    /// scope barrier helps instead of sleeping, which is what makes nested
+    /// scopes and fork-join recursion deadlock-free). Returns true if a
+    /// task was run.
+    pub(crate) fn try_help(self: &Arc<Self>) -> bool {
+        let found = CURRENT_WORKER.with(|cw| match cw.get() {
+            Some((pool_id, idx, deque)) if pool_id == self.id => {
+                // SAFETY: we are the thread that owns `deque`; the worker
+                // loop (and therefore the deque) is alive because this call
+                // happens inside a task body it is executing.
+                let local = unsafe { &*deque };
+                self.find_task(local, idx).map(|t| (t, idx))
+            }
+            _ => None,
+        });
+        match found {
+            Some((task, idx)) => {
+                run_task(self, task, idx);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<PoolShared>, local: Deque<Task>, index: usize, spin_rounds: usize) {
+    CURRENT_WORKER.with(|cw| cw.set(Some((shared.id, index, &local as *const Deque<Task>))));
+    shared.lg.emit(&Event::WorkerStart { worker: index, t_ns: shared.lg.now_ns() });
+    let mut online = true;
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        // Throttling: park if the cap excludes this worker.
+        if !shared.cap.allows(index) {
+            if online {
+                shared.lg.emit(&Event::WorkerStop { worker: index, t_ns: shared.lg.now_ns() });
+                online = false;
+            }
+            let allowed = shared
+                .cap
+                .wait_until_allowed(index, || shared.shutdown.load(Ordering::Acquire));
+            if !allowed {
+                break;
+            }
+            continue;
+        }
+        if !online {
+            shared.lg.emit(&Event::WorkerStart { worker: index, t_ns: shared.lg.now_ns() });
+            online = true;
+        }
+        let mut found = false;
+        for _ in 0..spin_rounds.max(1) {
+            if let Some(task) = shared.find_task(&local, index) {
+                run_task(&shared, task, index);
+                found = true;
+                break;
+            }
+            std::hint::spin_loop();
+        }
+        if found {
+            continue;
+        }
+        // Park until a spawn notifies us (bounded wait so shutdown and cap
+        // changes are always observed).
+        shared.c_parks.inc();
+        let mut g = shared.idle_lock.lock();
+        if shared.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        shared
+            .idle_cv
+            .wait_for(&mut g, std::time::Duration::from_millis(10));
+    }
+    if online {
+        shared.lg.emit(&Event::WorkerStop { worker: index, t_ns: shared.lg.now_ns() });
+    }
+    CURRENT_WORKER.with(|cw| cw.set(None));
+}
+
+fn run_task(shared: &Arc<PoolShared>, task: Task, index: usize) {
+    let Task { name, body, completion } = task;
+    let t0 = shared.lg.now_ns();
+    shared.lg.emit(&Event::TaskBegin { task: name, worker: index, t_ns: t0 });
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(body));
+    let t1 = shared.lg.now_ns();
+    shared.lg.emit(&Event::TaskEnd {
+        task: name,
+        worker: index,
+        t_ns: t1,
+        elapsed_ns: t1.saturating_sub(t0),
+    });
+    shared.c_executed.inc();
+    if result.is_err() {
+        shared.panics.fetch_add(1, Ordering::Relaxed);
+    }
+    shared.finish_task();
+    // Completion hooks run last, after the task is fully observable.
+    if let Some(c) = completion {
+        c();
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.cap.wake_all();
+        {
+            let _g = self.shared.idle_lock.lock();
+            self.shared.idle_cv.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("workers", &self.workers())
+            .field("cap", &self.shared.cap.current())
+            .field("pending", &self.pending())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    fn pool(workers: usize) -> ThreadPool {
+        let lg = LookingGlass::builder().build();
+        ThreadPool::new(lg, PoolConfig { workers, spin_rounds: 4, register_knobs: true })
+    }
+
+    #[test]
+    fn runs_spawned_tasks() {
+        let p = pool(2);
+        let count = Arc::new(AtomicU64::new(0));
+        for _ in 0..100 {
+            let c = count.clone();
+            p.spawn_named("inc", move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        p.wait_idle();
+        assert_eq!(count.load(Ordering::Relaxed), 100);
+        assert_eq!(p.counters().counter("rt.executed").get(), 100);
+    }
+
+    #[test]
+    fn join_handle_returns_value() {
+        let p = pool(2);
+        let h = p.spawn("answer", || 6 * 7);
+        assert_eq!(h.join().unwrap(), 42);
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let p = pool(4);
+        let n = 2000;
+        let hits: Arc<Vec<AtomicU64>> = Arc::new((0..n).map(|_| AtomicU64::new(0)).collect());
+        for i in 0..n {
+            let hits = hits.clone();
+            p.spawn_named("once", move || {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        p.wait_idle();
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "task {i} ran a wrong number of times");
+        }
+    }
+
+    #[test]
+    fn panicking_task_is_contained() {
+        let p = pool(2);
+        let h = p.spawn("boom", || panic!("intentional"));
+        assert!(h.join().is_err());
+        // Pool still works afterwards.
+        let h2 = p.spawn("after", || 1);
+        assert_eq!(h2.join().unwrap(), 1);
+        // join() wakes before the worker finishes its own bookkeeping;
+        // quiesce before reading the panic counter.
+        p.wait_idle();
+        assert_eq!(p.panics(), 1);
+    }
+
+    #[test]
+    fn tasks_spawned_from_tasks_run() {
+        let p = Arc::new(pool(2));
+        let count = Arc::new(AtomicU64::new(0));
+        let shared = p.shared().clone();
+        let c = count.clone();
+        let lg = p.lg().clone();
+        p.spawn_named("parent", move || {
+            for _ in 0..10 {
+                let c = c.clone();
+                let id = lg.intern("child");
+                shared.push(crate::task::Task::new(
+                    id,
+                    Box::new(move || {
+                        c.fetch_add(1, Ordering::Relaxed);
+                    }),
+                ));
+            }
+        });
+        p.wait_idle();
+        assert_eq!(count.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn profiles_observe_tasks() {
+        let p = pool(2);
+        for _ in 0..5 {
+            p.spawn_named("profiled", || {
+                std::hint::black_box((0..1000).sum::<u64>());
+            });
+        }
+        p.wait_idle();
+        let prof = p.lg().profiles().get("profiled").unwrap();
+        assert_eq!(prof.count, 5);
+        assert_eq!(prof.active, 0);
+        assert!(prof.mean_ns > 0.0);
+    }
+
+    #[test]
+    fn thread_cap_knob_registered() {
+        let p = pool(4);
+        assert_eq!(p.lg().knobs().value("thread_cap"), Some(4));
+        p.lg().knobs().set("thread_cap", 2);
+        assert_eq!(p.thread_cap().current(), 2);
+    }
+
+    #[test]
+    fn throttled_pool_still_completes_work() {
+        let p = pool(4);
+        p.thread_cap().set_cap(1);
+        let count = Arc::new(AtomicU64::new(0));
+        for _ in 0..200 {
+            let c = count.clone();
+            p.spawn_named("t", move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        p.wait_idle();
+        assert_eq!(count.load(Ordering::Relaxed), 200);
+    }
+
+    #[test]
+    fn cap_changes_mid_stream_lose_nothing() {
+        let p = pool(4);
+        let count = Arc::new(AtomicU64::new(0));
+        for burst in 0..10 {
+            p.thread_cap().set_cap(1 + (burst % 4));
+            for _ in 0..50 {
+                let c = count.clone();
+                p.spawn_named("t", move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        }
+        p.wait_idle();
+        assert_eq!(count.load(Ordering::Relaxed), 500);
+    }
+
+    #[test]
+    fn wait_idle_on_empty_pool_returns() {
+        let p = pool(2);
+        p.wait_idle();
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        let p = pool(3);
+        p.spawn_named("x", || {});
+        p.wait_idle();
+        drop(p); // must not hang
+    }
+
+    #[test]
+    fn worker_events_reach_concurrency_listener() {
+        let lg = LookingGlass::builder().build();
+        let p = ThreadPool::new(lg.clone(), PoolConfig { workers: 2, spin_rounds: 1, register_knobs: false });
+        // Workers come online lazily but WorkerStart fires at thread start.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+        while lg.concurrency().online_workers() < 2 && std::time::Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        assert_eq!(lg.concurrency().online_workers(), 2);
+        drop(p);
+        assert_eq!(lg.concurrency().online_workers(), 0);
+    }
+}

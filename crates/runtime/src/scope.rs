@@ -1,0 +1,231 @@
+//! Structured fork-join scopes.
+//!
+//! `pool.scope(|s| { s.spawn_named("part", || ...); ... })` guarantees that
+//! every task spawned on the scope finishes before `scope` returns, which
+//! is what lets the closures borrow from the enclosing stack frame.
+//!
+//! ## Safety argument
+//!
+//! Scoped closures are `'scope`-bounded, but the pool stores `'static`
+//! tasks; the lifetime is erased with a transmute. Soundness rests on the
+//! completion barrier: `scope` does not return until the remaining-task
+//! counter reaches zero *and* every body has finished running, so no
+//! borrow outlives its referent. Panics inside scoped tasks are counted
+//! and re-thrown from `scope` after the barrier (first panic wins),
+//! matching `std::thread::scope` semantics.
+
+use crate::pool::ThreadPool;
+use crate::task::Task;
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+struct ScopeState {
+    remaining: AtomicUsize,
+    lock: Mutex<()>,
+    cv: Condvar,
+    panicked: AtomicUsize,
+}
+
+/// Spawn surface handed to the `scope` closure.
+pub struct Scope<'scope, 'pool> {
+    pool: &'pool ThreadPool,
+    state: Arc<ScopeState>,
+    _marker: std::marker::PhantomData<&'scope mut &'scope ()>,
+}
+
+impl<'scope> Scope<'scope, '_> {
+    /// Spawns a named task that may borrow from the enclosing scope.
+    pub fn spawn_named<F>(&self, name: &str, body: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        self.state.remaining.fetch_add(1, Ordering::AcqRel);
+        let panic_state = self.state.clone();
+        let wrapped: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(body));
+            if result.is_err() {
+                panic_state.panicked.fetch_add(1, Ordering::AcqRel);
+            }
+        });
+        // SAFETY: `scope()` blocks until `remaining == 0`; the counter is
+        // decremented by the completion hook, which the worker runs only
+        // after the body (and its borrows) has completed; see module docs.
+        let wrapped: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(wrapped) };
+        let done_state = self.state.clone();
+        let completion: Box<dyn FnOnce() + Send + 'static> = Box::new(move || {
+            if done_state.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                let _g = done_state.lock.lock();
+                done_state.cv.notify_all();
+            }
+        });
+        let id = self.pool.lg().intern(name);
+        self.pool.shared().push(Task::with_completion(id, wrapped, completion));
+    }
+
+    /// Spawns with the default name `"scoped"`.
+    pub fn spawn<F>(&self, body: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        self.spawn_named("scoped", body)
+    }
+}
+
+impl ThreadPool {
+    /// Runs `f` with a [`Scope`]; returns once every scoped task finished.
+    ///
+    /// # Panics
+    /// Re-throws if any scoped task panicked (after all tasks completed).
+    pub fn scope<'scope, R>(&self, f: impl FnOnce(&Scope<'scope, '_>) -> R) -> R {
+        let state = Arc::new(ScopeState {
+            remaining: AtomicUsize::new(0),
+            lock: Mutex::new(()),
+            cv: Condvar::new(),
+            panicked: AtomicUsize::new(0),
+        });
+        let scope = Scope { pool: self, state: state.clone(), _marker: std::marker::PhantomData };
+        let result = f(&scope);
+        // Barrier: wait for all scoped tasks. If the creating thread is
+        // itself a pool worker (nested scope, fork-join recursion), it
+        // *helps* — running pending tasks instead of sleeping — so workers
+        // blocked here can never deadlock the pool. External threads park
+        // on the scope condvar.
+        while state.remaining.load(Ordering::Acquire) != 0 {
+            if self.shared().try_help() {
+                continue;
+            }
+            let mut g = state.lock.lock();
+            if state.remaining.load(Ordering::Acquire) == 0 {
+                break;
+            }
+            state.cv.wait_for(&mut g, std::time::Duration::from_millis(1));
+        }
+        let panics = state.panicked.load(Ordering::Acquire);
+        if panics > 0 {
+            panic!("{panics} scoped task(s) panicked");
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lg_core::LookingGlass;
+    use std::sync::atomic::AtomicU64;
+
+    fn pool(workers: usize) -> ThreadPool {
+        let lg = LookingGlass::builder().build();
+        ThreadPool::new(lg, crate::pool::PoolConfig { workers, spin_rounds: 4, register_knobs: false })
+    }
+
+    #[test]
+    fn scope_waits_for_all_tasks() {
+        let p = pool(3);
+        let count = AtomicU64::new(0);
+        p.scope(|s| {
+            for _ in 0..50 {
+                s.spawn(|| {
+                    count.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    fn scoped_tasks_borrow_stack_data() {
+        let p = pool(2);
+        let data: Vec<u64> = (0..1000).collect();
+        let sum = AtomicU64::new(0);
+        p.scope(|s| {
+            for chunk in data.chunks(100) {
+                let sum = &sum;
+                s.spawn_named("chunk", move || {
+                    sum.fetch_add(chunk.iter().sum::<u64>(), Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn scope_returns_closure_value() {
+        let p = pool(1);
+        let v = p.scope(|_s| 42);
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn empty_scope_returns_immediately() {
+        let p = pool(1);
+        p.scope(|_| {});
+    }
+
+    #[test]
+    fn nested_scopes() {
+        let p = pool(2);
+        let count = AtomicU64::new(0);
+        p.scope(|outer| {
+            for _ in 0..4 {
+                let count = &count;
+                let p = &p;
+                outer.spawn(move || {
+                    p.scope(|inner| {
+                        for _ in 0..4 {
+                            inner.spawn(move || {
+                                count.fetch_add(1, Ordering::Relaxed);
+                            });
+                        }
+                    });
+                });
+            }
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "scoped task(s) panicked")]
+    fn scope_rethrows_panics_after_barrier() {
+        let p = pool(2);
+        let completed = Arc::new(AtomicU64::new(0));
+        let c = completed.clone();
+        p.scope(move |s| {
+            s.spawn(|| panic!("inner"));
+            for _ in 0..10 {
+                let c = c.clone();
+                s.spawn(move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn sequential_scopes_reuse_pool() {
+        let p = pool(2);
+        for round in 0..5u64 {
+            let count = AtomicU64::new(0);
+            p.scope(|s| {
+                for _ in 0..10 {
+                    s.spawn(|| {
+                        count.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+            assert_eq!(count.load(Ordering::Relaxed), 10, "round {round}");
+        }
+    }
+
+    #[test]
+    fn scoped_tasks_visible_in_profiles() {
+        let p = pool(2);
+        p.scope(|s| {
+            for _ in 0..7 {
+                s.spawn_named("scoped_work", || {});
+            }
+        });
+        assert_eq!(p.lg().profiles().get("scoped_work").unwrap().count, 7);
+    }
+}

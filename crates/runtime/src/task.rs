@@ -1,0 +1,180 @@
+//! Tasks and join handles.
+//!
+//! A task is a named boxed closure. Naming is what connects scheduling to
+//! observation: the profiler aggregates by task name, and granularity
+//! policies reason about per-name mean durations.
+
+use lg_core::TaskId;
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+
+/// A unit of work owned by the pool.
+pub(crate) struct Task {
+    pub(crate) name: TaskId,
+    pub(crate) body: Box<dyn FnOnce() + Send + 'static>,
+    /// Invoked by the worker *after* the task's `TaskEnd` event has been
+    /// emitted (and regardless of panics). Scopes use this as their
+    /// completion barrier, which makes `scope()` an observation barrier
+    /// too: when it returns, every scoped task's events are visible.
+    pub(crate) completion: Option<Box<dyn FnOnce() + Send + 'static>>,
+}
+
+impl Task {
+    pub(crate) fn new(name: TaskId, body: Box<dyn FnOnce() + Send + 'static>) -> Self {
+        Self { name, body, completion: None }
+    }
+
+    pub(crate) fn with_completion(
+        name: TaskId,
+        body: Box<dyn FnOnce() + Send + 'static>,
+        completion: Box<dyn FnOnce() + Send + 'static>,
+    ) -> Self {
+        Self { name, body, completion: Some(completion) }
+    }
+}
+
+enum SlotState<T> {
+    Empty,
+    Value(T),
+    Panicked,
+    Taken,
+}
+
+struct Slot<T> {
+    state: Mutex<SlotState<T>>,
+    cv: Condvar,
+}
+
+/// Handle to a spawned task's result.
+///
+/// [`JoinHandle::join`] blocks until the task finishes; if the task body
+/// panicked, `join` returns `Err` with a descriptive message rather than
+/// poisoning the pool.
+pub struct JoinHandle<T> {
+    slot: Arc<Slot<T>>,
+}
+
+/// The producer side, held by the task body wrapper.
+pub(crate) struct JoinSender<T> {
+    slot: Arc<Slot<T>>,
+}
+
+/// Creates a connected join pair.
+pub(crate) fn join_pair<T>() -> (JoinSender<T>, JoinHandle<T>) {
+    let slot = Arc::new(Slot { state: Mutex::new(SlotState::Empty), cv: Condvar::new() });
+    (JoinSender { slot: slot.clone() }, JoinHandle { slot })
+}
+
+impl<T> JoinSender<T> {
+    pub(crate) fn send(self, value: T) {
+        let mut s = self.slot.state.lock();
+        *s = SlotState::Value(value);
+        self.slot.cv.notify_all();
+    }
+
+    pub(crate) fn send_panicked(self) {
+        let mut s = self.slot.state.lock();
+        *s = SlotState::Panicked;
+        self.slot.cv.notify_all();
+    }
+}
+
+impl<T> JoinHandle<T> {
+    /// Blocks until the task completes. `Err` if the task panicked.
+    pub fn join(self) -> Result<T, JoinError> {
+        let mut s = self.slot.state.lock();
+        loop {
+            match std::mem::replace(&mut *s, SlotState::Taken) {
+                SlotState::Value(v) => return Ok(v),
+                SlotState::Panicked => return Err(JoinError::Panicked),
+                SlotState::Taken => unreachable!("join consumed twice"),
+                SlotState::Empty => {
+                    *s = SlotState::Empty;
+                    self.slot.cv.wait(&mut s);
+                }
+            }
+        }
+    }
+
+    /// Non-blocking poll: `Some(result)` if finished.
+    pub fn try_join(&mut self) -> Option<Result<T, JoinError>> {
+        let mut s = self.slot.state.lock();
+        match std::mem::replace(&mut *s, SlotState::Taken) {
+            SlotState::Value(v) => Some(Ok(v)),
+            SlotState::Panicked => Some(Err(JoinError::Panicked)),
+            SlotState::Taken => None,
+            SlotState::Empty => {
+                *s = SlotState::Empty;
+                None
+            }
+        }
+    }
+
+    /// True once the task has finished (without consuming the result).
+    pub fn is_finished(&self) -> bool {
+        matches!(*self.slot.state.lock(), SlotState::Value(_) | SlotState::Panicked)
+    }
+}
+
+/// Why a join failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JoinError {
+    /// The task body panicked; the panic was contained by the worker.
+    Panicked,
+}
+
+impl std::fmt::Display for JoinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JoinError::Panicked => write!(f, "task panicked"),
+        }
+    }
+}
+
+impl std::error::Error for JoinError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_receives_value() {
+        let (tx, rx) = join_pair::<i32>();
+        std::thread::spawn(move || tx.send(42));
+        assert_eq!(rx.join().unwrap(), 42);
+    }
+
+    #[test]
+    fn join_blocks_until_send() {
+        let (tx, rx) = join_pair::<&str>();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            tx.send("late");
+        });
+        assert_eq!(rx.join().unwrap(), "late");
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn panicked_task_reports_error() {
+        let (tx, rx) = join_pair::<()>();
+        tx.send_panicked();
+        assert_eq!(rx.join().unwrap_err(), JoinError::Panicked);
+    }
+
+    #[test]
+    fn try_join_polls() {
+        let (tx, mut rx) = join_pair::<u8>();
+        assert!(rx.try_join().is_none());
+        assert!(!rx.is_finished());
+        tx.send(7);
+        assert!(rx.is_finished());
+        assert_eq!(rx.try_join().unwrap().unwrap(), 7);
+        assert!(rx.try_join().is_none(), "result consumed");
+    }
+
+    #[test]
+    fn join_error_displays() {
+        assert_eq!(JoinError::Panicked.to_string(), "task panicked");
+    }
+}

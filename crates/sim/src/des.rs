@@ -1,0 +1,150 @@
+//! Generic discrete-event queue with deterministic ordering.
+//!
+//! Events are ordered by `(t_ns, seq)` where `seq` is a monotone insertion
+//! counter — simultaneous events pop in insertion order, which is what
+//! makes whole-simulation runs bit-reproducible.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A scheduled event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SimEvent<T> {
+    /// Virtual time at which the event fires.
+    pub t_ns: u64,
+    /// Insertion sequence (tie-break).
+    pub seq: u64,
+    /// Payload.
+    pub payload: T,
+}
+
+/// Min-heap event queue keyed on `(t_ns, seq)`.
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Reverse<(u64, u64, usize)>>,
+    payloads: Vec<Option<T>>,
+    free: Vec<usize>,
+    next_seq: u64,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self { heap: BinaryHeap::new(), payloads: Vec::new(), free: Vec::new(), next_seq: 0 }
+    }
+
+    /// Schedules `payload` at `t_ns`. Returns the event's sequence number.
+    pub fn schedule(&mut self, t_ns: u64, payload: T) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let slot = match self.free.pop() {
+            Some(i) => {
+                self.payloads[i] = Some(payload);
+                i
+            }
+            None => {
+                self.payloads.push(Some(payload));
+                self.payloads.len() - 1
+            }
+        };
+        self.heap.push(Reverse((t_ns, seq, slot)));
+        seq
+    }
+
+    /// Pops the earliest event, if any.
+    pub fn pop(&mut self) -> Option<SimEvent<T>> {
+        let Reverse((t_ns, seq, slot)) = self.heap.pop()?;
+        let payload = self.payloads[slot].take().expect("event slot already drained");
+        self.free.push(slot);
+        Some(SimEvent { t_ns, seq, payload })
+    }
+
+    /// Time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<u64> {
+        self.heap.peek().map(|Reverse((t, _, _))| *t)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<T> std::fmt::Debug for EventQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue").field("pending", &self.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(30, "c");
+        q.schedule(10, "a");
+        q.schedule(20, "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.schedule(5, 1);
+        q.schedule(5, 2);
+        q.schedule(5, 3);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut q = EventQueue::new();
+        q.schedule(7, ());
+        assert_eq!(q.peek_time(), Some(7));
+        assert_eq!(q.len(), 1);
+        q.pop().unwrap();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn slots_are_recycled() {
+        let mut q = EventQueue::new();
+        for round in 0..10u64 {
+            for i in 0..100 {
+                q.schedule(round * 1000 + i, i);
+            }
+            for _ in 0..100 {
+                q.pop().unwrap();
+            }
+        }
+        // Payload storage must not grow past one round's worth.
+        assert!(q.payloads.len() <= 100, "slots {}", q.payloads.len());
+    }
+
+    #[test]
+    fn interleaved_schedule_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.schedule(10, 10u64);
+        q.schedule(30, 30);
+        let e = q.pop().unwrap();
+        assert_eq!(e.t_ns, 10);
+        q.schedule(20, 20);
+        assert_eq!(q.pop().unwrap().payload, 20);
+        assert_eq!(q.pop().unwrap().payload, 30);
+    }
+}

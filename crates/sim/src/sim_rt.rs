@@ -1,0 +1,601 @@
+//! The simulated runtime: fluid task execution over virtual time.
+//!
+//! Tasks are descriptors (`ops` to execute, `bytes` to move). Up to
+//! `min(thread_cap, cores)` tasks run concurrently; their instantaneous op
+//! rates come from [`crate::machine::alloc_rates`] (max-min fair bandwidth
+//! sharing), and the engine advances virtual time from rate-change boundary
+//! to boundary (piecewise-constant fluid model — every completion time and
+//! energy integral is exact, and runs are bit-reproducible).
+//!
+//! Scheduling overhead is modelled as a pure-compute prologue of
+//! `sched_overhead_ns` charged to the core when a task starts — this is
+//! what makes over-decomposition (tiny chunks) genuinely expensive in the
+//! granularity experiments.
+//!
+//! The runtime emits the same `lg-core` events as the real pool
+//! (`TaskBegin`/`TaskEnd` with virtual timestamps), exposes the same
+//! `thread_cap` knob, and integrates package power into an
+//! [`lg_metrics::EnergyMeter`] — so adaptation code cannot tell the two
+//! substrates apart.
+
+use crate::machine::{alloc_rates, MachineSpec};
+use lg_core::knob::{AtomicKnob, KnobSpec};
+use lg_core::{Clock, Event, Knob, LookingGlass, TaskId, VirtualClock};
+use lg_metrics::EnergyMeter;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// A simulated task descriptor.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SimTask {
+    /// Task type name (profiled under this name).
+    pub name: String,
+    /// Operations to execute.
+    pub ops: f64,
+    /// Bytes of memory traffic the task generates.
+    pub bytes: f64,
+}
+
+impl SimTask {
+    /// Creates a task descriptor.
+    ///
+    /// # Panics
+    /// Panics if `ops` is not strictly positive or `bytes` is negative.
+    pub fn new(name: impl Into<String>, ops: f64, bytes: f64) -> Self {
+        assert!(ops > 0.0, "task must have positive ops");
+        assert!(bytes >= 0.0, "bytes must be non-negative");
+        Self { name: name.into(), ops, bytes }
+    }
+
+    /// Bytes per op (traffic intensity).
+    pub fn bytes_per_op(&self) -> f64 {
+        self.bytes / self.ops
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    /// Scheduling prologue (pure compute).
+    Overhead,
+    /// Task body.
+    Body,
+}
+
+struct Running {
+    id: TaskId,
+    worker: usize,
+    phase: Phase,
+    remaining_ops: f64,
+    body_ops: f64,
+    bpo: f64,
+    started_ns: u64,
+}
+
+/// Summary of one [`SimRuntime::run_until_idle`] call.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SimRunReport {
+    /// Virtual time elapsed during the run (ns).
+    pub elapsed_ns: u64,
+    /// Energy consumed during the run (J).
+    pub energy_j: f64,
+    /// Tasks completed during the run.
+    pub tasks: u64,
+    /// Body operations completed during the run.
+    pub ops: f64,
+}
+
+impl SimRunReport {
+    /// Elapsed seconds.
+    pub fn elapsed_s(&self) -> f64 {
+        self.elapsed_ns as f64 * 1e-9
+    }
+
+    /// Achieved throughput in ops/second.
+    pub fn ops_per_sec(&self) -> f64 {
+        if self.elapsed_ns == 0 {
+            0.0
+        } else {
+            self.ops / self.elapsed_s()
+        }
+    }
+
+    /// Mean power over the run (W).
+    pub fn mean_power_w(&self) -> f64 {
+        if self.elapsed_ns == 0 {
+            0.0
+        } else {
+            self.energy_j / self.elapsed_s()
+        }
+    }
+
+    /// Energy-delay product (J·s).
+    pub fn edp(&self) -> f64 {
+        self.energy_j * self.elapsed_s()
+    }
+}
+
+/// The simulated work-stealing runtime (see module docs).
+pub struct SimRuntime {
+    spec: MachineSpec,
+    lg: Arc<LookingGlass>,
+    clock: VirtualClock,
+    queue: VecDeque<(TaskId, SimTask)>,
+    running: Vec<Running>,
+    cap: Arc<AtomicKnob>,
+    /// DVFS knob in per-mille of nominal frequency (200‰..=1000‰).
+    /// Core rate scales linearly with frequency; per-core dynamic power
+    /// scales as f³ (the f·V² model with V ∝ f), so slowing cores on
+    /// bandwidth-bound work trades nothing for a cubic power saving.
+    freq: Arc<AtomicKnob>,
+    meter: EnergyMeter,
+    tasks_done: u64,
+    ops_done: f64,
+}
+
+impl SimRuntime {
+    /// Creates a runtime over `spec`, wiring a fresh `LookingGlass`
+    /// instance on a virtual clock.
+    pub fn new(spec: MachineSpec) -> Self {
+        spec.validate();
+        let clock = VirtualClock::new();
+        let lg = LookingGlass::builder().clock(Arc::new(clock.clone())).build();
+        Self::with_instance(spec, lg, clock)
+    }
+
+    /// Creates a runtime reporting to an existing instance (whose clock
+    /// must be `clock`).
+    pub fn with_instance(spec: MachineSpec, lg: Arc<LookingGlass>, clock: VirtualClock) -> Self {
+        spec.validate();
+        let cap = AtomicKnob::new(
+            KnobSpec::new("thread_cap", 1, spec.cores as i64),
+            spec.cores as i64,
+        );
+        lg.knobs().register(cap.clone());
+        let freq = AtomicKnob::new(KnobSpec::new("freq_permille", 200, 1000), 1000);
+        lg.knobs().register(freq.clone());
+        let mut meter = EnergyMeter::new();
+        meter.sample(clock.now_ns(), spec.power.power(0, 0.0));
+        Self {
+            spec,
+            lg,
+            clock,
+            queue: VecDeque::new(),
+            running: Vec::new(),
+            cap,
+            freq,
+            meter,
+            tasks_done: 0,
+            ops_done: 0.0,
+        }
+    }
+
+    /// The observation instance.
+    pub fn lg(&self) -> &Arc<LookingGlass> {
+        &self.lg
+    }
+
+    /// The virtual clock.
+    pub fn clock(&self) -> &VirtualClock {
+        &self.clock
+    }
+
+    /// The machine description.
+    pub fn spec(&self) -> &MachineSpec {
+        &self.spec
+    }
+
+    /// The thread-cap knob (also registered as `"thread_cap"`).
+    pub fn cap_knob(&self) -> &Arc<AtomicKnob> {
+        &self.cap
+    }
+
+    /// The DVFS knob (also registered as `"freq_permille"`).
+    pub fn freq_knob(&self) -> &Arc<AtomicKnob> {
+        &self.freq
+    }
+
+    /// Convenience: sets the thread cap.
+    pub fn set_cap(&self, cap: usize) {
+        self.cap.set(cap as i64);
+    }
+
+    /// Convenience: sets the frequency as a fraction of nominal (clamped
+    /// to the knob's 0.2..=1.0 range).
+    pub fn set_freq(&self, fraction: f64) {
+        self.freq.set((fraction * 1000.0).round() as i64);
+    }
+
+    /// Current frequency fraction.
+    pub fn freq_fraction(&self) -> f64 {
+        self.freq.get() as f64 / 1000.0
+    }
+
+    /// The machine spec with the current DVFS setting applied: core rate
+    /// scales with f, bandwidth does not.
+    fn effective_spec(&self) -> MachineSpec {
+        let mut s = self.spec;
+        s.core_flops *= self.freq_fraction();
+        s
+    }
+
+    /// Queues a task.
+    pub fn submit(&mut self, task: SimTask) {
+        let id = self.lg.intern(&task.name);
+        self.queue.push_back((id, task));
+    }
+
+    /// Queues a batch.
+    pub fn submit_all(&mut self, tasks: impl IntoIterator<Item = SimTask>) {
+        for t in tasks {
+            self.submit(t);
+        }
+    }
+
+    /// Total energy integrated since construction (J).
+    pub fn total_energy_j(&self) -> f64 {
+        self.meter.energy_j()
+    }
+
+    /// Total tasks completed since construction.
+    pub fn total_tasks(&self) -> u64 {
+        self.tasks_done
+    }
+
+    fn effective_cap(&self) -> usize {
+        (self.cap.get().max(1) as usize).min(self.spec.cores)
+    }
+
+    fn fill_slots(&mut self) {
+        let cap = self.effective_cap();
+        while self.running.len() < cap {
+            let Some((id, task)) = self.queue.pop_front() else { break };
+            let now = self.clock.now_ns();
+            // Pick the lowest free worker index for stable attribution.
+            let used: Vec<usize> = self.running.iter().map(|r| r.worker).collect();
+            let worker = (0..self.spec.cores).find(|w| !used.contains(w)).unwrap_or(0);
+            self.lg.emit(&Event::TaskBegin { task: id, worker, t_ns: now });
+            let overhead_ops = self.spec.sched_overhead_ns as f64 * 1e-9 * self.spec.core_flops;
+            let (phase, remaining) = if overhead_ops > 0.0 {
+                (Phase::Overhead, overhead_ops)
+            } else {
+                (Phase::Body, task.ops)
+            };
+            self.running.push(Running {
+                id,
+                worker,
+                phase,
+                remaining_ops: remaining,
+                body_ops: task.ops,
+                bpo: task.bytes_per_op(),
+                started_ns: now,
+            });
+        }
+    }
+
+    fn current_rates(&self) -> Vec<f64> {
+        let bpos: Vec<f64> = self
+            .running
+            .iter()
+            .map(|r| match r.phase {
+                Phase::Overhead => 0.0,
+                Phase::Body => r.bpo,
+            })
+            .collect();
+        alloc_rates(&self.effective_spec(), &bpos)
+    }
+
+    fn sample_power(&mut self, rates: &[f64]) {
+        let active = self.running.len();
+        let espec = self.effective_spec();
+        let f = self.freq_fraction();
+        // Dynamic power scales as f³ (f·V², V ∝ f); the stall floor and
+        // utilisation are relative to the *current* frequency's peak.
+        let intensity = if active == 0 {
+            0.0
+        } else {
+            f.powi(3)
+                * rates.iter().map(|&r| espec.effective_intensity(r)).sum::<f64>()
+                / active as f64
+        };
+        self.meter
+            .sample(self.clock.now_ns(), self.spec.power.power(active, intensity));
+    }
+
+    /// Runs until both the queue and the running set are empty. Returns a
+    /// report covering exactly this call.
+    pub fn run_until_idle(&mut self) -> SimRunReport {
+        let t0 = self.clock.now_ns();
+        let e0 = self.meter.energy_j();
+        let tasks0 = self.tasks_done;
+        let ops0 = self.ops_done;
+        loop {
+            self.fill_slots();
+            if self.running.is_empty() {
+                break;
+            }
+            let rates = self.current_rates();
+            self.sample_power(&rates);
+            // Time until the first phase completion.
+            let mut dt_s = f64::INFINITY;
+            for (r, &rate) in self.running.iter().zip(&rates) {
+                if rate > 0.0 {
+                    dt_s = dt_s.min(r.remaining_ops / rate);
+                }
+            }
+            assert!(dt_s.is_finite(), "no task can make progress");
+            let dt_ns = (dt_s * 1e9).ceil().max(1.0) as u64;
+            self.clock.advance_by(dt_ns);
+            let now = self.clock.now_ns();
+            let actual_dt_s = dt_ns as f64 * 1e-9;
+            // Progress every running task; collect completions.
+            let mut still_running = Vec::with_capacity(self.running.len());
+            for (mut r, rate) in self.running.drain(..).zip(rates.iter()) {
+                r.remaining_ops -= rate * actual_dt_s;
+                if r.remaining_ops <= 1e-6 {
+                    match r.phase {
+                        Phase::Overhead => {
+                            r.phase = Phase::Body;
+                            r.remaining_ops = r.body_ops;
+                            still_running.push(r);
+                        }
+                        Phase::Body => {
+                            self.lg.emit(&Event::TaskEnd {
+                                task: r.id,
+                                worker: r.worker,
+                                t_ns: now,
+                                elapsed_ns: now.saturating_sub(r.started_ns),
+                            });
+                            self.tasks_done += 1;
+                            self.ops_done += r.body_ops;
+                        }
+                    }
+                } else {
+                    still_running.push(r);
+                }
+            }
+            self.running = still_running;
+        }
+        // Close the power integral at idle.
+        let idle_rates: Vec<f64> = Vec::new();
+        self.sample_power(&idle_rates);
+        SimRunReport {
+            elapsed_ns: self.clock.now_ns() - t0,
+            energy_j: self.meter.energy_j() - e0,
+            tasks: self.tasks_done - tasks0,
+            ops: self.ops_done - ops0,
+        }
+    }
+
+    /// Advances virtual time by `dt_ns` with the machine idle (between
+    /// phases, settle windows). Idle power is still consumed.
+    pub fn idle_for(&mut self, dt_ns: u64) {
+        assert!(self.running.is_empty() && self.queue.is_empty(), "idle_for while work pending");
+        self.clock.advance_by(dt_ns);
+        self.meter
+            .sample(self.clock.now_ns(), self.spec.power.power(0, 0.0));
+    }
+}
+
+impl std::fmt::Debug for SimRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimRuntime")
+            .field("cores", &self.spec.cores)
+            .field("cap", &self.effective_cap())
+            .field("queued", &self.queue.len())
+            .field("tasks_done", &self.tasks_done)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lg_metrics::PowerModel;
+
+    fn machine(cores: usize, flops: f64, bw: f64) -> MachineSpec {
+        MachineSpec {
+            cores,
+            core_flops: flops,
+            mem_bw: bw,
+            power: PowerModel::new(10.0, 2.0),
+            sched_overhead_ns: 0,
+            stall_intensity: 0.5,
+        }
+    }
+
+    #[test]
+    fn single_compute_task_timing_exact() {
+        let mut sim = SimRuntime::new(machine(4, 1e9, 1e12));
+        sim.submit(SimTask::new("t", 1e6, 0.0)); // 1e6 ops @ 1e9 ops/s = 1 ms
+        let r = sim.run_until_idle();
+        assert_eq!(r.tasks, 1);
+        assert!((r.elapsed_ns as f64 - 1e6).abs() < 10.0, "elapsed {}", r.elapsed_ns);
+    }
+
+    #[test]
+    fn compute_bound_scales_linearly() {
+        let run_with_cap = |cap: usize| {
+            let mut sim = SimRuntime::new(machine(8, 1e9, 1e15));
+            sim.set_cap(cap);
+            sim.submit_all((0..64).map(|_| SimTask::new("c", 1e7, 0.0)));
+            sim.run_until_idle().elapsed_ns as f64
+        };
+        let t1 = run_with_cap(1);
+        let t4 = run_with_cap(4);
+        let t8 = run_with_cap(8);
+        assert!((t1 / t4 - 4.0).abs() < 0.05, "4-way speedup {}", t1 / t4);
+        assert!((t1 / t8 - 8.0).abs() < 0.05, "8-way speedup {}", t1 / t8);
+    }
+
+    #[test]
+    fn memory_bound_saturates_at_knee() {
+        // bpo = 8, bw = 2e9, flops = 1e9 → knee at 0.25 cores... choose
+        // bw = 4e9, bpo = 1 → knee at 4 cores.
+        let run_with_cap = |cap: usize| {
+            let mut sim = SimRuntime::new(machine(16, 1e9, 4e9));
+            sim.set_cap(cap);
+            sim.submit_all((0..64).map(|_| SimTask::new("m", 1e7, 1e7)));
+            sim.run_until_idle().elapsed_ns as f64
+        };
+        let t2 = run_with_cap(2);
+        let t4 = run_with_cap(4);
+        let t8 = run_with_cap(8);
+        let t16 = run_with_cap(16);
+        assert!(t2 / t4 > 1.9, "should still scale to the knee: {}", t2 / t4);
+        assert!((t8 / t4 - 1.0).abs() < 0.02, "past the knee should be flat: {}", t8 / t4);
+        assert!((t16 / t4 - 1.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn energy_minimum_below_max_cores_for_memory_bound() {
+        // Past the knee, more cores burn power without adding throughput,
+        // so energy for fixed work rises with the cap.
+        let energy_with_cap = |cap: usize| {
+            let mut sim = SimRuntime::new(machine(16, 1e9, 4e9));
+            sim.set_cap(cap);
+            sim.submit_all((0..64).map(|_| SimTask::new("m", 1e7, 1e7)));
+            sim.run_until_idle().energy_j
+        };
+        let e4 = energy_with_cap(4); // at the knee
+        let e16 = energy_with_cap(16); // far past it
+        assert!(e16 > e4 * 1.2, "energy at 16 cores {e16} should exceed at-knee {e4}");
+    }
+
+    #[test]
+    fn power_never_below_idle() {
+        let mut sim = SimRuntime::new(machine(4, 1e9, 1e9));
+        sim.submit_all((0..10).map(|_| SimTask::new("t", 1e6, 1e6)));
+        let r = sim.run_until_idle();
+        assert!(r.mean_power_w() >= 10.0 - 1e-9, "mean power {}", r.mean_power_w());
+    }
+
+    #[test]
+    fn cap_changes_take_effect_at_task_boundaries() {
+        let mut sim = SimRuntime::new(machine(8, 1e9, 1e15));
+        sim.set_cap(8);
+        sim.submit_all((0..8).map(|_| SimTask::new("a", 1e6, 0.0)));
+        sim.run_until_idle();
+        sim.set_cap(2);
+        sim.submit_all((0..8).map(|_| SimTask::new("b", 1e6, 0.0)));
+        let r = sim.run_until_idle();
+        // 8 tasks, 2 at a time, 1 ms each → 4 ms.
+        assert!((r.elapsed_ns as f64 - 4e6).abs() < 100.0, "elapsed {}", r.elapsed_ns);
+    }
+
+    #[test]
+    fn deterministic_repeat_runs() {
+        let run = || {
+            let mut sim = SimRuntime::new(machine(8, 1e9, 4e9));
+            sim.submit_all((0..32).map(|i| SimTask::new("t", 1e6 + i as f64 * 1e4, 5e5)));
+            let r = sim.run_until_idle();
+            (r.elapsed_ns, r.energy_j.to_bits(), r.tasks)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn events_flow_to_profiles() {
+        let mut sim = SimRuntime::new(machine(4, 1e9, 1e12));
+        sim.submit_all((0..5).map(|_| SimTask::new("profiled", 2e6, 0.0)));
+        sim.run_until_idle();
+        let prof = sim.lg().profiles().get("profiled").unwrap();
+        assert_eq!(prof.count, 5);
+        assert!((prof.mean_ns - 2e6).abs() < 10.0, "mean {}", prof.mean_ns);
+    }
+
+    #[test]
+    fn sched_overhead_penalizes_tiny_tasks() {
+        let mk = |overhead: u64| MachineSpec {
+            cores: 4,
+            core_flops: 1e9,
+            mem_bw: 1e15,
+            power: PowerModel::new(10.0, 2.0),
+            sched_overhead_ns: overhead,
+            stall_intensity: 0.5,
+        };
+        // Same total work, decomposed 1000× finer.
+        let run = |ntasks: usize, overhead: u64| {
+            let mut sim = SimRuntime::new(mk(overhead));
+            sim.set_cap(1);
+            let ops_each = 1e9 / ntasks as f64;
+            sim.submit_all((0..ntasks).map(|_| SimTask::new("g", ops_each, 0.0)));
+            sim.run_until_idle().elapsed_ns
+        };
+        let coarse = run(10, 2_000);
+        let fine = run(10_000, 2_000);
+        assert!(
+            fine as f64 > coarse as f64 * 1.015,
+            "fine-grained should pay overhead: {fine} vs {coarse}"
+        );
+        let no_overhead_fine = run(10_000, 0);
+        assert!((no_overhead_fine as f64 / 1e9 - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn idle_consumes_idle_power() {
+        let mut sim = SimRuntime::new(machine(4, 1e9, 1e9));
+        let e0 = sim.total_energy_j();
+        sim.idle_for(1_000_000_000); // 1 s
+        let de = sim.total_energy_j() - e0;
+        assert!((de - 10.0).abs() < 1e-6, "idle energy {de}");
+    }
+
+    #[test]
+    fn knob_registered_on_instance() {
+        let sim = SimRuntime::new(machine(8, 1e9, 1e9));
+        assert_eq!(sim.lg().knobs().value("thread_cap"), Some(8));
+        sim.lg().knobs().set("thread_cap", 3);
+        assert_eq!(sim.cap_knob().get(), 3);
+    }
+
+    #[test]
+    fn dvfs_slows_compute_proportionally() {
+        let run_at = |f: f64| {
+            let mut sim = SimRuntime::new(machine(4, 1e9, 1e15));
+            sim.set_freq(f);
+            sim.submit_all((0..8).map(|_| SimTask::new("c", 1e7, 0.0)));
+            sim.run_until_idle().elapsed_ns as f64
+        };
+        let full = run_at(1.0);
+        let half = run_at(0.5);
+        assert!((half / full - 2.0).abs() < 0.02, "ratio {}", half / full);
+    }
+
+    #[test]
+    fn dvfs_free_lunch_on_bandwidth_bound_work() {
+        // Past the knee, halving frequency must not reduce throughput but
+        // must cut energy — the DVFS counterpart of throttling.
+        let run_at = |f: f64| {
+            let mut sim = SimRuntime::new(machine(16, 1e9, 2e9)); // knee at 2 cores for bpo 1
+            sim.set_cap(8);
+            sim.set_freq(f);
+            sim.submit_all((0..64).map(|_| SimTask::new("m", 1e7, 1e7)));
+            let r = sim.run_until_idle();
+            (r.elapsed_ns as f64, r.energy_j)
+        };
+        let (t_full, e_full) = run_at(1.0);
+        let (t_half, e_half) = run_at(0.5);
+        assert!((t_half / t_full - 1.0).abs() < 0.05, "throughput lost: {} vs {}", t_half, t_full);
+        assert!(e_half < e_full * 0.85, "energy not saved: {e_half} vs {e_full}");
+    }
+
+    #[test]
+    fn freq_knob_registered_and_bounded() {
+        let sim = SimRuntime::new(machine(4, 1e9, 1e9));
+        assert_eq!(sim.lg().knobs().value("freq_permille"), Some(1000));
+        sim.lg().knobs().set("freq_permille", 100); // below min → clamped
+        assert_eq!(sim.freq_knob().get(), 200);
+        sim.set_freq(0.75);
+        assert!((sim.freq_fraction() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_throughput_math() {
+        let mut sim = SimRuntime::new(machine(2, 1e9, 1e15));
+        sim.submit_all((0..4).map(|_| SimTask::new("t", 5e8, 0.0)));
+        let r = sim.run_until_idle();
+        // 4 × 0.5s of work on 2 cores = 1 s; 2e9 ops total.
+        assert!((r.elapsed_s() - 1.0).abs() < 1e-3);
+        assert!((r.ops_per_sec() - 2e9).abs() < 1e7);
+    }
+}

@@ -1,0 +1,218 @@
+//! Workload descriptors for the simulated machine.
+//!
+//! A [`SimWorkload`] generates batches of [`SimTask`]s — one batch per
+//! "timestep" — parameterised by the same knobs the real workloads expose
+//! (problem size, chunk count). The kinds mirror the evaluation's needs:
+//!
+//! * [`WorkloadKind::MemoryBound`] — stencil-shaped: high bytes/op, so
+//!   throughput saturates at the machine's bandwidth knee.
+//! * [`WorkloadKind::ComputeBound`] — transcendental-kernel-shaped:
+//!   negligible traffic, scales to the core count.
+//! * [`WorkloadKind::Mixed`] — fixed blend of the two.
+//!
+//! [`PhasedSimWorkload`] alternates kinds on a fixed period, driving the
+//! phase-aware adaptation experiment (Fig 6).
+
+use crate::sim_rt::SimTask;
+
+/// The character of a workload's tasks.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum WorkloadKind {
+    /// High memory traffic per op (`bytes_per_op` ≈ 4–16).
+    MemoryBound,
+    /// Negligible memory traffic.
+    ComputeBound,
+    /// A `fraction` of tasks memory-bound, the rest compute-bound.
+    Mixed {
+        /// Fraction of memory-bound tasks, in `[0, 1]`.
+        memory_fraction: f64,
+    },
+}
+
+/// A steady workload generating identical batches.
+#[derive(Clone, Debug)]
+pub struct SimWorkload {
+    /// Task name used for profiling.
+    pub name: String,
+    /// Kind (traffic character).
+    pub kind: WorkloadKind,
+    /// Total ops per timestep (split across tasks).
+    pub ops_per_step: f64,
+    /// Tasks per timestep (the decomposition width).
+    pub tasks_per_step: usize,
+    /// Bytes per op for the memory-bound tasks.
+    pub bytes_per_op: f64,
+}
+
+impl SimWorkload {
+    /// A stencil-like memory-bound workload.
+    pub fn stencil(ops_per_step: f64, tasks_per_step: usize) -> Self {
+        Self {
+            name: "stencil".into(),
+            kind: WorkloadKind::MemoryBound,
+            ops_per_step,
+            tasks_per_step,
+            bytes_per_op: 8.0,
+        }
+    }
+
+    /// A compute-bound kernel workload.
+    pub fn compute(ops_per_step: f64, tasks_per_step: usize) -> Self {
+        Self {
+            name: "compute".into(),
+            kind: WorkloadKind::ComputeBound,
+            ops_per_step,
+            tasks_per_step,
+            bytes_per_op: 0.0,
+        }
+    }
+
+    /// A mixed workload.
+    pub fn mixed(ops_per_step: f64, tasks_per_step: usize, memory_fraction: f64) -> Self {
+        assert!((0.0..=1.0).contains(&memory_fraction), "fraction in [0,1]");
+        Self {
+            name: "mixed".into(),
+            kind: WorkloadKind::Mixed { memory_fraction },
+            ops_per_step,
+            tasks_per_step,
+            bytes_per_op: 8.0,
+        }
+    }
+
+    /// Generates one timestep's batch of tasks.
+    ///
+    /// # Panics
+    /// Panics if `tasks_per_step` is zero.
+    pub fn step_batch(&self) -> Vec<SimTask> {
+        assert!(self.tasks_per_step > 0, "workload needs at least one task per step");
+        let ops_each = self.ops_per_step / self.tasks_per_step as f64;
+        (0..self.tasks_per_step)
+            .map(|i| {
+                let bytes = match self.kind {
+                    WorkloadKind::MemoryBound => ops_each * self.bytes_per_op,
+                    WorkloadKind::ComputeBound => 0.0,
+                    WorkloadKind::Mixed { memory_fraction } => {
+                        // Deterministic striping: first `fraction` of slots
+                        // are memory-bound.
+                        let cutoff = (self.tasks_per_step as f64 * memory_fraction).round() as usize;
+                        if i < cutoff {
+                            ops_each * self.bytes_per_op
+                        } else {
+                            0.0
+                        }
+                    }
+                };
+                SimTask::new(self.name.clone(), ops_each, bytes)
+            })
+            .collect()
+    }
+}
+
+/// A workload whose kind alternates every `period_steps` timesteps.
+#[derive(Clone, Debug)]
+pub struct PhasedSimWorkload {
+    /// Phase A (even phases).
+    pub a: SimWorkload,
+    /// Phase B (odd phases).
+    pub b: SimWorkload,
+    /// Steps per phase.
+    pub period_steps: usize,
+}
+
+impl PhasedSimWorkload {
+    /// Creates an alternator.
+    ///
+    /// # Panics
+    /// Panics if `period_steps` is zero.
+    pub fn new(a: SimWorkload, b: SimWorkload, period_steps: usize) -> Self {
+        assert!(period_steps > 0, "phase period must be positive");
+        Self { a, b, period_steps }
+    }
+
+    /// The workload active at global step index `step`.
+    pub fn active_at(&self, step: usize) -> &SimWorkload {
+        if (step / self.period_steps).is_multiple_of(2) {
+            &self.a
+        } else {
+            &self.b
+        }
+    }
+
+    /// The phase index (0-based) at `step`.
+    pub fn phase_index(&self, step: usize) -> usize {
+        step / self.period_steps
+    }
+
+    /// Batch for global step `step`.
+    pub fn step_batch(&self, step: usize) -> Vec<SimTask> {
+        self.active_at(step).step_batch()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stencil_batch_shape() {
+        let w = SimWorkload::stencil(1e9, 32);
+        let batch = w.step_batch();
+        assert_eq!(batch.len(), 32);
+        let total_ops: f64 = batch.iter().map(|t| t.ops).sum();
+        assert!((total_ops - 1e9).abs() < 1.0);
+        for t in &batch {
+            assert!((t.bytes_per_op() - 8.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn compute_batch_has_no_traffic() {
+        let w = SimWorkload::compute(1e8, 8);
+        assert!(w.step_batch().iter().all(|t| t.bytes == 0.0));
+    }
+
+    #[test]
+    fn mixed_fraction_striping() {
+        let w = SimWorkload::mixed(1e8, 10, 0.3);
+        let batch = w.step_batch();
+        let memory = batch.iter().filter(|t| t.bytes > 0.0).count();
+        assert_eq!(memory, 3);
+    }
+
+    #[test]
+    fn mixed_extremes() {
+        assert!(SimWorkload::mixed(1e8, 10, 0.0).step_batch().iter().all(|t| t.bytes == 0.0));
+        assert!(SimWorkload::mixed(1e8, 10, 1.0).step_batch().iter().all(|t| t.bytes > 0.0));
+    }
+
+    #[test]
+    fn phased_alternation() {
+        let p = PhasedSimWorkload::new(
+            SimWorkload::stencil(1e8, 4),
+            SimWorkload::compute(1e8, 4),
+            5,
+        );
+        assert_eq!(p.active_at(0).name, "stencil");
+        assert_eq!(p.active_at(4).name, "stencil");
+        assert_eq!(p.active_at(5).name, "compute");
+        assert_eq!(p.active_at(9).name, "compute");
+        assert_eq!(p.active_at(10).name, "stencil");
+        assert_eq!(p.phase_index(0), 0);
+        assert_eq!(p.phase_index(5), 1);
+        assert_eq!(p.phase_index(12), 2);
+    }
+
+    #[test]
+    fn batches_feed_the_runtime() {
+        use crate::machine::MachineSpec;
+        use crate::sim_rt::SimRuntime;
+        let mut sim = SimRuntime::new(MachineSpec::small8());
+        let w = SimWorkload::compute(8e6, 8);
+        for _ in 0..3 {
+            sim.submit_all(w.step_batch());
+            let r = sim.run_until_idle();
+            assert_eq!(r.tasks, 8);
+        }
+        assert_eq!(sim.total_tasks(), 24);
+    }
+}

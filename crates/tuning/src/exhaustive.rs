@@ -1,0 +1,135 @@
+//! Exhaustive lattice sweep.
+//!
+//! Visits every point of the space exactly once, in lexicographic level
+//! order. Infeasible online for all but tiny spaces, but indispensable as
+//! ground truth: the experiment harness uses it to locate the true optimum
+//! that the online strategies are judged against.
+
+use crate::search::{BestTracker, Search};
+use crate::space::{Point, Space};
+
+/// Exhaustive enumeration of a [`Space`].
+pub struct Exhaustive {
+    space: Space,
+    // `SpaceIter` borrows the space, so the sweep decodes points from a
+    // mixed-radix index instead of holding a self-referential iterator.
+    next_index: usize,
+    tracker: BestTracker,
+}
+
+impl Exhaustive {
+    /// Creates a sweep over `space`.
+    pub fn new(space: Space) -> Self {
+        Self { space, next_index: 0, tracker: BestTracker::default() }
+    }
+
+    fn point_at_index(&self, mut idx: usize) -> Option<Point> {
+        if idx >= self.space.cardinality() {
+            return None;
+        }
+        // Mixed-radix decode, last dimension fastest (lexicographic order).
+        let dims = self.space.dims();
+        let mut levels = vec![0usize; dims.len()];
+        for i in (0..dims.len()).rev() {
+            let card = dims[i].cardinality();
+            levels[i] = idx % card;
+            idx /= card;
+        }
+        Some(self.space.point_at(&levels))
+    }
+
+    /// Number of points visited so far.
+    pub fn visited(&self) -> usize {
+        self.next_index
+    }
+}
+
+impl Search for Exhaustive {
+    fn name(&self) -> &'static str {
+        "exhaustive"
+    }
+
+    fn propose(&mut self) -> Option<Point> {
+        let p = self.point_at_index(self.next_index)?;
+        self.next_index += 1;
+        Some(p)
+    }
+
+    fn report(&mut self, point: &Point, objective: f64) {
+        self.tracker.observe(point, objective);
+    }
+
+    fn best(&self) -> Option<(Point, f64)> {
+        self.tracker.best()
+    }
+
+    fn converged(&self) -> bool {
+        self.next_index >= self.space.cardinality()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::Dim;
+
+    fn space_2d() -> Space {
+        Space::new(vec![Dim::range("a", 0, 3, 1), Dim::values("b", vec![10, 20, 30])])
+    }
+
+    #[test]
+    fn visits_every_point_exactly_once() {
+        let space = space_2d();
+        let mut search = Exhaustive::new(space.clone());
+        let mut seen = Vec::new();
+        while let Some(p) = search.propose() {
+            search.report(&p, 0.0);
+            seen.push(p);
+        }
+        assert_eq!(seen.len(), space.cardinality());
+        let mut uniq = seen.clone();
+        uniq.sort();
+        uniq.dedup();
+        assert_eq!(uniq.len(), seen.len(), "duplicate proposals");
+        // Same set as iter_points.
+        let mut expect: Vec<Point> = space.iter_points().collect();
+        expect.sort();
+        assert_eq!(uniq, expect);
+    }
+
+    #[test]
+    fn finds_global_minimum() {
+        let space = space_2d();
+        let mut search = Exhaustive::new(space);
+        while let Some(p) = search.propose() {
+            // Minimum at a=2, b=20.
+            let y = ((p[0] - 2) * (p[0] - 2)) as f64 + ((p[1] - 20) * (p[1] - 20)) as f64;
+            search.report(&p, y);
+        }
+        assert!(search.converged());
+        let (best, y) = search.best().unwrap();
+        assert_eq!(best, vec![2, 20]);
+        assert_eq!(y, 0.0);
+    }
+
+    #[test]
+    fn converged_before_any_report_when_empty_budget_irrelevant() {
+        let space = Space::new(vec![Dim::values("only", vec![7])]);
+        let mut search = Exhaustive::new(space);
+        assert!(!search.converged());
+        let p = search.propose().unwrap();
+        assert_eq!(p, vec![7]);
+        assert!(search.converged());
+        assert!(search.propose().is_none());
+    }
+
+    #[test]
+    fn order_is_lexicographic_last_dim_fastest() {
+        let space = space_2d();
+        let mut search = Exhaustive::new(space);
+        assert_eq!(search.propose().unwrap(), vec![0, 10]);
+        assert_eq!(search.propose().unwrap(), vec![0, 20]);
+        assert_eq!(search.propose().unwrap(), vec![0, 30]);
+        assert_eq!(search.propose().unwrap(), vec![1, 10]);
+    }
+}

@@ -1,0 +1,317 @@
+//! Generational genetic search.
+//!
+//! Individuals are level vectors; selection is by tournament, crossover is
+//! uniform, and mutation re-draws a gene or nudges it by one level. Elitism
+//! carries the best individuals between generations unchanged. Previously
+//! measured individuals are served from a cache so duplicated genomes never
+//! burn a measurement epoch — online, epochs are the scarce resource.
+
+use crate::search::{BestTracker, Search};
+use crate::space::{Point, Space};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Configuration for [`Genetic`].
+#[derive(Clone, Copy, Debug)]
+pub struct GeneticConfig {
+    /// Individuals per generation.
+    pub population: usize,
+    /// Individuals copied unchanged into the next generation.
+    pub elites: usize,
+    /// Tournament size for parent selection.
+    pub tournament: usize,
+    /// Per-gene mutation probability.
+    pub mutation_rate: f64,
+    /// Total evaluation budget.
+    pub budget: usize,
+}
+
+impl Default for GeneticConfig {
+    fn default() -> Self {
+        Self { population: 16, elites: 2, tournament: 3, mutation_rate: 0.15, budget: 400 }
+    }
+}
+
+/// Generational genetic algorithm over a discrete space.
+pub struct Genetic {
+    space: Space,
+    cfg: GeneticConfig,
+    rng: StdRng,
+    /// Current generation genomes.
+    genomes: Vec<Vec<usize>>,
+    /// Fitness of each genome once known (same index as `genomes`).
+    fitness: Vec<Option<f64>>,
+    /// Index of the genome we proposed and await a value for.
+    pending: Option<usize>,
+    cache: HashMap<Vec<usize>, f64>,
+    evals: usize,
+    generation: usize,
+    /// Consecutive generations fully served from cache. In tiny or
+    /// converged spaces every genome may already be measured; after a
+    /// bounded number of such generations the search declares convergence
+    /// instead of breeding forever.
+    stale_generations: usize,
+    tracker: BestTracker,
+}
+
+const MAX_STALE_GENERATIONS: usize = 64;
+
+impl Genetic {
+    /// Creates a genetic search with a random initial population.
+    ///
+    /// # Panics
+    /// Panics if the config is degenerate (zero population/budget, elites
+    /// not smaller than population, zero tournament).
+    pub fn new(space: Space, cfg: GeneticConfig, seed: u64) -> Self {
+        assert!(cfg.population >= 2, "population must be at least 2");
+        assert!(cfg.elites < cfg.population, "elites must be < population");
+        assert!(cfg.tournament >= 1, "tournament must be at least 1");
+        assert!(cfg.budget > 0, "budget must be positive");
+        assert!((0.0..=1.0).contains(&cfg.mutation_rate), "mutation rate in [0,1]");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let genomes: Vec<Vec<usize>> = (0..cfg.population)
+            .map(|_| {
+                space
+                    .dims()
+                    .iter()
+                    .map(|d| rng.gen_range(0..d.cardinality()))
+                    .collect()
+            })
+            .collect();
+        let fitness = vec![None; cfg.population];
+        Self {
+            space,
+            cfg,
+            rng,
+            genomes,
+            fitness,
+            pending: None,
+            cache: HashMap::new(),
+            evals: 0,
+            generation: 0,
+            stale_generations: 0,
+            tracker: BestTracker::default(),
+        }
+    }
+
+    /// Completed generations.
+    pub fn generation(&self) -> usize {
+        self.generation
+    }
+
+    fn tournament_pick(&mut self) -> usize {
+        let mut best_idx = self.rng.gen_range(0..self.genomes.len());
+        for _ in 1..self.cfg.tournament {
+            let c = self.rng.gen_range(0..self.genomes.len());
+            let yb = self.fitness[best_idx].unwrap_or(f64::INFINITY);
+            let yc = self.fitness[c].unwrap_or(f64::INFINITY);
+            if yc < yb {
+                best_idx = c;
+            }
+        }
+        best_idx
+    }
+
+    fn breed_next_generation(&mut self) {
+        let mut ranked: Vec<usize> = (0..self.genomes.len()).collect();
+        ranked.sort_by(|&a, &b| {
+            let ya = self.fitness[a].unwrap_or(f64::INFINITY);
+            let yb = self.fitness[b].unwrap_or(f64::INFINITY);
+            ya.partial_cmp(&yb).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut next: Vec<Vec<usize>> = ranked[..self.cfg.elites]
+            .iter()
+            .map(|&i| self.genomes[i].clone())
+            .collect();
+        while next.len() < self.cfg.population {
+            let pa = self.tournament_pick();
+            let pb = self.tournament_pick();
+            let mut child: Vec<usize> = (0..self.space.ndims())
+                .map(|g| {
+                    if self.rng.gen_bool(0.5) {
+                        self.genomes[pa][g]
+                    } else {
+                        self.genomes[pb][g]
+                    }
+                })
+                .collect();
+            for (g, dim) in self.space.dims().iter().enumerate() {
+                if self.rng.gen_bool(self.cfg.mutation_rate) {
+                    let card = dim.cardinality();
+                    if self.rng.gen_bool(0.5) {
+                        // Local nudge.
+                        let delta: i64 = if self.rng.gen_bool(0.5) { 1 } else { -1 };
+                        child[g] = (child[g] as i64 + delta).clamp(0, card as i64 - 1) as usize;
+                    } else {
+                        // Global redraw.
+                        child[g] = self.rng.gen_range(0..card);
+                    }
+                }
+            }
+            next.push(child);
+        }
+        self.genomes = next;
+        self.fitness = self
+            .genomes
+            .iter()
+            .map(|g| self.cache.get(g).copied())
+            .collect();
+        self.generation += 1;
+    }
+}
+
+impl Search for Genetic {
+    fn name(&self) -> &'static str {
+        "genetic"
+    }
+
+    fn propose(&mut self) -> Option<Point> {
+        loop {
+            if self.evals >= self.cfg.budget || self.stale_generations >= MAX_STALE_GENERATIONS {
+                return None;
+            }
+            // Serve cached fitness for duplicated genomes without an epoch.
+            for i in 0..self.genomes.len() {
+                if self.fitness[i].is_none() {
+                    if let Some(&y) = self.cache.get(&self.genomes[i]) {
+                        self.fitness[i] = Some(y);
+                    }
+                }
+            }
+            if let Some(i) = self.fitness.iter().position(|f| f.is_none()) {
+                self.pending = Some(i);
+                self.stale_generations = 0;
+                return Some(self.space.point_at(&self.genomes[i]));
+            }
+            // Generation fully evaluated (possibly entirely from cache).
+            self.stale_generations += 1;
+            self.breed_next_generation();
+        }
+    }
+
+    fn report(&mut self, point: &Point, objective: f64) {
+        self.tracker.observe(point, objective);
+        let Some(levels) = self.space.levels_of(point) else { return };
+        self.cache.insert(levels.clone(), objective);
+        if let Some(i) = self.pending.take() {
+            if self.genomes[i] == levels {
+                self.fitness[i] = Some(objective);
+                self.evals += 1;
+            }
+        }
+    }
+
+    fn best(&self) -> Option<(Point, f64)> {
+        self.tracker.best()
+    }
+
+    fn converged(&self) -> bool {
+        self.evals >= self.cfg.budget || self.stale_generations >= MAX_STALE_GENERATIONS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::Dim;
+
+    fn drive(s: &mut dyn Search, f: impl Fn(&Point) -> f64) -> usize {
+        let mut evals = 0;
+        while let Some(p) = s.propose() {
+            s.report(&p, f(&p));
+            evals += 1;
+            assert!(evals < 1_000_000, "runaway search");
+        }
+        evals
+    }
+
+    #[test]
+    fn respects_budget() {
+        let space = Space::new(vec![Dim::range("x", 0, 1000, 1)]);
+        let cfg = GeneticConfig { budget: 60, ..Default::default() };
+        let mut ga = Genetic::new(space, cfg, 1);
+        let evals = drive(&mut ga, |p| p[0] as f64);
+        assert!(evals <= 60);
+        assert!(ga.converged());
+    }
+
+    #[test]
+    fn solves_unimodal_2d() {
+        let space = Space::new(vec![Dim::range("x", 0, 63, 1), Dim::range("y", 0, 63, 1)]);
+        let cfg = GeneticConfig { budget: 600, ..Default::default() };
+        let mut ga = Genetic::new(space, cfg, 5);
+        drive(&mut ga, |p| ((p[0] - 50).pow(2) + (p[1] - 9).pow(2)) as f64);
+        let (best, y) = ga.best().unwrap();
+        assert!(y <= 8.0, "best {best:?} y={y}");
+    }
+
+    #[test]
+    fn handles_rugged_landscape() {
+        // Many local minima; the global basin at x=32 is narrow.
+        let f = |p: &Point| {
+            let x = p[0] as f64;
+            let rugged = (x * 0.9).sin().abs() * 10.0;
+            (x - 32.0).abs() + rugged
+        };
+        let space = Space::new(vec![Dim::range("x", 0, 127, 1)]);
+        let cfg = GeneticConfig { budget: 500, ..Default::default() };
+        let mut ga = Genetic::new(space, cfg, 17);
+        drive(&mut ga, f);
+        let (_, y) = ga.best().unwrap();
+        // The global optimum value is f at the best integer near a sine zero.
+        let global = (0..128).map(|x| f(&vec![x])).fold(f64::INFINITY, f64::min);
+        assert!(y <= global + 3.0, "y {y} vs global {global}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let space = Space::new(vec![Dim::range("x", 0, 30, 1), Dim::range("y", 0, 30, 1)]);
+            let cfg = GeneticConfig { budget: 100, ..Default::default() };
+            let mut ga = Genetic::new(space, cfg, seed);
+            let mut trace = Vec::new();
+            while let Some(p) = ga.propose() {
+                let y = (p[0] * p[1]) as f64;
+                ga.report(&p, y);
+                trace.push(p);
+            }
+            trace
+        };
+        assert_eq!(run(2), run(2));
+    }
+
+    #[test]
+    fn generations_advance() {
+        let space = Space::new(vec![Dim::range("x", 0, 7, 1)]);
+        let cfg = GeneticConfig { population: 4, elites: 1, budget: 40, ..Default::default() };
+        let mut ga = Genetic::new(space, cfg, 3);
+        drive(&mut ga, |p| p[0] as f64);
+        assert!(ga.generation() >= 1, "no generation turnover");
+    }
+
+    #[test]
+    fn duplicate_genomes_served_from_cache() {
+        // Tiny space: duplicates are inevitable; evals must still be bounded
+        // by the budget and proposals must not repeat endlessly without
+        // progress.
+        let space = Space::new(vec![Dim::range("x", 0, 3, 1)]);
+        let cfg = GeneticConfig { population: 8, elites: 2, budget: 30, ..Default::default() };
+        let mut ga = Genetic::new(space, cfg, 11);
+        let mut proposals = 0;
+        while let Some(p) = ga.propose() {
+            proposals += 1;
+            ga.report(&p, p[0] as f64);
+            assert!(proposals <= 30, "proposals exceeded budget");
+        }
+        assert_eq!(ga.best().unwrap().0, vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "elites must be < population")]
+    fn rejects_degenerate_config() {
+        let space = Space::new(vec![Dim::range("x", 0, 3, 1)]);
+        let cfg = GeneticConfig { population: 4, elites: 4, ..Default::default() };
+        let _ = Genetic::new(space, cfg, 0);
+    }
+}

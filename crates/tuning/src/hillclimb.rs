@@ -1,0 +1,288 @@
+//! Discrete hill climbing (pattern search) — the classic online tuner.
+//!
+//! From the current configuration, measure every lattice neighbor (one
+//! dimension moved by one level); move to the best neighbor if it improves
+//! on the current point by at least `min_improvement` (relative); otherwise
+//! declare a local minimum. With optional random restarts the search
+//! escapes shallow local minima at the cost of extra epochs.
+//!
+//! Measured values are cached by lattice point, so revisiting a
+//! configuration after a move costs no additional measurement epoch —
+//! important online, where every evaluation perturbs the application.
+
+use crate::search::{BestTracker, Search};
+use crate::space::{Point, Space};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, VecDeque};
+
+/// Discrete hill climbing with measurement caching and optional restarts.
+pub struct HillClimb {
+    space: Space,
+    current: Vec<usize>,
+    cache: HashMap<Vec<usize>, f64>,
+    queue: VecDeque<Vec<usize>>,
+    done: bool,
+    min_improvement: f64,
+    restarts_left: usize,
+    rng: StdRng,
+    moves: usize,
+    tracker: BestTracker,
+}
+
+impl HillClimb {
+    /// Creates a climber starting from the center of `space`.
+    pub fn new(space: Space) -> Self {
+        let start = space.center();
+        Self::from_start(space, &start)
+    }
+
+    /// Creates a climber starting from `start` (snapped to the lattice).
+    pub fn from_start(space: Space, start: &[i64]) -> Self {
+        let snapped = space.clamp(start);
+        let levels = space.levels_of(&snapped).expect("clamped point must be on lattice");
+        Self {
+            space,
+            current: levels,
+            cache: HashMap::new(),
+            queue: VecDeque::new(),
+            done: false,
+            min_improvement: 0.0,
+            restarts_left: 0,
+            rng: StdRng::seed_from_u64(0),
+            moves: 0,
+            tracker: BestTracker::default(),
+        }
+    }
+
+    /// Requires a relative improvement of at least `frac` (e.g. `0.01` for
+    /// 1%) before moving — hysteresis against measurement noise.
+    pub fn with_min_improvement(mut self, frac: f64) -> Self {
+        assert!(frac >= 0.0, "improvement threshold must be non-negative");
+        self.min_improvement = frac;
+        self
+    }
+
+    /// Enables `n` random restarts after local convergence.
+    pub fn with_restarts(mut self, n: usize, seed: u64) -> Self {
+        self.restarts_left = n;
+        self.rng = StdRng::seed_from_u64(seed);
+        self
+    }
+
+    /// Number of accepted moves so far.
+    pub fn moves(&self) -> usize {
+        self.moves
+    }
+
+    /// The configuration the climber currently sits on.
+    pub fn current_point(&self) -> Point {
+        self.space.point_at(&self.current)
+    }
+
+    fn improves(&self, candidate: f64, incumbent: f64) -> bool {
+        if incumbent.abs() < f64::EPSILON {
+            return candidate < incumbent;
+        }
+        (incumbent - candidate) / incumbent.abs() > self.min_improvement
+    }
+
+    fn random_restart(&mut self) {
+        let levels: Vec<usize> = self
+            .space
+            .dims()
+            .iter()
+            .map(|d| self.rng.gen_range(0..d.cardinality()))
+            .collect();
+        self.current = levels;
+    }
+}
+
+impl Search for HillClimb {
+    fn name(&self) -> &'static str {
+        "hillclimb"
+    }
+
+    fn propose(&mut self) -> Option<Point> {
+        loop {
+            if self.done {
+                return None;
+            }
+            if let Some(levels) = self.queue.pop_front() {
+                return Some(self.space.point_at(&levels));
+            }
+            // Queue empty: decide the next round.
+            let Some(&cur_y) = self.cache.get(&self.current) else {
+                self.queue.push_back(self.current.clone());
+                continue;
+            };
+            let neighbors = self.space.neighbor_levels(&self.current);
+            let unmeasured: Vec<Vec<usize>> = neighbors
+                .iter()
+                .filter(|n| !self.cache.contains_key(*n))
+                .cloned()
+                .collect();
+            if !unmeasured.is_empty() {
+                self.queue.extend(unmeasured);
+                continue;
+            }
+            // All neighbors measured: move or converge.
+            let best_neighbor = neighbors
+                .into_iter()
+                .map(|n| {
+                    let y = self.cache[&n];
+                    (n, y)
+                })
+                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+            match best_neighbor {
+                Some((n, y)) if self.improves(y, cur_y) => {
+                    self.current = n;
+                    self.moves += 1;
+                }
+                _ => {
+                    if self.restarts_left > 0 {
+                        self.restarts_left -= 1;
+                        self.random_restart();
+                    } else {
+                        self.done = true;
+                    }
+                }
+            }
+        }
+    }
+
+    fn report(&mut self, point: &Point, objective: f64) {
+        self.tracker.observe(point, objective);
+        if let Some(levels) = self.space.levels_of(point) {
+            self.cache.insert(levels, objective);
+        }
+    }
+
+    fn best(&self) -> Option<(Point, f64)> {
+        self.tracker.best()
+    }
+
+    fn converged(&self) -> bool {
+        self.done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::Dim;
+
+    fn drive(search: &mut dyn Search, f: impl Fn(&Point) -> f64, max_evals: usize) -> usize {
+        let mut evals = 0;
+        while let Some(p) = search.propose() {
+            search.report(&p, f(&p));
+            evals += 1;
+            if evals >= max_evals {
+                break;
+            }
+        }
+        evals
+    }
+
+    #[test]
+    fn climbs_to_unimodal_minimum_1d() {
+        let space = Space::new(vec![Dim::range("x", 0, 100, 1)]);
+        let mut hc = HillClimb::from_start(space, &[0]);
+        drive(&mut hc, |p| ((p[0] - 73) * (p[0] - 73)) as f64, 10_000);
+        assert!(hc.converged());
+        assert_eq!(hc.best().unwrap().0, vec![73]);
+        assert_eq!(hc.current_point(), vec![73]);
+    }
+
+    #[test]
+    fn climbs_2d_quadratic() {
+        let space = Space::new(vec![Dim::range("x", 0, 30, 1), Dim::range("y", 0, 30, 1)]);
+        let mut hc = HillClimb::new(space);
+        drive(&mut hc, |p| ((p[0] - 4).pow(2) + (p[1] - 27).pow(2)) as f64, 10_000);
+        assert_eq!(hc.best().unwrap().0, vec![4, 27]);
+    }
+
+    #[test]
+    fn uses_far_fewer_evals_than_exhaustive() {
+        let space = Space::new(vec![Dim::range("x", 0, 99, 1), Dim::range("y", 0, 99, 1)]);
+        let card = space.cardinality();
+        let mut hc = HillClimb::new(space);
+        let evals = drive(&mut hc, |p| ((p[0] - 80).pow(2) + (p[1] - 15).pow(2)) as f64, 100_000);
+        assert_eq!(hc.best().unwrap().0, vec![80, 15]);
+        assert!(evals < card / 10, "evals {evals} vs lattice {card}");
+    }
+
+    #[test]
+    fn gets_stuck_in_local_minimum_without_restarts() {
+        // Double well: minima at 10 (y=1) and 90 (y=0), barrier at 50.
+        let f = |p: &Point| {
+            let x = p[0] as f64;
+            let a = (x - 10.0).abs() + 1.0;
+            let b = (x - 90.0).abs();
+            a.min(b)
+        };
+        let space = Space::new(vec![Dim::range("x", 0, 100, 1)]);
+        let mut hc = HillClimb::from_start(space, &[0]);
+        drive(&mut hc, f, 100_000);
+        // From x=0 it slides into the x=10 well and stops.
+        assert_eq!(hc.best().unwrap().0, vec![10]);
+    }
+
+    #[test]
+    fn restarts_escape_local_minimum() {
+        let f = |p: &Point| {
+            let x = p[0] as f64;
+            let a = (x - 10.0).abs() + 1.0;
+            let b = (x - 90.0).abs();
+            a.min(b)
+        };
+        let space = Space::new(vec![Dim::range("x", 0, 100, 1)]);
+        let mut hc = HillClimb::from_start(space, &[0]).with_restarts(20, 7);
+        drive(&mut hc, f, 100_000);
+        assert_eq!(hc.best().unwrap().0, vec![90]);
+    }
+
+    #[test]
+    fn hysteresis_blocks_tiny_improvements() {
+        // Objective falls by 0.1% per step: below the 5% threshold.
+        let space = Space::new(vec![Dim::range("x", 0, 10, 1)]);
+        let mut hc = HillClimb::from_start(space, &[0]).with_min_improvement(0.05);
+        drive(&mut hc, |p| 1000.0 - p[0] as f64, 10_000);
+        assert_eq!(hc.moves(), 0, "should not move for sub-threshold gains");
+        assert!(hc.converged());
+    }
+
+    #[test]
+    fn cached_points_not_reproposed() {
+        let space = Space::new(vec![Dim::range("x", 0, 20, 1)]);
+        let mut hc = HillClimb::from_start(space, &[10]);
+        let mut seen = std::collections::HashSet::new();
+        while let Some(p) = hc.propose() {
+            assert!(seen.insert(p.clone()), "re-proposed {p:?}");
+            hc.report(&p, ((p[0] - 3) * (p[0] - 3)) as f64);
+        }
+        assert_eq!(hc.best().unwrap().0, vec![3]);
+    }
+
+    #[test]
+    fn single_point_space_converges_immediately() {
+        let space = Space::new(vec![Dim::values("x", vec![5])]);
+        let mut hc = HillClimb::new(space);
+        let p = hc.propose().unwrap();
+        hc.report(&p, 1.0);
+        assert!(hc.propose().is_none());
+        assert!(hc.converged());
+    }
+
+    #[test]
+    fn off_lattice_reports_are_tolerated() {
+        let space = Space::new(vec![Dim::range("x", 0, 10, 2)]);
+        let mut hc = HillClimb::new(space);
+        hc.report(&vec![3], 0.5); // not on the lattice: tracked but not cached
+        assert_eq!(hc.best().unwrap().0, vec![3]);
+        let p = hc.propose().unwrap();
+        hc.report(&p, 1.0);
+        // Search continues normally.
+        assert!(!hc.converged() || hc.best().is_some());
+    }
+}

@@ -1,0 +1,158 @@
+//! Synthetic objective landscapes for testing and comparing strategies.
+//!
+//! The strategy-comparison experiment (Table 3) evaluates every search on
+//! landscapes chosen to model the objective surfaces adaptation actually
+//! meets: a smooth unimodal bowl (concurrency vs EDP under a compute-bound
+//! load), an asymmetric overhead-vs-imbalance valley (chunk-size tuning),
+//! and a rugged multimodal surface (coupled knobs with interference).
+//! A deterministic noise wrapper models measurement jitter.
+
+use crate::space::Point;
+
+/// A boxed objective function over value points.
+pub type Objective = Box<dyn FnMut(&Point) -> f64 + Send>;
+
+/// Smooth unimodal bowl centered at `center`: `Σ wᵢ (xᵢ - cᵢ)²`.
+pub fn sphere(center: Vec<i64>, weights: Vec<f64>) -> Objective {
+    assert_eq!(center.len(), weights.len(), "center/weights length mismatch");
+    Box::new(move |p: &Point| {
+        p.iter()
+            .zip(&center)
+            .zip(&weights)
+            .map(|((&x, &c), &w)| w * ((x - c) as f64).powi(2))
+            .sum()
+    })
+}
+
+/// Asymmetric valley `a/x + b·x` per dimension — the shape of
+/// scheduling-overhead vs load-imbalance as a function of chunk size.
+/// Minimum at `x* = sqrt(a/b)` per dimension. Coordinates are clamped to a
+/// minimum of 1 to avoid the pole.
+pub fn valley(a: f64, b: f64) -> Objective {
+    assert!(a > 0.0 && b > 0.0, "valley parameters must be positive");
+    Box::new(move |p: &Point| {
+        p.iter()
+            .map(|&x| {
+                let x = (x.max(1)) as f64;
+                a / x + b * x
+            })
+            .sum()
+    })
+}
+
+/// The analytic minimizer of [`valley`] (continuous).
+pub fn valley_optimum(a: f64, b: f64) -> f64 {
+    (a / b).sqrt()
+}
+
+/// Rugged multimodal surface (Rastrigin-flavored): a global quadratic basin
+/// centered at `center` overlaid with cosine ripples of amplitude `amp` and
+/// period `period`.
+pub fn rastrigin(center: Vec<i64>, amp: f64, period: f64) -> Objective {
+    assert!(period > 0.0, "period must be positive");
+    Box::new(move |p: &Point| {
+        p.iter()
+            .zip(&center)
+            .map(|(&x, &c)| {
+                let d = (x - c) as f64;
+                d * d / 100.0 + amp * (1.0 - (2.0 * std::f64::consts::PI * d / period).cos())
+            })
+            .sum()
+    })
+}
+
+/// Wraps an objective with deterministic pseudo-noise of the given relative
+/// `amplitude`. The noise depends on the point *and* the call count, so
+/// re-evaluating the same point yields different values — modelling
+/// measurement jitter — while the whole sequence stays reproducible.
+pub fn noisy(mut inner: Objective, amplitude: f64, seed: u64) -> Objective {
+    assert!(amplitude >= 0.0, "noise amplitude must be non-negative");
+    let mut calls: u64 = 0;
+    Box::new(move |p: &Point| {
+        let clean = inner(p);
+        calls += 1;
+        let mut h = seed ^ calls.wrapping_mul(0x9E3779B97F4A7C15);
+        for &v in p {
+            h ^= (v as u64).wrapping_mul(0xFF51AFD7ED558CCD);
+            h = h.rotate_left(31);
+        }
+        // Map hash to [-1, 1).
+        let u = (h >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+        let n = 2.0 * u - 1.0;
+        clean * (1.0 + amplitude * n)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sphere_zero_at_center() {
+        let mut f = sphere(vec![3, -2], vec![1.0, 2.0]);
+        assert_eq!(f(&vec![3, -2]), 0.0);
+        assert_eq!(f(&vec![4, -2]), 1.0);
+        assert_eq!(f(&vec![3, -1]), 2.0);
+    }
+
+    #[test]
+    fn valley_minimum_location() {
+        let mut f = valley(400.0, 1.0);
+        let xstar = valley_optimum(400.0, 1.0) as i64; // 20
+        assert_eq!(xstar, 20);
+        let y_star = f(&vec![20]);
+        assert!(f(&vec![10]) > y_star);
+        assert!(f(&vec![40]) > y_star);
+        // Monotone away from the optimum on both sides.
+        assert!(f(&vec![5]) > f(&vec![10]));
+        assert!(f(&vec![80]) > f(&vec![40]));
+    }
+
+    #[test]
+    fn valley_clamps_at_one() {
+        let mut f = valley(10.0, 1.0);
+        assert_eq!(f(&vec![0]), f(&vec![1]));
+        assert_eq!(f(&vec![-5]), f(&vec![1]));
+    }
+
+    #[test]
+    fn rastrigin_has_ripples() {
+        let mut f = rastrigin(vec![0], 5.0, 10.0);
+        // At the center: 0. At half a period away: near the ripple peak.
+        assert!(f(&vec![0]).abs() < 1e-12);
+        let at_peak = f(&vec![5]);
+        assert!(at_peak > 5.0, "ripple peak {at_peak}");
+        // Global structure still pulls down toward the center.
+        assert!(f(&vec![100]) > f(&vec![20]));
+    }
+
+    #[test]
+    fn noise_is_bounded_and_reproducible() {
+        let make = || noisy(sphere(vec![0], vec![1.0]), 0.1, 99);
+        let mut f1 = make();
+        let mut f2 = make();
+        let p = vec![10];
+        let clean = 100.0;
+        for _ in 0..50 {
+            let a = f1(&p);
+            let b = f2(&p);
+            assert_eq!(a, b, "same seed and call index must agree");
+            assert!((a - clean).abs() <= 0.1 * clean + 1e-9, "noise out of bounds: {a}");
+        }
+    }
+
+    #[test]
+    fn noise_varies_across_calls() {
+        let mut f = noisy(sphere(vec![0], vec![1.0]), 0.1, 7);
+        let p = vec![10];
+        let a = f(&p);
+        let b = f(&p);
+        assert_ne!(a, b, "repeated evaluation should jitter");
+    }
+
+    #[test]
+    fn zero_amplitude_noise_is_identity() {
+        let mut f = noisy(sphere(vec![2], vec![1.0]), 0.0, 1);
+        assert_eq!(f(&vec![5]), 9.0);
+    }
+}

@@ -1,0 +1,356 @@
+//! Nelder–Mead simplex search projected onto the lattice.
+//!
+//! The simplex lives in continuous *level space* (one coordinate per
+//! dimension, measured in level indices); every evaluation projects the
+//! continuous vertex to the nearest lattice point and measures there.
+//! Because the propose/report protocol is pull-based, the classic
+//! reflect/expand/contract/shrink loop is implemented as an explicit state
+//! machine.
+//!
+//! Nelder–Mead typically converges in very few evaluations on smooth
+//! objectives, which makes it attractive online; its weakness on rugged or
+//! plateaued (quantized) landscapes is visible in the Table 3 comparison.
+
+use crate::search::{BestTracker, Search};
+use crate::space::{Point, Space};
+
+const ALPHA: f64 = 1.0; // reflection
+const GAMMA: f64 = 2.0; // expansion
+const RHO: f64 = 0.5; // contraction
+const SIGMA: f64 = 0.5; // shrink
+
+#[derive(Debug)]
+enum State {
+    /// Evaluating initial vertex `k`.
+    Init(usize),
+    /// Waiting for the reflected point's value.
+    AwaitReflect,
+    /// Waiting for the expanded point's value.
+    AwaitExpand,
+    /// Waiting for the contracted point's value.
+    AwaitContract { outside: bool },
+    /// Re-evaluating shrunk vertex `k` (1-indexed; vertex 0 is the best).
+    Shrink(usize),
+    Done,
+}
+
+/// Nelder–Mead simplex search over a discrete space.
+pub struct NelderMead {
+    space: Space,
+    state: State,
+    /// Simplex vertices in level space with their objective values.
+    vertices: Vec<(Vec<f64>, f64)>,
+    /// Vertices awaiting their first value during Init/Shrink.
+    staged: Vec<Vec<f64>>,
+    reflected: (Vec<f64>, f64),
+    expanded: Vec<f64>,
+    contracted: Vec<f64>,
+    budget: usize,
+    evals: usize,
+    tol: f64,
+    tracker: BestTracker,
+}
+
+impl NelderMead {
+    /// Creates a search starting from the space center with an initial
+    /// simplex step of ~25% of each dimension's extent.
+    ///
+    /// # Panics
+    /// Panics if `budget` is zero.
+    pub fn new(space: Space, budget: usize) -> Self {
+        assert!(budget > 0, "budget must be positive");
+        let n = space.ndims();
+        let start: Vec<f64> = space
+            .dims()
+            .iter()
+            .map(|d| (d.cardinality() / 2) as f64)
+            .collect();
+        let mut staged = vec![start.clone()];
+        for i in 0..n {
+            let mut v = start.clone();
+            let card = space.dims()[i].cardinality() as f64;
+            let step = (card * 0.25).max(1.0);
+            // Step toward whichever side has room.
+            if v[i] + step <= card - 1.0 {
+                v[i] += step;
+            } else {
+                v[i] = (v[i] - step).max(0.0);
+            }
+            staged.push(v);
+        }
+        Self {
+            space,
+            state: State::Init(0),
+            vertices: Vec::with_capacity(n + 1),
+            staged,
+            reflected: (Vec::new(), 0.0),
+            expanded: Vec::new(),
+            contracted: Vec::new(),
+            budget,
+            evals: 0,
+            tol: 0.5,
+            tracker: BestTracker::default(),
+        }
+    }
+
+    fn project(&self, x: &[f64]) -> Point {
+        let levels: Vec<i64> = x.iter().map(|&v| v.round() as i64).collect();
+        // Clamp level indices into range, then convert to values.
+        let clamped: Vec<usize> = levels
+            .iter()
+            .zip(self.space.dims())
+            .map(|(&l, d)| l.clamp(0, d.cardinality() as i64 - 1) as usize)
+            .collect();
+        self.space.point_at(&clamped)
+    }
+
+    fn simplex_diameter(&self) -> f64 {
+        let mut max = 0.0f64;
+        for i in 0..self.vertices.len() {
+            for j in (i + 1)..self.vertices.len() {
+                let d = self.vertices[i]
+                    .0
+                    .iter()
+                    .zip(&self.vertices[j].0)
+                    .map(|(a, b)| (a - b).abs())
+                    .fold(0.0f64, f64::max);
+                max = max.max(d);
+            }
+        }
+        max
+    }
+
+    /// Sorts vertices best→worst and either terminates or starts the next
+    /// reflection. Returns the continuous point to evaluate next, if any.
+    fn iterate(&mut self) -> Option<Vec<f64>> {
+        self.vertices
+            .sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        // Terminate on budget, geometric collapse, or value-spread collapse
+        // (the latter covers constant/plateaued objectives, where only the
+        // worst vertex ever moves and the simplex never shrinks).
+        let ybest = self.vertices.first().map(|v| v.1).unwrap_or(0.0);
+        let yworst = self.vertices.last().map(|v| v.1).unwrap_or(0.0);
+        let value_collapsed = (yworst - ybest).abs() <= 1e-12 * (1.0 + ybest.abs());
+        if self.evals >= self.budget || self.simplex_diameter() < self.tol || value_collapsed {
+            self.state = State::Done;
+            return None;
+        }
+        let n = self.space.ndims();
+        // Centroid of all but the worst vertex.
+        let mut centroid = vec![0.0; n];
+        for (x, _) in &self.vertices[..n] {
+            for (c, v) in centroid.iter_mut().zip(x) {
+                *c += v / n as f64;
+            }
+        }
+        let worst = &self.vertices[n].0;
+        let xr: Vec<f64> = centroid
+            .iter()
+            .zip(worst)
+            .map(|(c, w)| c + ALPHA * (c - w))
+            .collect();
+        self.reflected = (xr.clone(), f64::NAN);
+        // Stash the centroid in `expanded` temporarily (recomputed on use).
+        self.expanded = centroid;
+        self.state = State::AwaitReflect;
+        Some(xr)
+    }
+}
+
+impl Search for NelderMead {
+    fn name(&self) -> &'static str {
+        "neldermead"
+    }
+
+    fn propose(&mut self) -> Option<Point> {
+        if self.evals >= self.budget {
+            self.state = State::Done;
+        }
+        match &self.state {
+            State::Done => None,
+            State::Init(k) => Some(self.project(&self.staged[*k].clone())),
+            State::AwaitReflect => Some(self.project(&self.reflected.0.clone())),
+            State::AwaitExpand => Some(self.project(&self.expanded.clone())),
+            State::AwaitContract { .. } => Some(self.project(&self.contracted.clone())),
+            State::Shrink(k) => Some(self.project(&self.staged[*k].clone())),
+        }
+    }
+
+    fn report(&mut self, point: &Point, objective: f64) {
+        self.tracker.observe(point, objective);
+        self.evals += 1;
+        let n = self.space.ndims();
+        match std::mem::replace(&mut self.state, State::Done) {
+            State::Done => {}
+            State::Init(k) => {
+                self.vertices.push((self.staged[k].clone(), objective));
+                if k + 1 < self.staged.len() {
+                    self.state = State::Init(k + 1);
+                } else if let Some(_next) = self.iterate() {
+                    // state set by iterate()
+                } // else Done
+            }
+            State::AwaitReflect => {
+                let yr = objective;
+                self.reflected.1 = yr;
+                let ybest = self.vertices[0].1;
+                let ysecond_worst = self.vertices[n - 1].1;
+                let yworst = self.vertices[n].1;
+                if yr < ybest {
+                    // Try expansion: xe = c + GAMMA * (xr - c).
+                    let centroid = self.expanded.clone();
+                    let xe: Vec<f64> = centroid
+                        .iter()
+                        .zip(&self.reflected.0)
+                        .map(|(c, r)| c + GAMMA * (r - c))
+                        .collect();
+                    self.expanded = xe;
+                    self.state = State::AwaitExpand;
+                } else if yr < ysecond_worst {
+                    self.vertices[n] = (self.reflected.0.clone(), yr);
+                    self.iterate();
+                } else {
+                    // Contract.
+                    let centroid = self.expanded.clone();
+                    let outside = yr < yworst;
+                    let toward = if outside { &self.reflected.0 } else { &self.vertices[n].0 };
+                    let xc: Vec<f64> = centroid
+                        .iter()
+                        .zip(toward)
+                        .map(|(c, t)| c + RHO * (t - c))
+                        .collect();
+                    self.contracted = xc;
+                    self.state = State::AwaitContract { outside };
+                }
+            }
+            State::AwaitExpand => {
+                let ye = objective;
+                if ye < self.reflected.1 {
+                    self.vertices[n] = (self.expanded.clone(), ye);
+                } else {
+                    let (xr, yr) = self.reflected.clone();
+                    self.vertices[n] = (xr, yr);
+                }
+                self.iterate();
+            }
+            State::AwaitContract { outside } => {
+                let yc = objective;
+                let limit = if outside { self.reflected.1 } else { self.vertices[n].1 };
+                if yc <= limit {
+                    self.vertices[n] = (self.contracted.clone(), yc);
+                    self.iterate();
+                } else {
+                    // Shrink every vertex toward the best.
+                    let best = self.vertices[0].0.clone();
+                    self.staged = vec![Vec::new(); n + 1];
+                    for k in 1..=n {
+                        let shrunk: Vec<f64> = best
+                            .iter()
+                            .zip(&self.vertices[k].0)
+                            .map(|(b, v)| b + SIGMA * (v - b))
+                            .collect();
+                        self.staged[k] = shrunk;
+                    }
+                    self.state = State::Shrink(1);
+                }
+            }
+            State::Shrink(k) => {
+                self.vertices[k] = (self.staged[k].clone(), objective);
+                if k < n {
+                    self.state = State::Shrink(k + 1);
+                } else {
+                    self.iterate();
+                }
+            }
+        }
+    }
+
+    fn best(&self) -> Option<(Point, f64)> {
+        self.tracker.best()
+    }
+
+    fn converged(&self) -> bool {
+        matches!(self.state, State::Done)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::Dim;
+
+    fn drive(s: &mut dyn Search, f: impl Fn(&Point) -> f64) -> usize {
+        let mut evals = 0;
+        while let Some(p) = s.propose() {
+            s.report(&p, f(&p));
+            evals += 1;
+            assert!(evals < 100_000, "runaway search");
+        }
+        evals
+    }
+
+    #[test]
+    fn minimizes_1d_quadratic() {
+        let space = Space::new(vec![Dim::range("x", 0, 200, 1)]);
+        let mut nm = NelderMead::new(space, 200);
+        drive(&mut nm, |p| ((p[0] - 140) * (p[0] - 140)) as f64);
+        let (best, _) = nm.best().unwrap();
+        assert!((best[0] - 140).abs() <= 1, "best {best:?}");
+    }
+
+    #[test]
+    fn minimizes_2d_quadratic_in_few_evals() {
+        let space = Space::new(vec![Dim::range("x", 0, 100, 1), Dim::range("y", 0, 100, 1)]);
+        let mut nm = NelderMead::new(space, 300);
+        let evals = drive(&mut nm, |p| {
+            ((p[0] - 20).pow(2) + 3 * (p[1] - 70).pow(2)) as f64
+        });
+        let (best, _) = nm.best().unwrap();
+        assert!((best[0] - 20).abs() <= 2 && (best[1] - 70).abs() <= 2, "best {best:?}");
+        assert!(evals <= 300);
+    }
+
+    #[test]
+    fn respects_budget() {
+        let space = Space::new(vec![Dim::range("x", 0, 1000, 1)]);
+        let mut nm = NelderMead::new(space, 10);
+        let evals = drive(&mut nm, |p| p[0] as f64);
+        assert!(evals <= 11, "evals {evals}");
+        assert!(nm.converged());
+    }
+
+    #[test]
+    fn proposals_on_lattice() {
+        let space = Space::new(vec![Dim::pow2("x", 0, 10), Dim::range("y", 5, 50, 5)]);
+        let mut nm = NelderMead::new(space.clone(), 100);
+        while let Some(p) = nm.propose() {
+            assert!(space.contains(&p), "off-lattice {p:?}");
+            nm.report(&p, (p[0] + p[1]) as f64);
+        }
+    }
+
+    #[test]
+    fn converges_on_constant_objective() {
+        // Degenerate landscape: must terminate via simplex collapse/budget.
+        let space = Space::new(vec![Dim::range("x", 0, 50, 1), Dim::range("y", 0, 50, 1)]);
+        let mut nm = NelderMead::new(space, 500);
+        let evals = drive(&mut nm, |_| 7.0);
+        assert!(nm.converged());
+        assert!(evals < 500, "should collapse before budget, took {evals}");
+    }
+
+    #[test]
+    fn banana_valley_progress() {
+        // Rosenbrock-flavored discrete valley; NM should at least reach the
+        // valley floor region.
+        let space = Space::new(vec![Dim::range("x", 0, 40, 1), Dim::range("y", 0, 40, 1)]);
+        let mut nm = NelderMead::new(space, 400);
+        drive(&mut nm, |p| {
+            let x = p[0] as f64 / 10.0 - 1.0;
+            let y = p[1] as f64 / 10.0 - 1.0;
+            100.0 * (y - x * x).powi(2) + (1.0 - x).powi(2)
+        });
+        let (_, ybest) = nm.best().unwrap();
+        assert!(ybest < 5.0, "best objective {ybest}");
+    }
+}

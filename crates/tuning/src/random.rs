@@ -1,0 +1,122 @@
+//! Budget-bound uniform random search.
+//!
+//! The honest baseline every smarter strategy must beat. Samples level
+//! vectors uniformly (with replacement) for a fixed evaluation budget.
+//! Deterministic given a seed.
+
+use crate::search::{BestTracker, Search};
+use crate::space::{Point, Space};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Uniform random search with a fixed evaluation budget.
+pub struct RandomSearch {
+    space: Space,
+    rng: StdRng,
+    budget: usize,
+    proposed: usize,
+    tracker: BestTracker,
+}
+
+impl RandomSearch {
+    /// Creates a random search drawing at most `budget` samples.
+    ///
+    /// # Panics
+    /// Panics if `budget` is zero.
+    pub fn new(space: Space, budget: usize, seed: u64) -> Self {
+        assert!(budget > 0, "budget must be positive");
+        Self { space, rng: StdRng::seed_from_u64(seed), budget, proposed: 0, tracker: BestTracker::default() }
+    }
+}
+
+impl Search for RandomSearch {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn propose(&mut self) -> Option<Point> {
+        if self.proposed >= self.budget {
+            return None;
+        }
+        self.proposed += 1;
+        let levels: Vec<usize> = self
+            .space
+            .dims()
+            .iter()
+            .map(|d| self.rng.gen_range(0..d.cardinality()))
+            .collect();
+        Some(self.space.point_at(&levels))
+    }
+
+    fn report(&mut self, point: &Point, objective: f64) {
+        self.tracker.observe(point, objective);
+    }
+
+    fn best(&self) -> Option<(Point, f64)> {
+        self.tracker.best()
+    }
+
+    fn converged(&self) -> bool {
+        self.proposed >= self.budget
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::Dim;
+
+    fn space() -> Space {
+        Space::new(vec![Dim::range("a", 0, 9, 1), Dim::range("b", 0, 9, 1)])
+    }
+
+    #[test]
+    fn respects_budget() {
+        let mut s = RandomSearch::new(space(), 17, 1);
+        let mut n = 0;
+        while let Some(p) = s.propose() {
+            s.report(&p, 0.0);
+            n += 1;
+        }
+        assert_eq!(n, 17);
+        assert!(s.converged());
+    }
+
+    #[test]
+    fn proposals_always_on_lattice() {
+        let sp = space();
+        let mut s = RandomSearch::new(sp.clone(), 200, 7);
+        while let Some(p) = s.propose() {
+            assert!(sp.contains(&p), "off-lattice proposal {p:?}");
+            s.report(&p, 0.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let collect = |seed| {
+            let mut s = RandomSearch::new(space(), 50, seed);
+            let mut out = Vec::new();
+            while let Some(p) = s.propose() {
+                s.report(&p, 0.0);
+                out.push(p);
+            }
+            out
+        };
+        assert_eq!(collect(42), collect(42));
+        assert_ne!(collect(42), collect(43));
+    }
+
+    #[test]
+    fn large_budget_finds_unimodal_minimum() {
+        let sp = space();
+        let mut s = RandomSearch::new(sp, 1000, 3);
+        while let Some(p) = s.propose() {
+            let y = ((p[0] - 6).pow(2) + (p[1] - 3).pow(2)) as f64;
+            s.report(&p, y);
+        }
+        let (best, y) = s.best().unwrap();
+        assert_eq!(best, vec![6, 3]);
+        assert_eq!(y, 0.0);
+    }
+}

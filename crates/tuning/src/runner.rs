@@ -1,0 +1,130 @@
+//! Offline driver for search strategies against black-box objectives.
+//!
+//! Online, the propose/report loop is driven by the tuning session in
+//! `lg-core`, with real measurement epochs between steps. Offline — in
+//! tests and in the strategy-comparison experiment — this runner plays the
+//! application's role, evaluating the objective function directly.
+
+use crate::search::Search;
+use crate::space::Point;
+
+/// Outcome of an offline minimization run.
+#[derive(Clone, Debug)]
+pub struct TuneResult {
+    /// Best configuration found.
+    pub best_point: Point,
+    /// Objective value at the best configuration.
+    pub best_value: f64,
+    /// Number of evaluations performed.
+    pub evals: usize,
+    /// Full evaluation trace in order: `(point, value)`.
+    pub trace: Vec<(Point, f64)>,
+    /// Evaluation index (1-based) at which the final best value was first
+    /// reached — the "time to solution" metric in Table 3.
+    pub evals_to_best: usize,
+}
+
+/// Drives `search` against `objective` until the strategy converges or
+/// `max_evals` evaluations have been spent. Returns `None` if the strategy
+/// never evaluated anything.
+pub fn minimize(
+    search: &mut dyn Search,
+    mut objective: impl FnMut(&Point) -> f64,
+    max_evals: usize,
+) -> Option<TuneResult> {
+    let mut trace = Vec::new();
+    while trace.len() < max_evals {
+        let Some(p) = search.propose() else { break };
+        let y = objective(&p);
+        search.report(&p, y);
+        trace.push((p, y));
+    }
+    let (best_point, best_value) = search.best()?;
+    let evals_to_best = trace
+        .iter()
+        .position(|(_, y)| *y <= best_value)
+        .map(|i| i + 1)
+        .unwrap_or(trace.len());
+    Some(TuneResult { best_point, best_value, evals: trace.len(), trace, evals_to_best })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exhaustive::Exhaustive;
+    use crate::hillclimb::HillClimb;
+    use crate::landscape;
+    use crate::space::{Dim, Space};
+
+    fn space_1d() -> Space {
+        Space::new(vec![Dim::range("x", 0, 63, 1)])
+    }
+
+    #[test]
+    fn exhaustive_ground_truth() {
+        let mut f = landscape::sphere(vec![41], vec![1.0]);
+        let mut ex = Exhaustive::new(space_1d());
+        let r = minimize(&mut ex, |p| f(p), usize::MAX).unwrap();
+        assert_eq!(r.best_point, vec![41]);
+        assert_eq!(r.best_value, 0.0);
+        assert_eq!(r.evals, 64);
+    }
+
+    #[test]
+    fn max_evals_caps_work() {
+        let mut ex = Exhaustive::new(space_1d());
+        let r = minimize(&mut ex, |p| p[0] as f64, 10).unwrap();
+        assert_eq!(r.evals, 10);
+    }
+
+    #[test]
+    fn evals_to_best_is_first_attainment() {
+        let mut hc = HillClimb::from_start(space_1d(), &[0]);
+        let r = minimize(&mut hc, |p| ((p[0] - 5) * (p[0] - 5)) as f64, 1000).unwrap();
+        assert_eq!(r.best_point, vec![5]);
+        assert!(r.evals_to_best <= r.evals);
+        // The trace entry at evals_to_best-1 must hold the best value.
+        assert_eq!(r.trace[r.evals_to_best - 1].1, r.best_value);
+    }
+
+    #[test]
+    fn empty_run_returns_none() {
+        // A strategy that immediately reports convergence.
+        struct Dead;
+        impl Search for Dead {
+            fn name(&self) -> &'static str {
+                "dead"
+            }
+            fn propose(&mut self) -> Option<Point> {
+                None
+            }
+            fn report(&mut self, _: &Point, _: f64) {}
+            fn best(&self) -> Option<(Point, f64)> {
+                None
+            }
+            fn converged(&self) -> bool {
+                true
+            }
+        }
+        assert!(minimize(&mut Dead, |_| 0.0, 100).is_none());
+    }
+
+    #[test]
+    fn hillclimb_beats_random_on_smooth_bowl() {
+        use crate::random::RandomSearch;
+        let mut f1 = landscape::sphere(vec![50], vec![1.0]);
+        let mut f2 = landscape::sphere(vec![50], vec![1.0]);
+        let space = Space::new(vec![Dim::range("x", 0, 1023, 1)]);
+        let mut hc = HillClimb::from_start(space.clone(), &[0]);
+        let hr = minimize(&mut hc, |p| f1(p), 4000).unwrap();
+        let mut rs = RandomSearch::new(space, hr.evals, 3);
+        let rr = minimize(&mut rs, |p| f2(p), hr.evals).unwrap();
+        assert!(
+            hr.best_value <= rr.best_value,
+            "hillclimb {} vs random {} at equal budget {}",
+            hr.best_value,
+            rr.best_value,
+            hr.evals
+        );
+    }
+}

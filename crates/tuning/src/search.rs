@@ -1,0 +1,102 @@
+//! The propose/report search protocol.
+//!
+//! Online tuning interleaves with real execution: the tuning session asks
+//! the strategy where to look next ([`Search::propose`]), actuates the
+//! knobs, runs a measurement epoch, and feeds the observed objective back
+//! ([`Search::report`]). The strategy never blocks and never measures; it
+//! only decides.
+
+use crate::space::Point;
+
+/// A minimizing search strategy over a discrete [`crate::space::Space`].
+///
+/// ## Protocol
+///
+/// ```text
+/// loop {
+///     match search.propose() {
+///         None => break,                   // converged or exhausted
+///         Some(p) => {
+///             let y = measure(p);          // caller-owned evaluation
+///             search.report(&p, y);
+///         }
+///     }
+/// }
+/// let (best_point, best_value) = search.best().unwrap();
+/// ```
+///
+/// Implementations must tolerate `report` calls for points they did not
+/// propose (an online system may measure opportunistically) and repeated
+/// evaluations of the same point with different values (noise).
+pub trait Search: Send {
+    /// Short identifier, e.g. `"hillclimb"`.
+    fn name(&self) -> &'static str;
+
+    /// The next point to evaluate, or `None` when the strategy has
+    /// converged or exhausted its budget.
+    fn propose(&mut self) -> Option<Point>;
+
+    /// Reports a measured objective value for `point` (lower is better).
+    fn report(&mut self, point: &Point, objective: f64);
+
+    /// The best `(point, objective)` reported so far.
+    fn best(&self) -> Option<(Point, f64)>;
+
+    /// True once the strategy will not propose further points.
+    fn converged(&self) -> bool;
+}
+
+/// Shared best-so-far bookkeeping used by every strategy.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct BestTracker {
+    best: Option<(Point, f64)>,
+    pub(crate) reports: usize,
+}
+
+impl BestTracker {
+    pub(crate) fn observe(&mut self, point: &Point, objective: f64) {
+        self.reports += 1;
+        let better = match &self.best {
+            None => true,
+            Some((_, y)) => objective < *y,
+        };
+        if better {
+            self.best = Some((point.clone(), objective));
+        }
+    }
+
+    pub(crate) fn best(&self) -> Option<(Point, f64)> {
+        self.best.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracker_keeps_minimum() {
+        let mut t = BestTracker::default();
+        t.observe(&vec![1], 5.0);
+        t.observe(&vec![2], 3.0);
+        t.observe(&vec![3], 4.0);
+        let (p, y) = t.best().unwrap();
+        assert_eq!(p, vec![2]);
+        assert_eq!(y, 3.0);
+        assert_eq!(t.reports, 3);
+    }
+
+    #[test]
+    fn tracker_ties_keep_first() {
+        let mut t = BestTracker::default();
+        t.observe(&vec![1], 2.0);
+        t.observe(&vec![9], 2.0);
+        assert_eq!(t.best().unwrap().0, vec![1]);
+    }
+
+    #[test]
+    fn tracker_empty() {
+        let t = BestTracker::default();
+        assert!(t.best().is_none());
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests for spaces and search strategies.
+
+use lg_tuning::anneal::AnnealConfig;
+use lg_tuning::genetic::GeneticConfig;
+use lg_tuning::{
+    minimize, Dim, Exhaustive, Genetic, HillClimb, NelderMead, RandomSearch, Search,
+    SimulatedAnnealing, Space,
+};
+use proptest::prelude::*;
+
+fn arb_space() -> impl Strategy<Value = Space> {
+    (
+        (0i64..10, 1i64..30, 1i64..4),
+        proptest::option::of(0u32..6),
+    )
+        .prop_map(|((lo, extent, step), pow2)| {
+            let mut dims = vec![Dim::range("a", lo, lo + extent, step)];
+            if let Some(e) = pow2 {
+                dims.push(Dim::pow2("b", 0, e));
+            }
+            Space::new(dims)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn exhaustive_visits_each_point_once(space in arb_space()) {
+        let mut ex = Exhaustive::new(space.clone());
+        let mut seen = std::collections::HashSet::new();
+        while let Some(p) = ex.propose() {
+            prop_assert!(seen.insert(p.clone()), "duplicate {:?}", p);
+            ex.report(&p, 0.0);
+        }
+        prop_assert_eq!(seen.len(), space.cardinality());
+    }
+
+    #[test]
+    fn exhaustive_best_is_true_argmin(space in arb_space(), cx in -20i64..20) {
+        let f = |p: &Vec<i64>| p.iter().map(|&v| ((v - cx) as f64).powi(2)).sum::<f64>();
+        let mut ex = Exhaustive::new(space.clone());
+        let r = minimize(&mut ex, |p| f(p), usize::MAX).unwrap();
+        let true_min = space.iter_points().map(|p| f(&p)).fold(f64::INFINITY, f64::min);
+        prop_assert_eq!(r.best_value, true_min);
+    }
+
+    #[test]
+    fn all_strategies_terminate_and_stay_in_space(space in arb_space(), seed in 0u64..500) {
+        let strategies: Vec<Box<dyn Search>> = vec![
+            Box::new(RandomSearch::new(space.clone(), 30, seed)),
+            Box::new(HillClimb::new(space.clone())),
+            Box::new(SimulatedAnnealing::new(
+                space.clone(),
+                AnnealConfig { budget: 30, ..Default::default() },
+                seed,
+            )),
+            Box::new(NelderMead::new(space.clone(), 30)),
+            Box::new(Genetic::new(
+                space.clone(),
+                GeneticConfig { population: 6, elites: 1, budget: 30, ..Default::default() },
+                seed,
+            )),
+        ];
+        for mut s in strategies {
+            let mut evals = 0usize;
+            while let Some(p) = s.propose() {
+                prop_assert!(space.contains(&p), "{} left the lattice: {:?}", s.name(), p);
+                s.report(&p, p.iter().map(|&v| v as f64).sum());
+                evals += 1;
+                prop_assert!(evals <= space.cardinality().max(1) * 4 + 2000,
+                    "{} did not terminate", s.name());
+            }
+            prop_assert!(s.converged(), "{} stopped proposing without converging", s.name());
+        }
+    }
+
+    #[test]
+    fn best_never_worse_than_any_report(space in arb_space(), seed in 0u64..100) {
+        let mut s = RandomSearch::new(space, 50, seed);
+        let mut min_reported = f64::INFINITY;
+        while let Some(p) = s.propose() {
+            let y = (p[0] * 3 % 17) as f64;
+            min_reported = min_reported.min(y);
+            s.report(&p, y);
+            let (_, best) = s.best().unwrap();
+            prop_assert_eq!(best, min_reported);
+        }
+    }
+
+    #[test]
+    fn hillclimb_result_is_local_minimum(cx in 0i64..60, seed in 0u64..50) {
+        // On a deterministic pseudo-random landscape, the point hillclimb
+        // converges to must be no worse than all its lattice neighbors.
+        let space = Space::new(vec![Dim::range("x", 0, 60, 1)]);
+        let f = |p: &Vec<i64>| {
+            let v = (p[0] - cx) as f64;
+            let h = ((p[0] as u64).wrapping_mul(seed.wrapping_add(1) * 2654435761)) % 97;
+            v * v + h as f64
+        };
+        let mut hc = HillClimb::new(space.clone());
+        let _ = minimize(&mut hc, |p| f(p), 10_000).unwrap();
+        let final_point = hc.current_point();
+        let y_final = f(&final_point);
+        let levels = space.levels_of(&final_point).unwrap();
+        for n in space.neighbor_levels(&levels) {
+            let np = space.point_at(&n);
+            prop_assert!(f(&np) >= y_final, "not a local min: {:?} beats {:?}", np, final_point);
+        }
+    }
+
+    #[test]
+    fn clamp_is_idempotent_and_contained(space in arb_space(), probe in proptest::collection::vec(-1000i64..1000, 1..3)) {
+        if probe.len() == space.ndims() {
+            let c = space.clamp(&probe);
+            prop_assert!(space.contains(&c));
+            prop_assert_eq!(space.clamp(&c), c);
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Compute-bound kernel: iterated transcendental map per element.
+//!
+//! Each element runs `iters` rounds of a sin/sqrt mix entirely in
+//! registers — negligible memory traffic, so throughput scales with cores
+//! until the machine runs out of them. The compute-side contrast to the
+//! stencils in every concurrency experiment.
+
+use lg_runtime::ThreadPool;
+use lg_sim::SimWorkload;
+
+/// A compute-bound embarrassingly parallel kernel.
+pub struct ComputeKernel {
+    n: usize,
+    iters: usize,
+    out: Vec<f64>,
+}
+
+impl ComputeKernel {
+    /// Creates a kernel over `n` elements, `iters` rounds each.
+    ///
+    /// # Panics
+    /// Panics if `n` or `iters` is zero.
+    pub fn new(n: usize, iters: usize) -> Self {
+        assert!(n > 0 && iters > 0, "kernel needs positive size and iterations");
+        Self { n, iters, out: vec![0.0; n] }
+    }
+
+    /// The per-element function: `iters` rounds of a contraction map.
+    /// Deterministic in `i`, so results are checkable.
+    pub fn element(i: usize, iters: usize) -> f64 {
+        let mut x = (i as f64 + 1.0) * 1e-3;
+        for _ in 0..iters {
+            x = (x * x + 0.25).sqrt().sin() + 0.5;
+        }
+        x
+    }
+
+    /// Runs sequentially (reference).
+    pub fn run_seq(&mut self) {
+        for i in 0..self.n {
+            self.out[i] = Self::element(i, self.iters);
+        }
+    }
+
+    /// Runs on the pool with the given chunk size.
+    pub fn run_parallel(&mut self, pool: &ThreadPool, chunk: usize) {
+        let iters = self.iters;
+        let ptr = SendPtr(self.out.as_mut_ptr());
+        pool.parallel_for("compute_chunk", 0..self.n, chunk, move |i| {
+            // SAFETY: each index written by exactly one task.
+            unsafe { ptr.write(i, Self::element(i, iters)) };
+        });
+    }
+
+    /// Output state.
+    pub fn output(&self) -> &[f64] {
+        &self.out
+    }
+
+    /// Checksum of the output.
+    pub fn checksum(&self) -> f64 {
+        self.out.iter().sum()
+    }
+
+    /// The simulated twin: ~20 ops per inner iteration, zero traffic.
+    pub fn sim_workload(n: usize, iters: usize, tasks_per_step: usize) -> SimWorkload {
+        SimWorkload {
+            name: "compute".into(),
+            kind: lg_sim::WorkloadKind::ComputeBound,
+            ops_per_step: n as f64 * iters as f64 * 20.0,
+            tasks_per_step,
+            bytes_per_op: 0.0,
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+struct SendPtr(*mut f64);
+
+impl SendPtr {
+    /// # Safety
+    /// `i` must be in bounds and written by exactly one task.
+    unsafe fn write(self, i: usize, v: f64) {
+        unsafe { *self.0.add(i) = v }
+    }
+}
+
+// SAFETY: disjoint index writes only.
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lg_core::LookingGlass;
+    use lg_runtime::PoolConfig;
+
+    fn pool(workers: usize) -> ThreadPool {
+        ThreadPool::new(LookingGlass::builder().build(), PoolConfig::with_workers(workers))
+    }
+
+    #[test]
+    fn element_is_deterministic_and_bounded() {
+        let a = ComputeKernel::element(17, 100);
+        let b = ComputeKernel::element(17, 100);
+        assert_eq!(a, b);
+        assert!(a.is_finite());
+        assert!((0.0..2.0).contains(&a), "contraction keeps values bounded: {a}");
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let p = pool(3);
+        let mut seq = ComputeKernel::new(500, 20);
+        let mut par = ComputeKernel::new(500, 20);
+        seq.run_seq();
+        par.run_parallel(&p, 33);
+        assert_eq!(seq.output(), par.output());
+    }
+
+    #[test]
+    fn chunk_invariance() {
+        let p = pool(2);
+        let mut a = ComputeKernel::new(200, 10);
+        let mut b = ComputeKernel::new(200, 10);
+        a.run_parallel(&p, 1);
+        b.run_parallel(&p, 200);
+        assert_eq!(a.checksum(), b.checksum());
+    }
+
+    #[test]
+    fn sim_twin_has_zero_traffic() {
+        let w = ComputeKernel::sim_workload(1000, 50, 16);
+        assert!(w.step_batch().iter().all(|t| t.bytes == 0.0));
+        assert_eq!(w.step_batch().len(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive size")]
+    fn zero_size_rejected() {
+        let _ = ComputeKernel::new(0, 1);
+    }
+}

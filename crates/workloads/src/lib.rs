@@ -1,0 +1,36 @@
+//! # lg-workloads — benchmark workloads for the evaluation
+//!
+//! Each workload exists in (up to) two forms:
+//!
+//! 1. **Real** — runs on [`lg_runtime::ThreadPool`], computes actual
+//!    numerics, and verifies them with checksums. Used by the overhead and
+//!    granularity experiments, which are valid on any host.
+//! 2. **Simulated** — a [`lg_sim::SimWorkload`] descriptor (tasks with op
+//!    counts and bytes touched) executed on the simulated machine. Used by
+//!    the concurrency/energy experiments, which need a many-core substrate.
+//!
+//! | Workload | Module | Character |
+//! |---|---|---|
+//! | 1-D heat stencil | [`stencil1d`] | memory-bound, iterative |
+//! | 2-D heat stencil | [`stencil2d`] | memory-bound, blocked |
+//! | transcendental kernel | [`compute`] | compute-bound |
+//! | fib / divide-conquer | [`fib`] | task-graph recursion, tiny tasks |
+//! | unbalanced tree search | [`uts`] | irregular task graph |
+//! | phase alternator | [`phased`] | alternates memory/compute phases |
+//! | parcel storm | [`parcel_storm`] | offered-load generator for lg-net |
+
+#![warn(missing_docs)]
+
+pub mod compute;
+pub mod fib;
+pub mod parcel_storm;
+pub mod phased;
+pub mod stencil1d;
+pub mod stencil2d;
+pub mod uts;
+
+pub use compute::ComputeKernel;
+pub use parcel_storm::ParcelStorm;
+pub use phased::PhasedWorkload;
+pub use stencil1d::Stencil1d;
+pub use stencil2d::Stencil2d;

@@ -1,0 +1,160 @@
+//! Phase-alternating workload for the phase-aware adaptation experiment.
+//!
+//! Real applications alternate between solver phases with different
+//! resource characters (assembly: memory-bound; integration:
+//! compute-bound). A policy tuned for one phase is wrong for the next.
+//! This module provides both the real two-kernel alternator and helpers
+//! describing its simulated twin (built on
+//! [`lg_sim::workload_model::PhasedSimWorkload`]).
+
+use crate::compute::ComputeKernel;
+use crate::stencil1d::Stencil1d;
+use lg_runtime::ThreadPool;
+use lg_sim::workload_model::PhasedSimWorkload;
+use lg_sim::SimWorkload;
+
+/// A workload alternating memory-bound and compute-bound phases.
+pub struct PhasedWorkload {
+    stencil: Stencil1d,
+    kernel: ComputeKernel,
+    /// Steps per phase.
+    pub period: usize,
+    step: usize,
+}
+
+/// Which phase is active.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PhaseKind {
+    /// Stencil (memory-bound) phase.
+    Memory,
+    /// Kernel (compute-bound) phase.
+    Compute,
+}
+
+impl PhasedWorkload {
+    /// Creates an alternator: stencil of `stencil_n` points, kernel of
+    /// `kernel_n` × `kernel_iters`, switching every `period` steps.
+    ///
+    /// # Panics
+    /// Panics if `period` is zero.
+    pub fn new(stencil_n: usize, kernel_n: usize, kernel_iters: usize, period: usize) -> Self {
+        assert!(period > 0, "phase period must be positive");
+        Self {
+            stencil: Stencil1d::new(stencil_n, 0.25),
+            kernel: ComputeKernel::new(kernel_n, kernel_iters),
+            period,
+            step: 0,
+        }
+    }
+
+    /// The phase that the *next* step will execute.
+    pub fn current_phase(&self) -> PhaseKind {
+        if (self.step / self.period).is_multiple_of(2) {
+            PhaseKind::Memory
+        } else {
+            PhaseKind::Compute
+        }
+    }
+
+    /// Global step counter.
+    pub fn step_index(&self) -> usize {
+        self.step
+    }
+
+    /// Executes one step on the pool; emits phase markers on transitions.
+    pub fn step(&mut self, pool: &ThreadPool, chunk: usize) -> PhaseKind {
+        let phase = self.current_phase();
+        let lg = pool.lg().clone();
+        if self.step % self.period == 0 {
+            if self.step > 0 {
+                lg.phase_end(match phase {
+                    // The *previous* phase just ended.
+                    PhaseKind::Memory => "compute",
+                    PhaseKind::Compute => "memory",
+                });
+            }
+            lg.phase_begin(match phase {
+                PhaseKind::Memory => "memory",
+                PhaseKind::Compute => "compute",
+            });
+        }
+        match phase {
+            PhaseKind::Memory => self.stencil.step_parallel(pool, chunk),
+            PhaseKind::Compute => self.kernel.run_parallel(pool, chunk),
+        }
+        self.step += 1;
+        phase
+    }
+
+    /// The simulated twin: memory phase vs compute phase of equal op
+    /// volume, alternating every `period` steps.
+    pub fn sim_workload(ops_per_step: f64, tasks_per_step: usize, period: usize) -> PhasedSimWorkload {
+        PhasedSimWorkload::new(
+            SimWorkload::stencil(ops_per_step, tasks_per_step),
+            SimWorkload::compute(ops_per_step, tasks_per_step),
+            period,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lg_core::LookingGlass;
+    use lg_runtime::PoolConfig;
+
+    fn pool(workers: usize) -> ThreadPool {
+        ThreadPool::new(LookingGlass::builder().build(), PoolConfig::with_workers(workers))
+    }
+
+    #[test]
+    fn phases_alternate_on_period() {
+        let p = pool(2);
+        let mut w = PhasedWorkload::new(64, 64, 5, 3);
+        let mut seen = Vec::new();
+        for _ in 0..12 {
+            seen.push(w.step(&p, 8));
+        }
+        use PhaseKind::*;
+        assert_eq!(
+            seen,
+            vec![Memory, Memory, Memory, Compute, Compute, Compute, Memory, Memory, Memory, Compute, Compute, Compute]
+        );
+    }
+
+    #[test]
+    fn phase_markers_emitted() {
+        let lg = LookingGlass::builder().trace(256).build();
+        let p = ThreadPool::new(lg.clone(), PoolConfig::with_workers(2));
+        let mut w = PhasedWorkload::new(32, 32, 2, 2);
+        for _ in 0..6 {
+            w.step(&p, 4);
+        }
+        let recs = lg.trace().unwrap().records();
+        let phase_events: Vec<&str> = recs
+            .iter()
+            .filter(|r| matches!(r.event.kind_str(), "phase_begin" | "phase_end"))
+            .map(|r| r.event.kind_str())
+            .collect();
+        // Steps 0..6 with period 2: begins at step 0, 2, 4; ends at 2, 4.
+        assert_eq!(phase_events.iter().filter(|k| **k == "phase_begin").count(), 3);
+        assert_eq!(phase_events.iter().filter(|k| **k == "phase_end").count(), 2);
+    }
+
+    #[test]
+    fn both_kernels_make_progress() {
+        let p = pool(2);
+        let mut w = PhasedWorkload::new(64, 16, 3, 1);
+        w.step(&p, 8); // memory
+        assert_eq!(w.stencil.steps_done(), 1);
+        w.step(&p, 8); // compute
+        assert!(w.kernel.checksum() != 0.0);
+    }
+
+    #[test]
+    fn sim_twin_alternates_kinds() {
+        let tw = PhasedWorkload::sim_workload(1e8, 8, 4);
+        assert!(tw.step_batch(0).iter().all(|t| t.bytes > 0.0));
+        assert!(tw.step_batch(4).iter().all(|t| t.bytes == 0.0));
+    }
+}

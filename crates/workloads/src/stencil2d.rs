@@ -1,0 +1,224 @@
+//! 2-D heat diffusion (5-point stencil), row-blocked.
+//!
+//! The 2-D variant exists to exercise blocked decomposition: each task
+//! owns a band of rows, so the chunk knob controls rows-per-task. Same
+//! memory-bound character as [`crate::stencil1d`], with better per-task
+//! arithmetic density.
+
+use lg_runtime::ThreadPool;
+
+/// A 2-D heat diffusion problem on an `rows × cols` grid.
+pub struct Stencil2d {
+    rows: usize,
+    cols: usize,
+    k: f64,
+    bufs: [Vec<f64>; 2],
+    front: usize,
+    steps_done: usize,
+}
+
+impl Stencil2d {
+    /// Creates a grid with a hot top edge.
+    ///
+    /// # Panics
+    /// Panics if either dimension is < 3 or `k` is not in `(0, 0.25]`
+    /// (2-D stability bound).
+    pub fn new(rows: usize, cols: usize, k: f64) -> Self {
+        assert!(rows >= 3 && cols >= 3, "grid must be at least 3x3");
+        assert!(k > 0.0 && k <= 0.25, "diffusion constant must be in (0, 0.25] for 2-D stability");
+        let mut u = vec![0.0; rows * cols];
+        u[..cols].fill(1.0);
+        Self { rows, cols, k, bufs: [u.clone(), u], front: 0, steps_done: 0 }
+    }
+
+    /// Grid rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Grid columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Timesteps completed.
+    pub fn steps_done(&self) -> usize {
+        self.steps_done
+    }
+
+    /// Current state (row-major).
+    pub fn state(&self) -> &[f64] {
+        &self.bufs[self.front]
+    }
+
+    /// Value at `(r, c)`.
+    pub fn at(&self, r: usize, c: usize) -> f64 {
+        self.state()[r * self.cols + c]
+    }
+
+    fn split_bufs(&mut self) -> (&[f64], &mut [f64]) {
+        let (a, b) = self.bufs.split_at_mut(1);
+        if self.front == 0 {
+            (&a[0], &mut b[0])
+        } else {
+            (&b[0], &mut a[0])
+        }
+    }
+
+    fn update_row(src: &[f64], dst: &mut [f64], cols: usize, k: f64, r: usize) {
+        let base = r * cols;
+        for c in 1..cols - 1 {
+            let i = base + c;
+            dst[i] = src[i]
+                + k * (src[i - 1] + src[i + 1] + src[i - cols] + src[i + cols] - 4.0 * src[i]);
+        }
+        dst[base] = src[base];
+        dst[base + cols - 1] = src[base + cols - 1];
+    }
+
+    /// Advances one timestep sequentially.
+    pub fn step_seq(&mut self) {
+        let cols = self.cols;
+        let rows = self.rows;
+        let k = self.k;
+        let (src, dst) = self.split_bufs();
+        for r in 1..rows - 1 {
+            Self::update_row(src, dst, cols, k, r);
+        }
+        dst[..cols].copy_from_slice(&src[..cols]);
+        dst[(rows - 1) * cols..].copy_from_slice(&src[(rows - 1) * cols..]);
+        self.front ^= 1;
+        self.steps_done += 1;
+    }
+
+    /// Advances one timestep on the pool, `rows_per_task` rows per task.
+    pub fn step_parallel(&mut self, pool: &ThreadPool, rows_per_task: usize) {
+        let cols = self.cols;
+        let rows = self.rows;
+        let k = self.k;
+        let (src_buf, dst_buf) = self.split_bufs();
+        let src: &[f64] = src_buf;
+        let dst_ptr = SendPtr(dst_buf.as_mut_ptr());
+        pool.parallel_for("stencil2d_band", 1..rows - 1, rows_per_task, move |r| {
+            let base = r * cols;
+            for c in 1..cols - 1 {
+                let i = base + c;
+                let v = src[i]
+                    + k * (src[i - 1] + src[i + 1] + src[i - cols] + src[i + cols] - 4.0 * src[i]);
+                // SAFETY: row r is owned by exactly one task; columns are
+                // disjoint within the row; boundary rows are not written.
+                unsafe { dst_ptr.write(i, v) };
+            }
+            unsafe {
+                dst_ptr.write(base, src[base]);
+                dst_ptr.write(base + cols - 1, src[base + cols - 1]);
+            }
+        });
+        let (src_buf, dst_buf) = self.split_bufs();
+        dst_buf[..cols].copy_from_slice(&src_buf[..cols]);
+        dst_buf[(rows - 1) * cols..].copy_from_slice(&src_buf[(rows - 1) * cols..]);
+        self.front ^= 1;
+        self.steps_done += 1;
+    }
+
+    /// Runs `steps` parallel timesteps.
+    pub fn run(&mut self, pool: &ThreadPool, steps: usize, rows_per_task: usize) {
+        for _ in 0..steps {
+            self.step_parallel(pool, rows_per_task);
+        }
+    }
+
+    /// Sum of all grid values.
+    pub fn checksum(&self) -> f64 {
+        self.state().iter().sum()
+    }
+}
+
+#[derive(Clone, Copy)]
+struct SendPtr(*mut f64);
+
+impl SendPtr {
+    /// # Safety
+    /// `i` must be in bounds and written by exactly one task.
+    unsafe fn write(self, i: usize, v: f64) {
+        unsafe { *self.0.add(i) = v }
+    }
+}
+
+// SAFETY: used only for writes to disjoint rows (see step_parallel).
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lg_core::LookingGlass;
+    use lg_runtime::PoolConfig;
+
+    fn pool(workers: usize) -> ThreadPool {
+        ThreadPool::new(LookingGlass::builder().build(), PoolConfig::with_workers(workers))
+    }
+
+    #[test]
+    fn heat_flows_down_from_top() {
+        let mut s = Stencil2d::new(32, 32, 0.2);
+        for _ in 0..50 {
+            s.step_seq();
+        }
+        assert_eq!(s.at(0, 16), 1.0);
+        assert!(s.at(1, 16) > 0.2);
+        assert!(s.at(1, 16) > s.at(8, 16));
+        assert!(s.at(8, 16) > s.at(20, 16));
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let p = pool(3);
+        let mut seq = Stencil2d::new(33, 17, 0.2);
+        let mut par = Stencil2d::new(33, 17, 0.2);
+        for _ in 0..25 {
+            seq.step_seq();
+            par.step_parallel(&p, 5);
+        }
+        assert_eq!(seq.state(), par.state());
+    }
+
+    #[test]
+    fn band_size_invariant() {
+        let p = pool(2);
+        let mut a = Stencil2d::new(24, 24, 0.25);
+        let mut b = Stencil2d::new(24, 24, 0.25);
+        a.run(&p, 10, 1);
+        b.run(&p, 10, 100);
+        assert_eq!(a.state(), b.state());
+    }
+
+    #[test]
+    fn values_in_unit_range() {
+        let p = pool(2);
+        let mut s = Stencil2d::new(20, 20, 0.25);
+        s.run(&p, 100, 4);
+        assert!(s.state().iter().all(|v| (0.0..=1.0).contains(v)));
+    }
+
+    #[test]
+    #[should_panic(expected = "stability")]
+    fn unstable_k_rejected() {
+        let _ = Stencil2d::new(8, 8, 0.3);
+    }
+
+    #[test]
+    fn symmetric_problem_stays_symmetric() {
+        // Columns mirror-symmetric initial condition must stay symmetric.
+        let p = pool(3);
+        let mut s = Stencil2d::new(16, 16, 0.2);
+        s.run(&p, 30, 3);
+        for r in 0..16 {
+            for c in 0..8 {
+                let left = s.at(r, c);
+                let right = s.at(r, 15 - c);
+                assert!((left - right).abs() < 1e-12, "asymmetry at ({r},{c})");
+            }
+        }
+    }
+}

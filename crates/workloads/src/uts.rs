@@ -1,0 +1,168 @@
+//! Unbalanced tree search (UTS-style) — irregular task graphs.
+//!
+//! Each node's child count is drawn from a geometric-ish distribution
+//! seeded by the node's id, so subtree sizes vary wildly and static
+//! partitioning is hopeless — exactly the load shape work stealing exists
+//! for. The tree is defined purely by a hash function (SplitMix64), so
+//! its size is a deterministic function of the parameters and can be
+//! verified against a sequential traversal.
+
+use lg_runtime::ThreadPool;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Parameters of an unbalanced tree.
+#[derive(Clone, Copy, Debug)]
+pub struct UtsParams {
+    /// Root seed.
+    pub seed: u64,
+    /// Mean branching factor scale (0..=8); larger ⇒ bigger trees.
+    pub branch_scale: u32,
+    /// Maximum depth (safety bound).
+    pub max_depth: u32,
+}
+
+impl Default for UtsParams {
+    fn default() -> Self {
+        Self { seed: 42, branch_scale: 4, max_depth: 12 }
+    }
+}
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+/// Number of children of the node with id `id` at `depth`.
+fn child_count(params: &UtsParams, id: u64, depth: u32) -> u32 {
+    if depth >= params.max_depth {
+        return 0;
+    }
+    if depth == 0 {
+        // Standard UTS practice: the root has a fixed, generous branching
+        // factor so the tree never degenerates to a single node.
+        return (params.branch_scale * 2).max(4);
+    }
+    let h = splitmix(id ^ (params.seed.rotate_left(17)));
+    // Geometric-ish: P(k children) halves with k; scaled by branch_scale.
+    let r = (h % 16) as u32;
+    match r {
+        0..=7 => 0,
+        8..=11 => params.branch_scale / 2,
+        12..=14 => params.branch_scale,
+        _ => params.branch_scale * 2,
+    }
+}
+
+fn child_id(id: u64, k: u32) -> u64 {
+    splitmix(id.wrapping_mul(31).wrapping_add(k as u64 + 1))
+}
+
+/// Sequential traversal; returns node count.
+pub fn count_seq(params: &UtsParams) -> u64 {
+    fn go(params: &UtsParams, id: u64, depth: u32) -> u64 {
+        let mut total = 1;
+        for k in 0..child_count(params, id, depth) {
+            total += go(params, child_id(id, k), depth + 1);
+        }
+        total
+    }
+    go(params, params.seed, 0)
+}
+
+/// Parallel traversal: subtrees above `spawn_depth` become tasks;
+/// below it recursion stays inline. Returns node count.
+pub fn count_parallel(pool: &ThreadPool, params: &UtsParams, spawn_depth: u32) -> u64 {
+    let total = AtomicU64::new(0);
+    fn go_inline(params: &UtsParams, id: u64, depth: u32, acc: &AtomicU64) {
+        acc.fetch_add(1, Ordering::Relaxed);
+        for k in 0..child_count(params, id, depth) {
+            go_inline(params, child_id(id, k), depth + 1, acc);
+        }
+    }
+    pool.scope(|s| {
+        // BFS expansion to spawn_depth, spawning a task per frontier node.
+        let mut frontier = vec![(params.seed, 0u32)];
+        let total = &total;
+        while let Some((id, depth)) = frontier.pop() {
+            if depth >= spawn_depth {
+                let params = *params;
+                s.spawn_named("uts_subtree", move || {
+                    go_inline(&params, id, depth, total);
+                });
+                continue;
+            }
+            total.fetch_add(1, Ordering::Relaxed);
+            for k in 0..child_count(params, id, depth) {
+                frontier.push((child_id(id, k), depth + 1));
+            }
+        }
+    });
+    total.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lg_core::LookingGlass;
+    use lg_runtime::PoolConfig;
+
+    fn pool(workers: usize) -> ThreadPool {
+        ThreadPool::new(LookingGlass::builder().build(), PoolConfig::with_workers(workers))
+    }
+
+    #[test]
+    fn tree_is_deterministic() {
+        let p = UtsParams::default();
+        assert_eq!(count_seq(&p), count_seq(&p));
+    }
+
+    #[test]
+    fn tree_is_nontrivial() {
+        let n = count_seq(&UtsParams::default());
+        assert!(n > 100, "tree too small to be interesting: {n}");
+    }
+
+    #[test]
+    fn different_seeds_different_trees() {
+        let a = count_seq(&UtsParams { seed: 1, ..Default::default() });
+        let b = count_seq(&UtsParams { seed: 2, ..Default::default() });
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let p = pool(3);
+        let params = UtsParams::default();
+        let expect = count_seq(&params);
+        for spawn_depth in [0, 1, 2, 4] {
+            assert_eq!(
+                count_parallel(&p, &params, spawn_depth),
+                expect,
+                "spawn_depth {spawn_depth}"
+            );
+        }
+    }
+
+    #[test]
+    fn depth_bound_respected() {
+        let params = UtsParams { max_depth: 0, ..Default::default() };
+        assert_eq!(count_seq(&params), 1);
+    }
+
+    #[test]
+    fn larger_branch_scale_grows_tree() {
+        let small = count_seq(&UtsParams { branch_scale: 2, ..Default::default() });
+        let big = count_seq(&UtsParams { branch_scale: 6, ..Default::default() });
+        assert!(big > small, "big {big} vs small {small}");
+    }
+
+    #[test]
+    fn subtree_tasks_profiled() {
+        let p = pool(2);
+        let params = UtsParams::default();
+        count_parallel(&p, &params, 1);
+        assert!(p.lg().profiles().get("uts_subtree").unwrap().count > 0);
+    }
+}

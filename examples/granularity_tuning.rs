@@ -1,0 +1,83 @@
+//! Online task-granularity tuning on the real runtime.
+//!
+//! ```sh
+//! cargo run --release --example granularity_tuning
+//! ```
+//!
+//! Repeatedly runs a compute kernel through `parallel_for` while an
+//! online tuning session adjusts the chunk-size knob between passes.
+//! Small chunks drown in per-task scheduling overhead; the tuner walks
+//! to the flat part of the curve. Everything here is real execution on
+//! this host — no simulation.
+
+use looking_glass::core::{Knob as _, LookingGlass, SessionConfig, SessionStep, TuningSession};
+use looking_glass::runtime::{PoolConfig, ThreadPool};
+use looking_glass::tuning::{Dim, HillClimb, Space};
+use looking_glass::workloads::ComputeKernel;
+use std::time::Instant;
+
+fn main() {
+    let lg = LookingGlass::builder().build();
+    let pool = ThreadPool::new(lg.clone(), PoolConfig::default());
+    let n = 200_000;
+    let mut kernel = ComputeKernel::new(n, 30);
+
+    // The knob parallel_for reads at each pass.
+    let chunk_knob = pool.chunk_knob("chunk", 1, 1 << 14, 1);
+
+    // Reference sweep so the tuner's answer can be judged.
+    println!("-- reference sweep --");
+    println!("chunk    time_ms");
+    for e in [0u32, 2, 4, 6, 8, 10, 12, 14] {
+        let chunk = 1usize << e;
+        let t0 = Instant::now();
+        kernel.run_parallel(&pool, chunk);
+        println!("{:>6}  {:>8.2}", chunk, t0.elapsed().as_secs_f64() * 1e3);
+    }
+
+    // Online tuning session over power-of-two chunk sizes.
+    let space = Space::new(vec![Dim::pow2("chunk", 0, 14)]);
+    let search = Box::new(HillClimb::from_start(space, &[1]).with_min_improvement(0.03));
+    let mut session = TuningSession::new(
+        SessionConfig::single("chunk", 0, 0),
+        search,
+        lg.knobs().clone(),
+    );
+
+    println!("\n-- online tuning --");
+    println!("epoch  chunk    time_ms");
+    loop {
+        match session.next(lg.now_ns()) {
+            SessionStep::Done { best } => {
+                let (point, secs) = best.expect("tuned");
+                println!(
+                    "\ntuned chunk = {} ({:.2} ms/pass) in {} epochs",
+                    point[0],
+                    secs * 1e3,
+                    session.history().len()
+                );
+                break;
+            }
+            SessionStep::Measure { .. } => {
+                let chunk = chunk_knob.get().max(1) as usize;
+                let t0 = Instant::now();
+                kernel.run_parallel(&pool, chunk);
+                let secs = t0.elapsed().as_secs_f64();
+                println!(
+                    "{:>5}  {:>6}  {:>8.2}",
+                    session.history().len(),
+                    chunk,
+                    secs * 1e3
+                );
+                session.complete(secs);
+            }
+        }
+    }
+
+    let prof = lg.profiles().get("compute_chunk").expect("profile");
+    println!(
+        "observed {} chunk tasks, mean {:.1} us",
+        prof.count,
+        prof.mean_ns / 1e3
+    );
+}

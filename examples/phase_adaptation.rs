@@ -1,0 +1,99 @@
+//! Phase-aware adaptation on the simulated machine.
+//!
+//! ```sh
+//! cargo run --release --example phase_adaptation
+//! ```
+//!
+//! The workload alternates memory-bound and compute-bound phases. A
+//! per-phase tuning session (restarted at each boundary, warm-started at
+//! the previous winner) re-converges the thread cap each time the
+//! workload character flips — compare the cap trace against what a
+//! per-phase oracle would pick.
+
+use looking_glass::core::{Clock as _, SessionConfig, SessionStep, TuningSession};
+use looking_glass::sim::workload_model::PhasedSimWorkload;
+use looking_glass::sim::{MachineSpec, SimRuntime, SimWorkload};
+use looking_glass::tuning::{Dim, HillClimb, Space};
+
+fn pow2_caps(cores: usize) -> Vec<i64> {
+    (0..).map(|e| 1i64 << e).take_while(|&c| c <= cores as i64).collect()
+}
+
+fn main() {
+    let spec = MachineSpec::server32();
+    let period = 30;
+    let phases = 4;
+    let w = PhasedSimWorkload::new(
+        SimWorkload::stencil(2e8, 64),
+        SimWorkload::compute(2e8, 64),
+        period,
+    );
+
+    let mut sim = SimRuntime::new(spec);
+    let mut session: Option<TuningSession> = None;
+    let mut last_phase = usize::MAX;
+    println!("step  phase     cap  note");
+    let mut total_energy = 0.0;
+    let mut total_time = 0.0;
+    let mut step = 0usize;
+    let total_steps = period * phases;
+    while step < total_steps {
+        let phase = w.phase_index(step);
+        if phase != last_phase {
+            last_phase = phase;
+            let current = sim.lg().knobs().value("thread_cap").unwrap_or(32);
+            let space = Space::new(vec![Dim::values("thread_cap", pow2_caps(spec.cores))]);
+            let search = Box::new(HillClimb::from_start(space, &[current]).with_min_improvement(0.01));
+            session = Some(TuningSession::new(
+                SessionConfig::single("thread_cap", 0, 0),
+                search,
+                sim.lg().knobs().clone(),
+            ));
+            println!(
+                "---- phase {} begins ({}) ----",
+                phase,
+                w.active_at(step).name
+            );
+        }
+        let s = session.as_mut().unwrap();
+        let (cap, note);
+        if s.is_finished() {
+            cap = sim.lg().knobs().value("thread_cap").unwrap();
+            note = "steady";
+            sim.submit_all(w.step_batch(step));
+            let r = sim.run_until_idle();
+            total_energy += r.energy_j;
+            total_time += r.elapsed_s();
+            step += 1;
+        } else {
+            match s.next(sim.clock().now_ns()) {
+                SessionStep::Done { .. } => continue,
+                SessionStep::Measure { point, .. } => {
+                    cap = point[0];
+                    note = "searching";
+                    sim.submit_all(w.step_batch(step));
+                    let r = sim.run_until_idle();
+                    total_energy += r.energy_j;
+                    total_time += r.elapsed_s();
+                    step += 1;
+                    s.complete(r.energy_j * r.elapsed_s());
+                }
+            }
+        }
+        if step % 5 == 0 || note == "searching" {
+            println!(
+                "{:>4}  {:<8}  {:>3}  {}",
+                step,
+                w.active_at(step.saturating_sub(1)).name,
+                cap,
+                note
+            );
+        }
+    }
+    println!(
+        "\ntotal: {:.3} s, {:.1} J, EDP {:.2}",
+        total_time,
+        total_energy,
+        total_energy * total_time
+    );
+}

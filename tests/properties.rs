@@ -1,0 +1,229 @@
+//! Property-based tests on cross-crate invariants (proptest).
+//!
+//! These complement the per-module unit tests with randomized coverage of
+//! the invariants DESIGN.md §6 calls out: statistics correctness on
+//! arbitrary inputs, no-loss/no-reorder through the coalescer, search
+//! proposals staying on the lattice, simulator determinism, and the
+//! energy ≥ idle-envelope bound.
+
+use looking_glass::metrics::{Histogram, Welford};
+use looking_glass::net::parcel::Parcel;
+use looking_glass::net::Coalescer;
+use looking_glass::sim::{machine::alloc_rates, MachineSpec, SimRuntime, SimTask};
+use looking_glass::tuning::{Dim, HillClimb, RandomSearch, Search, SimulatedAnnealing, Space};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn welford_matches_two_pass(xs in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.update(x);
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        prop_assert!((w.mean() - mean).abs() <= 1e-6 * (1.0 + mean.abs()));
+        prop_assert!((w.population_variance() - var).abs() <= 1e-4 * (1.0 + var));
+        prop_assert_eq!(w.count(), xs.len() as u64);
+    }
+
+    #[test]
+    fn welford_merge_equals_concat(
+        xs in proptest::collection::vec(-1e3f64..1e3, 0..100),
+        ys in proptest::collection::vec(-1e3f64..1e3, 0..100),
+    ) {
+        let mut whole = Welford::new();
+        for &v in xs.iter().chain(&ys) {
+            whole.update(v);
+        }
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        xs.iter().for_each(|&v| a.update(v));
+        ys.iter().for_each(|&v| b.update(v));
+        a.merge(&b);
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        prop_assert!((a.population_variance() - whole.population_variance()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn histogram_preserves_count_and_bounds(values in proptest::collection::vec(0u64..u64::MAX / 2, 1..500)) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.min(), *values.iter().min().unwrap());
+        prop_assert_eq!(h.max(), *values.iter().max().unwrap());
+        // Quantiles monotone and within [min, max].
+        let mut prev = 0u64;
+        for i in 0..=10 {
+            let q = h.value_at_quantile(i as f64 / 10.0);
+            prop_assert!(q >= prev);
+            prop_assert!(q >= h.min() && q <= h.max());
+            prev = q;
+        }
+    }
+
+    #[test]
+    fn coalescer_loses_nothing_reorders_nothing(
+        window in 1usize..32,
+        max_delay in 1u64..10_000,
+        gaps in proptest::collection::vec(0u64..2_000, 1..300),
+    ) {
+        let mut c = Coalescer::new(window, 512, max_delay);
+        let mut t = 0u64;
+        let mut delivered: Vec<u64> = Vec::new();
+        for (seq, gap) in gaps.iter().enumerate() {
+            t += gap;
+            if let Some(m) = c.offer(Parcel::new(0, 1, 0, seq as u64, Vec::new()), t) {
+                delivered.extend(m.parcels.iter().map(|p| p.seq));
+            }
+            for m in c.poll(t) {
+                delivered.extend(m.parcels.iter().map(|p| p.seq));
+            }
+        }
+        for m in c.flush_all(t) {
+            delivered.extend(m.parcels.iter().map(|p| p.seq));
+        }
+        prop_assert_eq!(delivered.len(), gaps.len(), "parcel lost or duplicated");
+        prop_assert!(delivered.windows(2).all(|w| w[0] < w[1]), "reordered");
+    }
+
+    #[test]
+    fn searches_stay_on_lattice(
+        lo in -50i64..0,
+        hi in 1i64..50,
+        step in 1i64..7,
+        seed in 0u64..1000,
+    ) {
+        let space = Space::new(vec![
+            Dim::range("a", lo, hi, step),
+            Dim::pow2("b", 0, 6),
+        ]);
+        let searches: Vec<Box<dyn Search>> = vec![
+            Box::new(RandomSearch::new(space.clone(), 40, seed)),
+            Box::new(HillClimb::new(space.clone())),
+            Box::new(SimulatedAnnealing::new(
+                space.clone(),
+                looking_glass::tuning::anneal::AnnealConfig { budget: 40, ..Default::default() },
+                seed,
+            )),
+        ];
+        for mut s in searches {
+            let mut evals = 0;
+            while let Some(p) = s.propose() {
+                prop_assert!(space.contains(&p), "{} proposed off-lattice {:?}", s.name(), p);
+                s.report(&p, (p[0] + p[1]) as f64);
+                evals += 1;
+                if evals > 500 { break; }
+            }
+            if let Some((best, _)) = s.best() {
+                prop_assert!(space.contains(&best));
+            }
+        }
+    }
+
+    #[test]
+    fn alloc_rates_never_oversubscribe(
+        bpos in proptest::collection::vec(0.0f64..64.0, 1..32),
+        bw_ghz in 1.0f64..100.0,
+    ) {
+        let spec = MachineSpec {
+            cores: 32,
+            core_flops: 1e9,
+            mem_bw: bw_ghz * 1e9,
+            power: looking_glass::metrics::PowerModel::new(10.0, 2.0),
+            sched_overhead_ns: 0,
+            stall_intensity: 0.5,
+        };
+        let rates = alloc_rates(&spec, &bpos);
+        let used_bw: f64 = rates.iter().zip(&bpos).map(|(r, b)| r * b).sum();
+        prop_assert!(used_bw <= spec.mem_bw * 1.0001, "bandwidth oversubscribed");
+        for &r in &rates {
+            prop_assert!(r > 0.0 && r <= spec.core_flops + 1.0, "rate out of range: {r}");
+        }
+    }
+
+    #[test]
+    fn sim_is_deterministic_and_conserves_work(
+        ntasks in 1usize..40,
+        ops_k in 1u64..1000,
+        bytes_per_op in 0u64..16,
+        cap in 1usize..8,
+    ) {
+        let run = || {
+            let mut sim = SimRuntime::new(MachineSpec::small8());
+            sim.set_cap(cap);
+            let ops = ops_k as f64 * 1_000.0;
+            sim.submit_all((0..ntasks).map(|_| {
+                SimTask::new("p", ops, ops * bytes_per_op as f64)
+            }));
+            let r = sim.run_until_idle();
+            (r.elapsed_ns, r.energy_j.to_bits(), r.tasks, r.ops.to_bits())
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a, b, "simulation must be bit-deterministic");
+        prop_assert_eq!(a.2, ntasks as u64);
+    }
+
+    #[test]
+    fn sim_energy_at_least_idle_envelope(
+        ntasks in 1usize..30,
+        cap in 1usize..8,
+        memory in proptest::bool::ANY,
+    ) {
+        let spec = MachineSpec::small8();
+        let mut sim = SimRuntime::new(spec);
+        sim.set_cap(cap);
+        let bytes = if memory { 1e6 } else { 0.0 };
+        sim.submit_all((0..ntasks).map(|_| SimTask::new("e", 1e6, bytes)));
+        let r = sim.run_until_idle();
+        let idle_energy = spec.power.p_idle * r.elapsed_s();
+        prop_assert!(r.energy_j >= idle_energy - 1e-9, "energy below idle envelope");
+        // And no more than every core saturated the whole time.
+        let max_energy = spec.power.power(spec.cores, 1.0) * r.elapsed_s();
+        prop_assert!(r.energy_j <= max_energy + 1e-9);
+    }
+
+    #[test]
+    fn space_roundtrip_arbitrary_dims(
+        dims in proptest::collection::vec((0i64..20, 1i64..5), 1..4),
+    ) {
+        let space = Space::new(
+            dims.iter()
+                .enumerate()
+                .map(|(i, (extra, step))| Dim::range(format!("d{i}"), 0, 1 + extra, *step))
+                .collect(),
+        );
+        for p in space.iter_points().take(200) {
+            let levels = space.levels_of(&p).expect("own points are on lattice");
+            prop_assert_eq!(space.point_at(&levels), p);
+        }
+        prop_assert!(space.contains(&space.center()));
+        prop_assert!(space.contains(&space.clamp(&vec![i64::MAX; space.ndims()])));
+    }
+}
+
+#[test]
+fn hillclimb_always_terminates_on_random_landscapes() {
+    // Deterministic pseudo-random landscape; climbing must terminate on
+    // every seed (strict-improvement argument).
+    for seed in 0..20u64 {
+        let space = Space::new(vec![Dim::range("x", 0, 40, 1), Dim::range("y", 0, 40, 1)]);
+        let mut hc = HillClimb::new(space);
+        let mut evals = 0;
+        while let Some(p) = hc.propose() {
+            let mut h = seed ^ (p[0] as u64) << 32 ^ (p[1] as u64);
+            h ^= h >> 33;
+            h = h.wrapping_mul(0xFF51AFD7ED558CCD);
+            hc.report(&p, (h % 1000) as f64);
+            evals += 1;
+            assert!(evals < 42 * 42 + 100, "hillclimb failed to terminate (seed {seed})");
+        }
+    }
+}
