@@ -15,7 +15,7 @@ fn bench_coalescer(c: &mut Criterion) {
             // Rotate destinations so buffers stay small-ish.
             let dest = (seq % 64) as u32;
             std::hint::black_box(coal.offer(Parcel::new(0, dest, 0, seq, Vec::new()), seq));
-            if seq % 1_000_000 == 0 {
+            if seq.is_multiple_of(1_000_000) {
                 coal.flush_all(seq);
             }
         });

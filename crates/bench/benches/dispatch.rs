@@ -9,29 +9,42 @@ use std::sync::Arc;
 fn bench_dispatch(c: &mut Criterion) {
     let names = TaskNames::new();
     let task = names.intern("bench");
-    let event = Event::TaskEnd { task, worker: 0, t_ns: 1, elapsed_ns: 1 };
+    let event = Event::TaskEnd {
+        task,
+        worker: 0,
+        t_ns: 1,
+        elapsed_ns: 1,
+    };
 
     let mut group = c.benchmark_group("dispatch");
     {
         let d = Dispatcher::new();
         d.set_enabled(false);
-        group.bench_function("disabled", |b| b.iter(|| d.dispatch(std::hint::black_box(&event))));
+        group.bench_function("disabled", |b| {
+            b.iter(|| d.dispatch(std::hint::black_box(&event)))
+        });
     }
     {
         let d = Dispatcher::new();
-        group.bench_function("no_listeners", |b| b.iter(|| d.dispatch(std::hint::black_box(&event))));
+        group.bench_function("no_listeners", |b| {
+            b.iter(|| d.dispatch(std::hint::black_box(&event)))
+        });
     }
     {
         let d = Dispatcher::new();
         d.register(Arc::new(FnListener::new("noop", |e| {
             std::hint::black_box(e);
         })));
-        group.bench_function("one_noop_listener", |b| b.iter(|| d.dispatch(std::hint::black_box(&event))));
+        group.bench_function("one_noop_listener", |b| {
+            b.iter(|| d.dispatch(std::hint::black_box(&event)))
+        });
     }
     {
         let d = Dispatcher::new();
         d.register(Arc::new(ProfileListener::new(names.clone())));
-        group.bench_function("profiler_listener", |b| b.iter(|| d.dispatch(std::hint::black_box(&event))));
+        group.bench_function("profiler_listener", |b| {
+            b.iter(|| d.dispatch(std::hint::black_box(&event)))
+        });
     }
     group.finish();
 }

@@ -9,7 +9,12 @@ use lg_tuning::{Dim, HillClimb, RandomSearch, Search, Space};
 use std::sync::Arc;
 
 fn bench_search_step(c: &mut Criterion) {
-    let space = || Space::new(vec![Dim::range("a", 0, 1000, 1), Dim::range("b", 0, 1000, 1)]);
+    let space = || {
+        Space::new(vec![
+            Dim::range("a", 0, 1000, 1),
+            Dim::range("b", 0, 1000, 1),
+        ])
+    };
     c.bench_function("hillclimb_propose_report", |b| {
         let mut hc = HillClimb::new(space());
         b.iter(|| {

@@ -13,7 +13,13 @@ use crate::report::{fmt_f, write_csv, Table};
 use lg_sim::{MachineSpec, SimRuntime, SimWorkload};
 
 /// Measures EDP for one (cap, freq) cell.
-pub fn measure(spec: &MachineSpec, w: &SimWorkload, cap: usize, freq: f64, steps: usize) -> (f64, f64, f64) {
+pub fn measure(
+    spec: &MachineSpec,
+    w: &SimWorkload,
+    cap: usize,
+    freq: f64,
+    steps: usize,
+) -> (f64, f64, f64) {
     let mut sim = SimRuntime::new(*spec);
     sim.set_cap(cap);
     sim.set_freq(freq);
@@ -56,7 +62,10 @@ pub fn run(fast: bool) {
     }
     let (bc, bf, bedp) = best.unwrap();
     println!("{}", table.render());
-    println!("joint optimum: cap={bc}, freq={bf:.2} (edp {})", fmt_f(bedp));
+    println!(
+        "joint optimum: cap={bc}, freq={bf:.2} (edp {})",
+        fmt_f(bedp)
+    );
     let path = write_csv(&table, "abl1_dvfs");
     println!("wrote {}\n", path.display());
 }
@@ -76,7 +85,10 @@ mod tests {
         let (_, _, both) = measure(&spec, &w, 8, 0.5, 2);
         assert!(cap_only < none, "throttling alone must help");
         assert!(freq_only < none, "DVFS alone must help");
-        assert!(both < cap_only.min(freq_only) * 1.05, "joint {both} vs alone {cap_only}/{freq_only}");
+        assert!(
+            both < cap_only.min(freq_only) * 1.05,
+            "joint {both} vs alone {cap_only}/{freq_only}"
+        );
     }
 
     #[test]

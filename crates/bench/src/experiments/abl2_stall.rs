@@ -19,7 +19,13 @@ pub fn run(fast: bool) {
     let w = SimWorkload::stencil(ops, 64);
     let mut table = Table::new(
         "Ablation 2: EDP-optimal cap vs stall-intensity floor (stencil)",
-        &["stall_floor", "optimal_cap", "edp_at_opt", "edp_at_32", "penalty_at_32"],
+        &[
+            "stall_floor",
+            "optimal_cap",
+            "edp_at_opt",
+            "edp_at_32",
+            "penalty_at_32",
+        ],
     );
     for &floor in &[0.0f64, 0.25, 0.5, 0.75, 1.0] {
         let mut spec = MachineSpec::server32();
@@ -54,7 +60,10 @@ mod tests {
         let free_stalls = opt_at(0.0);
         let real_stalls = opt_at(0.5);
         let full_burn = opt_at(1.0);
-        assert!(free_stalls > real_stalls, "free stalls should allow more cores: {free_stalls} vs {real_stalls}");
+        assert!(
+            free_stalls > real_stalls,
+            "free stalls should allow more cores: {free_stalls} vs {real_stalls}"
+        );
         assert!(real_stalls >= full_burn, "{real_stalls} vs {full_burn}");
         // With any nonzero floor the optimum is interior (below 32).
         assert!(real_stalls < 32);

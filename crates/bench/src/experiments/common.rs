@@ -27,10 +27,20 @@ impl CapMeasurement {
 
 /// Runs `steps` timesteps of `workload` at `cap` on a fresh simulated
 /// machine and reports the aggregate.
-pub fn measure_cap(spec: &MachineSpec, workload: &SimWorkload, cap: usize, steps: usize) -> CapMeasurement {
+pub fn measure_cap(
+    spec: &MachineSpec,
+    workload: &SimWorkload,
+    cap: usize,
+    steps: usize,
+) -> CapMeasurement {
     let mut sim = SimRuntime::new(*spec);
     sim.set_cap(cap);
-    let mut agg = SimRunReport { elapsed_ns: 0, energy_j: 0.0, tasks: 0, ops: 0.0 };
+    let mut agg = SimRunReport {
+        elapsed_ns: 0,
+        energy_j: 0.0,
+        tasks: 0,
+        ops: 0.0,
+    };
     for _ in 0..steps {
         sim.submit_all(workload.step_batch());
         let r = sim.run_until_idle();
@@ -51,7 +61,12 @@ pub fn measure_cap(spec: &MachineSpec, workload: &SimWorkload, cap: usize, steps
 /// Runs `steps` timesteps on an *existing* simulator (sharing energy and
 /// clock state), returning the window's report.
 pub fn run_steps(sim: &mut SimRuntime, workload: &SimWorkload, steps: usize) -> SimRunReport {
-    let mut agg = SimRunReport { elapsed_ns: 0, energy_j: 0.0, tasks: 0, ops: 0.0 };
+    let mut agg = SimRunReport {
+        elapsed_ns: 0,
+        energy_j: 0.0,
+        tasks: 0,
+        ops: 0.0,
+    };
     for _ in 0..steps {
         sim.submit_all(workload.step_batch());
         let r = sim.run_until_idle();
@@ -127,7 +142,10 @@ mod tests {
         let spec = MachineSpec::server32();
         let w = SimWorkload::stencil(1e8, 64);
         let (cap, _) = best_static_cap(&spec, &w, 2);
-        assert!(cap < 32, "memory-bound EDP optimum should throttle, got {cap}");
+        assert!(
+            cap < 32,
+            "memory-bound EDP optimum should throttle, got {cap}"
+        );
         assert!(cap >= 2, "but not strangle, got {cap}");
     }
 }

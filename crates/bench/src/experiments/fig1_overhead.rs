@@ -27,7 +27,12 @@ pub fn run(fast: bool) {
     let iters: u64 = if fast { 50_000 } else { 2_000_000 };
     let names = TaskNames::new();
     let task = names.intern("bench");
-    let event = Event::TaskEnd { task, worker: 0, t_ns: 1, elapsed_ns: 1 };
+    let event = Event::TaskEnd {
+        task,
+        worker: 0,
+        t_ns: 1,
+        elapsed_ns: 1,
+    };
 
     let mut table = Table::new(
         "Fig 1: per-event observation cost (lower is better)",
@@ -45,7 +50,10 @@ pub fn run(fast: bool) {
 
     // Enabled, zero listeners.
     let d = Dispatcher::new();
-    record("enabled, 0 listeners", ns_per_event(iters, || d.dispatch(&event)));
+    record(
+        "enabled, 0 listeners",
+        ns_per_event(iters, || d.dispatch(&event)),
+    );
 
     // 1..4 no-op listeners.
     for n in 1..=4usize {
@@ -56,7 +64,10 @@ pub fn run(fast: bool) {
             })));
         }
         record(
-            &format!("enabled, {n} no-op listener{}", if n == 1 { "" } else { "s" }),
+            &format!(
+                "enabled, {n} no-op listener{}",
+                if n == 1 { "" } else { "s" }
+            ),
             ns_per_event(iters, || d.dispatch(&event)),
         );
     }
@@ -64,7 +75,10 @@ pub fn run(fast: bool) {
     // Real profiler listener (hash lookup + Welford).
     let d = Dispatcher::new();
     d.register(Arc::new(ProfileListener::new(names.clone())));
-    record("enabled, profiler", ns_per_event(iters, || d.dispatch(&event)));
+    record(
+        "enabled, profiler",
+        ns_per_event(iters, || d.dispatch(&event)),
+    );
 
     // Full RAII timer through a complete instance (profiler + concurrency
     // + clock reads + two events).

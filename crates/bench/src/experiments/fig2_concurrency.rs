@@ -24,7 +24,14 @@ pub fn run(fast: bool) {
 
     let mut table = Table::new(
         "Fig 2: throughput / power / energy vs thread cap (32-core sim)",
-        &["workload", "cap", "ops_per_sec", "mean_power_w", "energy_j", "edp"],
+        &[
+            "workload",
+            "cap",
+            "ops_per_sec",
+            "mean_power_w",
+            "energy_j",
+            "edp",
+        ],
     );
     let caps: Vec<usize> = if fast {
         vec![1, 2, 4, 8, 16, 32]

@@ -8,9 +8,9 @@
 //! bandwidth knee) within a few dozen epochs, and the session leaves the
 //! winner applied.
 
-use crate::experiments::common::{best_static_cap, pow2_caps, run_steps};
 #[cfg(test)]
 use crate::experiments::common::best_pow2_cap;
+use crate::experiments::common::{best_static_cap, pow2_caps, run_steps};
 use crate::report::{fmt_f, write_csv, Table};
 use lg_core::{Clock as _, SessionConfig, SessionStep, TuningSession};
 use lg_sim::{MachineSpec, SimRuntime, SimWorkload};
@@ -50,7 +50,11 @@ pub fn converge_from(
             SessionStep::Measure { point, .. } => {
                 let r = run_steps(&mut sim, workload, steps_per_epoch);
                 let edp = r.energy_j * r.elapsed_s();
-                trace.push(TracePoint { epoch: trace.len(), cap: point[0], edp });
+                trace.push(TracePoint {
+                    epoch: trace.len(),
+                    cap: point[0],
+                    edp,
+                });
                 session.complete(edp);
             }
         }

@@ -120,8 +120,14 @@ mod tests {
         let too_few = sim_time_for_decomposition(&spec, 1e8, 1);
         let right = sim_time_for_decomposition(&spec, 1e8, 64);
         let too_many = sim_time_for_decomposition(&spec, 1e8, 50_000);
-        assert!(too_few > right * 5.0, "1 task can't use 32 cores: {too_few} vs {right}");
-        assert!(too_many > right * 1.5, "50k tasks should pay overhead: {too_many} vs {right}");
+        assert!(
+            too_few > right * 5.0,
+            "1 task can't use 32 cores: {too_few} vs {right}"
+        );
+        assert!(
+            too_many > right * 1.5,
+            "50k tasks should pay overhead: {too_many} vs {right}"
+        );
     }
 
     #[test]

@@ -44,7 +44,10 @@ pub fn run(fast: bool) {
         let sampler = sampler_period.map(|period| {
             let c = sink_count.clone();
             Sampler::start(
-                SamplerConfig { period, sample_immediately: true },
+                SamplerConfig {
+                    period,
+                    sample_immediately: true,
+                },
                 sources(),
                 move |_t, _n, _v| {
                     c.fetch_add(1, Ordering::Relaxed);
@@ -67,12 +70,7 @@ pub fn run(fast: bool) {
         "Fig 5: application slowdown vs sampling period",
         &["period_ms", "time_ms", "overhead_pct", "samples_delivered"],
     );
-    table.row(&[
-        "off".into(),
-        fmt_f(baseline * 1e3),
-        "0".into(),
-        "0".into(),
-    ]);
+    table.row(&["off".into(), fmt_f(baseline * 1e3), "0".into(), "0".into()]);
     let periods_us: &[u64] = if fast {
         &[100, 1_000, 10_000]
     } else {

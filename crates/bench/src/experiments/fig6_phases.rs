@@ -44,14 +44,23 @@ fn phased(fast: bool) -> (PhasedSimWorkload, usize, usize) {
     let period = if fast { 24 } else { 40 };
     let phases = 4;
     (
-        PhasedSimWorkload::new(SimWorkload::stencil(ops, 64), SimWorkload::compute(ops, 64), period),
+        PhasedSimWorkload::new(
+            SimWorkload::stencil(ops, 64),
+            SimWorkload::compute(ops, 64),
+            period,
+        ),
         period,
         phases,
     )
 }
 
 /// Runs the whole phased workload at one static cap.
-pub fn run_static(spec: &MachineSpec, w: &PhasedSimWorkload, total_steps: usize, cap: usize) -> PolicyResult {
+pub fn run_static(
+    spec: &MachineSpec,
+    w: &PhasedSimWorkload,
+    total_steps: usize,
+    cap: usize,
+) -> PolicyResult {
     let mut sim = SimRuntime::new(*spec);
     sim.set_cap(cap);
     let mut time_s = 0.0;
@@ -62,7 +71,11 @@ pub fn run_static(spec: &MachineSpec, w: &PhasedSimWorkload, total_steps: usize,
         time_s += r.elapsed_s();
         energy += r.energy_j;
     }
-    PolicyResult { name: format!("static-{cap}"), time_s, energy_j: energy }
+    PolicyResult {
+        name: format!("static-{cap}"),
+        time_s,
+        energy_j: energy,
+    }
 }
 
 /// Oracle: per-phase best static cap, switched for free at boundaries.
@@ -73,14 +86,22 @@ pub fn run_oracle(spec: &MachineSpec, w: &PhasedSimWorkload, total_steps: usize)
     let mut time_s = 0.0;
     let mut energy = 0.0;
     for step in 0..total_steps {
-        let cap = if w.phase_index(step).is_multiple_of(2) { cap_a } else { cap_b };
+        let cap = if w.phase_index(step).is_multiple_of(2) {
+            cap_a
+        } else {
+            cap_b
+        };
         sim.set_cap(cap);
         sim.submit_all(w.step_batch(step));
         let r = sim.run_until_idle();
         time_s += r.elapsed_s();
         energy += r.energy_j;
     }
-    PolicyResult { name: format!("oracle({cap_a}/{cap_b})"), time_s, energy_j: energy }
+    PolicyResult {
+        name: format!("oracle({cap_a}/{cap_b})"),
+        time_s,
+        energy_j: energy,
+    }
 }
 
 /// Adaptive: hill-climb session restarted at each phase boundary. Returns
@@ -103,11 +124,14 @@ pub fn run_adaptive(
             // Phase boundary: restart the search from the current cap
             // (warm start — the previous phase's winner is the prior).
             last_phase = phase;
-            let current = sim.lg().knobs().value("thread_cap").unwrap_or(spec.cores as i64);
+            let current = sim
+                .lg()
+                .knobs()
+                .value("thread_cap")
+                .unwrap_or(spec.cores as i64);
             let space = Space::new(vec![Dim::values("thread_cap", pow2_caps(spec.cores))]);
-            let search = Box::new(
-                HillClimb::from_start(space, &[current]).with_min_improvement(0.01),
-            );
+            let search =
+                Box::new(HillClimb::from_start(space, &[current]).with_min_improvement(0.01));
             session = Some(TuningSession::new(
                 SessionConfig::single("thread_cap", 0, 0),
                 search,
@@ -141,7 +165,11 @@ pub fn run_adaptive(
         }
     }
     (
-        PolicyResult { name: "adaptive".into(), time_s, energy_j: energy },
+        PolicyResult {
+            name: "adaptive".into(),
+            time_s,
+            energy_j: energy,
+        },
         trace,
     )
 }
@@ -164,16 +192,18 @@ pub fn run(fast: bool) {
     let (adaptive, trace) = run_adaptive(&spec, &w, total_steps);
     results.push(adaptive);
     for r in &results {
-        table.row(&[r.name.clone(), fmt_f(r.time_s), fmt_f(r.energy_j), fmt_f(r.edp())]);
+        table.row(&[
+            r.name.clone(),
+            fmt_f(r.time_s),
+            fmt_f(r.energy_j),
+            fmt_f(r.edp()),
+        ]);
     }
     println!("{}", table.render());
     let p = write_csv(&table, "fig6_phases_summary");
     println!("wrote {}", p.display());
 
-    let mut trace_table = Table::new(
-        "Fig 6: adaptive cap trace (step, cap)",
-        &["step", "cap"],
-    );
+    let mut trace_table = Table::new("Fig 6: adaptive cap trace (step, cap)", &["step", "cap"]);
     for (step, cap) in &trace {
         trace_table.push(&[step.to_string(), cap.to_string()]);
     }
@@ -220,7 +250,10 @@ mod tests {
         let (cap_a, _) = best_pow2_cap(&spec, &w.a, 1);
         let (cap_b, _) = best_pow2_cap(&spec, &w.b, 1);
         assert_ne!(cap_a, cap_b, "phases should want different caps");
-        assert!(cap_a < cap_b, "memory phase should throttle below compute phase");
+        assert!(
+            cap_a < cap_b,
+            "memory phase should throttle below compute phase"
+        );
     }
 
     #[test]

@@ -31,7 +31,12 @@ pub fn throughput(threads: usize, events_per_thread: u64, with_profiler: bool) -
                 while !start.load(Ordering::Acquire) {
                     std::hint::spin_loop();
                 }
-                let e = Event::TaskEnd { task, worker: w, t_ns: 1, elapsed_ns: 1 };
+                let e = Event::TaskEnd {
+                    task,
+                    worker: w,
+                    t_ns: 1,
+                    elapsed_ns: 1,
+                };
                 for _ in 0..events_per_thread {
                     d.dispatch(&e);
                 }
@@ -85,8 +90,14 @@ mod tests {
     fn profiler_costs_something_but_not_everything() {
         let bare = throughput(1, 50_000, false);
         let prof = throughput(1, 50_000, true);
-        assert!(prof < bare * 1.5, "profiler can't be faster by much (noise guard)");
-        assert!(prof > bare / 50.0, "profiler should not be 50x slower: {bare} vs {prof}");
+        assert!(
+            prof < bare * 1.5,
+            "profiler can't be faster by much (noise guard)"
+        );
+        assert!(
+            prof > bare / 50.0,
+            "profiler should not be 50x slower: {bare} vs {prof}"
+        );
     }
 
     #[test]

@@ -67,7 +67,11 @@ pub fn run_adaptive_cell(spec: &MachineSpec, workload: &SimWorkload, total_steps
             }
         }
     }
-    Cell { policy: "adaptive".into(), time_s, energy_j: energy }
+    Cell {
+        policy: "adaptive".into(),
+        time_s,
+        energy_j: energy,
+    }
 }
 
 /// Runs the experiment.
@@ -82,14 +86,25 @@ pub fn run(fast: bool) {
     ];
     let mut table = Table::new(
         "Table 1: static vs adaptive concurrency (search cost included)",
-        &["workload", "policy", "time_s", "energy_j", "edp", "vs_best_static"],
+        &[
+            "workload",
+            "policy",
+            "time_s",
+            "energy_j",
+            "edp",
+            "vs_best_static",
+        ],
     );
     for (name, w) in &workloads {
         let mut static_cells: Vec<Cell> = [4usize, 8, 16, 32]
             .iter()
             .map(|&cap| {
                 let m = measure_cap(&spec, w, cap, total_steps);
-                Cell { policy: format!("static-{cap}"), time_s: m.time_s, energy_j: m.energy_j }
+                Cell {
+                    policy: format!("static-{cap}"),
+                    time_s: m.time_s,
+                    energy_j: m.energy_j,
+                }
             })
             .collect();
         let best_static_edp = static_cells

@@ -14,8 +14,8 @@
 
 use crate::report::{fmt_f, write_csv, Table};
 use lg_core::Knob;
-use lg_net::{Coalescer, SimLink, TransportCost};
 use lg_net::parcel::Parcel;
+use lg_net::{Coalescer, SimLink, TransportCost};
 use lg_tuning::{Dim, HillClimb, Search, Space};
 use lg_workloads::ParcelStorm;
 
@@ -108,7 +108,11 @@ pub fn simulate(schedule: &[u64], window: usize, adaptive: bool) -> CoalesceResu
     }
     let r = link.report();
     CoalesceResult {
-        policy: if adaptive { "adaptive".into() } else { format!("static-{window}") },
+        policy: if adaptive {
+            "adaptive".into()
+        } else {
+            format!("static-{window}")
+        },
         mean_coalesce: r.mean_coalesce,
         mean_latency_us: r.mean_latency_ns / 1e3,
         p99_latency_us: r.p99_latency_ns as f64 / 1e3,
@@ -120,13 +124,29 @@ pub fn simulate(schedule: &[u64], window: usize, adaptive: bool) -> CoalesceResu
 pub fn run(fast: bool) {
     let count = if fast { 20_000 } else { 200_000 };
     let loads = [
-        ("steady-heavy", ParcelStorm::steady(1.2e6, PAYLOAD, 11).schedule(count)),
-        ("bursty", ParcelStorm::bursty(2e5, PAYLOAD, 12).schedule(count)),
-        ("trickle", ParcelStorm::trickle(1.2e6, PAYLOAD, 13).schedule(count)),
+        (
+            "steady-heavy",
+            ParcelStorm::steady(1.2e6, PAYLOAD, 11).schedule(count),
+        ),
+        (
+            "bursty",
+            ParcelStorm::bursty(2e5, PAYLOAD, 12).schedule(count),
+        ),
+        (
+            "trickle",
+            ParcelStorm::trickle(1.2e6, PAYLOAD, 13).schedule(count),
+        ),
     ];
     let mut table = Table::new(
         "Table 2: coalescing window vs offered load",
-        &["load", "policy", "mean_coalesce", "mean_lat_us", "p99_lat_us", "makespan_ms"],
+        &[
+            "load",
+            "policy",
+            "mean_coalesce",
+            "mean_lat_us",
+            "p99_lat_us",
+            "makespan_ms",
+        ],
     );
     for (name, schedule) in &loads {
         for &w in &[1usize, 8, 64, 512] {
@@ -193,7 +213,10 @@ mod tests {
         // below the worst static and within a small factor of the best.
         for (schedule, tolerance) in [
             (ParcelStorm::steady(1.2e6, PAYLOAD, 3).schedule(30_000), 6.0),
-            (ParcelStorm::trickle(1.2e6, PAYLOAD, 4).schedule(30_000), 6.0),
+            (
+                ParcelStorm::trickle(1.2e6, PAYLOAD, 4).schedule(30_000),
+                6.0,
+            ),
         ] {
             let statics: Vec<f64> = [1usize, 8, 64, 512]
                 .iter()

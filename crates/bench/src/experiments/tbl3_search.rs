@@ -14,7 +14,10 @@
 use crate::report::{fmt_f, write_csv, Table};
 use lg_tuning::anneal::AnnealConfig;
 use lg_tuning::genetic::GeneticConfig;
-use lg_tuning::{landscape, minimize, Dim, Exhaustive, Genetic, HillClimb, NelderMead, Point, RandomSearch, Search, SimulatedAnnealing, Space};
+use lg_tuning::{
+    landscape, minimize, Dim, Exhaustive, Genetic, HillClimb, NelderMead, Point, RandomSearch,
+    Search, SimulatedAnnealing, Space,
+};
 
 /// A named objective over a space.
 pub struct Landscape {
@@ -54,23 +57,41 @@ pub fn landscapes() -> Vec<Landscape> {
 
 fn strategies(space: &Space, seed: u64) -> Vec<(String, Box<dyn Search>)> {
     vec![
-        ("random-200".into(), Box::new(RandomSearch::new(space.clone(), 200, seed)) as Box<dyn Search>),
+        (
+            "random-200".into(),
+            Box::new(RandomSearch::new(space.clone(), 200, seed)) as Box<dyn Search>,
+        ),
         ("hillclimb".into(), Box::new(HillClimb::new(space.clone()))),
-        ("hillclimb+5restarts".into(), Box::new(HillClimb::new(space.clone()).with_restarts(5, seed))),
+        (
+            "hillclimb+5restarts".into(),
+            Box::new(HillClimb::new(space.clone()).with_restarts(5, seed)),
+        ),
         (
             "anneal".into(),
             Box::new(SimulatedAnnealing::new(
                 space.clone(),
-                AnnealConfig { t0: 50.0, cooling: 0.99, budget: 400, max_step: 4, ..Default::default() },
+                AnnealConfig {
+                    t0: 50.0,
+                    cooling: 0.99,
+                    budget: 400,
+                    max_step: 4,
+                    ..Default::default()
+                },
                 seed,
             )),
         ),
-        ("neldermead".into(), Box::new(NelderMead::new(space.clone(), 200))),
+        (
+            "neldermead".into(),
+            Box::new(NelderMead::new(space.clone(), 200)),
+        ),
         (
             "genetic".into(),
             Box::new(Genetic::new(
                 space.clone(),
-                GeneticConfig { budget: 400, ..Default::default() },
+                GeneticConfig {
+                    budget: 400,
+                    ..Default::default()
+                },
                 seed,
             )),
         ),
@@ -89,7 +110,14 @@ pub fn true_optimum(l: &Landscape) -> (Point, f64) {
 pub fn run(_fast: bool) {
     let mut table = Table::new(
         "Table 3: search strategies × landscapes (regret vs exhaustive optimum)",
-        &["landscape", "strategy", "evals", "evals_to_best", "best", "regret"],
+        &[
+            "landscape",
+            "strategy",
+            "evals",
+            "evals_to_best",
+            "best",
+            "regret",
+        ],
     );
     for l in landscapes() {
         let (_, opt) = true_optimum(&l);

@@ -113,7 +113,8 @@ pub fn output_dir() -> PathBuf {
 pub fn write_csv(table: &Table, name: &str) -> PathBuf {
     let path = output_dir().join(format!("{name}.csv"));
     let mut f = std::fs::File::create(&path).expect("failed to create CSV file");
-    f.write_all(table.to_csv().as_bytes()).expect("failed to write CSV");
+    f.write_all(table.to_csv().as_bytes())
+        .expect("failed to write CSV");
     path
 }
 

@@ -177,7 +177,12 @@ mod tests {
     use crate::listener::Listener as _;
     use crate::policy::PolicyEngine;
 
-    fn setup() -> (TaskNames, Arc<SampleHistoryListener>, Arc<KnobRegistry>, Arc<PolicyEngine>) {
+    fn setup() -> (
+        TaskNames,
+        Arc<SampleHistoryListener>,
+        Arc<KnobRegistry>,
+        Arc<PolicyEngine>,
+    ) {
         let names = TaskNames::new();
         let history = Arc::new(SampleHistoryListener::new(names.clone(), 128));
         let knobs = Arc::new(KnobRegistry::new());
@@ -188,14 +193,27 @@ mod tests {
 
     fn feed(names: &TaskNames, h: &SampleHistoryListener, t: u64, watts: f64) {
         let id = names.intern("power");
-        h.on_event(&Event::SampleValue { metric: id, t_ns: t, value: watts });
+        h.on_event(&Event::SampleValue {
+            metric: id,
+            t_ns: t,
+            value: watts,
+        });
     }
 
     #[test]
     fn power_cap_halves_until_under_cap() {
         let (names, history, knobs, engine) = setup();
         engine.register_periodic(
-            PowerCapPolicy::new(history.clone(), "power", "thread_cap", 100.0, 40.0, 1_000_000, 32, 32),
+            PowerCapPolicy::new(
+                history.clone(),
+                "power",
+                "thread_cap",
+                100.0,
+                40.0,
+                1_000_000,
+                32,
+                32,
+            ),
             1_000,
             0,
         );
@@ -213,7 +231,16 @@ mod tests {
     fn power_cap_recovers_below_watermark() {
         let (names, history, knobs, engine) = setup();
         engine.register_periodic(
-            PowerCapPolicy::new(history.clone(), "power", "thread_cap", 100.0, 40.0, 1_000_000, 4, 32),
+            PowerCapPolicy::new(
+                history.clone(),
+                "power",
+                "thread_cap",
+                100.0,
+                40.0,
+                1_000_000,
+                4,
+                32,
+            ),
             1_000,
             0,
         );
@@ -231,7 +258,16 @@ mod tests {
     fn power_cap_holds_in_deadband() {
         let (names, history, knobs, engine) = setup();
         engine.register_periodic(
-            PowerCapPolicy::new(history.clone(), "power", "thread_cap", 100.0, 40.0, 1_000_000, 8, 32),
+            PowerCapPolicy::new(
+                history.clone(),
+                "power",
+                "thread_cap",
+                100.0,
+                40.0,
+                1_000_000,
+                8,
+                32,
+            ),
             1_000,
             0,
         );
@@ -249,7 +285,16 @@ mod tests {
     fn power_cap_noop_without_samples() {
         let (_names, history, knobs, engine) = setup();
         engine.register_periodic(
-            PowerCapPolicy::new(history, "power", "thread_cap", 100.0, 40.0, 1_000_000, 32, 32),
+            PowerCapPolicy::new(
+                history,
+                "power",
+                "thread_cap",
+                100.0,
+                40.0,
+                1_000_000,
+                32,
+                32,
+            ),
             1_000,
             0,
         );

@@ -26,7 +26,9 @@ pub struct WallClock {
 impl WallClock {
     /// Creates a wall clock whose origin is "now".
     pub fn new() -> Self {
-        Self { origin: Instant::now() }
+        Self {
+            origin: Instant::now(),
+        }
     }
 }
 
@@ -63,7 +65,10 @@ impl VirtualClock {
     /// must be monotone; a violation indicates a simulator bug.
     pub fn advance_to(&self, t_ns: u64) {
         let prev = self.now.swap(t_ns, Ordering::SeqCst);
-        assert!(prev <= t_ns, "virtual time went backwards: {prev} -> {t_ns}");
+        assert!(
+            prev <= t_ns,
+            "virtual time went backwards: {prev} -> {t_ns}"
+        );
     }
 
     /// Advances the clock by `dt_ns`.

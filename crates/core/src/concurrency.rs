@@ -102,10 +102,23 @@ mod tests {
         let names = TaskNames::new();
         let id = names.intern("t");
         let c = ConcurrencyListener::new(64);
-        c.on_event(&Event::TaskBegin { task: id, worker: 0, t_ns: 1 });
-        c.on_event(&Event::TaskBegin { task: id, worker: 1, t_ns: 2 });
+        c.on_event(&Event::TaskBegin {
+            task: id,
+            worker: 0,
+            t_ns: 1,
+        });
+        c.on_event(&Event::TaskBegin {
+            task: id,
+            worker: 1,
+            t_ns: 2,
+        });
         assert_eq!(c.active_tasks(), 2);
-        c.on_event(&Event::TaskEnd { task: id, worker: 0, t_ns: 3, elapsed_ns: 2 });
+        c.on_event(&Event::TaskEnd {
+            task: id,
+            worker: 0,
+            t_ns: 3,
+            elapsed_ns: 2,
+        });
         assert_eq!(c.active_tasks(), 1);
         assert_eq!(c.peak_tasks(), 2);
     }
@@ -115,10 +128,22 @@ mod tests {
         let names = TaskNames::new();
         let id = names.intern("t");
         let c = ConcurrencyListener::new(64);
-        c.on_event(&Event::TaskBegin { task: id, worker: 0, t_ns: 1 });
-        c.on_event(&Event::TaskYield { task: id, worker: 0, t_ns: 2 });
+        c.on_event(&Event::TaskBegin {
+            task: id,
+            worker: 0,
+            t_ns: 1,
+        });
+        c.on_event(&Event::TaskYield {
+            task: id,
+            worker: 0,
+            t_ns: 2,
+        });
         assert_eq!(c.active_tasks(), 0);
-        c.on_event(&Event::TaskResume { task: id, worker: 0, t_ns: 3 });
+        c.on_event(&Event::TaskResume {
+            task: id,
+            worker: 0,
+            t_ns: 3,
+        });
         assert_eq!(c.active_tasks(), 1);
     }
 
@@ -137,8 +162,17 @@ mod tests {
         let names = TaskNames::new();
         let id = names.intern("t");
         let c = ConcurrencyListener::new(64);
-        c.on_event(&Event::TaskBegin { task: id, worker: 0, t_ns: 10 });
-        c.on_event(&Event::TaskEnd { task: id, worker: 0, t_ns: 20, elapsed_ns: 10 });
+        c.on_event(&Event::TaskBegin {
+            task: id,
+            worker: 0,
+            t_ns: 10,
+        });
+        c.on_event(&Event::TaskEnd {
+            task: id,
+            worker: 0,
+            t_ns: 20,
+            elapsed_ns: 10,
+        });
         let h = c.history();
         assert_eq!(h, vec![(10, 1.0), (20, 0.0)]);
     }
@@ -149,7 +183,11 @@ mod tests {
         let id = names.intern("t");
         let c = ConcurrencyListener::new(64);
         for i in 0..4u64 {
-            c.on_event(&Event::TaskBegin { task: id, worker: 0, t_ns: i * 100 });
+            c.on_event(&Event::TaskBegin {
+                task: id,
+                worker: 0,
+                t_ns: i * 100,
+            });
         }
         // History values are 1,2,3,4 → trailing mean over everything = 2.5.
         assert_eq!(c.mean_active_over(u64::MAX), Some(2.5));

@@ -74,7 +74,9 @@ impl TaskNames {
 
 impl std::fmt::Debug for TaskNames {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("TaskNames").field("len", &self.len()).finish()
+        f.debug_struct("TaskNames")
+            .field("len", &self.len())
+            .finish()
     }
 }
 
@@ -255,7 +257,9 @@ mod tests {
         for _ in 0..8 {
             let names = names.clone();
             joins.push(std::thread::spawn(move || {
-                (0..100).map(|i| names.intern(&format!("task{}", i % 10))).collect::<Vec<_>>()
+                (0..100)
+                    .map(|i| names.intern(&format!("task{}", i % 10)))
+                    .collect::<Vec<_>>()
             }));
         }
         let results: Vec<Vec<TaskId>> = joins.into_iter().map(|j| j.join().unwrap()).collect();
@@ -271,12 +275,28 @@ mod tests {
         let names = TaskNames::new();
         let id = names.intern("t");
         let events = [
-            Event::TaskBegin { task: id, worker: 0, t_ns: 5 },
-            Event::TaskEnd { task: id, worker: 0, t_ns: 9, elapsed_ns: 4 },
+            Event::TaskBegin {
+                task: id,
+                worker: 0,
+                t_ns: 5,
+            },
+            Event::TaskEnd {
+                task: id,
+                worker: 0,
+                t_ns: 9,
+                elapsed_ns: 4,
+            },
             Event::PeriodicTick { t_ns: 11 },
-            Event::SampleValue { metric: id, t_ns: 13, value: 1.0 },
+            Event::SampleValue {
+                metric: id,
+                t_ns: 13,
+                value: 1.0,
+            },
         ];
-        assert_eq!(events.iter().map(Event::t_ns).collect::<Vec<_>>(), vec![5, 9, 11, 13]);
+        assert_eq!(
+            events.iter().map(Event::t_ns).collect::<Vec<_>>(),
+            vec![5, 9, 11, 13]
+        );
     }
 
     #[test]
@@ -284,17 +304,42 @@ mod tests {
         let names = TaskNames::new();
         let id = names.intern("t");
         let all = [
-            Event::TaskBegin { task: id, worker: 0, t_ns: 0 },
-            Event::TaskEnd { task: id, worker: 0, t_ns: 0, elapsed_ns: 0 },
-            Event::TaskYield { task: id, worker: 0, t_ns: 0 },
-            Event::TaskResume { task: id, worker: 0, t_ns: 0 },
+            Event::TaskBegin {
+                task: id,
+                worker: 0,
+                t_ns: 0,
+            },
+            Event::TaskEnd {
+                task: id,
+                worker: 0,
+                t_ns: 0,
+                elapsed_ns: 0,
+            },
+            Event::TaskYield {
+                task: id,
+                worker: 0,
+                t_ns: 0,
+            },
+            Event::TaskResume {
+                task: id,
+                worker: 0,
+                t_ns: 0,
+            },
             Event::WorkerStart { worker: 0, t_ns: 0 },
             Event::WorkerStop { worker: 0, t_ns: 0 },
-            Event::SampleValue { metric: id, t_ns: 0, value: 0.0 },
+            Event::SampleValue {
+                metric: id,
+                t_ns: 0,
+                value: 0.0,
+            },
             Event::PhaseBegin { phase: id, t_ns: 0 },
             Event::PhaseEnd { phase: id, t_ns: 0 },
             Event::PeriodicTick { t_ns: 0 },
-            Event::Custom { kind: id, t_ns: 0, value: 0 },
+            Event::Custom {
+                kind: id,
+                t_ns: 0,
+                value: 0,
+            },
         ];
         let mut kinds: Vec<&str> = all.iter().map(Event::kind_str).collect();
         kinds.sort();

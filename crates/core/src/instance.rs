@@ -38,7 +38,12 @@ pub struct LookingGlassBuilder {
 
 impl Default for LookingGlassBuilder {
     fn default() -> Self {
-        Self { clock: None, trace_capacity: None, concurrency_history: 1024, with_policy_engine: true }
+        Self {
+            clock: None,
+            trace_capacity: None,
+            concurrency_history: 1024,
+            with_policy_engine: true,
+        }
     }
 }
 
@@ -190,26 +195,46 @@ impl LookingGlass {
     pub fn timer_on(self: &Arc<Self>, name: &str, worker: usize) -> Timer {
         let task = self.intern(name);
         let t0 = self.now_ns();
-        self.emit(&Event::TaskBegin { task, worker, t_ns: t0 });
-        Timer { lg: self.clone(), task, worker, t0, stopped: false }
+        self.emit(&Event::TaskBegin {
+            task,
+            worker,
+            t_ns: t0,
+        });
+        Timer {
+            lg: self.clone(),
+            task,
+            worker,
+            t0,
+            stopped: false,
+        }
     }
 
     /// Emits a sampled metric value.
     pub fn sample(&self, metric: &str, value: f64) {
         let metric = self.intern(metric);
-        self.emit(&Event::SampleValue { metric, t_ns: self.now_ns(), value });
+        self.emit(&Event::SampleValue {
+            metric,
+            t_ns: self.now_ns(),
+            value,
+        });
     }
 
     /// Emits a phase begin marker.
     pub fn phase_begin(&self, name: &str) {
         let phase = self.intern(name);
-        self.emit(&Event::PhaseBegin { phase, t_ns: self.now_ns() });
+        self.emit(&Event::PhaseBegin {
+            phase,
+            t_ns: self.now_ns(),
+        });
     }
 
     /// Emits a phase end marker.
     pub fn phase_end(&self, name: &str) {
         let phase = self.intern(name);
-        self.emit(&Event::PhaseEnd { phase, t_ns: self.now_ns() });
+        self.emit(&Event::PhaseEnd {
+            phase,
+            t_ns: self.now_ns(),
+        });
     }
 }
 
@@ -365,10 +390,11 @@ mod tests {
 
     #[test]
     fn phases_flow_to_policy_engine() {
-        use crate::policy::{FnPolicy, PolicyDecision, Trigger};
         use crate::knob::{AtomicKnob, KnobSpec};
+        use crate::policy::{FnPolicy, PolicyDecision, Trigger};
         let lg = LookingGlass::builder().build();
-        lg.knobs().register(AtomicKnob::new(KnobSpec::new("k", 0, 10), 0));
+        lg.knobs()
+            .register(AtomicKnob::new(KnobSpec::new("k", 0, 10), 0));
         lg.policy_engine().register_triggered(
             FnPolicy::new("phase-react", |_, trigger| {
                 if matches!(trigger, Trigger::Event(Event::PhaseBegin { .. })) {

@@ -1,0 +1,224 @@
+//! Bounded journal of policy actuations.
+//!
+//! The [`KnobRegistry`](crate::KnobRegistry) logs every knob write, but
+//! recovery needs more: *who* wrote, *when*, and what the value was
+//! before — enough for a watchdog to correlate a throughput regression
+//! with the actuation that caused it and undo exactly that write. The
+//! [`ActuationJournal`] keeps a bounded ring of such records; when full,
+//! the oldest records fall off and are counted, never silently lost.
+
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+
+/// One policy-driven knob write.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ActuationRecord {
+    /// Monotonic sequence number (unique within a journal).
+    pub seq: u64,
+    /// Virtual or wall time of the write.
+    pub t_ns: u64,
+    /// Name of the policy that decided the write.
+    pub policy: String,
+    /// Knob written.
+    pub knob: String,
+    /// Value before the write.
+    pub from: i64,
+    /// Value applied (post-clamp).
+    pub to: i64,
+    /// Whether this write has since been rolled back.
+    pub rolled_back: bool,
+}
+
+struct Inner {
+    records: VecDeque<ActuationRecord>,
+    next_seq: u64,
+    evicted: u64,
+}
+
+/// Thread-safe bounded actuation history. Cheap to share via `Arc`.
+pub struct ActuationJournal {
+    inner: Mutex<Inner>,
+    capacity: usize,
+}
+
+impl ActuationJournal {
+    /// Creates a journal retaining at most `capacity` records.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "journal capacity must be positive");
+        Self {
+            inner: Mutex::new(Inner {
+                records: VecDeque::new(),
+                next_seq: 1,
+                evicted: 0,
+            }),
+            capacity,
+        }
+    }
+
+    /// Appends a record, evicting the oldest if at capacity. Returns the
+    /// record's sequence number.
+    pub fn record(
+        &self,
+        t_ns: u64,
+        policy: impl Into<String>,
+        knob: impl Into<String>,
+        from: i64,
+        to: i64,
+    ) -> u64 {
+        let mut g = self.inner.lock();
+        let seq = g.next_seq;
+        g.next_seq += 1;
+        if g.records.len() == self.capacity {
+            g.records.pop_front();
+            g.evicted += 1;
+        }
+        g.records.push_back(ActuationRecord {
+            seq,
+            t_ns,
+            policy: policy.into(),
+            knob: knob.into(),
+            from,
+            to,
+            rolled_back: false,
+        });
+        seq
+    }
+
+    /// Marks the record with `seq` rolled back; returns false if it has
+    /// already been evicted.
+    pub fn mark_rolled_back(&self, seq: u64) -> bool {
+        let mut g = self.inner.lock();
+        match g.records.iter_mut().find(|r| r.seq == seq) {
+            Some(r) => {
+                r.rolled_back = true;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// All retained records, oldest first.
+    pub fn records(&self) -> Vec<ActuationRecord> {
+        self.inner.lock().records.iter().cloned().collect()
+    }
+
+    /// Retained records with `seq > after`, oldest first.
+    pub fn records_since(&self, after: u64) -> Vec<ActuationRecord> {
+        self.inner
+            .lock()
+            .records
+            .iter()
+            .filter(|r| r.seq > after)
+            .cloned()
+            .collect()
+    }
+
+    /// The most recent non-rolled-back record for `knob`, if retained.
+    pub fn latest_for(&self, knob: &str) -> Option<ActuationRecord> {
+        self.inner
+            .lock()
+            .records
+            .iter()
+            .rev()
+            .find(|r| r.knob == knob && !r.rolled_back)
+            .cloned()
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.inner.lock().records.len()
+    }
+
+    /// True if nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Records evicted by the capacity bound so far.
+    pub fn evicted(&self) -> u64 {
+        self.inner.lock().evicted
+    }
+
+    /// The retention bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+impl std::fmt::Debug for ActuationJournal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let g = self.inner.lock();
+        f.debug_struct("ActuationJournal")
+            .field("len", &g.records.len())
+            .field("capacity", &self.capacity)
+            .field("evicted", &g.evicted)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order_with_seqs() {
+        let j = ActuationJournal::new(8);
+        let a = j.record(10, "p1", "cap", 32, 16);
+        let b = j.record(20, "p2", "window", 1, 64);
+        assert!(a < b);
+        let rs = j.records();
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs[0].knob, "cap");
+        assert_eq!((rs[0].from, rs[0].to), (32, 16));
+        assert_eq!(rs[1].policy, "p2");
+    }
+
+    #[test]
+    fn capacity_bounds_and_counts_evictions() {
+        let j = ActuationJournal::new(3);
+        for i in 0..10 {
+            j.record(i, "p", "k", 0, i as i64);
+        }
+        assert_eq!(j.len(), 3);
+        assert_eq!(j.evicted(), 7);
+        let rs = j.records();
+        assert_eq!(rs[0].to, 7, "oldest retained is the 8th write");
+    }
+
+    #[test]
+    fn records_since_filters() {
+        let j = ActuationJournal::new(8);
+        let a = j.record(0, "p", "k", 0, 1);
+        j.record(1, "p", "k", 1, 2);
+        j.record(2, "q", "k2", 0, 5);
+        let newer = j.records_since(a);
+        assert_eq!(newer.len(), 2);
+        assert!(newer.iter().all(|r| r.seq > a));
+    }
+
+    #[test]
+    fn rollback_marking() {
+        let j = ActuationJournal::new(4);
+        let s = j.record(0, "p", "k", 3, 9);
+        assert_eq!(j.latest_for("k").unwrap().seq, s);
+        assert!(j.mark_rolled_back(s));
+        assert!(
+            j.latest_for("k").is_none(),
+            "rolled-back writes are not candidates"
+        );
+        assert!(j.records()[0].rolled_back);
+        assert!(!j.mark_rolled_back(999));
+    }
+
+    #[test]
+    fn latest_for_picks_most_recent() {
+        let j = ActuationJournal::new(8);
+        j.record(0, "p", "k", 0, 1);
+        let b = j.record(1, "p", "k", 1, 2);
+        j.record(2, "p", "other", 0, 1);
+        assert_eq!(j.latest_for("k").unwrap().seq, b);
+    }
+}

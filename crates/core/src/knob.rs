@@ -31,7 +31,11 @@ impl KnobSpec {
     /// Panics if `min > max`.
     pub fn new(name: impl Into<String>, min: i64, max: i64) -> Self {
         assert!(min <= max, "knob min must be <= max");
-        Self { name: name.into(), min, max }
+        Self {
+            name: name.into(),
+            min,
+            max,
+        }
     }
 }
 
@@ -58,7 +62,10 @@ impl AtomicKnob {
     /// Creates a knob with the given spec and initial value (clamped).
     pub fn new(spec: KnobSpec, initial: i64) -> Arc<Self> {
         let v = initial.clamp(spec.min, spec.max);
-        Arc::new(Self { spec, value: AtomicI64::new(v) })
+        Arc::new(Self {
+            spec,
+            value: AtomicI64::new(v),
+        })
     }
 }
 
@@ -70,7 +77,8 @@ impl Knob for AtomicKnob {
         self.value.load(Ordering::Acquire)
     }
     fn set(&self, value: i64) {
-        self.value.store(value.clamp(self.spec.min, self.spec.max), Ordering::Release);
+        self.value
+            .store(value.clamp(self.spec.min, self.spec.max), Ordering::Release);
     }
 }
 
@@ -128,7 +136,11 @@ impl KnobRegistry {
         let clamped = value.clamp(spec.min, spec.max);
         let from = knob.get();
         knob.set(clamped);
-        self.log.write().push(KnobChange { name: name.to_owned(), from, to: clamped });
+        self.log.write().push(KnobChange {
+            name: name.to_owned(),
+            from,
+            to: clamped,
+        });
         Some(clamped)
     }
 
@@ -192,8 +204,22 @@ mod tests {
         assert_eq!(reg.value("cap"), Some(32));
         let log = reg.changes();
         assert_eq!(log.len(), 2);
-        assert_eq!(log[0], KnobChange { name: "cap".into(), from: 32, to: 8 });
-        assert_eq!(log[1], KnobChange { name: "cap".into(), from: 8, to: 32 });
+        assert_eq!(
+            log[0],
+            KnobChange {
+                name: "cap".into(),
+                from: 32,
+                to: 8
+            }
+        );
+        assert_eq!(
+            log[1],
+            KnobChange {
+                name: "cap".into(),
+                from: 8,
+                to: 32
+            }
+        );
     }
 
     #[test]

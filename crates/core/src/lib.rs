@@ -28,8 +28,13 @@
 //! * [`trace`] — bounded ring-buffer event trace with drop accounting.
 //! * [`policy`] — periodic and event-triggered policies; the engine runs
 //!   on a wall-clock thread or is stepped manually under virtual time.
+//!   Policy panics are contained, and repeat offenders are quarantined.
 //! * [`knob`] — named integer actuators with bounds; the write side of
 //!   adaptation.
+//! * [`journal`] — bounded history of policy actuations (who wrote which
+//!   knob, from what, to what), the substrate for rollback.
+//! * [`watchdog`] — a policy that detects post-actuation throughput
+//!   regressions and rolls back the offending knob write.
 //! * [`session`] — the online tuning loop: settle → measure → report →
 //!   move, generic over any [`lg_tuning::Search`].
 //! * [`clock`] — wall and virtual clocks behind one trait so every layer
@@ -44,6 +49,7 @@ pub mod clock;
 pub mod concurrency;
 pub mod event;
 pub mod instance;
+pub mod journal;
 pub mod knob;
 pub mod listener;
 pub mod policy;
@@ -51,16 +57,19 @@ pub mod profile;
 pub mod samples;
 pub mod session;
 pub mod trace;
+pub mod watchdog;
 
+pub use builtin::{HighWatermarkPolicy, PowerCapPolicy};
 pub use clock::{Clock, VirtualClock, WallClock};
 pub use concurrency::ConcurrencyListener;
 pub use event::{Event, TaskId, TaskNames};
 pub use instance::{LookingGlass, LookingGlassBuilder, Timer};
+pub use journal::{ActuationJournal, ActuationRecord};
 pub use knob::{Knob, KnobRegistry, KnobSpec};
 pub use listener::{Dispatcher, Listener};
 pub use policy::{Policy, PolicyDecision, PolicyEngine, PolicyHandle};
-pub use builtin::{HighWatermarkPolicy, PowerCapPolicy};
 pub use profile::{ProfileListener, ProfileSnapshot, TaskProfile};
 pub use samples::SampleHistoryListener;
 pub use session::{EpochReport, SessionConfig, SessionStep, TuningSession};
 pub use trace::{TraceListener, TraceRecord};
+pub use watchdog::RegressionWatchdog;

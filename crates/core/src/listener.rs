@@ -71,8 +71,11 @@ impl Dispatcher {
     pub fn deregister(&self, handle: ListenerHandle) -> bool {
         let mut guard = self.listeners.write();
         let before = guard.len();
-        let next: Vec<ListenerEntry> =
-            guard.iter().filter(|(id, _)| *id != handle.0).cloned().collect();
+        let next: Vec<ListenerEntry> = guard
+            .iter()
+            .filter(|(id, _)| *id != handle.0)
+            .cloned()
+            .collect();
         let removed = next.len() != before;
         *guard = Arc::new(next);
         removed
@@ -112,7 +115,8 @@ impl Dispatcher {
         for (_, l) in snapshot.iter() {
             l.on_event(event);
         }
-        self.dispatched.fetch_add(snapshot.len() as u64, Ordering::Relaxed);
+        self.dispatched
+            .fetch_add(snapshot.len() as u64, Ordering::Relaxed);
     }
 }
 
@@ -136,7 +140,10 @@ pub struct FnListener<F: Fn(&Event) + Send + Sync> {
 impl<F: Fn(&Event) + Send + Sync> FnListener<F> {
     /// Wraps `f` as a listener called `name`.
     pub fn new(name: impl Into<String>, f: F) -> Self {
-        Self { name: name.into(), f }
+        Self {
+            name: name.into(),
+            f,
+        }
     }
 }
 
@@ -249,8 +256,15 @@ mod tests {
         let d = Dispatcher::new();
         let seen = Arc::new(parking_lot::Mutex::new(Vec::new()));
         let sc = seen.clone();
-        d.register(Arc::new(FnListener::new("rec", move |e| sc.lock().push(*e))));
-        let e = Event::TaskEnd { task: id, worker: 3, t_ns: 77, elapsed_ns: 11 };
+        d.register(Arc::new(FnListener::new("rec", move |e| {
+            sc.lock().push(*e)
+        })));
+        let e = Event::TaskEnd {
+            task: id,
+            worker: 3,
+            t_ns: 77,
+            elapsed_ns: 11,
+        };
         d.dispatch(&e);
         assert_eq!(seen.lock().as_slice(), &[e]);
     }

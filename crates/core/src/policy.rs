@@ -17,9 +17,11 @@
 
 use crate::clock::Clock;
 use crate::event::Event;
+use crate::journal::ActuationJournal;
 use crate::knob::KnobRegistry;
 use crate::listener::Listener;
 use parking_lot::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -40,7 +42,10 @@ impl PolicyDecision {
 
     /// A decision setting a single knob.
     pub fn set(name: impl Into<String>, value: i64) -> Self {
-        Self { sets: vec![(name.into(), value)], retire: false }
+        Self {
+            sets: vec![(name.into(), value)],
+            retire: false,
+        }
     }
 
     /// Marks the policy finished after this decision.
@@ -79,6 +84,8 @@ struct Registered {
     id: u64,
     policy: Box<dyn Policy>,
     kind: Kind,
+    consecutive_panics: u32,
+    quarantined: bool,
 }
 
 enum Kind {
@@ -95,20 +102,32 @@ enum Kind {
 pub struct PolicyEngine {
     policies: Mutex<Vec<Registered>>,
     knobs: Arc<KnobRegistry>,
+    journal: Arc<ActuationJournal>,
     next_id: AtomicU64,
     evaluations: AtomicU64,
     actuations: AtomicU64,
+    panics: AtomicU64,
+    quarantine_threshold: AtomicU64,
 }
 
 impl PolicyEngine {
+    /// Consecutive panics before a policy is quarantined, by default.
+    pub const DEFAULT_QUARANTINE_THRESHOLD: u32 = 3;
+
+    /// Actuation records retained for rollback, by default.
+    pub const DEFAULT_JOURNAL_CAPACITY: usize = 256;
+
     /// Creates an engine applying decisions to `knobs`.
     pub fn new(knobs: Arc<KnobRegistry>) -> Arc<Self> {
         Arc::new(Self {
             policies: Mutex::new(Vec::new()),
             knobs,
+            journal: Arc::new(ActuationJournal::new(Self::DEFAULT_JOURNAL_CAPACITY)),
             next_id: AtomicU64::new(1),
             evaluations: AtomicU64::new(0),
             actuations: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+            quarantine_threshold: AtomicU64::new(Self::DEFAULT_QUARANTINE_THRESHOLD as u64),
         })
     }
 
@@ -124,7 +143,12 @@ impl PolicyEngine {
         self.policies.lock().push(Registered {
             id,
             policy,
-            kind: Kind::Periodic { period_ns, next_due_ns: now_ns + period_ns },
+            kind: Kind::Periodic {
+                period_ns,
+                next_due_ns: now_ns + period_ns,
+            },
+            consecutive_panics: 0,
+            quarantined: false,
         });
         PolicyHandle(id)
     }
@@ -132,7 +156,13 @@ impl PolicyEngine {
     /// Registers an event-triggered policy with a filter.
     pub fn register_triggered(&self, policy: Box<dyn Policy>, filter: EventFilter) -> PolicyHandle {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        self.policies.lock().push(Registered { id, policy, kind: Kind::Triggered { filter } });
+        self.policies.lock().push(Registered {
+            id,
+            policy,
+            kind: Kind::Triggered { filter },
+            consecutive_panics: 0,
+            quarantined: false,
+        });
         PolicyHandle(id)
     }
 
@@ -159,33 +189,130 @@ impl PolicyEngine {
         self.actuations.load(Ordering::Relaxed)
     }
 
-    fn apply(&self, decision: &PolicyDecision) {
+    /// Total policy evaluations that panicked (and were contained).
+    pub fn panics(&self) -> u64 {
+        self.panics.load(Ordering::Relaxed)
+    }
+
+    /// Sets how many consecutive panics quarantine a policy.
+    ///
+    /// # Panics
+    /// Panics if `n` is zero.
+    pub fn set_quarantine_threshold(&self, n: u32) {
+        assert!(n > 0, "quarantine threshold must be positive");
+        self.quarantine_threshold.store(n as u64, Ordering::Relaxed);
+    }
+
+    /// Names of quarantined policies (still registered, never evaluated
+    /// again this session).
+    pub fn quarantined(&self) -> Vec<String> {
+        self.policies
+            .lock()
+            .iter()
+            .filter(|r| r.quarantined)
+            .map(|r| r.policy.name().to_owned())
+            .collect()
+    }
+
+    /// Number of quarantined policies.
+    pub fn quarantined_count(&self) -> usize {
+        self.policies
+            .lock()
+            .iter()
+            .filter(|r| r.quarantined)
+            .count()
+    }
+
+    /// The bounded actuation journal (share it with a
+    /// [`crate::watchdog::RegressionWatchdog`] to enable rollback).
+    pub fn journal(&self) -> &Arc<ActuationJournal> {
+        &self.journal
+    }
+
+    /// Rolls back the most recent non-rolled-back journalled write to
+    /// `knob`, restoring its pre-actuation value. Returns the restored
+    /// value, or `None` if no such write is retained.
+    pub fn rollback_last_of(&self, knob: &str) -> Option<i64> {
+        let rec = self.journal.latest_for(knob)?;
+        let restored = self.knobs.set(knob, rec.from)?;
+        self.journal.mark_rolled_back(rec.seq);
+        Some(restored)
+    }
+
+    fn apply(&self, now_ns: u64, policy: &str, decision: &PolicyDecision) {
         for (name, value) in &decision.sets {
-            if self.knobs.set(name, *value).is_some() {
+            let from = self.knobs.value(name);
+            if let (Some(from), Some(applied)) = (from, self.knobs.set(name, *value)) {
                 self.actuations.fetch_add(1, Ordering::Relaxed);
+                self.journal.record(now_ns, policy, name, from, applied);
+            }
+        }
+    }
+
+    /// Evaluates one registered policy with panic containment. Returns
+    /// `None` if the policy panicked (and possibly got quarantined).
+    fn evaluate_guarded(
+        r: &mut Registered,
+        now_ns: u64,
+        trigger: Trigger<'_>,
+        panics: &AtomicU64,
+        threshold: u32,
+    ) -> Option<PolicyDecision> {
+        match catch_unwind(AssertUnwindSafe(|| r.policy.evaluate(now_ns, trigger))) {
+            Ok(d) => {
+                r.consecutive_panics = 0;
+                Some(d)
+            }
+            Err(_) => {
+                panics.fetch_add(1, Ordering::Relaxed);
+                r.consecutive_panics += 1;
+                if r.consecutive_panics >= threshold {
+                    r.quarantined = true;
+                }
+                None
             }
         }
     }
 
     /// Runs every periodic policy that is due at `now_ns`. A policy that
     /// fell multiple periods behind fires once and is rescheduled from
-    /// `now_ns` (no catch-up bursts). Returns the number of evaluations.
+    /// `now_ns` (no catch-up bursts). A policy whose evaluation panics is
+    /// contained (the panic does not escape), and after
+    /// [`PolicyEngine::set_quarantine_threshold`] consecutive panics it is
+    /// quarantined: registered but never evaluated again. Returns the
+    /// number of evaluations (panicked evaluations included).
     pub fn step(&self, now_ns: u64) -> usize {
-        let mut decisions: Vec<PolicyDecision> = Vec::new();
+        let threshold = self.quarantine_threshold.load(Ordering::Relaxed) as u32;
+        let mut decisions: Vec<(String, PolicyDecision)> = Vec::new();
         let mut fired = 0usize;
         {
             let mut ps = self.policies.lock();
             let mut retired: Vec<u64> = Vec::new();
             for r in ps.iter_mut() {
-                if let Kind::Periodic { period_ns, next_due_ns } = &mut r.kind {
+                if r.quarantined {
+                    continue;
+                }
+                if let Kind::Periodic {
+                    period_ns,
+                    next_due_ns,
+                } = &mut r.kind
+                {
                     if now_ns >= *next_due_ns {
-                        let d = r.policy.evaluate(now_ns, Trigger::Periodic);
                         *next_due_ns = now_ns + *period_ns;
                         fired += 1;
-                        if d.retire {
-                            retired.push(r.id);
+                        let d = Self::evaluate_guarded(
+                            r,
+                            now_ns,
+                            Trigger::Periodic,
+                            &self.panics,
+                            threshold,
+                        );
+                        if let Some(d) = d {
+                            if d.retire {
+                                retired.push(r.id);
+                            }
+                            decisions.push((r.policy.name().to_owned(), d));
                         }
-                        decisions.push(d);
                     }
                 }
             }
@@ -195,8 +322,8 @@ impl PolicyEngine {
         }
         // Apply outside the policy lock: knob sets may be observed by
         // listeners that re-enter the engine.
-        for d in &decisions {
-            self.apply(d);
+        for (name, d) in &decisions {
+            self.apply(now_ns, name, d);
         }
         self.evaluations.fetch_add(fired as u64, Ordering::Relaxed);
         fired
@@ -222,7 +349,10 @@ impl PolicyEngine {
                 }
             })
             .expect("failed to spawn policy ticker");
-        TickerGuard { stop, handle: Some(handle) }
+        TickerGuard {
+            stop,
+            handle: Some(handle),
+        }
     }
 }
 
@@ -233,19 +363,34 @@ impl Listener for PolicyEngine {
 
     fn on_event(&self, event: &Event) {
         // Evaluate matching triggered policies. Decisions are collected
-        // under the lock, applied after, and retirement honored.
-        let mut decisions = Vec::new();
+        // under the lock, applied after, and retirement honored. Panics
+        // are contained exactly as in [`PolicyEngine::step`].
+        let threshold = self.quarantine_threshold.load(Ordering::Relaxed) as u32;
+        let mut decisions: Vec<(String, PolicyDecision)> = Vec::new();
+        let mut fired = 0u64;
         {
             let mut ps = self.policies.lock();
             let mut retired: Vec<u64> = Vec::new();
             for r in ps.iter_mut() {
+                if r.quarantined {
+                    continue;
+                }
                 if let Kind::Triggered { filter } = &r.kind {
                     if filter(event) {
-                        let d = r.policy.evaluate(event.t_ns(), Trigger::Event(event));
-                        if d.retire {
-                            retired.push(r.id);
+                        fired += 1;
+                        let d = Self::evaluate_guarded(
+                            r,
+                            event.t_ns(),
+                            Trigger::Event(event),
+                            &self.panics,
+                            threshold,
+                        );
+                        if let Some(d) = d {
+                            if d.retire {
+                                retired.push(r.id);
+                            }
+                            decisions.push((r.policy.name().to_owned(), d));
                         }
-                        decisions.push(d);
                     }
                 }
             }
@@ -253,9 +398,9 @@ impl Listener for PolicyEngine {
                 ps.retain(|r| !retired.contains(&r.id));
             }
         }
-        self.evaluations.fetch_add(decisions.len() as u64, Ordering::Relaxed);
-        for d in &decisions {
-            self.apply(d);
+        self.evaluations.fetch_add(fired, Ordering::Relaxed);
+        for (name, d) in &decisions {
+            self.apply(event.t_ns(), name, d);
         }
     }
 }
@@ -294,7 +439,10 @@ pub struct FnPolicy<F: FnMut(u64, Trigger<'_>) -> PolicyDecision + Send> {
 impl<F: FnMut(u64, Trigger<'_>) -> PolicyDecision + Send> FnPolicy<F> {
     /// Wraps `f` as a policy called `name`.
     pub fn new(name: impl Into<String>, f: F) -> Box<Self> {
-        Box::new(Self { name: name.into(), f })
+        Box::new(Self {
+            name: name.into(),
+            f,
+        })
     }
 }
 
@@ -414,7 +562,11 @@ mod tests {
         assert_eq!(engine.policy_count(), 0);
         knobs.set("k", 0);
         engine.on_event(&Event::PeriodicTick { t_ns: 1 });
-        assert_eq!(knobs.value("k"), Some(0), "retired policy must not fire again");
+        assert_eq!(
+            knobs.value("k"),
+            Some(0),
+            "retired policy must not fire again"
+        );
     }
 
     #[test]
@@ -473,12 +625,18 @@ mod tests {
             1, // due almost immediately in ns terms
             0,
         );
-        let guard = engine.spawn_ticker(Arc::new(WallClock::new()), std::time::Duration::from_millis(1));
+        let guard = engine.spawn_ticker(
+            Arc::new(WallClock::new()),
+            std::time::Duration::from_millis(1),
+        );
         let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
         while count.load(Ordering::Relaxed) < 3 && std::time::Instant::now() < deadline {
             std::thread::sleep(std::time::Duration::from_millis(2));
         }
         drop(guard);
-        assert!(count.load(Ordering::Relaxed) >= 3, "ticker did not drive policies");
+        assert!(
+            count.load(Ordering::Relaxed) >= 3,
+            "ticker did not drive policies"
+        );
     }
 }

@@ -60,7 +60,10 @@ pub struct ProfileListener {
 impl ProfileListener {
     /// Creates a profiler resolving names through `names`.
     pub fn new(names: TaskNames) -> Self {
-        Self { names, cells: Mutex::new(HashMap::new()) }
+        Self {
+            names,
+            cells: Mutex::new(HashMap::new()),
+        }
     }
 
     /// Snapshot of every task profile, sorted by name.
@@ -69,14 +72,25 @@ impl ProfileListener {
         let mut out: Vec<TaskProfile> = cells
             .iter()
             .map(|(id, c)| TaskProfile {
-                name: self.names.resolve(*id).unwrap_or_else(|| format!("<task {}>", id.0)),
+                name: self
+                    .names
+                    .resolve(*id)
+                    .unwrap_or_else(|| format!("<task {}>", id.0)),
                 count: c.stats.count(),
                 active: c.active,
                 total_ns: c.stats.sum(),
                 mean_ns: c.stats.mean(),
                 stddev_ns: c.stats.stddev(),
-                min_ns: if c.stats.is_empty() { 0.0 } else { c.stats.min() },
-                max_ns: if c.stats.is_empty() { 0.0 } else { c.stats.max() },
+                min_ns: if c.stats.is_empty() {
+                    0.0
+                } else {
+                    c.stats.min()
+                },
+                max_ns: if c.stats.is_empty() {
+                    0.0
+                } else {
+                    c.stats.max()
+                },
                 yields: c.yields,
             })
             .collect();
@@ -96,8 +110,16 @@ impl ProfileListener {
             total_ns: c.stats.sum(),
             mean_ns: c.stats.mean(),
             stddev_ns: c.stats.stddev(),
-            min_ns: if c.stats.is_empty() { 0.0 } else { c.stats.min() },
-            max_ns: if c.stats.is_empty() { 0.0 } else { c.stats.max() },
+            min_ns: if c.stats.is_empty() {
+                0.0
+            } else {
+                c.stats.min()
+            },
+            max_ns: if c.stats.is_empty() {
+                0.0
+            } else {
+                c.stats.max()
+            },
             yields: c.yields,
         })
     }
@@ -123,7 +145,9 @@ impl Listener for ProfileListener {
             Event::TaskBegin { task, .. } => {
                 self.cells.lock().entry(task).or_default().active += 1;
             }
-            Event::TaskEnd { task, elapsed_ns, .. } => {
+            Event::TaskEnd {
+                task, elapsed_ns, ..
+            } => {
                 let mut cells = self.cells.lock();
                 let c = cells.entry(task).or_default();
                 c.stats.update(elapsed_ns as f64);
@@ -156,8 +180,17 @@ mod tests {
     }
 
     fn run_task(p: &ProfileListener, task: TaskId, t0: u64, dur: u64) {
-        p.on_event(&Event::TaskBegin { task, worker: 0, t_ns: t0 });
-        p.on_event(&Event::TaskEnd { task, worker: 0, t_ns: t0 + dur, elapsed_ns: dur });
+        p.on_event(&Event::TaskBegin {
+            task,
+            worker: 0,
+            t_ns: t0,
+        });
+        p.on_event(&Event::TaskEnd {
+            task,
+            worker: 0,
+            t_ns: t0 + dur,
+            elapsed_ns: dur,
+        });
     }
 
     #[test]
@@ -180,10 +213,23 @@ mod tests {
     fn tracks_active_balance() {
         let (names, p) = setup();
         let id = names.intern("w");
-        p.on_event(&Event::TaskBegin { task: id, worker: 0, t_ns: 0 });
-        p.on_event(&Event::TaskBegin { task: id, worker: 1, t_ns: 1 });
+        p.on_event(&Event::TaskBegin {
+            task: id,
+            worker: 0,
+            t_ns: 0,
+        });
+        p.on_event(&Event::TaskBegin {
+            task: id,
+            worker: 1,
+            t_ns: 1,
+        });
         assert_eq!(p.get("w").unwrap().active, 2);
-        p.on_event(&Event::TaskEnd { task: id, worker: 0, t_ns: 5, elapsed_ns: 5 });
+        p.on_event(&Event::TaskEnd {
+            task: id,
+            worker: 0,
+            t_ns: 5,
+            elapsed_ns: 5,
+        });
         assert_eq!(p.get("w").unwrap().active, 1);
         assert_eq!(p.get("w").unwrap().count, 1);
     }
@@ -215,10 +261,27 @@ mod tests {
     fn yields_counted() {
         let (names, p) = setup();
         let id = names.intern("y");
-        p.on_event(&Event::TaskBegin { task: id, worker: 0, t_ns: 0 });
-        p.on_event(&Event::TaskYield { task: id, worker: 0, t_ns: 1 });
-        p.on_event(&Event::TaskResume { task: id, worker: 0, t_ns: 2 });
-        p.on_event(&Event::TaskEnd { task: id, worker: 0, t_ns: 3, elapsed_ns: 2 });
+        p.on_event(&Event::TaskBegin {
+            task: id,
+            worker: 0,
+            t_ns: 0,
+        });
+        p.on_event(&Event::TaskYield {
+            task: id,
+            worker: 0,
+            t_ns: 1,
+        });
+        p.on_event(&Event::TaskResume {
+            task: id,
+            worker: 0,
+            t_ns: 2,
+        });
+        p.on_event(&Event::TaskEnd {
+            task: id,
+            worker: 0,
+            t_ns: 3,
+            elapsed_ns: 2,
+        });
         assert_eq!(p.get("y").unwrap().yields, 1);
     }
 
@@ -255,8 +318,17 @@ mod tests {
             let p = p.clone();
             joins.push(std::thread::spawn(move || {
                 for i in 0..1000u64 {
-                    p.on_event(&Event::TaskBegin { task: id, worker: w, t_ns: i });
-                    p.on_event(&Event::TaskEnd { task: id, worker: w, t_ns: i + 7, elapsed_ns: 7 });
+                    p.on_event(&Event::TaskBegin {
+                        task: id,
+                        worker: w,
+                        t_ns: i,
+                    });
+                    p.on_event(&Event::TaskEnd {
+                        task: id,
+                        worker: w,
+                        t_ns: i + 7,
+                        elapsed_ns: 7,
+                    });
                 }
             }));
         }

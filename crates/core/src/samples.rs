@@ -23,7 +23,11 @@ impl SampleHistoryListener {
     /// Creates a history keeping ~`capacity` points per metric
     /// (decimating beyond that; see [`TimeSeries`]).
     pub fn new(names: TaskNames, capacity: usize) -> Self {
-        Self { names, capacity: capacity.max(4), series: Mutex::new(HashMap::new()) }
+        Self {
+            names,
+            capacity: capacity.max(4),
+            series: Mutex::new(HashMap::new()),
+        }
     }
 
     /// Latest `(t_ns, value)` for `metric`, if any samples arrived.
@@ -77,7 +81,12 @@ impl Listener for SampleHistoryListener {
     }
 
     fn on_event(&self, event: &Event) {
-        if let Event::SampleValue { metric, t_ns, value } = *event {
+        if let Event::SampleValue {
+            metric,
+            t_ns,
+            value,
+        } = *event
+        {
             let mut series = self.series.lock();
             series
                 .entry(metric)
@@ -101,7 +110,11 @@ mod tests {
 
     fn sample(names: &TaskNames, h: &SampleHistoryListener, metric: &str, t: u64, v: f64) {
         let id = names.intern(metric);
-        h.on_event(&Event::SampleValue { metric: id, t_ns: t, value: v });
+        h.on_event(&Event::SampleValue {
+            metric: id,
+            t_ns: t,
+            value: v,
+        });
     }
 
     #[test]
@@ -145,7 +158,11 @@ mod tests {
         let names = TaskNames::new();
         let h = SampleHistoryListener::new(names.clone(), 64);
         let id = names.intern("t");
-        h.on_event(&Event::TaskBegin { task: id, worker: 0, t_ns: 0 });
+        h.on_event(&Event::TaskBegin {
+            task: id,
+            worker: 0,
+            t_ns: 0,
+        });
         assert!(h.metrics().is_empty());
     }
 

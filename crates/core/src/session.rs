@@ -37,7 +37,12 @@ pub struct SessionConfig {
 impl SessionConfig {
     /// Config for a single knob with the given windows.
     pub fn single(knob: impl Into<String>, settle_ns: u64, measure_ns: u64) -> Self {
-        Self { knob_names: vec![knob.into()], settle_ns, measure_ns, max_epochs: 0 }
+        Self {
+            knob_names: vec![knob.into()],
+            settle_ns,
+            measure_ns,
+            max_epochs: 0,
+        }
     }
 }
 
@@ -90,8 +95,18 @@ impl TuningSession {
     /// # Panics
     /// Panics if `knob_names` is empty.
     pub fn new(cfg: SessionConfig, search: Box<dyn Search>, knobs: Arc<KnobRegistry>) -> Self {
-        assert!(!cfg.knob_names.is_empty(), "session needs at least one knob");
-        Self { cfg, search, knobs, pending: None, history: Vec::new(), finished: false }
+        assert!(
+            !cfg.knob_names.is_empty(),
+            "session needs at least one knob"
+        );
+        Self {
+            cfg,
+            search,
+            knobs,
+            pending: None,
+            history: Vec::new(),
+            finished: false,
+        }
     }
 
     /// Starts the next epoch at time `now_ns`: proposes a point, actuates
@@ -103,9 +118,7 @@ impl TuningSession {
     /// does not match `knob_names`.
     pub fn next(&mut self, now_ns: u64) -> SessionStep {
         assert!(self.pending.is_none(), "epoch already in flight");
-        if self.finished
-            || (self.cfg.max_epochs > 0 && self.history.len() >= self.cfg.max_epochs)
-        {
+        if self.finished || (self.cfg.max_epochs > 0 && self.history.len() >= self.cfg.max_epochs) {
             return self.finish();
         }
         match self.search.propose() {
@@ -121,7 +134,10 @@ impl TuningSession {
                 }
                 let measure_from_ns = now_ns + self.cfg.settle_ns;
                 self.pending = Some((point.clone(), measure_from_ns));
-                SessionStep::Measure { point, measure_from_ns }
+                SessionStep::Measure {
+                    point,
+                    measure_from_ns,
+                }
             }
         }
     }
@@ -131,8 +147,10 @@ impl TuningSession {
     /// # Panics
     /// Panics if no epoch is in flight.
     pub fn complete(&mut self, objective: f64) {
-        let (point, measured_from_ns) =
-            self.pending.take().expect("complete() without a pending epoch");
+        let (point, measured_from_ns) = self
+            .pending
+            .take()
+            .expect("complete() without a pending epoch");
         self.search.report(&point, objective);
         self.history.push(EpochReport {
             epoch: self.history.len(),
@@ -186,7 +204,10 @@ impl TuningSession {
         loop {
             match self.next(clock.now_ns()) {
                 SessionStep::Done { best } => return best,
-                SessionStep::Measure { point, measure_from_ns } => {
+                SessionStep::Measure {
+                    point,
+                    measure_from_ns,
+                } => {
                     let now = clock.now_ns();
                     if measure_from_ns > now {
                         std::thread::sleep(std::time::Duration::from_nanos(measure_from_ns - now));
@@ -226,7 +247,10 @@ mod tests {
         loop {
             match session.next(now) {
                 SessionStep::Done { best } => return best,
-                SessionStep::Measure { point, measure_from_ns } => {
+                SessionStep::Measure {
+                    point,
+                    measure_from_ns,
+                } => {
                     now = measure_from_ns + session.measure_ns();
                     let y = f(&point);
                     session.complete(y);
@@ -258,7 +282,11 @@ mod tests {
         let mut session = TuningSession::new(cfg, search, knobs.clone());
         let mut now = 0;
         while let SessionStep::Measure { point, .. } = session.next(now) {
-            assert_eq!(knobs.value("cap"), Some(point[0]), "knob must track epoch config");
+            assert_eq!(
+                knobs.value("cap"),
+                Some(point[0]),
+                "knob must track epoch config"
+            );
             session.complete(point[0] as f64); // minimum at cap = 1
             now += 1;
         }
@@ -270,10 +298,17 @@ mod tests {
         let knobs = knobs_with_cap(4);
         let space = Space::new(vec![Dim::range("cap", 1, 4, 1)]);
         let search = Box::new(HillClimb::from_start(space, &[2]));
-        let cfg = SessionConfig { knob_names: vec!["cap".into()], settle_ns: 500, measure_ns: 100, max_epochs: 0 };
+        let cfg = SessionConfig {
+            knob_names: vec!["cap".into()],
+            settle_ns: 500,
+            measure_ns: 100,
+            max_epochs: 0,
+        };
         let mut session = TuningSession::new(cfg, search, knobs);
         match session.next(1_000) {
-            SessionStep::Measure { measure_from_ns, .. } => assert_eq!(measure_from_ns, 1_500),
+            SessionStep::Measure {
+                measure_from_ns, ..
+            } => assert_eq!(measure_from_ns, 1_500),
             other => panic!("unexpected {other:?}"),
         }
     }
@@ -283,7 +318,12 @@ mod tests {
         let knobs = knobs_with_cap(32);
         let space = Space::new(vec![Dim::range("cap", 1, 32, 1)]);
         let search = Box::new(HillClimb::from_start(space, &[16]));
-        let cfg = SessionConfig { knob_names: vec!["cap".into()], settle_ns: 0, measure_ns: 0, max_epochs: 3 };
+        let cfg = SessionConfig {
+            knob_names: vec!["cap".into()],
+            settle_ns: 0,
+            measure_ns: 0,
+            max_epochs: 3,
+        };
         let mut session = TuningSession::new(cfg, search, knobs);
         let mut epochs = 0;
         let mut now = 0;
@@ -307,8 +347,7 @@ mod tests {
         let knobs = knobs_with_cap(4);
         let space = Space::new(vec![Dim::range("cap", 1, 4, 1)]);
         let search = Box::new(HillClimb::from_start(space, &[2]));
-        let mut session =
-            TuningSession::new(SessionConfig::single("cap", 0, 0), search, knobs);
+        let mut session = TuningSession::new(SessionConfig::single("cap", 0, 0), search, knobs);
         let _ = session.next(0);
         let _ = session.next(1);
     }
@@ -319,8 +358,7 @@ mod tests {
         let knobs = knobs_with_cap(4);
         let space = Space::new(vec![Dim::range("cap", 1, 4, 1)]);
         let search = Box::new(HillClimb::from_start(space, &[2]));
-        let mut session =
-            TuningSession::new(SessionConfig::single("cap", 0, 0), search, knobs);
+        let mut session = TuningSession::new(SessionConfig::single("cap", 0, 0), search, knobs);
         session.complete(1.0);
     }
 
@@ -329,8 +367,7 @@ mod tests {
         let knobs = knobs_with_cap(4);
         let space = Space::new(vec![Dim::range("cap", 1, 4, 1)]);
         let search = Box::new(HillClimb::from_start(space, &[2]));
-        let mut session =
-            TuningSession::new(SessionConfig::single("cap", 10, 0), search, knobs);
+        let mut session = TuningSession::new(SessionConfig::single("cap", 10, 0), search, knobs);
         drive(&mut session, |p| p[0] as f64);
         let h = session.history();
         assert!(!h.is_empty());
@@ -346,7 +383,12 @@ mod tests {
         let knobs = knobs_with_cap(8);
         let space = Space::new(vec![Dim::range("cap", 1, 8, 1)]);
         let search = Box::new(HillClimb::from_start(space, &[8]));
-        let cfg = SessionConfig { knob_names: vec!["cap".into()], settle_ns: 1, measure_ns: 1, max_epochs: 0 };
+        let cfg = SessionConfig {
+            knob_names: vec!["cap".into()],
+            settle_ns: 1,
+            measure_ns: 1,
+            max_epochs: 0,
+        };
         let mut session = TuningSession::new(cfg, search, knobs);
         let clock = WallClock::new();
         let best = session

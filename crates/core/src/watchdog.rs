@@ -1,0 +1,232 @@
+//! Self-healing watchdog: roll back actuations that hurt throughput.
+//!
+//! Adaptation is supposed to help; a mis-tuned policy (or a policy tuned
+//! for a phase that just ended) can actuate a knob and make things worse.
+//! The [`RegressionWatchdog`] is itself a periodic [`Policy`] that closes
+//! the loop on the loop: it watches a caller-supplied throughput signal
+//! (typically a [`lg_metrics::SlidingWindow`] rate), and when a journalled
+//! actuation is followed by a rate drop beyond a threshold, it writes the
+//! knob back to its pre-actuation value.
+//!
+//! The rollback is an ordinary [`PolicyDecision`], so it flows through the
+//! same clamping and audit logging as any other actuation — and it is
+//! journalled under the watchdog's own name, which the watchdog ignores,
+//! so it never chases its own tail.
+
+use crate::journal::ActuationJournal;
+use crate::policy::{Policy, PolicyDecision, Trigger};
+use std::sync::Arc;
+
+struct Pending {
+    seq: u64,
+    knob: String,
+    from: i64,
+    baseline: f64,
+}
+
+/// Periodic policy that detects post-actuation throughput regressions and
+/// rolls back the offending knob write. See the module docs.
+pub struct RegressionWatchdog {
+    name: String,
+    journal: Arc<ActuationJournal>,
+    rate: Box<dyn FnMut() -> f64 + Send>,
+    drop_frac: f64,
+    last_seen_seq: u64,
+    pending: Option<Pending>,
+    rollbacks: u64,
+}
+
+impl RegressionWatchdog {
+    /// Creates a watchdog reading `rate` (higher = better) and rolling
+    /// back any journalled actuation followed by a drop of more than
+    /// `drop_frac` (e.g. `0.2` = 20%) relative to the rate observed when
+    /// the actuation was first seen.
+    ///
+    /// # Panics
+    /// Panics unless `0 < drop_frac < 1`.
+    pub fn new(
+        journal: Arc<ActuationJournal>,
+        rate: impl FnMut() -> f64 + Send + 'static,
+        drop_frac: f64,
+    ) -> Box<Self> {
+        assert!(
+            drop_frac > 0.0 && drop_frac < 1.0,
+            "drop fraction must be in (0, 1)"
+        );
+        Box::new(Self {
+            name: "regression-watchdog".into(),
+            journal,
+            rate: Box::new(rate),
+            drop_frac,
+            last_seen_seq: 0,
+            pending: None,
+            rollbacks: 0,
+        })
+    }
+
+    /// Rollbacks performed so far.
+    pub fn rollbacks(&self) -> u64 {
+        self.rollbacks
+    }
+}
+
+impl Policy for RegressionWatchdog {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn evaluate(&mut self, _now_ns: u64, _trigger: Trigger<'_>) -> PolicyDecision {
+        let rate = (self.rate)();
+        let mut decision = PolicyDecision::noop();
+        // Verdict on the actuation observed last evaluation: one full
+        // period has elapsed, so `rate` reflects the post-actuation world.
+        if let Some(p) = self.pending.take() {
+            if rate < p.baseline * (1.0 - self.drop_frac) {
+                self.journal.mark_rolled_back(p.seq);
+                self.rollbacks += 1;
+                decision = PolicyDecision::set(p.knob, p.from);
+            }
+        }
+        // Adopt the newest foreign actuation as the next suspect. The
+        // rate sampled *now* is the pre-verdict baseline.
+        let mut newest: Option<Pending> = None;
+        for rec in self.journal.records_since(self.last_seen_seq) {
+            self.last_seen_seq = self.last_seen_seq.max(rec.seq);
+            if rec.policy != self.name && !rec.rolled_back {
+                newest = Some(Pending {
+                    seq: rec.seq,
+                    knob: rec.knob,
+                    from: rec.from,
+                    baseline: rate,
+                });
+            }
+        }
+        if newest.is_some() {
+            self.pending = newest;
+        }
+        decision
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn eval(w: &mut RegressionWatchdog, t: u64) -> PolicyDecision {
+        w.evaluate(t, Trigger::Periodic)
+    }
+
+    #[test]
+    fn rolls_back_regressing_actuation() {
+        let journal = Arc::new(ActuationJournal::new(16));
+        let rate = Arc::new(AtomicU64::new(1_000));
+        let r = rate.clone();
+        let mut w = RegressionWatchdog::new(
+            journal.clone(),
+            move || r.load(Ordering::Relaxed) as f64,
+            0.2,
+        );
+        assert_eq!(eval(&mut w, 0), PolicyDecision::noop());
+        // A policy halves the cap; throughput craters.
+        let seq = journal.record(10, "tuner", "thread_cap", 16, 2);
+        assert_eq!(
+            eval(&mut w, 10),
+            PolicyDecision::noop(),
+            "adopts suspect, no verdict yet"
+        );
+        rate.store(400, Ordering::Relaxed);
+        let d = eval(&mut w, 20);
+        assert_eq!(d, PolicyDecision::set("thread_cap", 16));
+        assert_eq!(w.rollbacks(), 1);
+        assert!(
+            journal
+                .records()
+                .iter()
+                .find(|r| r.seq == seq)
+                .unwrap()
+                .rolled_back
+        );
+    }
+
+    #[test]
+    fn tolerates_benign_actuation() {
+        let journal = Arc::new(ActuationJournal::new(16));
+        let rate = Arc::new(AtomicU64::new(1_000));
+        let r = rate.clone();
+        let mut w = RegressionWatchdog::new(
+            journal.clone(),
+            move || r.load(Ordering::Relaxed) as f64,
+            0.2,
+        );
+        eval(&mut w, 0);
+        journal.record(10, "tuner", "window", 8, 32);
+        eval(&mut w, 10);
+        rate.store(1_100, Ordering::Relaxed); // improved
+        assert_eq!(eval(&mut w, 20), PolicyDecision::noop());
+        assert_eq!(w.rollbacks(), 0);
+    }
+
+    #[test]
+    fn small_dip_within_tolerance_not_rolled_back() {
+        let journal = Arc::new(ActuationJournal::new(16));
+        let rate = Arc::new(AtomicU64::new(1_000));
+        let r = rate.clone();
+        let mut w = RegressionWatchdog::new(
+            journal.clone(),
+            move || r.load(Ordering::Relaxed) as f64,
+            0.2,
+        );
+        eval(&mut w, 0);
+        journal.record(10, "tuner", "window", 8, 32);
+        eval(&mut w, 10);
+        rate.store(900, Ordering::Relaxed); // -10%, threshold is 20%
+        assert_eq!(eval(&mut w, 20), PolicyDecision::noop());
+    }
+
+    #[test]
+    fn ignores_its_own_rollback_writes() {
+        let journal = Arc::new(ActuationJournal::new(16));
+        let rate = Arc::new(AtomicU64::new(1_000));
+        let r = rate.clone();
+        let mut w = RegressionWatchdog::new(
+            journal.clone(),
+            move || r.load(Ordering::Relaxed) as f64,
+            0.2,
+        );
+        eval(&mut w, 0);
+        journal.record(10, "tuner", "cap", 16, 2);
+        eval(&mut w, 10);
+        rate.store(100, Ordering::Relaxed);
+        assert_eq!(eval(&mut w, 20), PolicyDecision::set("cap", 16));
+        // The engine would journal that rollback under the watchdog's name:
+        journal.record(20, "regression-watchdog", "cap", 2, 16);
+        rate.store(90, Ordering::Relaxed);
+        assert_eq!(
+            eval(&mut w, 30),
+            PolicyDecision::noop(),
+            "must not chase its own write"
+        );
+        assert_eq!(eval(&mut w, 40), PolicyDecision::noop());
+        assert_eq!(w.rollbacks(), 1);
+    }
+
+    #[test]
+    fn only_latest_foreign_actuation_is_suspect() {
+        let journal = Arc::new(ActuationJournal::new(16));
+        let rate = Arc::new(AtomicU64::new(1_000));
+        let r = rate.clone();
+        let mut w = RegressionWatchdog::new(
+            journal.clone(),
+            move || r.load(Ordering::Relaxed) as f64,
+            0.2,
+        );
+        eval(&mut w, 0);
+        journal.record(10, "a", "k1", 1, 2);
+        journal.record(11, "b", "k2", 5, 9);
+        eval(&mut w, 20);
+        rate.store(1, Ordering::Relaxed);
+        // Rolls back the most recent write only (k2).
+        assert_eq!(eval(&mut w, 30), PolicyDecision::set("k2", 5));
+    }
+}

@@ -1,0 +1,218 @@
+//! Resilience of the policy engine itself: panic containment and
+//! quarantine, plus knob-write rollback (manual and watchdog-driven).
+
+use lg_core::journal::ActuationJournal;
+use lg_core::knob::AtomicKnob;
+use lg_core::policy::Trigger;
+use lg_core::{KnobRegistry, KnobSpec, Policy, PolicyDecision, PolicyEngine, RegressionWatchdog};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Periodic policy that panics on evaluations where `fail(evals)` says so,
+/// and otherwise writes `knob = evals`.
+struct Flaky {
+    name: &'static str,
+    knob: &'static str,
+    evals: u64,
+    fail: fn(u64) -> bool,
+}
+
+impl Policy for Flaky {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn evaluate(&mut self, _now_ns: u64, _trigger: Trigger<'_>) -> PolicyDecision {
+        self.evals += 1;
+        if (self.fail)(self.evals) {
+            panic!("injected policy fault at evaluation {}", self.evals);
+        }
+        PolicyDecision::set(self.knob, self.evals as i64)
+    }
+}
+
+fn engine_with_knob(name: &'static str, initial: i64) -> (Arc<PolicyEngine>, Arc<KnobRegistry>) {
+    let knobs = Arc::new(KnobRegistry::new());
+    knobs.register(AtomicKnob::new(KnobSpec::new(name, 0, 1_000_000), initial));
+    (PolicyEngine::new(knobs.clone()), knobs)
+}
+
+#[test]
+fn panicking_policy_is_quarantined_and_never_fires_again() {
+    let (engine, knobs) = engine_with_knob("k", 0);
+    engine.register_periodic(
+        Box::new(Flaky {
+            name: "bad",
+            knob: "k",
+            evals: 0,
+            fail: |_| true,
+        }),
+        100,
+        0,
+    );
+    engine.register_periodic(
+        Box::new(Flaky {
+            name: "good",
+            knob: "k",
+            evals: 0,
+            fail: |_| false,
+        }),
+        100,
+        0,
+    );
+    for i in 1..=20u64 {
+        engine.step(i * 100); // must not unwind despite "bad" panicking
+    }
+    assert_eq!(
+        engine.panics(),
+        PolicyEngine::DEFAULT_QUARANTINE_THRESHOLD as u64
+    );
+    assert_eq!(engine.quarantined(), vec!["bad".to_string()]);
+    assert_eq!(engine.quarantined_count(), 1);
+    assert_eq!(
+        engine.policy_count(),
+        2,
+        "quarantine keeps the policy registered"
+    );
+    // The healthy policy kept actuating right through its neighbour's
+    // meltdown: 20 evaluations, each journalled.
+    assert_eq!(knobs.value("k"), Some(20));
+    // Many more steps: the quarantined policy stays silent for the rest of
+    // the session.
+    for i in 21..=60u64 {
+        engine.step(i * 100);
+    }
+    assert_eq!(
+        engine.panics(),
+        PolicyEngine::DEFAULT_QUARANTINE_THRESHOLD as u64
+    );
+    assert_eq!(knobs.value("k"), Some(60));
+}
+
+#[test]
+fn successful_evaluation_resets_the_panic_streak() {
+    let (engine, _knobs) = engine_with_knob("k", 0);
+    // Panics twice out of every three evaluations: never three in a row,
+    // so it must never be quarantined.
+    engine.register_periodic(
+        Box::new(Flaky {
+            name: "flappy",
+            knob: "k",
+            evals: 0,
+            fail: |n| n % 3 != 0,
+        }),
+        100,
+        0,
+    );
+    for i in 1..=30u64 {
+        engine.step(i * 100);
+    }
+    assert_eq!(engine.quarantined_count(), 0);
+    assert_eq!(engine.panics(), 20);
+}
+
+#[test]
+fn quarantine_threshold_is_tunable() {
+    let (engine, _knobs) = engine_with_knob("k", 0);
+    engine.set_quarantine_threshold(1);
+    engine.register_periodic(
+        Box::new(Flaky {
+            name: "bad",
+            knob: "k",
+            evals: 0,
+            fail: |_| true,
+        }),
+        100,
+        0,
+    );
+    engine.step(100);
+    assert_eq!(engine.quarantined_count(), 1, "one strike and out");
+    assert_eq!(engine.panics(), 1);
+}
+
+#[test]
+fn rollback_restores_the_pre_actuation_value() {
+    let (engine, knobs) = engine_with_knob("k", 7);
+    engine.register_periodic(
+        Box::new(Flaky {
+            name: "writer",
+            knob: "k",
+            evals: 0,
+            fail: |_| false,
+        }),
+        100,
+        0,
+    );
+    engine.step(100); // writes k = 1
+    assert_eq!(knobs.value("k"), Some(1));
+    assert_eq!(engine.rollback_last_of("k"), Some(7));
+    assert_eq!(
+        knobs.value("k"),
+        Some(7),
+        "rollback must restore the prior value"
+    );
+    // The record is consumed: a second rollback finds nothing newer.
+    assert_eq!(engine.rollback_last_of("k"), None);
+    assert_eq!(engine.rollback_last_of("no-such-knob"), None);
+}
+
+#[test]
+fn watchdog_rolls_back_a_regressing_actuation_end_to_end() {
+    // Full loop through the engine: a policy actuates, throughput tanks,
+    // and the watchdog (itself a registered policy) writes the knob back.
+    let (engine, knobs) = engine_with_knob("k", 10);
+    let rate = Arc::new(AtomicU64::new(1_000));
+    let rate_reader = rate.clone();
+    engine.register_periodic(
+        RegressionWatchdog::new(
+            engine.journal().clone(),
+            move || rate_reader.load(Ordering::Relaxed) as f64,
+            0.2,
+        ),
+        100,
+        0,
+    );
+    // One harmful actuation, made outside the watchdog's name.
+    struct OneShot;
+    impl Policy for OneShot {
+        fn name(&self) -> &str {
+            "one-shot"
+        }
+        fn evaluate(&mut self, _now_ns: u64, _trigger: Trigger<'_>) -> PolicyDecision {
+            PolicyDecision::set("k", 999).and_retire()
+        }
+    }
+    engine.register_periodic(Box::new(OneShot), 100, 0);
+    engine.step(100); // actuation lands (journalled after this step)
+    assert_eq!(knobs.value("k"), Some(999));
+    engine.step(200); // watchdog adopts the suspect at a healthy baseline
+    rate.store(100, Ordering::Relaxed); // throughput collapses
+    engine.step(300); // verdict: regression → rollback decision applied
+    assert_eq!(
+        knobs.value("k"),
+        Some(10),
+        "watchdog must restore the prior value"
+    );
+    let rolled: Vec<_> = engine
+        .journal()
+        .records_since(0)
+        .into_iter()
+        .filter(|r| r.rolled_back)
+        .collect();
+    assert_eq!(rolled.len(), 1);
+    assert_eq!(rolled[0].policy, "one-shot");
+}
+
+#[test]
+fn journal_capacity_bounds_rollback_memory() {
+    // The engine's journal is bounded: old actuations fall off and can no
+    // longer be rolled back, but the newest always can.
+    let journal = ActuationJournal::new(4);
+    for i in 0..10u64 {
+        journal.record(i, "p", "k", i as i64, i as i64 + 1);
+    }
+    assert_eq!(journal.len(), 4);
+    assert!(journal.evicted() >= 6);
+    let latest = journal.latest_for("k").expect("newest record retained");
+    assert_eq!(latest.from, 9);
+}

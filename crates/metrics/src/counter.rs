@@ -221,7 +221,11 @@ mod tests {
         for name in ["zeta", "alpha", "mid"] {
             reg.counter(name).inc();
         }
-        let names: Vec<String> = reg.snapshot_counters().into_iter().map(|(n, _)| n).collect();
+        let names: Vec<String> = reg
+            .snapshot_counters()
+            .into_iter()
+            .map(|(n, _)| n)
+            .collect();
         assert_eq!(names, vec!["alpha", "mid", "zeta"]);
     }
 }

@@ -31,8 +31,15 @@ impl Ewma {
     /// # Panics
     /// Panics if `alpha` is not in `(0, 1]`.
     pub fn new(alpha: f64) -> Self {
-        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1], got {alpha}");
-        Self { alpha, value: 0.0, initialized: false }
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "alpha must be in (0, 1], got {alpha}"
+        );
+        Self {
+            alpha,
+            value: 0.0,
+            initialized: false,
+        }
     }
 
     /// Creates an EWMA whose α corresponds to a half-life of `n` updates:
@@ -92,7 +99,12 @@ impl TimeEwma {
     /// Panics if `tau_ns` is zero.
     pub fn new(tau_ns: u64) -> Self {
         assert!(tau_ns > 0, "time constant must be positive");
-        Self { tau_ns: tau_ns as f64, value: 0.0, last_t_ns: 0, initialized: false }
+        Self {
+            tau_ns: tau_ns as f64,
+            value: 0.0,
+            last_t_ns: 0,
+            initialized: false,
+        }
     }
 
     /// Folds an observation taken at absolute time `t_ns`.

@@ -232,7 +232,10 @@ mod tests {
     fn index_value_roundtrip_is_monotone() {
         // value_of(index_of(v)) must be <= v and within ~6.25% of v.
         let mut prev_idx = 0;
-        for v in (0..100_000u64).step_by(7).chain([1 << 20, 1 << 40, u64::MAX / 2]) {
+        for v in (0..100_000u64)
+            .step_by(7)
+            .chain([1 << 20, 1 << 40, u64::MAX / 2])
+        {
             let idx = Histogram::index_of(v);
             assert!(idx >= prev_idx || v < 100_000, "indices must not decrease");
             prev_idx = prev_idx.max(idx);
@@ -282,7 +285,9 @@ mod tests {
         let mut h = Histogram::new();
         let mut rng: u64 = 0x9E3779B97F4A7C15;
         for _ in 0..10_000 {
-            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            rng = rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             h.record(rng >> 40);
         }
         let mut prev = 0;
@@ -303,7 +308,10 @@ mod tests {
         for (q, expect) in [(0.1, 1000u64), (0.5, 5000), (0.9, 9000), (0.99, 9900)] {
             let got = h.value_at_quantile(q);
             let err = (got as f64 - expect as f64).abs() / expect as f64;
-            assert!(err < 0.08, "q={q}: got {got}, want ~{expect} (err {err:.3})");
+            assert!(
+                err < 0.08,
+                "q={q}: got {got}, want ~{expect} (err {err:.3})"
+            );
         }
     }
 
@@ -345,6 +353,6 @@ mod tests {
         h.record(u64::MAX - 1);
         assert_eq!(h.count(), 2);
         assert_eq!(h.max(), u64::MAX);
-        assert!(h.value_at_quantile(1.0) <= u64::MAX);
+        assert!(h.value_at_quantile(1.0) > 0);
     }
 }

@@ -44,7 +44,10 @@ impl PowerModel {
     /// # Panics
     /// Panics if either parameter is negative.
     pub fn new(p_idle: f64, p_core: f64) -> Self {
-        assert!(p_idle >= 0.0 && p_core >= 0.0, "power parameters must be non-negative");
+        assert!(
+            p_idle >= 0.0 && p_core >= 0.0,
+            "power parameters must be non-negative"
+        );
         Self { p_idle, p_core }
     }
 
@@ -147,7 +150,11 @@ impl EnergyMeter {
     pub fn report(&self) -> EnergyReport {
         let elapsed_s = self.elapsed_s();
         let energy_j = self.energy_j;
-        let mean_power_w = if elapsed_s > 0.0 { energy_j / elapsed_s } else { 0.0 };
+        let mean_power_w = if elapsed_s > 0.0 {
+            energy_j / elapsed_s
+        } else {
+            0.0
+        };
         EnergyReport {
             elapsed_s,
             energy_j,

@@ -77,13 +77,19 @@ impl ProcessStatus {
         for line in content.lines() {
             let mut parts = line.split_ascii_whitespace();
             match parts.next() {
-                Some("VmRSS:") => s.vm_rss_kb = parts.next().and_then(|v| v.parse().ok()).unwrap_or(0),
-                Some("Threads:") => s.threads = parts.next().and_then(|v| v.parse().ok()).unwrap_or(0),
+                Some("VmRSS:") => {
+                    s.vm_rss_kb = parts.next().and_then(|v| v.parse().ok()).unwrap_or(0)
+                }
+                Some("Threads:") => {
+                    s.threads = parts.next().and_then(|v| v.parse().ok()).unwrap_or(0)
+                }
                 Some("voluntary_ctxt_switches:") => {
-                    s.voluntary_ctxt_switches = parts.next().and_then(|v| v.parse().ok()).unwrap_or(0)
+                    s.voluntary_ctxt_switches =
+                        parts.next().and_then(|v| v.parse().ok()).unwrap_or(0)
                 }
                 Some("nonvoluntary_ctxt_switches:") => {
-                    s.nonvoluntary_ctxt_switches = parts.next().and_then(|v| v.parse().ok()).unwrap_or(0)
+                    s.nonvoluntary_ctxt_switches =
+                        parts.next().and_then(|v| v.parse().ok()).unwrap_or(0)
                 }
                 _ => {}
             }
@@ -108,7 +114,9 @@ pub struct CpuUtilSource {
 impl CpuUtilSource {
     /// Creates the source.
     pub fn new() -> Self {
-        Self { prev: parking_lot::Mutex::new(None) }
+        Self {
+            prev: parking_lot::Mutex::new(None),
+        }
     }
 }
 
@@ -151,7 +159,10 @@ impl Sampled for ProcessSource {
             out.push(("rss_kb".into(), s.vm_rss_kb as f64));
             out.push(("threads".into(), s.threads as f64));
             out.push(("ctxt_voluntary".into(), s.voluntary_ctxt_switches as f64));
-            out.push(("ctxt_involuntary".into(), s.nonvoluntary_ctxt_switches as f64));
+            out.push((
+                "ctxt_involuntary".into(),
+                s.nonvoluntary_ctxt_switches as f64,
+            ));
         }
     }
 }

@@ -37,7 +37,10 @@ pub struct FnSource<F: Fn() -> f64 + Send + Sync> {
 impl<F: Fn() -> f64 + Send + Sync> FnSource<F> {
     /// Wraps `f` as a single-value source named `name`.
     pub fn new(name: impl Into<String>, f: F) -> Self {
-        Self { name: name.into(), f }
+        Self {
+            name: name.into(),
+            f,
+        }
     }
 }
 
@@ -62,7 +65,10 @@ pub struct SamplerConfig {
 
 impl Default for SamplerConfig {
     fn default() -> Self {
-        Self { period: Duration::from_millis(10), sample_immediately: false }
+        Self {
+            period: Duration::from_millis(10),
+            sample_immediately: false,
+        }
     }
 }
 
@@ -131,7 +137,10 @@ impl Sampler {
                 }
             })
             .expect("failed to spawn sampler thread");
-        Self { shared, thread: Some(thread) }
+        Self {
+            shared,
+            thread: Some(thread),
+        }
     }
 
     /// Changes the sampling period; takes effect at the next wakeup.
@@ -140,7 +149,9 @@ impl Sampler {
     /// Panics if `period` is zero.
     pub fn set_period(&self, period: Duration) {
         assert!(!period.is_zero(), "sampling period must be positive");
-        self.shared.period_ns.store(period.as_nanos() as u64, Ordering::Release);
+        self.shared
+            .period_ns
+            .store(period.as_nanos() as u64, Ordering::Release);
         // Nudge the thread so a long old period doesn't delay the change.
         let _guard = self.shared.wake_lock.lock();
         self.shared.wake.notify_all();
@@ -215,7 +226,10 @@ mod tests {
         let seen = Arc::new(Mutex::new(Vec::new()));
         let sink_seen = seen.clone();
         let sampler = Sampler::start(
-            SamplerConfig { period: Duration::from_millis(1), sample_immediately: true },
+            SamplerConfig {
+                period: Duration::from_millis(1),
+                sample_immediately: true,
+            },
             sources,
             move |_t, name, v| sink_seen.lock().push((name.to_owned(), v)),
         );
@@ -236,7 +250,10 @@ mod tests {
         let ts = Arc::new(Mutex::new(Vec::new()));
         let sink_ts = ts.clone();
         let sampler = Sampler::start(
-            SamplerConfig { period: Duration::from_millis(1), sample_immediately: true },
+            SamplerConfig {
+                period: Duration::from_millis(1),
+                sample_immediately: true,
+            },
             sources,
             move |t, _n, _v| sink_ts.lock().push(t),
         );
@@ -254,7 +271,10 @@ mod tests {
     fn set_period_takes_effect() {
         let sources: Vec<Arc<dyn Sampled>> = vec![Arc::new(FnSource::new("x", || 0.0))];
         let sampler = Sampler::start(
-            SamplerConfig { period: Duration::from_secs(3600), sample_immediately: false },
+            SamplerConfig {
+                period: Duration::from_secs(3600),
+                sample_immediately: false,
+            },
             sources,
             |_t, _n, _v| {},
         );
@@ -265,7 +285,10 @@ mod tests {
         while sampler.polls() == 0 && Instant::now() < deadline {
             std::thread::sleep(Duration::from_millis(1));
         }
-        assert!(sampler.polls() > 0, "period change did not wake the sampler");
+        assert!(
+            sampler.polls() > 0,
+            "period change did not wake the sampler"
+        );
         sampler.stop();
     }
 
@@ -291,7 +314,10 @@ mod tests {
         let seen = Arc::new(Mutex::new(Vec::new()));
         let sink_seen = seen.clone();
         let sampler = Sampler::start(
-            SamplerConfig { period: Duration::from_millis(1), sample_immediately: true },
+            SamplerConfig {
+                period: Duration::from_millis(1),
+                sample_immediately: true,
+            },
             vec![Arc::new(Multi)],
             move |_t, name, v| sink_seen.lock().push((name.to_owned(), v)),
         );

@@ -39,7 +39,13 @@ impl TimeSeries {
     /// Panics if `capacity < 4` (decimation needs room to halve).
     pub fn new(capacity: usize) -> Self {
         assert!(capacity >= 4, "capacity must be at least 4");
-        Self { samples: Vec::with_capacity(capacity), capacity, stride: 1, skip_counter: 0, pushed: 0 }
+        Self {
+            samples: Vec::with_capacity(capacity),
+            capacity,
+            stride: 1,
+            skip_counter: 0,
+            pushed: 0,
+        }
     }
 
     /// Appends a sample. Out-of-order timestamps are accepted but queries
@@ -190,7 +196,11 @@ mod tests {
         assert_eq!(ts.first().unwrap().0, 0);
         // Newest retained sample must be within one stride of the end.
         let stride = ts.stride();
-        assert!(ts.last().unwrap().0 >= (1000 - stride) * 10, "last {:?} stride {stride}", ts.last());
+        assert!(
+            ts.last().unwrap().0 >= (1000 - stride) * 10,
+            "last {:?} stride {stride}",
+            ts.last()
+        );
     }
 
     #[test]

@@ -205,7 +205,9 @@ mod tests {
 
     #[test]
     fn matches_naive_two_pass() {
-        let xs: Vec<f64> = (0..1000).map(|i| ((i * 37) % 101) as f64 * 0.5 - 13.0).collect();
+        let xs: Vec<f64> = (0..1000)
+            .map(|i| ((i * 37) % 101) as f64 * 0.5 - 13.0)
+            .collect();
         let mut w = Welford::new();
         for &x in &xs {
             w.update(x);

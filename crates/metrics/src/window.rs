@@ -36,7 +36,13 @@ impl SlidingWindow {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "window capacity must be positive");
-        Self { buf: vec![0.0; capacity], capacity, head: 0, len: 0, running_sum: 0.0 }
+        Self {
+            buf: vec![0.0; capacity],
+            capacity,
+            head: 0,
+            len: 0,
+            running_sum: 0.0,
+        }
     }
 
     /// Pushes an observation, evicting the oldest when full.
@@ -148,7 +154,11 @@ impl RateWindow {
     /// Panics if `horizon_ns` is zero.
     pub fn new(horizon_ns: u64) -> Self {
         assert!(horizon_ns > 0, "horizon must be positive");
-        Self { horizon_ns, entries: std::collections::VecDeque::new(), total_in_window: 0 }
+        Self {
+            horizon_ns,
+            entries: std::collections::VecDeque::new(),
+            total_in_window: 0,
+        }
     }
 
     /// Records `count` events at time `t_ns` and evicts expired entries.

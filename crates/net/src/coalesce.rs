@@ -69,7 +69,10 @@ impl Coalescer {
     /// Panics if `initial_window` or `window_max` is zero, or
     /// `max_delay_ns` is zero.
     pub fn new(initial_window: usize, window_max: usize, max_delay_ns: u64) -> Self {
-        assert!(initial_window > 0 && window_max > 0, "window must be positive");
+        assert!(
+            initial_window > 0 && window_max > 0,
+            "window must be positive"
+        );
         assert!(max_delay_ns > 0, "max delay must be positive");
         let window = AtomicKnob::new(
             KnobSpec::new("coalesce_window", 1, window_max as i64),
@@ -130,7 +133,12 @@ impl Coalescer {
         if buf.parcels.len() >= self.window() {
             self.window_flushes += 1;
             let parcels = std::mem::take(&mut self.buffers.get_mut(&dest).unwrap().parcels);
-            Some(WireMessage { dest, parcels, reason: FlushReason::Window, t_ns })
+            Some(WireMessage {
+                dest,
+                parcels,
+                reason: FlushReason::Window,
+                t_ns,
+            })
         } else {
             None
         }
@@ -153,7 +161,12 @@ impl Coalescer {
             let buf = self.buffers.get_mut(&dest).unwrap();
             let parcels = std::mem::take(&mut buf.parcels);
             self.deadline_flushes += 1;
-            out.push(WireMessage { dest, parcels, reason: FlushReason::Deadline, t_ns: now_ns });
+            out.push(WireMessage {
+                dest,
+                parcels,
+                reason: FlushReason::Deadline,
+                t_ns: now_ns,
+            });
         }
         // Deterministic output order.
         out.sort_by_key(|m| m.dest);
@@ -176,7 +189,12 @@ impl Coalescer {
         for (&dest, buf) in self.buffers.iter_mut() {
             if !buf.parcels.is_empty() {
                 let parcels = std::mem::take(&mut buf.parcels);
-                out.push(WireMessage { dest, parcels, reason: FlushReason::Explicit, t_ns: now_ns });
+                out.push(WireMessage {
+                    dest,
+                    parcels,
+                    reason: FlushReason::Explicit,
+                    t_ns: now_ns,
+                });
             }
         }
         out.sort_by_key(|m| m.dest);
@@ -319,7 +337,10 @@ mod tests {
         }
         assert_eq!(delivered.len(), 1000);
         // In-order per (src,dst,tag): all one stream here.
-        assert!(delivered.windows(2).all(|w| w[0] < w[1]), "reordering detected");
+        assert!(
+            delivered.windows(2).all(|w| w[0] < w[1]),
+            "reordering detected"
+        );
     }
 
     #[test]

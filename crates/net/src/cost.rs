@@ -23,7 +23,11 @@ impl TransportCost {
     /// Panics if `per_byte_ns` is negative.
     pub fn new(per_msg_ns: u64, per_byte_ns: f64, latency_ns: u64) -> Self {
         assert!(per_byte_ns >= 0.0, "per-byte cost must be non-negative");
-        Self { per_msg_ns, per_byte_ns, latency_ns }
+        Self {
+            per_msg_ns,
+            per_byte_ns,
+            latency_ns,
+        }
     }
 
     /// A cluster-interconnect-like link: α = 1 µs, ~10 GB/s, 2 µs latency.

@@ -94,7 +94,8 @@ impl Endpoint {
     }
 
     fn push_wire(&self, msg: WireMessage) {
-        self.sent.fetch_add(msg.parcels.len() as u64, Ordering::Relaxed);
+        self.sent
+            .fetch_add(msg.parcels.len() as u64, Ordering::Relaxed);
         // The channel never closes while both endpoints are alive; if the
         // peer is gone, delivery is meaningless anyway.
         let _ = self.tx.send(msg);

@@ -19,17 +19,28 @@
 //!   achieved throughput.
 //! * [`endpoint::Endpoint`] — in-process locality endpoints for the real
 //!   runtime (crossbeam channels), used by the parcel-storm workload.
+//! * [`fault::FaultPlan`] — seeded, virtual-time fault injection for the
+//!   link: random drops, duplicates, delay jitter, and link flaps.
+//! * [`reliable::ReliableLink`] — ack/timeout retransmission with
+//!   exponential backoff, per-destination retry budgets (token bucket),
+//!   and per-destination circuit breakers; delivers each parcel exactly
+//!   once despite injected faults. Recovery aggressiveness is exposed as
+//!   knobs (`retry_budget`, `backoff_base_ns`, `breaker_threshold`).
 
 #![warn(missing_docs)]
 
 pub mod coalesce;
 pub mod cost;
 pub mod endpoint;
+pub mod fault;
 pub mod link;
 pub mod parcel;
+pub mod reliable;
 
 pub use coalesce::{Coalescer, FlushReason};
 pub use cost::TransportCost;
 pub use endpoint::{Endpoint, EndpointPair};
+pub use fault::{FaultAction, FaultPlan};
 pub use link::{LinkReport, SimLink};
 pub use parcel::Parcel;
+pub use reliable::{ReliableConfig, ReliableLink, ReliableReport};

@@ -9,6 +9,7 @@
 
 use crate::coalesce::WireMessage;
 use crate::cost::TransportCost;
+use crate::fault::{FaultAction, FaultPlan};
 use lg_metrics::Histogram;
 
 /// A delivered parcel with timing.
@@ -41,6 +42,12 @@ pub struct LinkReport {
     pub mean_latency_ns: f64,
     /// 99th-percentile parcel latency, ns.
     pub p99_latency_ns: u64,
+    /// Wire messages lost to the fault plan (random drop or link down).
+    pub dropped_wire_messages: u64,
+    /// Parcels lost with those messages.
+    pub dropped_parcels: u64,
+    /// Extra parcel copies injected by duplication faults.
+    pub duplicate_parcels: u64,
 }
 
 impl LinkReport {
@@ -57,6 +64,7 @@ impl LinkReport {
 /// The simulated link (see module docs).
 pub struct SimLink {
     cost: TransportCost,
+    faults: Option<FaultPlan>,
     free_at_ns: u64,
     wire_messages: u64,
     parcels: u64,
@@ -65,6 +73,9 @@ pub struct SimLink {
     last_arrival_ns: u64,
     latency_hist: Histogram,
     latency_sum: f64,
+    dropped_wire_messages: u64,
+    dropped_parcels: u64,
+    duplicate_parcels: u64,
 }
 
 impl SimLink {
@@ -72,6 +83,7 @@ impl SimLink {
     pub fn new(cost: TransportCost) -> Self {
         Self {
             cost,
+            faults: None,
             free_at_ns: 0,
             wire_messages: 0,
             parcels: 0,
@@ -80,7 +92,27 @@ impl SimLink {
             last_arrival_ns: 0,
             latency_hist: Histogram::new(),
             latency_sum: 0.0,
+            dropped_wire_messages: 0,
+            dropped_parcels: 0,
+            duplicate_parcels: 0,
         }
+    }
+
+    /// Creates a link that consults `plan` on every transmission.
+    pub fn with_faults(cost: TransportCost, plan: FaultPlan) -> Self {
+        let mut link = Self::new(cost);
+        link.faults = Some(plan);
+        link
+    }
+
+    /// Installs (or replaces) the fault plan on a live link.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = Some(plan);
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
     }
 
     /// The cost model.
@@ -107,11 +139,32 @@ impl SimLink {
         let occupancy = self.cost.occupancy_ns(bytes);
         self.free_at_ns = depart + occupancy;
         self.busy_ns += occupancy;
-        let arrive = self.free_at_ns + self.cost.latency_ns;
         self.wire_messages += 1;
         self.bytes += bytes as u64;
+        // The fault plan sees the message after it occupied the TX side:
+        // the sender pays the wire cost whether or not the message lands.
+        let action = match self.faults.as_mut() {
+            Some(plan) => plan.decide(depart),
+            None => FaultAction::Deliver {
+                extra_delay_ns: 0,
+                duplicate_delay_ns: None,
+            },
+        };
+        let (extra_delay_ns, duplicate_delay_ns) = match action {
+            FaultAction::Drop => {
+                self.dropped_wire_messages += 1;
+                self.dropped_parcels += msg.parcels.len() as u64;
+                return Vec::new();
+            }
+            FaultAction::Deliver {
+                extra_delay_ns,
+                duplicate_delay_ns,
+            } => (extra_delay_ns, duplicate_delay_ns),
+        };
+        let arrive = self.free_at_ns + self.cost.latency_ns + extra_delay_ns;
         self.last_arrival_ns = self.last_arrival_ns.max(arrive);
-        msg.parcels
+        let mut out: Vec<Delivery> = msg
+            .parcels
             .iter()
             .map(|p| {
                 self.parcels += 1;
@@ -119,9 +172,24 @@ impl SimLink {
                 let lat = arrive.saturating_sub(offered);
                 self.latency_hist.record(lat);
                 self.latency_sum += lat as f64;
-                Delivery { dest: p.dest, seq: p.seq, arrived_ns: arrive }
+                Delivery {
+                    dest: p.dest,
+                    seq: p.seq,
+                    arrived_ns: arrive,
+                }
             })
-            .collect()
+            .collect();
+        if let Some(dup_delay) = duplicate_delay_ns {
+            let dup_arrive = self.free_at_ns + self.cost.latency_ns + dup_delay;
+            self.last_arrival_ns = self.last_arrival_ns.max(dup_arrive);
+            self.duplicate_parcels += msg.parcels.len() as u64;
+            out.extend(msg.parcels.iter().map(|p| Delivery {
+                dest: p.dest,
+                seq: p.seq,
+                arrived_ns: dup_arrive,
+            }));
+        }
+        out
     }
 
     /// Aggregate statistics so far.
@@ -143,6 +211,9 @@ impl SimLink {
                 self.latency_sum / self.parcels as f64
             },
             p99_latency_ns: self.latency_hist.p99(),
+            dropped_wire_messages: self.dropped_wire_messages,
+            dropped_parcels: self.dropped_parcels,
+            duplicate_parcels: self.duplicate_parcels,
         }
     }
 }
@@ -161,6 +232,7 @@ impl std::fmt::Debug for SimLink {
 mod tests {
     use super::*;
     use crate::coalesce::FlushReason;
+    use crate::fault::FaultPlan;
     use crate::parcel::Parcel;
 
     fn msg(t_ns: u64, nparcels: usize, bytes_each: usize) -> WireMessage {
@@ -244,6 +316,52 @@ mod tests {
         assert_eq!(r.mean_coalesce, 3.0);
         assert_eq!(r.bytes as usize, 4 * 48 + 2 * 48);
         assert!(r.parcels_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn dropped_message_occupies_link_but_never_arrives() {
+        let plan = FaultPlan::new(0).outage(0, 10_000);
+        let mut link = SimLink::with_faults(TransportCost::new(1_000, 0.0, 500), plan);
+        let d = link.transmit(&msg(0, 2, 0), |_| 0);
+        assert!(d.is_empty());
+        assert_eq!(
+            link.free_at_ns(),
+            1_000,
+            "drop still serializes the TX side"
+        );
+        let r = link.report();
+        assert_eq!(r.dropped_wire_messages, 1);
+        assert_eq!(r.dropped_parcels, 2);
+        assert_eq!(r.parcels, 0);
+        assert_eq!(r.last_arrival_ns, 0);
+    }
+
+    #[test]
+    fn duplicated_message_delivers_each_parcel_twice() {
+        let plan = FaultPlan::new(0).duplicate_prob(1.0);
+        let mut link = SimLink::with_faults(TransportCost::new(100, 0.0, 50), plan);
+        let d = link.transmit(&msg(0, 3, 0), |_| 0);
+        assert_eq!(d.len(), 6);
+        let r = link.report();
+        assert_eq!(r.parcels, 3, "primary copies only");
+        assert_eq!(r.duplicate_parcels, 3);
+    }
+
+    #[test]
+    fn faulty_link_is_deterministic_per_seed() {
+        let run = || {
+            let plan = FaultPlan::new(11)
+                .drop_prob(0.3)
+                .duplicate_prob(0.2)
+                .jitter_ns(2_000);
+            let mut link = SimLink::with_faults(TransportCost::cluster(), plan);
+            let mut all = Vec::new();
+            for i in 0..200u64 {
+                all.extend(link.transmit(&msg(i * 3_000, 2, 32), |_| i * 3_000));
+            }
+            (all, link.report())
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

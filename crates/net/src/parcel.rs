@@ -22,7 +22,13 @@ pub struct Parcel {
 impl Parcel {
     /// Creates a parcel.
     pub fn new(src: LocalityId, dest: LocalityId, tag: u32, seq: u64, payload: Vec<u8>) -> Self {
-        Self { src, dest, tag, seq, payload }
+        Self {
+            src,
+            dest,
+            tag,
+            seq,
+            payload,
+        }
     }
 
     /// Payload size in bytes.

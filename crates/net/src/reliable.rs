@@ -1,0 +1,927 @@
+//! Reliable parcel delivery over a faulty [`SimLink`].
+//!
+//! [`ReliableLink`] layers sender-side recovery on the simulated link:
+//!
+//! * **Ack/timeout retransmission** — every wire message is tracked until
+//!   an ack returns (one propagation latency after arrival). A message the
+//!   fault plan swallowed times out and is retransmitted with exponential
+//!   backoff plus seeded jitter (so replays are exact and retry herds
+//!   decorrelate).
+//! * **Per-destination retry budget** — a token bucket bounds retry
+//!   *rate*: a retransmission consumes a token, and when the bucket is
+//!   empty the retry is deferred to the next refill instead of amplifying
+//!   a storm. The bucket capacity is the `retry_budget` knob.
+//! * **Per-destination circuit breaker** — after `breaker_threshold`
+//!   consecutive ack failures the destination is *open*: sends are parked
+//!   until a cooldown passes, then a single half-open probe decides
+//!   whether to close the breaker or re-open it.
+//!
+//! Everything runs in virtual time through an internal event queue, so a
+//! caller drives it exactly like the rest of the simulation: `send` wire
+//! messages as the coalescer emits them, then [`ReliableLink::pump`] (or
+//! [`ReliableLink::drain`]) to advance recovery and collect deliveries.
+//! The receiver side deduplicates by parcel sequence number, so callers
+//! observe **exactly-once** delivery despite duplication faults and
+//! spurious retransmits.
+//!
+//! `retry_budget`, `backoff_base_ns`, and `breaker_threshold` are
+//! [`AtomicKnob`]s: register them on a [`lg_core::KnobRegistry`] and
+//! policies can steer recovery while a storm is in progress.
+
+use crate::coalesce::WireMessage;
+use crate::cost::TransportCost;
+use crate::fault::FaultPlan;
+use crate::link::{Delivery, LinkReport, SimLink};
+use crate::parcel::LocalityId;
+use lg_core::knob::{AtomicKnob, KnobSpec};
+use lg_core::Knob;
+use lg_metrics::{CounterHandle, CounterRegistry, Histogram};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::sync::Arc;
+
+/// Static configuration for the reliability layer. The three fields that
+/// double as knobs (`retry_budget`, `backoff_base_ns`,
+/// `breaker_threshold`) seed the knobs' initial values.
+#[derive(Clone, Copy, Debug)]
+pub struct ReliableConfig {
+    /// Sender-side ack timeout before a transmission counts as lost.
+    pub ack_timeout_ns: u64,
+    /// First retry backoff; doubles per attempt (the `backoff_base_ns`
+    /// knob).
+    pub backoff_base_ns: u64,
+    /// Backoff ceiling.
+    pub backoff_max_ns: u64,
+    /// Jitter added to each backoff, as a fraction of the backoff.
+    pub jitter_frac: f64,
+    /// Attempts per message before the parcels are abandoned.
+    pub max_attempts: u32,
+    /// Token-bucket capacity for retries, per destination (the
+    /// `retry_budget` knob).
+    pub retry_budget: i64,
+    /// Token refill rate, tokens per virtual second.
+    pub retry_refill_per_sec: f64,
+    /// Consecutive ack failures that open the breaker (the
+    /// `breaker_threshold` knob).
+    pub breaker_threshold: i64,
+    /// How long an open breaker parks a destination before the half-open
+    /// probe.
+    pub breaker_cooldown_ns: u64,
+}
+
+impl Default for ReliableConfig {
+    fn default() -> Self {
+        Self {
+            ack_timeout_ns: 200_000,
+            backoff_base_ns: 50_000,
+            backoff_max_ns: 5_000_000,
+            jitter_frac: 0.25,
+            max_attempts: 64,
+            retry_budget: 32,
+            retry_refill_per_sec: 10_000.0,
+            breaker_threshold: 8,
+            breaker_cooldown_ns: 2_000_000,
+        }
+    }
+}
+
+/// Aggregate statistics of the reliability layer.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ReliableReport {
+    /// Parcels offered through [`ReliableLink::send`].
+    pub offered_parcels: u64,
+    /// Parcels delivered exactly once (goodput numerator).
+    pub unique_parcels: u64,
+    /// Receiver-side duplicate copies suppressed by seq dedup.
+    pub duplicates_suppressed: u64,
+    /// Wire-message retransmissions performed.
+    pub retransmissions: u64,
+    /// Retry tokens consumed (equals retransmissions that paid a token).
+    pub retries_consumed: u64,
+    /// Retries deferred because the destination's bucket was empty.
+    pub budget_deferrals: u64,
+    /// Sends parked because the destination's breaker was open.
+    pub breaker_rejections: u64,
+    /// Times a breaker transitioned closed/half-open → open.
+    pub breaker_open_events: u64,
+    /// Acks received.
+    pub acks: u64,
+    /// Ack timeouts (failed transmissions detected).
+    pub timeouts: u64,
+    /// Parcels abandoned after `max_attempts`.
+    pub abandoned_parcels: u64,
+    /// Arrival time of the last unique delivery.
+    pub last_delivery_ns: u64,
+    /// Mean offer→first-delivery latency over unique parcels, ns.
+    pub mean_delivery_latency_ns: f64,
+    /// 99th-percentile offer→first-delivery latency, ns.
+    pub p99_delivery_latency_ns: u64,
+}
+
+impl ReliableReport {
+    /// Unique parcels per second over the delivery makespan.
+    pub fn goodput_parcels_per_sec(&self) -> f64 {
+        if self.last_delivery_ns == 0 {
+            0.0
+        } else {
+            self.unique_parcels as f64 * 1e9 / self.last_delivery_ns as f64
+        }
+    }
+
+    /// Retransmissions per offered parcel (retry amplification).
+    pub fn retry_amplification(&self) -> f64 {
+        if self.offered_parcels == 0 {
+            0.0
+        } else {
+            self.retransmissions as f64 / self.offered_parcels as f64
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+enum BreakerState {
+    Closed,
+    Open { until_ns: u64 },
+    HalfOpen { probe_in_flight: bool },
+}
+
+struct Breaker {
+    state: BreakerState,
+    consecutive_failures: i64,
+}
+
+impl Breaker {
+    fn new() -> Self {
+        Self {
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+        }
+    }
+
+    /// Whether a transmission may proceed now; `Err(retry_at)` parks it.
+    fn allow(&mut self, now_ns: u64) -> Result<(), u64> {
+        match self.state {
+            BreakerState::Closed => Ok(()),
+            BreakerState::Open { until_ns } if now_ns < until_ns => Err(until_ns),
+            BreakerState::Open { .. } => {
+                self.state = BreakerState::HalfOpen {
+                    probe_in_flight: true,
+                };
+                Ok(())
+            }
+            BreakerState::HalfOpen {
+                probe_in_flight: false,
+            } => {
+                self.state = BreakerState::HalfOpen {
+                    probe_in_flight: true,
+                };
+                Ok(())
+            }
+            // A probe is already out; wait for its verdict.
+            BreakerState::HalfOpen {
+                probe_in_flight: true,
+            } => Err(now_ns + 1),
+        }
+    }
+
+    fn record_success(&mut self) {
+        self.consecutive_failures = 0;
+        self.state = BreakerState::Closed;
+    }
+
+    /// Returns true if this failure opened the breaker.
+    fn record_failure(&mut self, now_ns: u64, threshold: i64, cooldown_ns: u64) -> bool {
+        self.consecutive_failures += 1;
+        let opened = match self.state {
+            BreakerState::HalfOpen { .. } => true,
+            BreakerState::Closed => self.consecutive_failures >= threshold.max(1),
+            BreakerState::Open { .. } => false,
+        };
+        if opened {
+            self.state = BreakerState::Open {
+                until_ns: now_ns + cooldown_ns,
+            };
+        }
+        opened
+    }
+}
+
+struct TokenBucket {
+    tokens: f64,
+    last_refill_ns: u64,
+}
+
+impl TokenBucket {
+    fn new(capacity: i64) -> Self {
+        Self {
+            tokens: capacity.max(0) as f64,
+            last_refill_ns: 0,
+        }
+    }
+
+    fn refill(&mut self, now_ns: u64, capacity: f64, refill_per_ns: f64) {
+        if now_ns > self.last_refill_ns {
+            self.tokens =
+                (self.tokens + (now_ns - self.last_refill_ns) as f64 * refill_per_ns).min(capacity);
+            self.last_refill_ns = now_ns;
+        }
+        // A capacity knob lowered mid-run clamps immediately.
+        self.tokens = self.tokens.min(capacity);
+    }
+
+    fn try_take(&mut self, now_ns: u64, capacity: f64, refill_per_ns: f64) -> bool {
+        self.refill(now_ns, capacity, refill_per_ns);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Earliest time at which a token will be available.
+    fn next_ready_ns(&self, now_ns: u64, refill_per_ns: f64) -> u64 {
+        if self.tokens >= 1.0 {
+            now_ns
+        } else if refill_per_ns <= 0.0 {
+            u64::MAX
+        } else {
+            now_ns + ((1.0 - self.tokens) / refill_per_ns).ceil() as u64
+        }
+    }
+}
+
+#[derive(Debug)]
+enum EventKind {
+    /// (Re)attempt transmission of a pending message.
+    Attempt { entry: usize },
+    /// Deliveries reach the receiver.
+    Arrive { deliveries: Vec<Delivery> },
+    /// The ack for attempt `attempt` of `entry` returns.
+    Ack { entry: usize, attempt: u32 },
+    /// The ack timer for attempt `attempt` of `entry` fires.
+    Timeout { entry: usize, attempt: u32 },
+}
+
+struct Event {
+    t_ns: u64,
+    id: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.t_ns == other.t_ns && self.id == other.id
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    // Min-heap by (time, insertion id): deterministic tie-breaking.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (other.t_ns, other.id).cmp(&(self.t_ns, self.id))
+    }
+}
+
+struct PendingMsg {
+    msg: WireMessage,
+    attempts: u32,
+    resolved: bool,
+}
+
+#[derive(Clone, Default)]
+struct MetricHandles {
+    retransmissions: Option<CounterHandle>,
+    timeouts: Option<CounterHandle>,
+    acks: Option<CounterHandle>,
+    unique: Option<CounterHandle>,
+    dup_suppressed: Option<CounterHandle>,
+    abandoned: Option<CounterHandle>,
+    breaker_open: Option<CounterHandle>,
+    breaker_rejections: Option<CounterHandle>,
+    budget_deferrals: Option<CounterHandle>,
+}
+
+/// Ack/timeout retransmission, retry budgets, and circuit breakers over a
+/// (possibly fault-injected) [`SimLink`]. See the module docs.
+pub struct ReliableLink {
+    link: SimLink,
+    config: ReliableConfig,
+    retry_budget_knob: Arc<AtomicKnob>,
+    backoff_base_knob: Arc<AtomicKnob>,
+    breaker_threshold_knob: Arc<AtomicKnob>,
+    rng: StdRng,
+    events: BinaryHeap<Event>,
+    next_event_id: u64,
+    pending: Vec<PendingMsg>,
+    offer_times: HashMap<u64, u64>,
+    delivered_seqs: HashSet<u64>,
+    buckets: HashMap<LocalityId, TokenBucket>,
+    breakers: HashMap<LocalityId, Breaker>,
+    latency_hist: Histogram,
+    latency_sum: f64,
+    report: ReliableReport,
+    metrics: MetricHandles,
+}
+
+impl ReliableLink {
+    /// Wraps a fault-free link. `seed` drives backoff jitter.
+    pub fn new(cost: TransportCost, config: ReliableConfig, seed: u64) -> Self {
+        Self::over(SimLink::new(cost), config, seed)
+    }
+
+    /// Wraps a fault-injected link.
+    pub fn with_faults(
+        cost: TransportCost,
+        plan: FaultPlan,
+        config: ReliableConfig,
+        seed: u64,
+    ) -> Self {
+        Self::over(SimLink::with_faults(cost, plan), config, seed)
+    }
+
+    /// Wraps an existing link.
+    pub fn over(link: SimLink, config: ReliableConfig, seed: u64) -> Self {
+        assert!(config.ack_timeout_ns > 0, "ack timeout must be positive");
+        assert!(config.max_attempts > 0, "at least one attempt is required");
+        Self {
+            link,
+            config,
+            retry_budget_knob: AtomicKnob::new(
+                KnobSpec::new("retry_budget", 0, 4_096),
+                config.retry_budget,
+            ),
+            backoff_base_knob: AtomicKnob::new(
+                KnobSpec::new("backoff_base_ns", 1_000, 1_000_000_000),
+                config.backoff_base_ns as i64,
+            ),
+            breaker_threshold_knob: AtomicKnob::new(
+                KnobSpec::new("breaker_threshold", 1, 1_024),
+                config.breaker_threshold,
+            ),
+            rng: StdRng::seed_from_u64(seed),
+            events: BinaryHeap::new(),
+            next_event_id: 0,
+            pending: Vec::new(),
+            offer_times: HashMap::new(),
+            delivered_seqs: HashSet::new(),
+            buckets: HashMap::new(),
+            breakers: HashMap::new(),
+            latency_hist: Histogram::new(),
+            latency_sum: 0.0,
+            report: ReliableReport::default(),
+            metrics: MetricHandles::default(),
+        }
+    }
+
+    /// The retry-budget knob (token-bucket capacity per destination).
+    pub fn retry_budget_knob(&self) -> &Arc<AtomicKnob> {
+        &self.retry_budget_knob
+    }
+
+    /// The backoff-base knob.
+    pub fn backoff_base_knob(&self) -> &Arc<AtomicKnob> {
+        &self.backoff_base_knob
+    }
+
+    /// The breaker-threshold knob.
+    pub fn breaker_threshold_knob(&self) -> &Arc<AtomicKnob> {
+        &self.breaker_threshold_knob
+    }
+
+    /// Publishes the layer's counters into `reg` under `net.reliable.*`.
+    pub fn bind_metrics(&mut self, reg: &CounterRegistry) {
+        self.metrics = MetricHandles {
+            retransmissions: Some(reg.counter("net.reliable.retransmissions")),
+            timeouts: Some(reg.counter("net.reliable.timeouts")),
+            acks: Some(reg.counter("net.reliable.acks")),
+            unique: Some(reg.counter("net.reliable.unique_parcels")),
+            dup_suppressed: Some(reg.counter("net.reliable.duplicates_suppressed")),
+            abandoned: Some(reg.counter("net.reliable.abandoned_parcels")),
+            breaker_open: Some(reg.counter("net.reliable.breaker_open_events")),
+            breaker_rejections: Some(reg.counter("net.reliable.breaker_rejections")),
+            budget_deferrals: Some(reg.counter("net.reliable.budget_deferrals")),
+        };
+    }
+
+    /// Accepts a wire message for reliable delivery. `offer_time_of` maps
+    /// each parcel seq to its original offer time (latency accounting,
+    /// same contract as [`SimLink::transmit`]). Recovery runs when the
+    /// caller next pumps past `msg.t_ns`.
+    pub fn send(&mut self, msg: WireMessage, offer_time_of: impl Fn(u64) -> u64) {
+        for p in &msg.parcels {
+            self.offer_times.insert(p.seq, offer_time_of(p.seq));
+        }
+        self.report.offered_parcels += msg.parcels.len() as u64;
+        let t = msg.t_ns;
+        let entry = self.pending.len();
+        self.pending.push(PendingMsg {
+            msg,
+            attempts: 0,
+            resolved: false,
+        });
+        self.schedule(t, EventKind::Attempt { entry });
+    }
+
+    /// Processes all recovery events up to and including `until_ns`,
+    /// returning the unique deliveries that arrived (dedup'd by seq, in
+    /// arrival order).
+    pub fn pump(&mut self, until_ns: u64) -> Vec<Delivery> {
+        let mut out = Vec::new();
+        while let Some(ev) = self.events.peek() {
+            if ev.t_ns > until_ns {
+                break;
+            }
+            let ev = self.events.pop().unwrap();
+            self.handle(ev, &mut out);
+        }
+        out
+    }
+
+    /// Runs recovery to completion (all sends delivered or abandoned).
+    pub fn drain(&mut self) -> Vec<Delivery> {
+        self.pump(u64::MAX)
+    }
+
+    /// Whether any message is still awaiting delivery or abandonment.
+    pub fn in_flight(&self) -> bool {
+        !self.events.is_empty()
+    }
+
+    /// Statistics of the reliability layer so far.
+    pub fn report(&self) -> ReliableReport {
+        let mut r = self.report.clone();
+        r.mean_delivery_latency_ns = if r.unique_parcels == 0 {
+            0.0
+        } else {
+            self.latency_sum / r.unique_parcels as f64
+        };
+        r.p99_delivery_latency_ns = self.latency_hist.p99();
+        r
+    }
+
+    /// Statistics of the underlying raw link.
+    pub fn link_report(&self) -> LinkReport {
+        self.link.report()
+    }
+
+    fn schedule(&mut self, t_ns: u64, kind: EventKind) {
+        let id = self.next_event_id;
+        self.next_event_id += 1;
+        self.events.push(Event { t_ns, id, kind });
+    }
+
+    fn refill_per_ns(&self) -> f64 {
+        self.config.retry_refill_per_sec / 1e9
+    }
+
+    fn handle(&mut self, ev: Event, out: &mut Vec<Delivery>) {
+        let now = ev.t_ns;
+        match ev.kind {
+            EventKind::Attempt { entry } => self.attempt(entry, now),
+            EventKind::Arrive { deliveries } => {
+                for d in deliveries {
+                    if self.delivered_seqs.insert(d.seq) {
+                        self.report.unique_parcels += 1;
+                        self.report.last_delivery_ns =
+                            self.report.last_delivery_ns.max(d.arrived_ns);
+                        let offered = self
+                            .offer_times
+                            .get(&d.seq)
+                            .copied()
+                            .unwrap_or(d.arrived_ns);
+                        let lat = d.arrived_ns.saturating_sub(offered);
+                        self.latency_hist.record(lat);
+                        self.latency_sum += lat as f64;
+                        if let Some(c) = &self.metrics.unique {
+                            c.inc();
+                        }
+                        out.push(d);
+                    } else {
+                        self.report.duplicates_suppressed += 1;
+                        if let Some(c) = &self.metrics.dup_suppressed {
+                            c.inc();
+                        }
+                    }
+                }
+            }
+            EventKind::Ack { entry, attempt } => {
+                let p = &mut self.pending[entry];
+                if p.resolved || p.attempts != attempt {
+                    return; // stale ack for a superseded attempt
+                }
+                p.resolved = true;
+                let dest = p.msg.dest;
+                self.report.acks += 1;
+                if let Some(c) = &self.metrics.acks {
+                    c.inc();
+                }
+                self.breakers
+                    .entry(dest)
+                    .or_insert_with(Breaker::new)
+                    .record_success();
+            }
+            EventKind::Timeout { entry, attempt } => {
+                let p = &self.pending[entry];
+                if p.resolved || p.attempts != attempt {
+                    return; // the attempt was acked, or already superseded
+                }
+                let dest = p.msg.dest;
+                self.report.timeouts += 1;
+                if let Some(c) = &self.metrics.timeouts {
+                    c.inc();
+                }
+                let threshold = self.breaker_threshold_knob.get();
+                let opened = self
+                    .breakers
+                    .entry(dest)
+                    .or_insert_with(Breaker::new)
+                    .record_failure(now, threshold, self.config.breaker_cooldown_ns);
+                if opened {
+                    self.report.breaker_open_events += 1;
+                    if let Some(c) = &self.metrics.breaker_open {
+                        c.inc();
+                    }
+                }
+                if self.pending[entry].attempts >= self.config.max_attempts {
+                    let p = &mut self.pending[entry];
+                    p.resolved = true;
+                    self.report.abandoned_parcels += p.msg.parcels.len() as u64;
+                    if let Some(c) = &self.metrics.abandoned {
+                        c.add(p.msg.parcels.len() as u64);
+                    }
+                    return;
+                }
+                let backoff = self.backoff_ns(self.pending[entry].attempts);
+                self.schedule(now + backoff, EventKind::Attempt { entry });
+            }
+        }
+    }
+
+    /// Exponential backoff for the retry after `attempts` tries, with
+    /// seeded jitter.
+    fn backoff_ns(&mut self, attempts: u32) -> u64 {
+        let base = self.backoff_base_knob.get().max(1) as u64;
+        let exp = base
+            .saturating_shl(attempts.saturating_sub(1).min(32))
+            .min(self.config.backoff_max_ns);
+        let jitter_max = (exp as f64 * self.config.jitter_frac) as u64;
+        if jitter_max == 0 {
+            exp
+        } else {
+            exp + self.rng.gen_range(0..=jitter_max)
+        }
+    }
+
+    fn attempt(&mut self, entry: usize, now: u64) {
+        if self.pending[entry].resolved {
+            return;
+        }
+        let dest = self.pending[entry].msg.dest;
+        // Circuit breaker gate.
+        match self
+            .breakers
+            .entry(dest)
+            .or_insert_with(Breaker::new)
+            .allow(now)
+        {
+            Ok(()) => {}
+            Err(retry_at) => {
+                self.report.breaker_rejections += 1;
+                if let Some(c) = &self.metrics.breaker_rejections {
+                    c.inc();
+                }
+                // Park at least a quarter ack-timeout: a storm backlog can
+                // leave thousands of messages waiting on one half-open
+                // probe, and a finer poll would melt the event queue.
+                let poll = (self.config.ack_timeout_ns / 4).max(1);
+                self.schedule(retry_at.max(now + poll), EventKind::Attempt { entry });
+                return;
+            }
+        }
+        // Retry budget gate: the first attempt is not a retry and rides
+        // free; every retransmission pays a token.
+        let is_retry = self.pending[entry].attempts > 0;
+        if is_retry {
+            let capacity = self.retry_budget_knob.get().max(0) as f64;
+            let refill = self.refill_per_ns();
+            let bucket = self
+                .buckets
+                .entry(dest)
+                .or_insert_with(|| TokenBucket::new(capacity as i64));
+            if !bucket.try_take(now, capacity, refill) {
+                let ready = bucket.next_ready_ns(now, refill);
+                if ready == u64::MAX {
+                    // Zero refill and an empty bucket: this retry can never
+                    // proceed, so the message is abandoned rather than
+                    // parked forever.
+                    let p = &mut self.pending[entry];
+                    p.resolved = true;
+                    self.report.abandoned_parcels += p.msg.parcels.len() as u64;
+                    if let Some(c) = &self.metrics.abandoned {
+                        c.add(p.msg.parcels.len() as u64);
+                    }
+                    return;
+                }
+                self.report.budget_deferrals += 1;
+                if let Some(c) = &self.metrics.budget_deferrals {
+                    c.inc();
+                }
+                self.schedule(ready.max(now + 1), EventKind::Attempt { entry });
+                return;
+            }
+            self.report.retries_consumed += 1;
+            self.report.retransmissions += 1;
+            if let Some(c) = &self.metrics.retransmissions {
+                c.inc();
+            }
+        }
+        // Transmit. The message departs now (not at its original flush
+        // time) on retries.
+        let p = &mut self.pending[entry];
+        p.attempts += 1;
+        let attempt = p.attempts;
+        p.msg.t_ns = now.max(p.msg.t_ns);
+        let msg = p.msg.clone();
+        let offer_times = &self.offer_times;
+        let deliveries = self.link.transmit(&msg, |seq| {
+            offer_times.get(&seq).copied().unwrap_or(msg.t_ns)
+        });
+        if deliveries.is_empty() {
+            // The fault plan swallowed it; the sender only learns via the
+            // ack timeout.
+            self.schedule(
+                now + self.config.ack_timeout_ns,
+                EventKind::Timeout { entry, attempt },
+            );
+            return;
+        }
+        // Group arrivals (a duplicate copy may land later than the
+        // primary) and schedule receiver-side arrival events.
+        let mut by_arrival: HashMap<u64, Vec<Delivery>> = HashMap::new();
+        let mut last_arrival = 0u64;
+        for d in deliveries {
+            last_arrival = last_arrival.max(d.arrived_ns);
+            by_arrival.entry(d.arrived_ns).or_default().push(d);
+        }
+        let mut arrivals: Vec<(u64, Vec<Delivery>)> = by_arrival.into_iter().collect();
+        arrivals.sort_by_key(|(t, _)| *t);
+        for (t, ds) in arrivals {
+            self.schedule(t, EventKind::Arrive { deliveries: ds });
+        }
+        // The ack returns one propagation latency after the last copy
+        // lands; the timeout still guards against an ack racing the timer.
+        let ack_at = last_arrival + self.link.cost().latency_ns;
+        if ack_at <= now + self.config.ack_timeout_ns {
+            self.schedule(ack_at, EventKind::Ack { entry, attempt });
+        } else {
+            // Ack would arrive after the timer fires: the sender times out
+            // and retransmits spuriously; dedup absorbs the copies.
+            self.schedule(
+                now + self.config.ack_timeout_ns,
+                EventKind::Timeout { entry, attempt },
+            );
+        }
+    }
+}
+
+trait SaturatingShl {
+    fn saturating_shl(self, shift: u32) -> Self;
+}
+
+impl SaturatingShl for u64 {
+    fn saturating_shl(self, shift: u32) -> u64 {
+        if shift >= self.leading_zeros() {
+            u64::MAX
+        } else {
+            self << shift
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coalesce::FlushReason;
+    use crate::parcel::Parcel;
+
+    fn msg(dest: u32, t_ns: u64, seqs: std::ops::Range<u64>) -> WireMessage {
+        WireMessage {
+            dest,
+            parcels: seqs
+                .map(|s| Parcel::new(0, dest, 0, s, vec![0; 32]))
+                .collect(),
+            reason: FlushReason::Window,
+            t_ns,
+        }
+    }
+
+    fn quick_config() -> ReliableConfig {
+        ReliableConfig {
+            ack_timeout_ns: 50_000,
+            backoff_base_ns: 10_000,
+            backoff_max_ns: 500_000,
+            ..ReliableConfig::default()
+        }
+    }
+
+    #[test]
+    fn fault_free_delivery_is_exact() {
+        let mut rl = ReliableLink::new(TransportCost::cluster(), quick_config(), 1);
+        for i in 0..10u64 {
+            rl.send(msg(1, i * 10_000, i * 4..(i + 1) * 4), |_| i * 10_000);
+        }
+        let delivered = rl.drain();
+        assert_eq!(delivered.len(), 40);
+        let r = rl.report();
+        assert_eq!(r.unique_parcels, 40);
+        assert_eq!(r.retransmissions, 0);
+        assert_eq!(r.abandoned_parcels, 0);
+        assert_eq!(r.acks, 10);
+    }
+
+    #[test]
+    fn dropped_messages_are_retransmitted() {
+        // First 200µs are an outage; the retry lands after it lifts.
+        let plan = FaultPlan::new(0).outage(0, 200_000);
+        let mut rl = ReliableLink::with_faults(TransportCost::cluster(), plan, quick_config(), 1);
+        rl.send(msg(1, 0, 0..4), |_| 0);
+        let delivered = rl.drain();
+        assert_eq!(delivered.len(), 4);
+        let r = rl.report();
+        assert_eq!(r.unique_parcels, 4);
+        assert!(r.retransmissions >= 1);
+        assert!(r.timeouts >= 1);
+        assert_eq!(r.abandoned_parcels, 0);
+    }
+
+    #[test]
+    fn duplicates_suppressed_at_receiver() {
+        let plan = FaultPlan::new(3).duplicate_prob(1.0);
+        let mut rl = ReliableLink::with_faults(TransportCost::cluster(), plan, quick_config(), 1);
+        for i in 0..20u64 {
+            rl.send(msg(1, i * 50_000, i..i + 1), |_| i * 50_000);
+        }
+        let delivered = rl.drain();
+        assert_eq!(delivered.len(), 20, "each parcel must surface exactly once");
+        let r = rl.report();
+        assert_eq!(r.unique_parcels, 20);
+        assert_eq!(r.duplicates_suppressed, 20);
+    }
+
+    #[test]
+    fn lossy_link_still_delivers_every_parcel_once() {
+        let plan = FaultPlan::new(42)
+            .drop_prob(0.4)
+            .duplicate_prob(0.1)
+            .jitter_ns(3_000);
+        let mut rl = ReliableLink::with_faults(TransportCost::cluster(), plan, quick_config(), 7);
+        let n = 100u64;
+        for i in 0..n {
+            rl.send(msg(1, i * 20_000, i * 2..(i + 1) * 2), |_| i * 20_000);
+        }
+        let delivered = rl.drain();
+        let mut seqs: Vec<u64> = delivered.iter().map(|d| d.seq).collect();
+        seqs.sort_unstable();
+        seqs.dedup();
+        assert_eq!(seqs.len(), (n * 2) as usize, "every parcel exactly once");
+        assert_eq!(rl.report().abandoned_parcels, 0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = || {
+            let plan = FaultPlan::new(5).drop_prob(0.3).jitter_ns(10_000);
+            let mut rl =
+                ReliableLink::with_faults(TransportCost::cluster(), plan, quick_config(), 9);
+            for i in 0..50u64 {
+                rl.send(msg(1 + (i % 3) as u32, i * 30_000, i..i + 1), |_| {
+                    i * 30_000
+                });
+            }
+            let delivered = rl.drain();
+            (delivered, rl.report())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn retry_budget_defers_when_exhausted() {
+        // Zero refill and a 2-token bucket: a burst of lost messages must
+        // defer retries rather than amplify.
+        let plan = FaultPlan::new(1).outage(0, 1_000_000);
+        let config = ReliableConfig {
+            retry_budget: 2,
+            retry_refill_per_sec: 1_000.0, // 1 token per ms
+            ..quick_config()
+        };
+        let mut rl = ReliableLink::with_faults(TransportCost::cluster(), plan, config, 1);
+        for i in 0..6u64 {
+            rl.send(msg(1, 0, i..i + 1), |_| 0);
+        }
+        let delivered = rl.drain();
+        assert_eq!(delivered.len(), 6, "deferral must not lose parcels");
+        let r = rl.report();
+        assert!(r.budget_deferrals > 0, "bucket should have run dry");
+        assert_eq!(r.abandoned_parcels, 0);
+    }
+
+    #[test]
+    fn breaker_opens_and_recovers() {
+        // Link dead for 1ms, then clean. Low threshold so the storm trips
+        // the breaker, and the half-open probe must eventually close it.
+        let plan = FaultPlan::new(2).outage(0, 1_000_000);
+        let config = ReliableConfig {
+            breaker_threshold: 3,
+            breaker_cooldown_ns: 100_000,
+            ..quick_config()
+        };
+        let mut rl = ReliableLink::with_faults(TransportCost::cluster(), plan, config, 2);
+        for i in 0..10u64 {
+            rl.send(msg(1, i * 1_000, i..i + 1), |_| i * 1_000);
+        }
+        let delivered = rl.drain();
+        assert_eq!(delivered.len(), 10);
+        let r = rl.report();
+        assert!(r.breaker_open_events >= 1, "storm should trip the breaker");
+        assert!(r.breaker_rejections >= 1, "open breaker should park sends");
+        assert_eq!(r.abandoned_parcels, 0);
+    }
+
+    #[test]
+    fn knobs_are_live() {
+        let rl = ReliableLink::new(TransportCost::cluster(), ReliableConfig::default(), 0);
+        let reg = lg_core::KnobRegistry::new();
+        reg.register(rl.retry_budget_knob().clone());
+        reg.register(rl.backoff_base_knob().clone());
+        reg.register(rl.breaker_threshold_knob().clone());
+        assert_eq!(reg.value("retry_budget"), Some(32));
+        reg.set("retry_budget", 64);
+        assert_eq!(rl.retry_budget_knob().get(), 64);
+        reg.set("breaker_threshold", 100_000); // clamped to spec max
+        assert_eq!(rl.breaker_threshold_knob().get(), 1_024);
+    }
+
+    #[test]
+    fn metrics_published_when_bound() {
+        let plan = FaultPlan::new(4).drop_prob(0.5);
+        let mut rl = ReliableLink::with_faults(TransportCost::cluster(), plan, quick_config(), 3);
+        let reg = CounterRegistry::new();
+        rl.bind_metrics(&reg);
+        for i in 0..30u64 {
+            rl.send(msg(1, i * 20_000, i..i + 1), |_| i * 20_000);
+        }
+        rl.drain();
+        let r = rl.report();
+        assert_eq!(
+            reg.counter("net.reliable.unique_parcels").get(),
+            r.unique_parcels
+        );
+        assert_eq!(
+            reg.counter("net.reliable.retransmissions").get(),
+            r.retransmissions
+        );
+        assert_eq!(reg.counter("net.reliable.acks").get(), r.acks);
+        assert!(r.unique_parcels == 30);
+    }
+
+    #[test]
+    fn abandonment_is_bounded_and_counted() {
+        // Permanent outage with few attempts: everything must abandon, and
+        // attempts must not exceed max_attempts per message.
+        let plan = FaultPlan::new(0).outage(0, u64::MAX - 1);
+        let config = ReliableConfig {
+            max_attempts: 3,
+            ..quick_config()
+        };
+        let mut rl = ReliableLink::with_faults(TransportCost::cluster(), plan, config, 0);
+        for i in 0..5u64 {
+            rl.send(msg(1, 0, i..i + 1), |_| 0);
+        }
+        let delivered = rl.drain();
+        assert!(delivered.is_empty());
+        let r = rl.report();
+        assert_eq!(r.abandoned_parcels, 5);
+        // 5 messages × 3 attempts; 2 of each are retries.
+        assert_eq!(r.retransmissions, 10);
+    }
+
+    #[test]
+    fn goodput_and_amplification_reported() {
+        let plan = FaultPlan::new(8).drop_prob(0.2);
+        let mut rl = ReliableLink::with_faults(TransportCost::cluster(), plan, quick_config(), 8);
+        for i in 0..50u64 {
+            rl.send(msg(1, i * 10_000, i..i + 1), |_| i * 10_000);
+        }
+        rl.drain();
+        let r = rl.report();
+        assert!(r.goodput_parcels_per_sec() > 0.0);
+        assert!(r.retry_amplification() >= 0.0);
+        assert!(r.mean_delivery_latency_ns > 0.0);
+    }
+}

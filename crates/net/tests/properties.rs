@@ -1,7 +1,8 @@
 //! Property-based tests for the parcel layer.
 
+use lg_net::coalesce::{FlushReason, WireMessage};
 use lg_net::parcel::Parcel;
-use lg_net::{Coalescer, SimLink, TransportCost};
+use lg_net::{Coalescer, FaultPlan, ReliableConfig, ReliableLink, SimLink, TransportCost};
 use proptest::prelude::*;
 
 proptest! {
@@ -109,6 +110,111 @@ proptest! {
         }
         let r = link.report();
         prop_assert_eq!(r.parcels, seq);
+    }
+
+    #[test]
+    fn reliable_delivery_exactly_once_under_any_fault_schedule(
+        fault_seed in 0u64..10_000,
+        link_seed in 0u64..10_000,
+        drop_prob in 0.0f64..0.7,
+        dup_prob in 0.0f64..0.9,
+        jitter in 0u64..20_000,
+        sizes in proptest::collection::vec(1u64..5, 1..50),
+    ) {
+        // For ANY seeded drop/duplicate/jitter schedule, a generous budget
+        // guarantees every offered parcel surfaces exactly once.
+        let plan = FaultPlan::new(fault_seed)
+            .drop_prob(drop_prob)
+            .duplicate_prob(dup_prob)
+            .jitter_ns(jitter);
+        let config = ReliableConfig {
+            ack_timeout_ns: 50_000,
+            backoff_base_ns: 10_000,
+            backoff_max_ns: 500_000,
+            retry_budget: 4_096,
+            retry_refill_per_sec: 1e6,
+            breaker_threshold: 1_024,
+            ..ReliableConfig::default()
+        };
+        let mut rl =
+            ReliableLink::with_faults(TransportCost::cluster(), plan, config, link_seed);
+        let mut next_seq = 0u64;
+        for (i, &k) in sizes.iter().enumerate() {
+            let t = i as u64 * 30_000;
+            let parcels = (0..k)
+                .map(|_| {
+                    let s = next_seq;
+                    next_seq += 1;
+                    Parcel::new(0, 1 + (i % 3) as u32, 0, s, vec![0u8; 16])
+                })
+                .collect();
+            let msg = WireMessage {
+                dest: 1 + (i % 3) as u32,
+                parcels,
+                reason: FlushReason::Window,
+                t_ns: t,
+            };
+            rl.send(msg, |_| t);
+        }
+        let delivered = rl.drain();
+        let mut seqs: Vec<u64> = delivered.iter().map(|d| d.seq).collect();
+        let surfaced = seqs.len();
+        seqs.sort_unstable();
+        seqs.dedup();
+        prop_assert_eq!(seqs.len(), surfaced, "a parcel surfaced more than once");
+        prop_assert_eq!(seqs, (0..next_seq).collect::<Vec<u64>>());
+        let r = rl.report();
+        prop_assert_eq!(r.unique_parcels, next_seq);
+        prop_assert_eq!(r.abandoned_parcels, 0);
+    }
+
+    #[test]
+    fn retries_never_exceed_budget_with_zero_refill(
+        budget in 0i64..16,
+        fault_seed in 0u64..10_000,
+        drop_prob in 0.0f64..0.9,
+        count in 1usize..40,
+    ) {
+        // With zero refill the token bucket never regains tokens, so total
+        // retries to a destination can never exceed its initial capacity —
+        // and every parcel still resolves (delivered or abandoned).
+        let plan = FaultPlan::new(fault_seed).drop_prob(drop_prob).outage(0, 200_000);
+        let config = ReliableConfig {
+            ack_timeout_ns: 50_000,
+            backoff_base_ns: 10_000,
+            backoff_max_ns: 500_000,
+            retry_budget: budget,
+            retry_refill_per_sec: 0.0,
+            breaker_threshold: 1_024,
+            max_attempts: 16,
+            ..ReliableConfig::default()
+        };
+        let mut rl = ReliableLink::with_faults(
+            TransportCost::cluster(),
+            plan,
+            config,
+            fault_seed ^ 1,
+        );
+        for i in 0..count {
+            let t = i as u64 * 20_000;
+            let msg = WireMessage {
+                dest: 1,
+                parcels: vec![Parcel::new(0, 1, 0, i as u64, vec![0u8; 16])],
+                reason: FlushReason::Window,
+                t_ns: t,
+            };
+            rl.send(msg, |_| t);
+        }
+        let delivered = rl.drain();
+        let r = rl.report();
+        prop_assert!(
+            r.retries_consumed <= budget as u64,
+            "{} retries consumed with budget {}",
+            r.retries_consumed,
+            budget
+        );
+        prop_assert_eq!(r.retransmissions, r.retries_consumed);
+        prop_assert_eq!(delivered.len() as u64 + r.abandoned_parcels, count as u64);
     }
 
     #[test]

@@ -1,0 +1,190 @@
+//! Injectable task faults for resilience testing.
+//!
+//! A [`FaultConfig`] attached to a [`crate::PoolConfig`] makes the pool
+//! adversarial: each submitted task may, with seeded probability, have its
+//! body replaced by a panic (crash fault) or delayed by a fixed sleep
+//! (straggler fault). The RNG stream is deterministic per seed; which
+//! *specific* task draws a fault still depends on submission order, so
+//! treat the injection as statistically — not positionally — reproducible
+//! under concurrency.
+//!
+//! Injected panics flow through the pool's normal containment: the worker
+//! survives, the pool panic counter increments, and a
+//! [`crate::JoinHandle`] for the task reports an error.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// Configuration of injected task faults. A default config injects
+/// nothing.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultConfig {
+    /// RNG seed for fault decisions.
+    pub seed: u64,
+    /// Probability a task's body is replaced by a panic.
+    pub panic_prob: f64,
+    /// Probability a task is delayed by `straggler_delay` before running.
+    pub straggler_prob: f64,
+    /// Delay injected into straggler tasks.
+    pub straggler_delay: Duration,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            panic_prob: 0.0,
+            straggler_prob: 0.0,
+            straggler_delay: Duration::from_millis(1),
+        }
+    }
+}
+
+impl FaultConfig {
+    /// A config with the given seed and no faults enabled.
+    pub fn seeded(seed: u64) -> Self {
+        Self {
+            seed,
+            ..Default::default()
+        }
+    }
+
+    /// Sets the panic probability.
+    ///
+    /// # Panics
+    /// Panics unless `0 ≤ p ≤ 1`.
+    pub fn panic_prob(mut self, p: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "panic probability must be in [0, 1]"
+        );
+        self.panic_prob = p;
+        self
+    }
+
+    /// Sets the straggler probability and delay.
+    ///
+    /// # Panics
+    /// Panics unless `0 ≤ p ≤ 1`.
+    pub fn straggler(mut self, p: f64, delay: Duration) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "straggler probability must be in [0, 1]"
+        );
+        self.straggler_prob = p;
+        self.straggler_delay = delay;
+        self
+    }
+
+    /// True if any fault can actually fire.
+    pub fn is_active(&self) -> bool {
+        self.panic_prob > 0.0 || self.straggler_prob > 0.0
+    }
+}
+
+/// The fault drawn for one task.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum TaskFault {
+    Panic,
+    Straggle(Duration),
+}
+
+/// Marker payload for injected panics (distinguishable from user panics
+/// in a downcast, and avoids a formatted message on the hot path).
+pub struct InjectedFault;
+
+/// Shared per-pool fault state: the seeded RNG plus injection counters.
+pub(crate) struct FaultState {
+    config: FaultConfig,
+    rng: parking_lot::Mutex<StdRng>,
+    panics: AtomicUsize,
+    stragglers: AtomicUsize,
+}
+
+impl FaultState {
+    pub(crate) fn new(config: FaultConfig) -> Self {
+        let rng = parking_lot::Mutex::new(StdRng::seed_from_u64(config.seed));
+        Self {
+            config,
+            rng,
+            panics: AtomicUsize::new(0),
+            stragglers: AtomicUsize::new(0),
+        }
+    }
+
+    /// Draws the fault (if any) for the next task. Panic is sampled
+    /// first, so under `panic_prob = 1.0` every task crashes.
+    pub(crate) fn decide(&self) -> Option<TaskFault> {
+        let mut rng = self.rng.lock();
+        if self.config.panic_prob > 0.0 && rng.gen_bool(self.config.panic_prob) {
+            drop(rng);
+            self.panics.fetch_add(1, Ordering::Relaxed);
+            return Some(TaskFault::Panic);
+        }
+        if self.config.straggler_prob > 0.0 && rng.gen_bool(self.config.straggler_prob) {
+            drop(rng);
+            self.stragglers.fetch_add(1, Ordering::Relaxed);
+            return Some(TaskFault::Straggle(self.config.straggler_delay));
+        }
+        None
+    }
+
+    pub(crate) fn injected_panics(&self) -> usize {
+        self.panics.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn injected_stragglers(&self) -> usize {
+        self.stragglers.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inactive_by_default() {
+        let c = FaultConfig::default();
+        assert!(!c.is_active());
+        let s = FaultState::new(c);
+        assert!((0..1000).all(|_| s.decide().is_none()));
+    }
+
+    #[test]
+    fn panic_rate_tracks_probability() {
+        let s = FaultState::new(FaultConfig::seeded(1).panic_prob(0.3));
+        let n = 10_000;
+        let hits = (0..n)
+            .filter(|_| s.decide() == Some(TaskFault::Panic))
+            .count();
+        assert!(
+            (2_500..3_500).contains(&hits),
+            "0.3 panic prob gave {hits}/{n}"
+        );
+        assert_eq!(s.injected_panics(), hits);
+    }
+
+    #[test]
+    fn straggler_carries_delay() {
+        let d = Duration::from_millis(7);
+        let s = FaultState::new(FaultConfig::seeded(2).straggler(1.0, d));
+        assert_eq!(s.decide(), Some(TaskFault::Straggle(d)));
+        assert_eq!(s.injected_stragglers(), 1);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed| {
+            let s = FaultState::new(
+                FaultConfig::seeded(seed)
+                    .panic_prob(0.2)
+                    .straggler(0.2, Duration::from_millis(1)),
+            );
+            (0..500).map(|_| s.decide()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+}

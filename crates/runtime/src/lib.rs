@@ -15,6 +15,9 @@
 //!   guarantees all spawned tasks finish before `scope` returns.
 //! * [`par_iter`] — `parallel_for` over index ranges with a tunable chunk
 //!   size (the granularity knob).
+//! * [`fault`] — injectable task faults (seeded crash probability,
+//!   straggler delay) for resilience testing; panics stay contained and
+//!   join handles still resolve.
 //!
 //! ## Events emitted
 //!
@@ -23,15 +26,18 @@
 //! | `WorkerStart`/`WorkerStop` | worker thread lifecycle |
 //! | `TaskBegin`/`TaskEnd` | around every task body |
 //! | counter `rt.spawned` / `rt.executed` / `rt.steals` / `rt.parks` | scheduling |
+//! | counter `rt.injected_panics` / `rt.injected_stragglers` | fault injection |
 
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod par_iter;
 pub mod pool;
 pub mod scope;
 pub mod task;
 pub mod throttle;
 
+pub use fault::{FaultConfig, InjectedFault};
 pub use par_iter::ParallelForStats;
 pub use pool::{PoolConfig, ThreadPool};
 pub use scope::Scope;

@@ -52,7 +52,11 @@ impl ThreadPool {
         assert!(chunk > 0, "chunk size must be positive");
         let total = range.end.saturating_sub(range.start);
         if total == 0 {
-            return ParallelForStats { chunks: 0, chunk_size: chunk, iterations: 0 };
+            return ParallelForStats {
+                chunks: 0,
+                chunk_size: chunk,
+                iterations: 0,
+            };
         }
         let executed = AtomicU64::new(0);
         let mut chunks = 0usize;
@@ -143,7 +147,15 @@ mod tests {
 
     fn pool(workers: usize) -> ThreadPool {
         let lg = LookingGlass::builder().build();
-        ThreadPool::new(lg, PoolConfig { workers, spin_rounds: 4, register_knobs: false })
+        ThreadPool::new(
+            lg,
+            PoolConfig {
+                workers,
+                spin_rounds: 4,
+                register_knobs: false,
+                faults: None,
+            },
+        )
     }
 
     #[test]
@@ -211,14 +223,28 @@ mod tests {
     #[test]
     fn reduce_sums_correctly() {
         let p = pool(3);
-        let total = p.parallel_reduce("sum", 0..1001, 64, 0u64, |i, acc| acc + i as u64, |a, b| a + b);
+        let total = p.parallel_reduce(
+            "sum",
+            0..1001,
+            64,
+            0u64,
+            |i, acc| acc + i as u64,
+            |a, b| a + b,
+        );
         assert_eq!(total, 1000 * 1001 / 2);
     }
 
     #[test]
     fn reduce_with_single_chunk() {
         let p = pool(2);
-        let total = p.parallel_reduce("sum1", 0..5, 100, 0u64, |i, acc| acc + i as u64, |a, b| a + b);
+        let total = p.parallel_reduce(
+            "sum1",
+            0..5,
+            100,
+            0u64,
+            |i, acc| acc + i as u64,
+            |a, b| a + b,
+        );
         assert_eq!(total, 10);
     }
 

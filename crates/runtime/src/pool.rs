@@ -17,7 +17,12 @@
 //! Task bodies run under `catch_unwind`: a panicking task increments a
 //! counter and (for [`ThreadPool::spawn`]) surfaces through the
 //! [`JoinHandle`]; it never takes a worker down.
+//!
+//! With a [`FaultConfig`] set, submitted tasks may be adversarially
+//! crashed or delayed (see [`crate::fault`]) — the substrate for
+//! resilience experiments.
 
+use crate::fault::{FaultConfig, FaultState, TaskFault};
 use crate::task::{join_pair, JoinHandle, Task};
 use crate::throttle::ThreadCap;
 use crossbeam::deque::{Injector, Stealer, Worker as Deque};
@@ -37,14 +42,19 @@ pub struct PoolConfig {
     pub spin_rounds: usize,
     /// Register the pool's `thread_cap` knob on the instance's registry.
     pub register_knobs: bool,
+    /// Injected task faults (crash/straggler), for resilience testing.
+    pub faults: Option<FaultConfig>,
 }
 
 impl Default for PoolConfig {
     fn default() -> Self {
         Self {
-            workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
             spin_rounds: 16,
             register_knobs: true,
+            faults: None,
         }
     }
 }
@@ -52,7 +62,10 @@ impl Default for PoolConfig {
 impl PoolConfig {
     /// Config with an explicit worker count.
     pub fn with_workers(workers: usize) -> Self {
-        Self { workers, ..Default::default() }
+        Self {
+            workers,
+            ..Default::default()
+        }
     }
 }
 
@@ -82,10 +95,13 @@ pub(crate) struct PoolShared {
     idle_waiters_lock: Mutex<()>,
     idle_waiters_cv: Condvar,
     panics: AtomicUsize,
+    faults: Option<FaultState>,
     c_spawned: CounterHandle,
     c_executed: CounterHandle,
     c_steals: CounterHandle,
     c_parks: CounterHandle,
+    c_injected_panics: CounterHandle,
+    c_injected_stragglers: CounterHandle,
 }
 
 /// The work-stealing thread pool. Dropping it drains nothing: it signals
@@ -124,10 +140,18 @@ impl ThreadPool {
             idle_waiters_lock: Mutex::new(()),
             idle_waiters_cv: Condvar::new(),
             panics: AtomicUsize::new(0),
+            faults: config
+                .faults
+                .as_ref()
+                .filter(|f| f.is_active())
+                .cloned()
+                .map(FaultState::new),
             c_spawned: counters.counter("rt.spawned"),
             c_executed: counters.counter("rt.executed"),
             c_steals: counters.counter("rt.steals"),
             c_parks: counters.counter("rt.parks"),
+            c_injected_panics: counters.counter("rt.injected_panics"),
+            c_injected_stragglers: counters.counter("rt.injected_stragglers"),
         });
         let handles = deques
             .into_iter()
@@ -141,7 +165,11 @@ impl ThreadPool {
                     .expect("failed to spawn worker")
             })
             .collect();
-        Self { shared, counters, handles }
+        Self {
+            shared,
+            counters,
+            handles,
+        }
     }
 
     /// The observation instance this pool reports to.
@@ -168,6 +196,22 @@ impl ThreadPool {
     /// Panics contained so far.
     pub fn panics(&self) -> usize {
         self.shared.panics.load(Ordering::Relaxed)
+    }
+
+    /// Crash faults injected so far (0 if fault injection is disabled).
+    pub fn injected_panics(&self) -> usize {
+        self.shared
+            .faults
+            .as_ref()
+            .map_or(0, |f| f.injected_panics())
+    }
+
+    /// Straggler faults injected so far (0 if fault injection is disabled).
+    pub fn injected_stragglers(&self) -> usize {
+        self.shared
+            .faults
+            .as_ref()
+            .map_or(0, |f| f.injected_stragglers())
     }
 
     /// Tasks submitted and not yet finished.
@@ -225,7 +269,28 @@ impl ThreadPool {
 pub(crate) struct ContainedPanic;
 
 impl PoolShared {
-    pub(crate) fn push(&self, task: Task) {
+    pub(crate) fn push(&self, mut task: Task) {
+        if let Some(fs) = &self.faults {
+            match fs.decide() {
+                Some(TaskFault::Panic) => {
+                    self.c_injected_panics.inc();
+                    // Replacing the body drops the original closure here;
+                    // a JoinSender captured inside resolves its handle as
+                    // panicked via the drop guard, so `join` never hangs
+                    // on a crash-faulted task.
+                    task.body = Box::new(|| std::panic::panic_any(crate::fault::InjectedFault));
+                }
+                Some(TaskFault::Straggle(delay)) => {
+                    self.c_injected_stragglers.inc();
+                    let body = task.body;
+                    task.body = Box::new(move || {
+                        std::thread::sleep(delay);
+                        body();
+                    });
+                }
+                None => {}
+            }
+        }
         self.pending.fetch_add(1, Ordering::AcqRel);
         self.c_spawned.inc();
         let mut task = Some(task);
@@ -309,7 +374,10 @@ impl PoolShared {
 
 fn worker_loop(shared: Arc<PoolShared>, local: Deque<Task>, index: usize, spin_rounds: usize) {
     CURRENT_WORKER.with(|cw| cw.set(Some((shared.id, index, &local as *const Deque<Task>))));
-    shared.lg.emit(&Event::WorkerStart { worker: index, t_ns: shared.lg.now_ns() });
+    shared.lg.emit(&Event::WorkerStart {
+        worker: index,
+        t_ns: shared.lg.now_ns(),
+    });
     let mut online = true;
     loop {
         if shared.shutdown.load(Ordering::Acquire) {
@@ -318,7 +386,10 @@ fn worker_loop(shared: Arc<PoolShared>, local: Deque<Task>, index: usize, spin_r
         // Throttling: park if the cap excludes this worker.
         if !shared.cap.allows(index) {
             if online {
-                shared.lg.emit(&Event::WorkerStop { worker: index, t_ns: shared.lg.now_ns() });
+                shared.lg.emit(&Event::WorkerStop {
+                    worker: index,
+                    t_ns: shared.lg.now_ns(),
+                });
                 online = false;
             }
             let allowed = shared
@@ -330,7 +401,10 @@ fn worker_loop(shared: Arc<PoolShared>, local: Deque<Task>, index: usize, spin_r
             continue;
         }
         if !online {
-            shared.lg.emit(&Event::WorkerStart { worker: index, t_ns: shared.lg.now_ns() });
+            shared.lg.emit(&Event::WorkerStart {
+                worker: index,
+                t_ns: shared.lg.now_ns(),
+            });
             online = true;
         }
         let mut found = false;
@@ -357,15 +431,26 @@ fn worker_loop(shared: Arc<PoolShared>, local: Deque<Task>, index: usize, spin_r
             .wait_for(&mut g, std::time::Duration::from_millis(10));
     }
     if online {
-        shared.lg.emit(&Event::WorkerStop { worker: index, t_ns: shared.lg.now_ns() });
+        shared.lg.emit(&Event::WorkerStop {
+            worker: index,
+            t_ns: shared.lg.now_ns(),
+        });
     }
     CURRENT_WORKER.with(|cw| cw.set(None));
 }
 
 fn run_task(shared: &Arc<PoolShared>, task: Task, index: usize) {
-    let Task { name, body, completion } = task;
+    let Task {
+        name,
+        body,
+        completion,
+    } = task;
     let t0 = shared.lg.now_ns();
-    shared.lg.emit(&Event::TaskBegin { task: name, worker: index, t_ns: t0 });
+    shared.lg.emit(&Event::TaskBegin {
+        task: name,
+        worker: index,
+        t_ns: t0,
+    });
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(body));
     let t1 = shared.lg.now_ns();
     shared.lg.emit(&Event::TaskEnd {
@@ -416,7 +501,15 @@ mod tests {
 
     fn pool(workers: usize) -> ThreadPool {
         let lg = LookingGlass::builder().build();
-        ThreadPool::new(lg, PoolConfig { workers, spin_rounds: 4, register_knobs: true })
+        ThreadPool::new(
+            lg,
+            PoolConfig {
+                workers,
+                spin_rounds: 4,
+                register_knobs: true,
+                faults: None,
+            },
+        )
     }
 
     #[test]
@@ -454,7 +547,11 @@ mod tests {
         }
         p.wait_idle();
         for (i, h) in hits.iter().enumerate() {
-            assert_eq!(h.load(Ordering::Relaxed), 1, "task {i} ran a wrong number of times");
+            assert_eq!(
+                h.load(Ordering::Relaxed),
+                1,
+                "task {i} ran a wrong number of times"
+            );
         }
     }
 
@@ -565,9 +662,119 @@ mod tests {
     }
 
     #[test]
+    fn injected_panics_are_contained_and_counted() {
+        let lg = LookingGlass::builder().build();
+        let p = ThreadPool::new(
+            lg,
+            PoolConfig {
+                workers: 2,
+                spin_rounds: 2,
+                register_knobs: false,
+                faults: Some(crate::fault::FaultConfig::seeded(7).panic_prob(0.5)),
+            },
+        );
+        let count = Arc::new(AtomicU64::new(0));
+        let n = 400;
+        for _ in 0..n {
+            let c = count.clone();
+            p.spawn_named("maybe", move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        p.wait_idle();
+        let crashed = p.injected_panics();
+        assert!(
+            crashed > 0,
+            "0.5 panic prob over {n} tasks injected nothing"
+        );
+        assert_eq!(count.load(Ordering::Relaxed) as usize, n - crashed);
+        assert_eq!(p.panics(), crashed, "every injected crash was contained");
+        assert_eq!(
+            p.counters().counter("rt.injected_panics").get() as usize,
+            crashed
+        );
+        // Pool still functional.
+        let h = p.spawn("after", || 3);
+        assert!(matches!(h.join(), Ok(3) | Err(_)));
+    }
+
+    #[test]
+    fn crash_faulted_spawn_still_resolves_join() {
+        let lg = LookingGlass::builder().build();
+        let p = ThreadPool::new(
+            lg,
+            PoolConfig {
+                workers: 2,
+                spin_rounds: 2,
+                register_knobs: false,
+                faults: Some(crate::fault::FaultConfig::seeded(1).panic_prob(1.0)),
+            },
+        );
+        // Every task crashes; joins must error, never hang.
+        for _ in 0..50 {
+            assert!(p.spawn("doomed", || 1).join().is_err());
+        }
+        p.wait_idle();
+        assert_eq!(p.injected_panics(), 50);
+    }
+
+    #[test]
+    fn stragglers_delay_but_complete() {
+        let lg = LookingGlass::builder().build();
+        let p = ThreadPool::new(
+            lg,
+            PoolConfig {
+                workers: 2,
+                spin_rounds: 2,
+                register_knobs: false,
+                faults: Some(
+                    crate::fault::FaultConfig::seeded(3)
+                        .straggler(1.0, std::time::Duration::from_millis(5)),
+                ),
+            },
+        );
+        let t0 = std::time::Instant::now();
+        let h = p.spawn("slow", || 11);
+        assert_eq!(h.join().unwrap(), 11);
+        assert!(t0.elapsed() >= std::time::Duration::from_millis(5));
+        assert_eq!(p.injected_stragglers(), 1);
+        assert_eq!(p.counters().counter("rt.injected_stragglers").get(), 1);
+        assert_eq!(p.panics(), 0);
+    }
+
+    #[test]
+    fn inactive_fault_config_injects_nothing() {
+        let lg = LookingGlass::builder().build();
+        let p = ThreadPool::new(
+            lg,
+            PoolConfig {
+                workers: 2,
+                spin_rounds: 2,
+                register_knobs: false,
+                faults: Some(crate::fault::FaultConfig::seeded(9)),
+            },
+        );
+        for _ in 0..100 {
+            p.spawn_named("fine", || {});
+        }
+        p.wait_idle();
+        assert_eq!(p.injected_panics(), 0);
+        assert_eq!(p.injected_stragglers(), 0);
+        assert_eq!(p.panics(), 0);
+    }
+
+    #[test]
     fn worker_events_reach_concurrency_listener() {
         let lg = LookingGlass::builder().build();
-        let p = ThreadPool::new(lg.clone(), PoolConfig { workers: 2, spin_rounds: 1, register_knobs: false });
+        let p = ThreadPool::new(
+            lg.clone(),
+            PoolConfig {
+                workers: 2,
+                spin_rounds: 1,
+                register_knobs: false,
+                faults: None,
+            },
+        );
         // Workers come online lazily but WorkerStart fires at thread start.
         let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
         while lg.concurrency().online_workers() < 2 && std::time::Instant::now() < deadline {

@@ -60,7 +60,9 @@ impl<'scope> Scope<'scope, '_> {
             }
         });
         let id = self.pool.lg().intern(name);
-        self.pool.shared().push(Task::with_completion(id, wrapped, completion));
+        self.pool
+            .shared()
+            .push(Task::with_completion(id, wrapped, completion));
     }
 
     /// Spawns with the default name `"scoped"`.
@@ -84,7 +86,11 @@ impl ThreadPool {
             cv: Condvar::new(),
             panicked: AtomicUsize::new(0),
         });
-        let scope = Scope { pool: self, state: state.clone(), _marker: std::marker::PhantomData };
+        let scope = Scope {
+            pool: self,
+            state: state.clone(),
+            _marker: std::marker::PhantomData,
+        };
         let result = f(&scope);
         // Barrier: wait for all scoped tasks. If the creating thread is
         // itself a pool worker (nested scope, fork-join recursion), it
@@ -99,7 +105,9 @@ impl ThreadPool {
             if state.remaining.load(Ordering::Acquire) == 0 {
                 break;
             }
-            state.cv.wait_for(&mut g, std::time::Duration::from_millis(1));
+            state
+                .cv
+                .wait_for(&mut g, std::time::Duration::from_millis(1));
         }
         let panics = state.panicked.load(Ordering::Acquire);
         if panics > 0 {
@@ -117,7 +125,15 @@ mod tests {
 
     fn pool(workers: usize) -> ThreadPool {
         let lg = LookingGlass::builder().build();
-        ThreadPool::new(lg, crate::pool::PoolConfig { workers, spin_rounds: 4, register_knobs: false })
+        ThreadPool::new(
+            lg,
+            crate::pool::PoolConfig {
+                workers,
+                spin_rounds: 4,
+                register_knobs: false,
+                faults: None,
+            },
+        )
     }
 
     #[test]

@@ -21,7 +21,11 @@ pub(crate) struct Task {
 
 impl Task {
     pub(crate) fn new(name: TaskId, body: Box<dyn FnOnce() + Send + 'static>) -> Self {
-        Self { name, body, completion: None }
+        Self {
+            name,
+            body,
+            completion: None,
+        }
     }
 
     pub(crate) fn with_completion(
@@ -29,7 +33,11 @@ impl Task {
         body: Box<dyn FnOnce() + Send + 'static>,
         completion: Box<dyn FnOnce() + Send + 'static>,
     ) -> Self {
-        Self { name, body, completion: Some(completion) }
+        Self {
+            name,
+            body,
+            completion: Some(completion),
+        }
     }
 }
 
@@ -61,7 +69,10 @@ pub(crate) struct JoinSender<T> {
 
 /// Creates a connected join pair.
 pub(crate) fn join_pair<T>() -> (JoinSender<T>, JoinHandle<T>) {
-    let slot = Arc::new(Slot { state: Mutex::new(SlotState::Empty), cv: Condvar::new() });
+    let slot = Arc::new(Slot {
+        state: Mutex::new(SlotState::Empty),
+        cv: Condvar::new(),
+    });
     (JoinSender { slot: slot.clone() }, JoinHandle { slot })
 }
 
@@ -76,6 +87,20 @@ impl<T> JoinSender<T> {
         let mut s = self.slot.state.lock();
         *s = SlotState::Panicked;
         self.slot.cv.notify_all();
+    }
+}
+
+impl<T> Drop for JoinSender<T> {
+    /// A sender dropped without sending means the task body never ran to
+    /// a result — it was discarded at shutdown or replaced by an injected
+    /// fault. Resolve the handle as panicked so `join` reports an error
+    /// instead of blocking forever.
+    fn drop(&mut self) {
+        let mut s = self.slot.state.lock();
+        if matches!(*s, SlotState::Empty) {
+            *s = SlotState::Panicked;
+            self.slot.cv.notify_all();
+        }
     }
 }
 
@@ -112,7 +137,10 @@ impl<T> JoinHandle<T> {
 
     /// True once the task has finished (without consuming the result).
     pub fn is_finished(&self) -> bool {
-        matches!(*self.slot.state.lock(), SlotState::Value(_) | SlotState::Panicked)
+        matches!(
+            *self.slot.state.lock(),
+            SlotState::Value(_) | SlotState::Panicked
+        )
     }
 }
 
@@ -171,6 +199,13 @@ mod tests {
         assert!(rx.is_finished());
         assert_eq!(rx.try_join().unwrap().unwrap(), 7);
         assert!(rx.try_join().is_none(), "result consumed");
+    }
+
+    #[test]
+    fn dropped_sender_resolves_as_panicked() {
+        let (tx, rx) = join_pair::<u32>();
+        drop(tx);
+        assert_eq!(rx.join().unwrap_err(), JoinError::Panicked);
     }
 
     #[test]

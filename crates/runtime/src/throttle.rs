@@ -210,7 +210,9 @@ mod tests {
         let worker_cap = c.clone();
         let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
         let s = stop.clone();
-        let t = std::thread::spawn(move || worker_cap.wait_until_allowed(1, || s.load(Ordering::SeqCst)));
+        let t = std::thread::spawn(move || {
+            worker_cap.wait_until_allowed(1, || s.load(Ordering::SeqCst))
+        });
         std::thread::sleep(std::time::Duration::from_millis(10));
         stop.store(true, Ordering::SeqCst);
         c.wake_all();

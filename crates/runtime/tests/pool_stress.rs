@@ -13,7 +13,12 @@ use std::sync::Arc;
 fn pool(workers: usize) -> ThreadPool {
     ThreadPool::new(
         LookingGlass::builder().build(),
-        PoolConfig { workers, spin_rounds: 4, register_knobs: false },
+        PoolConfig {
+            workers,
+            spin_rounds: 4,
+            register_knobs: false,
+            faults: None,
+        },
     )
 }
 

@@ -35,7 +35,12 @@ impl<T> Default for EventQueue<T> {
 impl<T> EventQueue<T> {
     /// Creates an empty queue.
     pub fn new() -> Self {
-        Self { heap: BinaryHeap::new(), payloads: Vec::new(), free: Vec::new(), next_seq: 0 }
+        Self {
+            heap: BinaryHeap::new(),
+            payloads: Vec::new(),
+            free: Vec::new(),
+            next_seq: 0,
+        }
     }
 
     /// Schedules `payload` at `t_ns`. Returns the event's sequence number.
@@ -59,7 +64,9 @@ impl<T> EventQueue<T> {
     /// Pops the earliest event, if any.
     pub fn pop(&mut self) -> Option<SimEvent<T>> {
         let Reverse((t_ns, seq, slot)) = self.heap.pop()?;
-        let payload = self.payloads[slot].take().expect("event slot already drained");
+        let payload = self.payloads[slot]
+            .take()
+            .expect("event slot already drained");
         self.free.push(slot);
         Some(SimEvent { t_ns, seq, payload })
     }
@@ -82,7 +89,9 @@ impl<T> EventQueue<T> {
 
 impl<T> std::fmt::Debug for EventQueue<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("EventQueue").field("pending", &self.len()).finish()
+        f.debug_struct("EventQueue")
+            .field("pending", &self.len())
+            .finish()
     }
 }
 

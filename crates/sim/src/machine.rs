@@ -106,7 +106,10 @@ pub fn alloc_rates(spec: &MachineSpec, bytes_per_op: &[f64]) -> Vec<f64> {
         return Vec::new();
     }
     // Unconstrained bandwidth demand per task.
-    let demands: Vec<f64> = bytes_per_op.iter().map(|&b| b.max(0.0) * spec.core_flops).collect();
+    let demands: Vec<f64> = bytes_per_op
+        .iter()
+        .map(|&b| b.max(0.0) * spec.core_flops)
+        .collect();
     let total: f64 = demands.iter().sum();
     if total <= spec.mem_bw {
         return bytes_per_op.iter().map(|_| spec.core_flops).collect();
@@ -114,7 +117,11 @@ pub fn alloc_rates(spec: &MachineSpec, bytes_per_op: &[f64]) -> Vec<f64> {
     // Water-filling: sort by demand ascending; satisfy light tasks fully,
     // split the remainder among the rest.
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| demands[a].partial_cmp(&demands[b]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&a, &b| {
+        demands[a]
+            .partial_cmp(&demands[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut alloc = vec![0.0f64; n];
     let mut remaining_bw = spec.mem_bw;
     let mut remaining = n;
@@ -183,7 +190,11 @@ mod tests {
         let s = spec(8, 1e9, 2e9);
         // Task 0 demands 0.5e9 B/s (bpo 0.5); tasks 1,2 demand 1e10 each.
         let rates = alloc_rates(&s, &[0.5, 10.0, 10.0]);
-        assert!((rates[0] - 1e9).abs() < 1.0, "light task should hit peak: {}", rates[0]);
+        assert!(
+            (rates[0] - 1e9).abs() < 1.0,
+            "light task should hit peak: {}",
+            rates[0]
+        );
         // Heavies split the remaining 1.5e9 B/s → 0.75e9 each → 7.5e7 ops/s.
         assert!((rates[1] - 7.5e7).abs() < 1.0);
         assert!((rates[2] - 7.5e7).abs() < 1.0);

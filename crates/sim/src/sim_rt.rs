@@ -44,7 +44,11 @@ impl SimTask {
     pub fn new(name: impl Into<String>, ops: f64, bytes: f64) -> Self {
         assert!(ops > 0.0, "task must have positive ops");
         assert!(bytes >= 0.0, "bytes must be non-negative");
-        Self { name: name.into(), ops, bytes }
+        Self {
+            name: name.into(),
+            ops,
+            bytes,
+        }
     }
 
     /// Bytes per op (traffic intensity).
@@ -138,7 +142,9 @@ impl SimRuntime {
     pub fn new(spec: MachineSpec) -> Self {
         spec.validate();
         let clock = VirtualClock::new();
-        let lg = LookingGlass::builder().clock(Arc::new(clock.clone())).build();
+        let lg = LookingGlass::builder()
+            .clock(Arc::new(clock.clone()))
+            .build();
         Self::with_instance(spec, lg, clock)
     }
 
@@ -248,12 +254,20 @@ impl SimRuntime {
     fn fill_slots(&mut self) {
         let cap = self.effective_cap();
         while self.running.len() < cap {
-            let Some((id, task)) = self.queue.pop_front() else { break };
+            let Some((id, task)) = self.queue.pop_front() else {
+                break;
+            };
             let now = self.clock.now_ns();
             // Pick the lowest free worker index for stable attribution.
             let used: Vec<usize> = self.running.iter().map(|r| r.worker).collect();
-            let worker = (0..self.spec.cores).find(|w| !used.contains(w)).unwrap_or(0);
-            self.lg.emit(&Event::TaskBegin { task: id, worker, t_ns: now });
+            let worker = (0..self.spec.cores)
+                .find(|w| !used.contains(w))
+                .unwrap_or(0);
+            self.lg.emit(&Event::TaskBegin {
+                task: id,
+                worker,
+                t_ns: now,
+            });
             let overhead_ops = self.spec.sched_overhead_ns as f64 * 1e-9 * self.spec.core_flops;
             let (phase, remaining) = if overhead_ops > 0.0 {
                 (Phase::Overhead, overhead_ops)
@@ -294,11 +308,16 @@ impl SimRuntime {
             0.0
         } else {
             f.powi(3)
-                * rates.iter().map(|&r| espec.effective_intensity(r)).sum::<f64>()
+                * rates
+                    .iter()
+                    .map(|&r| espec.effective_intensity(r))
+                    .sum::<f64>()
                 / active as f64
         };
-        self.meter
-            .sample(self.clock.now_ns(), self.spec.power.power(active, intensity));
+        self.meter.sample(
+            self.clock.now_ns(),
+            self.spec.power.power(active, intensity),
+        );
     }
 
     /// Runs until both the queue and the running set are empty. Returns a
@@ -369,7 +388,10 @@ impl SimRuntime {
     /// Advances virtual time by `dt_ns` with the machine idle (between
     /// phases, settle windows). Idle power is still consumed.
     pub fn idle_for(&mut self, dt_ns: u64) {
-        assert!(self.running.is_empty() && self.queue.is_empty(), "idle_for while work pending");
+        assert!(
+            self.running.is_empty() && self.queue.is_empty(),
+            "idle_for while work pending"
+        );
         self.clock.advance_by(dt_ns);
         self.meter
             .sample(self.clock.now_ns(), self.spec.power.power(0, 0.0));
@@ -409,7 +431,11 @@ mod tests {
         sim.submit(SimTask::new("t", 1e6, 0.0)); // 1e6 ops @ 1e9 ops/s = 1 ms
         let r = sim.run_until_idle();
         assert_eq!(r.tasks, 1);
-        assert!((r.elapsed_ns as f64 - 1e6).abs() < 10.0, "elapsed {}", r.elapsed_ns);
+        assert!(
+            (r.elapsed_ns as f64 - 1e6).abs() < 10.0,
+            "elapsed {}",
+            r.elapsed_ns
+        );
     }
 
     #[test]
@@ -442,7 +468,11 @@ mod tests {
         let t8 = run_with_cap(8);
         let t16 = run_with_cap(16);
         assert!(t2 / t4 > 1.9, "should still scale to the knee: {}", t2 / t4);
-        assert!((t8 / t4 - 1.0).abs() < 0.02, "past the knee should be flat: {}", t8 / t4);
+        assert!(
+            (t8 / t4 - 1.0).abs() < 0.02,
+            "past the knee should be flat: {}",
+            t8 / t4
+        );
         assert!((t16 / t4 - 1.0).abs() < 0.02);
     }
 
@@ -458,7 +488,10 @@ mod tests {
         };
         let e4 = energy_with_cap(4); // at the knee
         let e16 = energy_with_cap(16); // far past it
-        assert!(e16 > e4 * 1.2, "energy at 16 cores {e16} should exceed at-knee {e4}");
+        assert!(
+            e16 > e4 * 1.2,
+            "energy at 16 cores {e16} should exceed at-knee {e4}"
+        );
     }
 
     #[test]
@@ -466,7 +499,11 @@ mod tests {
         let mut sim = SimRuntime::new(machine(4, 1e9, 1e9));
         sim.submit_all((0..10).map(|_| SimTask::new("t", 1e6, 1e6)));
         let r = sim.run_until_idle();
-        assert!(r.mean_power_w() >= 10.0 - 1e-9, "mean power {}", r.mean_power_w());
+        assert!(
+            r.mean_power_w() >= 10.0 - 1e-9,
+            "mean power {}",
+            r.mean_power_w()
+        );
     }
 
     #[test]
@@ -479,7 +516,11 @@ mod tests {
         sim.submit_all((0..8).map(|_| SimTask::new("b", 1e6, 0.0)));
         let r = sim.run_until_idle();
         // 8 tasks, 2 at a time, 1 ms each → 4 ms.
-        assert!((r.elapsed_ns as f64 - 4e6).abs() < 100.0, "elapsed {}", r.elapsed_ns);
+        assert!(
+            (r.elapsed_ns as f64 - 4e6).abs() < 100.0,
+            "elapsed {}",
+            r.elapsed_ns
+        );
     }
 
     #[test]
@@ -575,8 +616,16 @@ mod tests {
         };
         let (t_full, e_full) = run_at(1.0);
         let (t_half, e_half) = run_at(0.5);
-        assert!((t_half / t_full - 1.0).abs() < 0.05, "throughput lost: {} vs {}", t_half, t_full);
-        assert!(e_half < e_full * 0.85, "energy not saved: {e_half} vs {e_full}");
+        assert!(
+            (t_half / t_full - 1.0).abs() < 0.05,
+            "throughput lost: {} vs {}",
+            t_half,
+            t_full
+        );
+        assert!(
+            e_half < e_full * 0.85,
+            "energy not saved: {e_half} vs {e_full}"
+        );
     }
 
     #[test]

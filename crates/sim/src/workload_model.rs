@@ -84,7 +84,10 @@ impl SimWorkload {
     /// # Panics
     /// Panics if `tasks_per_step` is zero.
     pub fn step_batch(&self) -> Vec<SimTask> {
-        assert!(self.tasks_per_step > 0, "workload needs at least one task per step");
+        assert!(
+            self.tasks_per_step > 0,
+            "workload needs at least one task per step"
+        );
         let ops_each = self.ops_per_step / self.tasks_per_step as f64;
         (0..self.tasks_per_step)
             .map(|i| {
@@ -94,7 +97,8 @@ impl SimWorkload {
                     WorkloadKind::Mixed { memory_fraction } => {
                         // Deterministic striping: first `fraction` of slots
                         // are memory-bound.
-                        let cutoff = (self.tasks_per_step as f64 * memory_fraction).round() as usize;
+                        let cutoff =
+                            (self.tasks_per_step as f64 * memory_fraction).round() as usize;
                         if i < cutoff {
                             ops_each * self.bytes_per_op
                         } else {
@@ -181,8 +185,14 @@ mod tests {
 
     #[test]
     fn mixed_extremes() {
-        assert!(SimWorkload::mixed(1e8, 10, 0.0).step_batch().iter().all(|t| t.bytes == 0.0));
-        assert!(SimWorkload::mixed(1e8, 10, 1.0).step_batch().iter().all(|t| t.bytes > 0.0));
+        assert!(SimWorkload::mixed(1e8, 10, 0.0)
+            .step_batch()
+            .iter()
+            .all(|t| t.bytes == 0.0));
+        assert!(SimWorkload::mixed(1e8, 10, 1.0)
+            .step_batch()
+            .iter()
+            .all(|t| t.bytes > 0.0));
     }
 
     #[test]

@@ -30,7 +30,13 @@ pub struct AnnealConfig {
 
 impl Default for AnnealConfig {
     fn default() -> Self {
-        Self { t0: 1.0, cooling: 0.97, t_min: 1e-4, budget: 500, max_step: 2 }
+        Self {
+            t0: 1.0,
+            cooling: 0.97,
+            t_min: 1e-4,
+            budget: 500,
+            max_step: 2,
+        }
     }
 }
 
@@ -55,7 +61,10 @@ impl SimulatedAnnealing {
     /// outside `(0, 1)`).
     pub fn new(space: Space, cfg: AnnealConfig, seed: u64) -> Self {
         assert!(cfg.budget > 0, "budget must be positive");
-        assert!(cfg.cooling > 0.0 && cfg.cooling < 1.0, "cooling must be in (0, 1)");
+        assert!(
+            cfg.cooling > 0.0 && cfg.cooling < 1.0,
+            "cooling must be in (0, 1)"
+        );
         assert!(cfg.max_step >= 1, "max_step must be at least 1");
         let center = space.center();
         let current = space.levels_of(&center).expect("center must be on lattice");
@@ -125,7 +134,9 @@ impl Search for SimulatedAnnealing {
 
     fn report(&mut self, point: &Point, objective: f64) {
         self.tracker.observe(point, objective);
-        let Some(levels) = self.space.levels_of(point) else { return };
+        let Some(levels) = self.space.levels_of(point) else {
+            return;
+        };
         let matches_pending = self.pending.as_deref() == Some(levels.as_slice());
         if !matches_pending {
             return; // opportunistic report: tracked, not part of the walk
@@ -181,7 +192,11 @@ mod tests {
     #[test]
     fn respects_budget() {
         let space = Space::new(vec![Dim::range("x", 0, 100, 1)]);
-        let cfg = AnnealConfig { budget: 50, t_min: 0.0, ..Default::default() };
+        let cfg = AnnealConfig {
+            budget: 50,
+            t_min: 0.0,
+            ..Default::default()
+        };
         let mut sa = SimulatedAnnealing::new(space, cfg, 1);
         let evals = drive(&mut sa, |_| 1.0);
         assert_eq!(evals, 50);
@@ -191,7 +206,12 @@ mod tests {
     #[test]
     fn finds_unimodal_minimum() {
         let space = Space::new(vec![Dim::range("x", 0, 100, 1)]);
-        let cfg = AnnealConfig { t0: 100.0, cooling: 0.98, budget: 400, ..Default::default() };
+        let cfg = AnnealConfig {
+            t0: 100.0,
+            cooling: 0.98,
+            budget: 400,
+            ..Default::default()
+        };
         let mut sa = SimulatedAnnealing::new(space, cfg, 42);
         drive(&mut sa, |p| ((p[0] - 61) * (p[0] - 61)) as f64);
         let (best, _) = sa.best().unwrap();
@@ -216,7 +236,13 @@ mod tests {
         let mut found_global = 0;
         let seeds = 10;
         for seed in 0..seeds {
-            let cfg = AnnealConfig { t0: 40.0, cooling: 0.995, budget: 2000, max_step: 8, ..Default::default() };
+            let cfg = AnnealConfig {
+                t0: 40.0,
+                cooling: 0.995,
+                budget: 2000,
+                max_step: 8,
+                ..Default::default()
+            };
             let mut sa = SimulatedAnnealing::new(space.clone(), cfg, seed);
             drive(&mut sa, f);
             let (best, _) = sa.best().unwrap();
@@ -224,7 +250,10 @@ mod tests {
                 found_global += 1;
             }
         }
-        assert!(found_global >= 6, "global well found on only {found_global}/{seeds} seeds");
+        assert!(
+            found_global >= 6,
+            "global well found on only {found_global}/{seeds} seeds"
+        );
     }
 
     #[test]
@@ -249,7 +278,10 @@ mod tests {
     fn deterministic_given_seed() {
         let run = |seed| {
             let space = Space::new(vec![Dim::range("x", 0, 50, 1), Dim::range("y", 0, 50, 1)]);
-            let cfg = AnnealConfig { budget: 120, ..Default::default() };
+            let cfg = AnnealConfig {
+                budget: 120,
+                ..Default::default()
+            };
             let mut sa = SimulatedAnnealing::new(space, cfg, seed);
             let mut trace = Vec::new();
             while let Some(p) = sa.propose() {
@@ -264,8 +296,14 @@ mod tests {
 
     #[test]
     fn proposals_stay_on_lattice() {
-        let space = Space::new(vec![Dim::pow2("x", 0, 8), Dim::values("y", vec![1, 3, 9, 27])]);
-        let cfg = AnnealConfig { budget: 200, ..Default::default() };
+        let space = Space::new(vec![
+            Dim::pow2("x", 0, 8),
+            Dim::values("y", vec![1, 3, 9, 27]),
+        ]);
+        let cfg = AnnealConfig {
+            budget: 200,
+            ..Default::default()
+        };
         let mut sa = SimulatedAnnealing::new(space.clone(), cfg, 3);
         while let Some(p) = sa.propose() {
             assert!(space.contains(&p), "off-lattice {p:?}");
@@ -276,7 +314,13 @@ mod tests {
     #[test]
     fn t_min_stops_search() {
         let space = Space::new(vec![Dim::range("x", 0, 10, 1)]);
-        let cfg = AnnealConfig { t0: 1.0, cooling: 0.5, t_min: 0.1, budget: 10_000, ..Default::default() };
+        let cfg = AnnealConfig {
+            t0: 1.0,
+            cooling: 0.5,
+            t_min: 0.1,
+            budget: 10_000,
+            ..Default::default()
+        };
         let mut sa = SimulatedAnnealing::new(space, cfg, 0);
         let evals = drive(&mut sa, |_| 1.0);
         // 1.0 * 0.5^k < 0.1 → k = 4 cooling steps (plus the seeding eval).

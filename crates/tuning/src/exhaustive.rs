@@ -20,7 +20,11 @@ pub struct Exhaustive {
 impl Exhaustive {
     /// Creates a sweep over `space`.
     pub fn new(space: Space) -> Self {
-        Self { space, next_index: 0, tracker: BestTracker::default() }
+        Self {
+            space,
+            next_index: 0,
+            tracker: BestTracker::default(),
+        }
     }
 
     fn point_at_index(&self, mut idx: usize) -> Option<Point> {
@@ -74,7 +78,10 @@ mod tests {
     use crate::space::Dim;
 
     fn space_2d() -> Space {
-        Space::new(vec![Dim::range("a", 0, 3, 1), Dim::values("b", vec![10, 20, 30])])
+        Space::new(vec![
+            Dim::range("a", 0, 3, 1),
+            Dim::values("b", vec![10, 20, 30]),
+        ])
     }
 
     #[test]

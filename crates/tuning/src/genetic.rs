@@ -29,7 +29,13 @@ pub struct GeneticConfig {
 
 impl Default for GeneticConfig {
     fn default() -> Self {
-        Self { population: 16, elites: 2, tournament: 3, mutation_rate: 0.15, budget: 400 }
+        Self {
+            population: 16,
+            elites: 2,
+            tournament: 3,
+            mutation_rate: 0.15,
+            budget: 400,
+        }
     }
 }
 
@@ -68,7 +74,10 @@ impl Genetic {
         assert!(cfg.elites < cfg.population, "elites must be < population");
         assert!(cfg.tournament >= 1, "tournament must be at least 1");
         assert!(cfg.budget > 0, "budget must be positive");
-        assert!((0.0..=1.0).contains(&cfg.mutation_rate), "mutation rate in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&cfg.mutation_rate),
+            "mutation rate in [0,1]"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let genomes: Vec<Vec<usize>> = (0..cfg.population)
             .map(|_| {
@@ -192,7 +201,9 @@ impl Search for Genetic {
 
     fn report(&mut self, point: &Point, objective: f64) {
         self.tracker.observe(point, objective);
-        let Some(levels) = self.space.levels_of(point) else { return };
+        let Some(levels) = self.space.levels_of(point) else {
+            return;
+        };
         self.cache.insert(levels.clone(), objective);
         if let Some(i) = self.pending.take() {
             if self.genomes[i] == levels {
@@ -229,7 +240,10 @@ mod tests {
     #[test]
     fn respects_budget() {
         let space = Space::new(vec![Dim::range("x", 0, 1000, 1)]);
-        let cfg = GeneticConfig { budget: 60, ..Default::default() };
+        let cfg = GeneticConfig {
+            budget: 60,
+            ..Default::default()
+        };
         let mut ga = Genetic::new(space, cfg, 1);
         let evals = drive(&mut ga, |p| p[0] as f64);
         assert!(evals <= 60);
@@ -239,7 +253,10 @@ mod tests {
     #[test]
     fn solves_unimodal_2d() {
         let space = Space::new(vec![Dim::range("x", 0, 63, 1), Dim::range("y", 0, 63, 1)]);
-        let cfg = GeneticConfig { budget: 600, ..Default::default() };
+        let cfg = GeneticConfig {
+            budget: 600,
+            ..Default::default()
+        };
         let mut ga = Genetic::new(space, cfg, 5);
         drive(&mut ga, |p| ((p[0] - 50).pow(2) + (p[1] - 9).pow(2)) as f64);
         let (best, y) = ga.best().unwrap();
@@ -255,7 +272,10 @@ mod tests {
             (x - 32.0).abs() + rugged
         };
         let space = Space::new(vec![Dim::range("x", 0, 127, 1)]);
-        let cfg = GeneticConfig { budget: 500, ..Default::default() };
+        let cfg = GeneticConfig {
+            budget: 500,
+            ..Default::default()
+        };
         let mut ga = Genetic::new(space, cfg, 17);
         drive(&mut ga, f);
         let (_, y) = ga.best().unwrap();
@@ -268,7 +288,10 @@ mod tests {
     fn deterministic_given_seed() {
         let run = |seed| {
             let space = Space::new(vec![Dim::range("x", 0, 30, 1), Dim::range("y", 0, 30, 1)]);
-            let cfg = GeneticConfig { budget: 100, ..Default::default() };
+            let cfg = GeneticConfig {
+                budget: 100,
+                ..Default::default()
+            };
             let mut ga = Genetic::new(space, cfg, seed);
             let mut trace = Vec::new();
             while let Some(p) = ga.propose() {
@@ -284,7 +307,12 @@ mod tests {
     #[test]
     fn generations_advance() {
         let space = Space::new(vec![Dim::range("x", 0, 7, 1)]);
-        let cfg = GeneticConfig { population: 4, elites: 1, budget: 40, ..Default::default() };
+        let cfg = GeneticConfig {
+            population: 4,
+            elites: 1,
+            budget: 40,
+            ..Default::default()
+        };
         let mut ga = Genetic::new(space, cfg, 3);
         drive(&mut ga, |p| p[0] as f64);
         assert!(ga.generation() >= 1, "no generation turnover");
@@ -296,7 +324,12 @@ mod tests {
         // by the budget and proposals must not repeat endlessly without
         // progress.
         let space = Space::new(vec![Dim::range("x", 0, 3, 1)]);
-        let cfg = GeneticConfig { population: 8, elites: 2, budget: 30, ..Default::default() };
+        let cfg = GeneticConfig {
+            population: 8,
+            elites: 2,
+            budget: 30,
+            ..Default::default()
+        };
         let mut ga = Genetic::new(space, cfg, 11);
         let mut proposals = 0;
         while let Some(p) = ga.propose() {
@@ -311,7 +344,11 @@ mod tests {
     #[should_panic(expected = "elites must be < population")]
     fn rejects_degenerate_config() {
         let space = Space::new(vec![Dim::range("x", 0, 3, 1)]);
-        let cfg = GeneticConfig { population: 4, elites: 4, ..Default::default() };
+        let cfg = GeneticConfig {
+            population: 4,
+            elites: 4,
+            ..Default::default()
+        };
         let _ = Genetic::new(space, cfg, 0);
     }
 }

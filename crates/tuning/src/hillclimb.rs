@@ -40,7 +40,9 @@ impl HillClimb {
     /// Creates a climber starting from `start` (snapped to the lattice).
     pub fn from_start(space: Space, start: &[i64]) -> Self {
         let snapped = space.clamp(start);
-        let levels = space.levels_of(&snapped).expect("clamped point must be on lattice");
+        let levels = space
+            .levels_of(&snapped)
+            .expect("clamped point must be on lattice");
         Self {
             space,
             current: levels,
@@ -198,7 +200,11 @@ mod tests {
     fn climbs_2d_quadratic() {
         let space = Space::new(vec![Dim::range("x", 0, 30, 1), Dim::range("y", 0, 30, 1)]);
         let mut hc = HillClimb::new(space);
-        drive(&mut hc, |p| ((p[0] - 4).pow(2) + (p[1] - 27).pow(2)) as f64, 10_000);
+        drive(
+            &mut hc,
+            |p| ((p[0] - 4).pow(2) + (p[1] - 27).pow(2)) as f64,
+            10_000,
+        );
         assert_eq!(hc.best().unwrap().0, vec![4, 27]);
     }
 
@@ -207,7 +213,11 @@ mod tests {
         let space = Space::new(vec![Dim::range("x", 0, 99, 1), Dim::range("y", 0, 99, 1)]);
         let card = space.cardinality();
         let mut hc = HillClimb::new(space);
-        let evals = drive(&mut hc, |p| ((p[0] - 80).pow(2) + (p[1] - 15).pow(2)) as f64, 100_000);
+        let evals = drive(
+            &mut hc,
+            |p| ((p[0] - 80).pow(2) + (p[1] - 15).pow(2)) as f64,
+            100_000,
+        );
         assert_eq!(hc.best().unwrap().0, vec![80, 15]);
         assert!(evals < card / 10, "evals {evals} vs lattice {card}");
     }

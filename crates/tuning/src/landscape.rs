@@ -14,7 +14,11 @@ pub type Objective = Box<dyn FnMut(&Point) -> f64 + Send>;
 
 /// Smooth unimodal bowl centered at `center`: `Σ wᵢ (xᵢ - cᵢ)²`.
 pub fn sphere(center: Vec<i64>, weights: Vec<f64>) -> Objective {
-    assert_eq!(center.len(), weights.len(), "center/weights length mismatch");
+    assert_eq!(
+        center.len(),
+        weights.len(),
+        "center/weights length mismatch"
+    );
     Box::new(move |p: &Point| {
         p.iter()
             .zip(&center)
@@ -137,7 +141,10 @@ mod tests {
             let a = f1(&p);
             let b = f2(&p);
             assert_eq!(a, b, "same seed and call index must agree");
-            assert!((a - clean).abs() <= 0.1 * clean + 1e-9, "noise out of bounds: {a}");
+            assert!(
+                (a - clean).abs() <= 0.1 * clean + 1e-9,
+                "noise out of bounds: {a}"
+            );
         }
     }
 

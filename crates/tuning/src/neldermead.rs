@@ -28,7 +28,9 @@ enum State {
     /// Waiting for the expanded point's value.
     AwaitExpand,
     /// Waiting for the contracted point's value.
-    AwaitContract { outside: bool },
+    AwaitContract {
+        outside: bool,
+    },
     /// Re-evaluating shrunk vertex `k` (1-indexed; vertex 0 is the best).
     Shrink(usize),
     Done,
@@ -213,7 +215,11 @@ impl Search for NelderMead {
                     // Contract.
                     let centroid = self.expanded.clone();
                     let outside = yr < yworst;
-                    let toward = if outside { &self.reflected.0 } else { &self.vertices[n].0 };
+                    let toward = if outside {
+                        &self.reflected.0
+                    } else {
+                        &self.vertices[n].0
+                    };
                     let xc: Vec<f64> = centroid
                         .iter()
                         .zip(toward)
@@ -235,7 +241,11 @@ impl Search for NelderMead {
             }
             State::AwaitContract { outside } => {
                 let yc = objective;
-                let limit = if outside { self.reflected.1 } else { self.vertices[n].1 };
+                let limit = if outside {
+                    self.reflected.1
+                } else {
+                    self.vertices[n].1
+                };
                 if yc <= limit {
                     self.vertices[n] = (self.contracted.clone(), yc);
                     self.iterate();
@@ -306,7 +316,10 @@ mod tests {
             ((p[0] - 20).pow(2) + 3 * (p[1] - 70).pow(2)) as f64
         });
         let (best, _) = nm.best().unwrap();
-        assert!((best[0] - 20).abs() <= 2 && (best[1] - 70).abs() <= 2, "best {best:?}");
+        assert!(
+            (best[0] - 20).abs() <= 2 && (best[1] - 70).abs() <= 2,
+            "best {best:?}"
+        );
         assert!(evals <= 300);
     }
 

@@ -25,7 +25,13 @@ impl RandomSearch {
     /// Panics if `budget` is zero.
     pub fn new(space: Space, budget: usize, seed: u64) -> Self {
         assert!(budget > 0, "budget must be positive");
-        Self { space, rng: StdRng::seed_from_u64(seed), budget, proposed: 0, tracker: BestTracker::default() }
+        Self {
+            space,
+            rng: StdRng::seed_from_u64(seed),
+            budget,
+            proposed: 0,
+            tracker: BestTracker::default(),
+        }
     }
 }
 

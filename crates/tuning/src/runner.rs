@@ -45,7 +45,13 @@ pub fn minimize(
         .position(|(_, y)| *y <= best_value)
         .map(|i| i + 1)
         .unwrap_or(trace.len());
-    Some(TuneResult { best_point, best_value, evals: trace.len(), trace, evals_to_best })
+    Some(TuneResult {
+        best_point,
+        best_value,
+        evals: trace.len(),
+        trace,
+        evals_to_best,
+    })
 }
 
 #[cfg(test)]

@@ -27,7 +27,10 @@ impl Dim {
         assert!(step > 0, "step must be positive");
         assert!(lo <= hi, "lo must be <= hi");
         let values: Vec<i64> = (lo..=hi).step_by(step as usize).collect();
-        Self { name: name.into(), values }
+        Self {
+            name: name.into(),
+            values,
+        }
     }
 
     /// A dimension over an explicit, strictly increasing value list.
@@ -40,7 +43,10 @@ impl Dim {
             values.windows(2).all(|w| w[0] < w[1]),
             "dimension values must be strictly increasing"
         );
-        Self { name: name.into(), values }
+        Self {
+            name: name.into(),
+            values,
+        }
     }
 
     /// A dimension over powers of two `2^lo_exp ..= 2^hi_exp`.
@@ -168,7 +174,10 @@ impl Space {
     /// The center of the lattice (middle level of each dimension) — the
     /// conventional cold-start point for online tuners.
     pub fn center(&self) -> Point {
-        self.dims.iter().map(|d| d.value_at(d.cardinality() / 2)).collect()
+        self.dims
+            .iter()
+            .map(|d| d.value_at(d.cardinality() / 2))
+            .collect()
     }
 
     /// All lattice neighbors of `levels` at L1 level-distance exactly 1
@@ -192,7 +201,11 @@ impl Space {
 
     /// Iterates over every lattice point in lexicographic level order.
     pub fn iter_points(&self) -> SpaceIter<'_> {
-        SpaceIter { space: self, levels: vec![0; self.dims.len()], done: false }
+        SpaceIter {
+            space: self,
+            levels: vec![0; self.dims.len()],
+            done: false,
+        }
     }
 }
 

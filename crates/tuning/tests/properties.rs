@@ -9,17 +9,15 @@ use lg_tuning::{
 use proptest::prelude::*;
 
 fn arb_space() -> impl Strategy<Value = Space> {
-    (
-        (0i64..10, 1i64..30, 1i64..4),
-        proptest::option::of(0u32..6),
-    )
-        .prop_map(|((lo, extent, step), pow2)| {
+    ((0i64..10, 1i64..30, 1i64..4), proptest::option::of(0u32..6)).prop_map(
+        |((lo, extent, step), pow2)| {
             let mut dims = vec![Dim::range("a", lo, lo + extent, step)];
             if let Some(e) = pow2 {
                 dims.push(Dim::pow2("b", 0, e));
             }
             Space::new(dims)
-        })
+        },
+    )
 }
 
 proptest! {

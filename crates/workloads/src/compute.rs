@@ -21,8 +21,15 @@ impl ComputeKernel {
     /// # Panics
     /// Panics if `n` or `iters` is zero.
     pub fn new(n: usize, iters: usize) -> Self {
-        assert!(n > 0 && iters > 0, "kernel needs positive size and iterations");
-        Self { n, iters, out: vec![0.0; n] }
+        assert!(
+            n > 0 && iters > 0,
+            "kernel needs positive size and iterations"
+        );
+        Self {
+            n,
+            iters,
+            out: vec![0.0; n],
+        }
     }
 
     /// The per-element function: `iters` rounds of a contraction map.
@@ -96,7 +103,10 @@ mod tests {
     use lg_runtime::PoolConfig;
 
     fn pool(workers: usize) -> ThreadPool {
-        ThreadPool::new(LookingGlass::builder().build(), PoolConfig::with_workers(workers))
+        ThreadPool::new(
+            LookingGlass::builder().build(),
+            PoolConfig::with_workers(workers),
+        )
     }
 
     #[test]
@@ -105,7 +115,10 @@ mod tests {
         let b = ComputeKernel::element(17, 100);
         assert_eq!(a, b);
         assert!(a.is_finite());
-        assert!((0.0..2.0).contains(&a), "contraction keeps values bounded: {a}");
+        assert!(
+            (0.0..2.0).contains(&a),
+            "contraction keeps values bounded: {a}"
+        );
     }
 
     #[test]

@@ -83,7 +83,10 @@ mod tests {
     use lg_runtime::{PoolConfig, ThreadPool};
 
     fn pool(workers: usize) -> ThreadPool {
-        ThreadPool::new(LookingGlass::builder().build(), PoolConfig::with_workers(workers))
+        ThreadPool::new(
+            LookingGlass::builder().build(),
+            PoolConfig::with_workers(workers),
+        )
     }
 
     #[test]

@@ -37,17 +37,28 @@ impl ParcelStorm {
     /// Creates a steady storm.
     pub fn steady(rate_per_sec: f64, payload_bytes: usize, seed: u64) -> Self {
         assert!(rate_per_sec > 0.0, "rate must be positive");
-        Self { rate_per_sec, payload_bytes, shape: StormShape::Steady, seed }
+        Self {
+            rate_per_sec,
+            payload_bytes,
+            shape: StormShape::Steady,
+            seed,
+        }
     }
 
     /// Creates a bursty storm.
     pub fn bursty(rate_per_sec: f64, payload_bytes: usize, seed: u64) -> Self {
-        Self { shape: StormShape::Bursty, ..Self::steady(rate_per_sec, payload_bytes, seed) }
+        Self {
+            shape: StormShape::Bursty,
+            ..Self::steady(rate_per_sec, payload_bytes, seed)
+        }
     }
 
     /// Creates a trickle storm.
     pub fn trickle(rate_per_sec: f64, payload_bytes: usize, seed: u64) -> Self {
-        Self { shape: StormShape::Trickle, ..Self::steady(rate_per_sec, payload_bytes, seed) }
+        Self {
+            shape: StormShape::Trickle,
+            ..Self::steady(rate_per_sec, payload_bytes, seed)
+        }
     }
 
     /// Generates the arrival schedule for `count` parcels: strictly

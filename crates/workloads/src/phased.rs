@@ -65,7 +65,7 @@ impl PhasedWorkload {
     pub fn step(&mut self, pool: &ThreadPool, chunk: usize) -> PhaseKind {
         let phase = self.current_phase();
         let lg = pool.lg().clone();
-        if self.step % self.period == 0 {
+        if self.step.is_multiple_of(self.period) {
             if self.step > 0 {
                 lg.phase_end(match phase {
                     // The *previous* phase just ended.
@@ -88,7 +88,11 @@ impl PhasedWorkload {
 
     /// The simulated twin: memory phase vs compute phase of equal op
     /// volume, alternating every `period` steps.
-    pub fn sim_workload(ops_per_step: f64, tasks_per_step: usize, period: usize) -> PhasedSimWorkload {
+    pub fn sim_workload(
+        ops_per_step: f64,
+        tasks_per_step: usize,
+        period: usize,
+    ) -> PhasedSimWorkload {
         PhasedSimWorkload::new(
             SimWorkload::stencil(ops_per_step, tasks_per_step),
             SimWorkload::compute(ops_per_step, tasks_per_step),
@@ -104,7 +108,10 @@ mod tests {
     use lg_runtime::PoolConfig;
 
     fn pool(workers: usize) -> ThreadPool {
-        ThreadPool::new(LookingGlass::builder().build(), PoolConfig::with_workers(workers))
+        ThreadPool::new(
+            LookingGlass::builder().build(),
+            PoolConfig::with_workers(workers),
+        )
     }
 
     #[test]
@@ -118,7 +125,10 @@ mod tests {
         use PhaseKind::*;
         assert_eq!(
             seen,
-            vec![Memory, Memory, Memory, Compute, Compute, Compute, Memory, Memory, Memory, Compute, Compute, Compute]
+            vec![
+                Memory, Memory, Memory, Compute, Compute, Compute, Memory, Memory, Memory, Compute,
+                Compute, Compute
+            ]
         );
     }
 
@@ -137,8 +147,14 @@ mod tests {
             .map(|r| r.event.kind_str())
             .collect();
         // Steps 0..6 with period 2: begins at step 0, 2, 4; ends at 2, 4.
-        assert_eq!(phase_events.iter().filter(|k| **k == "phase_begin").count(), 3);
-        assert_eq!(phase_events.iter().filter(|k| **k == "phase_end").count(), 2);
+        assert_eq!(
+            phase_events.iter().filter(|k| **k == "phase_begin").count(),
+            3
+        );
+        assert_eq!(
+            phase_events.iter().filter(|k| **k == "phase_end").count(),
+            2
+        );
     }
 
     #[test]

@@ -27,10 +27,19 @@ impl Stencil1d {
     /// Panics if `n < 3` or `k` is not in `(0, 0.5]` (stability bound).
     pub fn new(n: usize, k: f64) -> Self {
         assert!(n >= 3, "stencil needs at least 3 points");
-        assert!(k > 0.0 && k <= 0.5, "diffusion constant must be in (0, 0.5] for stability");
+        assert!(
+            k > 0.0 && k <= 0.5,
+            "diffusion constant must be in (0, 0.5] for stability"
+        );
         let mut u = vec![0.0; n];
         u[0] = 1.0;
-        Self { n, k, bufs: [u.clone(), u], front: 0, steps_done: 0 }
+        Self {
+            n,
+            k,
+            bufs: [u.clone(), u],
+            front: 0,
+            steps_done: 0,
+        }
     }
 
     /// Number of points.
@@ -156,7 +165,10 @@ mod tests {
     use lg_runtime::PoolConfig;
 
     fn pool(workers: usize) -> ThreadPool {
-        ThreadPool::new(LookingGlass::builder().build(), PoolConfig::with_workers(workers))
+        ThreadPool::new(
+            LookingGlass::builder().build(),
+            PoolConfig::with_workers(workers),
+        )
     }
 
     #[test]

@@ -25,10 +25,20 @@ impl Stencil2d {
     /// (2-D stability bound).
     pub fn new(rows: usize, cols: usize, k: f64) -> Self {
         assert!(rows >= 3 && cols >= 3, "grid must be at least 3x3");
-        assert!(k > 0.0 && k <= 0.25, "diffusion constant must be in (0, 0.25] for 2-D stability");
+        assert!(
+            k > 0.0 && k <= 0.25,
+            "diffusion constant must be in (0, 0.25] for 2-D stability"
+        );
         let mut u = vec![0.0; rows * cols];
         u[..cols].fill(1.0);
-        Self { rows, cols, k, bufs: [u.clone(), u], front: 0, steps_done: 0 }
+        Self {
+            rows,
+            cols,
+            k,
+            bufs: [u.clone(), u],
+            front: 0,
+            steps_done: 0,
+        }
     }
 
     /// Grid rows.
@@ -156,7 +166,10 @@ mod tests {
     use lg_runtime::PoolConfig;
 
     fn pool(workers: usize) -> ThreadPool {
-        ThreadPool::new(LookingGlass::builder().build(), PoolConfig::with_workers(workers))
+        ThreadPool::new(
+            LookingGlass::builder().build(),
+            PoolConfig::with_workers(workers),
+        )
     }
 
     #[test]

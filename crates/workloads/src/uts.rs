@@ -23,7 +23,11 @@ pub struct UtsParams {
 
 impl Default for UtsParams {
     fn default() -> Self {
-        Self { seed: 42, branch_scale: 4, max_depth: 12 }
+        Self {
+            seed: 42,
+            branch_scale: 4,
+            max_depth: 12,
+        }
     }
 }
 
@@ -109,7 +113,10 @@ mod tests {
     use lg_runtime::PoolConfig;
 
     fn pool(workers: usize) -> ThreadPool {
-        ThreadPool::new(LookingGlass::builder().build(), PoolConfig::with_workers(workers))
+        ThreadPool::new(
+            LookingGlass::builder().build(),
+            PoolConfig::with_workers(workers),
+        )
     }
 
     #[test]
@@ -126,8 +133,14 @@ mod tests {
 
     #[test]
     fn different_seeds_different_trees() {
-        let a = count_seq(&UtsParams { seed: 1, ..Default::default() });
-        let b = count_seq(&UtsParams { seed: 2, ..Default::default() });
+        let a = count_seq(&UtsParams {
+            seed: 1,
+            ..Default::default()
+        });
+        let b = count_seq(&UtsParams {
+            seed: 2,
+            ..Default::default()
+        });
         assert_ne!(a, b);
     }
 
@@ -147,14 +160,23 @@ mod tests {
 
     #[test]
     fn depth_bound_respected() {
-        let params = UtsParams { max_depth: 0, ..Default::default() };
+        let params = UtsParams {
+            max_depth: 0,
+            ..Default::default()
+        };
         assert_eq!(count_seq(&params), 1);
     }
 
     #[test]
     fn larger_branch_scale_grows_tree() {
-        let small = count_seq(&UtsParams { branch_scale: 2, ..Default::default() });
-        let big = count_seq(&UtsParams { branch_scale: 6, ..Default::default() });
+        let small = count_seq(&UtsParams {
+            branch_scale: 2,
+            ..Default::default()
+        });
+        let big = count_seq(&UtsParams {
+            branch_scale: 6,
+            ..Default::default()
+        });
         assert!(big > small, "big {big} vs small {small}");
     }
 

@@ -24,10 +24,7 @@ fn main() {
     );
 
     let mut sim = SimRuntime::new(spec);
-    let space = Space::new(vec![Dim::values(
-        "thread_cap",
-        vec![1, 2, 4, 8, 16, 32],
-    )]);
+    let space = Space::new(vec![Dim::values("thread_cap", vec![1, 2, 4, 8, 16, 32])]);
     let search = Box::new(HillClimb::from_start(space, &[32]));
     let mut session = TuningSession::new(
         SessionConfig::single("thread_cap", 0, 0),
@@ -84,5 +81,8 @@ fn main() {
         prof.count,
         prof.mean_ns / 1e3
     );
-    println!("total energy: {:.2} J over the whole session", sim.total_energy_j());
+    println!(
+        "total energy: {:.2} J over the whole session",
+        sim.total_energy_j()
+    );
 }

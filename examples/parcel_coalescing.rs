@@ -49,8 +49,10 @@ fn main() {
     let mut epoch_idx = 0usize;
     println!("epoch  window  mean_latency_us");
 
-    let handle = |link: &mut SimLink, msg: &looking_glass::net::coalesce::WireMessage,
-                      count: &mut usize, lat_sum: &mut f64| {
+    let handle = |link: &mut SimLink,
+                  msg: &looking_glass::net::coalesce::WireMessage,
+                  count: &mut usize,
+                  lat_sum: &mut f64| {
         for d in link.transmit(msg, |seq| offer_times[seq as usize]) {
             *count += 1;
             *lat_sum += (d.arrived_ns - offer_times[d.seq as usize]) as f64;
@@ -110,5 +112,8 @@ fn main() {
     println!("wire messages     : {}", r.wire_messages);
     println!("mean coalesce     : {:.1} parcels/message", r.mean_coalesce);
     println!("mean latency      : {:.1} us", r.mean_latency_ns / 1e3);
-    println!("p99 latency       : {:.1} us", r.p99_latency_ns as f64 / 1e3);
+    println!(
+        "p99 latency       : {:.1} us",
+        r.p99_latency_ns as f64 / 1e3
+    );
 }

@@ -16,7 +16,10 @@ use looking_glass::sim::{MachineSpec, SimRuntime, SimWorkload};
 use looking_glass::tuning::{Dim, HillClimb, Space};
 
 fn pow2_caps(cores: usize) -> Vec<i64> {
-    (0..).map(|e| 1i64 << e).take_while(|&c| c <= cores as i64).collect()
+    (0..)
+        .map(|e| 1i64 << e)
+        .take_while(|&c| c <= cores as i64)
+        .collect()
 }
 
 fn main() {
@@ -43,7 +46,8 @@ fn main() {
             last_phase = phase;
             let current = sim.lg().knobs().value("thread_cap").unwrap_or(32);
             let space = Space::new(vec![Dim::values("thread_cap", pow2_caps(spec.cores))]);
-            let search = Box::new(HillClimb::from_start(space, &[current]).with_min_improvement(0.01));
+            let search =
+                Box::new(HillClimb::from_start(space, &[current]).with_min_improvement(0.01));
             session = Some(TuningSession::new(
                 SessionConfig::single("thread_cap", 0, 0),
                 search,
@@ -80,7 +84,7 @@ fn main() {
                 }
             }
         }
-        if step % 5 == 0 || note == "searching" {
+        if step.is_multiple_of(5) || note == "searching" {
             println!(
                 "{:>4}  {:<8}  {:>3}  {}",
                 step,

@@ -21,7 +21,12 @@ fn main() {
     let lg = LookingGlass::builder().build();
     let pool = Arc::new(ThreadPool::new(
         lg.clone(),
-        PoolConfig { workers: 8, spin_rounds: 8, register_knobs: true },
+        PoolConfig {
+            workers: 8,
+            spin_rounds: 8,
+            register_knobs: true,
+            faults: None,
+        },
     ));
 
     // Introspection: retain sampled metrics.
@@ -40,7 +45,10 @@ fn main() {
     }))];
     let sink_lg = lg.clone();
     let sampler = Sampler::start(
-        SamplerConfig { period: Duration::from_millis(2), sample_immediately: true },
+        SamplerConfig {
+            period: Duration::from_millis(2),
+            sample_immediately: true,
+        },
         power_source,
         move |_t, name, v| sink_lg.sample(name, v),
     );

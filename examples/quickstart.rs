@@ -65,13 +65,16 @@ fn main() {
         }),
         Box::new(|e| matches!(e, Event::PhaseBegin { .. })),
     );
-    println!("\nthread_cap before phase: {:?}", lg.knobs().value("thread_cap"));
-    lg.phase_begin("memory-bound-phase");
-    println!("thread_cap after phase:  {:?}", lg.knobs().value("thread_cap"));
     println!(
-        "knob actuations logged: {:?}",
-        lg.knobs().changes()
+        "\nthread_cap before phase: {:?}",
+        lg.knobs().value("thread_cap")
     );
+    lg.phase_begin("memory-bound-phase");
+    println!(
+        "thread_cap after phase:  {:?}",
+        lg.knobs().value("thread_cap")
+    );
+    println!("knob actuations logged: {:?}", lg.knobs().changes());
 
     // The trace listener kept the most recent events for post-mortem use.
     let trace = lg.trace().unwrap();

@@ -1,0 +1,240 @@
+//! Work-stealing deque and injector.
+//!
+//! Lock-based but lock-shaped like crossbeam: a [`Worker`] owns a deque
+//! other threads can steal from via [`Stealer`] handles, and an
+//! [`Injector`] is a shared MPMC task pool supporting batch steals. The
+//! `Steal::Retry` variant exists for API compatibility; this
+//! implementation never needs to report it.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// Result of a steal attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// A task was stolen.
+    Success(T),
+    /// Nothing to steal.
+    Empty,
+    /// Transient contention; try again (never produced here, kept for
+    /// interface parity with crossbeam).
+    Retry,
+}
+
+/// A worker-owned deque; `push`/`pop` from the owner, steals from others.
+pub struct Worker<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+/// Stealing handle onto a [`Worker`]'s deque.
+pub struct Stealer<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Worker<T> {
+    /// Creates a FIFO worker deque (owner pops oldest first).
+    pub fn new_fifo() -> Self {
+        Self {
+            queue: Arc::new(Mutex::new(VecDeque::new())),
+        }
+    }
+
+    /// Creates a LIFO worker deque (owner pops newest first). This shim
+    /// stores both the same way; owners of FIFO deques pop the front.
+    pub fn new_lifo() -> Self {
+        Self::new_fifo()
+    }
+
+    /// Pushes a task onto the owner's end.
+    pub fn push(&self, task: T) {
+        self.queue
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push_back(task);
+    }
+
+    /// Pops the owner's next task.
+    pub fn pop(&self) -> Option<T> {
+        self.queue
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop_front()
+    }
+
+    /// True if the deque is empty right now.
+    pub fn is_empty(&self) -> bool {
+        self.queue
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .is_empty()
+    }
+
+    /// Creates a stealing handle.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            queue: self.queue.clone(),
+        }
+    }
+}
+
+impl<T> Stealer<T> {
+    /// Steals one task from the opposite end of the owner.
+    pub fn steal(&self) -> Steal<T> {
+        match self
+            .queue
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop_back()
+        {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Self {
+            queue: self.queue.clone(),
+        }
+    }
+}
+
+/// Shared MPMC injection queue.
+pub struct Injector<T> {
+    queue: Mutex<VecDeque<T>>,
+}
+
+impl<T> Injector<T> {
+    /// Creates an empty injector.
+    pub fn new() -> Self {
+        Self {
+            queue: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Pushes a task.
+    pub fn push(&self, task: T) {
+        self.queue
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push_back(task);
+    }
+
+    /// True if nothing is queued right now.
+    pub fn is_empty(&self) -> bool {
+        self.queue
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .is_empty()
+    }
+
+    /// Steals a batch of tasks into `dest` and pops one of them.
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+        let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        let first = match q.pop_front() {
+            Some(t) => t,
+            None => return Steal::Empty,
+        };
+        // Move up to half of the remainder (capped) to the destination,
+        // mirroring crossbeam's batch sizing intent.
+        let batch = (q.len() / 2).min(16);
+        if batch > 0 {
+            let mut dq = dest.queue.lock().unwrap_or_else(|e| e.into_inner());
+            for _ in 0..batch {
+                match q.pop_front() {
+                    Some(t) => dq.push_back(t),
+                    None => break,
+                }
+            }
+        }
+        Steal::Success(first)
+    }
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_push_pop_fifo() {
+        let w = Worker::new_fifo();
+        w.push(1);
+        w.push(2);
+        assert_eq!(w.pop(), Some(1));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn stealer_takes_from_other_end() {
+        let w = Worker::new_fifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        assert_eq!(s.steal(), Steal::Success(2));
+        assert_eq!(w.pop(), Some(1));
+        assert_eq!(s.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn injector_batch_moves_tasks() {
+        let inj = Injector::new();
+        for i in 0..10 {
+            inj.push(i);
+        }
+        let w = Worker::new_fifo();
+        assert_eq!(inj.steal_batch_and_pop(&w), Steal::Success(0));
+        assert!(!w.is_empty(), "batch should have landed in the worker");
+        let mut total = 1 + {
+            let mut n = 0;
+            while w.pop().is_some() {
+                n += 1;
+            }
+            n
+        };
+        while let Steal::Success(_) = inj.steal_batch_and_pop(&w) {
+            total += 1;
+            while w.pop().is_some() {
+                total += 1;
+            }
+        }
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn concurrent_steals_conserve_tasks() {
+        let inj = Arc::new(Injector::new());
+        for i in 0..1000 {
+            inj.push(i);
+        }
+        let counts: Vec<_> = (0..4)
+            .map(|_| {
+                let inj = inj.clone();
+                std::thread::spawn(move || {
+                    let w = Worker::new_fifo();
+                    let mut n = 0u64;
+                    loop {
+                        match inj.steal_batch_and_pop(&w) {
+                            Steal::Success(_) => n += 1,
+                            Steal::Retry => continue,
+                            Steal::Empty => break,
+                        }
+                        while w.pop().is_some() {
+                            n += 1;
+                        }
+                    }
+                    n
+                })
+            })
+            .collect();
+        let total: u64 = counts.into_iter().map(|t| t.join().unwrap()).sum();
+        assert_eq!(total, 1000);
+    }
+}

@@ -1,0 +1,13 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides the two APIs this workspace uses — `channel::unbounded` and
+//! `deque::{Injector, Worker, Stealer}` — implemented over `std::sync`
+//! primitives. Semantics (MPMC cloneable endpoints, `Steal` result enum,
+//! batch-steal) match crossbeam; performance is adequate for tests and
+//! experiments, and the interface lets the real crate drop back in when a
+//! registry is reachable.
+
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod deque;

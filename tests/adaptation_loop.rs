@@ -6,7 +6,9 @@
 //! a real `parallel_for` chunk knob.
 
 use looking_glass::core::policy::{FnPolicy, PolicyDecision, Trigger};
-use looking_glass::core::{Clock as _, Event, Knob as _, LookingGlass, SessionConfig, SessionStep, TuningSession};
+use looking_glass::core::{
+    Clock as _, Event, Knob as _, LookingGlass, SessionConfig, SessionStep, TuningSession,
+};
 use looking_glass::runtime::{PoolConfig, ThreadPool};
 use looking_glass::sim::{MachineSpec, SimRuntime, SimWorkload};
 use looking_glass::tuning::{Dim, HillClimb, Space};
@@ -15,7 +17,15 @@ use looking_glass::workloads::Stencil1d;
 #[test]
 fn policy_throttles_real_pool_on_sample_threshold() {
     let lg = LookingGlass::builder().build();
-    let pool = ThreadPool::new(lg.clone(), PoolConfig { workers: 4, spin_rounds: 2, register_knobs: true });
+    let pool = ThreadPool::new(
+        lg.clone(),
+        PoolConfig {
+            workers: 4,
+            spin_rounds: 2,
+            register_knobs: true,
+            faults: None,
+        },
+    );
     // Policy: if a "power" sample exceeds 100 W, halve the thread cap.
     lg.policy_engine().register_triggered(
         FnPolicy::new("power-guard", |_, trigger| {
@@ -32,7 +42,11 @@ fn policy_throttles_real_pool_on_sample_threshold() {
     lg.sample("power", 80.0);
     assert_eq!(pool.thread_cap().current(), 4, "below threshold: no action");
     lg.sample("power", 130.0);
-    assert_eq!(pool.thread_cap().current(), 2, "policy must actuate the pool");
+    assert_eq!(
+        pool.thread_cap().current(),
+        2,
+        "policy must actuate the pool"
+    );
     // Work still completes under the throttled cap.
     pool.scope(|s| {
         for _ in 0..50 {
@@ -67,7 +81,11 @@ fn sim_session_converges_and_profiles_agree() {
         }
     };
     // Converged to a throttled cap (memory-bound), not the full machine.
-    assert!(best.0[0] < 32, "memory-bound workload should throttle: {:?}", best.0);
+    assert!(
+        best.0[0] < 32,
+        "memory-bound workload should throttle: {:?}",
+        best.0
+    );
     assert!(best.0[0] >= 2, "but not strangle: {:?}", best.0);
     // The profiler saw exactly the tasks the session ran.
     let prof = sim.lg().profiles().get("stencil").unwrap();
@@ -92,15 +110,25 @@ fn real_chunk_tuning_session_reaches_sane_chunk() {
             SessionStep::Done { best } => break best.unwrap(),
             SessionStep::Measure { .. } => {
                 let chunk = knob.get().max(1) as usize;
-                let t0 = std::time::Instant::now();
-                stencil.step_parallel(&pool, chunk);
-                session.complete(t0.elapsed().as_secs_f64());
+                // Best of two: a single wall-clock sample on a loaded host
+                // is noisy enough to stall the hill climb prematurely.
+                let mut best_t = f64::INFINITY;
+                for _ in 0..2 {
+                    let t0 = std::time::Instant::now();
+                    stencil.step_parallel(&pool, chunk);
+                    best_t = best_t.min(t0.elapsed().as_secs_f64());
+                }
+                session.complete(best_t);
             }
         }
     };
     // On any host, chunk=1 for a 40k-point stencil (one task per point!)
     // is dreadful; the tuner must move well away from it.
-    assert!(best.0[0] >= 16, "tuner stayed at pathological chunk {:?}", best.0);
+    assert!(
+        best.0[0] >= 16,
+        "tuner stayed at pathological chunk {:?}",
+        best.0
+    );
     // The stencil still computed the right thing while being tuned.
     assert!(stencil.state().iter().all(|v| (0.0..=1.0).contains(v)));
 }
@@ -141,10 +169,11 @@ fn periodic_policy_ticks_under_virtual_time() {
     // Policies stepped manually with virtual timestamps — the simulation
     // path — fire on schedule without any wall-clock thread.
     let lg = LookingGlass::builder().build();
-    lg.knobs().register(looking_glass::core::knob::AtomicKnob::new(
-        looking_glass::core::KnobSpec::new("k", 0, 100),
-        0,
-    ));
+    lg.knobs()
+        .register(looking_glass::core::knob::AtomicKnob::new(
+            looking_glass::core::KnobSpec::new("k", 0, 100),
+            0,
+        ));
     let engine = lg.policy_engine();
     engine.register_periodic(
         FnPolicy::new("bump", |_, _| PolicyDecision::set("k", 7)),

@@ -12,7 +12,15 @@ use std::sync::Arc;
 
 fn pool_with(workers: usize) -> (Arc<LookingGlass>, ThreadPool) {
     let lg = LookingGlass::builder().trace(1 << 14).build();
-    let pool = ThreadPool::new(lg.clone(), PoolConfig { workers, spin_rounds: 4, register_knobs: true });
+    let pool = ThreadPool::new(
+        lg.clone(),
+        PoolConfig {
+            workers,
+            spin_rounds: 4,
+            register_knobs: true,
+            faults: None,
+        },
+    );
     (lg, pool)
 }
 
@@ -67,7 +75,10 @@ fn trace_sequence_numbers_are_gapless_for_small_runs() {
     });
     pool.wait_idle();
     let recs = lg.trace().unwrap().records();
-    assert!(recs.windows(2).all(|w| w[0].seq < w[1].seq), "non-monotone seq");
+    assert!(
+        recs.windows(2).all(|w| w[0].seq < w[1].seq),
+        "non-monotone seq"
+    );
     assert_eq!(lg.trace().unwrap().overwritten(), 0);
     // Worker start + N begin + N end events at minimum.
     assert!(recs.len() >= 21);
@@ -112,7 +123,10 @@ fn concurrency_listener_never_goes_negative_under_load() {
         }
     });
     pool.wait_idle();
-    assert!(min_seen.load(Ordering::Relaxed) >= 0, "active task count went negative");
+    assert!(
+        min_seen.load(Ordering::Relaxed) >= 0,
+        "active task count went negative"
+    );
 }
 
 #[test]
@@ -135,8 +149,24 @@ fn panicking_tasks_do_not_corrupt_profiles() {
 #[test]
 fn two_pools_one_instance_share_observation() {
     let lg = LookingGlass::builder().build();
-    let a = ThreadPool::new(lg.clone(), PoolConfig { workers: 2, spin_rounds: 2, register_knobs: false });
-    let b = ThreadPool::new(lg.clone(), PoolConfig { workers: 2, spin_rounds: 2, register_knobs: false });
+    let a = ThreadPool::new(
+        lg.clone(),
+        PoolConfig {
+            workers: 2,
+            spin_rounds: 2,
+            register_knobs: false,
+            faults: None,
+        },
+    );
+    let b = ThreadPool::new(
+        lg.clone(),
+        PoolConfig {
+            workers: 2,
+            spin_rounds: 2,
+            register_knobs: false,
+            faults: None,
+        },
+    );
     a.scope(|s| {
         for _ in 0..10 {
             s.spawn_named("from_a", || {});

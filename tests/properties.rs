@@ -223,7 +223,10 @@ fn hillclimb_always_terminates_on_random_landscapes() {
             h = h.wrapping_mul(0xFF51AFD7ED558CCD);
             hc.report(&p, (h % 1000) as f64);
             evals += 1;
-            assert!(evals < 42 * 42 + 100, "hillclimb failed to terminate (seed {seed})");
+            assert!(
+                evals < 42 * 42 + 100,
+                "hillclimb failed to terminate (seed {seed})"
+            );
         }
     }
 }
