@@ -49,6 +49,25 @@ fn bench_dispatch(c: &mut Criterion) {
     group.finish();
 }
 
+/// Contended dispatch: N emitter threads hammer one dispatcher with the
+/// profiler registered (the Fig 7 scenario). Each iteration runs a full
+/// multi-thread burst via the Fig 7 harness helper, so thread spawn cost
+/// is amortized over thousands of events; the reported time is per burst
+/// — divide by `threads × 5000` for per-event cost.
+fn bench_dispatch_contended(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dispatch_contended");
+    for threads in [2usize, 4, 8] {
+        group.bench_function(format!("profiler_{threads}_threads"), |b| {
+            b.iter(|| {
+                std::hint::black_box(lg_bench::experiments::fig7_dispatch::throughput(
+                    threads, 5_000, true,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_timer(c: &mut Criterion) {
     let lg = LookingGlass::builder().build();
     c.bench_function("timer_full_instance", |b| {
@@ -84,6 +103,6 @@ criterion_group! {
         .warm_up_time(std::time::Duration::from_millis(500))
         .measurement_time(std::time::Duration::from_secs(2))
         .sample_size(30);
-    targets = bench_dispatch, bench_timer, bench_interning
+    targets = bench_dispatch, bench_dispatch_contended, bench_timer, bench_interning
 }
 criterion_main!(benches);

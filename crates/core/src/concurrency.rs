@@ -4,9 +4,16 @@
 //! actually is right now, and how that evolved. This listener maintains
 //! instantaneous gauges (active tasks, online workers) plus a bounded
 //! time series of the active-task count, updated on every lifecycle event.
+//!
+//! The gauges are single atomics (the RMW's return value feeds peak
+//! tracking, which striping cannot provide), but the history — previously
+//! one `Mutex<TimeSeries>` every event serialized on — is striped per
+//! emitting thread and merged by timestamp on read, so the per-event cost
+//! under many emitters is an uncontended lock plus a series push.
 
 use crate::event::Event;
 use crate::listener::Listener;
+use lg_metrics::stripe::{thread_index, CacheAligned, STRIPE_COUNT};
 use lg_metrics::TimeSeries;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicI64, Ordering};
@@ -16,17 +23,23 @@ pub struct ConcurrencyListener {
     active_tasks: AtomicI64,
     online_workers: AtomicI64,
     peak_tasks: AtomicI64,
-    history: Mutex<TimeSeries>,
+    /// Per-thread history stripes; each keeps a full `history_len` window
+    /// so single-threaded emission retains exactly what the unsharded
+    /// implementation did. Reads merge-sort the stripes by timestamp.
+    history: Box<[CacheAligned<Mutex<TimeSeries>>]>,
 }
 
 impl ConcurrencyListener {
-    /// Creates a tracker whose history retains ~`history_len` points.
+    /// Creates a tracker whose history retains ~`history_len` points per
+    /// emitting-thread stripe.
     pub fn new(history_len: usize) -> Self {
         Self {
             active_tasks: AtomicI64::new(0),
             online_workers: AtomicI64::new(0),
             peak_tasks: AtomicI64::new(0),
-            history: Mutex::new(TimeSeries::new(history_len.max(4))),
+            history: (0..STRIPE_COUNT)
+                .map(|_| CacheAligned(Mutex::new(TimeSeries::new(history_len.max(4)))))
+                .collect(),
         }
     }
 
@@ -45,20 +58,47 @@ impl ConcurrencyListener {
         self.peak_tasks.load(Ordering::Relaxed)
     }
 
-    /// Mean active-task count over the trailing `horizon_ns` of history.
+    /// Mean active-task count over the trailing `horizon_ns` of history
+    /// (relative to the newest retained point across all stripes).
     pub fn mean_active_over(&self, horizon_ns: u64) -> Option<f64> {
-        self.history.lock().mean_over_trailing(horizon_ns)
+        let pts = self.history();
+        let (newest, _) = *pts.last()?;
+        let cutoff = newest.saturating_sub(horizon_ns);
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for &(t, v) in pts.iter().rev() {
+            if t < cutoff {
+                break;
+            }
+            sum += v;
+            n += 1;
+        }
+        if n == 0 {
+            None
+        } else {
+            Some(sum / n as f64)
+        }
     }
 
-    /// Copies the retained `(t_ns, active_tasks)` history.
+    /// Copies the retained `(t_ns, active_tasks)` history, merged across
+    /// stripes in timestamp order (ties keep stripe order — stable, so a
+    /// single-threaded emission sequence is returned verbatim).
     pub fn history(&self) -> Vec<(u64, f64)> {
-        self.history.lock().iter().collect()
+        let mut out: Vec<(u64, f64)> = Vec::new();
+        for stripe in self.history.iter() {
+            out.extend(stripe.0.lock().iter());
+        }
+        out.sort_by_key(|&(t, _)| t);
+        out
     }
 
     fn record(&self, t_ns: u64, delta: i64) {
         let now = self.active_tasks.fetch_add(delta, Ordering::Relaxed) + delta;
         self.peak_tasks.fetch_max(now, Ordering::Relaxed);
-        self.history.lock().push(t_ns, now as f64);
+        self.history[thread_index() & (STRIPE_COUNT - 1)]
+            .0
+            .lock()
+            .push(t_ns, now as f64);
     }
 }
 

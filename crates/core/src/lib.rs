@@ -21,11 +21,14 @@
 //! * [`event::Event`] — the observation vocabulary (task lifecycle, samples,
 //!   worker lifecycle, phases, custom).
 //! * [`listener::Listener`] + [`listener::Dispatcher`] — the fan-out
-//!   pipeline; registration is dynamic, the dispatch path is a snapshot
-//!   read (no lock held while listeners run).
-//! * [`profile`] — per-task-name streaming profiles (Welford).
+//!   pipeline; registration is dynamic, dispatch revalidates a
+//!   generation-stamped thread-local snapshot with one atomic load (no
+//!   lock, no shared-cache-line write while listeners run).
+//! * [`profile`] — per-task-name streaming profiles (Welford), sharded
+//!   per emitting thread and merged on snapshot.
 //! * [`concurrency`] — active task/worker tracking over time.
-//! * [`trace`] — bounded ring-buffer event trace with drop accounting.
+//! * [`trace`] — bounded per-thread ring-buffer event trace with drop
+//!   accounting, merged in capture order on read.
 //! * [`policy`] — periodic and event-triggered policies; the engine runs
 //!   on a wall-clock thread or is stepped manually under virtual time.
 //!   Policy panics are contained, and repeat offenders are quarantined.

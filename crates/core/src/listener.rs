@@ -1,15 +1,37 @@
 //! Listener trait and fan-out dispatcher.
 //!
 //! The dispatcher is the single point every event flows through, so its
-//! hot path matters: dispatch reads an `Arc` snapshot of the listener list
-//! under a briefly-held lock and then runs the listeners with no lock held.
-//! Registration swaps in a new snapshot (copy-on-write), so registering or
-//! removing listeners never blocks in-flight dispatches, and a dispatch
-//! that races a removal simply delivers to the old set once more — benign
-//! for observation.
+//! hot path must not touch shared mutable cache lines. Dispatch uses a
+//! **generation-stamped thread-local snapshot**: each emitting thread
+//! caches an `Arc<Vec<ListenerEntry>>` of the listener list, revalidated
+//! per event by one atomic load of a generation counter that registration
+//! bumps. In steady state (no registrations) a dispatch is: one `enabled`
+//! load, one generation load, a thread-local lookup, and the listener
+//! calls — no lock, no shared `Arc` refcount traffic, no shared counter
+//! RMW (the dispatch counters are striped per thread and folded on read).
+//!
+//! ## Grace-period semantics of `deregister`
+//!
+//! Removing a listener bumps the generation, so any dispatch that *begins*
+//! after [`Dispatcher::deregister`] returns revalidates, misses the
+//! generation, refreshes from the shared list, and does not deliver to the
+//! removed listener. A thread already *inside* `dispatch` (its generation
+//! load happened before the bump) finishes delivering its current event to
+//! the old snapshot. The staleness is therefore bounded by **one in-flight
+//! event per emitting thread** — never unbounded — which is benign for
+//! observation: listeners are passive consumers and must already tolerate
+//! events racing their registration. The same bound applies to
+//! [`Dispatcher::set_enabled`] for the same reason.
+//!
+//! Thread-local snapshots also pin the listener `Arc`s of up to
+//! [`SNAPSHOT_CACHE_MAX`] recently used dispatchers per thread (evicted
+//! FIFO), so a dropped listener's memory may outlive deregistration until
+//! the caching threads dispatch again, evict, or exit.
 
 use crate::event::Event;
+use lg_metrics::StripedCounter;
 use parking_lot::RwLock;
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -32,12 +54,44 @@ pub struct ListenerHandle(u64);
 /// A registered listener with its registration id.
 type ListenerEntry = (u64, Arc<dyn Listener>);
 
-/// Copy-on-write fan-out of events to registered listeners.
+/// Max dispatchers a thread caches snapshots for (FIFO eviction beyond).
+pub const SNAPSHOT_CACHE_MAX: usize = 16;
+
+/// One thread's cached view of one dispatcher's listener list.
+struct CachedSnapshot {
+    dispatcher: u64,
+    generation: u64,
+    listeners: Arc<Vec<ListenerEntry>>,
+}
+
+thread_local! {
+    /// Per-thread snapshot cache, keyed by dispatcher id (linear scan; a
+    /// thread emits to a handful of dispatchers at most). `RefCell` so a
+    /// listener that recursively dispatches falls back to the shared-list
+    /// slow path instead of aliasing the cache.
+    static SNAPSHOTS: RefCell<Vec<CachedSnapshot>> = const { RefCell::new(Vec::new()) };
+}
+
+static NEXT_DISPATCHER_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Generation-snapshot fan-out of events to registered listeners.
+///
+/// Registration is copy-on-write under a lock and bumps `generation`;
+/// dispatch validates a thread-local snapshot against `generation` and
+/// runs the listeners with no lock held and no shared-line writes.
 pub struct Dispatcher {
+    /// Process-unique id keying the thread-local snapshot cache.
+    id: u64,
+    /// Shared listener list (slow path; read under lock only on refresh).
     listeners: RwLock<Arc<Vec<ListenerEntry>>>,
+    /// Bumped (under the write lock) by every register/deregister.
+    generation: AtomicU64,
     next_id: AtomicU64,
     enabled: AtomicBool,
-    dispatched: AtomicU64,
+    /// Events accepted by `dispatch` while enabled (striped per thread).
+    events: StripedCounter,
+    /// Listener invocations, i.e. events × listeners (striped per thread).
+    deliveries: StripedCounter,
 }
 
 impl Default for Dispatcher {
@@ -50,10 +104,13 @@ impl Dispatcher {
     /// Creates a dispatcher with no listeners, enabled.
     pub fn new() -> Self {
         Self {
+            id: NEXT_DISPATCHER_ID.fetch_add(1, Ordering::Relaxed),
             listeners: RwLock::new(Arc::new(Vec::new())),
+            generation: AtomicU64::new(0),
             next_id: AtomicU64::new(1),
             enabled: AtomicBool::new(true),
-            dispatched: AtomicU64::new(0),
+            events: StripedCounter::new(),
+            deliveries: StripedCounter::new(),
         }
     }
 
@@ -64,10 +121,18 @@ impl Dispatcher {
         let mut next = (**guard).clone();
         next.push((id, listener));
         *guard = Arc::new(next);
+        // Published while holding the write lock, so a refresh that reads
+        // this generation under the read lock pairs it with this list.
+        self.generation.fetch_add(1, Ordering::Release);
         ListenerHandle(id)
     }
 
     /// Removes a previously registered listener. Returns true if found.
+    ///
+    /// Removal has a bounded grace period: emitters already inside
+    /// `dispatch` deliver at most their one in-flight event to the old
+    /// snapshot; dispatches beginning after this returns never deliver to
+    /// the removed listener (see the module docs).
     pub fn deregister(&self, handle: ListenerHandle) -> bool {
         let mut guard = self.listeners.write();
         let before = guard.len();
@@ -78,6 +143,7 @@ impl Dispatcher {
             .collect();
         let removed = next.len() != before;
         *guard = Arc::new(next);
+        self.generation.fetch_add(1, Ordering::Release);
         removed
     }
 
@@ -97,9 +163,17 @@ impl Dispatcher {
         self.listeners.read().len()
     }
 
-    /// Total events delivered (multiplied across listeners).
-    pub fn dispatched(&self) -> u64 {
-        self.dispatched.load(Ordering::Relaxed)
+    /// Events accepted by [`Dispatcher::dispatch`] while enabled,
+    /// regardless of how many listeners (possibly zero) received them.
+    pub fn events_dispatched(&self) -> u64 {
+        self.events.sum()
+    }
+
+    /// Listener invocations: each event counts once per listener it was
+    /// delivered to. With `L` listeners registered throughout,
+    /// `deliveries == events_dispatched × L`.
+    pub fn deliveries(&self) -> u64 {
+        self.deliveries.sum()
     }
 
     /// Delivers `event` to every registered listener.
@@ -108,15 +182,68 @@ impl Dispatcher {
         if !self.enabled.load(Ordering::Acquire) {
             return;
         }
-        let snapshot = { self.listeners.read().clone() };
-        if snapshot.is_empty() {
-            return;
+        self.events.inc();
+        // Revalidate the thread-local snapshot with a single generation
+        // load. Acquire pairs with the Release bump in register/deregister
+        // so a fresh generation is never observed with a stale list.
+        let generation = self.generation.load(Ordering::Acquire);
+        let done = SNAPSHOTS.with(|cell| {
+            // A listener recursively dispatching (to this or any other
+            // dispatcher) finds the cache borrowed and takes the slow
+            // path; the outer dispatch's snapshot stays pinned meanwhile.
+            let Ok(mut cache) = cell.try_borrow_mut() else {
+                return false;
+            };
+            let entry = match cache.iter().position(|s| s.dispatcher == self.id) {
+                Some(i) => {
+                    if cache[i].generation != generation {
+                        let snap = self.load_snapshot();
+                        cache[i].generation = snap.generation;
+                        cache[i].listeners = snap.listeners;
+                    }
+                    &cache[i]
+                }
+                None => {
+                    if cache.len() == SNAPSHOT_CACHE_MAX {
+                        cache.remove(0);
+                    }
+                    let snap = self.load_snapshot();
+                    cache.push(snap);
+                    cache.last().expect("just pushed")
+                }
+            };
+            for (_, l) in entry.listeners.iter() {
+                l.on_event(event);
+            }
+            self.deliveries.add(entry.listeners.len() as u64);
+            true
+        });
+        if !done {
+            self.dispatch_uncached(event);
         }
+    }
+
+    /// Reads a consistent (generation, listener list) pair under the read
+    /// lock: registration bumps the generation while holding the write
+    /// lock, so the pair cannot interleave with an update.
+    fn load_snapshot(&self) -> CachedSnapshot {
+        let guard = self.listeners.read();
+        CachedSnapshot {
+            dispatcher: self.id,
+            generation: self.generation.load(Ordering::Acquire),
+            listeners: guard.clone(),
+        }
+    }
+
+    /// Slow path for reentrant dispatch: snapshot under the read lock,
+    /// deliver with no lock held (the pre-generation-cache protocol).
+    #[cold]
+    fn dispatch_uncached(&self, event: &Event) {
+        let snapshot = { self.listeners.read().clone() };
         for (_, l) in snapshot.iter() {
             l.on_event(event);
         }
-        self.dispatched
-            .fetch_add(snapshot.len() as u64, Ordering::Relaxed);
+        self.deliveries.add(snapshot.len() as u64);
     }
 }
 
@@ -125,7 +252,8 @@ impl std::fmt::Debug for Dispatcher {
         f.debug_struct("Dispatcher")
             .field("listeners", &self.listener_count())
             .field("enabled", &self.is_enabled())
-            .field("dispatched", &self.dispatched())
+            .field("events_dispatched", &self.events_dispatched())
+            .field("deliveries", &self.deliveries())
             .finish()
     }
 }
@@ -182,7 +310,8 @@ mod tests {
         d.dispatch(&tick(2));
         assert_eq!(a.load(Ordering::Relaxed), 2);
         assert_eq!(b.load(Ordering::Relaxed), 2);
-        assert_eq!(d.dispatched(), 4);
+        assert_eq!(d.events_dispatched(), 2);
+        assert_eq!(d.deliveries(), 4);
     }
 
     #[test]
@@ -211,16 +340,31 @@ mod tests {
         d.set_enabled(false);
         d.dispatch(&tick(1));
         assert_eq!(n.load(Ordering::Relaxed), 0);
+        assert_eq!(d.events_dispatched(), 0, "disabled events are not counted");
         d.set_enabled(true);
         d.dispatch(&tick(2));
         assert_eq!(n.load(Ordering::Relaxed), 1);
     }
 
     #[test]
-    fn empty_dispatcher_counts_nothing() {
+    fn empty_dispatcher_counts_events_but_no_deliveries() {
         let d = Dispatcher::new();
         d.dispatch(&tick(1));
-        assert_eq!(d.dispatched(), 0);
+        assert_eq!(d.events_dispatched(), 1);
+        assert_eq!(d.deliveries(), 0);
+    }
+
+    #[test]
+    fn adding_a_listener_no_longer_inflates_event_count() {
+        // The pre-split `dispatched` counter counted events × listeners;
+        // `events_dispatched` must stay listener-count-independent.
+        let d = Dispatcher::new();
+        d.register(Arc::new(FnListener::new("a", |_| {})));
+        d.dispatch(&tick(1));
+        d.register(Arc::new(FnListener::new("b", |_| {})));
+        d.dispatch(&tick(2));
+        assert_eq!(d.events_dispatched(), 2);
+        assert_eq!(d.deliveries(), 3, "1×1 listener + 1×2 listeners");
     }
 
     #[test]
@@ -267,5 +411,74 @@ mod tests {
         };
         d.dispatch(&e);
         assert_eq!(seen.lock().as_slice(), &[e]);
+    }
+
+    #[test]
+    fn reentrant_dispatch_falls_back_and_delivers() {
+        // A listener that dispatches to a second dispatcher from inside
+        // the first's delivery: the inner dispatch must still deliver
+        // (via the uncached slow path) and count correctly.
+        let inner = Arc::new(Dispatcher::new());
+        let hits = Arc::new(AtomicUsize::new(0));
+        let hc = hits.clone();
+        inner.register(Arc::new(FnListener::new("inner", move |_| {
+            hc.fetch_add(1, Ordering::Relaxed);
+        })));
+        let outer = Dispatcher::new();
+        let ic = inner.clone();
+        outer.register(Arc::new(FnListener::new("relay", move |e| {
+            ic.dispatch(e);
+        })));
+        outer.dispatch(&tick(1));
+        outer.dispatch(&tick(2));
+        assert_eq!(hits.load(Ordering::Relaxed), 2);
+        assert_eq!(inner.events_dispatched(), 2);
+        assert_eq!(inner.deliveries(), 2);
+        assert_eq!(outer.deliveries(), 2);
+    }
+
+    #[test]
+    fn listener_registering_listener_does_not_deadlock() {
+        let d = Arc::new(Dispatcher::new());
+        let dc = d.clone();
+        let registered = Arc::new(AtomicBool::new(false));
+        let rc = registered.clone();
+        d.register(Arc::new(FnListener::new("self-mod", move |_| {
+            if !rc.swap(true, Ordering::Relaxed) {
+                dc.register(Arc::new(FnListener::new("late", |_| {})));
+            }
+        })));
+        d.dispatch(&tick(1));
+        // The registration from inside dispatch is visible afterwards.
+        assert_eq!(d.listener_count(), 2);
+        d.dispatch(&tick(2));
+        assert_eq!(d.deliveries(), 1 + 2);
+    }
+
+    #[test]
+    fn many_dispatchers_on_one_thread_stay_correct_past_cache_capacity() {
+        // More live dispatchers than SNAPSHOT_CACHE_MAX: eviction must
+        // only cost a refresh, never misdeliver or miscount.
+        let hits = Arc::new(AtomicUsize::new(0));
+        let ds: Vec<Dispatcher> = (0..SNAPSHOT_CACHE_MAX + 4)
+            .map(|_| {
+                let d = Dispatcher::new();
+                let hc = hits.clone();
+                d.register(Arc::new(FnListener::new("l", move |_| {
+                    hc.fetch_add(1, Ordering::Relaxed);
+                })));
+                d
+            })
+            .collect();
+        for round in 0..3u64 {
+            for d in &ds {
+                d.dispatch(&tick(round));
+            }
+        }
+        assert_eq!(hits.load(Ordering::Relaxed), 3 * ds.len());
+        for d in &ds {
+            assert_eq!(d.events_dispatched(), 3);
+            assert_eq!(d.deliveries(), 3);
+        }
     }
 }

@@ -1,84 +1,131 @@
 //! Bounded ring-buffer event tracing.
 //!
-//! Keeps the last `capacity` events verbatim for post-hoc inspection (the
-//! experiment harness dumps them; tests assert on ordering). When full, the
+//! Keeps recent events verbatim for post-hoc inspection (the experiment
+//! harness dumps them; tests assert on ordering). When a ring fills, the
 //! oldest record is overwritten and a drop counter increments — tracing
 //! must never grow without bound or apply backpressure to the runtime.
+//!
+//! ## Per-thread rings
+//!
+//! Capture — previously one `Mutex` every event serialized on — writes to
+//! a per-emitting-thread stripe: a global sequence number is stamped with
+//! one relaxed `fetch_add` (the only shared write; it is what makes the
+//! drain totally ordered) and the record lands in the calling thread's
+//! own ring under an uncontended lock. [`TraceListener::records`] merges
+//! the stripes sorted by sequence number — capture order, which is also
+//! timestamp-stable for monotone clocks. Each stripe holds a full
+//! `capacity` ring, so a single-threaded emission sequence drains exactly
+//! as the unsharded tracer did; with `k` emitting threads total retention
+//! is bounded by `k × capacity` and per-stripe overwrite counting is
+//! preserved (summed by [`TraceListener::overwritten`]).
 
 use crate::event::Event;
 use crate::listener::Listener;
+use lg_metrics::stripe::{thread_index, CacheAligned, STRIPE_COUNT};
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// One retained trace record.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct TraceRecord {
-    /// Monotone sequence number assigned at capture.
+    /// Monotone sequence number assigned at capture (global across
+    /// emitting threads).
     pub seq: u64,
     /// The event.
     pub event: Event,
 }
 
-struct TraceInner {
+struct Ring {
     buf: Vec<Option<TraceRecord>>,
     head: usize,
-    seq: u64,
     overwritten: u64,
 }
 
-/// Listener retaining the most recent events in a ring buffer.
+impl Ring {
+    fn new(capacity: usize) -> Self {
+        Self {
+            buf: vec![None; capacity],
+            head: 0,
+            overwritten: 0,
+        }
+    }
+
+    fn push(&mut self, rec: TraceRecord) {
+        if self.buf[self.head].is_some() {
+            self.overwritten += 1;
+        }
+        self.buf[self.head] = Some(rec);
+        self.head = (self.head + 1) % self.buf.len();
+    }
+
+    fn clear(&mut self) {
+        self.buf.iter_mut().for_each(|s| *s = None);
+        self.head = 0;
+        self.overwritten = 0;
+    }
+}
+
+/// Listener retaining the most recent events in per-thread ring buffers.
 pub struct TraceListener {
-    inner: Mutex<TraceInner>,
+    rings: Box<[CacheAligned<Mutex<Ring>>]>,
+    seq: AtomicU64,
     capacity: usize,
 }
 
 impl TraceListener {
-    /// Creates a tracer retaining at most `capacity` events.
+    /// Creates a tracer retaining at most `capacity` events per emitting
+    /// thread.
     ///
     /// # Panics
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "trace capacity must be positive");
         Self {
-            inner: Mutex::new(TraceInner {
-                buf: vec![None; capacity],
-                head: 0,
-                seq: 0,
-                overwritten: 0,
-            }),
+            rings: (0..STRIPE_COUNT)
+                .map(|_| CacheAligned(Mutex::new(Ring::new(capacity))))
+                .collect(),
+            seq: AtomicU64::new(0),
             capacity,
         }
     }
 
-    /// Copies the retained records oldest → newest.
+    /// Copies the retained records oldest → newest (capture order, merged
+    /// across emitting threads).
     pub fn records(&self) -> Vec<TraceRecord> {
-        let inner = self.inner.lock();
         let mut out = Vec::with_capacity(self.capacity);
-        for i in 0..self.capacity {
-            let idx = (inner.head + i) % self.capacity;
-            if let Some(r) = inner.buf[idx] {
-                out.push(r);
+        for ring in self.rings.iter() {
+            let ring = ring.0.lock();
+            let cap = ring.buf.len();
+            for i in 0..cap {
+                if let Some(r) = ring.buf[(ring.head + i) % cap] {
+                    out.push(r);
+                }
             }
         }
+        out.sort_by_key(|r| r.seq);
         out
     }
 
-    /// Number of events that were overwritten after the buffer filled.
+    /// Number of events overwritten after a ring filled (summed across
+    /// threads).
     pub fn overwritten(&self) -> u64 {
-        self.inner.lock().overwritten
+        self.rings.iter().map(|r| r.0.lock().overwritten).sum()
     }
 
     /// Total events ever captured.
     pub fn captured(&self) -> u64 {
-        self.inner.lock().seq
+        self.seq.load(Ordering::Relaxed)
     }
 
-    /// Clears the buffer and counters.
+    /// Clears the buffers and counters. Not atomic with respect to
+    /// concurrent capture: events in flight may land with pre-reset
+    /// sequence numbers — quiesce emitters before clearing between
+    /// measurement epochs.
     pub fn clear(&self) {
-        let mut inner = self.inner.lock();
-        inner.buf.iter_mut().for_each(|s| *s = None);
-        inner.head = 0;
-        inner.seq = 0;
-        inner.overwritten = 0;
+        for ring in self.rings.iter() {
+            ring.0.lock().clear();
+        }
+        self.seq.store(0, Ordering::Relaxed);
     }
 }
 
@@ -88,25 +135,20 @@ impl Listener for TraceListener {
     }
 
     fn on_event(&self, event: &Event) {
-        let mut inner = self.inner.lock();
-        let seq = inner.seq;
-        inner.seq += 1;
-        let head = inner.head;
-        if inner.buf[head].is_some() {
-            inner.overwritten += 1;
-        }
-        inner.buf[head] = Some(TraceRecord { seq, event: *event });
-        inner.head = (head + 1) % self.capacity;
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        self.rings[thread_index() & (STRIPE_COUNT - 1)]
+            .0
+            .lock()
+            .push(TraceRecord { seq, event: *event });
     }
 }
 
 impl std::fmt::Debug for TraceListener {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let inner = self.inner.lock();
         f.debug_struct("TraceListener")
             .field("capacity", &self.capacity)
-            .field("captured", &inner.seq)
-            .field("overwritten", &inner.overwritten)
+            .field("captured", &self.captured())
+            .field("overwritten", &self.overwritten())
             .finish()
     }
 }
@@ -175,5 +217,47 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_rejected() {
         let _ = TraceListener::new(0);
+    }
+
+    #[test]
+    fn multi_thread_capture_merges_in_sequence_order() {
+        let tr = std::sync::Arc::new(TraceListener::new(64));
+        let mut joins = Vec::new();
+        for w in 0..4u64 {
+            let tr = tr.clone();
+            joins.push(std::thread::spawn(move || {
+                for i in 0..10 {
+                    tr.on_event(&tick(w * 100 + i));
+                }
+            }));
+        }
+        joins.into_iter().for_each(|j| j.join().unwrap());
+        let recs = tr.records();
+        assert_eq!(recs.len(), 40);
+        assert_eq!(tr.captured(), 40);
+        // Drain is totally ordered by capture sequence with no gaps or
+        // duplicates (nothing overwritten at this capacity).
+        assert!(recs.windows(2).all(|w| w[0].seq + 1 == w[1].seq));
+        assert_eq!(recs[0].seq, 0);
+        assert_eq!(tr.overwritten(), 0);
+    }
+
+    #[test]
+    fn per_thread_overwrite_counts_sum() {
+        let tr = std::sync::Arc::new(TraceListener::new(4));
+        let mut joins = Vec::new();
+        for _ in 0..2 {
+            let tr = tr.clone();
+            joins.push(std::thread::spawn(move || {
+                for t in 0..10 {
+                    tr.on_event(&tick(t));
+                }
+            }));
+        }
+        joins.into_iter().for_each(|j| j.join().unwrap());
+        // Each thread's stripe overwrote 6 of its 10 events.
+        assert_eq!(tr.overwritten(), 12);
+        assert_eq!(tr.captured(), 20);
+        assert_eq!(tr.records().len(), 8);
     }
 }

@@ -2,36 +2,66 @@
 //!
 //! The observation layer needs shared, hot-path-cheap integer metrics:
 //! tasks spawned, steals, parks, parcels sent, bytes moved. A
-//! [`CounterRegistry`] interns names once and hands out cloneable handles
-//! backed by `Arc<AtomicU64>` / `Arc<AtomicI64>`, so updates are a single
-//! atomic RMW with no lock and no lookup.
+//! [`CounterRegistry`] interns names once and hands out cloneable handles,
+//! so updates are a single atomic RMW with no lock and no lookup. Counters
+//! come in two storages behind the same handle type: a single atomic cell
+//! (the default — cheapest when one thread owns the counter) and an
+//! opt-in striped cell array ([`crate::StripedCounter`], via
+//! [`CounterRegistry::striped_counter`]) for counters hammered from many
+//! threads at once, where a shared cell would ping-pong its cache line.
 
+use crate::stripe::StripedCounter;
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 
+#[derive(Debug)]
+enum CounterStorage {
+    Single(AtomicU64),
+    // Boxed: a stripe array is ~4 KiB of padded cells, and most counters
+    // are single-cell — don't make every handle allocation pay for it.
+    Striped(Box<StripedCounter>),
+}
+
 /// Cloneable handle to a monotonically increasing counter.
+///
+/// Backed either by one atomic cell or, when created through
+/// [`CounterRegistry::striped_counter`], by per-thread striped cells whose
+/// updates never contend across threads (reads fold the stripes).
 #[derive(Clone, Debug)]
-pub struct CounterHandle(Arc<AtomicU64>);
+pub struct CounterHandle(Arc<CounterStorage>);
 
 impl CounterHandle {
     /// Increments by 1.
     #[inline]
     pub fn inc(&self) {
-        self.0.fetch_add(1, Ordering::Relaxed);
+        self.add(1);
     }
 
     /// Increments by `n`.
     #[inline]
     pub fn add(&self, n: u64) {
-        self.0.fetch_add(n, Ordering::Relaxed);
+        match &*self.0 {
+            CounterStorage::Single(a) => {
+                a.fetch_add(n, Ordering::Relaxed);
+            }
+            CounterStorage::Striped(s) => s.add(n),
+        }
     }
 
-    /// Current value.
+    /// Current value (striped counters fold their stripes).
     #[inline]
     pub fn get(&self) -> u64 {
-        self.0.load(Ordering::Relaxed)
+        match &*self.0 {
+            CounterStorage::Single(a) => a.load(Ordering::Relaxed),
+            CounterStorage::Striped(s) => s.sum(),
+        }
+    }
+
+    /// Whether this counter uses striped storage.
+    pub fn is_striped(&self) -> bool {
+        matches!(&*self.0, CounterStorage::Striped(_))
     }
 }
 
@@ -102,7 +132,22 @@ impl CounterRegistry {
         }
         let mut w = self.counters.write();
         w.entry(name.to_owned())
-            .or_insert_with(|| CounterHandle(Arc::new(AtomicU64::new(0))))
+            .or_insert_with(|| CounterHandle(Arc::new(CounterStorage::Single(AtomicU64::new(0)))))
+            .clone()
+    }
+
+    /// Returns the counter named `name`, creating it with striped storage
+    /// if absent. Striped updates never contend across threads; reads fold
+    /// the stripes. If the counter already exists (either storage), the
+    /// existing handle is returned unchanged — storage is fixed at
+    /// creation, so opt in at the registration site, not at use sites.
+    pub fn striped_counter(&self, name: &str) -> CounterHandle {
+        if let Some(h) = self.counters.read().get(name) {
+            return h.clone();
+        }
+        let mut w = self.counters.write();
+        w.entry(name.to_owned())
+            .or_insert_with(|| CounterHandle(Arc::new(CounterStorage::Striped(Box::default()))))
             .clone()
     }
 
@@ -204,6 +249,50 @@ mod tests {
             let reg = reg.clone();
             handles.push(std::thread::spawn(move || {
                 let c = reg.counter("shared");
+                for _ in 0..10_000 {
+                    c.inc();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(reg.counter("shared").get(), 80_000);
+    }
+
+    #[test]
+    fn striped_counter_shares_namespace_and_value() {
+        let reg = CounterRegistry::new();
+        let s = reg.striped_counter("hot");
+        assert!(s.is_striped());
+        s.add(5);
+        // Plain lookup returns the same (striped) counter.
+        let same = reg.counter("hot");
+        assert!(same.is_striped());
+        same.inc();
+        assert_eq!(s.get(), 6);
+        assert_eq!(reg.snapshot_counters(), vec![("hot".into(), 6)]);
+        assert_eq!(reg.counter_count(), 1);
+    }
+
+    #[test]
+    fn striped_opt_in_does_not_rewrite_existing_counter() {
+        let reg = CounterRegistry::new();
+        let plain = reg.counter("c");
+        plain.add(3);
+        let still_plain = reg.striped_counter("c");
+        assert!(!still_plain.is_striped());
+        assert_eq!(still_plain.get(), 3);
+    }
+
+    #[test]
+    fn striped_concurrent_increments_do_not_lose_updates() {
+        let reg = StdArc::new(CounterRegistry::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let reg = reg.clone();
+            handles.push(std::thread::spawn(move || {
+                let c = reg.striped_counter("shared");
                 for _ in 0..10_000 {
                     c.inc();
                 }

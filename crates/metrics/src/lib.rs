@@ -10,6 +10,8 @@
 //!   recent-history statistics).
 //! * **Counters** — [`counter::CounterRegistry`], a registry of named
 //!   atomic counters and gauges cheap enough to update from task hot paths.
+//!   Hot counters updated from many threads can opt into striped storage
+//!   ([`stripe::StripedCounter`]) so updates never share a cache line.
 //! * **Time series** — [`timeseries::TimeSeries`], bounded append-only
 //!   series of `(t, value)` samples used by the introspection layer.
 //! * **Power and energy** — [`power::PowerModel`] (an analytic package
@@ -33,6 +35,7 @@ pub mod histogram;
 pub mod power;
 pub mod procfs;
 pub mod sampler;
+pub mod stripe;
 pub mod timeseries;
 pub mod welford;
 pub mod window;
@@ -42,6 +45,7 @@ pub use ewma::Ewma;
 pub use histogram::Histogram;
 pub use power::{EnergyMeter, EnergyReport, PowerModel};
 pub use sampler::{FnSource, Sampled, Sampler, SamplerConfig};
+pub use stripe::{CacheAligned, StripedCounter, StripedGauge};
 pub use timeseries::TimeSeries;
 pub use welford::Welford;
 pub use window::SlidingWindow;

@@ -1,0 +1,222 @@
+//! Contention-free striped counters and the per-thread stripe index.
+//!
+//! A shared `AtomicU64` that every thread RMWs is a scalability bug: the
+//! cache line holding it ping-pongs between cores, and at high event rates
+//! the counter becomes the bottleneck it was supposed to measure. The fix
+//! is striping: a fixed array of cache-line-padded cells, each thread
+//! updating "its" cell (chosen by a stable per-thread index), with reads
+//! folding all cells. Updates stay a single `fetch_add`, but on a line no
+//! other thread is writing, so they cost the same as an uncontended
+//! atomic regardless of how many threads emit.
+//!
+//! The stripe index is assigned lazily from a process-wide counter the
+//! first time a thread touches a striped structure, so every thread gets a
+//! unique index (dense from 0). Runtime workers may instead pin their
+//! index to their worker id via [`set_thread_index`] so worker → stripe
+//! mapping is deterministic; a pinned index can collide with another
+//! thread's (e.g. worker 0 of two pools) — that is benign: colliding
+//! threads share a stripe and pay some line sharing, never lose updates.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+
+/// Number of stripes in every striped structure (power of two).
+///
+/// Thread indexes are reduced `index & (STRIPE_COUNT - 1)`, so hosts with
+/// more emitting threads than stripes share stripes — correct, just with
+/// proportionally less isolation.
+pub const STRIPE_COUNT: usize = 32;
+
+/// Pads (and aligns) a value to its own cache line pair so neighboring
+/// stripes never share a line (128 B covers adjacent-line prefetchers).
+#[derive(Debug, Default)]
+#[repr(align(128))]
+pub struct CacheAligned<T>(pub T);
+
+static NEXT_THREAD_INDEX: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static THREAD_INDEX: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Stable, cheap per-thread index used to pick a stripe.
+///
+/// Assigned on first use from a process-wide counter (unique per thread)
+/// unless the thread pinned one with [`set_thread_index`].
+#[inline]
+pub fn thread_index() -> usize {
+    THREAD_INDEX.with(|c| match c.get() {
+        Some(i) => i,
+        None => {
+            let i = NEXT_THREAD_INDEX.fetch_add(1, Ordering::Relaxed);
+            c.set(Some(i));
+            i
+        }
+    })
+}
+
+/// Pins the calling thread's stripe index (worker-id plumbing).
+///
+/// Runtime workers call this with their worker id at thread start so the
+/// worker → stripe mapping is dense and deterministic. Pinned indexes may
+/// collide with counter-assigned ones; collisions only share a stripe.
+pub fn set_thread_index(index: usize) {
+    THREAD_INDEX.with(|c| c.set(Some(index)));
+}
+
+#[inline]
+fn stripe_of(index: usize) -> usize {
+    index & (STRIPE_COUNT - 1)
+}
+
+/// A monotonically increasing counter striped across padded cells.
+///
+/// `add`/`inc` touch only the calling thread's stripe; [`sum`] folds all
+/// stripes with relaxed loads, so a read concurrent with writers sees some
+/// valid recent value (monotone across repeated reads of a quiescent
+/// counter, exact once writers stop).
+///
+/// [`sum`]: StripedCounter::sum
+#[derive(Debug)]
+pub struct StripedCounter {
+    cells: [CacheAligned<AtomicU64>; STRIPE_COUNT],
+}
+
+impl Default for StripedCounter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StripedCounter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Self {
+            cells: std::array::from_fn(|_| CacheAligned(AtomicU64::new(0))),
+        }
+    }
+
+    /// Adds `n` to the calling thread's stripe.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.cells[stripe_of(thread_index())]
+            .0
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increments the calling thread's stripe by 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Folds every stripe into the counter's total.
+    pub fn sum(&self) -> u64 {
+        self.cells.iter().map(|c| c.0.load(Ordering::Relaxed)).sum()
+    }
+}
+
+/// A signed delta accumulator striped across padded cells.
+///
+/// Unlike [`crate::GaugeHandle`] there is no `set` and `add` returns
+/// nothing: a striped gauge has no cheap instantaneous value, so it only
+/// supports delta accumulation ([`add`]) and folded reads ([`sum`]). Use
+/// it for high-rate up/down tracking where the exact value is only needed
+/// at snapshot points; keep the single-cell gauge when every update must
+/// observe the new global value (e.g. peak tracking).
+///
+/// [`add`]: StripedGauge::add
+/// [`sum`]: StripedGauge::sum
+#[derive(Debug)]
+pub struct StripedGauge {
+    cells: [CacheAligned<AtomicI64>; STRIPE_COUNT],
+}
+
+impl Default for StripedGauge {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StripedGauge {
+    /// Creates a zeroed gauge.
+    pub fn new() -> Self {
+        Self {
+            cells: std::array::from_fn(|_| CacheAligned(AtomicI64::new(0))),
+        }
+    }
+
+    /// Adds `delta` (may be negative) to the calling thread's stripe.
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.cells[stripe_of(thread_index())]
+            .0
+            .fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Folds every stripe into the gauge's current value.
+    pub fn sum(&self) -> i64 {
+        self.cells.iter().map(|c| c.0.load(Ordering::Relaxed)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counter_sums_across_threads() {
+        let c = Arc::new(StripedCounter::new());
+        let mut joins = Vec::new();
+        for _ in 0..8 {
+            let c = c.clone();
+            joins.push(std::thread::spawn(move || {
+                for _ in 0..10_000 {
+                    c.inc();
+                }
+            }));
+        }
+        joins.into_iter().for_each(|j| j.join().unwrap());
+        assert_eq!(c.sum(), 80_000);
+    }
+
+    #[test]
+    fn gauge_balances_to_zero() {
+        let g = Arc::new(StripedGauge::new());
+        let mut joins = Vec::new();
+        for _ in 0..4 {
+            let g = g.clone();
+            joins.push(std::thread::spawn(move || {
+                for _ in 0..5_000 {
+                    g.add(3);
+                    g.add(-3);
+                }
+            }));
+        }
+        joins.into_iter().for_each(|j| j.join().unwrap());
+        assert_eq!(g.sum(), 0);
+    }
+
+    #[test]
+    fn thread_index_is_stable_within_a_thread() {
+        assert_eq!(thread_index(), thread_index());
+    }
+
+    #[test]
+    fn pinned_index_wins() {
+        std::thread::spawn(|| {
+            set_thread_index(7);
+            assert_eq!(thread_index(), 7);
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn distinct_threads_get_distinct_indexes() {
+        let a = std::thread::spawn(thread_index).join().unwrap();
+        let b = std::thread::spawn(thread_index).join().unwrap();
+        assert_ne!(a, b);
+    }
+}

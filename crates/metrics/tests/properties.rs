@@ -1,6 +1,8 @@
 //! Property-based tests for the statistics primitives.
 
-use lg_metrics::{EnergyMeter, Ewma, Histogram, SlidingWindow, TimeSeries, Welford};
+use lg_metrics::{
+    EnergyMeter, Ewma, Histogram, SlidingWindow, StripedCounter, TimeSeries, Welford,
+};
 use proptest::prelude::*;
 
 proptest! {
@@ -98,6 +100,50 @@ proptest! {
         prop_assert_eq!(ts.first().unwrap().0, 0);
         let stride = ts.stride();
         prop_assert!(ts.last().unwrap().0 + stride * 10 >= (n as u64 - 1) * 10);
+    }
+
+    #[test]
+    fn sharded_welford_merge_matches_sequential(
+        xs in proptest::collection::vec(1f64..1e9, 1..400),
+        stripes in proptest::collection::vec(0usize..8, 1..400),
+    ) {
+        // Any partition of the sample stream across stripes, merged with
+        // the parallel-Welford combine, must agree with one sequential
+        // accumulator on count/sum exactly and mean/variance/min/max
+        // within FP tolerance. This is the invariant the sharded
+        // ProfileListener relies on: snapshots are interleaving-blind.
+        let mut sequential = Welford::new();
+        let mut parts: Vec<Welford> = (0..8).map(|_| Welford::new()).collect();
+        for (i, &x) in xs.iter().enumerate() {
+            sequential.update(x);
+            parts[stripes[i % stripes.len()]].update(x);
+        }
+        let mut merged = Welford::new();
+        for p in &parts {
+            merged.merge(p);
+        }
+        prop_assert_eq!(merged.count(), sequential.count());
+        prop_assert_eq!(merged.min(), sequential.min());
+        prop_assert_eq!(merged.max(), sequential.max());
+        let rel = |a: f64, b: f64| (a - b).abs() / (1.0 + b.abs());
+        prop_assert!(rel(merged.sum(), sequential.sum()) < 1e-9);
+        prop_assert!(rel(merged.mean(), sequential.mean()) < 1e-9);
+        prop_assert!(
+            rel(merged.population_variance(), sequential.population_variance()) < 1e-6,
+            "merged {} vs sequential {}",
+            merged.population_variance(),
+            sequential.population_variance()
+        );
+    }
+
+    #[test]
+    fn striped_counter_sum_is_exact(adds in proptest::collection::vec(0u64..1_000, 1..64)) {
+        // Single-threaded: every add lands in one stripe; sum folds them.
+        let c = StripedCounter::new();
+        for &n in &adds {
+            c.add(n);
+        }
+        prop_assert_eq!(c.sum(), adds.iter().sum::<u64>());
     }
 
     #[test]

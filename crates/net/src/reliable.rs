@@ -395,13 +395,17 @@ impl ReliableLink {
     }
 
     /// Publishes the layer's counters into `reg` under `net.reliable.*`.
+    ///
+    /// Send-path counters (bumped per parcel or per retransmission round)
+    /// are striped so concurrent senders never contend on a shared cache
+    /// line; the rare failure/breaker counters stay single-cell.
     pub fn bind_metrics(&mut self, reg: &CounterRegistry) {
         self.metrics = MetricHandles {
-            retransmissions: Some(reg.counter("net.reliable.retransmissions")),
-            timeouts: Some(reg.counter("net.reliable.timeouts")),
-            acks: Some(reg.counter("net.reliable.acks")),
-            unique: Some(reg.counter("net.reliable.unique_parcels")),
-            dup_suppressed: Some(reg.counter("net.reliable.duplicates_suppressed")),
+            retransmissions: Some(reg.striped_counter("net.reliable.retransmissions")),
+            timeouts: Some(reg.striped_counter("net.reliable.timeouts")),
+            acks: Some(reg.striped_counter("net.reliable.acks")),
+            unique: Some(reg.striped_counter("net.reliable.unique_parcels")),
+            dup_suppressed: Some(reg.striped_counter("net.reliable.duplicates_suppressed")),
             abandoned: Some(reg.counter("net.reliable.abandoned_parcels")),
             breaker_open: Some(reg.counter("net.reliable.breaker_open_events")),
             breaker_rejections: Some(reg.counter("net.reliable.breaker_rejections")),

@@ -146,10 +146,13 @@ impl ThreadPool {
                 .filter(|f| f.is_active())
                 .cloned()
                 .map(FaultState::new),
-            c_spawned: counters.counter("rt.spawned"),
-            c_executed: counters.counter("rt.executed"),
-            c_steals: counters.counter("rt.steals"),
-            c_parks: counters.counter("rt.parks"),
+            // Hot-path counters (bumped per task or per search round) are
+            // striped so workers never contend on a shared cache line; the
+            // fault-injection counters fire rarely and stay single-cell.
+            c_spawned: counters.striped_counter("rt.spawned"),
+            c_executed: counters.striped_counter("rt.executed"),
+            c_steals: counters.striped_counter("rt.steals"),
+            c_parks: counters.striped_counter("rt.parks"),
             c_injected_panics: counters.counter("rt.injected_panics"),
             c_injected_stragglers: counters.counter("rt.injected_stragglers"),
         });
@@ -373,6 +376,9 @@ impl PoolShared {
 }
 
 fn worker_loop(shared: Arc<PoolShared>, local: Deque<Task>, index: usize, spin_rounds: usize) {
+    // Pin this worker's stripe index to its worker id so striped counters
+    // and sharded listeners get a dense, deterministic worker → stripe map.
+    lg_metrics::stripe::set_thread_index(index);
     CURRENT_WORKER.with(|cw| cw.set(Some((shared.id, index, &local as *const Deque<Task>))));
     shared.lg.emit(&Event::WorkerStart {
         worker: index,
@@ -525,6 +531,16 @@ mod tests {
         p.wait_idle();
         assert_eq!(count.load(Ordering::Relaxed), 100);
         assert_eq!(p.counters().counter("rt.executed").get(), 100);
+    }
+
+    #[test]
+    fn scheduling_counters_are_striped() {
+        let p = pool(2);
+        for name in ["rt.spawned", "rt.executed", "rt.steals", "rt.parks"] {
+            assert!(p.counters().counter(name).is_striped(), "{name}");
+        }
+        // Fault counters fire rarely and stay single-cell.
+        assert!(!p.counters().counter("rt.injected_panics").is_striped());
     }
 
     #[test]
