@@ -1,0 +1,100 @@
+//! Spawn-path microbenches: the per-task α cost the zero-allocation fast
+//! path attacks. Three shapes:
+//!
+//! * `single_thread` — one worker, spawn+execute round trips; the purest
+//!   view of per-task overhead (inline body, no steal, no condvar on the
+//!   steady path). The `boxed_baseline` variant forces the body over the
+//!   inline budget so the old boxed cost stays measurable for comparison.
+//! * `fan_out` — one producer bursts N tasks at an idle pool, measuring
+//!   submission + wake + drain (batch wake waves vs. per-task notifies).
+//! * `ping_pong` — fork-join recursion depth via nested scopes; stresses
+//!   the LIFO slot and helping join.
+//!
+//! Before/after numbers live in EXPERIMENTS.md (Fig 4 section).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lg_core::LookingGlass;
+use lg_runtime::{PoolConfig, ThreadPool};
+
+fn pool(workers: usize) -> ThreadPool {
+    ThreadPool::new(
+        LookingGlass::builder().build(),
+        PoolConfig {
+            workers,
+            ..PoolConfig::default()
+        },
+    )
+}
+
+fn bench_single_thread(c: &mut Criterion) {
+    let p = pool(1);
+    let mut group = c.benchmark_group("spawn_single_thread");
+    group.throughput(Throughput::Elements(1000));
+    group.bench_function("inline_1000", |b| {
+        b.iter(|| {
+            for _ in 0..1000 {
+                p.spawn_named("st_inline", || {});
+            }
+            p.wait_idle();
+        })
+    });
+    group.bench_function("boxed_baseline_1000", |b| {
+        b.iter(|| {
+            for _ in 0..1000 {
+                // 64 bytes of captures: past both the inline budget and
+                // the slab tier — the representation every task paid for
+                // before the inline rework.
+                let big = [0u64; 9];
+                p.spawn_named("st_boxed", move || {
+                    std::hint::black_box(big);
+                });
+            }
+            p.wait_idle();
+        })
+    });
+    group.finish();
+}
+
+fn bench_fan_out(c: &mut Criterion) {
+    let p = pool(4);
+    let mut group = c.benchmark_group("spawn_fan_out");
+    for n in [100usize, 1000, 10_000] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("spawn_named", n), &n, |b, &n| {
+            b.iter(|| {
+                for _ in 0..n {
+                    p.spawn_named("fan", || std::hint::black_box(()));
+                }
+                p.wait_idle();
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("spawn_batch", n), &n, |b, &n| {
+            b.iter(|| {
+                p.spawn_batch("fan_batch", 0..n, 1, |_, _| std::hint::black_box(()));
+                p.wait_idle();
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_ping_pong(c: &mut Criterion) {
+    let p = pool(2);
+    let mut group = c.benchmark_group("spawn_ping_pong");
+    // Each round trips through a scope: spawn one task, barrier, repeat —
+    // the latency-bound shape (fork-join of width 1, depth N).
+    group.throughput(Throughput::Elements(100));
+    group.bench_function("scope_depth_100", |b| {
+        b.iter(|| {
+            for _ in 0..100 {
+                p.scope(|s| {
+                    s.spawn_named("pong", || std::hint::black_box(()));
+                });
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_thread, bench_fan_out, bench_ping_pong);
+criterion_main!(benches);

@@ -108,6 +108,31 @@ pub fn run(fast: bool) {
     println!("{}", table.render());
     let p = write_csv(&table, "fig4c_granularity_tuned");
     println!("wrote {}\n", p.display());
+
+    // --- Accounting gate ---
+    // The experiment's entire task volume went through the zero-allocation
+    // batch path; the counters must prove it. Run in CI (`fig4 --fast`), so
+    // a representation regression fails the build, not just a benchmark.
+    pool.wait_idle();
+    let spawned = pool.counters().counter("rt.spawned").get();
+    let executed = pool.counters().counter("rt.executed").get();
+    let boxed = pool.counters().counter("rt.boxed_tasks").get();
+    let batches = pool.counters().counter("rt.batch_spawns").get();
+    assert_eq!(
+        spawned, executed,
+        "accounting gate: every spawned task must execute"
+    );
+    assert_eq!(
+        boxed, 0,
+        "accounting gate: parallel_for chunks must stay inline, {boxed} were boxed"
+    );
+    assert!(
+        batches > 0,
+        "accounting gate: parallel_for must use batched submission"
+    );
+    println!(
+        "accounting gate: spawned == executed == {spawned}, boxed = 0, batch_spawns = {batches}"
+    );
 }
 
 #[cfg(test)]

@@ -5,16 +5,22 @@
 //! events, and the runtime exposes its control parameters as knobs.
 //!
 //! * [`pool::ThreadPool`] — N workers with Chase–Lev work-stealing deques
-//!   (`crossbeam-deque`) and a global injector; idle workers park on a
-//!   condvar after a bounded spin/steal search.
+//!   (`crossbeam-deque`), a per-worker LIFO slot, and a global injector
+//!   with batched pushes/steals; idle workers back off through
+//!   spin → yield → park with an escalating timeout, and spawns touch the
+//!   park condvar only when a worker is actually parked.
 //! * [`throttle`] — the **thread cap**: workers whose index is ≥ the cap
 //!   park at task boundaries and resume when the cap rises. This is the
 //!   concurrency-throttling actuator the energy experiments drive.
-//! * [`task`] — named tasks and [`task::JoinHandle`]s.
+//! * [`task`] — named tasks and [`task::JoinHandle`]s. Task bodies use
+//!   inline small-closure storage ([`task::INLINE_BODY_BYTES`]), so the
+//!   steady-state spawn/execute path performs **no heap allocation**.
 //! * [`scope`] — structured fork-join: `pool.scope(|s| s.spawn(...))`
 //!   guarantees all spawned tasks finish before `scope` returns.
 //! * [`par_iter`] — `parallel_for` over index ranges with a tunable chunk
-//!   size (the granularity knob).
+//!   size (the granularity knob), built on [`Scope::spawn_batch`]: one
+//!   injector batch push and one wake wave per call, zero per-chunk
+//!   boxing.
 //! * [`fault`] — injectable task faults (seeded crash probability,
 //!   straggler delay) for resilience testing; panics stay contained and
 //!   join handles still resolve.
@@ -26,6 +32,8 @@
 //! | `WorkerStart`/`WorkerStop` | worker thread lifecycle |
 //! | `TaskBegin`/`TaskEnd` | around every task body |
 //! | counter `rt.spawned` / `rt.executed` / `rt.steals` / `rt.parks` | scheduling |
+//! | counter `rt.inline_tasks` / `rt.boxed_tasks` | task-body representation (inline vs. heap) |
+//! | counter `rt.batch_spawns` / `rt.lifo_hits` | batched submission / LIFO-slot fast path |
 //! | counter `rt.injected_panics` / `rt.injected_stragglers` | fault injection |
 
 #![warn(missing_docs)]
@@ -41,5 +49,5 @@ pub use fault::{FaultConfig, InjectedFault};
 pub use par_iter::ParallelForStats;
 pub use pool::{PoolConfig, ThreadPool};
 pub use scope::Scope;
-pub use task::JoinHandle;
+pub use task::{JoinHandle, INLINE_BODY_BYTES};
 pub use throttle::ThreadCap;

@@ -7,6 +7,13 @@
 //! worker count — which is why it is a knob ([`ThreadPool::chunk_knob`])
 //! rather than a constant, and why the granularity experiment (Fig 4)
 //! tunes it online.
+//!
+//! Since the batched-spawn rework, one `parallel_for` call issues **one**
+//! injector batch push and **one** worker wake wave, and every chunk task
+//! captures `(Arc<body>, start, end)` — within the inline budget, so the
+//! per-chunk cost contains no allocation and no condvar round-trip. That
+//! shrinks the per-task α the small-chunk penalty region of Fig 4
+//! measures; see [`crate::Scope::spawn_batch`].
 
 use crate::pool::ThreadPool;
 use lg_core::knob::{AtomicKnob, KnobSpec};
@@ -36,6 +43,9 @@ impl ThreadPool {
     /// Runs `body(i)` for every `i` in `range`, in parallel, in chunks of
     /// `chunk` iterations. Blocks until every iteration has run.
     ///
+    /// The chunk set is submitted through [`crate::Scope::spawn_batch`]:
+    /// one batch push, one wake wave, zero per-chunk boxing.
+    ///
     /// # Panics
     /// Panics if `chunk` is zero, or (after completion) if any body
     /// panicked.
@@ -50,31 +60,16 @@ impl ThreadPool {
         F: Fn(usize) + Send + Sync,
     {
         assert!(chunk > 0, "chunk size must be positive");
-        let total = range.end.saturating_sub(range.start);
-        if total == 0 {
-            return ParallelForStats {
-                chunks: 0,
-                chunk_size: chunk,
-                iterations: 0,
-            };
-        }
         let executed = AtomicU64::new(0);
-        let mut chunks = 0usize;
-        self.scope(|s| {
+        let chunks = self.scope(|s| {
             let body = &body;
             let executed = &executed;
-            let mut start = range.start;
-            while start < range.end {
-                let end = (start + chunk).min(range.end);
-                chunks += 1;
-                s.spawn_named(name, move || {
-                    for i in start..end {
-                        body(i);
-                    }
-                    executed.fetch_add((end - start) as u64, Ordering::Relaxed);
-                });
-                start = end;
-            }
+            s.spawn_batch(name, range, chunk, move |start, end| {
+                for i in start..end {
+                    body(i);
+                }
+                executed.fetch_add((end - start) as u64, Ordering::Relaxed);
+            })
         });
         ParallelForStats {
             chunks,
@@ -122,18 +117,13 @@ impl ThreadPool {
             let body = &body;
             let partials = &partials;
             let identity = &identity;
-            let mut start = range.start;
-            while start < range.end {
-                let end = (start + chunk).min(range.end);
-                s.spawn_named(name, move || {
-                    let mut acc = identity.clone();
-                    for i in start..end {
-                        acc = body(i, acc);
-                    }
-                    partials.lock().push(acc);
-                });
-                start = end;
-            }
+            s.spawn_batch(name, range, chunk, move |start, end| {
+                let mut acc = identity.clone();
+                for i in start..end {
+                    acc = body(i, acc);
+                }
+                partials.lock().push(acc);
+            });
         });
         partials.into_inner().into_iter().fold(identity, combine)
     }
@@ -171,6 +161,25 @@ mod tests {
         for (i, h) in hits.iter().enumerate() {
             assert_eq!(h.load(Ordering::Relaxed), 1, "index {i}");
         }
+    }
+
+    #[test]
+    fn one_batch_push_per_call_and_no_boxing() {
+        let p = pool(2);
+        for call in 1..=3u64 {
+            p.parallel_for("batched", 0..1000, 64, |_| {});
+            assert_eq!(
+                p.counters().counter("rt.batch_spawns").get(),
+                call,
+                "each parallel_for must issue exactly one batch push"
+            );
+        }
+        // Chunk tasks capture (Arc, start, end): inline, never boxed.
+        assert_eq!(p.counters().counter("rt.boxed_tasks").get(), 0);
+        assert_eq!(
+            p.counters().counter("rt.inline_tasks").get() as usize,
+            3 * 1000usize.div_ceil(64)
+        );
     }
 
     #[test]

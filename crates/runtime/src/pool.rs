@@ -1,18 +1,26 @@
 //! The work-stealing thread pool.
 //!
-//! Classic three-level scheduling (the rayon/HPX shape):
+//! Four-level scheduling (the rayon/tokio shape):
 //!
-//! 1. **Local deque** — each worker owns a Chase–Lev deque; tasks spawned
-//!    *from* a worker go there (LIFO pop for locality).
-//! 2. **Global injector** — tasks spawned from outside land in an MPMC
-//!    injector; workers batch-steal from it.
-//! 3. **Stealing** — an idle worker scans the other workers' deques
+//! 1. **LIFO slot** — each worker owns a single-task slot; a task spawned
+//!    *by* a running worker lands there and executes next, with hot
+//!    caches. The previous occupant is displaced to the local deque.
+//! 2. **Local deque** — each worker owns a Chase–Lev deque; slot
+//!    displacements go there (FIFO pop for fairness).
+//! 3. **Global injector** — tasks spawned from outside land in an MPMC
+//!    injector; workers batch-steal from it (`steal_batch_and_pop`), and
+//!    [`ThreadPool::spawn_batch`] pushes whole chunk sets in one
+//!    operation.
+//! 4. **Stealing** — an idle worker scans the other workers' deques
 //!    (FIFO steal) starting from a per-worker rotation point.
 //!
-//! Idle workers spin through a bounded number of search rounds, then park
-//! on a condvar; every `spawn` notifies one parked worker. Throttled
-//! workers (index ≥ cap) park in [`crate::throttle::ThreadCap`] instead,
-//! and re-enter the search loop when the cap rises.
+//! Idle workers back off adaptively — bounded spin, then yields, then a
+//! park with an escalating timeout. Parks are counted in an idle-worker
+//! gauge, and spawns only touch the condvar when that gauge is non-zero,
+//! so steady-state spawn onto a busy pool performs **no condvar traffic
+//! and no allocation** (task bodies are stored inline, see
+//! [`crate::task`]). Batch spawns wake `min(batch, idle)` workers in one
+//! wave instead of notify-one per task.
 //!
 //! Task bodies run under `catch_unwind`: a panicking task increments a
 //! counter and (for [`ThreadPool::spawn`]) surfaces through the
@@ -20,17 +28,19 @@
 //!
 //! With a [`FaultConfig`] set, submitted tasks may be adversarially
 //! crashed or delayed (see [`crate::fault`]) — the substrate for
-//! resilience experiments.
+//! resilience experiments. Injected bodies are built through the normal
+//! [`crate::task::TaskBody`] constructors, so they exercise the same
+//! inline/boxed representation as real tasks.
 
 use crate::fault::{FaultConfig, FaultState, TaskFault};
-use crate::task::{join_pair, JoinHandle, Task};
+use crate::task::{join_pair, BodyKind, JoinHandle, Task, TaskBody};
 use crate::throttle::ThreadCap;
 use crossbeam::deque::{Injector, Stealer, Worker as Deque};
 use lg_core::{Event, LookingGlass};
 use lg_metrics::{CounterHandle, CounterRegistry};
 use parking_lot::{Condvar, Mutex};
-use std::cell::Cell;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::cell::{Cell, UnsafeCell};
+use std::sync::atomic::{fence, AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Pool configuration.
@@ -38,7 +48,7 @@ use std::sync::Arc;
 pub struct PoolConfig {
     /// Number of worker threads.
     pub workers: usize,
-    /// Spin rounds through the full search before parking.
+    /// Spin rounds through the full search before yielding/parking.
     pub spin_rounds: usize,
     /// Register the pool's `thread_cap` knob on the instance's registry.
     pub register_knobs: bool,
@@ -69,6 +79,13 @@ impl PoolConfig {
     }
 }
 
+/// Yield rounds between the spin phase and parking (adaptive backoff).
+const YIELD_ROUNDS: usize = 4;
+/// First park timeout; doubles per consecutive empty park up to the max.
+const PARK_MIN: std::time::Duration = std::time::Duration::from_millis(1);
+/// Park timeout ceiling (bounds how stale a missed wake can get).
+const PARK_MAX: std::time::Duration = std::time::Duration::from_millis(10);
+
 thread_local! {
     /// (pool id, worker index, pointer to the worker's local deque).
     ///
@@ -80,15 +97,36 @@ thread_local! {
 
 static POOL_IDS: AtomicUsize = AtomicUsize::new(1);
 
+/// A worker's LIFO slot: one task, owner-thread-only access.
+///
+/// The slot is only ever touched by the worker thread that owns it — it
+/// fills when a task body running on that worker spawns, and drains in
+/// that worker's own `find_task`, throttle transition, or shutdown path —
+/// so a plain `UnsafeCell` suffices. Padded so neighbouring slots never
+/// share a cache line.
+#[repr(align(64))]
+struct LifoSlot {
+    cell: UnsafeCell<Option<Task>>,
+}
+
+// SAFETY: see the struct docs — every access is from the owning worker
+// thread; the container is only shared for placement, never for aliased
+// access.
+unsafe impl Sync for LifoSlot {}
+
 pub(crate) struct PoolShared {
     pub(crate) id: usize,
     injector: Injector<Task>,
     stealers: Vec<Stealer<Task>>,
+    slots: Vec<LifoSlot>,
     lg: Arc<LookingGlass>,
     cap: ThreadCap,
     shutdown: AtomicBool,
     /// Tasks submitted and not yet finished (for `wait_idle`).
     pending: AtomicUsize,
+    /// Workers currently parked on `idle_cv`. Spawns skip the condvar
+    /// entirely while this is zero — the no-condvar fast path.
+    idle_workers: AtomicUsize,
     idle_lock: Mutex<()>,
     idle_cv: Condvar,
     /// Waiters blocked in `wait_idle`.
@@ -100,6 +138,10 @@ pub(crate) struct PoolShared {
     c_executed: CounterHandle,
     c_steals: CounterHandle,
     c_parks: CounterHandle,
+    c_inline_tasks: CounterHandle,
+    c_boxed_tasks: CounterHandle,
+    c_batch_spawns: CounterHandle,
+    c_lifo_hits: CounterHandle,
     c_injected_panics: CounterHandle,
     c_injected_stragglers: CounterHandle,
 }
@@ -123,6 +165,11 @@ impl ThreadPool {
         let counters = Arc::new(CounterRegistry::new());
         let deques: Vec<Deque<Task>> = (0..config.workers).map(|_| Deque::new_fifo()).collect();
         let stealers = deques.iter().map(|d| d.stealer()).collect();
+        let slots = (0..config.workers)
+            .map(|_| LifoSlot {
+                cell: UnsafeCell::new(None),
+            })
+            .collect();
         let cap = ThreadCap::new(config.workers);
         if config.register_knobs {
             lg.knobs().register(Arc::new(cap.clone()));
@@ -131,10 +178,12 @@ impl ThreadPool {
             id: POOL_IDS.fetch_add(1, Ordering::Relaxed),
             injector: Injector::new(),
             stealers,
+            slots,
             lg,
             cap,
             shutdown: AtomicBool::new(false),
             pending: AtomicUsize::new(0),
+            idle_workers: AtomicUsize::new(0),
             idle_lock: Mutex::new(()),
             idle_cv: Condvar::new(),
             idle_waiters_lock: Mutex::new(()),
@@ -153,6 +202,10 @@ impl ThreadPool {
             c_executed: counters.striped_counter("rt.executed"),
             c_steals: counters.striped_counter("rt.steals"),
             c_parks: counters.striped_counter("rt.parks"),
+            c_inline_tasks: counters.striped_counter("rt.inline_tasks"),
+            c_boxed_tasks: counters.striped_counter("rt.boxed_tasks"),
+            c_batch_spawns: counters.striped_counter("rt.batch_spawns"),
+            c_lifo_hits: counters.striped_counter("rt.lifo_hits"),
             c_injected_panics: counters.counter("rt.injected_panics"),
             c_injected_stragglers: counters.counter("rt.injected_stragglers"),
         });
@@ -186,7 +239,8 @@ impl ThreadPool {
     }
 
     /// Scheduling counters (`rt.spawned`, `rt.executed`, `rt.steals`,
-    /// `rt.parks`).
+    /// `rt.parks`, `rt.inline_tasks`, `rt.boxed_tasks`, `rt.batch_spawns`,
+    /// `rt.lifo_hits`).
     pub fn counters(&self) -> &Arc<CounterRegistry> {
         &self.counters
     }
@@ -225,7 +279,7 @@ impl ThreadPool {
     /// Spawns a fire-and-forget named task.
     pub fn spawn_named(&self, name: &str, body: impl FnOnce() + Send + 'static) {
         let id = self.shared.lg.intern(name);
-        self.shared.push(Task::new(id, Box::new(body)));
+        self.shared.push(Task::new(id, TaskBody::new(body)));
     }
 
     /// Spawns a named task returning a [`JoinHandle`] for its result.
@@ -238,7 +292,7 @@ impl ThreadPool {
         let (tx, rx) = join_pair();
         self.shared.push(Task::new(
             id,
-            Box::new(move || {
+            TaskBody::new(move || {
                 match std::panic::catch_unwind(std::panic::AssertUnwindSafe(body)) {
                     Ok(v) => tx.send(v),
                     Err(_) => {
@@ -249,7 +303,49 @@ impl ThreadPool {
                 }
             }),
         ));
-        rx
+        rx.with_helper(self.shared.clone())
+    }
+
+    /// Spawns one fire-and-forget task per `chunk`-sized slice of `range`,
+    /// sharing a single `Arc` of `body` across all chunks (each task
+    /// captures `(Arc, start, end)` — exactly the inline budget, so no
+    /// per-chunk boxing). The whole set enters the injector in one batch
+    /// push and wakes `min(chunks, idle)` workers in one wave. Returns the
+    /// number of chunk tasks spawned.
+    ///
+    /// For the blocking/borrowing form used by
+    /// [`ThreadPool::parallel_for`], see [`crate::Scope::spawn_batch`].
+    ///
+    /// # Panics
+    /// Panics if `chunk` is zero.
+    pub fn spawn_batch<F>(
+        &self,
+        name: &str,
+        range: std::ops::Range<usize>,
+        chunk: usize,
+        body: F,
+    ) -> usize
+    where
+        F: Fn(usize, usize) + Send + Sync + 'static,
+    {
+        assert!(chunk > 0, "chunk size must be positive");
+        let len = range.end.saturating_sub(range.start);
+        if len == 0 {
+            return 0;
+        }
+        let chunks = len.div_ceil(chunk);
+        let id = self.shared.lg.intern(name);
+        let shared_body = Arc::new(body);
+        let mut tasks = Vec::with_capacity(chunks);
+        let mut start = range.start;
+        while start < range.end {
+            let end = (start + chunk).min(range.end);
+            let b = shared_body.clone();
+            tasks.push(Task::new(id, TaskBody::new(move || b(start, end))));
+            start = end;
+        }
+        self.shared.push_batch(tasks);
+        chunks
     }
 
     /// Blocks until no tasks are pending. Concurrent spawns can of course
@@ -272,23 +368,29 @@ impl ThreadPool {
 pub(crate) struct ContainedPanic;
 
 impl PoolShared {
-    pub(crate) fn push(&self, mut task: Task) {
+    /// Applies any drawn fault and records the per-task accounting every
+    /// submission path shares (pending, spawn counter, representation
+    /// counters).
+    fn admit(&self, mut task: Task) -> Task {
         if let Some(fs) = &self.faults {
             match fs.decide() {
                 Some(TaskFault::Panic) => {
                     self.c_injected_panics.inc();
-                    // Replacing the body drops the original closure here;
-                    // a JoinSender captured inside resolves its handle as
-                    // panicked via the drop guard, so `join` never hangs
-                    // on a crash-faulted task.
-                    task.body = Box::new(|| std::panic::panic_any(crate::fault::InjectedFault));
+                    // Built through the normal constructor so injected
+                    // bodies use the same inline representation as real
+                    // tasks. Replacing the body drops the original closure
+                    // here; a JoinSender captured inside resolves its
+                    // handle as panicked via the drop guard, so `join`
+                    // never hangs on a crash-faulted task.
+                    task.body =
+                        TaskBody::new(|| std::panic::panic_any(crate::fault::InjectedFault));
                 }
                 Some(TaskFault::Straggle(delay)) => {
                     self.c_injected_stragglers.inc();
-                    let body = task.body;
-                    task.body = Box::new(move || {
+                    let body = std::mem::replace(&mut task.body, TaskBody::new(|| {}));
+                    task.body = TaskBody::new(move || {
                         std::thread::sleep(delay);
-                        body();
+                        body.invoke();
                     });
                 }
                 None => {}
@@ -296,25 +398,97 @@ impl PoolShared {
         }
         self.pending.fetch_add(1, Ordering::AcqRel);
         self.c_spawned.inc();
+        match task.body.kind() {
+            BodyKind::Inline => self.c_inline_tasks.inc(),
+            BodyKind::Slab | BodyKind::Boxed => self.c_boxed_tasks.inc(),
+        }
+        task
+    }
+
+    pub(crate) fn push(&self, task: Task) {
+        let task = self.admit(task);
         let mut task = Some(task);
         CURRENT_WORKER.with(|cw| {
-            if let Some((pool_id, _idx, deque)) = cw.get() {
+            if let Some((pool_id, idx, deque)) = cw.get() {
                 if pool_id == self.id {
-                    // SAFETY: the pointer refers to the deque owned by
-                    // *this* thread's worker loop, which is alive for the
+                    // LIFO slot: the freshly spawned task runs next on this
+                    // worker, caches hot. The previous occupant moves to
+                    // the local deque, where it stays stealable.
+                    // SAFETY: this thread is worker `idx` of this pool —
+                    // the only thread that touches `slots[idx]` — and the
+                    // deque pointer refers to the deque owned by this
+                    // thread's worker loop, which is alive for the
                     // duration of any task body (including this call).
-                    unsafe { (*deque).push(task.take().expect("task present")) };
+                    let displaced = unsafe {
+                        (*self.slots[idx].cell.get()).replace(task.take().expect("task present"))
+                    };
+                    if let Some(displaced) = displaced {
+                        unsafe { (*deque).push(displaced) };
+                        // The displaced task is claimable by others.
+                        self.wake_workers(1);
+                    }
+                    // No wake for the slot occupant itself: this worker
+                    // runs it as soon as the current body returns.
                 }
             }
         });
         if let Some(task) = task {
             self.injector.push(task);
+            self.wake_workers(1);
+        }
+    }
+
+    /// Pushes a pre-built chunk set into the injector in one operation and
+    /// wakes `min(batch, idle)` workers in a single wave.
+    pub(crate) fn push_batch(&self, tasks: Vec<Task>) {
+        let n = tasks.len();
+        if n == 0 {
+            return;
+        }
+        self.c_batch_spawns.inc();
+        self.injector
+            .push_batch(tasks.into_iter().map(|t| self.admit(t)));
+        self.wake_workers(n);
+    }
+
+    /// Wakes up to `n` parked workers — nothing at all on the fast path
+    /// where no one is parked.
+    fn wake_workers(&self, n: usize) {
+        // The fence orders the task-visible writes above before the idle
+        // gauge read (the parking side pairs with it via its SeqCst RMW),
+        // so a worker that missed the task is seen here and woken. A park
+        // is bounded (PARK_MAX) regardless, so this is a latency
+        // optimisation contract, not a liveness one.
+        fence(Ordering::SeqCst);
+        let idle = self.idle_workers.load(Ordering::Relaxed);
+        if idle == 0 {
+            return;
         }
         let _g = self.idle_lock.lock();
-        self.idle_cv.notify_one();
+        if n >= idle {
+            self.idle_cv.notify_all();
+        } else {
+            for _ in 0..n {
+                self.idle_cv.notify_one();
+            }
+        }
+    }
+
+    /// True if any queue a parking worker could serve holds work.
+    fn has_stealable_work(&self) -> bool {
+        if !self.injector.is_empty() {
+            return true;
+        }
+        self.stealers.iter().any(|s| !s.is_empty())
     }
 
     fn find_task(&self, local: &Deque<Task>, index: usize) -> Option<Task> {
+        // SAFETY: only worker `index` (this thread) calls `find_task` with
+        // its own index — see the callers in `worker_loop` and `try_help`.
+        if let Some(t) = unsafe { (*self.slots[index].cell.get()).take() } {
+            self.c_lifo_hits.inc();
+            return Some(t);
+        }
         if let Some(t) = local.pop() {
             return Some(t);
         }
@@ -342,11 +516,27 @@ impl PoolShared {
         None
     }
 
+    /// Throttle drain rule: a worker about to park under the thread cap
+    /// first evicts its LIFO slot into the injector, so no task strands on
+    /// a parked worker (the slot, unlike the deque, is not stealable).
+    fn drain_slot(&self, index: usize) {
+        // SAFETY: called only by worker `index` on its own slot.
+        if let Some(t) = unsafe { (*self.slots[index].cell.get()).take() } {
+            self.injector.push(t);
+            self.wake_workers(1);
+        }
+    }
+
     fn finish_task(&self) {
         if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
             let _g = self.idle_waiters_lock.lock();
             self.idle_waiters_cv.notify_all();
         }
+    }
+
+    /// True if the calling thread is one of this pool's workers.
+    pub(crate) fn is_current_worker(&self) -> bool {
+        CURRENT_WORKER.with(|cw| matches!(cw.get(), Some((pool_id, ..)) if pool_id == self.id))
     }
 
     /// If the calling thread is one of this pool's workers, pops and runs
@@ -385,12 +575,15 @@ fn worker_loop(shared: Arc<PoolShared>, local: Deque<Task>, index: usize, spin_r
         t_ns: shared.lg.now_ns(),
     });
     let mut online = true;
+    let mut park_timeout = PARK_MIN;
     loop {
         if shared.shutdown.load(Ordering::Acquire) {
             break;
         }
-        // Throttling: park if the cap excludes this worker.
+        // Throttling: park if the cap excludes this worker. Drain the LIFO
+        // slot first — a throttled worker must never sit on a task.
         if !shared.cap.allows(index) {
+            shared.drain_slot(index);
             if online {
                 shared.lg.emit(&Event::WorkerStop {
                     worker: index,
@@ -413,29 +606,42 @@ fn worker_loop(shared: Arc<PoolShared>, local: Deque<Task>, index: usize, spin_r
             });
             online = true;
         }
+        // Adaptive idle backoff: spin (cheap, latency-optimal), then yield
+        // the timeslice, then park with an escalating timeout.
         let mut found = false;
-        for _ in 0..spin_rounds.max(1) {
+        for round in 0..(spin_rounds.max(1) + YIELD_ROUNDS) {
             if let Some(task) = shared.find_task(&local, index) {
                 run_task(&shared, task, index);
                 found = true;
                 break;
             }
-            std::hint::spin_loop();
+            if round < spin_rounds.max(1) {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
         }
         if found {
+            park_timeout = PARK_MIN;
             continue;
         }
-        // Park until a spawn notifies us (bounded wait so shutdown and cap
-        // changes are always observed).
+        // Park. The idle gauge makes this worker visible to spawners (who
+        // skip the condvar entirely while it reads zero); the SeqCst RMW
+        // pairs with the fence in `wake_workers`, and the re-check under
+        // the lock closes the remaining publish/park race. The wait stays
+        // bounded so shutdown and cap changes are always observed.
         shared.c_parks.inc();
         let mut g = shared.idle_lock.lock();
-        if shared.shutdown.load(Ordering::Acquire) {
-            break;
+        shared.idle_workers.fetch_add(1, Ordering::SeqCst);
+        if !shared.shutdown.load(Ordering::Acquire) && !shared.has_stealable_work() {
+            shared.idle_cv.wait_for(&mut g, park_timeout);
+            park_timeout = (park_timeout * 2).min(PARK_MAX);
         }
-        shared
-            .idle_cv
-            .wait_for(&mut g, std::time::Duration::from_millis(10));
+        shared.idle_workers.fetch_sub(1, Ordering::SeqCst);
     }
+    // Shutdown: anything still in the slot is dropped with the pool's
+    // other pending tasks (drop guards resolve joins).
+    shared.drain_slot(index);
     if online {
         shared.lg.emit(&Event::WorkerStop {
             worker: index,
@@ -457,7 +663,7 @@ fn run_task(shared: &Arc<PoolShared>, task: Task, index: usize) {
         worker: index,
         t_ns: t0,
     });
-    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(body));
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body.invoke()));
     let t1 = shared.lg.now_ns();
     shared.lg.emit(&Event::TaskEnd {
         task: name,
@@ -466,13 +672,14 @@ fn run_task(shared: &Arc<PoolShared>, task: Task, index: usize) {
         elapsed_ns: t1.saturating_sub(t0),
     });
     shared.c_executed.inc();
-    if result.is_err() {
+    let panicked = result.is_err();
+    if panicked {
         shared.panics.fetch_add(1, Ordering::Relaxed);
     }
     shared.finish_task();
     // Completion hooks run last, after the task is fully observable.
     if let Some(c) = completion {
-        c();
+        c.run(panicked);
     }
 }
 
@@ -536,7 +743,16 @@ mod tests {
     #[test]
     fn scheduling_counters_are_striped() {
         let p = pool(2);
-        for name in ["rt.spawned", "rt.executed", "rt.steals", "rt.parks"] {
+        for name in [
+            "rt.spawned",
+            "rt.executed",
+            "rt.steals",
+            "rt.parks",
+            "rt.inline_tasks",
+            "rt.boxed_tasks",
+            "rt.batch_spawns",
+            "rt.lifo_hits",
+        ] {
             assert!(p.counters().counter(name).is_striped(), "{name}");
         }
         // Fault counters fire rarely and stay single-cell.
@@ -544,9 +760,44 @@ mod tests {
     }
 
     #[test]
+    fn small_closures_are_counted_inline() {
+        let p = pool(2);
+        for _ in 0..50 {
+            p.spawn_named("small", || {});
+        }
+        p.wait_idle();
+        assert_eq!(p.counters().counter("rt.inline_tasks").get(), 50);
+        assert_eq!(p.counters().counter("rt.boxed_tasks").get(), 0);
+    }
+
+    #[test]
+    fn oversized_closures_are_counted_boxed() {
+        let p = pool(2);
+        let big = [0u8; 128];
+        p.spawn_named("big", move || {
+            std::hint::black_box(big);
+        });
+        p.wait_idle();
+        assert_eq!(p.counters().counter("rt.boxed_tasks").get(), 1);
+    }
+
+    #[test]
     fn join_handle_returns_value() {
         let p = pool(2);
         let h = p.spawn("answer", || 6 * 7);
+        assert_eq!(h.join().unwrap(), 42);
+    }
+
+    #[test]
+    fn worker_joining_its_own_child_does_not_deadlock() {
+        // The child lands in the parent's LIFO slot; the helping join must
+        // find it there even on a single-worker pool.
+        let p = Arc::new(pool(1));
+        let p2 = p.clone();
+        let h = p.spawn("parent", move || {
+            let child = p2.spawn("child", || 21u64);
+            child.join().unwrap() * 2
+        });
         assert_eq!(h.join().unwrap(), 42);
     }
 
@@ -569,6 +820,59 @@ mod tests {
                 "task {i} ran a wrong number of times"
             );
         }
+    }
+
+    #[test]
+    fn spawn_batch_runs_every_chunk() {
+        let p = pool(2);
+        let n = 1000usize;
+        let hits: Arc<Vec<AtomicU64>> = Arc::new((0..n).map(|_| AtomicU64::new(0)).collect());
+        let h = hits.clone();
+        let chunks = p.spawn_batch("batch", 0..n, 64, move |start, end| {
+            for i in start..end {
+                h[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert_eq!(chunks, n.div_ceil(64));
+        p.wait_idle();
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "index {i}");
+        }
+        assert_eq!(p.counters().counter("rt.batch_spawns").get(), 1);
+        // (Arc, start, end) captures fit the inline budget exactly.
+        assert_eq!(
+            p.counters().counter("rt.inline_tasks").get() as usize,
+            chunks
+        );
+        assert_eq!(p.counters().counter("rt.boxed_tasks").get(), 0);
+    }
+
+    #[test]
+    fn empty_spawn_batch_is_a_noop() {
+        let p = pool(1);
+        assert_eq!(p.spawn_batch("none", 5..5, 8, |_, _| {}), 0);
+        assert_eq!(p.counters().counter("rt.batch_spawns").get(), 0);
+        p.wait_idle();
+    }
+
+    #[test]
+    fn lifo_slot_is_used_for_worker_spawns() {
+        let p = Arc::new(pool(1));
+        let p2 = p.clone();
+        let count = Arc::new(AtomicU64::new(0));
+        let c = count.clone();
+        p.spawn_named("parent", move || {
+            let c = c.clone();
+            p2.spawn_named("child", move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        p.wait_idle();
+        assert_eq!(count.load(Ordering::Relaxed), 1);
+        assert!(
+            p.counters().counter("rt.lifo_hits").get() >= 1,
+            "worker-spawned child should be served from the LIFO slot"
+        );
     }
 
     #[test]
@@ -598,7 +902,7 @@ mod tests {
                 let id = lg.intern("child");
                 shared.push(crate::task::Task::new(
                     id,
-                    Box::new(move || {
+                    TaskBody::new(move || {
                         c.fetch_add(1, Ordering::Relaxed);
                     }),
                 ));
@@ -712,6 +1016,27 @@ mod tests {
         // Pool still functional.
         let h = p.spawn("after", || 3);
         assert!(matches!(h.join(), Ok(3) | Err(_)));
+    }
+
+    #[test]
+    fn injected_bodies_use_the_inline_representation() {
+        let lg = LookingGlass::builder().build();
+        let p = ThreadPool::new(
+            lg,
+            PoolConfig {
+                workers: 1,
+                spin_rounds: 2,
+                register_knobs: false,
+                faults: Some(crate::fault::FaultConfig::seeded(5).panic_prob(1.0)),
+            },
+        );
+        for _ in 0..20 {
+            p.spawn_named("doomed", || {});
+        }
+        p.wait_idle();
+        // The injected panic closure is zero-sized: inline, not boxed.
+        assert_eq!(p.counters().counter("rt.inline_tasks").get(), 20);
+        assert_eq!(p.counters().counter("rt.boxed_tasks").get(), 0);
     }
 
     #[test]

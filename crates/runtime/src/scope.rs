@@ -7,15 +7,24 @@
 //! ## Safety argument
 //!
 //! Scoped closures are `'scope`-bounded, but the pool stores `'static`
-//! tasks; the lifetime is erased with a transmute. Soundness rests on the
-//! completion barrier: `scope` does not return until the remaining-task
-//! counter reaches zero *and* every body has finished running, so no
-//! borrow outlives its referent. Panics inside scoped tasks are counted
-//! and re-thrown from `scope` after the barrier (first panic wins),
-//! matching `std::thread::scope` semantics.
+//! tasks; the lifetime is erased with [`TaskBody::new_unchecked`].
+//! Soundness rests on the completion barrier: every scoped task carries a
+//! [`Completion`] that decrements the remaining-task counter when the
+//! worker is done with the body (run *or* dropped unrun — the `Drop` impl
+//! is the guard), and `scope` does not return until that counter reaches
+//! zero, so no borrow outlives its referent.
+//!
+//! Scoped bodies are submitted **raw** — no wrapper closure — so a small
+//! user capture stays within the inline budget and the steady-state spawn
+//! performs no allocation. Panic accounting rides on the worker's own
+//! `catch_unwind`: the worker passes the panic flag to
+//! [`Completion::run`], the scope counts it, and `scope` re-throws after
+//! the barrier (first panic wins), matching `std::thread::scope`
+//! semantics. Scoped panics therefore also show up in
+//! [`ThreadPool::panics`], like any other contained panic.
 
 use crate::pool::ThreadPool;
-use crate::task::Task;
+use crate::task::{Task, TaskBody};
 use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -27,6 +36,34 @@ struct ScopeState {
     panicked: AtomicUsize,
 }
 
+/// A scoped task's completion hook: one per task, run by the worker after
+/// the `TaskEnd` event (or dropped with a discarded task), decrementing
+/// the scope's remaining-task barrier either way. Concrete — not a boxed
+/// closure — so attaching it to a task allocates nothing.
+pub(crate) struct Completion {
+    state: Arc<ScopeState>,
+}
+
+impl Completion {
+    /// Records the task's outcome. Consumes `self`; the barrier decrement
+    /// happens in `Drop`, so a completion that is never `run` (its task
+    /// was discarded at shutdown) still releases the scope.
+    pub(crate) fn run(self, panicked: bool) {
+        if panicked {
+            self.state.panicked.fetch_add(1, Ordering::AcqRel);
+        }
+    }
+}
+
+impl Drop for Completion {
+    fn drop(&mut self) {
+        if self.state.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let _g = self.state.lock.lock();
+            self.state.cv.notify_all();
+        }
+    }
+}
+
 /// Spawn surface handed to the `scope` closure.
 pub struct Scope<'scope, 'pool> {
     pool: &'pool ThreadPool,
@@ -35,34 +72,27 @@ pub struct Scope<'scope, 'pool> {
 }
 
 impl<'scope> Scope<'scope, '_> {
+    fn completion(&self) -> Completion {
+        self.state.remaining.fetch_add(1, Ordering::AcqRel);
+        Completion {
+            state: self.state.clone(),
+        }
+    }
+
     /// Spawns a named task that may borrow from the enclosing scope.
     pub fn spawn_named<F>(&self, name: &str, body: F)
     where
         F: FnOnce() + Send + 'scope,
     {
-        self.state.remaining.fetch_add(1, Ordering::AcqRel);
-        let panic_state = self.state.clone();
-        let wrapped: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
-            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(body));
-            if result.is_err() {
-                panic_state.panicked.fetch_add(1, Ordering::AcqRel);
-            }
-        });
-        // SAFETY: `scope()` blocks until `remaining == 0`; the counter is
-        // decremented by the completion hook, which the worker runs only
-        // after the body (and its borrows) has completed; see module docs.
-        let wrapped: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(wrapped) };
-        let done_state = self.state.clone();
-        let completion: Box<dyn FnOnce() + Send + 'static> = Box::new(move || {
-            if done_state.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
-                let _g = done_state.lock.lock();
-                done_state.cv.notify_all();
-            }
-        });
+        let completion = self.completion();
         let id = self.pool.lg().intern(name);
+        // SAFETY: the scope barrier — `scope()` blocks until this task's
+        // completion has dropped, and the completion drops only after the
+        // worker is done with the body; see module docs.
+        let body = unsafe { TaskBody::new_unchecked(body) };
         self.pool
             .shared()
-            .push(Task::with_completion(id, wrapped, completion));
+            .push(Task::with_completion(id, body, completion));
     }
 
     /// Spawns with the default name `"scoped"`.
@@ -71,6 +101,51 @@ impl<'scope> Scope<'scope, '_> {
         F: FnOnce() + Send + 'scope,
     {
         self.spawn_named("scoped", body)
+    }
+
+    /// Spawns one task per `chunk`-sized slice of `range`, all sharing a
+    /// single `Arc` of `body` — each task captures `(Arc, start, end)`,
+    /// exactly the inline budget, so nothing is boxed per chunk. The whole
+    /// chunk set enters the pool's injector in one batch push and wakes
+    /// `min(chunks, idle)` workers in one wave. Returns the number of
+    /// chunk tasks spawned.
+    ///
+    /// This is the engine under [`ThreadPool::parallel_for`]; use it
+    /// directly to mix batch work with other scoped tasks.
+    ///
+    /// # Panics
+    /// Panics if `chunk` is zero.
+    pub fn spawn_batch<F>(
+        &self,
+        name: &str,
+        range: std::ops::Range<usize>,
+        chunk: usize,
+        body: F,
+    ) -> usize
+    where
+        F: Fn(usize, usize) + Send + Sync + 'scope,
+    {
+        assert!(chunk > 0, "chunk size must be positive");
+        let len = range.end.saturating_sub(range.start);
+        if len == 0 {
+            return 0;
+        }
+        let chunks = len.div_ceil(chunk);
+        let id = self.pool.lg().intern(name);
+        let shared_body = Arc::new(body);
+        let mut tasks = Vec::with_capacity(chunks);
+        let mut start = range.start;
+        while start < range.end {
+            let end = (start + chunk).min(range.end);
+            let b = shared_body.clone();
+            // SAFETY: same scope-barrier argument as `spawn_named`; the
+            // `Arc<F>` clones all drop before `scope()` returns.
+            let body = unsafe { TaskBody::new_unchecked(move || b(start, end)) };
+            tasks.push(Task::with_completion(id, body, self.completion()));
+            start = end;
+        }
+        self.pool.shared().push_batch(tasks);
+        chunks
     }
 }
 
@@ -167,6 +242,24 @@ mod tests {
     }
 
     #[test]
+    fn scoped_small_closures_stay_inline() {
+        let p = pool(2);
+        let count = AtomicU64::new(0);
+        p.scope(|s| {
+            for _ in 0..20 {
+                let count = &count;
+                s.spawn(move || {
+                    count.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 20);
+        // No wrapper closure: a one-reference capture is inline.
+        assert_eq!(p.counters().counter("rt.inline_tasks").get(), 20);
+        assert_eq!(p.counters().counter("rt.boxed_tasks").get(), 0);
+    }
+
+    #[test]
     fn scope_returns_closure_value() {
         let p = pool(1);
         let v = p.scope(|_s| 42);
@@ -202,6 +295,51 @@ mod tests {
     }
 
     #[test]
+    fn scope_spawn_batch_covers_range() {
+        let p = pool(2);
+        let hits: Vec<AtomicU64> = (0..500).map(|_| AtomicU64::new(0)).collect();
+        let chunks = p.scope(|s| {
+            s.spawn_batch("batch", 0..hits.len(), 32, |start, end| {
+                for h in &hits[start..end] {
+                    h.fetch_add(1, Ordering::Relaxed);
+                }
+            })
+        });
+        assert_eq!(chunks, 500usize.div_ceil(32));
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "index {i}");
+        }
+        assert_eq!(p.counters().counter("rt.batch_spawns").get(), 1);
+        assert_eq!(
+            p.counters().counter("rt.inline_tasks").get() as usize,
+            chunks
+        );
+    }
+
+    #[test]
+    fn scope_spawn_batch_empty_range() {
+        let p = pool(1);
+        assert_eq!(p.scope(|s| s.spawn_batch("none", 3..3, 4, |_, _| {})), 0);
+    }
+
+    #[test]
+    fn scope_spawn_batch_mixes_with_scoped_tasks() {
+        let p = pool(2);
+        let batch_sum = AtomicU64::new(0);
+        let solo = AtomicU64::new(0);
+        p.scope(|s| {
+            s.spawn(|| {
+                solo.fetch_add(1, Ordering::Relaxed);
+            });
+            s.spawn_batch("b", 0..100, 7, |start, end| {
+                batch_sum.fetch_add((start..end).map(|i| i as u64).sum(), Ordering::Relaxed);
+            });
+        });
+        assert_eq!(solo.load(Ordering::Relaxed), 1);
+        assert_eq!(batch_sum.load(Ordering::Relaxed), 99 * 100 / 2);
+    }
+
+    #[test]
     #[should_panic(expected = "scoped task(s) panicked")]
     fn scope_rethrows_panics_after_barrier() {
         let p = pool(2);
@@ -216,6 +354,17 @@ mod tests {
                 });
             }
         });
+    }
+
+    #[test]
+    fn scoped_panics_count_in_pool_panics() {
+        let p = pool(2);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            p.scope(|s| s.spawn(|| panic!("inner")));
+        }));
+        assert!(result.is_err());
+        p.wait_idle();
+        assert_eq!(p.panics(), 1);
     }
 
     #[test]

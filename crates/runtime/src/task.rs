@@ -1,26 +1,307 @@
-//! Tasks and join handles.
+//! Tasks, inline closure storage, and join handles.
 //!
-//! A task is a named boxed closure. Naming is what connects scheduling to
+//! A task is a named closure. Naming is what connects scheduling to
 //! observation: the profiler aggregates by task name, and granularity
 //! policies reason about per-name mean durations.
+//!
+//! ## Zero-allocation bodies
+//!
+//! The old representation boxed every closure (`Box<dyn FnOnce>`), which
+//! put one allocator round-trip on every spawn — exactly the per-task α
+//! cost the granularity experiments try to isolate. [`TaskBody`] instead
+//! stores the closure **in place** when it fits [`INLINE_BODY_BYTES`]
+//! (three pointers — enough for the `(Arc<body>, start, end)` triple a
+//! `parallel_for` chunk captures, or a small user capture plus a join
+//! sender). Closures that exceed the inline budget but fit a fixed slab
+//! block are allocated from a per-thread freelist that recycles blocks
+//! instead of hitting the global allocator; only closures larger than
+//! [`slab::BLOCK_BYTES`] fall back to a true `Box`. The representation is
+//! observable: the pool counts `rt.inline_tasks` / `rt.boxed_tasks` per
+//! spawn so the fast path can be verified through the glass.
 
 use lg_core::TaskId;
 use parking_lot::{Condvar, Mutex};
+use std::mem::{ManuallyDrop, MaybeUninit};
+use std::ptr;
 use std::sync::Arc;
+
+/// Words of inline closure storage in a task record (3 pointers).
+const INLINE_WORDS: usize = 3;
+
+/// Inline closure budget in bytes: closures up to this size (and at most
+/// word-aligned) are stored in the task record itself — no allocation.
+pub const INLINE_BODY_BYTES: usize = INLINE_WORDS * std::mem::size_of::<usize>();
+
+/// Where a [`TaskBody`]'s closure lives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum BodyKind {
+    /// In place, inside the task record. The steady-state fast path.
+    Inline,
+    /// In a fixed-size block from the per-thread recycling slab.
+    Slab,
+    /// In a plain `Box` (oversized or over-aligned closures).
+    Boxed,
+}
+
+/// Per-closure dispatch table. `call` consumes the stored closure (the
+/// storage is dead afterwards); `drop` destroys it without calling.
+struct BodyVTable {
+    call: unsafe fn(*mut MaybeUninit<usize>),
+    drop: unsafe fn(*mut MaybeUninit<usize>),
+    kind: BodyKind,
+}
+
+/// # Safety
+/// `p` must point at storage holding a live `F` written by
+/// [`TaskBody::new_unchecked`]; the closure is moved out, so the storage
+/// must not be read again.
+unsafe fn call_inline<F: FnOnce()>(p: *mut MaybeUninit<usize>) {
+    let f: F = unsafe { ptr::read(p.cast::<F>()) };
+    f();
+}
+
+/// # Safety
+/// Same storage contract as [`call_inline`]; drops `F` in place.
+unsafe fn drop_inline<F>(p: *mut MaybeUninit<usize>) {
+    unsafe { ptr::drop_in_place(p.cast::<F>()) };
+}
+
+/// # Safety
+/// Word 0 of `p` must hold a slab block pointer with a live `F` inside.
+unsafe fn call_slab<F: FnOnce()>(p: *mut MaybeUninit<usize>) {
+    let block = unsafe { (*p).assume_init() } as *mut u8;
+    // Move the closure out and recycle the block *before* the call, so a
+    // body that respawns can reuse its own block immediately.
+    let f: F = unsafe { ptr::read(block.cast::<F>()) };
+    unsafe { slab::free(block) };
+    f();
+}
+
+/// # Safety
+/// Same storage contract as [`call_slab`].
+unsafe fn drop_slab<F>(p: *mut MaybeUninit<usize>) {
+    let block = unsafe { (*p).assume_init() } as *mut u8;
+    unsafe {
+        ptr::drop_in_place(block.cast::<F>());
+        slab::free(block);
+    }
+}
+
+/// # Safety
+/// Word 0 of `p` must hold a `Box::into_raw` pointer to a live `F`.
+unsafe fn call_boxed<F: FnOnce()>(p: *mut MaybeUninit<usize>) {
+    let raw = unsafe { (*p).assume_init() } as *mut F;
+    let f = unsafe { Box::from_raw(raw) };
+    f();
+}
+
+/// # Safety
+/// Same storage contract as [`call_boxed`].
+unsafe fn drop_boxed<F>(p: *mut MaybeUninit<usize>) {
+    let raw = unsafe { (*p).assume_init() } as *mut F;
+    drop(unsafe { Box::from_raw(raw) });
+}
+
+struct InlineVt<F>(std::marker::PhantomData<F>);
+impl<F: FnOnce()> InlineVt<F> {
+    const VTABLE: BodyVTable = BodyVTable {
+        call: call_inline::<F>,
+        drop: drop_inline::<F>,
+        kind: BodyKind::Inline,
+    };
+}
+
+struct SlabVt<F>(std::marker::PhantomData<F>);
+impl<F: FnOnce()> SlabVt<F> {
+    const VTABLE: BodyVTable = BodyVTable {
+        call: call_slab::<F>,
+        drop: drop_slab::<F>,
+        kind: BodyKind::Slab,
+    };
+}
+
+struct BoxVt<F>(std::marker::PhantomData<F>);
+impl<F: FnOnce()> BoxVt<F> {
+    const VTABLE: BodyVTable = BodyVTable {
+        call: call_boxed::<F>,
+        drop: drop_boxed::<F>,
+        kind: BodyKind::Boxed,
+    };
+}
+
+/// A type-erased `FnOnce()` with inline small-closure storage.
+///
+/// Three storage tiers (see module docs): inline, slab block, `Box`. The
+/// tier is chosen at construction from `size_of::<F>`/`align_of::<F>`,
+/// which are compile-time constants, so the branch vanishes per call
+/// site.
+pub(crate) struct TaskBody {
+    data: [MaybeUninit<usize>; INLINE_WORDS],
+    vtable: &'static BodyVTable,
+}
+
+// SAFETY: constructors require `F: Send`, and the erased closure is the
+// only thing the storage holds.
+unsafe impl Send for TaskBody {}
+
+impl TaskBody {
+    /// Wraps a `'static` closure.
+    pub(crate) fn new<F: FnOnce() + Send + 'static>(f: F) -> Self {
+        // SAFETY: `F: 'static` — there are no borrows to outlive.
+        unsafe { Self::new_unchecked(f) }
+    }
+
+    /// Wraps a closure without a `'static` bound.
+    ///
+    /// # Safety
+    /// The caller must guarantee everything `f` borrows stays alive until
+    /// the body has been invoked or dropped — the scope-barrier argument
+    /// (see [`crate::scope`]).
+    pub(crate) unsafe fn new_unchecked<F: FnOnce() + Send>(f: F) -> Self {
+        let mut data = [MaybeUninit::<usize>::uninit(); INLINE_WORDS];
+        let size = std::mem::size_of::<F>();
+        let align = std::mem::align_of::<F>();
+        if size <= INLINE_BODY_BYTES && align <= std::mem::align_of::<usize>() {
+            // SAFETY: the closure fits the storage's size and alignment.
+            unsafe { ptr::write(data.as_mut_ptr().cast::<F>(), f) };
+            Self {
+                data,
+                vtable: &InlineVt::<F>::VTABLE,
+            }
+        } else if size <= slab::BLOCK_BYTES && align <= slab::BLOCK_ALIGN {
+            let block = slab::alloc();
+            // SAFETY: the block satisfies `F`'s size and alignment.
+            unsafe { ptr::write(block.cast::<F>(), f) };
+            data[0] = MaybeUninit::new(block as usize);
+            Self {
+                data,
+                vtable: &SlabVt::<F>::VTABLE,
+            }
+        } else {
+            data[0] = MaybeUninit::new(Box::into_raw(Box::new(f)) as usize);
+            Self {
+                data,
+                vtable: &BoxVt::<F>::VTABLE,
+            }
+        }
+    }
+
+    /// Where this body's closure lives.
+    pub(crate) fn kind(&self) -> BodyKind {
+        self.vtable.kind
+    }
+
+    /// Runs the closure, consuming the body.
+    pub(crate) fn invoke(self) {
+        let mut this = ManuallyDrop::new(self);
+        // SAFETY: `self` was built by a constructor; `ManuallyDrop`
+        // prevents the destructor from double-dropping the moved closure.
+        unsafe { (this.vtable.call)(this.data.as_mut_ptr()) }
+    }
+}
+
+impl Drop for TaskBody {
+    fn drop(&mut self) {
+        // Dropping without invoking (discarded at shutdown, or replaced by
+        // an injected fault): destroy the closure so captured state — e.g.
+        // a `JoinSender` whose drop guard resolves its handle — is
+        // released.
+        // SAFETY: `invoke` shields itself with `ManuallyDrop`, so a live
+        // closure is still stored here.
+        unsafe { (self.vtable.drop)(self.data.as_mut_ptr()) }
+    }
+}
+
+pub(crate) mod slab {
+    //! Per-thread freelist of fixed-size closure blocks.
+    //!
+    //! Oversized-but-bounded closures draw a 64-byte block from the
+    //! calling thread's freelist and return it to the freeing thread's
+    //! freelist, so a steady producer/consumer pair recycles blocks
+    //! without touching the global allocator. Blocks are layout-identical,
+    //! which is what makes cross-thread recycling safe: any freed block
+    //! can serve any later allocation.
+
+    use std::alloc::{alloc as global_alloc, dealloc, handle_alloc_error, Layout};
+    use std::cell::RefCell;
+
+    /// Slab block size: covers a captured closure of up to 8 words.
+    pub(crate) const BLOCK_BYTES: usize = 64;
+    /// Slab block alignment (covers 16-byte-aligned captures).
+    pub(crate) const BLOCK_ALIGN: usize = 16;
+    /// Blocks retained per thread before falling back to `dealloc`.
+    const FREELIST_CAP: usize = 64;
+
+    const LAYOUT: Layout = match Layout::from_size_align(BLOCK_BYTES, BLOCK_ALIGN) {
+        Ok(l) => l,
+        Err(_) => panic!("invalid slab layout"),
+    };
+
+    struct Freelist(Vec<*mut u8>);
+
+    impl Drop for Freelist {
+        fn drop(&mut self) {
+            for p in self.0.drain(..) {
+                // SAFETY: every pointer in the list came from `alloc(LAYOUT)`.
+                unsafe { dealloc(p, LAYOUT) };
+            }
+        }
+    }
+
+    thread_local! {
+        static FREE: RefCell<Freelist> = const { RefCell::new(Freelist(Vec::new())) };
+    }
+
+    /// Hands out a block, recycled if one is available.
+    pub(crate) fn alloc() -> *mut u8 {
+        let recycled = FREE.try_with(|f| f.borrow_mut().0.pop()).ok().flatten();
+        recycled.unwrap_or_else(|| {
+            // SAFETY: LAYOUT has non-zero size.
+            let p = unsafe { global_alloc(LAYOUT) };
+            if p.is_null() {
+                handle_alloc_error(LAYOUT);
+            }
+            p
+        })
+    }
+
+    /// Returns a block to the calling thread's freelist (or the global
+    /// allocator when the list is full or thread-locals are gone).
+    ///
+    /// # Safety
+    /// `p` must have come from [`alloc`] and not been freed since.
+    pub(crate) unsafe fn free(p: *mut u8) {
+        let kept = FREE
+            .try_with(|f| {
+                let mut f = f.borrow_mut();
+                if f.0.len() < FREELIST_CAP {
+                    f.0.push(p);
+                    true
+                } else {
+                    false
+                }
+            })
+            .unwrap_or(false);
+        if !kept {
+            // SAFETY: caller contract.
+            unsafe { dealloc(p, LAYOUT) };
+        }
+    }
+}
 
 /// A unit of work owned by the pool.
 pub(crate) struct Task {
     pub(crate) name: TaskId,
-    pub(crate) body: Box<dyn FnOnce() + Send + 'static>,
+    pub(crate) body: TaskBody,
     /// Invoked by the worker *after* the task's `TaskEnd` event has been
     /// emitted (and regardless of panics). Scopes use this as their
     /// completion barrier, which makes `scope()` an observation barrier
     /// too: when it returns, every scoped task's events are visible.
-    pub(crate) completion: Option<Box<dyn FnOnce() + Send + 'static>>,
+    pub(crate) completion: Option<crate::scope::Completion>,
 }
 
 impl Task {
-    pub(crate) fn new(name: TaskId, body: Box<dyn FnOnce() + Send + 'static>) -> Self {
+    pub(crate) fn new(name: TaskId, body: TaskBody) -> Self {
         Self {
             name,
             body,
@@ -30,8 +311,8 @@ impl Task {
 
     pub(crate) fn with_completion(
         name: TaskId,
-        body: Box<dyn FnOnce() + Send + 'static>,
-        completion: Box<dyn FnOnce() + Send + 'static>,
+        body: TaskBody,
+        completion: crate::scope::Completion,
     ) -> Self {
         Self {
             name,
@@ -57,9 +338,13 @@ struct Slot<T> {
 ///
 /// [`JoinHandle::join`] blocks until the task finishes; if the task body
 /// panicked, `join` returns `Err` with a descriptive message rather than
-/// poisoning the pool.
+/// poisoning the pool. A handle created by [`crate::ThreadPool::spawn`]
+/// carries a reference back to the pool so that a *worker* joining from
+/// inside a task helps run pending work (including its own LIFO-slot
+/// child) instead of sleeping on it.
 pub struct JoinHandle<T> {
     slot: Arc<Slot<T>>,
+    pool: Option<Arc<crate::pool::PoolShared>>,
 }
 
 /// The producer side, held by the task body wrapper.
@@ -73,7 +358,10 @@ pub(crate) fn join_pair<T>() -> (JoinSender<T>, JoinHandle<T>) {
         state: Mutex::new(SlotState::Empty),
         cv: Condvar::new(),
     });
-    (JoinSender { slot: slot.clone() }, JoinHandle { slot })
+    (
+        JoinSender { slot: slot.clone() },
+        JoinHandle { slot, pool: None },
+    )
 }
 
 impl<T> JoinSender<T> {
@@ -105,17 +393,50 @@ impl<T> Drop for JoinSender<T> {
 }
 
 impl<T> JoinHandle<T> {
+    /// Attaches the owning pool so `join` from a worker thread helps run
+    /// queued tasks instead of blocking the worker.
+    pub(crate) fn with_helper(mut self, pool: Arc<crate::pool::PoolShared>) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
     /// Blocks until the task completes. `Err` if the task panicked.
     pub fn join(self) -> Result<T, JoinError> {
-        let mut s = self.slot.state.lock();
+        // Helping applies only when the joining thread is a worker of the
+        // attached pool: it runs pending tasks while it waits (its own
+        // LIFO-slot child is found first), so joining from inside a task
+        // can never strand the awaited work behind the join itself. Any
+        // other thread sleeps on the slot condvar — an untimed wait is
+        // safe because the sender's drop guard always resolves the slot.
+        let helper = self
+            .pool
+            .as_ref()
+            .filter(|p| p.is_current_worker())
+            .cloned();
         loop {
-            match std::mem::replace(&mut *s, SlotState::Taken) {
-                SlotState::Value(v) => return Ok(v),
-                SlotState::Panicked => return Err(JoinError::Panicked),
-                SlotState::Taken => unreachable!("join consumed twice"),
-                SlotState::Empty => {
-                    *s = SlotState::Empty;
-                    self.slot.cv.wait(&mut s);
+            {
+                let mut s = self.slot.state.lock();
+                match std::mem::replace(&mut *s, SlotState::Taken) {
+                    SlotState::Value(v) => return Ok(v),
+                    SlotState::Panicked => return Err(JoinError::Panicked),
+                    SlotState::Taken => unreachable!("join consumed twice"),
+                    SlotState::Empty => {
+                        *s = SlotState::Empty;
+                        let Some(_) = &helper else {
+                            self.slot.cv.wait(&mut s);
+                            continue;
+                        };
+                        // Fall through (guard released) to the helping path.
+                    }
+                }
+            }
+            let pool = helper.as_ref().expect("checked above");
+            if !pool.try_help() {
+                let mut s = self.slot.state.lock();
+                if matches!(*s, SlotState::Empty) {
+                    self.slot
+                        .cv
+                        .wait_for(&mut s, std::time::Duration::from_micros(500));
                 }
             }
         }
@@ -164,6 +485,7 @@ impl std::error::Error for JoinError {}
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
 
     #[test]
     fn join_receives_value() {
@@ -211,5 +533,90 @@ mod tests {
     #[test]
     fn join_error_displays() {
         assert_eq!(JoinError::Panicked.to_string(), "task panicked");
+    }
+
+    #[test]
+    fn small_closure_is_inline() {
+        let hit = Arc::new(AtomicU64::new(0));
+        let h = hit.clone();
+        // One Arc (8 bytes) fits the 24-byte inline budget.
+        let body = TaskBody::new(move || {
+            h.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(body.kind(), BodyKind::Inline);
+        body.invoke();
+        assert_eq!(hit.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn three_word_closure_is_inline() {
+        let hit = Arc::new(AtomicU64::new(0));
+        let h = hit.clone();
+        let (a, b) = (3u64, 4u64);
+        let body = TaskBody::new(move || {
+            h.fetch_add(a + b, Ordering::Relaxed);
+        });
+        assert_eq!(body.kind(), BodyKind::Inline);
+        body.invoke();
+        assert_eq!(hit.load(Ordering::Relaxed), 7);
+    }
+
+    #[test]
+    fn medium_closure_uses_slab() {
+        let hit = Arc::new(AtomicU64::new(0));
+        let h = hit.clone();
+        let pad = [1u64, 2, 3, 4];
+        let body = TaskBody::new(move || {
+            h.fetch_add(pad.iter().sum::<u64>(), Ordering::Relaxed);
+        });
+        assert_eq!(body.kind(), BodyKind::Slab);
+        body.invoke();
+        assert_eq!(hit.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn slab_blocks_recycle() {
+        // Allocate-run cycles on one thread reuse the same block.
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..32 {
+            let pad = [0u64; 6];
+            let body = TaskBody::new(move || {
+                std::hint::black_box(pad);
+            });
+            assert_eq!(body.kind(), BodyKind::Slab);
+            // Record the block address via the stored word.
+            let addr = unsafe { body.data[0].assume_init() };
+            seen.insert(addr);
+            body.invoke();
+        }
+        assert!(
+            seen.len() < 32,
+            "freelist never recycled a block: {} distinct",
+            seen.len()
+        );
+    }
+
+    #[test]
+    fn huge_closure_is_boxed() {
+        let big = [7u8; 256];
+        let body = TaskBody::new(move || {
+            std::hint::black_box(big);
+        });
+        assert_eq!(body.kind(), BodyKind::Boxed);
+        body.invoke();
+    }
+
+    #[test]
+    fn dropping_uninvoked_body_releases_captures() {
+        for pad_words in [0usize, 5, 40] {
+            let guard = Arc::new(());
+            let g = guard.clone();
+            let pad = vec![0u64; pad_words];
+            let body = TaskBody::new(move || {
+                let _ = (&g, &pad);
+            });
+            drop(body);
+            assert_eq!(Arc::strong_count(&guard), 1, "pad {pad_words}");
+        }
     }
 }

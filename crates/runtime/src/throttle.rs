@@ -5,6 +5,11 @@
 //! rises — tasks are never interrupted mid-body, so a cap change is always
 //! safe. The cap implements [`lg_core::Knob`], which is how policies and
 //! tuning sessions drive it without knowing about the pool.
+//!
+//! **Drain rule:** a worker parking under the cap first evicts its LIFO
+//! slot into the global injector (the slot, unlike the deque, is not
+//! stealable), so lowering the cap can never strand a queued task behind a
+//! parked worker. See the pool's worker loop.
 
 use lg_core::{Knob, KnobSpec};
 use parking_lot::{Condvar, Mutex};

@@ -52,6 +52,16 @@ fn main() {
         pool.counters().counter("rt.steals").get(),
         pool.counters().counter("rt.parks").get(),
     );
+    // The fast-path counters: small closures live inline in the task
+    // record (zero-allocation spawns), worker-spawned tasks hit the LIFO
+    // slot, and batch submissions are counted per call, not per task.
+    println!(
+        "fast path: inline={} boxed={} lifo_hits={} batch_spawns={}",
+        pool.counters().counter("rt.inline_tasks").get(),
+        pool.counters().counter("rt.boxed_tasks").get(),
+        pool.counters().counter("rt.lifo_hits").get(),
+        pool.counters().counter("rt.batch_spawns").get(),
+    );
 
     // 4. Adaptation: a policy reacts to a phase marker by throttling the
     //    pool through the knob registry (it knows nothing about the pool).

@@ -78,6 +78,17 @@ impl<T> Worker<T> {
 }
 
 impl<T> Stealer<T> {
+    /// True if the owner's deque is empty right now (used by parking
+    /// workers to re-check for visible work; a racy read is fine because
+    /// parks are time-bounded). Extension over crossbeam's `Stealer`,
+    /// which exposes the same check as `is_empty` on recent versions.
+    pub fn is_empty(&self) -> bool {
+        self.queue
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .is_empty()
+    }
+
     /// Steals one task from the opposite end of the owner.
     pub fn steal(&self) -> Steal<T> {
         match self
@@ -127,6 +138,16 @@ impl<T> Injector<T> {
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .is_empty()
+    }
+
+    /// Pushes a whole batch of tasks under one lock acquisition — the
+    /// submission half of batched spawning (deviation from crossbeam,
+    /// which has no batch push; here it turns N lock round-trips into 1).
+    pub fn push_batch(&self, tasks: impl IntoIterator<Item = T>) {
+        self.queue
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .extend(tasks);
     }
 
     /// Steals a batch of tasks into `dest` and pops one of them.
@@ -206,6 +227,38 @@ mod tests {
             }
         }
         assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn push_batch_preserves_order_and_count() {
+        let inj = Injector::new();
+        inj.push_batch(0..5);
+        inj.push_batch(5..8);
+        assert!(!inj.is_empty());
+        let w = Worker::new_fifo();
+        let mut seen = Vec::new();
+        loop {
+            match inj.steal_batch_and_pop(&w) {
+                Steal::Success(t) => seen.push(t),
+                Steal::Retry => continue,
+                Steal::Empty => break,
+            }
+            while let Some(t) = w.pop() {
+                seen.push(t);
+            }
+        }
+        assert_eq!(seen, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stealer_reports_emptiness() {
+        let w = Worker::new_fifo();
+        let s = w.stealer();
+        assert!(s.is_empty());
+        w.push(1);
+        assert!(!s.is_empty());
+        assert_eq!(w.pop(), Some(1));
+        assert!(s.is_empty());
     }
 
     #[test]
