@@ -42,7 +42,7 @@ fn bench_policy_engine(c: &mut Criterion) {
     let engine = PolicyEngine::new(knobs);
     for i in 0..8 {
         engine.register_periodic(
-            FnPolicy::new(format!("p{i}"), |_, _| PolicyDecision::noop()),
+            FnPolicy::new(format!("p{i}"), |_, _, _| PolicyDecision::noop()),
             1,
             0,
         );

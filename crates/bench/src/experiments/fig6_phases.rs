@@ -14,12 +14,12 @@
 //! Expected shape: adaptive total energy lands within ~10% of the oracle
 //! and clearly beats the best static configuration.
 
-use crate::experiments::common::{best_pow2_cap, pow2_caps, run_steps};
+use crate::experiments::common::{best_pow2_cap, run_steps};
 use crate::report::{fmt_f, write_csv, Table};
 use lg_core::{Clock as _, SessionConfig, SessionStep, TuningSession};
 use lg_sim::workload_model::PhasedSimWorkload;
 use lg_sim::{MachineSpec, SimRuntime, SimWorkload};
-use lg_tuning::{Dim, HillClimb, Space};
+use lg_tuning::HillClimb;
 
 /// Result of one policy run.
 #[derive(Clone, Debug)]
@@ -105,13 +105,27 @@ pub fn run_oracle(spec: &MachineSpec, w: &PhasedSimWorkload, total_steps: usize)
 }
 
 /// Adaptive: hill-climb session restarted at each phase boundary. Returns
-/// the result plus the per-step cap trace.
+/// the result, the per-step cap trace, and the run's final introspection
+/// snapshot (the state-of-the-world block the report renders).
 pub fn run_adaptive(
     spec: &MachineSpec,
     w: &PhasedSimWorkload,
     total_steps: usize,
-) -> (PolicyResult, Vec<(usize, i64)>) {
+) -> (
+    PolicyResult,
+    Vec<(usize, i64)>,
+    lg_core::IntrospectionSnapshot,
+) {
     let mut sim = SimRuntime::new(*spec);
+    // Typed handles, resolved once: the cap by id, the energy gauge by
+    // metric id, and the search space derived from the registry's specs
+    // (the sim registers `thread_cap` with Pow2 scale).
+    let cap_id = sim.lg().knobs().id("thread_cap").expect("sim registers it");
+    let energy_metric = sim
+        .lg()
+        .introspection()
+        .metric_id("sim.energy_j")
+        .expect("sim registers it");
     let mut time_s = 0.0;
     let mut energy = 0.0;
     let mut trace = Vec::new();
@@ -127,16 +141,19 @@ pub fn run_adaptive(
             let current = sim
                 .lg()
                 .knobs()
-                .value("thread_cap")
+                .value_id(cap_id)
                 .unwrap_or(spec.cores as i64);
-            let space = Space::new(vec![Dim::values("thread_cap", pow2_caps(spec.cores))]);
+            let space = sim.lg().knobs().space_for(&["thread_cap"]);
             let search =
                 Box::new(HillClimb::from_start(space, &[current]).with_min_improvement(0.01));
-            session = Some(TuningSession::new(
-                SessionConfig::single("thread_cap", 0, 0),
-                search,
-                sim.lg().knobs().clone(),
-            ));
+            session = Some(
+                TuningSession::new(
+                    SessionConfig::single("thread_cap", 0, 0),
+                    search,
+                    sim.lg().knobs().clone(),
+                )
+                .with_introspection(sim.lg().introspection().clone()),
+            );
         }
         let s = session.as_mut().expect("session exists");
         if s.is_finished() {
@@ -145,7 +162,7 @@ pub fn run_adaptive(
             let r = sim.run_until_idle();
             time_s += r.elapsed_s();
             energy += r.energy_j;
-            trace.push((step, sim.lg().knobs().value("thread_cap").unwrap()));
+            trace.push((step, sim.lg().knobs().value_id(cap_id).unwrap()));
             step += 1;
             continue;
         }
@@ -160,10 +177,18 @@ pub fn run_adaptive(
                 energy += r.energy_j;
                 trace.push((step, point[0]));
                 step += steps_this_epoch;
-                s.complete(r.energy_j * r.elapsed_s());
+                // EDP for the epoch, measured through the snapshot pair
+                // the session captured around it (ΔE · Δt).
+                s.complete_via(sim.clock().now_ns(), |begin, end| {
+                    let de = end.value(energy_metric).unwrap_or(0.0)
+                        - begin.value(energy_metric).unwrap_or(0.0);
+                    let dt = (end.t_ns - begin.t_ns) as f64 / 1e9;
+                    de * dt
+                });
             }
         }
     }
+    let snapshot = sim.lg().snapshot();
     (
         PolicyResult {
             name: "adaptive".into(),
@@ -171,6 +196,7 @@ pub fn run_adaptive(
             energy_j: energy,
         },
         trace,
+        snapshot,
     )
 }
 
@@ -189,7 +215,7 @@ pub fn run(fast: bool) {
         results.push(run_static(&spec, &w, total_steps, cap));
     }
     results.push(run_oracle(&spec, &w, total_steps));
-    let (adaptive, trace) = run_adaptive(&spec, &w, total_steps);
+    let (adaptive, trace, snapshot) = run_adaptive(&spec, &w, total_steps);
     results.push(adaptive);
     for r in &results {
         table.row(&[
@@ -209,7 +235,10 @@ pub fn run(fast: bool) {
     }
     println!("{} rows in cap trace", trace_table.len());
     let p = write_csv(&trace_table, "fig6_phases_trace");
-    println!("wrote {}\n", p.display());
+    println!("wrote {}", p.display());
+
+    // Final state of the adaptive run, rendered from the snapshot.
+    println!("{}", crate::report::snapshot_table(&snapshot).render());
 }
 
 #[cfg(test)]
@@ -224,7 +253,11 @@ mod tests {
         let static32 = run_static(&spec, &w, total, 32);
         let static4 = run_static(&spec, &w, total, 4);
         let oracle = run_oracle(&spec, &w, total);
-        let (adaptive, trace) = run_adaptive(&spec, &w, total);
+        let (adaptive, trace, snapshot) = run_adaptive(&spec, &w, total);
+        assert!(
+            snapshot.value_by_name("sim.energy_j").unwrap() > 0.0,
+            "snapshot must carry the run's energy gauge"
+        );
         let worst = static32.edp().max(static4.edp());
         assert!(
             adaptive.edp() < worst,

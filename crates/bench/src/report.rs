@@ -118,6 +118,55 @@ pub fn write_csv(table: &Table, name: &str) -> PathBuf {
     path
 }
 
+/// Renders an [`IntrospectionSnapshot`] as a table: concurrency gauges,
+/// then registered metrics, then counters, then per-task profiles — the
+/// standard "state of the world" block report writers embed.
+pub fn snapshot_table(snap: &lg_core::IntrospectionSnapshot) -> Table {
+    let mut t = Table::new(
+        format!(
+            "Snapshot @ {:.6}s (seq {})",
+            snap.t_ns as f64 / 1e9,
+            snap.seq
+        ),
+        &["kind", "name", "value"],
+    );
+    t.push(&[
+        "gauge".to_string(),
+        "active_tasks".into(),
+        snap.active_tasks.to_string(),
+    ]);
+    t.push(&[
+        "gauge".to_string(),
+        "online_workers".into(),
+        snap.online_workers.to_string(),
+    ]);
+    t.push(&[
+        "gauge".to_string(),
+        "peak_tasks".into(),
+        snap.peak_tasks.to_string(),
+    ]);
+    t.push(&[
+        "gauge".to_string(),
+        "total_completed".into(),
+        snap.total_completed.to_string(),
+    ]);
+    for (name, value) in snap.metrics() {
+        let v = value.map_or_else(|| "-".into(), fmt_f);
+        t.push(&["metric".to_string(), name.to_string(), v]);
+    }
+    for (name, value) in snap.counters() {
+        t.push(&["counter".to_string(), name.clone(), value.to_string()]);
+    }
+    for p in snap.profiles() {
+        t.push(&[
+            "profile".to_string(),
+            p.name.clone(),
+            format!("count={} mean={}ns", p.count, fmt_f(p.mean_ns)),
+        ]);
+    }
+    t
+}
+
 /// Formats a float with engineering-style precision for tables.
 pub fn fmt_f(x: f64) -> String {
     if x == 0.0 {

@@ -2,7 +2,11 @@
 //!
 //! The policy engine takes arbitrary [`crate::policy::Policy`]
 //! implementations; these are the stock ones the original system ships as
-//! presets, built only on public introspection/actuation surfaces:
+//! presets, built only on the public introspection/actuation surfaces:
+//! they read their input metric from the [`IntrospectionSnapshot`] each
+//! evaluation receives (resolve the [`MetricId`] once, up front, e.g. via
+//! [`crate::snapshot::Introspection::register_window_mean`]) and actuate
+//! through a [`KnobTarget`]:
 //!
 //! * [`PowerCapPolicy`] — RCR-style reactive governor: keep a sampled
 //!   power metric under a cap by stepping a knob down, with hysteresis
@@ -11,25 +15,24 @@
 //!   range to a knob value (the building block for queue-depth and
 //!   memory-pressure governors).
 
+use crate::knob::KnobTarget;
 use crate::policy::{Policy, PolicyDecision, Trigger};
-use crate::samples::SampleHistoryListener;
-use std::sync::Arc;
+use crate::snapshot::{IntrospectionSnapshot, MetricId};
 
 /// Reactive power-cap governor.
 ///
-/// Every evaluation (register it periodically), reads the trailing mean
-/// of `metric` from the sample history:
+/// Every evaluation (register it periodically), reads `metric` from the
+/// snapshot (typically a trailing window mean registered on the
+/// introspection facade):
 ///
-/// * mean > `cap_w` → multiply the knob by `decrease_factor` (< 1);
-/// * mean < `recover_w` → increase the knob by one `step`;
+/// * value > `cap_w` → multiply the knob by `decrease_factor` (< 1);
+/// * value < `recover_w` → increase the knob by one `step`;
 /// * otherwise hold.
 pub struct PowerCapPolicy {
-    history: Arc<SampleHistoryListener>,
-    metric: String,
-    knob: String,
+    metric: MetricId,
+    knob: KnobTarget,
     cap_w: f64,
     recover_w: f64,
-    window_ns: u64,
     decrease_factor: f64,
     step: i64,
     knob_max: i64,
@@ -43,27 +46,21 @@ impl PowerCapPolicy {
     /// `initial`.
     ///
     /// # Panics
-    /// Panics on malformed thresholds (`cap_w <= recover_w`) or factors.
-    #[allow(clippy::too_many_arguments)]
+    /// Panics on malformed thresholds (`cap_w <= recover_w`).
     pub fn new(
-        history: Arc<SampleHistoryListener>,
-        metric: impl Into<String>,
-        knob: impl Into<String>,
+        metric: MetricId,
+        knob: impl Into<KnobTarget>,
         cap_w: f64,
         recover_w: f64,
-        window_ns: u64,
         initial: i64,
         knob_max: i64,
     ) -> Box<Self> {
         assert!(cap_w > recover_w, "cap must exceed the recovery watermark");
-        assert!(window_ns > 0, "window must be positive");
         Box::new(Self {
-            history,
-            metric: metric.into(),
+            metric,
             knob: knob.into(),
             cap_w,
             recover_w,
-            window_ns,
             decrease_factor: 0.5,
             step: 1,
             knob_max,
@@ -82,8 +79,13 @@ impl Policy for PowerCapPolicy {
         "power-cap"
     }
 
-    fn evaluate(&mut self, _now_ns: u64, _trigger: Trigger<'_>) -> PolicyDecision {
-        let Some(mean) = self.history.mean_over(&self.metric, self.window_ns) else {
+    fn evaluate(
+        &mut self,
+        _now_ns: u64,
+        _trigger: Trigger<'_>,
+        snapshot: &IntrospectionSnapshot,
+    ) -> PolicyDecision {
+        let Some(mean) = snapshot.value(self.metric) else {
             return PolicyDecision::noop();
         };
         if mean > self.cap_w {
@@ -100,14 +102,12 @@ impl Policy for PowerCapPolicy {
     }
 }
 
-/// Maps a metric's trailing mean onto a knob through ordered thresholds:
-/// the knob is set to the value of the highest band whose threshold the
+/// Maps a snapshot metric onto a knob through ordered thresholds: the
+/// knob is set to the value of the highest band whose threshold the
 /// metric meets or exceeds (bands must be sorted by threshold ascending).
 pub struct HighWatermarkPolicy {
-    history: Arc<SampleHistoryListener>,
-    metric: String,
-    knob: String,
-    window_ns: u64,
+    metric: MetricId,
+    knob: KnobTarget,
     /// `(threshold, knob_value)` sorted ascending by threshold.
     bands: Vec<(f64, i64)>,
     /// Knob value when the metric is below every threshold.
@@ -121,10 +121,8 @@ impl HighWatermarkPolicy {
     /// # Panics
     /// Panics if `bands` is empty or not sorted ascending by threshold.
     pub fn new(
-        history: Arc<SampleHistoryListener>,
-        metric: impl Into<String>,
-        knob: impl Into<String>,
-        window_ns: u64,
+        metric: MetricId,
+        knob: impl Into<KnobTarget>,
         bands: Vec<(f64, i64)>,
         default: i64,
     ) -> Box<Self> {
@@ -134,10 +132,8 @@ impl HighWatermarkPolicy {
             "bands must be sorted ascending by threshold"
         );
         Box::new(Self {
-            history,
-            metric: metric.into(),
+            metric,
             knob: knob.into(),
-            window_ns,
             bands,
             default,
             last_set: None,
@@ -150,8 +146,13 @@ impl Policy for HighWatermarkPolicy {
         "high-watermark"
     }
 
-    fn evaluate(&mut self, _now_ns: u64, _trigger: Trigger<'_>) -> PolicyDecision {
-        let Some(mean) = self.history.mean_over(&self.metric, self.window_ns) else {
+    fn evaluate(
+        &mut self,
+        _now_ns: u64,
+        _trigger: Trigger<'_>,
+        snapshot: &IntrospectionSnapshot,
+    ) -> PolicyDecision {
+        let Some(mean) = snapshot.value(self.metric) else {
             return PolicyDecision::noop();
         };
         let target = self
@@ -172,23 +173,43 @@ impl Policy for HighWatermarkPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::concurrency::ConcurrencyListener;
     use crate::event::{Event, TaskNames};
     use crate::knob::{AtomicKnob, KnobRegistry, KnobSpec};
     use crate::listener::Listener as _;
     use crate::policy::PolicyEngine;
+    use crate::profile::ProfileListener;
+    use crate::samples::SampleHistoryListener;
+    use crate::snapshot::Introspection;
+    use std::sync::Arc;
 
-    fn setup() -> (
-        TaskNames,
-        Arc<SampleHistoryListener>,
-        Arc<KnobRegistry>,
-        Arc<PolicyEngine>,
-    ) {
+    struct Rig {
+        names: TaskNames,
+        history: Arc<SampleHistoryListener>,
+        knobs: Arc<KnobRegistry>,
+        engine: Arc<PolicyEngine>,
+        power: MetricId,
+    }
+
+    fn setup() -> Rig {
         let names = TaskNames::new();
         let history = Arc::new(SampleHistoryListener::new(names.clone(), 128));
         let knobs = Arc::new(KnobRegistry::new());
         knobs.register(AtomicKnob::new(KnobSpec::new("thread_cap", 1, 32), 32));
         let engine = PolicyEngine::new(knobs.clone());
-        (names, history, knobs, engine)
+        let intro = Arc::new(Introspection::new(
+            Arc::new(ProfileListener::new(names.clone())),
+            Arc::new(ConcurrencyListener::new(16)),
+        ));
+        let power = intro.register_window_mean("power.mean_w", history.clone(), "power", 1_000_000);
+        engine.attach_introspection(intro);
+        Rig {
+            names,
+            history,
+            knobs,
+            engine,
+            power,
+        }
     }
 
     fn feed(names: &TaskNames, h: &SampleHistoryListener, t: u64, watts: f64) {
@@ -202,143 +223,119 @@ mod tests {
 
     #[test]
     fn power_cap_halves_until_under_cap() {
-        let (names, history, knobs, engine) = setup();
-        engine.register_periodic(
-            PowerCapPolicy::new(
-                history.clone(),
-                "power",
-                "thread_cap",
-                100.0,
-                40.0,
-                1_000_000,
-                32,
-                32,
-            ),
+        let rig = setup();
+        rig.engine.register_periodic(
+            PowerCapPolicy::new(rig.power, "thread_cap", 100.0, 40.0, 32, 32),
             1_000,
             0,
         );
         // Hot: 150 W sustained.
         for i in 0..5 {
-            feed(&names, &history, i * 100, 150.0);
+            feed(&rig.names, &rig.history, i * 100, 150.0);
         }
-        engine.step(1_000);
-        assert_eq!(knobs.value("thread_cap"), Some(16));
-        engine.step(2_000);
-        assert_eq!(knobs.value("thread_cap"), Some(8));
+        rig.engine.step(1_000);
+        assert_eq!(rig.knobs.value("thread_cap"), Some(16));
+        rig.engine.step(2_000);
+        assert_eq!(rig.knobs.value("thread_cap"), Some(8));
     }
 
     #[test]
     fn power_cap_recovers_below_watermark() {
-        let (names, history, knobs, engine) = setup();
-        engine.register_periodic(
-            PowerCapPolicy::new(
-                history.clone(),
-                "power",
-                "thread_cap",
-                100.0,
-                40.0,
-                1_000_000,
-                4,
-                32,
-            ),
+        let rig = setup();
+        rig.engine.register_periodic(
+            PowerCapPolicy::new(rig.power, "thread_cap", 100.0, 40.0, 4, 32),
             1_000,
             0,
         );
-        knobs.set("thread_cap", 4);
+        rig.knobs.set("thread_cap", 4);
         for i in 0..5 {
-            feed(&names, &history, i * 100, 20.0); // cool
+            feed(&rig.names, &rig.history, i * 100, 20.0); // cool
         }
-        engine.step(1_000);
-        assert_eq!(knobs.value("thread_cap"), Some(5));
-        engine.step(2_000);
-        assert_eq!(knobs.value("thread_cap"), Some(6));
+        rig.engine.step(1_000);
+        assert_eq!(rig.knobs.value("thread_cap"), Some(5));
+        rig.engine.step(2_000);
+        assert_eq!(rig.knobs.value("thread_cap"), Some(6));
     }
 
     #[test]
     fn power_cap_holds_in_deadband() {
-        let (names, history, knobs, engine) = setup();
-        engine.register_periodic(
-            PowerCapPolicy::new(
-                history.clone(),
-                "power",
-                "thread_cap",
-                100.0,
-                40.0,
-                1_000_000,
-                8,
-                32,
-            ),
+        let rig = setup();
+        rig.engine.register_periodic(
+            PowerCapPolicy::new(rig.power, "thread_cap", 100.0, 40.0, 8, 32),
             1_000,
             0,
         );
-        knobs.set("thread_cap", 8);
+        rig.knobs.set("thread_cap", 8);
         for i in 0..5 {
-            feed(&names, &history, i * 100, 70.0); // between watermarks
+            feed(&rig.names, &rig.history, i * 100, 70.0); // between watermarks
         }
-        let before = knobs.change_count();
-        engine.step(1_000);
-        assert_eq!(knobs.value("thread_cap"), Some(8));
-        assert_eq!(knobs.change_count(), before, "deadband must not actuate");
+        let before = rig.knobs.change_count();
+        rig.engine.step(1_000);
+        assert_eq!(rig.knobs.value("thread_cap"), Some(8));
+        assert_eq!(
+            rig.knobs.change_count(),
+            before,
+            "deadband must not actuate"
+        );
     }
 
     #[test]
     fn power_cap_noop_without_samples() {
-        let (_names, history, knobs, engine) = setup();
-        engine.register_periodic(
-            PowerCapPolicy::new(
-                history,
-                "power",
-                "thread_cap",
-                100.0,
-                40.0,
-                1_000_000,
-                32,
-                32,
-            ),
+        let rig = setup();
+        rig.engine.register_periodic(
+            PowerCapPolicy::new(rig.power, "thread_cap", 100.0, 40.0, 32, 32),
             1_000,
             0,
         );
-        engine.step(1_000);
-        assert_eq!(knobs.value("thread_cap"), Some(32));
+        rig.engine.step(1_000);
+        assert_eq!(rig.knobs.value("thread_cap"), Some(32));
+    }
+
+    #[test]
+    fn policies_can_target_knob_ids_directly() {
+        let rig = setup();
+        let cap = rig.knobs.id("thread_cap").unwrap();
+        rig.engine.register_periodic(
+            PowerCapPolicy::new(rig.power, cap, 100.0, 40.0, 32, 32),
+            1_000,
+            0,
+        );
+        for i in 0..5 {
+            feed(&rig.names, &rig.history, i * 100, 150.0);
+        }
+        rig.engine.step(1_000);
+        assert_eq!(rig.knobs.value("thread_cap"), Some(16));
     }
 
     #[test]
     fn watermark_bands_select_and_dedupe() {
-        let (names, history, knobs, engine) = setup();
-        knobs.register(AtomicKnob::new(KnobSpec::new("window", 1, 512), 1));
-        engine.register_periodic(
-            HighWatermarkPolicy::new(
-                history.clone(),
-                "power",
-                "window",
-                1_000_000,
-                vec![(50.0, 8), (100.0, 64)],
-                1,
-            ),
+        let rig = setup();
+        rig.knobs
+            .register(AtomicKnob::new(KnobSpec::new("window", 1, 512), 1));
+        rig.engine.register_periodic(
+            HighWatermarkPolicy::new(rig.power, "window", vec![(50.0, 8), (100.0, 64)], 1),
             1_000,
             0,
         );
-        feed(&names, &history, 0, 120.0);
-        engine.step(1_000);
-        assert_eq!(knobs.value("window"), Some(64));
-        let changes_after_first = knobs.change_count();
+        feed(&rig.names, &rig.history, 0, 120.0);
+        rig.engine.step(1_000);
+        assert_eq!(rig.knobs.value("window"), Some(64));
+        let changes_after_first = rig.knobs.change_count();
         // Same band again: no redundant actuation.
-        feed(&names, &history, 1_500, 110.0);
-        engine.step(2_000);
-        assert_eq!(knobs.change_count(), changes_after_first);
+        feed(&rig.names, &rig.history, 1_500, 110.0);
+        rig.engine.step(2_000);
+        assert_eq!(rig.knobs.change_count(), changes_after_first);
         // Drop below every threshold: default band.
         for t in [2_100u64, 2_200, 2_300, 2_400] {
-            feed(&names, &history, t * 1_000, 10.0);
+            feed(&rig.names, &rig.history, t * 1_000, 10.0);
         }
-        engine.step(3_000);
-        assert_eq!(knobs.value("window"), Some(1));
+        rig.engine.step(3_000);
+        assert_eq!(rig.knobs.value("window"), Some(1));
     }
 
     #[test]
     #[should_panic(expected = "cap must exceed")]
     fn rejects_inverted_thresholds() {
-        let names = TaskNames::new();
-        let history = Arc::new(SampleHistoryListener::new(names, 16));
-        let _ = PowerCapPolicy::new(history, "m", "k", 10.0, 20.0, 1, 1, 8);
+        let _ = PowerCapPolicy::new(MetricId(0), "k", 10.0, 20.0, 1, 8);
     }
 }

@@ -25,6 +25,8 @@ use crate::knob::KnobRegistry;
 use crate::listener::{Dispatcher, Listener, ListenerHandle};
 use crate::policy::PolicyEngine;
 use crate::profile::ProfileListener;
+use crate::samples::SampleHistoryListener;
+use crate::snapshot::{Introspection, IntrospectionSnapshot};
 use crate::trace::TraceListener;
 use std::sync::Arc;
 
@@ -33,6 +35,7 @@ pub struct LookingGlassBuilder {
     clock: Option<Arc<dyn Clock>>,
     trace_capacity: Option<usize>,
     concurrency_history: usize,
+    sample_history: Option<usize>,
     with_policy_engine: bool,
 }
 
@@ -42,6 +45,7 @@ impl Default for LookingGlassBuilder {
             clock: None,
             trace_capacity: None,
             concurrency_history: 1024,
+            sample_history: None,
             with_policy_engine: true,
         }
     }
@@ -66,6 +70,14 @@ impl LookingGlassBuilder {
         self
     }
 
+    /// Enables the sample-history listener with the given per-metric ring
+    /// capacity, so window-mean metrics can be registered on the
+    /// introspection facade.
+    pub fn sample_history(mut self, capacity: usize) -> Self {
+        self.sample_history = Some(capacity);
+        self
+    }
+
     /// Disables the policy engine listener (observation-only instances).
     pub fn without_policy_engine(mut self) -> Self {
         self.with_policy_engine = false;
@@ -86,8 +98,16 @@ impl LookingGlassBuilder {
             dispatcher.register(t.clone());
             t
         });
+        let samples = self.sample_history.map(|cap| {
+            let s = Arc::new(SampleHistoryListener::new(names.clone(), cap));
+            dispatcher.register(s.clone());
+            s
+        });
         let knobs = Arc::new(KnobRegistry::new());
+        knobs.attach_clock(clock.clone());
+        let introspection = Arc::new(Introspection::new(profiles.clone(), concurrency.clone()));
         let policy_engine = PolicyEngine::new(knobs.clone());
+        policy_engine.attach_introspection(introspection.clone());
         if self.with_policy_engine {
             dispatcher.register(policy_engine.clone());
         }
@@ -98,6 +118,8 @@ impl LookingGlassBuilder {
             profiles,
             concurrency,
             trace,
+            samples,
+            introspection,
             knobs,
             policy_engine,
         })
@@ -112,6 +134,8 @@ pub struct LookingGlass {
     profiles: Arc<ProfileListener>,
     concurrency: Arc<ConcurrencyListener>,
     trace: Option<Arc<TraceListener>>,
+    samples: Option<Arc<SampleHistoryListener>>,
+    introspection: Arc<Introspection>,
     knobs: Arc<KnobRegistry>,
     policy_engine: Arc<PolicyEngine>,
 }
@@ -155,6 +179,23 @@ impl LookingGlass {
     /// The event tracer, if enabled at build time.
     pub fn trace(&self) -> Option<&Arc<TraceListener>> {
         self.trace.as_ref()
+    }
+
+    /// The sample-history listener, if enabled at build time.
+    pub fn samples(&self) -> Option<&Arc<SampleHistoryListener>> {
+        self.samples.as_ref()
+    }
+
+    /// The introspection facade (register gauges and window means here;
+    /// the policy engine measures through it).
+    pub fn introspection(&self) -> &Arc<Introspection> {
+        &self.introspection
+    }
+
+    /// Captures a coherent point-in-time snapshot at the instance clock's
+    /// current time.
+    pub fn snapshot(&self) -> IntrospectionSnapshot {
+        self.introspection.capture(self.now_ns())
     }
 
     /// The knob registry.
@@ -396,7 +437,7 @@ mod tests {
         lg.knobs()
             .register(AtomicKnob::new(KnobSpec::new("k", 0, 10), 0));
         lg.policy_engine().register_triggered(
-            FnPolicy::new("phase-react", |_, trigger| {
+            FnPolicy::new("phase-react", |_, trigger, _snapshot| {
                 if matches!(trigger, Trigger::Event(Event::PhaseBegin { .. })) {
                     PolicyDecision::set("k", 7)
                 } else {
@@ -418,6 +459,40 @@ mod tests {
             t.yield_point();
         }
         assert_eq!(lg.profiles().get("y").unwrap().yields, 1);
+    }
+
+    #[test]
+    fn snapshot_is_a_coherent_point_in_time_view() {
+        let clock = Arc::new(VirtualClock::new());
+        let lg = LookingGlass::builder().clock(clock.clone()).build();
+        {
+            let _t = lg.timer("work");
+            clock.advance_by(500);
+        }
+        let gauge = lg.introspection().register_gauge("answer", || 42.0);
+        let snap = lg.snapshot();
+        assert_eq!(snap.t_ns, clock.now_ns());
+        assert_eq!(snap.total_completed, 1);
+        assert_eq!(snap.value(gauge), Some(42.0));
+        assert_eq!(snap.profile("work").unwrap().count, 1);
+    }
+
+    #[test]
+    fn sample_history_feeds_window_mean_metrics() {
+        let clock = Arc::new(VirtualClock::new());
+        let lg = LookingGlass::builder()
+            .clock(clock.clone())
+            .sample_history(64)
+            .build();
+        let history = lg.samples().expect("enabled at build time").clone();
+        let power =
+            lg.introspection()
+                .register_window_mean("power.mean_w", history, "power", 1_000_000);
+        lg.sample("power", 10.0);
+        clock.advance_by(100);
+        lg.sample("power", 30.0);
+        let snap = lg.snapshot();
+        assert_eq!(snap.value(power), Some(20.0));
     }
 
     #[test]

@@ -1,23 +1,38 @@
-//! Bounded journal of policy actuations.
+//! The actuation journal — the single, bounded audit trail of knob writes.
 //!
-//! The [`KnobRegistry`](crate::KnobRegistry) logs every knob write, but
-//! recovery needs more: *who* wrote, *when*, and what the value was
-//! before — enough for a watchdog to correlate a throughput regression
-//! with the actuation that caused it and undo exactly that write. The
-//! [`ActuationJournal`] keeps a bounded ring of such records; when full,
-//! the oldest records fall off and are counted, never silently lost.
+//! Every write that goes through the [`KnobRegistry`](crate::KnobRegistry)
+//! lands here: *who* wrote (policy, session, watchdog, or a direct caller),
+//! *when*, and what the value was before — enough for a watchdog to
+//! correlate a throughput regression with the actuation that caused it and
+//! undo exactly that write. The [`ActuationJournal`] keeps a bounded ring
+//! of such records; when full, the oldest records fall off and are
+//! counted, never silently lost.
+//!
+//! The ring is lock-free on the write path so journaling never serialises
+//! actuators: a writer claims a slot with one `fetch_add` on the head
+//! ticket and publishes the record seqlock-style (the slot's `seq` field
+//! is zeroed while the payload is being written and set to the record's
+//! sequence number when it is complete). Readers validate `seq` before
+//! *and* after copying the payload and skip slots caught mid-write.
+//! Policy and knob names are interned into `u32` ids via a shared
+//! [`TaskNames`] table, so recording costs no allocation for names seen
+//! before; hot consumers (the watchdog) read the raw id-based records and
+//! only resolve ids to strings at the edge.
 
-use parking_lot::Mutex;
-use std::collections::VecDeque;
+use crate::event::{TaskId, TaskNames};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 
-/// One policy-driven knob write.
+/// Journal capacity used when a registry or engine builds its own journal.
+pub const DEFAULT_JOURNAL_CAPACITY: usize = 256;
+
+/// One knob write, with names resolved to strings (the audit view).
 #[derive(Clone, Debug, PartialEq)]
 pub struct ActuationRecord {
-    /// Monotonic sequence number (unique within a journal).
+    /// Monotonic sequence number (unique within a journal, starts at 1).
     pub seq: u64,
     /// Virtual or wall time of the write.
     pub t_ns: u64,
-    /// Name of the policy that decided the write.
+    /// Name of the policy (or other actor) that decided the write.
     pub policy: String,
     /// Knob written.
     pub knob: String,
@@ -27,17 +42,73 @@ pub struct ActuationRecord {
     pub to: i64,
     /// Whether this write has since been rolled back.
     pub rolled_back: bool,
+    /// If this write *is* a rollback, the seq of the record it undoes.
+    pub rollback_of: Option<u64>,
 }
 
-struct Inner {
-    records: VecDeque<ActuationRecord>,
-    next_seq: u64,
-    evicted: u64,
+/// One knob write with interned ids — the allocation-free consumer view.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RawActuationRecord {
+    /// Monotonic sequence number (unique within a journal, starts at 1).
+    pub seq: u64,
+    /// Virtual or wall time of the write.
+    pub t_ns: u64,
+    /// Interned actor name (resolve via [`ActuationJournal::names`]).
+    pub policy: TaskId,
+    /// Interned knob name.
+    pub knob: TaskId,
+    /// Value before the write.
+    pub from: i64,
+    /// Value applied (post-clamp).
+    pub to: i64,
+    /// Whether this write has since been rolled back.
+    pub rolled_back: bool,
+    /// If this write *is* a rollback, the seq of the record it undoes.
+    pub rollback_of: Option<u64>,
+}
+
+/// One ring slot. `seq == 0` means empty or mid-write; otherwise it holds
+/// the record's 1-based sequence number, which doubles as the seqlock
+/// version: readers load it before and after the payload and discard the
+/// copy on mismatch.
+struct Slot {
+    seq: AtomicU64,
+    t_ns: AtomicU64,
+    policy: AtomicU64,
+    knob: AtomicU64,
+    from: AtomicI64,
+    to: AtomicI64,
+    rolled_back: AtomicBool,
+    /// 0 = not a rollback; otherwise the seq this record undoes.
+    rollback_of: AtomicU64,
+}
+
+impl Slot {
+    fn empty() -> Self {
+        Self {
+            seq: AtomicU64::new(0),
+            t_ns: AtomicU64::new(0),
+            policy: AtomicU64::new(0),
+            knob: AtomicU64::new(0),
+            from: AtomicI64::new(0),
+            to: AtomicI64::new(0),
+            rolled_back: AtomicBool::new(false),
+            rollback_of: AtomicU64::new(0),
+        }
+    }
 }
 
 /// Thread-safe bounded actuation history. Cheap to share via `Arc`.
+///
+/// Writes are lock-free (one `fetch_add` plus plain atomic stores); reads
+/// never block writers. A record can momentarily be invisible to a reader
+/// racing the writer mid-publish — it becomes visible once the write
+/// completes, and sequence numbers stay gap-free either way.
 pub struct ActuationJournal {
-    inner: Mutex<Inner>,
+    slots: Vec<Slot>,
+    /// Next 0-based ticket; record `seq` is `ticket + 1`.
+    head: AtomicU64,
+    names: TaskNames,
     capacity: usize,
 }
 
@@ -49,13 +120,23 @@ impl ActuationJournal {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "journal capacity must be positive");
         Self {
-            inner: Mutex::new(Inner {
-                records: VecDeque::new(),
-                next_seq: 1,
-                evicted: 0,
-            }),
+            slots: (0..capacity).map(|_| Slot::empty()).collect(),
+            head: AtomicU64::new(0),
+            names: TaskNames::new(),
             capacity,
         }
+    }
+
+    /// The interner shared by every record's `policy`/`knob` ids. The
+    /// registry pre-interns knob names here at registration so steady-state
+    /// recording is allocation-free.
+    pub fn names(&self) -> &TaskNames {
+        &self.names
+    }
+
+    /// Interns an actor name for use with [`ActuationJournal::record_interned`].
+    pub fn intern(&self, name: &str) -> TaskId {
+        self.names.intern(name)
     }
 
     /// Appends a record, evicting the oldest if at capacity. Returns the
@@ -63,73 +144,159 @@ impl ActuationJournal {
     pub fn record(
         &self,
         t_ns: u64,
-        policy: impl Into<String>,
-        knob: impl Into<String>,
+        policy: impl AsRef<str>,
+        knob: impl AsRef<str>,
         from: i64,
         to: i64,
     ) -> u64 {
-        let mut g = self.inner.lock();
-        let seq = g.next_seq;
-        g.next_seq += 1;
-        if g.records.len() == self.capacity {
-            g.records.pop_front();
-            g.evicted += 1;
-        }
-        g.records.push_back(ActuationRecord {
-            seq,
-            t_ns,
-            policy: policy.into(),
-            knob: knob.into(),
-            from,
-            to,
-            rolled_back: false,
-        });
+        let policy = self.names.intern(policy.as_ref());
+        let knob = self.names.intern(knob.as_ref());
+        self.record_interned(t_ns, policy, knob, from, to, None)
+    }
+
+    /// Appends a record using pre-interned ids — the allocation-free path
+    /// used by the registry. `rollback_of` marks this write as the undo of
+    /// an earlier record.
+    pub fn record_interned(
+        &self,
+        t_ns: u64,
+        policy: TaskId,
+        knob: TaskId,
+        from: i64,
+        to: i64,
+        rollback_of: Option<u64>,
+    ) -> u64 {
+        let ticket = self.head.fetch_add(1, Ordering::AcqRel);
+        let seq = ticket + 1;
+        let slot = &self.slots[(ticket % self.capacity as u64) as usize];
+        // Invalidate the slot, publish the payload, then publish the seq.
+        slot.seq.store(0, Ordering::Release);
+        slot.t_ns.store(t_ns, Ordering::Relaxed);
+        slot.policy.store(policy.0 as u64, Ordering::Relaxed);
+        slot.knob.store(knob.0 as u64, Ordering::Relaxed);
+        slot.from.store(from, Ordering::Relaxed);
+        slot.to.store(to, Ordering::Relaxed);
+        slot.rolled_back.store(false, Ordering::Relaxed);
+        slot.rollback_of
+            .store(rollback_of.unwrap_or(0), Ordering::Relaxed);
+        slot.seq.store(seq, Ordering::Release);
         seq
+    }
+
+    /// Seqlock read of the slot that should hold `seq`. Returns `None` if
+    /// the record was evicted, is mid-write, or was torn by a wrapping
+    /// writer during the copy.
+    fn read_seq(&self, seq: u64) -> Option<RawActuationRecord> {
+        debug_assert!(seq >= 1);
+        let slot = &self.slots[((seq - 1) % self.capacity as u64) as usize];
+        if slot.seq.load(Ordering::Acquire) != seq {
+            return None;
+        }
+        let rec = RawActuationRecord {
+            seq,
+            t_ns: slot.t_ns.load(Ordering::Relaxed),
+            policy: TaskId(slot.policy.load(Ordering::Relaxed) as u32),
+            knob: TaskId(slot.knob.load(Ordering::Relaxed) as u32),
+            from: slot.from.load(Ordering::Relaxed),
+            to: slot.to.load(Ordering::Relaxed),
+            rolled_back: slot.rolled_back.load(Ordering::Relaxed),
+            rollback_of: match slot.rollback_of.load(Ordering::Relaxed) {
+                0 => None,
+                s => Some(s),
+            },
+        };
+        if slot.seq.load(Ordering::Acquire) != seq {
+            return None;
+        }
+        Some(rec)
     }
 
     /// Marks the record with `seq` rolled back; returns false if it has
     /// already been evicted.
     pub fn mark_rolled_back(&self, seq: u64) -> bool {
-        let mut g = self.inner.lock();
-        match g.records.iter_mut().find(|r| r.seq == seq) {
-            Some(r) => {
-                r.rolled_back = true;
-                true
-            }
-            None => false,
+        if seq == 0 || seq > self.head.load(Ordering::Acquire) {
+            return false;
+        }
+        let slot = &self.slots[((seq - 1) % self.capacity as u64) as usize];
+        if slot.seq.load(Ordering::Acquire) != seq {
+            return false; // evicted (or mid-overwrite, which implies evicted)
+        }
+        slot.rolled_back.store(true, Ordering::Release);
+        // If a wrapping writer reclaimed the slot between the check and the
+        // store, the flag landed on a *newer* record; report failure so the
+        // caller knows the target is gone. The stray flag is repaired by
+        // the writer protocol (every publish resets `rolled_back`), so this
+        // race can only mis-mark a record that is itself being evicted.
+        slot.seq.load(Ordering::Acquire) == seq
+    }
+
+    /// Oldest retained sequence number (1-based); `None` when empty.
+    fn oldest_seq(&self) -> Option<u64> {
+        let head = self.head.load(Ordering::Acquire);
+        if head == 0 {
+            return None;
+        }
+        Some(head.saturating_sub(self.capacity as u64 - 1).max(1))
+    }
+
+    /// Retained raw records with `seq > after`, oldest first. The
+    /// allocation-free view: names stay interned.
+    pub fn raw_records_since(&self, after: u64) -> Vec<RawActuationRecord> {
+        let head = self.head.load(Ordering::Acquire);
+        let Some(oldest) = self.oldest_seq() else {
+            return Vec::new();
+        };
+        (oldest.max(after + 1)..=head)
+            .filter_map(|s| self.read_seq(s))
+            .collect()
+    }
+
+    fn resolve(&self, raw: RawActuationRecord) -> ActuationRecord {
+        ActuationRecord {
+            seq: raw.seq,
+            t_ns: raw.t_ns,
+            policy: self.names.resolve(raw.policy).unwrap_or_default(),
+            knob: self.names.resolve(raw.knob).unwrap_or_default(),
+            from: raw.from,
+            to: raw.to,
+            rolled_back: raw.rolled_back,
+            rollback_of: raw.rollback_of,
         }
     }
 
     /// All retained records, oldest first.
     pub fn records(&self) -> Vec<ActuationRecord> {
-        self.inner.lock().records.iter().cloned().collect()
+        self.records_since(0)
     }
 
     /// Retained records with `seq > after`, oldest first.
     pub fn records_since(&self, after: u64) -> Vec<ActuationRecord> {
-        self.inner
-            .lock()
-            .records
-            .iter()
-            .filter(|r| r.seq > after)
-            .cloned()
+        self.raw_records_since(after)
+            .into_iter()
+            .map(|r| self.resolve(r))
             .collect()
     }
 
-    /// The most recent non-rolled-back record for `knob`, if retained.
+    /// The most recent record for `knob` that is neither rolled back nor
+    /// itself a rollback — i.e. the newest write a rollback could undo.
     pub fn latest_for(&self, knob: &str) -> Option<ActuationRecord> {
-        self.inner
-            .lock()
-            .records
-            .iter()
+        let id = self.names.lookup(knob)?;
+        self.latest_for_id(id).map(|r| self.resolve(r))
+    }
+
+    /// Id-based variant of [`ActuationJournal::latest_for`].
+    pub fn latest_for_id(&self, knob: TaskId) -> Option<RawActuationRecord> {
+        let head = self.head.load(Ordering::Acquire);
+        let oldest = self.oldest_seq()?;
+        (oldest..=head)
             .rev()
-            .find(|r| r.knob == knob && !r.rolled_back)
-            .cloned()
+            .filter_map(|s| self.read_seq(s))
+            .find(|r| r.knob == knob && !r.rolled_back && r.rollback_of.is_none())
     }
 
     /// Number of retained records.
     pub fn len(&self) -> usize {
-        self.inner.lock().records.len()
+        (self.head.load(Ordering::Acquire) as usize).min(self.capacity)
     }
 
     /// True if nothing is retained.
@@ -139,7 +306,14 @@ impl ActuationJournal {
 
     /// Records evicted by the capacity bound so far.
     pub fn evicted(&self) -> u64 {
-        self.inner.lock().evicted
+        self.head
+            .load(Ordering::Acquire)
+            .saturating_sub(self.capacity as u64)
+    }
+
+    /// Total records ever written (retained + evicted).
+    pub fn total_recorded(&self) -> u64 {
+        self.head.load(Ordering::Acquire)
     }
 
     /// The retention bound.
@@ -150,11 +324,10 @@ impl ActuationJournal {
 
 impl std::fmt::Debug for ActuationJournal {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let g = self.inner.lock();
         f.debug_struct("ActuationJournal")
-            .field("len", &g.records.len())
+            .field("len", &self.len())
             .field("capacity", &self.capacity)
-            .field("evicted", &g.evicted)
+            .field("evicted", &self.evicted())
             .finish()
     }
 }
@@ -184,6 +357,7 @@ mod tests {
         }
         assert_eq!(j.len(), 3);
         assert_eq!(j.evicted(), 7);
+        assert_eq!(j.total_recorded(), 10);
         let rs = j.records();
         assert_eq!(rs[0].to, 7, "oldest retained is the 8th write");
     }
@@ -220,5 +394,62 @@ mod tests {
         let b = j.record(1, "p", "k", 1, 2);
         j.record(2, "p", "other", 0, 1);
         assert_eq!(j.latest_for("k").unwrap().seq, b);
+    }
+
+    #[test]
+    fn rollback_records_are_not_rollback_candidates() {
+        let j = ActuationJournal::new(8);
+        let s = j.record(0, "p", "k", 7, 1);
+        // The undo of `s`: restores 7, tagged as a rollback.
+        let p = j.intern("rollback");
+        let k = j.names().lookup("k").unwrap();
+        j.record_interned(1, p, k, 1, 7, Some(s));
+        assert!(j.mark_rolled_back(s));
+        assert!(
+            j.latest_for("k").is_none(),
+            "neither the rolled-back write nor its undo is a candidate"
+        );
+        let rs = j.records();
+        assert_eq!(rs[1].rollback_of, Some(s));
+        assert!(!rs[1].rolled_back);
+    }
+
+    #[test]
+    fn mark_rolled_back_fails_after_eviction() {
+        let j = ActuationJournal::new(2);
+        let s = j.record(0, "p", "k", 0, 1);
+        j.record(1, "p", "k", 1, 2);
+        j.record(2, "p", "k", 2, 3); // evicts seq 1
+        assert!(!j.mark_rolled_back(s));
+    }
+
+    #[test]
+    fn concurrent_writers_never_tear_records() {
+        let j = std::sync::Arc::new(ActuationJournal::new(4096));
+        let p = j.intern("p");
+        let k = j.intern("k");
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let j = j.clone();
+                std::thread::spawn(move || {
+                    for i in 0..500 {
+                        let v = (t * 1000 + i) as i64;
+                        j.record_interned(v as u64, p, k, v, v, None);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let rs = j.records();
+        assert_eq!(rs.len(), 2000);
+        for r in &rs {
+            assert_eq!(r.from, r.to, "payload halves must come from one write");
+            assert_eq!(r.t_ns, r.from as u64);
+        }
+        let mut seqs: Vec<u64> = rs.iter().map(|r| r.seq).collect();
+        seqs.dedup();
+        assert_eq!(seqs.len(), 2000, "seqs are unique and ordered");
     }
 }

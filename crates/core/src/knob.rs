@@ -4,16 +4,46 @@
 //! cap, the chunk size, the coalescing window, the sampling period. The
 //! subsystems that *own* the underlying state implement `Knob` (e.g. the
 //! runtime's `ThreadCap`); policies and tuning sessions find them in the
-//! [`KnobRegistry`] by name and drive them uniformly. Every set is
-//! validated against the bounds and recorded, so adaptation activity is
-//! auditable after the fact.
+//! [`KnobRegistry`] and drive them uniformly.
+//!
+//! Registration interns the knob's name into a copyable [`KnobId`], and
+//! every steady-state operation — `get`, `set`, spec lookup — goes through
+//! the id with **no registry lock and no string hash**: the registry keeps
+//! its slot table behind the same generation-stamped thread-local snapshot
+//! the event [`Dispatcher`](crate::Dispatcher) uses, so reads revalidate
+//! with a single atomic load. Name-based accessors remain as thin shims
+//! that resolve the id first.
+//!
+//! Every set is clamped against the knob's declared bounds and journaled
+//! in the registry's single [`ActuationJournal`] — the same record the
+//! audit trail shows is the one rollback and the watchdog consume. The
+//! read-of-`from` + set + journal append happens under a tiny per-knob
+//! mutex, so two racing writers can never both claim the same `from`
+//! value (the bug that used to make rollback restore the wrong state).
+//! Writers to *different* knobs never contend.
 
-use parking_lot::RwLock;
+use crate::clock::Clock;
+use crate::event::TaskId;
+use crate::journal::{ActuationJournal, DEFAULT_JOURNAL_CAPACITY};
+use lg_tuning::{Dim, Space};
+use parking_lot::{Mutex, RwLock};
+use std::cell::RefCell;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicI64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 
-/// Declared bounds and identity of a knob.
+/// How a knob's value range should be enumerated when deriving a tuning
+/// dimension from its spec.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum KnobScale {
+    /// Enumerate `min..=max` with the spec's `step`.
+    #[default]
+    Linear,
+    /// Enumerate the powers of two inside `min..=max` (chunk sizes, caps).
+    Pow2,
+}
+
+/// Declared bounds, identity, and tuning metadata of a knob.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct KnobSpec {
     /// Unique name, e.g. `"thread_cap"`.
@@ -22,10 +52,19 @@ pub struct KnobSpec {
     pub min: i64,
     /// Largest settable value (inclusive).
     pub max: i64,
+    /// Unit label for reports (e.g. `"workers"`, `"ns"`); empty if unitless.
+    pub unit: String,
+    /// Granularity for linear tuning sweeps (≥ 1).
+    pub step: i64,
+    /// The value the owning subsystem starts with.
+    pub default: i64,
+    /// How tuning spaces enumerate the range.
+    pub scale: KnobScale,
 }
 
 impl KnobSpec {
-    /// Creates a spec.
+    /// Creates a spec with defaults: unitless, step 1, default `min`,
+    /// linear scale. Refine with the `with_*` builders.
     ///
     /// # Panics
     /// Panics if `min > max`.
@@ -35,6 +74,69 @@ impl KnobSpec {
             name: name.into(),
             min,
             max,
+            unit: String::new(),
+            step: 1,
+            default: min,
+            scale: KnobScale::Linear,
+        }
+    }
+
+    /// Sets the unit label.
+    pub fn with_unit(mut self, unit: impl Into<String>) -> Self {
+        self.unit = unit.into();
+        self
+    }
+
+    /// Sets the linear sweep step.
+    ///
+    /// # Panics
+    /// Panics if `step` is not positive.
+    pub fn with_step(mut self, step: i64) -> Self {
+        assert!(step > 0, "knob step must be positive");
+        self.step = step;
+        self
+    }
+
+    /// Sets the default (initial) value, clamped to the bounds.
+    pub fn with_default(mut self, default: i64) -> Self {
+        self.default = default.clamp(self.min, self.max);
+        self
+    }
+
+    /// Sets the tuning scale.
+    pub fn with_scale(mut self, scale: KnobScale) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    /// The tuning dimension this spec describes: `min..=max` by `step`
+    /// for linear knobs, the powers of two inside the bounds for
+    /// [`KnobScale::Pow2`] knobs.
+    pub fn dim(&self) -> Dim {
+        match self.scale {
+            KnobScale::Linear => Dim::range(&self.name, self.min, self.max, self.step.max(1)),
+            KnobScale::Pow2 => {
+                let mut values = Vec::new();
+                let mut v: i64 = 1;
+                while v < self.min {
+                    v <<= 1;
+                }
+                while v <= self.max {
+                    values.push(v);
+                    if v > i64::MAX / 2 {
+                        break;
+                    }
+                    v <<= 1;
+                }
+                assert!(
+                    !values.is_empty(),
+                    "no power of two inside {}..={} for knob '{}'",
+                    self.min,
+                    self.max,
+                    self.name
+                );
+                Dim::values(&self.name, values)
+            }
         }
     }
 }
@@ -82,7 +184,43 @@ impl Knob for AtomicKnob {
     }
 }
 
-/// One recorded actuation.
+/// Interned handle to a registered knob. Copyable, hashable, and stable
+/// across re-registration of the same name (a restarted subsystem's new
+/// knob lands in the same slot, so held ids keep working).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct KnobId(pub u32);
+
+/// A knob reference as carried by a policy decision: either a resolved id
+/// (steady-state, no lookup at apply time) or a name (resolved per apply —
+/// the compatibility shim).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum KnobTarget {
+    /// Pre-resolved handle.
+    Id(KnobId),
+    /// Name to resolve at apply time.
+    Name(String),
+}
+
+impl From<KnobId> for KnobTarget {
+    fn from(id: KnobId) -> Self {
+        KnobTarget::Id(id)
+    }
+}
+
+impl From<&str> for KnobTarget {
+    fn from(name: &str) -> Self {
+        KnobTarget::Name(name.to_owned())
+    }
+}
+
+impl From<String> for KnobTarget {
+    fn from(name: String) -> Self {
+        KnobTarget::Name(name)
+    }
+}
+
+/// One recorded actuation (audit view; see [`ActuationJournal`] for the
+/// full who/when records).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct KnobChange {
     /// Knob name.
@@ -93,79 +231,384 @@ pub struct KnobChange {
     pub to: i64,
 }
 
-/// Registry of knobs, with bounds checking and an actuation log.
-#[derive(Default)]
+/// One registered knob: its spec, pre-interned journal name, the
+/// actuator itself, and the per-knob write lock that makes
+/// read-`from` + set + journal atomic.
+struct KnobSlot {
+    spec: KnobSpec,
+    /// The knob's name interned in the journal's table at registration,
+    /// so steady-state sets journal without hashing or allocating.
+    jname: TaskId,
+    knob: Arc<dyn Knob>,
+    write: Mutex<()>,
+}
+
+/// The registry's shared state, swapped copy-on-write under the lock.
+struct Shared {
+    /// Slot table indexed by `KnobId`. Deregistered slots hold `None`;
+    /// indices are never reused for a *different* name.
+    slots: Arc<Vec<Option<Arc<KnobSlot>>>>,
+    /// Name → slot index. Bindings survive deregistration so a stale
+    /// `KnobId` re-resolves to the replacement knob.
+    by_name: HashMap<String, u32>,
+}
+
+/// Max registries a thread caches slot tables for (FIFO eviction beyond).
+const KNOB_CACHE_MAX: usize = 16;
+
+struct CachedKnobs {
+    registry: u64,
+    generation: u64,
+    slots: Arc<Vec<Option<Arc<KnobSlot>>>>,
+}
+
+thread_local! {
+    /// Per-thread slot-table cache, keyed by registry id. Mirrors the
+    /// Dispatcher's listener-snapshot cache: revalidated with one Acquire
+    /// load of the registry generation; reentrant access (a knob's `set`
+    /// reading another knob) falls back to the shared table.
+    static KNOB_SNAPSHOTS: RefCell<Vec<CachedKnobs>> = const { RefCell::new(Vec::new()) };
+}
+
+static NEXT_REGISTRY_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Registry of knobs with interned ids, bounds checking, and a single
+/// journaled actuation trail.
 pub struct KnobRegistry {
-    knobs: RwLock<HashMap<String, Arc<dyn Knob>>>,
-    log: RwLock<Vec<KnobChange>>,
+    /// Process-unique id keying the thread-local snapshot cache.
+    id: u64,
+    shared: RwLock<Shared>,
+    /// Bumped (under the write lock) by every register/deregister.
+    generation: AtomicU64,
+    /// The one actuation journal: audit, rollback, and the watchdog all
+    /// read these records.
+    journal: Arc<ActuationJournal>,
+    /// Timestamps for convenience setters; id-carrying callers (engine,
+    /// sessions) pass their own `t_ns`.
+    clock: OnceLock<Arc<dyn Clock>>,
+    /// Interned actor for sets made without an explicit actor.
+    actor_direct: TaskId,
+    /// Interned actor for `rollback_last_of` restore writes.
+    actor_rollback: TaskId,
+}
+
+impl Default for KnobRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl KnobRegistry {
-    /// Creates an empty registry.
+    /// Creates an empty registry with a journal of
+    /// [`DEFAULT_JOURNAL_CAPACITY`] records.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_journal_capacity(DEFAULT_JOURNAL_CAPACITY)
     }
 
-    /// Registers a knob under its spec name. Replaces any previous knob
-    /// with the same name (re-registration after a subsystem restart).
-    pub fn register(&self, knob: Arc<dyn Knob>) {
-        let name = knob.spec().name.clone();
-        self.knobs.write().insert(name, knob);
+    /// Creates an empty registry whose journal retains `capacity` records.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn with_journal_capacity(capacity: usize) -> Self {
+        let journal = Arc::new(ActuationJournal::new(capacity));
+        let actor_direct = journal.intern("direct");
+        let actor_rollback = journal.intern("rollback");
+        Self {
+            id: NEXT_REGISTRY_ID.fetch_add(1, Ordering::Relaxed),
+            shared: RwLock::new(Shared {
+                slots: Arc::new(Vec::new()),
+                by_name: HashMap::new(),
+            }),
+            generation: AtomicU64::new(0),
+            journal,
+            clock: OnceLock::new(),
+            actor_direct,
+            actor_rollback,
+        }
     }
 
-    /// Removes a knob by name; returns true if present.
-    pub fn deregister(&self, name: &str) -> bool {
-        self.knobs.write().remove(name).is_some()
+    /// Attaches the clock used to timestamp convenience sets. The first
+    /// attach wins; later calls are ignored (one registry, one clock).
+    pub fn attach_clock(&self, clock: Arc<dyn Clock>) {
+        let _ = self.clock.set(clock);
     }
 
-    /// Looks up a knob.
-    pub fn get(&self, name: &str) -> Option<Arc<dyn Knob>> {
-        self.knobs.read().get(name).cloned()
+    fn now(&self) -> u64 {
+        self.clock.get().map_or(0, |c| c.now_ns())
     }
 
-    /// Current value of a knob, if registered.
-    pub fn value(&self, name: &str) -> Option<i64> {
-        self.get(name).map(|k| k.get())
+    /// The registry's actuation journal — the single audit trail every
+    /// consumer (policies, rollback, watchdog, reports) shares.
+    pub fn journal(&self) -> &Arc<ActuationJournal> {
+        &self.journal
     }
 
-    /// Sets `name` to `value` after clamping to the knob's bounds.
-    /// Returns the applied value, or `None` if the knob is unknown.
-    pub fn set(&self, name: &str, value: i64) -> Option<i64> {
-        let knob = self.get(name)?;
+    /// Interns `name` as an actor id for [`KnobRegistry::set_id_as`], so
+    /// repeated sets by the same actor journal allocation-free.
+    pub fn actor(&self, name: &str) -> TaskId {
+        self.journal.intern(name)
+    }
+
+    /// Registers a knob under its spec name, returning its [`KnobId`].
+    /// Re-registering a name replaces the knob in place: previously
+    /// handed-out ids resolve to the replacement.
+    pub fn register(&self, knob: Arc<dyn Knob>) -> KnobId {
         let spec = knob.spec();
-        let clamped = value.clamp(spec.min, spec.max);
-        let from = knob.get();
-        knob.set(clamped);
-        self.log.write().push(KnobChange {
-            name: name.to_owned(),
-            from,
-            to: clamped,
+        let jname = self.journal.intern(&spec.name);
+        let mut shared = self.shared.write();
+        let mut next = (*shared.slots).clone();
+        let idx = match shared.by_name.get(&spec.name).copied() {
+            Some(i) => i,
+            None => {
+                let i = next.len() as u32;
+                shared.by_name.insert(spec.name.clone(), i);
+                next.push(None);
+                i
+            }
+        };
+        next[idx as usize] = Some(Arc::new(KnobSlot {
+            spec,
+            jname,
+            knob,
+            write: Mutex::new(()),
+        }));
+        shared.slots = Arc::new(next);
+        // Published while holding the write lock, so a refresh that reads
+        // this generation under the read lock pairs it with this table.
+        self.generation.fetch_add(1, Ordering::Release);
+        KnobId(idx)
+    }
+
+    /// Removes a knob by name; returns true if present. The name keeps its
+    /// slot index, so ids held across a deregister/re-register cycle stay
+    /// valid (and resolve to nothing in between).
+    pub fn deregister(&self, name: &str) -> bool {
+        let mut shared = self.shared.write();
+        let Some(i) = shared.by_name.get(name).copied() else {
+            return false;
+        };
+        if shared.slots[i as usize].is_none() {
+            return false;
+        }
+        let mut next = (*shared.slots).clone();
+        next[i as usize] = None;
+        shared.slots = Arc::new(next);
+        self.generation.fetch_add(1, Ordering::Release);
+        true
+    }
+
+    /// Resolves a name to its id, if a knob is currently registered.
+    pub fn id(&self, name: &str) -> Option<KnobId> {
+        let shared = self.shared.read();
+        let i = shared.by_name.get(name).copied()?;
+        shared.slots.get(i as usize)?.as_ref()?;
+        Some(KnobId(i))
+    }
+
+    /// Resolves an id back to the knob's name.
+    pub fn name(&self, id: KnobId) -> Option<String> {
+        self.with_slot(id, |s| s.spec.name.clone())
+    }
+
+    /// Runs `f` against the slot for `id`, resolving through the
+    /// thread-local snapshot: one generation load in steady state, no
+    /// registry lock, no string hash.
+    fn with_slot<R>(&self, id: KnobId, f: impl FnOnce(&KnobSlot) -> R) -> Option<R> {
+        let generation = self.generation.load(Ordering::Acquire);
+        let mut f = Some(f);
+        let cached = KNOB_SNAPSHOTS.with(|cell| {
+            // Reentrant access (a knob's set reading the registry) finds
+            // the cache borrowed and takes the shared-table slow path.
+            let Ok(mut cache) = cell.try_borrow_mut() else {
+                return None;
+            };
+            let entry = match cache.iter().position(|c| c.registry == self.id) {
+                Some(i) => {
+                    if cache[i].generation != generation {
+                        let (generation, slots) = self.load_shared();
+                        cache[i].generation = generation;
+                        cache[i].slots = slots;
+                    }
+                    &cache[i]
+                }
+                None => {
+                    if cache.len() == KNOB_CACHE_MAX {
+                        cache.remove(0);
+                    }
+                    let (generation, slots) = self.load_shared();
+                    cache.push(CachedKnobs {
+                        registry: self.id,
+                        generation,
+                        slots,
+                    });
+                    cache.last().expect("just pushed")
+                }
+            };
+            let slot = entry.slots.get(id.0 as usize).and_then(|s| s.as_ref());
+            Some(slot.map(|s| (f.take().expect("not yet called"))(s)))
         });
-        Some(clamped)
+        match cached {
+            Some(result) => result,
+            None => {
+                let slots = self.shared.read().slots.clone();
+                let slot = slots.get(id.0 as usize).and_then(|s| s.as_ref());
+                slot.map(|s| (f.take().expect("not yet called"))(s))
+            }
+        }
+    }
+
+    /// Reads a consistent (generation, slot table) pair under the read
+    /// lock (registration bumps the generation under the write lock).
+    fn load_shared(&self) -> (u64, Arc<Vec<Option<Arc<KnobSlot>>>>) {
+        let shared = self.shared.read();
+        (
+            self.generation.load(Ordering::Acquire),
+            shared.slots.clone(),
+        )
+    }
+
+    /// Looks up a knob by name (shim over [`KnobRegistry::id`]).
+    pub fn get(&self, name: &str) -> Option<Arc<dyn Knob>> {
+        self.get_id(self.id(name)?)
+    }
+
+    /// Looks up a knob by id.
+    pub fn get_id(&self, id: KnobId) -> Option<Arc<dyn Knob>> {
+        self.with_slot(id, |s| s.knob.clone())
+    }
+
+    /// Current value of a knob, if registered (name shim).
+    pub fn value(&self, name: &str) -> Option<i64> {
+        self.value_id(self.id(name)?)
+    }
+
+    /// Current value by id — lock-free in steady state.
+    pub fn value_id(&self, id: KnobId) -> Option<i64> {
+        self.with_slot(id, |s| s.knob.get())
+    }
+
+    /// The spec of a registered knob, by id.
+    pub fn spec(&self, id: KnobId) -> Option<KnobSpec> {
+        self.with_slot(id, |s| s.spec.clone())
+    }
+
+    /// The atomic write path: clamp, read `from`, set, journal — all under
+    /// the per-knob lock, so concurrent writers serialize per knob and the
+    /// journal's `from` chain is exact. Writers to different knobs never
+    /// contend, and the registry itself is not locked.
+    fn set_inner(
+        &self,
+        id: KnobId,
+        value: i64,
+        actor: TaskId,
+        t_ns: u64,
+        rollback_of: Option<u64>,
+    ) -> Option<i64> {
+        self.with_slot(id, |slot| {
+            let clamped = value.clamp(slot.spec.min, slot.spec.max);
+            let _write = slot.write.lock();
+            let from = slot.knob.get();
+            slot.knob.set(clamped);
+            self.journal
+                .record_interned(t_ns, actor, slot.jname, from, clamped, rollback_of);
+            clamped
+        })
+    }
+
+    /// Sets a knob by id after clamping to its bounds. Returns the applied
+    /// value, or `None` if the id resolves to nothing. Journaled under the
+    /// registry's "direct" actor with the attached clock's timestamp.
+    pub fn set_id(&self, id: KnobId, value: i64) -> Option<i64> {
+        self.set_inner(id, value, self.actor_direct, self.now(), None)
+    }
+
+    /// Sets a knob by id on behalf of `actor` at `t_ns` — the path the
+    /// policy engine, tuning sessions, and the watchdog use so the journal
+    /// records who actuated and when.
+    pub fn set_id_as(&self, id: KnobId, value: i64, actor: TaskId, t_ns: u64) -> Option<i64> {
+        self.set_inner(id, value, actor, t_ns, None)
+    }
+
+    /// Sets `name` to `value` after clamping (name shim over
+    /// [`KnobRegistry::set_id`]).
+    pub fn set(&self, name: &str, value: i64) -> Option<i64> {
+        self.set_id(self.id(name)?, value)
+    }
+
+    /// Name-shim over [`KnobRegistry::set_id_as`].
+    pub fn set_as(&self, name: &str, value: i64, actor: TaskId, t_ns: u64) -> Option<i64> {
+        self.set_id_as(self.id(name)?, value, actor, t_ns)
+    }
+
+    /// Undoes the most recent journaled write to `name` that is neither a
+    /// rollback itself nor already rolled back: restores the recorded
+    /// `from` value (journaled as a `rollback_of` record) and marks the
+    /// original record rolled back. Returns the restored value.
+    pub fn rollback_last_of(&self, name: &str) -> Option<i64> {
+        let rec = self.journal.latest_for(name)?;
+        let id = self.id(name)?;
+        let restored =
+            self.set_inner(id, rec.from, self.actor_rollback, self.now(), Some(rec.seq))?;
+        self.journal.mark_rolled_back(rec.seq);
+        Some(restored)
     }
 
     /// Every registered knob's spec, sorted by name.
     pub fn specs(&self) -> Vec<KnobSpec> {
-        let mut v: Vec<KnobSpec> = self.knobs.read().values().map(|k| k.spec()).collect();
+        let slots = self.shared.read().slots.clone();
+        let mut v: Vec<KnobSpec> = slots
+            .iter()
+            .filter_map(|s| s.as_ref().map(|s| s.spec.clone()))
+            .collect();
         v.sort_by(|a, b| a.name.cmp(&b.name));
         v
     }
 
-    /// Copy of the actuation log.
-    pub fn changes(&self) -> Vec<KnobChange> {
-        self.log.read().clone()
+    /// Derives a tuning [`Space`] from the registered specs of `names`,
+    /// in order — linear knobs become stepped ranges, [`KnobScale::Pow2`]
+    /// knobs become power-of-two value lists. No hand-built spaces.
+    ///
+    /// # Panics
+    /// Panics if any name is not registered.
+    pub fn space_for(&self, names: &[&str]) -> Space {
+        let dims = names
+            .iter()
+            .map(|n| {
+                let id = self
+                    .id(n)
+                    .unwrap_or_else(|| panic!("space_for: unknown knob '{n}'"));
+                self.spec(id).expect("slot present").dim()
+            })
+            .collect();
+        Space::new(dims)
     }
 
-    /// Number of actuations recorded.
+    /// Audit view of the retained journal records (see
+    /// [`KnobRegistry::journal`] for who/when detail).
+    pub fn changes(&self) -> Vec<KnobChange> {
+        self.journal
+            .records()
+            .into_iter()
+            .map(|r| KnobChange {
+                name: r.knob,
+                from: r.from,
+                to: r.to,
+            })
+            .collect()
+    }
+
+    /// Number of actuations recorded over the registry's lifetime
+    /// (including records the bounded journal has since evicted).
     pub fn change_count(&self) -> usize {
-        self.log.read().len()
+        self.journal.total_recorded() as usize
     }
 }
 
 impl std::fmt::Debug for KnobRegistry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let slots = self.shared.read().slots.clone();
         f.debug_struct("KnobRegistry")
-            .field("knobs", &self.knobs.read().len())
+            .field("knobs", &slots.iter().filter(|s| s.is_some()).count())
             .field("changes", &self.change_count())
             .finish()
     }
@@ -253,5 +696,117 @@ mod tests {
     #[should_panic(expected = "knob min must be <= max")]
     fn bad_spec_rejected() {
         let _ = KnobSpec::new("k", 5, 4);
+    }
+
+    #[test]
+    fn id_and_name_access_agree() {
+        let reg = KnobRegistry::new();
+        let id = reg.register(knob("cap", 1, 64, 8));
+        assert_eq!(reg.id("cap"), Some(id));
+        assert_eq!(reg.name(id).as_deref(), Some("cap"));
+        assert_eq!(reg.value("cap"), reg.value_id(id));
+        assert_eq!(reg.set_id(id, 16), Some(16));
+        assert_eq!(reg.value("cap"), Some(16));
+        assert_eq!(reg.set("cap", 24), Some(24));
+        assert_eq!(reg.value_id(id), Some(24));
+    }
+
+    #[test]
+    fn ids_survive_reregistration() {
+        let reg = KnobRegistry::new();
+        let id = reg.register(knob("k", 0, 10, 3));
+        assert!(reg.deregister("k"));
+        assert_eq!(reg.value_id(id), None, "deregistered slot is empty");
+        assert_eq!(reg.id("k"), None);
+        let id2 = reg.register(knob("k", 0, 100, 50));
+        assert_eq!(id, id2, "the name keeps its slot index");
+        assert_eq!(reg.value_id(id), Some(50), "stale id sees the new knob");
+    }
+
+    #[test]
+    fn sets_journal_with_actor_and_rollback_undoes() {
+        let reg = KnobRegistry::new();
+        let id = reg.register(knob("k", 0, 100, 7));
+        let actor = reg.actor("test-policy");
+        assert_eq!(reg.set_id_as(id, 42, actor, 5), Some(42));
+        let recs = reg.journal().records();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].policy, "test-policy");
+        assert_eq!((recs[0].from, recs[0].to, recs[0].t_ns), (7, 42, 5));
+        assert_eq!(reg.rollback_last_of("k"), Some(7));
+        assert_eq!(reg.value_id(id), Some(7));
+        let recs = reg.journal().records();
+        assert_eq!(recs.len(), 2);
+        assert!(recs[0].rolled_back);
+        assert_eq!(recs[1].rollback_of, Some(recs[0].seq));
+        assert_eq!(recs[1].policy, "rollback");
+        assert_eq!(
+            reg.rollback_last_of("k"),
+            None,
+            "a rollback is consumed: neither record is a candidate"
+        );
+    }
+
+    #[test]
+    fn concurrent_sets_keep_journal_chain_exact() {
+        // Regression test for the read-modify-log race: with the old
+        // unlocked read of `from`, two racing writers could both record
+        // the same `from`, breaking the chain rollback relies on.
+        let reg = Arc::new(KnobRegistry::with_journal_capacity(4096));
+        let id = reg.register(knob("k", 0, i64::MAX, 0));
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let reg = reg.clone();
+                std::thread::spawn(move || {
+                    let actor = reg.actor("writer");
+                    for i in 0..200 {
+                        reg.set_id_as(id, (t * 1000 + i) as i64 + 1, actor, 0);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let recs = reg.journal().records();
+        assert_eq!(recs.len(), 1600);
+        let mut value = 0;
+        for r in &recs {
+            assert_eq!(
+                r.from, value,
+                "each record's `from` must be the previous record's `to`"
+            );
+            value = r.to;
+        }
+        assert_eq!(reg.value_id(id), Some(value));
+    }
+
+    #[test]
+    fn space_for_derives_dims_from_specs() {
+        let reg = KnobRegistry::new();
+        reg.register(AtomicKnob::new(
+            KnobSpec::new("cap", 1, 32).with_scale(KnobScale::Pow2),
+            32,
+        ));
+        reg.register(AtomicKnob::new(
+            KnobSpec::new("freq", 200, 1000).with_step(200),
+            1000,
+        ));
+        let space = reg.space_for(&["cap", "freq"]);
+        let dims = space.dims();
+        assert_eq!(dims[0].all_values(), &[1, 2, 4, 8, 16, 32]);
+        assert_eq!(dims[1].all_values(), &[200, 400, 600, 800, 1000]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown knob")]
+    fn space_for_unknown_knob_panics() {
+        KnobRegistry::new().space_for(&["nope"]);
+    }
+
+    #[test]
+    fn pow2_dim_respects_min_bound() {
+        let spec = KnobSpec::new("k", 3, 20).with_scale(KnobScale::Pow2);
+        assert_eq!(spec.dim().all_values(), &[4, 8, 16]);
     }
 }

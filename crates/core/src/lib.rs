@@ -32,10 +32,20 @@
 //! * [`policy`] — periodic and event-triggered policies; the engine runs
 //!   on a wall-clock thread or is stepped manually under virtual time.
 //!   Policy panics are contained, and repeat offenders are quarantined.
-//! * [`knob`] — named integer actuators with bounds; the write side of
-//!   adaptation.
-//! * [`journal`] — bounded history of policy actuations (who wrote which
-//!   knob, from what, to what), the substrate for rollback.
+//! * [`snapshot`] — the read side of adaptation: a coherent point-in-time
+//!   [`snapshot::IntrospectionSnapshot`] (profiles, concurrency, gauges,
+//!   window rates, counters) addressed by interned
+//!   [`snapshot::MetricId`]s; policies, tuning sessions, the watchdog,
+//!   and report writers all measure through it.
+//! * [`knob`] — typed integer actuators with bounds, units, steps and
+//!   defaults; names intern to copyable [`knob::KnobId`] handles at
+//!   registration, and steady-state get/set is lock-free on the read
+//!   side (generation-stamped registry snapshots) with one per-knob
+//!   mutex on the write side.
+//! * [`journal`] — THE actuation history: a single bounded lock-free
+//!   ring every [`knob::KnobRegistry::set`] appends to atomically (who
+//!   wrote which knob, from what, to what). Audit, rollback, and the
+//!   watchdog all consume the same records.
 //! * [`watchdog`] — a policy that detects post-actuation throughput
 //!   regressions and rolls back the offending knob write.
 //! * [`session`] — the online tuning loop: settle → measure → report →
@@ -59,6 +69,7 @@ pub mod policy;
 pub mod profile;
 pub mod samples;
 pub mod session;
+pub mod snapshot;
 pub mod trace;
 pub mod watchdog;
 
@@ -68,11 +79,12 @@ pub use concurrency::ConcurrencyListener;
 pub use event::{Event, TaskId, TaskNames};
 pub use instance::{LookingGlass, LookingGlassBuilder, Timer};
 pub use journal::{ActuationJournal, ActuationRecord};
-pub use knob::{Knob, KnobRegistry, KnobSpec};
+pub use knob::{Knob, KnobId, KnobRegistry, KnobScale, KnobSpec, KnobTarget};
 pub use listener::{Dispatcher, Listener};
 pub use policy::{Policy, PolicyDecision, PolicyEngine, PolicyHandle};
 pub use profile::{ProfileListener, ProfileSnapshot, TaskProfile};
 pub use samples::SampleHistoryListener;
 pub use session::{EpochReport, SessionConfig, SessionStep, TuningSession};
+pub use snapshot::{Introspection, IntrospectionSnapshot, MetricId};
 pub use trace::{TraceListener, TraceRecord};
 pub use watchdog::RegressionWatchdog;

@@ -1,9 +1,9 @@
 //! The policy engine: periodic and event-triggered policies.
 //!
-//! A [`Policy`] inspects introspection state and returns a
-//! [`PolicyDecision`] — typically a set of knob writes. The engine
-//! supports two trigger styles, mirroring the synchronous/asynchronous
-//! split in the observation layer:
+//! A [`Policy`] inspects the [`IntrospectionSnapshot`] the engine hands it
+//! and returns a [`PolicyDecision`] — typically a set of knob writes. The
+//! engine supports two trigger styles, mirroring the
+//! synchronous/asynchronous split in the observation layer:
 //!
 //! * **Periodic** policies run every `period_ns`. Under a wall clock the
 //!   engine owns a ticker thread; under a virtual clock the simulator
@@ -12,15 +12,20 @@
 //! * **Event-triggered** policies run inline when a matching event is
 //!   dispatched (the engine is itself a [`Listener`]).
 //!
-//! Decisions are applied through the [`KnobRegistry`], so every actuation
-//! is bounds-checked and logged regardless of which policy produced it.
+//! Each evaluation round captures **one** snapshot from the attached
+//! [`Introspection`] facade and shares it across every policy that fires,
+//! so all decisions in a round see the same coherent state. Decisions are
+//! applied through the [`KnobRegistry`], so every actuation is
+//! bounds-checked and journaled in the registry's single
+//! [`ActuationJournal`] — there is no second, engine-private log.
 
 use crate::clock::Clock;
-use crate::event::Event;
+use crate::event::{Event, TaskId};
 use crate::journal::ActuationJournal;
-use crate::knob::KnobRegistry;
+use crate::knob::{KnobRegistry, KnobTarget};
 use crate::listener::Listener;
-use parking_lot::Mutex;
+use crate::snapshot::{Introspection, IntrospectionSnapshot};
+use parking_lot::{Mutex, RwLock};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -28,8 +33,8 @@ use std::sync::Arc;
 /// What a policy wants done.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct PolicyDecision {
-    /// Knob writes to apply, as `(knob_name, value)`.
-    pub sets: Vec<(String, i64)>,
+    /// Knob writes to apply, as `(knob, value)`.
+    pub sets: Vec<(KnobTarget, i64)>,
     /// If true, the policy is finished and should be deregistered.
     pub retire: bool,
 }
@@ -40,10 +45,10 @@ impl PolicyDecision {
         Self::default()
     }
 
-    /// A decision setting a single knob.
-    pub fn set(name: impl Into<String>, value: i64) -> Self {
+    /// A decision setting a single knob (by [`crate::KnobId`] or name).
+    pub fn set(knob: impl Into<KnobTarget>, value: i64) -> Self {
         Self {
-            sets: vec![(name.into(), value)],
+            sets: vec![(knob.into(), value)],
             retire: false,
         }
     }
@@ -60,8 +65,15 @@ pub trait Policy: Send {
     /// Diagnostic name.
     fn name(&self) -> &str;
 
-    /// Called on each matching trigger with the current time.
-    fn evaluate(&mut self, now_ns: u64, trigger: Trigger<'_>) -> PolicyDecision;
+    /// Called on each matching trigger with the current time and the
+    /// round's shared introspection snapshot (empty if no facade is
+    /// attached to the engine).
+    fn evaluate(
+        &mut self,
+        now_ns: u64,
+        trigger: Trigger<'_>,
+        snapshot: &IntrospectionSnapshot,
+    ) -> PolicyDecision;
 }
 
 /// Why a policy is being evaluated.
@@ -83,6 +95,9 @@ pub type EventFilter = Box<dyn Fn(&Event) -> bool + Send + Sync>;
 struct Registered {
     id: u64,
     policy: Box<dyn Policy>,
+    /// The policy's name interned in the journal at registration, so its
+    /// actuations journal allocation-free.
+    actor: TaskId,
     kind: Kind,
     consecutive_panics: u32,
     quarantined: bool,
@@ -102,7 +117,10 @@ enum Kind {
 pub struct PolicyEngine {
     policies: Mutex<Vec<Registered>>,
     knobs: Arc<KnobRegistry>,
+    /// The knob registry's journal (one journal per control plane).
     journal: Arc<ActuationJournal>,
+    /// The read-side facade evaluations snapshot from, once attached.
+    introspection: RwLock<Option<Arc<Introspection>>>,
     next_id: AtomicU64,
     evaluations: AtomicU64,
     actuations: AtomicU64,
@@ -114,21 +132,41 @@ impl PolicyEngine {
     /// Consecutive panics before a policy is quarantined, by default.
     pub const DEFAULT_QUARANTINE_THRESHOLD: u32 = 3;
 
-    /// Actuation records retained for rollback, by default.
-    pub const DEFAULT_JOURNAL_CAPACITY: usize = 256;
+    /// Actuation records retained for rollback, by default (the knob
+    /// registry's journal capacity).
+    pub const DEFAULT_JOURNAL_CAPACITY: usize = crate::journal::DEFAULT_JOURNAL_CAPACITY;
 
-    /// Creates an engine applying decisions to `knobs`.
+    /// Creates an engine applying decisions to `knobs`. The engine shares
+    /// the registry's actuation journal rather than keeping its own.
     pub fn new(knobs: Arc<KnobRegistry>) -> Arc<Self> {
+        let journal = knobs.journal().clone();
         Arc::new(Self {
             policies: Mutex::new(Vec::new()),
             knobs,
-            journal: Arc::new(ActuationJournal::new(Self::DEFAULT_JOURNAL_CAPACITY)),
+            journal,
+            introspection: RwLock::new(None),
             next_id: AtomicU64::new(1),
             evaluations: AtomicU64::new(0),
             actuations: AtomicU64::new(0),
             panics: AtomicU64::new(0),
             quarantine_threshold: AtomicU64::new(Self::DEFAULT_QUARANTINE_THRESHOLD as u64),
         })
+    }
+
+    /// Attaches the introspection facade whose snapshots evaluations
+    /// receive. Until attached, policies see [`IntrospectionSnapshot::empty`].
+    pub fn attach_introspection(&self, introspection: Arc<Introspection>) {
+        *self.introspection.write() = Some(introspection);
+    }
+
+    /// Captures the round's shared snapshot (or an empty one when no
+    /// facade is attached). Called *outside* the policies lock so metric
+    /// sources can never deadlock against registration.
+    fn capture_or_empty(&self, now_ns: u64) -> IntrospectionSnapshot {
+        match self.introspection.read().as_ref() {
+            Some(i) => i.capture(now_ns),
+            None => IntrospectionSnapshot::empty(now_ns),
+        }
     }
 
     /// Registers a periodic policy first due at `now_ns + period_ns`.
@@ -140,9 +178,11 @@ impl PolicyEngine {
     ) -> PolicyHandle {
         assert!(period_ns > 0, "period must be positive");
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let actor = self.knobs.actor(policy.name());
         self.policies.lock().push(Registered {
             id,
             policy,
+            actor,
             kind: Kind::Periodic {
                 period_ns,
                 next_due_ns: now_ns + period_ns,
@@ -156,9 +196,11 @@ impl PolicyEngine {
     /// Registers an event-triggered policy with a filter.
     pub fn register_triggered(&self, policy: Box<dyn Policy>, filter: EventFilter) -> PolicyHandle {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let actor = self.knobs.actor(policy.name());
         self.policies.lock().push(Registered {
             id,
             policy,
+            actor,
             kind: Kind::Triggered { filter },
             consecutive_panics: 0,
             quarantined: false,
@@ -223,28 +265,30 @@ impl PolicyEngine {
             .count()
     }
 
-    /// The bounded actuation journal (share it with a
-    /// [`crate::watchdog::RegressionWatchdog`] to enable rollback).
+    /// The actuation journal — the knob registry's single audit trail
+    /// (share it with a [`crate::watchdog::RegressionWatchdog`] to enable
+    /// rollback).
     pub fn journal(&self) -> &Arc<ActuationJournal> {
         &self.journal
     }
 
     /// Rolls back the most recent non-rolled-back journalled write to
     /// `knob`, restoring its pre-actuation value. Returns the restored
-    /// value, or `None` if no such write is retained.
+    /// value, or `None` if no such write is retained. Delegates to the
+    /// registry so the undo is itself journaled and raceless.
     pub fn rollback_last_of(&self, knob: &str) -> Option<i64> {
-        let rec = self.journal.latest_for(knob)?;
-        let restored = self.knobs.set(knob, rec.from)?;
-        self.journal.mark_rolled_back(rec.seq);
-        Some(restored)
+        self.knobs.rollback_last_of(knob)
     }
 
-    fn apply(&self, now_ns: u64, policy: &str, decision: &PolicyDecision) {
-        for (name, value) in &decision.sets {
-            let from = self.knobs.value(name);
-            if let (Some(from), Some(applied)) = (from, self.knobs.set(name, *value)) {
+    fn apply(&self, now_ns: u64, actor: TaskId, decision: &PolicyDecision) {
+        for (target, value) in &decision.sets {
+            let id = match target {
+                KnobTarget::Id(id) => Some(*id),
+                KnobTarget::Name(name) => self.knobs.id(name),
+            };
+            let applied = id.and_then(|id| self.knobs.set_id_as(id, *value, actor, now_ns));
+            if applied.is_some() {
                 self.actuations.fetch_add(1, Ordering::Relaxed);
-                self.journal.record(now_ns, policy, name, from, applied);
             }
         }
     }
@@ -255,10 +299,13 @@ impl PolicyEngine {
         r: &mut Registered,
         now_ns: u64,
         trigger: Trigger<'_>,
+        snapshot: &IntrospectionSnapshot,
         panics: &AtomicU64,
         threshold: u32,
     ) -> Option<PolicyDecision> {
-        match catch_unwind(AssertUnwindSafe(|| r.policy.evaluate(now_ns, trigger))) {
+        match catch_unwind(AssertUnwindSafe(|| {
+            r.policy.evaluate(now_ns, trigger, snapshot)
+        })) {
             Ok(d) => {
                 r.consecutive_panics = 0;
                 Some(d)
@@ -274,6 +321,14 @@ impl PolicyEngine {
         }
     }
 
+    /// True if any live periodic policy is due at `now_ns`.
+    fn any_periodic_due(&self, now_ns: u64) -> bool {
+        self.policies.lock().iter().any(|r| {
+            !r.quarantined
+                && matches!(&r.kind, Kind::Periodic { next_due_ns, .. } if now_ns >= *next_due_ns)
+        })
+    }
+
     /// Runs every periodic policy that is due at `now_ns`. A policy that
     /// fell multiple periods behind fires once and is rescheduled from
     /// `now_ns` (no catch-up bursts). A policy whose evaluation panics is
@@ -282,8 +337,13 @@ impl PolicyEngine {
     /// quarantined: registered but never evaluated again. Returns the
     /// number of evaluations (panicked evaluations included).
     pub fn step(&self, now_ns: u64) -> usize {
+        if !self.any_periodic_due(now_ns) {
+            return 0;
+        }
+        // One snapshot per round, captured outside the policies lock.
+        let snapshot = self.capture_or_empty(now_ns);
         let threshold = self.quarantine_threshold.load(Ordering::Relaxed) as u32;
-        let mut decisions: Vec<(String, PolicyDecision)> = Vec::new();
+        let mut decisions: Vec<(TaskId, PolicyDecision)> = Vec::new();
         let mut fired = 0usize;
         {
             let mut ps = self.policies.lock();
@@ -304,6 +364,7 @@ impl PolicyEngine {
                             r,
                             now_ns,
                             Trigger::Periodic,
+                            &snapshot,
                             &self.panics,
                             threshold,
                         );
@@ -311,7 +372,7 @@ impl PolicyEngine {
                             if d.retire {
                                 retired.push(r.id);
                             }
-                            decisions.push((r.policy.name().to_owned(), d));
+                            decisions.push((r.actor, d));
                         }
                     }
                 }
@@ -322,8 +383,8 @@ impl PolicyEngine {
         }
         // Apply outside the policy lock: knob sets may be observed by
         // listeners that re-enter the engine.
-        for (name, d) in &decisions {
-            self.apply(now_ns, name, d);
+        for (actor, d) in &decisions {
+            self.apply(now_ns, *actor, d);
         }
         self.evaluations.fetch_add(fired as u64, Ordering::Relaxed);
         fired
@@ -364,9 +425,22 @@ impl Listener for PolicyEngine {
     fn on_event(&self, event: &Event) {
         // Evaluate matching triggered policies. Decisions are collected
         // under the lock, applied after, and retirement honored. Panics
-        // are contained exactly as in [`PolicyEngine::step`].
+        // are contained exactly as in [`PolicyEngine::step`]. The
+        // snapshot is captured only when at least one filter matches, so
+        // the no-match fast path (every event flows through here) stays a
+        // filter scan.
+        let matches_any = {
+            let ps = self.policies.lock();
+            ps.iter().any(|r| {
+                !r.quarantined && matches!(&r.kind, Kind::Triggered { filter } if filter(event))
+            })
+        };
+        if !matches_any {
+            return;
+        }
+        let snapshot = self.capture_or_empty(event.t_ns());
         let threshold = self.quarantine_threshold.load(Ordering::Relaxed) as u32;
-        let mut decisions: Vec<(String, PolicyDecision)> = Vec::new();
+        let mut decisions: Vec<(TaskId, PolicyDecision)> = Vec::new();
         let mut fired = 0u64;
         {
             let mut ps = self.policies.lock();
@@ -382,6 +456,7 @@ impl Listener for PolicyEngine {
                             r,
                             event.t_ns(),
                             Trigger::Event(event),
+                            &snapshot,
                             &self.panics,
                             threshold,
                         );
@@ -389,7 +464,7 @@ impl Listener for PolicyEngine {
                             if d.retire {
                                 retired.push(r.id);
                             }
-                            decisions.push((r.policy.name().to_owned(), d));
+                            decisions.push((r.actor, d));
                         }
                     }
                 }
@@ -399,8 +474,8 @@ impl Listener for PolicyEngine {
             }
         }
         self.evaluations.fetch_add(fired, Ordering::Relaxed);
-        for (name, d) in &decisions {
-            self.apply(event.t_ns(), name, d);
+        for (actor, d) in &decisions {
+            self.apply(event.t_ns(), *actor, d);
         }
     }
 }
@@ -431,12 +506,18 @@ impl Drop for TickerGuard {
 }
 
 /// A policy built from a closure — the common case for simple rules.
-pub struct FnPolicy<F: FnMut(u64, Trigger<'_>) -> PolicyDecision + Send> {
+pub struct FnPolicy<F>
+where
+    F: FnMut(u64, Trigger<'_>, &IntrospectionSnapshot) -> PolicyDecision + Send,
+{
     name: String,
     f: F,
 }
 
-impl<F: FnMut(u64, Trigger<'_>) -> PolicyDecision + Send> FnPolicy<F> {
+impl<F> FnPolicy<F>
+where
+    F: FnMut(u64, Trigger<'_>, &IntrospectionSnapshot) -> PolicyDecision + Send,
+{
     /// Wraps `f` as a policy called `name`.
     pub fn new(name: impl Into<String>, f: F) -> Box<Self> {
         Box::new(Self {
@@ -446,12 +527,20 @@ impl<F: FnMut(u64, Trigger<'_>) -> PolicyDecision + Send> FnPolicy<F> {
     }
 }
 
-impl<F: FnMut(u64, Trigger<'_>) -> PolicyDecision + Send> Policy for FnPolicy<F> {
+impl<F> Policy for FnPolicy<F>
+where
+    F: FnMut(u64, Trigger<'_>, &IntrospectionSnapshot) -> PolicyDecision + Send,
+{
     fn name(&self) -> &str {
         &self.name
     }
-    fn evaluate(&mut self, now_ns: u64, trigger: Trigger<'_>) -> PolicyDecision {
-        (self.f)(now_ns, trigger)
+    fn evaluate(
+        &mut self,
+        now_ns: u64,
+        trigger: Trigger<'_>,
+        snapshot: &IntrospectionSnapshot,
+    ) -> PolicyDecision {
+        (self.f)(now_ns, trigger, snapshot)
     }
 }
 
@@ -473,7 +562,7 @@ mod tests {
         let fired = Arc::new(AtomicU64::new(0));
         let fc = fired.clone();
         engine.register_periodic(
-            FnPolicy::new("p", move |_, _| {
+            FnPolicy::new("p", move |_, _, _| {
                 fc.fetch_add(1, Ordering::Relaxed);
                 PolicyDecision::noop()
             }),
@@ -492,7 +581,7 @@ mod tests {
         let knobs = registry_with("cap", 1, 32, 32);
         let engine = PolicyEngine::new(knobs.clone());
         engine.register_periodic(
-            FnPolicy::new("throttle", |_, _| PolicyDecision::set("cap", 8)),
+            FnPolicy::new("throttle", |_, _, _| PolicyDecision::set("cap", 8)),
             10,
             0,
         );
@@ -502,11 +591,29 @@ mod tests {
     }
 
     #[test]
+    fn decisions_can_target_knob_ids() {
+        let knobs = Arc::new(KnobRegistry::new());
+        let id = knobs.register(AtomicKnob::new(KnobSpec::new("cap", 1, 32), 32));
+        let engine = PolicyEngine::new(knobs.clone());
+        engine.register_periodic(
+            FnPolicy::new("typed", move |_, _, _| PolicyDecision::set(id, 4)),
+            10,
+            0,
+        );
+        engine.step(10);
+        assert_eq!(knobs.value_id(id), Some(4));
+        assert_eq!(engine.actuations(), 1);
+        let recs = engine.journal().records();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].policy, "typed");
+    }
+
+    #[test]
     fn out_of_bounds_sets_are_clamped() {
         let knobs = registry_with("cap", 1, 16, 16);
         let engine = PolicyEngine::new(knobs.clone());
         engine.register_periodic(
-            FnPolicy::new("wild", |_, _| PolicyDecision::set("cap", 10_000)),
+            FnPolicy::new("wild", |_, _, _| PolicyDecision::set("cap", 10_000)),
             10,
             0,
         );
@@ -519,7 +626,7 @@ mod tests {
         let knobs = registry_with("cap", 1, 16, 16);
         let engine = PolicyEngine::new(knobs);
         engine.register_periodic(
-            FnPolicy::new("typo", |_, _| PolicyDecision::set("cpa", 2)),
+            FnPolicy::new("typo", |_, _, _| PolicyDecision::set("cpa", 2)),
             10,
             0,
         );
@@ -532,7 +639,7 @@ mod tests {
         let knobs = registry_with("window", 1, 512, 1);
         let engine = PolicyEngine::new(knobs.clone());
         engine.register_triggered(
-            FnPolicy::new("on-phase", |_, trigger| {
+            FnPolicy::new("on-phase", |_, trigger, _| {
                 if let Trigger::Event(Event::PhaseBegin { .. }) = trigger {
                     PolicyDecision::set("window", 64)
                 } else {
@@ -555,7 +662,7 @@ mod tests {
         let knobs = registry_with("k", 0, 10, 0);
         let engine = PolicyEngine::new(knobs.clone());
         engine.register_triggered(
-            FnPolicy::new("once", |_, _| PolicyDecision::set("k", 5).and_retire()),
+            FnPolicy::new("once", |_, _, _| PolicyDecision::set("k", 5).and_retire()),
             Box::new(|_| true),
         );
         engine.on_event(&Event::PeriodicTick { t_ns: 0 });
@@ -573,7 +680,8 @@ mod tests {
     fn deregister_by_handle() {
         let knobs = registry_with("k", 0, 10, 0);
         let engine = PolicyEngine::new(knobs);
-        let h = engine.register_periodic(FnPolicy::new("p", |_, _| PolicyDecision::noop()), 10, 0);
+        let h =
+            engine.register_periodic(FnPolicy::new("p", |_, _, _| PolicyDecision::noop()), 10, 0);
         assert_eq!(engine.policy_count(), 1);
         assert!(engine.deregister(h));
         assert_eq!(engine.policy_count(), 0);
@@ -588,7 +696,7 @@ mod tests {
         let slow = Arc::new(AtomicU64::new(0));
         let (f, s) = (fast.clone(), slow.clone());
         engine.register_periodic(
-            FnPolicy::new("fast", move |_, _| {
+            FnPolicy::new("fast", move |_, _, _| {
                 f.fetch_add(1, Ordering::Relaxed);
                 PolicyDecision::noop()
             }),
@@ -596,7 +704,7 @@ mod tests {
             0,
         );
         engine.register_periodic(
-            FnPolicy::new("slow", move |_, _| {
+            FnPolicy::new("slow", move |_, _, _| {
                 s.fetch_add(1, Ordering::Relaxed);
                 PolicyDecision::noop()
             }),
@@ -611,6 +719,53 @@ mod tests {
     }
 
     #[test]
+    fn evaluations_receive_the_attached_snapshot() {
+        use crate::concurrency::ConcurrencyListener;
+        use crate::event::TaskNames;
+        use crate::profile::ProfileListener;
+
+        let knobs = registry_with("cap", 1, 32, 32);
+        let engine = PolicyEngine::new(knobs.clone());
+        let names = TaskNames::new();
+        let intro = Arc::new(Introspection::new(
+            Arc::new(ProfileListener::new(names)),
+            Arc::new(ConcurrencyListener::new(16)),
+        ));
+        let gauge = intro.register_gauge("load", || 0.75);
+        engine.attach_introspection(intro);
+        let seen = Arc::new(Mutex::new(None));
+        let sc = seen.clone();
+        engine.register_periodic(
+            FnPolicy::new("reader", move |_, _, snap: &IntrospectionSnapshot| {
+                *sc.lock() = Some((snap.t_ns, snap.value(gauge)));
+                PolicyDecision::noop()
+            }),
+            10,
+            0,
+        );
+        engine.step(10);
+        assert_eq!(*seen.lock(), Some((10, Some(0.75))));
+    }
+
+    #[test]
+    fn unattached_engine_hands_policies_an_empty_snapshot() {
+        let knobs = registry_with("k", 0, 10, 0);
+        let engine = PolicyEngine::new(knobs);
+        let seen = Arc::new(AtomicU64::new(u64::MAX));
+        let sc = seen.clone();
+        engine.register_periodic(
+            FnPolicy::new("reader", move |_, _, snap: &IntrospectionSnapshot| {
+                sc.store(snap.seq, Ordering::Relaxed);
+                PolicyDecision::noop()
+            }),
+            10,
+            0,
+        );
+        engine.step(10);
+        assert_eq!(seen.load(Ordering::Relaxed), 0, "empty snapshot has seq 0");
+    }
+
+    #[test]
     fn wall_clock_ticker_drives_steps() {
         use crate::clock::WallClock;
         let knobs = registry_with("k", 0, 1000, 0);
@@ -618,7 +773,7 @@ mod tests {
         let count = Arc::new(AtomicU64::new(0));
         let c = count.clone();
         engine.register_periodic(
-            FnPolicy::new("tick", move |_, _| {
+            FnPolicy::new("tick", move |_, _, _| {
                 c.fetch_add(1, Ordering::Relaxed);
                 PolicyDecision::noop()
             }),

@@ -1,14 +1,18 @@
 //! Online tuning sessions: the measure → report → move loop.
 //!
-//! A [`TuningSession`] binds together a set of knobs (by name), a search
-//! strategy from `lg-tuning`, and an epoch protocol:
+//! A [`TuningSession`] binds together a set of knobs (resolved to
+//! [`KnobId`]s once, at construction), a search strategy from `lg-tuning`,
+//! and an epoch protocol:
 //!
 //! 1. **Actuate** — ask the search for the next candidate point and write
-//!    it to the knobs.
+//!    it to the knobs (journaled under the session's actor).
 //! 2. **Settle** — wait `settle_ns` for the runtime to reach steady state
 //!    under the new configuration (in-flight tasks drain, workers park).
 //! 3. **Measure** — the caller observes the objective over `measure_ns`
-//!    (throughput from profiles, energy from the meter, EDP, …).
+//!    (throughput from profiles, energy from the meter, EDP, …). With an
+//!    [`Introspection`] facade attached, [`TuningSession::complete_via`]
+//!    measures by diffing the epoch's begin/end snapshots instead of
+//!    scraping listeners by hand.
 //! 4. **Report** — feed the objective back; the search decides where to
 //!    look next.
 //!
@@ -17,7 +21,9 @@
 //! tuning in the simulator. [`TuningSession::run_blocking`] is a
 //! convenience driver for the wall-clock case.
 
-use crate::knob::KnobRegistry;
+use crate::event::TaskId;
+use crate::knob::{KnobId, KnobRegistry};
+use crate::snapshot::{Introspection, IntrospectionSnapshot};
 use lg_tuning::{Point, Search};
 use std::sync::Arc;
 
@@ -82,30 +88,65 @@ pub enum SessionStep {
 /// An online tuning session (see module docs).
 pub struct TuningSession {
     cfg: SessionConfig,
+    /// Ids for `cfg.knob_names`, resolved once at construction.
+    ids: Vec<KnobId>,
+    /// The session's interned journal actor.
+    actor: TaskId,
     search: Box<dyn Search>,
     knobs: Arc<KnobRegistry>,
+    introspection: Option<Arc<Introspection>>,
     pending: Option<(Point, u64)>,
+    /// Snapshot captured when the in-flight epoch was actuated (only with
+    /// an attached facade).
+    pending_begin: Option<IntrospectionSnapshot>,
     history: Vec<EpochReport>,
     finished: bool,
 }
 
 impl TuningSession {
-    /// Creates a session.
+    /// Creates a session. Knob names are resolved to ids here, once.
     ///
     /// # Panics
-    /// Panics if `knob_names` is empty.
+    /// Panics if `knob_names` is empty or any name is not registered.
     pub fn new(cfg: SessionConfig, search: Box<dyn Search>, knobs: Arc<KnobRegistry>) -> Self {
         assert!(
             !cfg.knob_names.is_empty(),
             "session needs at least one knob"
         );
+        let ids = cfg
+            .knob_names
+            .iter()
+            .map(|n| {
+                knobs
+                    .id(n)
+                    .unwrap_or_else(|| panic!("tuning session: unknown knob '{n}'"))
+            })
+            .collect();
+        let actor = knobs.actor("tuning-session");
         Self {
             cfg,
+            ids,
+            actor,
             search,
             knobs,
+            introspection: None,
             pending: None,
+            pending_begin: None,
             history: Vec::new(),
             finished: false,
+        }
+    }
+
+    /// Attaches the introspection facade [`TuningSession::complete_via`]
+    /// measures through.
+    pub fn with_introspection(mut self, introspection: Arc<Introspection>) -> Self {
+        self.introspection = Some(introspection);
+        self
+    }
+
+    fn actuate(&self, point: &Point, now_ns: u64) {
+        for (id, value) in self.ids.iter().zip(point) {
+            self.knobs.set_id_as(*id, *value, self.actor, now_ns);
         }
     }
 
@@ -119,21 +160,20 @@ impl TuningSession {
     pub fn next(&mut self, now_ns: u64) -> SessionStep {
         assert!(self.pending.is_none(), "epoch already in flight");
         if self.finished || (self.cfg.max_epochs > 0 && self.history.len() >= self.cfg.max_epochs) {
-            return self.finish();
+            return self.finish(now_ns);
         }
         match self.search.propose() {
-            None => self.finish(),
+            None => self.finish(now_ns),
             Some(point) => {
                 assert_eq!(
                     point.len(),
-                    self.cfg.knob_names.len(),
+                    self.ids.len(),
                     "search space arity != knob count"
                 );
-                for (name, value) in self.cfg.knob_names.iter().zip(&point) {
-                    self.knobs.set(name, *value);
-                }
+                self.actuate(&point, now_ns);
                 let measure_from_ns = now_ns + self.cfg.settle_ns;
                 self.pending = Some((point.clone(), measure_from_ns));
+                self.pending_begin = self.introspection.as_ref().map(|i| i.capture(now_ns));
                 SessionStep::Measure {
                     point,
                     measure_from_ns,
@@ -151,6 +191,7 @@ impl TuningSession {
             .pending
             .take()
             .expect("complete() without a pending epoch");
+        self.pending_begin = None;
         self.search.report(&point, objective);
         self.history.push(EpochReport {
             epoch: self.history.len(),
@@ -160,14 +201,41 @@ impl TuningSession {
         });
     }
 
-    fn finish(&mut self) -> SessionStep {
+    /// Completes the in-flight epoch by capturing an end snapshot at
+    /// `now_ns` and scoring the epoch with `objective(begin, end)` — the
+    /// snapshot-diff measurement path (e.g. `ΔE · Δt` for EDP).
+    ///
+    /// # Panics
+    /// Panics if no epoch is in flight or no facade was attached via
+    /// [`TuningSession::with_introspection`].
+    pub fn complete_via(
+        &mut self,
+        now_ns: u64,
+        objective: impl FnOnce(&IntrospectionSnapshot, &IntrospectionSnapshot) -> f64,
+    ) {
+        assert!(
+            self.pending.is_some(),
+            "complete_via() without a pending epoch"
+        );
+        let begin = self
+            .pending_begin
+            .take()
+            .expect("complete_via() requires with_introspection()");
+        let end = self
+            .introspection
+            .as_ref()
+            .expect("facade checked above")
+            .capture(now_ns);
+        let y = objective(&begin, &end);
+        self.complete(y);
+    }
+
+    fn finish(&mut self, now_ns: u64) -> SessionStep {
         self.finished = true;
         let best = self.search.best();
         if let Some((point, _)) = &best {
             // Leave the system running at the winner.
-            for (name, value) in self.cfg.knob_names.iter().zip(point) {
-                self.knobs.set(name, *value);
-            }
+            self.actuate(point, now_ns);
         }
         SessionStep::Done { best }
     }
@@ -363,6 +431,15 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "unknown knob 'nope'")]
+    fn unknown_knob_rejected_at_construction() {
+        let knobs = knobs_with_cap(4);
+        let space = Space::new(vec![Dim::range("nope", 1, 4, 1)]);
+        let search = Box::new(HillClimb::from_start(space, &[2]));
+        let _ = TuningSession::new(SessionConfig::single("nope", 0, 0), search, knobs);
+    }
+
+    #[test]
     fn history_is_faithful() {
         let knobs = knobs_with_cap(4);
         let space = Space::new(vec![Dim::range("cap", 1, 4, 1)]);
@@ -375,6 +452,57 @@ mod tests {
             assert_eq!(e.epoch, i);
             assert_eq!(e.objective, e.point[0] as f64);
         }
+    }
+
+    #[test]
+    fn session_actuations_are_journaled_under_its_actor() {
+        let knobs = knobs_with_cap(8);
+        let space = Space::new(vec![Dim::range("cap", 1, 8, 1)]);
+        let search = Box::new(HillClimb::from_start(space, &[4]));
+        let mut session =
+            TuningSession::new(SessionConfig::single("cap", 0, 0), search, knobs.clone());
+        drive(&mut session, |p| p[0] as f64);
+        let recs = knobs.journal().records();
+        assert!(!recs.is_empty());
+        assert!(recs.iter().all(|r| r.policy == "tuning-session"));
+        assert!(recs.iter().all(|r| r.knob == "cap"));
+    }
+
+    #[test]
+    fn complete_via_scores_from_snapshot_diff() {
+        use crate::concurrency::ConcurrencyListener;
+        use crate::event::TaskNames;
+        use crate::profile::ProfileListener;
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        let knobs = knobs_with_cap(4);
+        let names = TaskNames::new();
+        let intro = Arc::new(Introspection::new(
+            Arc::new(ProfileListener::new(names)),
+            Arc::new(ConcurrencyListener::new(16)),
+        ));
+        let energy = Arc::new(AtomicU64::new(0));
+        let e = energy.clone();
+        let gauge = intro.register_gauge("energy_j", move || e.load(Ordering::Relaxed) as f64);
+        let space = Space::new(vec![Dim::range("cap", 1, 4, 1)]);
+        let search = Box::new(HillClimb::from_start(space, &[2]));
+        let mut session = TuningSession::new(SessionConfig::single("cap", 0, 0), search, knobs)
+            .with_introspection(intro);
+        let mut now = 0u64;
+        while let SessionStep::Measure { point, .. } = session.next(now) {
+            // Each epoch "consumes" energy proportional to the cap.
+            energy.fetch_add(point[0] as u64 * 10, Ordering::Relaxed);
+            now += 100;
+            session.complete_via(now, |begin, end| {
+                end.value(gauge).unwrap() - begin.value(gauge).unwrap()
+            });
+        }
+        let h = session.history();
+        assert!(!h.is_empty());
+        for e in h {
+            assert_eq!(e.objective, e.point[0] as f64 * 10.0, "ΔE per epoch");
+        }
+        assert_eq!(session.best().unwrap().0, vec![1], "lowest ΔE wins");
     }
 
     #[test]

@@ -1,0 +1,424 @@
+//! The read side of adaptation: one coherent, point-in-time view.
+//!
+//! Every decision-maker — policies, tuning sessions, the regression
+//! watchdog, report writers — used to scrape the listeners it happened to
+//! know about ([`ProfileListener`], [`ConcurrencyListener`], counters,
+//! sample windows) with its own extraction code. [`Introspection`] is the
+//! single facade over all of them: backends register *metric sources*
+//! (gauges, window means over sampled series, counter registries) under
+//! names resolved once into copyable [`MetricId`]s, and
+//! [`Introspection::capture`] materialises everything into one immutable
+//! [`IntrospectionSnapshot`]. Consumers query the snapshot — by id on hot
+//! paths, by name at the edges — and two snapshots diff cleanly (e.g.
+//! [`IntrospectionSnapshot::throughput_since`]), which is how the watchdog
+//! detects regressions and tuning sessions score epochs without touching
+//! any listener directly.
+
+use crate::concurrency::ConcurrencyListener;
+use crate::profile::{ProfileListener, ProfileSnapshot, TaskProfile};
+use crate::samples::SampleHistoryListener;
+use lg_metrics::CounterRegistry;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Interned handle to a registered metric. Copyable; resolved once via
+/// [`Introspection::register_gauge`] (and friends) or
+/// [`Introspection::metric_id`], then used for lock-free-ish snapshot
+/// queries with no string hash.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MetricId(pub u32);
+
+/// One registered metric source, evaluated at capture time.
+enum Source {
+    /// An instantaneous reading (an atomic the backend updates, a
+    /// computed ratio, a meter total).
+    Gauge(Box<dyn Fn() -> f64 + Send + Sync>),
+    /// Mean of a sampled series over a trailing window ending at capture.
+    WindowMean {
+        history: Arc<SampleHistoryListener>,
+        metric: String,
+        window_ns: u64,
+    },
+}
+
+struct Inner {
+    sources: Vec<Source>,
+    by_name: HashMap<String, u32>,
+    /// Metric names in id order, shared immutably with every snapshot.
+    names: Arc<Vec<String>>,
+    counters: Vec<Arc<CounterRegistry>>,
+}
+
+/// The registration facade and capture engine for the read side.
+///
+/// Backends (sim runtime, real pool) register their metrics here through
+/// one identical API; consumers only ever see the snapshots it produces.
+pub struct Introspection {
+    profiles: Arc<ProfileListener>,
+    concurrency: Arc<ConcurrencyListener>,
+    inner: RwLock<Inner>,
+    /// Capture sequence, so consumers can tell snapshots apart.
+    seq: AtomicU64,
+}
+
+impl Introspection {
+    /// Creates the facade over an instance's profile and concurrency
+    /// listeners (always present; metric sources are added per backend).
+    pub fn new(profiles: Arc<ProfileListener>, concurrency: Arc<ConcurrencyListener>) -> Self {
+        Self {
+            profiles,
+            concurrency,
+            inner: RwLock::new(Inner {
+                sources: Vec::new(),
+                by_name: HashMap::new(),
+                names: Arc::new(Vec::new()),
+                counters: Vec::new(),
+            }),
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    fn register_source(&self, name: &str, source: Source) -> MetricId {
+        let mut inner = self.inner.write();
+        if let Some(&i) = inner.by_name.get(name) {
+            inner.sources[i as usize] = source;
+            return MetricId(i);
+        }
+        let i = inner.sources.len() as u32;
+        inner.sources.push(source);
+        inner.by_name.insert(name.to_owned(), i);
+        let mut names = (*inner.names).clone();
+        names.push(name.to_owned());
+        inner.names = Arc::new(names);
+        MetricId(i)
+    }
+
+    /// Registers an instantaneous gauge evaluated at each capture.
+    /// Re-registering a name replaces its source, keeping the id.
+    pub fn register_gauge(
+        &self,
+        name: &str,
+        read: impl Fn() -> f64 + Send + Sync + 'static,
+    ) -> MetricId {
+        self.register_source(name, Source::Gauge(Box::new(read)))
+    }
+
+    /// Registers a trailing-window mean over a sampled series: each
+    /// capture reads `history.mean_over(metric, window_ns)`.
+    pub fn register_window_mean(
+        &self,
+        name: &str,
+        history: Arc<SampleHistoryListener>,
+        metric: impl Into<String>,
+        window_ns: u64,
+    ) -> MetricId {
+        self.register_source(
+            name,
+            Source::WindowMean {
+                history,
+                metric: metric.into(),
+                window_ns,
+            },
+        )
+    }
+
+    /// Adds a counter registry whose counters appear (name-sorted) in
+    /// every snapshot.
+    pub fn register_counters(&self, counters: Arc<CounterRegistry>) {
+        self.inner.write().counters.push(counters);
+    }
+
+    /// Resolves a metric name to its id, if registered.
+    pub fn metric_id(&self, name: &str) -> Option<MetricId> {
+        self.inner.read().by_name.get(name).copied().map(MetricId)
+    }
+
+    /// Names of all registered metrics, in id order.
+    pub fn metric_names(&self) -> Vec<String> {
+        (*self.inner.read().names).clone()
+    }
+
+    /// Materialises the point-in-time view: evaluates every metric
+    /// source, snapshots counters and per-task profiles, and reads the
+    /// concurrency gauges — all stamped with `t_ns`.
+    pub fn capture(&self, t_ns: u64) -> IntrospectionSnapshot {
+        let inner = self.inner.read();
+        let values = inner
+            .sources
+            .iter()
+            .map(|s| match s {
+                Source::Gauge(read) => {
+                    let v = read();
+                    v.is_finite().then_some(v)
+                }
+                Source::WindowMean {
+                    history,
+                    metric,
+                    window_ns,
+                } => history.mean_over(metric, *window_ns),
+            })
+            .collect();
+        let mut counters: Vec<(String, u64)> = inner
+            .counters
+            .iter()
+            .flat_map(|c| c.snapshot_counters())
+            .collect();
+        counters.sort_by(|a, b| a.0.cmp(&b.0));
+        IntrospectionSnapshot {
+            t_ns,
+            seq: self.seq.fetch_add(1, Ordering::Relaxed) + 1,
+            metric_names: inner.names.clone(),
+            values,
+            counters,
+            profiles: self.profiles.snapshot(),
+            total_completed: self.profiles.total_completed(),
+            active_tasks: self.concurrency.active_tasks(),
+            online_workers: self.concurrency.online_workers(),
+            peak_tasks: self.concurrency.peak_tasks(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Introspection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.read();
+        f.debug_struct("Introspection")
+            .field("metrics", &inner.sources.len())
+            .field("counter_registries", &inner.counters.len())
+            .finish()
+    }
+}
+
+/// A point-in-time view of everything the observation layer knows:
+/// registered metric values, counters, per-task profiles, and concurrency
+/// gauges. Immutable once captured; `Clone` is cheap-ish (the metric name
+/// table is shared).
+#[derive(Clone, Debug)]
+pub struct IntrospectionSnapshot {
+    /// Capture time (virtual or wall, per the instance clock).
+    pub t_ns: u64,
+    /// Capture sequence within the producing [`Introspection`] (1-based).
+    pub seq: u64,
+    /// Tasks completed since the profiler started (or was reset).
+    pub total_completed: u64,
+    /// Tasks executing right now.
+    pub active_tasks: i64,
+    /// Workers currently online.
+    pub online_workers: i64,
+    /// High-water mark of concurrent tasks.
+    pub peak_tasks: i64,
+    pub(crate) metric_names: Arc<Vec<String>>,
+    /// Indexed by `MetricId`; `None` when a source had nothing to report
+    /// (empty sample window, non-finite gauge).
+    pub(crate) values: Vec<Option<f64>>,
+    pub(crate) counters: Vec<(String, u64)>,
+    pub(crate) profiles: ProfileSnapshot,
+}
+
+impl IntrospectionSnapshot {
+    /// A snapshot with no metrics, no counters, and no profiles — what a
+    /// policy sees before any introspection facade is attached.
+    pub fn empty(t_ns: u64) -> Self {
+        Self {
+            t_ns,
+            seq: 0,
+            total_completed: 0,
+            active_tasks: 0,
+            online_workers: 0,
+            peak_tasks: 0,
+            metric_names: Arc::new(Vec::new()),
+            values: Vec::new(),
+            counters: Vec::new(),
+            profiles: Vec::new(),
+        }
+    }
+
+    /// The value of a registered metric at capture time, by id.
+    pub fn value(&self, id: MetricId) -> Option<f64> {
+        self.values.get(id.0 as usize).copied().flatten()
+    }
+
+    /// Name-based metric lookup (edge/report use; hot paths hold ids).
+    pub fn value_by_name(&self, name: &str) -> Option<f64> {
+        let i = self.metric_names.iter().position(|n| n == name)?;
+        self.values[i].as_ref().copied()
+    }
+
+    /// Metric names in id order.
+    pub fn metric_names(&self) -> &[String] {
+        &self.metric_names
+    }
+
+    /// All metric (name, value) pairs in id order.
+    pub fn metrics(&self) -> impl Iterator<Item = (&str, Option<f64>)> {
+        self.metric_names
+            .iter()
+            .map(|n| n.as_str())
+            .zip(self.values.iter().copied())
+    }
+
+    /// A counter's value at capture time.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|i| self.counters[i].1)
+    }
+
+    /// All counters, name-sorted.
+    pub fn counters(&self) -> &[(String, u64)] {
+        &self.counters
+    }
+
+    /// Per-task profiles at capture time.
+    pub fn profiles(&self) -> &[TaskProfile] {
+        &self.profiles
+    }
+
+    /// One task's profile, by name.
+    pub fn profile(&self, name: &str) -> Option<&TaskProfile> {
+        self.profiles.iter().find(|p| p.name == name)
+    }
+
+    /// Completed tasks per second between `prev` and this snapshot —
+    /// the canonical regression-watchdog rate. `None` if no time passed.
+    pub fn throughput_since(&self, prev: &IntrospectionSnapshot) -> Option<f64> {
+        let dt_ns = self.t_ns.checked_sub(prev.t_ns)?;
+        if dt_ns == 0 {
+            return None;
+        }
+        let done = self.total_completed.saturating_sub(prev.total_completed);
+        Some(done as f64 / (dt_ns as f64 / 1e9))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Event, TaskNames};
+    use crate::listener::Listener;
+    use std::sync::atomic::AtomicU64 as Au64;
+
+    fn facade() -> (
+        Arc<ProfileListener>,
+        Arc<ConcurrencyListener>,
+        Introspection,
+    ) {
+        let names = TaskNames::new();
+        let profiles = Arc::new(ProfileListener::new(names.clone()));
+        let concurrency = Arc::new(ConcurrencyListener::new(64));
+        let intro = Introspection::new(profiles.clone(), concurrency.clone());
+        (profiles, concurrency, intro)
+    }
+
+    #[test]
+    fn gauge_values_are_captured_by_id_and_name() {
+        let (_, _, intro) = facade();
+        let cell = Arc::new(Au64::new(41));
+        let c = cell.clone();
+        let id = intro.register_gauge("x", move || c.load(Ordering::Relaxed) as f64);
+        cell.store(42, Ordering::Relaxed);
+        let snap = intro.capture(7);
+        assert_eq!(snap.t_ns, 7);
+        assert_eq!(snap.value(id), Some(42.0));
+        assert_eq!(snap.value_by_name("x"), Some(42.0));
+        assert_eq!(intro.metric_id("x"), Some(id));
+        assert_eq!(snap.value_by_name("nope"), None);
+    }
+
+    #[test]
+    fn window_mean_reads_sample_history() {
+        let names = TaskNames::new();
+        let history = Arc::new(SampleHistoryListener::new(names.clone(), 64));
+        let (_, _, intro) = facade();
+        let metric = names.intern("power");
+        for (t, v) in [(10u64, 10.0f64), (20, 20.0), (30, 30.0)] {
+            history.on_event(&Event::SampleValue {
+                metric,
+                value: v,
+                t_ns: t,
+            });
+        }
+        let id = intro.register_window_mean("power.mean", history, "power", 100);
+        let snap = intro.capture(30);
+        assert_eq!(snap.value(id), Some(20.0));
+    }
+
+    #[test]
+    fn counters_appear_sorted_and_queryable() {
+        let (_, _, intro) = facade();
+        let reg = Arc::new(CounterRegistry::new());
+        reg.counter("b.two").add(2);
+        reg.counter("a.one").add(1);
+        intro.register_counters(reg);
+        let snap = intro.capture(0);
+        assert_eq!(snap.counter("a.one"), Some(1));
+        assert_eq!(snap.counter("b.two"), Some(2));
+        assert_eq!(snap.counter("missing"), None);
+        let names: Vec<&str> = snap.counters().iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["a.one", "b.two"]);
+    }
+
+    #[test]
+    fn profiles_and_concurrency_ride_along() {
+        let names = TaskNames::new();
+        let profiles = Arc::new(ProfileListener::new(names.clone()));
+        let concurrency = Arc::new(ConcurrencyListener::new(64));
+        let intro = Introspection::new(profiles.clone(), concurrency.clone());
+        let task = names.intern("work");
+        let begin = Event::TaskBegin {
+            task,
+            worker: 0,
+            t_ns: 0,
+        };
+        let end = Event::TaskEnd {
+            task,
+            worker: 0,
+            t_ns: 100,
+            elapsed_ns: 100,
+        };
+        profiles.on_event(&begin);
+        concurrency.on_event(&begin);
+        profiles.on_event(&end);
+        concurrency.on_event(&end);
+        let snap = intro.capture(100);
+        assert_eq!(snap.total_completed, 1);
+        assert_eq!(snap.profile("work").unwrap().count, 1);
+        assert_eq!(snap.peak_tasks, 1);
+        assert_eq!(snap.active_tasks, 0);
+    }
+
+    #[test]
+    fn throughput_diffs_consecutive_snapshots() {
+        let a = IntrospectionSnapshot {
+            total_completed: 100,
+            ..IntrospectionSnapshot::empty(1_000_000_000)
+        };
+        let b = IntrospectionSnapshot {
+            total_completed: 350,
+            ..IntrospectionSnapshot::empty(2_000_000_000)
+        };
+        assert_eq!(b.throughput_since(&a), Some(250.0));
+        assert_eq!(a.throughput_since(&b), None, "time must advance");
+        assert_eq!(a.throughput_since(&a), None, "zero dt is undefined");
+    }
+
+    #[test]
+    fn reregistering_a_metric_keeps_its_id() {
+        let (_, _, intro) = facade();
+        let id = intro.register_gauge("g", || 1.0);
+        let id2 = intro.register_gauge("g", || 2.0);
+        assert_eq!(id, id2);
+        assert_eq!(intro.capture(0).value(id), Some(2.0));
+        assert_eq!(intro.metric_names(), vec!["g".to_string()]);
+    }
+
+    #[test]
+    fn non_finite_gauges_read_as_none() {
+        let (_, _, intro) = facade();
+        let id = intro.register_gauge("nan", || f64::NAN);
+        assert_eq!(intro.capture(0).value(id), None);
+    }
+}

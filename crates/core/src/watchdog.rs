@@ -3,33 +3,51 @@
 //! Adaptation is supposed to help; a mis-tuned policy (or a policy tuned
 //! for a phase that just ended) can actuate a knob and make things worse.
 //! The [`RegressionWatchdog`] is itself a periodic [`Policy`] that closes
-//! the loop on the loop: it watches a caller-supplied throughput signal
-//! (typically a [`lg_metrics::SlidingWindow`] rate), and when a journalled
-//! actuation is followed by a rate drop beyond a threshold, it writes the
-//! knob back to its pre-actuation value.
+//! the loop on the loop: it watches a throughput signal — by default the
+//! completed-tasks rate diffed from the consecutive
+//! [`IntrospectionSnapshot`]s the engine hands it, or a caller-supplied
+//! closure — and when a journalled actuation is followed by a rate drop
+//! beyond a threshold, it writes the knob back to its pre-actuation value.
 //!
 //! The rollback is an ordinary [`PolicyDecision`], so it flows through the
-//! same clamping and audit logging as any other actuation — and it is
-//! journalled under the watchdog's own name, which the watchdog ignores,
-//! so it never chases its own tail.
+//! same clamping and journaling as any other actuation — and it is
+//! journalled under the watchdog's own (interned) actor id, which the
+//! watchdog ignores, so it never chases its own tail. Suspects are read
+//! from the journal's raw id-based records: the watchdog holds interned
+//! ids, not strings, and resolves a name only when emitting a rollback.
 
+use crate::event::TaskId;
 use crate::journal::ActuationJournal;
 use crate::policy::{Policy, PolicyDecision, Trigger};
+use crate::snapshot::IntrospectionSnapshot;
 use std::sync::Arc;
 
 struct Pending {
     seq: u64,
-    knob: String,
+    knob: TaskId,
     from: i64,
     baseline: f64,
+}
+
+/// Where the watchdog's throughput signal comes from.
+enum RateSource {
+    /// Caller-supplied closure (legacy / custom signals).
+    Closure(Box<dyn FnMut() -> f64 + Send>),
+    /// Completed-tasks/sec diffed from consecutive evaluation snapshots.
+    Snapshot {
+        /// `(t_ns, total_completed)` of the previous evaluation.
+        prev: Option<(u64, u64)>,
+    },
 }
 
 /// Periodic policy that detects post-actuation throughput regressions and
 /// rolls back the offending knob write. See the module docs.
 pub struct RegressionWatchdog {
     name: String,
+    /// Our actor id in the journal (records with this id are our own).
+    self_id: TaskId,
     journal: Arc<ActuationJournal>,
-    rate: Box<dyn FnMut() -> f64 + Send>,
+    rate: RateSource,
     drop_frac: f64,
     last_seen_seq: u64,
     pending: Option<Pending>,
@@ -37,6 +55,24 @@ pub struct RegressionWatchdog {
 }
 
 impl RegressionWatchdog {
+    fn build(journal: Arc<ActuationJournal>, rate: RateSource, drop_frac: f64) -> Box<Self> {
+        assert!(
+            drop_frac > 0.0 && drop_frac < 1.0,
+            "drop fraction must be in (0, 1)"
+        );
+        let self_id = journal.intern("regression-watchdog");
+        Box::new(Self {
+            name: "regression-watchdog".into(),
+            self_id,
+            journal,
+            rate,
+            drop_frac,
+            last_seen_seq: 0,
+            pending: None,
+            rollbacks: 0,
+        })
+    }
+
     /// Creates a watchdog reading `rate` (higher = better) and rolling
     /// back any journalled actuation followed by a drop of more than
     /// `drop_frac` (e.g. `0.2` = 20%) relative to the rate observed when
@@ -49,24 +85,40 @@ impl RegressionWatchdog {
         rate: impl FnMut() -> f64 + Send + 'static,
         drop_frac: f64,
     ) -> Box<Self> {
-        assert!(
-            drop_frac > 0.0 && drop_frac < 1.0,
-            "drop fraction must be in (0, 1)"
-        );
-        Box::new(Self {
-            name: "regression-watchdog".into(),
-            journal,
-            rate: Box::new(rate),
-            drop_frac,
-            last_seen_seq: 0,
-            pending: None,
-            rollbacks: 0,
-        })
+        Self::build(journal, RateSource::Closure(Box::new(rate)), drop_frac)
+    }
+
+    /// Creates a watchdog whose rate is the completed-tasks-per-second
+    /// throughput diffed between the consecutive snapshots the engine
+    /// hands each evaluation — no bespoke rate plumbing needed.
+    ///
+    /// # Panics
+    /// Panics unless `0 < drop_frac < 1`.
+    pub fn throughput(journal: Arc<ActuationJournal>, drop_frac: f64) -> Box<Self> {
+        Self::build(journal, RateSource::Snapshot { prev: None }, drop_frac)
     }
 
     /// Rollbacks performed so far.
     pub fn rollbacks(&self) -> u64 {
         self.rollbacks
+    }
+
+    /// Reads this evaluation's rate; `None` when a snapshot-diff rate is
+    /// not yet defined (first evaluation, or no time elapsed).
+    fn observe_rate(&mut self, snapshot: &IntrospectionSnapshot) -> Option<f64> {
+        match &mut self.rate {
+            RateSource::Closure(f) => Some(f()),
+            RateSource::Snapshot { prev } => {
+                let now = (snapshot.t_ns, snapshot.total_completed);
+                let rate = prev.and_then(|(t_ns, done)| {
+                    let dt_ns = now.0.checked_sub(t_ns).filter(|&d| d > 0)?;
+                    let completed = now.1.saturating_sub(done);
+                    Some(completed as f64 / (dt_ns as f64 / 1e9))
+                });
+                *prev = Some(now);
+                rate
+            }
+        }
     }
 }
 
@@ -75,8 +127,18 @@ impl Policy for RegressionWatchdog {
         &self.name
     }
 
-    fn evaluate(&mut self, _now_ns: u64, _trigger: Trigger<'_>) -> PolicyDecision {
-        let rate = (self.rate)();
+    fn evaluate(
+        &mut self,
+        _now_ns: u64,
+        _trigger: Trigger<'_>,
+        snapshot: &IntrospectionSnapshot,
+    ) -> PolicyDecision {
+        let Some(rate) = self.observe_rate(snapshot) else {
+            // No rate yet (first snapshot-diff evaluation): no verdict is
+            // possible and no baseline can be assigned; leave any pending
+            // suspect armed and adopt nothing this round.
+            return PolicyDecision::noop();
+        };
         let mut decision = PolicyDecision::noop();
         // Verdict on the actuation observed last evaluation: one full
         // period has elapsed, so `rate` reflects the post-actuation world.
@@ -84,15 +146,17 @@ impl Policy for RegressionWatchdog {
             if rate < p.baseline * (1.0 - self.drop_frac) {
                 self.journal.mark_rolled_back(p.seq);
                 self.rollbacks += 1;
-                decision = PolicyDecision::set(p.knob, p.from);
+                let knob = self.journal.names().resolve(p.knob).unwrap_or_default();
+                decision = PolicyDecision::set(knob, p.from);
             }
         }
-        // Adopt the newest foreign actuation as the next suspect. The
+        // Adopt the newest foreign actuation as the next suspect — skip
+        // our own writes and anything that is (or undoes) a rollback. The
         // rate sampled *now* is the pre-verdict baseline.
         let mut newest: Option<Pending> = None;
-        for rec in self.journal.records_since(self.last_seen_seq) {
+        for rec in self.journal.raw_records_since(self.last_seen_seq) {
             self.last_seen_seq = self.last_seen_seq.max(rec.seq);
-            if rec.policy != self.name && !rec.rolled_back {
+            if rec.policy != self.self_id && !rec.rolled_back && rec.rollback_of.is_none() {
                 newest = Some(Pending {
                     seq: rec.seq,
                     knob: rec.knob,
@@ -114,7 +178,7 @@ mod tests {
     use std::sync::atomic::{AtomicU64, Ordering};
 
     fn eval(w: &mut RegressionWatchdog, t: u64) -> PolicyDecision {
-        w.evaluate(t, Trigger::Periodic)
+        w.evaluate(t, Trigger::Periodic, &IntrospectionSnapshot::empty(t))
     }
 
     #[test]
@@ -228,5 +292,59 @@ mod tests {
         rate.store(1, Ordering::Relaxed);
         // Rolls back the most recent write only (k2).
         assert_eq!(eval(&mut w, 30), PolicyDecision::set("k2", 5));
+    }
+
+    #[test]
+    fn ignores_registry_rollback_records() {
+        // A rollback performed through KnobRegistry::rollback_last_of is
+        // journalled with `rollback_of` set; the watchdog must not adopt
+        // it as a suspect even though the actor ("rollback") is foreign.
+        let journal = Arc::new(ActuationJournal::new(16));
+        let rate = Arc::new(AtomicU64::new(1_000));
+        let r = rate.clone();
+        let mut w = RegressionWatchdog::new(
+            journal.clone(),
+            move || r.load(Ordering::Relaxed) as f64,
+            0.2,
+        );
+        eval(&mut w, 0);
+        let s = journal.record(10, "tuner", "cap", 16, 2);
+        let actor = journal.intern("rollback");
+        let knob = journal.names().lookup("cap").unwrap();
+        journal.record_interned(11, actor, knob, 2, 16, Some(s));
+        journal.mark_rolled_back(s);
+        eval(&mut w, 20);
+        rate.store(1, Ordering::Relaxed);
+        assert_eq!(
+            eval(&mut w, 30),
+            PolicyDecision::noop(),
+            "neither the rolled-back write nor its undo is a suspect"
+        );
+    }
+
+    #[test]
+    fn snapshot_throughput_mode_diffs_consecutive_snapshots() {
+        let journal = Arc::new(ActuationJournal::new(16));
+        let mut w = RegressionWatchdog::throughput(journal.clone(), 0.2);
+        let snap = |t_s: u64, done: u64| IntrospectionSnapshot {
+            total_completed: done,
+            ..IntrospectionSnapshot::empty(t_s * 1_000_000_000)
+        };
+        // First evaluation: no rate yet, nothing adopted.
+        assert_eq!(
+            w.evaluate(0, Trigger::Periodic, &snap(1, 1000)),
+            PolicyDecision::noop()
+        );
+        // Steady 1000 tasks/s baseline; a foreign actuation lands.
+        journal.record(2_000_000_000, "tuner", "cap", 16, 2);
+        assert_eq!(
+            w.evaluate(0, Trigger::Periodic, &snap(2, 2000)),
+            PolicyDecision::noop(),
+            "adopts suspect at 1000/s baseline"
+        );
+        // Next second only 100 tasks complete: 90% drop => rollback.
+        let d = w.evaluate(0, Trigger::Periodic, &snap(3, 2100));
+        assert_eq!(d, PolicyDecision::set("cap", 16));
+        assert_eq!(w.rollbacks(), 1);
     }
 }

@@ -1,0 +1,120 @@
+//! Property tests for the unified control plane: the actuation journal
+//! is a faithful, totally ordered record of every knob write, and the
+//! interned-id API is observationally identical to the name API.
+//!
+//! The journal-replay property is the regression net for the old racy
+//! `from` read: with the per-knob write lock, consecutive records for a
+//! knob must chain (`from[i+1] == to[i]`) even when sets and rollbacks
+//! race across threads — a torn read would break the chain.
+
+use lg_core::knob::{AtomicKnob, KnobSpec};
+use lg_core::{KnobId, KnobRegistry};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+const KNOBS: u8 = 4;
+const INITIAL: i64 = 0;
+const MIN: i64 = -100;
+const MAX: i64 = 100;
+
+fn registry() -> (Arc<KnobRegistry>, Vec<KnobId>) {
+    // Capacity far above the op count so nothing is evicted mid-test.
+    let reg = Arc::new(KnobRegistry::with_journal_capacity(8192));
+    let ids = (0..KNOBS)
+        .map(|i| {
+            reg.register(AtomicKnob::new(
+                KnobSpec::new(format!("k{i}"), MIN, MAX),
+                INITIAL,
+            ))
+        })
+        .collect();
+    (reg, ids)
+}
+
+/// One scripted op: `(knob index, candidate value, op kind)`. Kind 0 is
+/// a rollback of the knob's last write; anything else is a set.
+type Op = (u8, i64, u8);
+
+fn op_strategy() -> impl Strategy<Value = Vec<Vec<Op>>> {
+    proptest::collection::vec(
+        proptest::collection::vec((0u8..KNOBS, (MIN - 50)..(MAX + 50), 0u8..6), 1..24),
+        1..4,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn journal_replay_reproduces_final_knob_state_across_threads(script in op_strategy()) {
+        let (reg, ids) = registry();
+        std::thread::scope(|s| {
+            for ops in &script {
+                let reg = reg.clone();
+                let ids = &ids;
+                s.spawn(move || {
+                    for &(k, v, kind) in ops {
+                        if kind == 0 {
+                            reg.rollback_last_of(&format!("k{k}"));
+                        } else {
+                            reg.set_id(ids[k as usize], v);
+                        }
+                    }
+                });
+            }
+        });
+
+        let records = reg.journal().records();
+        // Total order: seq strictly increases, no gaps in the retained run.
+        for w in records.windows(2) {
+            prop_assert_eq!(w[0].seq + 1, w[1].seq);
+        }
+
+        // Replay in seq order. Each record's `to` is the post-write state,
+        // so replaying every record (rollbacks included — they are writes
+        // too) must land exactly on the live values.
+        let mut replay: HashMap<String, i64> =
+            (0..KNOBS).map(|i| (format!("k{i}"), INITIAL)).collect();
+        for r in &records {
+            // The race-fix invariant: the recorded `from` is the previous
+            // record's `to` for that knob (or the initial value).
+            prop_assert_eq!(
+                replay[&r.knob], r.from,
+                "broken from-chain for {} at seq {}", r.knob, r.seq
+            );
+            prop_assert!((MIN..=MAX).contains(&r.to), "journaled value escaped clamp");
+            *replay.get_mut(&r.knob).expect("known knob") = r.to;
+        }
+        for (i, id) in ids.iter().enumerate() {
+            let name = format!("k{i}");
+            prop_assert_eq!(
+                reg.value_id(*id),
+                Some(replay[&name]),
+                "replay diverged from live state for {}", name
+            );
+        }
+        prop_assert_eq!(reg.change_count(), records.len());
+    }
+
+    #[test]
+    fn id_and_name_access_agree(ops in proptest::collection::vec((0u8..KNOBS, (MIN - 50)..(MAX + 50), 0u8..2), 1..48)) {
+        let (reg, ids) = registry();
+        for (k, v, via_id) in ops {
+            let name = format!("k{k}");
+            let id = ids[k as usize];
+            // The two handles are the same binding…
+            prop_assert_eq!(reg.id(&name), Some(id));
+            prop_assert_eq!(reg.name(id).as_deref(), Some(name.as_str()));
+            // …and writes through either are observationally identical.
+            let (via, other) = if via_id == 0 {
+                (reg.set_id(id, v), reg.value(&name))
+            } else {
+                (reg.set(&name, v), reg.value_id(id))
+            };
+            prop_assert_eq!(via, other);
+            prop_assert_eq!(via, Some(v.clamp(MIN, MAX)));
+            prop_assert_eq!(reg.value(&name), reg.value_id(id));
+        }
+    }
+}

@@ -4,7 +4,10 @@
 use lg_core::journal::ActuationJournal;
 use lg_core::knob::AtomicKnob;
 use lg_core::policy::Trigger;
-use lg_core::{KnobRegistry, KnobSpec, Policy, PolicyDecision, PolicyEngine, RegressionWatchdog};
+use lg_core::{
+    IntrospectionSnapshot, KnobRegistry, KnobSpec, Policy, PolicyDecision, PolicyEngine,
+    RegressionWatchdog,
+};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -22,7 +25,12 @@ impl Policy for Flaky {
         self.name
     }
 
-    fn evaluate(&mut self, _now_ns: u64, _trigger: Trigger<'_>) -> PolicyDecision {
+    fn evaluate(
+        &mut self,
+        _now_ns: u64,
+        _trigger: Trigger<'_>,
+        _snapshot: &IntrospectionSnapshot,
+    ) -> PolicyDecision {
         self.evals += 1;
         if (self.fail)(self.evals) {
             panic!("injected policy fault at evaluation {}", self.evals);
@@ -178,7 +186,12 @@ fn watchdog_rolls_back_a_regressing_actuation_end_to_end() {
         fn name(&self) -> &str {
             "one-shot"
         }
-        fn evaluate(&mut self, _now_ns: u64, _trigger: Trigger<'_>) -> PolicyDecision {
+        fn evaluate(
+            &mut self,
+            _now_ns: u64,
+            _trigger: Trigger<'_>,
+            _snapshot: &IntrospectionSnapshot,
+        ) -> PolicyDecision {
             PolicyDecision::set("k", 999).and_retire()
         }
     }

@@ -353,15 +353,21 @@ impl ReliableLink {
             link,
             config,
             retry_budget_knob: AtomicKnob::new(
-                KnobSpec::new("retry_budget", 0, 4_096),
+                KnobSpec::new("retry_budget", 0, 4_096)
+                    .with_unit("tokens")
+                    .with_default(config.retry_budget),
                 config.retry_budget,
             ),
             backoff_base_knob: AtomicKnob::new(
-                KnobSpec::new("backoff_base_ns", 1_000, 1_000_000_000),
+                KnobSpec::new("backoff_base_ns", 1_000, 1_000_000_000)
+                    .with_unit("ns")
+                    .with_default(config.backoff_base_ns as i64),
                 config.backoff_base_ns as i64,
             ),
             breaker_threshold_knob: AtomicKnob::new(
-                KnobSpec::new("breaker_threshold", 1, 1_024),
+                KnobSpec::new("breaker_threshold", 1, 1_024)
+                    .with_unit("failures")
+                    .with_default(config.breaker_threshold),
                 config.breaker_threshold,
             ),
             rng: StdRng::seed_from_u64(seed),

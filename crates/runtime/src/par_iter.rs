@@ -35,7 +35,14 @@ impl ThreadPool {
     /// Creates (and registers) an [`AtomicKnob`] named `name` that
     /// [`ThreadPool::parallel_for_knobbed`] reads for its chunk size.
     pub fn chunk_knob(&self, name: &str, min: i64, max: i64, initial: i64) -> Arc<AtomicKnob> {
-        let knob = AtomicKnob::new(KnobSpec::new(name, min, max), initial);
+        let mut spec = KnobSpec::new(name, min, max)
+            .with_unit("iters")
+            .with_default(initial);
+        // Chunk sizes are naturally swept over powers of two.
+        if min >= 1 && max >= min {
+            spec = spec.with_scale(lg_core::knob::KnobScale::Pow2);
+        }
+        let knob = AtomicKnob::new(spec, initial);
         self.lg().knobs().register(knob.clone());
         knob
     }

@@ -173,6 +173,9 @@ impl ThreadPool {
         let cap = ThreadCap::new(config.workers);
         if config.register_knobs {
             lg.knobs().register(Arc::new(cap.clone()));
+            // The pool's counters ride along in every introspection
+            // snapshot the instance captures.
+            lg.introspection().register_counters(counters.clone());
         }
         let shared = Arc::new(PoolShared {
             id: POOL_IDS.fetch_add(1, Ordering::Relaxed),

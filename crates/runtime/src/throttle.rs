@@ -112,6 +112,8 @@ impl ThreadCap {
 impl Knob for ThreadCap {
     fn spec(&self) -> KnobSpec {
         KnobSpec::new("thread_cap", 1, self.inner.max as i64)
+            .with_unit("workers")
+            .with_default(self.inner.max as i64)
     }
     fn get(&self) -> i64 {
         self.current() as i64

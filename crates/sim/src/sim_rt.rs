@@ -19,10 +19,11 @@
 //! substrates apart.
 
 use crate::machine::{alloc_rates, MachineSpec};
-use lg_core::knob::{AtomicKnob, KnobSpec};
+use lg_core::knob::{AtomicKnob, KnobScale, KnobSpec};
 use lg_core::{Clock, Event, Knob, LookingGlass, TaskId, VirtualClock};
 use lg_metrics::EnergyMeter;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A simulated task descriptor.
@@ -132,6 +133,10 @@ pub struct SimRuntime {
     /// bandwidth-bound work trades nothing for a cubic power saving.
     freq: Arc<AtomicKnob>,
     meter: EnergyMeter,
+    /// f64-bits mirrors of the meter, read by the `sim.energy_j` /
+    /// `sim.power_w` introspection gauges.
+    energy_gauge: Arc<AtomicU64>,
+    power_gauge: Arc<AtomicU64>,
     tasks_done: u64,
     ops_done: f64,
 }
@@ -152,15 +157,37 @@ impl SimRuntime {
     /// must be `clock`).
     pub fn with_instance(spec: MachineSpec, lg: Arc<LookingGlass>, clock: VirtualClock) -> Self {
         spec.validate();
+        // Pow2 scale: wave quantization (`tasks % cap`) riddles the full
+        // integer cap range with spurious local minima, so derived tuning
+        // spaces search the power-of-two lattice.
         let cap = AtomicKnob::new(
-            KnobSpec::new("thread_cap", 1, spec.cores as i64),
+            KnobSpec::new("thread_cap", 1, spec.cores as i64)
+                .with_unit("workers")
+                .with_default(spec.cores as i64)
+                .with_scale(KnobScale::Pow2),
             spec.cores as i64,
         );
         lg.knobs().register(cap.clone());
-        let freq = AtomicKnob::new(KnobSpec::new("freq_permille", 200, 1000), 1000);
+        let freq = AtomicKnob::new(
+            KnobSpec::new("freq_permille", 200, 1000)
+                .with_unit("permille")
+                .with_step(50)
+                .with_default(1000),
+            1000,
+        );
         lg.knobs().register(freq.clone());
         let mut meter = EnergyMeter::new();
-        meter.sample(clock.now_ns(), spec.power.power(0, 0.0));
+        let idle_w = spec.power.power(0, 0.0);
+        meter.sample(clock.now_ns(), idle_w);
+        let energy_gauge = Arc::new(AtomicU64::new(0f64.to_bits()));
+        let power_gauge = Arc::new(AtomicU64::new(idle_w.to_bits()));
+        let (eg, pg) = (energy_gauge.clone(), power_gauge.clone());
+        lg.introspection().register_gauge("sim.energy_j", move || {
+            f64::from_bits(eg.load(Ordering::Relaxed))
+        });
+        lg.introspection().register_gauge("sim.power_w", move || {
+            f64::from_bits(pg.load(Ordering::Relaxed))
+        });
         Self {
             spec,
             lg,
@@ -170,6 +197,8 @@ impl SimRuntime {
             cap,
             freq,
             meter,
+            energy_gauge,
+            power_gauge,
             tasks_done: 0,
             ops_done: 0.0,
         }
@@ -314,10 +343,11 @@ impl SimRuntime {
                     .sum::<f64>()
                 / active as f64
         };
-        self.meter.sample(
-            self.clock.now_ns(),
-            self.spec.power.power(active, intensity),
-        );
+        let watts = self.spec.power.power(active, intensity);
+        self.meter.sample(self.clock.now_ns(), watts);
+        self.energy_gauge
+            .store(self.meter.energy_j().to_bits(), Ordering::Relaxed);
+        self.power_gauge.store(watts.to_bits(), Ordering::Relaxed);
     }
 
     /// Runs until both the queue and the running set are empty. Returns a
@@ -393,8 +423,11 @@ impl SimRuntime {
             "idle_for while work pending"
         );
         self.clock.advance_by(dt_ns);
-        self.meter
-            .sample(self.clock.now_ns(), self.spec.power.power(0, 0.0));
+        let idle_w = self.spec.power.power(0, 0.0);
+        self.meter.sample(self.clock.now_ns(), idle_w);
+        self.energy_gauge
+            .store(self.meter.energy_j().to_bits(), Ordering::Relaxed);
+        self.power_gauge.store(idle_w.to_bits(), Ordering::Relaxed);
     }
 }
 
@@ -646,5 +679,29 @@ mod tests {
         // 4 × 0.5s of work on 2 cores = 1 s; 2e9 ops total.
         assert!((r.elapsed_s() - 1.0).abs() < 1e-3);
         assert!((r.ops_per_sec() - 2e9).abs() < 1e7);
+    }
+
+    #[test]
+    fn energy_and_power_ride_in_snapshots() {
+        let mut sim = SimRuntime::new(machine(4, 1e9, 1e12));
+        let energy = sim.lg().introspection().metric_id("sim.energy_j").unwrap();
+        let before = sim.lg().snapshot();
+        sim.submit_all((0..8).map(|_| SimTask::new("t", 1e8, 0.0)));
+        let r = sim.run_until_idle();
+        let after = sim.lg().snapshot();
+        let de = after.value(energy).unwrap() - before.value(energy).unwrap();
+        assert!(
+            (de - r.energy_j).abs() < 1e-9,
+            "gauge delta {de} vs report {}",
+            r.energy_j
+        );
+        assert!(after.value_by_name("sim.power_w").unwrap() > 0.0);
+    }
+
+    #[test]
+    fn thread_cap_space_derives_pow2_lattice_from_registry() {
+        let sim = SimRuntime::new(machine(8, 1e9, 1e9));
+        let space = sim.lg().knobs().space_for(&["thread_cap"]);
+        assert_eq!(space.dims()[0].all_values(), &[1, 2, 4, 8]);
     }
 }

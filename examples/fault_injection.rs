@@ -73,12 +73,12 @@ fn main() {
         .register(AtomicKnob::new(KnobSpec::new("cap", 0, 100), 50));
     let engine = lg.policy_engine();
     engine.register_periodic(
-        FnPolicy::new("faulty", |_, _| panic!("injected policy fault")),
+        FnPolicy::new("faulty", |_, _, _| panic!("injected policy fault")),
         1_000,
         0,
     );
     engine.register_periodic(
-        FnPolicy::new("healthy", |_, _| PolicyDecision::set("cap", 60)),
+        FnPolicy::new("healthy", |_, _, _| PolicyDecision::set("cap", 60)),
         1_000,
         0,
     );
@@ -106,7 +106,7 @@ fn main() {
         10_000,
     );
     engine.register_periodic(
-        FnPolicy::new("misguided", |_, _| {
+        FnPolicy::new("misguided", |_, _, _| {
             PolicyDecision::set("cap", 5).and_retire()
         }),
         1_000,

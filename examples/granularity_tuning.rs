@@ -10,16 +10,22 @@
 //! to the flat part of the curve. Everything here is real execution on
 //! this host — no simulation.
 //!
+//! Control-plane idiom on display: the chunk knob is addressed by its
+//! interned [`KnobId`], the power-of-two search space is derived from
+//! the knob's own spec (`chunk_knob` registers with Pow2 scale), and
+//! the closing stats are read from one coherent
+//! [`IntrospectionSnapshot`] instead of poking listeners directly.
+//!
 //! `parallel_for` rides the batched zero-allocation spawn path: each
 //! pass is **one** injector batch push whose chunk tasks share one `Arc`
 //! of the body and store their `(Arc, start, end)` captures inline in
-//! the task record. The `rt.*` counters printed at the end prove it —
+//! the task record. The `rt.*` counters in the final snapshot prove it —
 //! `rt.batch_spawns` counts passes, not chunks, and `rt.boxed_tasks`
 //! stays zero no matter how small the chunks get.
 
-use looking_glass::core::{Knob as _, LookingGlass, SessionConfig, SessionStep, TuningSession};
+use looking_glass::core::{LookingGlass, SessionConfig, SessionStep, TuningSession};
 use looking_glass::runtime::{PoolConfig, ThreadPool};
-use looking_glass::tuning::{Dim, HillClimb, Space};
+use looking_glass::tuning::HillClimb;
 use looking_glass::workloads::ComputeKernel;
 use std::time::Instant;
 
@@ -29,8 +35,9 @@ fn main() {
     let n = 200_000;
     let mut kernel = ComputeKernel::new(n, 30);
 
-    // The knob parallel_for reads at each pass.
-    let chunk_knob = pool.chunk_knob("chunk", 1, 1 << 14, 1);
+    // The knob parallel_for reads at each pass, addressed by interned id.
+    pool.chunk_knob("chunk", 1, 1 << 14, 1);
+    let chunk_id = lg.knobs().id("chunk").expect("just registered");
 
     // Reference sweep so the tuner's answer can be judged.
     println!("-- reference sweep --");
@@ -42,8 +49,9 @@ fn main() {
         println!("{:>6}  {:>8.2}", chunk, t0.elapsed().as_secs_f64() * 1e3);
     }
 
-    // Online tuning session over power-of-two chunk sizes.
-    let space = Space::new(vec![Dim::pow2("chunk", 0, 14)]);
+    // Online tuning session over the pow2 lattice the knob's spec
+    // declares — no hand-built `Space` mirroring the registration site.
+    let space = lg.knobs().space_for(&["chunk"]);
     let search = Box::new(HillClimb::from_start(space, &[1]).with_min_improvement(0.03));
     let mut session = TuningSession::new(
         SessionConfig::single("chunk", 0, 0),
@@ -66,9 +74,11 @@ fn main() {
                 break;
             }
             SessionStep::Measure { .. } => {
-                let chunk = chunk_knob.get().max(1) as usize;
+                let chunk = lg.knobs().value_id(chunk_id).unwrap().max(1) as usize;
                 let t0 = Instant::now();
                 kernel.run_parallel(&pool, chunk);
+                // The objective is host wall time, which no snapshot
+                // gauge can supply — score it directly.
                 let secs = t0.elapsed().as_secs_f64();
                 println!(
                     "{:>5}  {:>6}  {:>8.2}",
@@ -81,7 +91,10 @@ fn main() {
         }
     }
 
-    let prof = lg.profiles().get("compute_chunk").expect("profile");
+    // One coherent snapshot carries everything the wrap-up prints:
+    // profiles, the pool's rt.* counters, and the knob's final value.
+    let snap = lg.snapshot();
+    let prof = snap.profile("compute_chunk").expect("profile");
     println!(
         "observed {} chunk tasks, mean {:.1} us",
         prof.count,
@@ -91,9 +104,14 @@ fn main() {
     // per-task allocation) and each pass was a single batch submission.
     println!(
         "spawn path: batch_spawns={} inline_tasks={} boxed_tasks={} lifo_hits={}",
-        pool.counters().counter("rt.batch_spawns").get(),
-        pool.counters().counter("rt.inline_tasks").get(),
-        pool.counters().counter("rt.boxed_tasks").get(),
-        pool.counters().counter("rt.lifo_hits").get(),
+        snap.counter("rt.batch_spawns").unwrap_or(0),
+        snap.counter("rt.inline_tasks").unwrap_or(0),
+        snap.counter("rt.boxed_tasks").unwrap_or(0),
+        snap.counter("rt.lifo_hits").unwrap_or(0),
+    );
+    println!(
+        "actuation journal: {} records ({} total writes)",
+        lg.knobs().journal().len(),
+        lg.knobs().change_count()
     );
 }

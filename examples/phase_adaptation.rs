@@ -9,18 +9,17 @@
 //! the previous winner) re-converges the thread cap each time the
 //! workload character flips — compare the cap trace against what a
 //! per-phase oracle would pick.
+//!
+//! Control-plane idiom on display: the cap is addressed by its interned
+//! [`KnobId`], the search space is derived from the registry's specs
+//! (the sim registers `thread_cap` with Pow2 scale), and each epoch is
+//! scored through the snapshot pair the session captures around it
+//! (ΔE · Δt from the `sim.energy_j` gauge).
 
 use looking_glass::core::{Clock as _, SessionConfig, SessionStep, TuningSession};
 use looking_glass::sim::workload_model::PhasedSimWorkload;
 use looking_glass::sim::{MachineSpec, SimRuntime, SimWorkload};
-use looking_glass::tuning::{Dim, HillClimb, Space};
-
-fn pow2_caps(cores: usize) -> Vec<i64> {
-    (0..)
-        .map(|e| 1i64 << e)
-        .take_while(|&c| c <= cores as i64)
-        .collect()
-}
+use looking_glass::tuning::HillClimb;
 
 fn main() {
     let spec = MachineSpec::server32();
@@ -33,6 +32,12 @@ fn main() {
     );
 
     let mut sim = SimRuntime::new(spec);
+    let cap_id = sim.lg().knobs().id("thread_cap").expect("sim registers it");
+    let energy = sim
+        .lg()
+        .introspection()
+        .metric_id("sim.energy_j")
+        .expect("sim registers it");
     let mut session: Option<TuningSession> = None;
     let mut last_phase = usize::MAX;
     println!("step  phase     cap  note");
@@ -44,15 +49,19 @@ fn main() {
         let phase = w.phase_index(step);
         if phase != last_phase {
             last_phase = phase;
-            let current = sim.lg().knobs().value("thread_cap").unwrap_or(32);
-            let space = Space::new(vec![Dim::values("thread_cap", pow2_caps(spec.cores))]);
+            let current = sim.lg().knobs().value_id(cap_id).unwrap_or(32);
+            // The pow2 cap lattice comes straight from the knob's spec.
+            let space = sim.lg().knobs().space_for(&["thread_cap"]);
             let search =
                 Box::new(HillClimb::from_start(space, &[current]).with_min_improvement(0.01));
-            session = Some(TuningSession::new(
-                SessionConfig::single("thread_cap", 0, 0),
-                search,
-                sim.lg().knobs().clone(),
-            ));
+            session = Some(
+                TuningSession::new(
+                    SessionConfig::single("thread_cap", 0, 0),
+                    search,
+                    sim.lg().knobs().clone(),
+                )
+                .with_introspection(sim.lg().introspection().clone()),
+            );
             println!(
                 "---- phase {} begins ({}) ----",
                 phase,
@@ -62,7 +71,7 @@ fn main() {
         let s = session.as_mut().unwrap();
         let (cap, note);
         if s.is_finished() {
-            cap = sim.lg().knobs().value("thread_cap").unwrap();
+            cap = sim.lg().knobs().value_id(cap_id).unwrap();
             note = "steady";
             sim.submit_all(w.step_batch(step));
             let r = sim.run_until_idle();
@@ -80,7 +89,12 @@ fn main() {
                     total_energy += r.energy_j;
                     total_time += r.elapsed_s();
                     step += 1;
-                    s.complete(r.energy_j * r.elapsed_s());
+                    s.complete_via(sim.clock().now_ns(), |begin, end| {
+                        let de =
+                            end.value(energy).unwrap_or(0.0) - begin.value(energy).unwrap_or(0.0);
+                        let dt = (end.t_ns - begin.t_ns) as f64 / 1e9;
+                        de * dt
+                    });
                 }
             }
         }
@@ -99,5 +113,10 @@ fn main() {
         total_time,
         total_energy,
         total_energy * total_time
+    );
+    println!(
+        "actuation journal: {} records ({} total writes)",
+        sim.lg().knobs().journal().len(),
+        sim.lg().knobs().change_count()
     );
 }

@@ -7,18 +7,20 @@
 //! Wires the stock [`PowerCapPolicy`] end to end on real components: a
 //! background [`Sampler`] feeds "power" samples (synthesized here from
 //! the pool's active concurrency, standing in for RAPL) through the event
-//! dispatcher into a [`SampleHistoryListener`]; a periodic policy reads
-//! the trailing mean and throttles the pool's thread cap when it exceeds
-//! the cap, recovering when load subsides.
+//! dispatcher into the instance's sample history; a window-mean metric
+//! registered on the introspection facade exposes the trailing mean, and
+//! the periodic policy reads it from the snapshot it is handed each
+//! evaluation, throttling the pool's thread cap when it exceeds the cap
+//! and recovering when load subsides.
 
-use looking_glass::core::{LookingGlass, PowerCapPolicy, SampleHistoryListener};
+use looking_glass::core::{LookingGlass, PowerCapPolicy};
 use looking_glass::metrics::{FnSource, Sampled, Sampler, SamplerConfig};
 use looking_glass::runtime::{PoolConfig, ThreadPool};
 use std::sync::Arc;
 use std::time::Duration;
 
 fn main() {
-    let lg = LookingGlass::builder().build();
+    let lg = LookingGlass::builder().sample_history(512).build();
     let pool = Arc::new(ThreadPool::new(
         lg.clone(),
         PoolConfig {
@@ -29,9 +31,12 @@ fn main() {
         },
     ));
 
-    // Introspection: retain sampled metrics.
-    let history = Arc::new(SampleHistoryListener::new(lg.names().clone(), 512));
-    lg.add_listener(history.clone());
+    // Introspection: a trailing 50 ms mean of the sampled power, addressed
+    // by a typed MetricId from here on.
+    let history = lg.samples().expect("sample_history enabled").clone();
+    let power_mean =
+        lg.introspection()
+            .register_window_mean("power.mean_w", history, "power", 50_000_000);
 
     // Synthetic power source: idle 25 W + 12 W per busy-or-queued task,
     // saturating at the worker count (a RAPL stand-in that tracks real
@@ -53,24 +58,19 @@ fn main() {
         move |_t, name, v| sink_lg.sample(name, v),
     );
 
-    // Adaptation: keep mean power under 80 W; recover below 50 W.
+    // Adaptation: keep mean power under 80 W; recover below 50 W. The
+    // knob is addressed by its interned id — no name lookup per actuation.
+    let cap_knob = lg.knobs().id("thread_cap").expect("pool registered it");
     lg.policy_engine().register_periodic(
-        PowerCapPolicy::new(
-            history.clone(),
-            "power",
-            "thread_cap",
-            80.0,
-            50.0,
-            50_000_000, // 50 ms trailing window
-            8,
-            8,
-        ),
+        PowerCapPolicy::new(power_mean, cap_knob, 80.0, 50.0, 8, 8),
         10_000_000, // evaluate every 10 ms
         0,
     );
     let _ticker = lg
         .policy_engine()
         .spawn_ticker(lg.clock().clone(), Duration::from_millis(10));
+
+    let mean_now = |lg: &Arc<LookingGlass>| lg.snapshot().value(power_mean).unwrap_or(0.0);
 
     // Phase 1: heavy offered load — the governor should clamp down.
     println!("phase 1: heavy load (watch the cap fall)");
@@ -90,11 +90,11 @@ fn main() {
         });
         println!(
             "  burst {burst}: cap={:?} mean_power={:.0} W",
-            lg.knobs().value("thread_cap"),
-            history.mean_over("power", 50_000_000).unwrap_or(0.0)
+            lg.knobs().value_id(cap_knob),
+            mean_now(&lg)
         );
     }
-    let clamped = lg.knobs().value("thread_cap").unwrap();
+    let clamped = lg.knobs().value_id(cap_knob).unwrap();
 
     // Phase 2: idle — the governor should recover headroom.
     println!("phase 2: idle (watch the cap recover)");
@@ -103,11 +103,11 @@ fn main() {
         println!(
             "  t+{}ms: cap={:?} mean_power={:.0} W",
             30 * (i + 1),
-            lg.knobs().value("thread_cap"),
-            history.mean_over("power", 50_000_000).unwrap_or(0.0)
+            lg.knobs().value_id(cap_knob),
+            mean_now(&lg)
         );
     }
-    let recovered = lg.knobs().value("thread_cap").unwrap();
+    let recovered = lg.knobs().value_id(cap_knob).unwrap();
     sampler.stop();
 
     println!("\nclamped to {clamped} under load; recovered to {recovered} at idle");

@@ -66,7 +66,7 @@ fn main() {
     // 4. Adaptation: a policy reacts to a phase marker by throttling the
     //    pool through the knob registry (it knows nothing about the pool).
     lg.policy_engine().register_triggered(
-        FnPolicy::new("throttle-on-phase", |_, trigger| {
+        FnPolicy::new("throttle-on-phase", |_, trigger, _snapshot| {
             if matches!(trigger, Trigger::Event(Event::PhaseBegin { .. })) {
                 PolicyDecision::set("thread_cap", 2)
             } else {

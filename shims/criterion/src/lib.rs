@@ -99,6 +99,20 @@ impl Bencher {
         self.mean_ns = start.elapsed().as_nanos() as f64 / measured_iters as f64;
     }
 
+    /// Times a routine that measures itself: `routine(iters)` must run
+    /// the workload `iters` times and return the elapsed wall time (the
+    /// real crate's escape hatch for multi-threaded benchmarks).
+    pub fn iter_custom(&mut self, mut routine: impl FnMut(u64) -> Duration) {
+        // Calibrate with a small fixed batch, then spend the budget.
+        let calib_iters = 16u64;
+        let calib = routine(calib_iters);
+        let per_iter = calib.as_nanos() as f64 / calib_iters as f64;
+        let measured_iters =
+            ((self.target.as_nanos() as f64 / per_iter.max(1.0)) as u64).clamp(3, 10_000_000);
+        let total = routine(measured_iters);
+        self.mean_ns = total.as_nanos() as f64 / measured_iters as f64;
+    }
+
     /// Times `routine` over inputs produced by `setup` (setup excluded
     /// from timing).
     pub fn iter_batched<I, O>(
@@ -286,6 +300,19 @@ mod tests {
     fn harness_runs() {
         let mut c = Criterion::default().measurement_time(Duration::from_millis(20));
         sample_bench(&mut c);
+    }
+
+    #[test]
+    fn iter_custom_runs() {
+        let mut b = Bencher::new(Duration::from_millis(5));
+        b.iter_custom(|iters| {
+            let start = Instant::now();
+            for i in 0..iters {
+                black_box(i.wrapping_mul(3));
+            }
+            start.elapsed()
+        });
+        assert!(b.mean_ns >= 0.0);
     }
 
     #[test]

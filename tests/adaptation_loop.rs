@@ -28,7 +28,7 @@ fn policy_throttles_real_pool_on_sample_threshold() {
     );
     // Policy: if a "power" sample exceeds 100 W, halve the thread cap.
     lg.policy_engine().register_triggered(
-        FnPolicy::new("power-guard", |_, trigger| {
+        FnPolicy::new("power-guard", |_, trigger, _snapshot| {
             if let Trigger::Event(Event::SampleValue { value, .. }) = trigger {
                 if *value > 100.0 {
                     return PolicyDecision::set("thread_cap", 2);
@@ -176,7 +176,7 @@ fn periodic_policy_ticks_under_virtual_time() {
         ));
     let engine = lg.policy_engine();
     engine.register_periodic(
-        FnPolicy::new("bump", |_, _| PolicyDecision::set("k", 7)),
+        FnPolicy::new("bump", |_, _, _| PolicyDecision::set("k", 7)),
         1_000,
         0,
     );
