@@ -17,6 +17,7 @@ pub mod fig5_sampling;
 pub mod fig6_phases;
 pub mod fig7_dispatch;
 pub mod fig8_faults;
+pub mod fig9_overload;
 pub mod tbl1_static_vs_adaptive;
 pub mod tbl2_coalescing;
 pub mod tbl3_search;
@@ -32,8 +33,8 @@ pub fn main() {
         .collect();
     let selected = if which.is_empty() || which.contains(&"all") {
         vec![
-            "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "tbl1", "tbl2", "tbl3",
-            "abl1", "abl2",
+            "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "tbl1", "tbl2",
+            "tbl3", "abl1", "abl2",
         ]
     } else {
         which
@@ -54,6 +55,7 @@ pub fn run_one(name: &str, fast: bool) {
         "fig6" => fig6_phases::run(fast),
         "fig7" => fig7_dispatch::run(fast),
         "fig8" => fig8_faults::run(fast),
+        "fig9" => fig9_overload::run(fast),
         "tbl1" => tbl1_static_vs_adaptive::run(fast),
         "tbl2" => tbl2_coalescing::run(fast),
         "tbl3" => tbl3_search::run(fast),
@@ -61,7 +63,7 @@ pub fn run_one(name: &str, fast: bool) {
         "abl2" => abl2_stall::run(fast),
         other => {
             eprintln!(
-                "unknown experiment '{other}'; expected fig1..fig8, tbl1..tbl3, abl1, abl2, or all"
+                "unknown experiment '{other}'; expected fig1..fig9, tbl1..tbl3, abl1, abl2, or all"
             );
             std::process::exit(2);
         }

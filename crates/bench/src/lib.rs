@@ -1,7 +1,7 @@
 //! # lg-bench — experiment harness and reporting
 //!
 //! Regenerates every table and figure of the reconstructed evaluation (see
-//! DESIGN.md §6 and EXPERIMENTS.md). The `experiments` binary exposes one
+//! DESIGN.md §7 and EXPERIMENTS.md). The `experiments` binary exposes one
 //! subcommand per artifact (`fig1` … `fig7`, `tbl1` … `tbl3`, or `all`);
 //! each writes a CSV under `target/experiments/` and prints an aligned
 //! table to stdout.

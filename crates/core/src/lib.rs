@@ -57,6 +57,7 @@
 
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod builtin;
 pub mod clock;
 pub mod concurrency;
@@ -73,6 +74,9 @@ pub mod snapshot;
 pub mod trace;
 pub mod watchdog;
 
+pub use admission::{
+    AdmissionGate, AimdPolicy, Brownout, BrownoutPolicy, Bulkhead, BulkheadPermit, RequestClass,
+};
 pub use builtin::{HighWatermarkPolicy, PowerCapPolicy};
 pub use clock::{Clock, VirtualClock, WallClock};
 pub use concurrency::ConcurrencyListener;

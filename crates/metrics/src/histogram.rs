@@ -184,6 +184,11 @@ impl Histogram {
         self.value_at_quantile(0.99)
     }
 
+    /// Convenience accessor for the 99.9th percentile (tail-latency SLOs).
+    pub fn p999(&self) -> u64 {
+        self.value_at_quantile(0.999)
+    }
+
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &Histogram) {
         for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {

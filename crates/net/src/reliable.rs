@@ -26,7 +26,19 @@
 //!
 //! `retry_budget`, `backoff_base_ns`, and `breaker_threshold` are
 //! [`AtomicKnob`]s: register them on a [`lg_core::KnobRegistry`] and
-//! policies can steer recovery while a storm is in progress.
+//! policies can steer recovery while a storm is in progress. The layer's
+//! live recovery *state* — how many breakers are open or probing, how
+//! full the retry buckets are — is published through [`ReliableGauges`]:
+//! call [`ReliableLink::bind_introspection`] and policies can read breaker
+//! state and budget fill from the same [`IntrospectionSnapshot`] they read
+//! everything else from.
+//!
+//! Two load-control hooks serve admission layers above the link:
+//! [`ReliableLink::shed`] records traffic an admission controller dropped
+//! *before* it touched the wire (counted distinctly from faulted traffic,
+//! consuming no retry budget), and [`ReliableLink::send_with_deadline`]
+//! stops retransmitting a message whose deadline has passed — expired
+//! parcels are counted apart from fault-driven abandonment.
 
 use crate::coalesce::WireMessage;
 use crate::cost::TransportCost;
@@ -34,11 +46,13 @@ use crate::fault::FaultPlan;
 use crate::link::{Delivery, LinkReport, SimLink};
 use crate::parcel::LocalityId;
 use lg_core::knob::{AtomicKnob, KnobSpec};
+use lg_core::snapshot::Introspection;
 use lg_core::Knob;
 use lg_metrics::{CounterHandle, CounterRegistry, Histogram};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;
 
 /// Static configuration for the reliability layer. The three fields that
@@ -68,6 +82,12 @@ pub struct ReliableConfig {
     /// How long an open breaker parks a destination before the half-open
     /// probe.
     pub breaker_cooldown_ns: u64,
+    /// Seeded jitter added to each breaker cooldown, as a fraction of the
+    /// cooldown. Decorrelates half-open probes so breakers across
+    /// destinations don't re-close (or re-open) in lockstep. Defaults to
+    /// `0.0` (no jitter) so existing fault experiments replay bit-exactly;
+    /// overload scenarios enable it (the serving stack uses `0.25`).
+    pub breaker_jitter_frac: f64,
 }
 
 impl Default for ReliableConfig {
@@ -82,6 +102,7 @@ impl Default for ReliableConfig {
             retry_refill_per_sec: 10_000.0,
             breaker_threshold: 8,
             breaker_cooldown_ns: 2_000_000,
+            breaker_jitter_frac: 0.0,
         }
     }
 }
@@ -109,8 +130,15 @@ pub struct ReliableReport {
     pub acks: u64,
     /// Ack timeouts (failed transmissions detected).
     pub timeouts: u64,
-    /// Parcels abandoned after `max_attempts`.
+    /// Parcels abandoned after `max_attempts` (fault-driven give-up).
     pub abandoned_parcels: u64,
+    /// Parcels shed by an admission layer above the link: never offered
+    /// to the wire, never retried (see [`ReliableLink::shed`]).
+    pub shed_parcels: u64,
+    /// Parcels whose retransmission stopped because their deadline
+    /// passed (see [`ReliableLink::send_with_deadline`]) — distinct from
+    /// `abandoned_parcels`, which is fault-driven.
+    pub deadline_expired_parcels: u64,
     /// Arrival time of the last unique delivery.
     pub last_delivery_ns: u64,
     /// Mean offer→first-delivery latency over unique parcels, ns.
@@ -129,12 +157,66 @@ impl ReliableReport {
         }
     }
 
-    /// Retransmissions per offered parcel (retry amplification).
+    /// Retransmissions per wire-offered parcel (retry amplification).
+    ///
+    /// Shed parcels never entered [`ReliableLink::send`], so they appear
+    /// in neither numerator nor denominator: an admission layer that
+    /// sheds aggressively cannot *dilute* the amplification of the
+    /// traffic that did hit the wire. Deadline-expired parcels stay in
+    /// the denominator — they were offered, and their pre-expiry retries
+    /// are real wire load.
     pub fn retry_amplification(&self) -> f64 {
         if self.offered_parcels == 0 {
             0.0
         } else {
             self.retransmissions as f64 / self.offered_parcels as f64
+        }
+    }
+
+    /// Fraction of wire-offered parcels lost to *faults* (abandoned after
+    /// `max_attempts`), excluding deadline expiry — the fault-loss signal
+    /// an admission policy should not confuse with overload shedding.
+    pub fn fault_loss_frac(&self) -> f64 {
+        if self.offered_parcels == 0 {
+            0.0
+        } else {
+            self.abandoned_parcels as f64 / self.offered_parcels as f64
+        }
+    }
+}
+
+/// Live recovery-state gauges of a [`ReliableLink`], shared via `Arc` so
+/// the [`Introspection`] facade (and anything else) can read them while
+/// the link is being driven. Values update on the link's own event paths,
+/// so they are exact as of the link's last processed event.
+#[derive(Debug, Default)]
+pub struct ReliableGauges {
+    breakers_open: AtomicI64,
+    breakers_half_open: AtomicI64,
+    budget_tokens_milli: AtomicI64,
+    budget_capacity_milli: AtomicI64,
+}
+
+impl ReliableGauges {
+    /// Destinations whose circuit breaker is currently open.
+    pub fn breakers_open(&self) -> i64 {
+        self.breakers_open.load(Ordering::Relaxed)
+    }
+
+    /// Destinations currently in the half-open (probing) state.
+    pub fn breakers_half_open(&self) -> i64 {
+        self.breakers_half_open.load(Ordering::Relaxed)
+    }
+
+    /// Aggregate retry-budget fill across destinations, in `[0, 1]`.
+    /// `NaN` until any destination has needed a retry token (no buckets
+    /// exist yet — a fault-free link never materialises one).
+    pub fn budget_fill(&self) -> f64 {
+        let cap = self.budget_capacity_milli.load(Ordering::Relaxed);
+        if cap <= 0 {
+            f64::NAN
+        } else {
+            self.budget_tokens_milli.load(Ordering::Relaxed) as f64 / cap as f64
         }
     }
 }
@@ -292,6 +374,8 @@ struct PendingMsg {
     msg: WireMessage,
     attempts: u32,
     resolved: bool,
+    /// Sender-side retransmission deadline; `u64::MAX` = none.
+    deadline_ns: u64,
 }
 
 #[derive(Clone, Default)]
@@ -302,6 +386,8 @@ struct MetricHandles {
     unique: Option<CounterHandle>,
     dup_suppressed: Option<CounterHandle>,
     abandoned: Option<CounterHandle>,
+    shed: Option<CounterHandle>,
+    deadline_expired: Option<CounterHandle>,
     breaker_open: Option<CounterHandle>,
     breaker_rejections: Option<CounterHandle>,
     budget_deferrals: Option<CounterHandle>,
@@ -316,6 +402,9 @@ pub struct ReliableLink {
     backoff_base_knob: Arc<AtomicKnob>,
     breaker_threshold_knob: Arc<AtomicKnob>,
     rng: StdRng,
+    /// Dedicated stream for breaker-cooldown jitter, so opening a breaker
+    /// never perturbs the backoff-jitter replay of everything else.
+    breaker_rng: StdRng,
     events: BinaryHeap<Event>,
     next_event_id: u64,
     pending: Vec<PendingMsg>,
@@ -327,6 +416,7 @@ pub struct ReliableLink {
     latency_sum: f64,
     report: ReliableReport,
     metrics: MetricHandles,
+    gauges: Arc<ReliableGauges>,
 }
 
 impl ReliableLink {
@@ -371,6 +461,7 @@ impl ReliableLink {
                 config.breaker_threshold,
             ),
             rng: StdRng::seed_from_u64(seed),
+            breaker_rng: StdRng::seed_from_u64(seed ^ 0x5bd1_e995),
             events: BinaryHeap::new(),
             next_event_id: 0,
             pending: Vec::new(),
@@ -382,6 +473,7 @@ impl ReliableLink {
             latency_sum: 0.0,
             report: ReliableReport::default(),
             metrics: MetricHandles::default(),
+            gauges: Arc::new(ReliableGauges::default()),
         }
     }
 
@@ -400,6 +492,43 @@ impl ReliableLink {
         &self.breaker_threshold_knob
     }
 
+    /// The layer's live recovery-state gauges (breaker counts, aggregate
+    /// retry-budget fill). Cheap to clone and read from anywhere.
+    pub fn gauges(&self) -> &Arc<ReliableGauges> {
+        &self.gauges
+    }
+
+    /// Registers the recovery-state gauges on the introspection facade,
+    /// so policies see breaker state and budget fill in every
+    /// [`IntrospectionSnapshot`](lg_core::IntrospectionSnapshot):
+    ///
+    /// * `net.reliable.breakers_open` — destinations with an open breaker
+    /// * `net.reliable.breakers_half_open` — destinations mid-probe
+    /// * `net.reliable.budget_fill` — aggregate token fill in `[0, 1]`
+    ///   (absent until any destination has needed a retry token)
+    pub fn bind_introspection(&self, intro: &Introspection) {
+        let g = self.gauges.clone();
+        intro.register_gauge("net.reliable.breakers_open", move || {
+            g.breakers_open() as f64
+        });
+        let g = self.gauges.clone();
+        intro.register_gauge("net.reliable.breakers_half_open", move || {
+            g.breakers_half_open() as f64
+        });
+        let g = self.gauges.clone();
+        intro.register_gauge("net.reliable.budget_fill", move || g.budget_fill());
+    }
+
+    /// Whether `dest`'s circuit breaker is currently open (sends to it
+    /// would park). Admission layers use this to fail fast instead of
+    /// queueing doomed work behind a dead destination.
+    pub fn breaker_is_open(&self, dest: LocalityId) -> bool {
+        matches!(
+            self.breakers.get(&dest).map(|b| b.state),
+            Some(BreakerState::Open { .. })
+        )
+    }
+
     /// Publishes the layer's counters into `reg` under `net.reliable.*`.
     ///
     /// Send-path counters (bumped per parcel or per retransmission round)
@@ -413,6 +542,8 @@ impl ReliableLink {
             unique: Some(reg.striped_counter("net.reliable.unique_parcels")),
             dup_suppressed: Some(reg.striped_counter("net.reliable.duplicates_suppressed")),
             abandoned: Some(reg.counter("net.reliable.abandoned_parcels")),
+            shed: Some(reg.striped_counter("net.reliable.shed")),
+            deadline_expired: Some(reg.striped_counter("net.reliable.deadline_expired")),
             breaker_open: Some(reg.counter("net.reliable.breaker_open_events")),
             breaker_rejections: Some(reg.counter("net.reliable.breaker_rejections")),
             budget_deferrals: Some(reg.counter("net.reliable.budget_deferrals")),
@@ -424,6 +555,23 @@ impl ReliableLink {
     /// same contract as [`SimLink::transmit`]). Recovery runs when the
     /// caller next pumps past `msg.t_ns`.
     pub fn send(&mut self, msg: WireMessage, offer_time_of: impl Fn(u64) -> u64) {
+        self.send_with_deadline(msg, u64::MAX, offer_time_of);
+    }
+
+    /// Like [`ReliableLink::send`], but retransmission stops once
+    /// `deadline_ns` passes: an attempt (initial or retry) due at or
+    /// after the deadline resolves the message as *deadline-expired*
+    /// instead — counted in [`ReliableReport::deadline_expired_parcels`]
+    /// and `net.reliable.deadline_expired`, distinct from fault-driven
+    /// abandonment. Copies already in flight may still arrive (and count
+    /// as unique deliveries); expiry is a sender-side stop, and the
+    /// serving layer owns end-to-end deadline accounting.
+    pub fn send_with_deadline(
+        &mut self,
+        msg: WireMessage,
+        deadline_ns: u64,
+        offer_time_of: impl Fn(u64) -> u64,
+    ) {
         for p in &msg.parcels {
             self.offer_times.insert(p.seq, offer_time_of(p.seq));
         }
@@ -434,8 +582,23 @@ impl ReliableLink {
             msg,
             attempts: 0,
             resolved: false,
+            deadline_ns,
         });
         self.schedule(t, EventKind::Attempt { entry });
+    }
+
+    /// Records `msg` as shed by an admission layer above the link. The
+    /// parcels never touch the wire, consume no retry budget, and are
+    /// counted in [`ReliableReport::shed_parcels`] and the (striped)
+    /// `net.reliable.shed` counter — distinct from every fault-driven
+    /// loss class, so goodput accounting can tell "we chose not to serve
+    /// this" apart from "the network ate it".
+    pub fn shed(&mut self, msg: &WireMessage) {
+        let n = msg.parcels.len() as u64;
+        self.report.shed_parcels += n;
+        if let Some(c) = &self.metrics.shed {
+            c.add(n);
+        }
     }
 
     /// Processes all recovery events up to and including `until_ns`,
@@ -490,6 +653,60 @@ impl ReliableLink {
         self.config.retry_refill_per_sec / 1e9
     }
 
+    /// Recounts breaker states into the shared gauges. O(destinations),
+    /// called only on state-changing paths (ack, timeout, probe).
+    fn publish_breaker_gauges(&self) {
+        let (mut open, mut half) = (0i64, 0i64);
+        for b in self.breakers.values() {
+            match b.state {
+                BreakerState::Open { .. } => open += 1,
+                BreakerState::HalfOpen { .. } => half += 1,
+                BreakerState::Closed => {}
+            }
+        }
+        self.gauges.breakers_open.store(open, Ordering::Relaxed);
+        self.gauges
+            .breakers_half_open
+            .store(half, Ordering::Relaxed);
+    }
+
+    /// Republishes aggregate token fill after any bucket activity.
+    fn publish_budget_gauges(&self) {
+        let capacity = self.retry_budget_knob.get().max(0) as f64;
+        let tokens: f64 = self.buckets.values().map(|b| b.tokens.min(capacity)).sum();
+        let total_cap = capacity * self.buckets.len() as f64;
+        self.gauges
+            .budget_tokens_milli
+            .store((tokens * 1e3) as i64, Ordering::Relaxed);
+        self.gauges
+            .budget_capacity_milli
+            .store((total_cap * 1e3) as i64, Ordering::Relaxed);
+    }
+
+    /// Breaker cooldown with seeded jitter from the dedicated stream, so
+    /// destinations that trip together probe (and re-close) apart.
+    fn jittered_cooldown(&mut self) -> u64 {
+        let base = self.config.breaker_cooldown_ns;
+        let jitter_max = (base as f64 * self.config.breaker_jitter_frac) as u64;
+        if jitter_max == 0 {
+            base
+        } else {
+            base + self.breaker_rng.gen_range(0..=jitter_max)
+        }
+    }
+
+    /// Resolves a pending message as deadline-expired (sender stops
+    /// retransmitting; distinct from fault-driven abandonment).
+    fn expire(&mut self, entry: usize) {
+        let p = &mut self.pending[entry];
+        p.resolved = true;
+        let n = p.msg.parcels.len() as u64;
+        self.report.deadline_expired_parcels += n;
+        if let Some(c) = &self.metrics.deadline_expired {
+            c.add(n);
+        }
+    }
+
     fn handle(&mut self, ev: Event, out: &mut Vec<Delivery>) {
         let now = ev.t_ns;
         match ev.kind {
@@ -535,6 +752,7 @@ impl ReliableLink {
                     .entry(dest)
                     .or_insert_with(Breaker::new)
                     .record_success();
+                self.publish_breaker_gauges();
             }
             EventKind::Timeout { entry, attempt } => {
                 let p = &self.pending[entry];
@@ -547,11 +765,13 @@ impl ReliableLink {
                     c.inc();
                 }
                 let threshold = self.breaker_threshold_knob.get();
+                let cooldown = self.jittered_cooldown();
                 let opened = self
                     .breakers
                     .entry(dest)
                     .or_insert_with(Breaker::new)
-                    .record_failure(now, threshold, self.config.breaker_cooldown_ns);
+                    .record_failure(now, threshold, cooldown);
+                self.publish_breaker_gauges();
                 if opened {
                     self.report.breaker_open_events += 1;
                     if let Some(c) = &self.metrics.breaker_open {
@@ -592,6 +812,13 @@ impl ReliableLink {
         if self.pending[entry].resolved {
             return;
         }
+        if now >= self.pending[entry].deadline_ns {
+            // Past the deadline there is no point transmitting: the receiver
+            // would discard the result anyway, and the retry would only feed
+            // the overload. Expired is accounted separately from faulted.
+            self.expire(entry);
+            return;
+        }
         let dest = self.pending[entry].msg.dest;
         // Circuit breaker gate.
         match self
@@ -614,6 +841,8 @@ impl ReliableLink {
                 return;
             }
         }
+        // `allow` may have flipped Open -> HalfOpen; keep the gauges honest.
+        self.publish_breaker_gauges();
         // Retry budget gate: the first attempt is not a retry and rides
         // free; every retransmission pays a token.
         let is_retry = self.pending[entry].attempts > 0;
@@ -642,6 +871,7 @@ impl ReliableLink {
                 if let Some(c) = &self.metrics.budget_deferrals {
                     c.inc();
                 }
+                self.publish_budget_gauges();
                 self.schedule(ready.max(now + 1), EventKind::Attempt { entry });
                 return;
             }
@@ -650,6 +880,7 @@ impl ReliableLink {
             if let Some(c) = &self.metrics.retransmissions {
                 c.inc();
             }
+            self.publish_budget_gauges();
         }
         // Transmit. The message departs now (not at its original flush
         // time) on retries.
@@ -933,5 +1164,189 @@ mod tests {
         assert!(r.goodput_parcels_per_sec() > 0.0);
         assert!(r.retry_amplification() >= 0.0);
         assert!(r.mean_delivery_latency_ns > 0.0);
+    }
+
+    #[test]
+    fn gauges_track_breaker_state() {
+        // Storm into a dead window: the breaker opens (gauge goes high),
+        // then the half-open probe closes it once the outage lifts.
+        let plan = FaultPlan::new(2).outage(0, 1_000_000);
+        let config = ReliableConfig {
+            breaker_threshold: 3,
+            breaker_cooldown_ns: 100_000,
+            ..quick_config()
+        };
+        let mut rl = ReliableLink::with_faults(TransportCost::cluster(), plan, config, 2);
+        let gauges = rl.gauges().clone();
+        assert_eq!(gauges.breakers_open(), 0);
+        for i in 0..10u64 {
+            rl.send(msg(1, i * 1_000, i..i + 1), |_| i * 1_000);
+        }
+        // Pump through the outage: the breaker must be visibly open at
+        // some intermediate point.
+        let mut saw_open = false;
+        for until in (50_000..1_000_000).step_by(50_000) {
+            rl.pump(until);
+            saw_open |= gauges.breakers_open() > 0;
+        }
+        assert!(saw_open, "open breaker never surfaced in the gauge");
+        rl.drain();
+        assert_eq!(gauges.breakers_open(), 0, "recovered breaker still open");
+        assert_eq!(gauges.breakers_half_open(), 0);
+    }
+
+    #[test]
+    fn gauges_track_budget_fill() {
+        let mut rl = ReliableLink::new(TransportCost::cluster(), quick_config(), 1);
+        // No destination has needed a retry token yet: fill is undefined.
+        assert!(rl.gauges().budget_fill().is_nan());
+        let plan = FaultPlan::new(1).outage(0, 400_000);
+        let config = ReliableConfig {
+            retry_budget: 8,
+            retry_refill_per_sec: 1_000.0,
+            ..quick_config()
+        };
+        rl = ReliableLink::with_faults(TransportCost::cluster(), plan, config, 1);
+        let gauges = rl.gauges().clone();
+        for i in 0..6u64 {
+            rl.send(msg(1, 0, i..i + 1), |_| 0);
+        }
+        rl.pump(200_000);
+        let fill = gauges.budget_fill();
+        assert!(fill.is_finite(), "bucket exists after retries");
+        assert!((0.0..=1.0).contains(&fill), "fill {fill} out of range");
+        assert!(fill < 1.0, "retries should have drawn the bucket down");
+    }
+
+    #[test]
+    fn introspection_snapshot_sees_link_gauges() {
+        use lg_core::{ConcurrencyListener, Introspection, ProfileListener, TaskNames};
+        let intro = Introspection::new(
+            Arc::new(ProfileListener::new(TaskNames::new())),
+            Arc::new(ConcurrencyListener::new(16)),
+        );
+        let plan = FaultPlan::new(2).outage(0, 1_000_000);
+        let config = ReliableConfig {
+            breaker_threshold: 2,
+            breaker_cooldown_ns: 2_000_000,
+            ..quick_config()
+        };
+        let mut rl = ReliableLink::with_faults(TransportCost::cluster(), plan, config, 2);
+        rl.bind_introspection(&intro);
+        for i in 0..8u64 {
+            rl.send(msg(1, i * 1_000, i..i + 1), |_| i * 1_000);
+        }
+        rl.pump(500_000);
+        let snap = intro.capture(500_000);
+        let open = snap.value_by_name("net.reliable.breakers_open");
+        assert_eq!(open, Some(1.0), "policy must see the open breaker");
+        assert!(snap
+            .value_by_name("net.reliable.breakers_half_open")
+            .is_some());
+    }
+
+    #[test]
+    fn probe_jitter_decorrelates_cooldowns() {
+        let config = ReliableConfig {
+            breaker_cooldown_ns: 1_000_000,
+            breaker_jitter_frac: 0.5,
+            ..quick_config()
+        };
+        let mut rl = ReliableLink::new(TransportCost::cluster(), config, 11);
+        let draws: Vec<u64> = (0..8).map(|_| rl.jittered_cooldown()).collect();
+        assert!(draws.iter().all(|&d| (1_000_000..=1_500_000).contains(&d)));
+        let mut unique = draws.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert!(
+            unique.len() > 1,
+            "jittered cooldowns all identical: {draws:?}"
+        );
+        // Jitter disabled: bit-exact base cooldown, nothing drawn.
+        let config = ReliableConfig {
+            breaker_cooldown_ns: 1_000_000,
+            ..quick_config()
+        };
+        let mut rl = ReliableLink::new(TransportCost::cluster(), config, 11);
+        assert_eq!(rl.jittered_cooldown(), 1_000_000);
+        assert_eq!(rl.jittered_cooldown(), 1_000_000);
+    }
+
+    #[test]
+    fn probe_jitter_does_not_perturb_backoff_replay() {
+        // Two identical lossy runs, one with breaker jitter: the delivery
+        // outcome may shift, but the no-breaker run (threshold high enough
+        // that nothing trips) must replay bit-exactly because cooldown
+        // jitter draws from its own RNG stream.
+        let run = |jitter: f64| {
+            let plan = FaultPlan::new(5).drop_prob(0.3).jitter_ns(10_000);
+            let config = ReliableConfig {
+                breaker_threshold: 1_000, // never trips
+                breaker_jitter_frac: jitter,
+                ..quick_config()
+            };
+            let mut rl = ReliableLink::with_faults(TransportCost::cluster(), plan, config, 9);
+            for i in 0..50u64 {
+                rl.send(msg(1, i * 30_000, i..i + 1), |_| i * 30_000);
+            }
+            let delivered = rl.drain();
+            (delivered, rl.report())
+        };
+        assert_eq!(run(0.0), run(0.9));
+    }
+
+    #[test]
+    fn shed_is_counted_distinctly_and_consumes_nothing() {
+        let mut rl = ReliableLink::new(TransportCost::cluster(), quick_config(), 1);
+        let reg = CounterRegistry::new();
+        rl.bind_metrics(&reg);
+        rl.send(msg(1, 0, 0..4), |_| 0);
+        rl.shed(&msg(1, 0, 4..10));
+        rl.drain();
+        let r = rl.report();
+        assert_eq!(r.shed_parcels, 6);
+        assert_eq!(r.offered_parcels, 4, "shed parcels never hit the wire");
+        assert_eq!(r.unique_parcels, 4);
+        assert_eq!(r.retries_consumed, 0, "shedding must not draw budget");
+        assert_eq!(reg.counter("net.reliable.shed").get(), 6);
+        // Amplification ignores shed traffic entirely.
+        assert_eq!(r.retry_amplification(), 0.0);
+    }
+
+    #[test]
+    fn deadline_expiry_is_distinct_from_abandonment() {
+        // Permanent outage, generous attempt budget, tight deadline: the
+        // sender must stop at the deadline and report expiry, not
+        // fault-driven abandonment.
+        let plan = FaultPlan::new(0).outage(0, u64::MAX - 1);
+        let config = ReliableConfig {
+            max_attempts: 50,
+            ..quick_config()
+        };
+        let mut rl = ReliableLink::with_faults(TransportCost::cluster(), plan, config, 0);
+        let reg = CounterRegistry::new();
+        rl.bind_metrics(&reg);
+        rl.send_with_deadline(msg(1, 0, 0..3), 120_000, |_| 0);
+        let delivered = rl.drain();
+        assert!(delivered.is_empty());
+        let r = rl.report();
+        assert_eq!(r.deadline_expired_parcels, 3);
+        assert_eq!(r.abandoned_parcels, 0);
+        assert_eq!(reg.counter("net.reliable.deadline_expired").get(), 3);
+        // Pre-expiry retries are real wire load and stay visible.
+        assert!(r.retransmissions >= 1);
+        assert!(r.retransmissions < 50, "expiry must stop the retry stream");
+    }
+
+    #[test]
+    fn deadline_is_harmless_on_a_healthy_link() {
+        let mut rl = ReliableLink::new(TransportCost::cluster(), quick_config(), 1);
+        rl.send_with_deadline(msg(1, 0, 0..4), u64::MAX, |_| 0);
+        rl.send_with_deadline(msg(1, 10_000, 4..8), 100_000_000, |_| 10_000);
+        let delivered = rl.drain();
+        assert_eq!(delivered.len(), 8);
+        let r = rl.report();
+        assert_eq!(r.deadline_expired_parcels, 0);
+        assert_eq!(r.unique_parcels, 8);
     }
 }

@@ -18,6 +18,7 @@
 //! | unbalanced tree search | [`uts`] | irregular task graph |
 //! | phase alternator | [`phased`] | alternates memory/compute phases |
 //! | parcel storm | [`parcel_storm`] | offered-load generator for lg-net |
+//! | serving scenario | [`serve`] | open-loop arrivals, admission control, saturation |
 
 #![warn(missing_docs)]
 
@@ -25,6 +26,7 @@ pub mod compute;
 pub mod fib;
 pub mod parcel_storm;
 pub mod phased;
+pub mod serve;
 pub mod stencil1d;
 pub mod stencil2d;
 pub mod uts;
@@ -32,5 +34,6 @@ pub mod uts;
 pub use compute::ComputeKernel;
 pub use parcel_storm::ParcelStorm;
 pub use phased::PhasedWorkload;
+pub use serve::{ArrivalGen, ArrivalPattern, ServeConfig, ServeEngine, ServeReport};
 pub use stencil1d::Stencil1d;
 pub use stencil2d::Stencil2d;

@@ -1,0 +1,26 @@
+//! Open-loop serving scenario: arrivals, admission, and saturation.
+//!
+//! The closed-loop kernels elsewhere in this crate self-throttle; this
+//! module is the opposite regime. An [`arrivals::ArrivalGen`] emits
+//! requests with deadlines regardless of whether the system keeps up,
+//! and the [`engine::ServeEngine`] pushes them through the lg-core
+//! admission plane (brownout → gate → bulkhead), an
+//! [`lg_net::ReliableLink`] (faults, retries, breakers), and a service
+//! stage with a contention knee. Everything interesting — queue depth,
+//! in-flight, window p99, shed/miss counters — is published through the
+//! introspection facade, so the same policies that tune the HPC kernels
+//! (AIMD, brownout, watchdog) steer the serving stack.
+//!
+//! [`pool::PoolServer`] is the wall-clock sibling: the same admission
+//! primitives gating real [`lg_runtime::ThreadPool`] tasks, for examples
+//! and live demos.
+
+pub mod arrivals;
+pub mod engine;
+pub mod pool;
+pub mod request;
+
+pub use arrivals::{ArrivalGen, ArrivalPattern};
+pub use engine::{ServeConfig, ServeEngine, ServeGauges, ServeReport};
+pub use pool::{PoolServeReport, PoolServer};
+pub use request::Request;

@@ -1,0 +1,108 @@
+//! Property tests for the serving pipeline's shed path: shed work is
+//! *free*. A request the brownout or the gate rejects must never reach
+//! the wire, never consume a retry token, and never dent the per-dest
+//! retry budget — that is the whole point of shedding before sending.
+//!
+//! (These live here rather than in `lg-core` because the property spans
+//! the admission plane *and* the reliable link, and `lg-core` cannot
+//! dev-depend on `lg-net` without a cycle.)
+
+use lg_core::knob::Knob;
+use lg_core::{AdmissionGate, Brownout, Bulkhead};
+use lg_net::reliable::ReliableLink;
+use lg_net::{FaultPlan, ReliableConfig, TransportCost};
+use lg_workloads::serve::{ArrivalGen, ArrivalPattern, ServeConfig, ServeEngine};
+use proptest::prelude::*;
+
+fn arrivals(seed: u64, rate: f64, optional_frac: f64) -> Vec<lg_workloads::serve::Request> {
+    ArrivalGen {
+        pattern: ArrivalPattern::Poisson { rate_per_sec: rate },
+        seed,
+        optional_frac,
+        service_mean_ns: 1_000_000,
+        mandatory_budget_ns: 50_000_000,
+        optional_budget_ns: 25_000_000,
+        dests: 4,
+    }
+    .generate(200_000_000)
+}
+
+fn engine(seed: u64, drop_prob: f64, gate_rate: i64) -> ServeEngine {
+    let link = ReliableLink::with_faults(
+        TransportCost::cluster(),
+        FaultPlan::new(seed).drop_prob(drop_prob),
+        ReliableConfig::default(),
+        seed,
+    );
+    ServeEngine::new(
+        link,
+        ServeConfig::default(),
+        Bulkhead::new("serve.bulkhead_limit", 1, 256, 16),
+        AdmissionGate::new("serve.admit_rate", 1, 1_000_000, gate_rate, 64.0, 8.0),
+        Brownout::new("serve.shed_level"),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// At full brownout (level 8, everything shed) nothing is offered to
+    /// the wire: zero sends, zero retransmissions, zero retry tokens
+    /// consumed, zero budget deferrals — even with a lossy transport that
+    /// would retry heavily if anything did get through.
+    #[test]
+    fn full_shed_consumes_zero_retry_budget(
+        seed in 1u64..5_000,
+        rate_x100 in 20u32..120,
+        drop_pct in 0u32..40,
+    ) {
+        let reqs = arrivals(seed, rate_x100 as f64 * 100.0, 0.3);
+        let mut e = engine(seed, drop_pct as f64 / 100.0, 1_000_000);
+        e.brownout().level_knob().set(Brownout::MAX_LEVEL);
+        let r = e.run(&reqs, |_| {});
+        let link = e.link_report();
+        prop_assert_eq!(r.shed_brownout, r.offered, "level 8 sheds everything");
+        prop_assert_eq!(r.admitted, 0);
+        prop_assert_eq!(link.shed_parcels, r.offered);
+        prop_assert_eq!(link.offered_parcels, 0, "shed work never reaches the wire");
+        prop_assert_eq!(link.retransmissions, 0);
+        prop_assert_eq!(link.retries_consumed, 0, "shed work costs no retry tokens");
+        prop_assert_eq!(link.budget_deferrals, 0);
+    }
+
+    /// At any shed level and gate rate, the link's accounting separates
+    /// shed from sent exactly: `shed_parcels` equals the admission
+    /// plane's shed count, only admitted requests are ever offered to
+    /// the wire, and retry spend is attributable to admitted traffic
+    /// alone (no admissions ⇒ no retries). Offered work is conserved
+    /// across shed/goodput/missed.
+    #[test]
+    fn shed_and_sent_accounting_is_exact(
+        seed in 1u64..5_000,
+        level in 0i64..=8,
+        gate_rate in 1i64..20_000,
+        drop_pct in 0u32..30,
+    ) {
+        let reqs = arrivals(seed, 6_000.0, 0.3);
+        let mut e = engine(seed, drop_pct as f64 / 100.0, gate_rate);
+        e.brownout().level_knob().set(level);
+        let r = e.run(&reqs, |_| {});
+        let link = e.link_report();
+        prop_assert_eq!(link.shed_parcels, r.shed_brownout + r.shed_gate);
+        prop_assert!(
+            link.offered_parcels <= r.admitted,
+            "wire offers ({}) exceed admissions ({}); queue-expired requests never send",
+            link.offered_parcels,
+            r.admitted
+        );
+        if r.admitted == 0 {
+            prop_assert_eq!(link.retries_consumed, 0);
+            prop_assert_eq!(link.retransmissions, 0);
+        }
+        prop_assert_eq!(
+            r.offered,
+            r.shed_brownout + r.shed_gate + r.goodput + r.deadline_missed,
+            "conservation: every offered request resolves exactly once"
+        );
+    }
+}
