@@ -1,0 +1,181 @@
+//! Criterion benches for incremental introspection capture.
+//!
+//! Models a multi-tenant deployment: each "tenant" owns a counter
+//! registry (4 counters), a handful of task profiles, and a stamped
+//! gauge, all registered on one shared [`Introspection`]. The claims
+//! under test, at 1 / 16 / 64 tenants:
+//!
+//! * **idle** — nothing written since the last round: capture should be
+//!   near-free (generation checks + Arc bumps, zero merges) and far
+//!   cheaper than the from-scratch recompute, widening with tenant
+//!   count (target: ≥ 10× at 64 tenants);
+//! * **light** — one tenant active: cost proportional to that tenant's
+//!   dirty shards, not the fleet;
+//! * **hot** — every tenant writes every round: the delta path's
+//!   bookkeeping must not make it slower than a full recompute
+//!   (target: no worse than `capture_uncached` at 1 tenant);
+//! * **uncached** — the from-scratch oracle, the pre-PR cost model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lg_core::concurrency::ConcurrencyListener;
+use lg_core::event::{Event, TaskNames};
+use lg_core::listener::Listener as _;
+use lg_core::profile::ProfileListener;
+use lg_core::snapshot::Introspection;
+use lg_metrics::CounterRegistry;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+const COUNTERS_PER_TENANT: usize = 4;
+const TASKS_PER_TENANT: usize = 4;
+
+struct Tenant {
+    counters: Arc<CounterRegistry>,
+    tasks: Vec<lg_core::TaskId>,
+    gauge_stamp: Arc<AtomicU64>,
+    gauge_value: Arc<AtomicU64>,
+}
+
+struct Fleet {
+    profiles: Arc<ProfileListener>,
+    intro: Introspection,
+    tenants: Vec<Tenant>,
+    t_ns: u64,
+}
+
+fn fleet(n_tenants: usize) -> Fleet {
+    let names = TaskNames::new();
+    let profiles = Arc::new(ProfileListener::new(names.clone()));
+    let concurrency = Arc::new(ConcurrencyListener::new(256));
+    let intro = Introspection::new(profiles.clone(), concurrency);
+    let mut tenants = Vec::with_capacity(n_tenants);
+    let mut t_ns = 0u64;
+    for tn in 0..n_tenants {
+        let counters = Arc::new(CounterRegistry::new());
+        for c in 0..COUNTERS_PER_TENANT {
+            counters.counter(&format!("tenant{tn}.c{c}")).add(1);
+        }
+        intro.register_counters(counters.clone());
+        let tasks: Vec<_> = (0..TASKS_PER_TENANT)
+            .map(|i| names.intern(&format!("tenant{tn}.task{i}")))
+            .collect();
+        // Seed each profile so captures merge real Welford state.
+        for &task in &tasks {
+            for _ in 0..8 {
+                t_ns += 100;
+                profiles.on_event(&Event::TaskBegin {
+                    task,
+                    worker: 0,
+                    t_ns,
+                });
+                profiles.on_event(&Event::TaskEnd {
+                    task,
+                    worker: 0,
+                    t_ns: t_ns + 50,
+                    elapsed_ns: 50,
+                });
+            }
+        }
+        let gauge_stamp = Arc::new(AtomicU64::new(0));
+        let gauge_value = Arc::new(AtomicU64::new(0));
+        let gv = gauge_value.clone();
+        intro.register_gauge_stamped(
+            &format!("tenant{tn}.load"),
+            gauge_stamp.clone(),
+            move || gv.load(Ordering::Relaxed) as f64,
+        );
+        tenants.push(Tenant {
+            counters,
+            tasks,
+            gauge_stamp,
+            gauge_value,
+        });
+    }
+    Fleet {
+        profiles,
+        intro,
+        tenants,
+        t_ns,
+    }
+}
+
+impl Fleet {
+    /// One tenant's per-round activity: a counter add, one task
+    /// completion, and a gauge move.
+    fn touch(&mut self, tenant: usize) {
+        self.t_ns += 100;
+        let t = &self.tenants[tenant];
+        t.counters.counter("tenant-hot").add(1);
+        self.profiles.on_event(&Event::TaskEnd {
+            task: t.tasks[0],
+            worker: 0,
+            t_ns: self.t_ns,
+            elapsed_ns: 42,
+        });
+        t.gauge_value.fetch_add(1, Ordering::Relaxed);
+        t.gauge_stamp.fetch_add(1, Ordering::Release);
+    }
+}
+
+fn bench_capture(c: &mut Criterion) {
+    for tenants in [1usize, 16, 64] {
+        // Idle: captures with zero writes in between — the steady state
+        // of a mostly-quiet fleet.
+        let mut f = fleet(tenants);
+        f.t_ns += 1;
+        f.intro.capture(f.t_ns); // warm the merged base
+        c.bench_function(format!("capture_idle_{tenants}_tenants"), |b| {
+            b.iter(|| {
+                f.t_ns += 1;
+                std::hint::black_box(f.intro.capture(f.t_ns));
+            })
+        });
+
+        // Light: exactly one tenant active per round.
+        let mut f = fleet(tenants);
+        f.t_ns += 1;
+        f.intro.capture(f.t_ns);
+        c.bench_function(format!("capture_light_{tenants}_tenants"), |b| {
+            b.iter(|| {
+                f.touch(0);
+                f.t_ns += 1;
+                std::hint::black_box(f.intro.capture(f.t_ns));
+            })
+        });
+
+        // Hot: every tenant writes every round — worst case for the
+        // delta path's bookkeeping.
+        let mut f = fleet(tenants);
+        f.t_ns += 1;
+        f.intro.capture(f.t_ns);
+        c.bench_function(format!("capture_hot_{tenants}_tenants"), |b| {
+            b.iter(|| {
+                for tn in 0..tenants {
+                    f.touch(tn);
+                }
+                f.t_ns += 1;
+                std::hint::black_box(f.intro.capture(f.t_ns));
+            })
+        });
+
+        // From-scratch oracle: what every capture cost before the
+        // generation-stamp cache existed.
+        let mut f = fleet(tenants);
+        c.bench_function(format!("capture_uncached_{tenants}_tenants"), |b| {
+            b.iter(|| {
+                f.t_ns += 1;
+                std::hint::black_box(f.intro.capture_uncached(f.t_ns));
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(30);
+    targets = bench_capture
+}
+criterion_main!(benches);

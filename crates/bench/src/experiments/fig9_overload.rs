@@ -63,7 +63,7 @@ pub enum Storm {
 }
 
 /// Result of one (load, policy) run.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug)]
 pub struct OverloadResult {
     /// Policy label.
     pub policy: String,
@@ -83,10 +83,32 @@ pub struct OverloadResult {
     pub knob_writes: u64,
     /// Watchdog rollbacks (journal records marked rolled back).
     pub watchdog_rollbacks: u64,
+    /// Mean adaptation latency (trigger sensed → knob write journaled),
+    /// µs. Wall-clock, so it varies run to run; `NaN` when the run never
+    /// actuated (static policies).
+    pub adapt_latency_mean_us: f64,
     /// Full serving report (for invariants).
     pub serve: ServeReport,
     /// Full wire-level report (for invariants).
     pub link: ReliableReport,
+}
+
+/// Everything except `adapt_latency_mean_us`, which is wall-clock (host
+/// scheduling noise) and must not break bit-exact replay comparisons.
+impl PartialEq for OverloadResult {
+    fn eq(&self, other: &Self) -> bool {
+        self.policy == other.policy
+            && self.goodput_frac == other.goodput_frac
+            && self.shed_frac == other.shed_frac
+            && self.miss_frac == other.miss_frac
+            && self.p50_ms == other.p50_ms
+            && self.p99_ms == other.p99_ms
+            && self.p999_ms == other.p999_ms
+            && self.knob_writes == other.knob_writes
+            && self.watchdog_rollbacks == other.watchdog_rollbacks
+            && self.serve == other.serve
+            && self.link == other.link
+    }
 }
 
 const DESTS: u32 = 4;
@@ -290,6 +312,11 @@ pub fn simulate(
         .count() as u64;
     let watchdog_rollbacks = records.iter().filter(|r| r.rolled_back).count() as u64;
 
+    let adapt_latency_mean_us = lg
+        .policy_engine()
+        .adaptation_latency_mean_ns()
+        .map_or(f64::NAN, |ns| ns / 1e3);
+
     OverloadResult {
         policy: policy.label(),
         goodput_frac: serve.goodput_frac(),
@@ -300,6 +327,7 @@ pub fn simulate(
         p999_ms: serve.p999_latency_ns as f64 / 1e6,
         knob_writes,
         watchdog_rollbacks,
+        adapt_latency_mean_us,
         serve,
         link,
     }
@@ -346,6 +374,7 @@ pub fn run(fast: bool) {
             "p999_ms",
             "knob_writes",
             "rollbacks",
+            "adapt_lat_us",
         ],
     );
     for &load in &loads {
@@ -362,6 +391,11 @@ pub fn run(fast: bool) {
                 fmt_f(r.p999_ms),
                 r.knob_writes.to_string(),
                 r.watchdog_rollbacks.to_string(),
+                if r.adapt_latency_mean_us.is_nan() {
+                    "-".into()
+                } else {
+                    fmt_f(r.adapt_latency_mean_us)
+                },
             ]);
         }
     }
@@ -424,6 +458,12 @@ mod tests {
         );
         // The controllers actually acted, through the journal.
         assert!(adaptive.knob_writes > 0, "no journaled actuations");
+        // ...and every actuating round stamped its trigger→journal
+        // latency (wall-clock, so only finiteness is asserted).
+        assert!(
+            adaptive.adapt_latency_mean_us.is_finite() && adaptive.adapt_latency_mean_us >= 0.0,
+            "actuating run recorded no adaptation latency"
+        );
         assert_eq!(
             adaptive.watchdog_rollbacks, 0,
             "controllers regressed goodput"

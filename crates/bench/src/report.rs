@@ -155,7 +155,7 @@ pub fn snapshot_table(snap: &lg_core::IntrospectionSnapshot) -> Table {
         t.push(&["metric".to_string(), name.to_string(), v]);
     }
     for (name, value) in snap.counters() {
-        t.push(&["counter".to_string(), name.clone(), value.to_string()]);
+        t.push(&["counter".to_string(), name.to_string(), value.to_string()]);
     }
     for p in snap.profiles() {
         t.push(&[

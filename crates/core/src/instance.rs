@@ -108,6 +108,20 @@ impl LookingGlassBuilder {
         let introspection = Arc::new(Introspection::new(profiles.clone(), concurrency.clone()));
         let policy_engine = PolicyEngine::new(knobs.clone());
         policy_engine.attach_introspection(introspection.clone());
+        // Adaptation latency (trigger → journaled knob write) rides along
+        // in every snapshot. Stamped with the engine's record counter, so
+        // the gauge is only re-read after rounds that actually actuated
+        // (NaN → None until the first one).
+        let latency_engine = policy_engine.clone();
+        introspection.register_gauge_stamped(
+            "policy.adaptation_latency_ns",
+            policy_engine.latency_stamp(),
+            move || {
+                latency_engine
+                    .adaptation_latency_last_ns()
+                    .map_or(f64::NAN, |ns| ns as f64)
+            },
+        );
         if self.with_policy_engine {
             dispatcher.register(policy_engine.clone());
         }

@@ -85,7 +85,7 @@ pub use instance::{LookingGlass, LookingGlassBuilder, Timer};
 pub use journal::{ActuationJournal, ActuationRecord};
 pub use knob::{Knob, KnobId, KnobRegistry, KnobScale, KnobSpec, KnobTarget};
 pub use listener::{Dispatcher, Listener};
-pub use policy::{Policy, PolicyDecision, PolicyEngine, PolicyHandle};
+pub use policy::{Policy, PolicyDecision, PolicyEngine, PolicyHandle, ThresholdWatch, Trigger};
 pub use profile::{ProfileListener, ProfileSnapshot, TaskProfile};
 pub use samples::SampleHistoryListener;
 pub use session::{EpochReport, SessionConfig, SessionStep, TuningSession};

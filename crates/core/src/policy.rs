@@ -11,6 +11,14 @@
 //!   semantics, no OS dependency.
 //! * **Event-triggered** policies run inline when a matching event is
 //!   dispatched (the engine is itself a [`Listener`]).
+//! * **Threshold-triggered** policies subscribe to a [`ThresholdWatch`] —
+//!   an edge-triggered predicate over striped counters or gauges ("queue
+//!   depth crossed N", "p99 window moved more than x%"). Each
+//!   [`PolicyEngine::step`] starts with a cheap watch scan (a handful of
+//!   atomic folds, no snapshot); only when a watch fires (or a periodic
+//!   policy is due) does the engine pay for a capture and run a round.
+//!   This is the event-driven alternative to polling: the driver can call
+//!   `step` at a high rate and rounds still only happen on activity.
 //!
 //! Each evaluation round captures **one** snapshot from the attached
 //! [`Introspection`] facade and shares it across every policy that fires,
@@ -18,6 +26,14 @@
 //! applied through the [`KnobRegistry`], so every actuation is
 //! bounds-checked and journaled in the registry's single
 //! [`ActuationJournal`] — there is no second, engine-private log.
+//!
+//! Rounds that actuate at least one knob record their **adaptation
+//! latency** — wall-clock time from trigger detection to the last
+//! journaled knob write — exposed via
+//! [`PolicyEngine::adaptation_latency_last_ns`] /
+//! [`PolicyEngine::adaptation_latency_mean_ns`] and surfaced in snapshots
+//! as the stamped `policy.adaptation_latency_ns` gauge (wired by the
+//! instance builder).
 
 use crate::clock::Clock;
 use crate::event::{Event, TaskId};
@@ -25,10 +41,12 @@ use crate::journal::ActuationJournal;
 use crate::knob::{KnobRegistry, KnobTarget};
 use crate::listener::Listener;
 use crate::snapshot::{Introspection, IntrospectionSnapshot};
+use lg_metrics::{CounterHandle, Welford};
 use parking_lot::{Mutex, RwLock};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// What a policy wants done.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -83,6 +101,191 @@ pub enum Trigger<'a> {
     Periodic,
     /// A matching event was dispatched.
     Event(&'a Event),
+    /// The policy's [`ThresholdWatch`] crossed.
+    Threshold,
+}
+
+/// An edge-triggered crossing predicate a policy can subscribe to instead
+/// of polling (see [`PolicyEngine::register_threshold`]).
+///
+/// Checks are cheap — an atomic fold or a gauge closure, no snapshot — so
+/// the engine scans every watch on every [`PolicyEngine::step`] and only
+/// captures when one fires. All variants are edge-triggered: a watch fires
+/// once per crossing, not continuously while the condition holds.
+pub struct ThresholdWatch {
+    kind: WatchKind,
+}
+
+enum WatchKind {
+    /// Fires when the reading rises above `threshold`; re-arms once it
+    /// falls back to or below (hysteresis by edge, not by band).
+    GaugeAbove {
+        read: Box<dyn Fn() -> f64 + Send>,
+        threshold: f64,
+        armed: bool,
+    },
+    /// Mirror image: fires on falling below, re-arms at or above.
+    GaugeBelow {
+        read: Box<dyn Fn() -> f64 + Send>,
+        threshold: f64,
+        armed: bool,
+    },
+    /// Fires when a (typically striped) counter advanced by at least
+    /// `delta` since the last firing.
+    CounterDelta {
+        counter: CounterHandle,
+        delta: u64,
+        last: Option<u64>,
+    },
+    /// Fires when the reading moved by more than `frac` (relative) since
+    /// the last firing — "p99 window moved >10%".
+    RelChange {
+        read: Box<dyn Fn() -> f64 + Send>,
+        frac: f64,
+        last: Option<f64>,
+    },
+}
+
+impl ThresholdWatch {
+    /// Fires when `read()` rises above `threshold` (re-arms on falling
+    /// back). Non-finite readings never fire and never re-arm.
+    pub fn gauge_above(read: impl Fn() -> f64 + Send + 'static, threshold: f64) -> Self {
+        Self {
+            kind: WatchKind::GaugeAbove {
+                read: Box::new(read),
+                threshold,
+                armed: true,
+            },
+        }
+    }
+
+    /// Fires when `read()` falls below `threshold` (re-arms on rising
+    /// back).
+    pub fn gauge_below(read: impl Fn() -> f64 + Send + 'static, threshold: f64) -> Self {
+        Self {
+            kind: WatchKind::GaugeBelow {
+                read: Box::new(read),
+                threshold,
+                armed: true,
+            },
+        }
+    }
+
+    /// Fires when `counter` advanced by at least `delta` since the watch
+    /// last fired (the first check only records the baseline).
+    ///
+    /// # Panics
+    /// Panics if `delta` is zero.
+    pub fn counter_delta(counter: CounterHandle, delta: u64) -> Self {
+        assert!(delta > 0, "counter delta must be positive");
+        Self {
+            kind: WatchKind::CounterDelta {
+                counter,
+                delta,
+                last: None,
+            },
+        }
+    }
+
+    /// Fires when `read()` moved by more than `frac` (relative to the
+    /// value at the last firing). The first finite reading only records
+    /// the baseline.
+    ///
+    /// # Panics
+    /// Panics if `frac` is not positive.
+    pub fn relative_change(read: impl Fn() -> f64 + Send + 'static, frac: f64) -> Self {
+        assert!(frac > 0.0, "relative-change fraction must be positive");
+        Self {
+            kind: WatchKind::RelChange {
+                read: Box::new(read),
+                frac,
+                last: None,
+            },
+        }
+    }
+
+    /// Edge-check: returns true exactly once per crossing.
+    fn check(&mut self) -> bool {
+        match &mut self.kind {
+            WatchKind::GaugeAbove {
+                read,
+                threshold,
+                armed,
+            } => {
+                let v = read();
+                if !v.is_finite() {
+                    return false;
+                }
+                let above = v > *threshold;
+                let fire = above && *armed;
+                *armed = !above;
+                fire
+            }
+            WatchKind::GaugeBelow {
+                read,
+                threshold,
+                armed,
+            } => {
+                let v = read();
+                if !v.is_finite() {
+                    return false;
+                }
+                let below = v < *threshold;
+                let fire = below && *armed;
+                *armed = !below;
+                fire
+            }
+            WatchKind::CounterDelta {
+                counter,
+                delta,
+                last,
+            } => {
+                let cur = counter.get();
+                match last {
+                    None => {
+                        *last = Some(cur);
+                        false
+                    }
+                    Some(l) if cur.saturating_sub(*l) >= *delta => {
+                        *last = Some(cur);
+                        true
+                    }
+                    Some(_) => false,
+                }
+            }
+            WatchKind::RelChange { read, frac, last } => {
+                let v = read();
+                if !v.is_finite() {
+                    return false;
+                }
+                match last {
+                    None => {
+                        *last = Some(v);
+                        false
+                    }
+                    Some(l) => {
+                        let moved = (v - *l).abs() > *frac * l.abs().max(f64::MIN_POSITIVE);
+                        if moved {
+                            *last = Some(v);
+                        }
+                        moved
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for ThresholdWatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match &self.kind {
+            WatchKind::GaugeAbove { threshold, .. } => format!("gauge_above({threshold})"),
+            WatchKind::GaugeBelow { threshold, .. } => format!("gauge_below({threshold})"),
+            WatchKind::CounterDelta { delta, .. } => format!("counter_delta({delta})"),
+            WatchKind::RelChange { frac, .. } => format!("relative_change({frac})"),
+        };
+        f.debug_tuple("ThresholdWatch").field(&name).finish()
+    }
 }
 
 /// Handle identifying a registered policy.
@@ -104,8 +307,19 @@ struct Registered {
 }
 
 enum Kind {
-    Periodic { period_ns: u64, next_due_ns: u64 },
-    Triggered { filter: EventFilter },
+    Periodic {
+        period_ns: u64,
+        next_due_ns: u64,
+    },
+    Triggered {
+        filter: EventFilter,
+    },
+    Threshold {
+        watch: ThresholdWatch,
+        /// Set by the cheap scan at the top of `step`, consumed by the
+        /// evaluation pass of the same round.
+        fired: bool,
+    },
 }
 
 /// The policy engine.
@@ -126,6 +340,15 @@ pub struct PolicyEngine {
     actuations: AtomicU64,
     panics: AtomicU64,
     quarantine_threshold: AtomicU64,
+    /// Adaptation latency (trigger detection → last journaled knob write)
+    /// of the most recent actuating round, nanoseconds. `u64::MAX` until
+    /// a round actuates.
+    last_latency_ns: AtomicU64,
+    /// Streaming stats over every actuating round's latency.
+    latency_stats: Mutex<Welford>,
+    /// Bumped whenever a new latency is recorded — the dirtiness stamp
+    /// for the `policy.adaptation_latency_ns` snapshot gauge.
+    latency_stamp: Arc<AtomicU64>,
 }
 
 impl PolicyEngine {
@@ -150,6 +373,9 @@ impl PolicyEngine {
             actuations: AtomicU64::new(0),
             panics: AtomicU64::new(0),
             quarantine_threshold: AtomicU64::new(Self::DEFAULT_QUARANTINE_THRESHOLD as u64),
+            last_latency_ns: AtomicU64::new(u64::MAX),
+            latency_stats: Mutex::new(Welford::default()),
+            latency_stamp: Arc::new(AtomicU64::new(0)),
         })
     }
 
@@ -208,6 +434,33 @@ impl PolicyEngine {
         PolicyHandle(id)
     }
 
+    /// Registers a threshold-triggered policy: it evaluates (with
+    /// [`Trigger::Threshold`]) only in rounds where `watch` fired. The
+    /// watch is checked by the cheap scan at the top of every
+    /// [`PolicyEngine::step`], so drivers can step at a high rate without
+    /// paying for captures or evaluations while the watched signal is
+    /// quiet.
+    pub fn register_threshold(
+        &self,
+        policy: Box<dyn Policy>,
+        watch: ThresholdWatch,
+    ) -> PolicyHandle {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let actor = self.knobs.actor(policy.name());
+        self.policies.lock().push(Registered {
+            id,
+            policy,
+            actor,
+            kind: Kind::Threshold {
+                watch,
+                fired: false,
+            },
+            consecutive_panics: 0,
+            quarantined: false,
+        });
+        PolicyHandle(id)
+    }
+
     /// Deregisters a policy; returns true if it was present.
     pub fn deregister(&self, handle: PolicyHandle) -> bool {
         let mut ps = self.policies.lock();
@@ -234,6 +487,45 @@ impl PolicyEngine {
     /// Total policy evaluations that panicked (and were contained).
     pub fn panics(&self) -> u64 {
         self.panics.load(Ordering::Relaxed)
+    }
+
+    /// Adaptation latency of the most recent round that actuated a knob:
+    /// wall-clock nanoseconds from trigger detection to the last journaled
+    /// write. `None` until a round actuates.
+    pub fn adaptation_latency_last_ns(&self) -> Option<u64> {
+        match self.last_latency_ns.load(Ordering::Relaxed) {
+            u64::MAX => None,
+            ns => Some(ns),
+        }
+    }
+
+    /// Mean adaptation latency over every actuating round so far.
+    pub fn adaptation_latency_mean_ns(&self) -> Option<f64> {
+        let stats = self.latency_stats.lock();
+        (!stats.is_empty()).then(|| stats.mean())
+    }
+
+    /// Number of rounds that actuated at least one knob (and therefore
+    /// recorded a latency).
+    pub fn adaptation_rounds(&self) -> u64 {
+        self.latency_stats.lock().count()
+    }
+
+    /// The stamp bumped whenever a new adaptation latency is recorded —
+    /// register it with
+    /// [`crate::snapshot::Introspection::register_gauge_stamped`] so the
+    /// latency gauge only re-evaluates after actuating rounds.
+    pub fn latency_stamp(&self) -> Arc<AtomicU64> {
+        self.latency_stamp.clone()
+    }
+
+    /// Records an actuating round's latency from its trigger-detection
+    /// instant.
+    fn record_latency(&self, started: Instant) {
+        let ns = started.elapsed().as_nanos() as u64;
+        self.last_latency_ns.store(ns, Ordering::Relaxed);
+        self.latency_stats.lock().update(ns as f64);
+        self.latency_stamp.fetch_add(1, Ordering::Release);
     }
 
     /// Sets how many consecutive panics quarantine a policy.
@@ -329,22 +621,49 @@ impl PolicyEngine {
         })
     }
 
-    /// Runs every periodic policy that is due at `now_ns`. A policy that
-    /// fell multiple periods behind fires once and is rescheduled from
-    /// `now_ns` (no catch-up bursts). A policy whose evaluation panics is
-    /// contained (the panic does not escape), and after
+    /// Runs one control round at `now_ns`: every due periodic policy plus
+    /// every threshold policy whose watch fired.
+    ///
+    /// Starts with a cheap scan — threshold watch checks (atomic folds /
+    /// gauge reads) and periodic due dates — and returns without capturing
+    /// a snapshot when nothing fired, so drivers may call `step` at a high
+    /// rate and idle steps stay near-free. A periodic policy that fell
+    /// multiple periods behind fires once and is rescheduled from `now_ns`
+    /// (no catch-up bursts). A policy whose evaluation panics is contained
+    /// (the panic does not escape), and after
     /// [`PolicyEngine::set_quarantine_threshold`] consecutive panics it is
-    /// quarantined: registered but never evaluated again. Returns the
-    /// number of evaluations (panicked evaluations included).
+    /// quarantined: registered but never evaluated again. Rounds that
+    /// actuate a knob record their adaptation latency (see
+    /// [`PolicyEngine::adaptation_latency_last_ns`]). Returns the number
+    /// of evaluations (panicked evaluations included).
     pub fn step(&self, now_ns: u64) -> usize {
-        if !self.any_periodic_due(now_ns) {
+        let started = Instant::now();
+        // Cheap scan: edge-check every threshold watch. Watches must be
+        // checked even when no periodic policy is due — crossings are the
+        // whole point of not polling.
+        let mut any_threshold = false;
+        {
+            let mut ps = self.policies.lock();
+            for r in ps.iter_mut() {
+                if r.quarantined {
+                    continue;
+                }
+                if let Kind::Threshold { watch, fired } = &mut r.kind {
+                    if watch.check() {
+                        *fired = true;
+                    }
+                    any_threshold |= *fired;
+                }
+            }
+        }
+        if !any_threshold && !self.any_periodic_due(now_ns) {
             return 0;
         }
         // One snapshot per round, captured outside the policies lock.
         let snapshot = self.capture_or_empty(now_ns);
         let threshold = self.quarantine_threshold.load(Ordering::Relaxed) as u32;
         let mut decisions: Vec<(TaskId, PolicyDecision)> = Vec::new();
-        let mut fired = 0usize;
+        let mut fired_count = 0usize;
         {
             let mut ps = self.policies.lock();
             let mut retired: Vec<u64> = Vec::new();
@@ -352,29 +671,34 @@ impl PolicyEngine {
                 if r.quarantined {
                     continue;
                 }
-                if let Kind::Periodic {
-                    period_ns,
-                    next_due_ns,
-                } = &mut r.kind
-                {
-                    if now_ns >= *next_due_ns {
-                        *next_due_ns = now_ns + *period_ns;
-                        fired += 1;
-                        let d = Self::evaluate_guarded(
-                            r,
-                            now_ns,
-                            Trigger::Periodic,
-                            &snapshot,
-                            &self.panics,
-                            threshold,
-                        );
-                        if let Some(d) = d {
-                            if d.retire {
-                                retired.push(r.id);
-                            }
-                            decisions.push((r.actor, d));
+                let trigger = match &mut r.kind {
+                    Kind::Periodic {
+                        period_ns,
+                        next_due_ns,
+                    } => {
+                        if now_ns < *next_due_ns {
+                            continue;
                         }
+                        *next_due_ns = now_ns + *period_ns;
+                        Trigger::Periodic
                     }
+                    Kind::Threshold { fired, .. } => {
+                        if !*fired {
+                            continue;
+                        }
+                        *fired = false;
+                        Trigger::Threshold
+                    }
+                    Kind::Triggered { .. } => continue,
+                };
+                fired_count += 1;
+                let d =
+                    Self::evaluate_guarded(r, now_ns, trigger, &snapshot, &self.panics, threshold);
+                if let Some(d) = d {
+                    if d.retire {
+                        retired.push(r.id);
+                    }
+                    decisions.push((r.actor, d));
                 }
             }
             if !retired.is_empty() {
@@ -383,11 +707,16 @@ impl PolicyEngine {
         }
         // Apply outside the policy lock: knob sets may be observed by
         // listeners that re-enter the engine.
+        let acts_before = self.actuations.load(Ordering::Relaxed);
         for (actor, d) in &decisions {
             self.apply(now_ns, *actor, d);
         }
-        self.evaluations.fetch_add(fired as u64, Ordering::Relaxed);
-        fired
+        if self.actuations.load(Ordering::Relaxed) > acts_before {
+            self.record_latency(started);
+        }
+        self.evaluations
+            .fetch_add(fired_count as u64, Ordering::Relaxed);
+        fired_count
     }
 
     /// Spawns a wall-clock ticker driving [`PolicyEngine::step`] every
@@ -429,6 +758,7 @@ impl Listener for PolicyEngine {
         // snapshot is captured only when at least one filter matches, so
         // the no-match fast path (every event flows through here) stays a
         // filter scan.
+        let started = Instant::now();
         let matches_any = {
             let ps = self.policies.lock();
             ps.iter().any(|r| {
@@ -474,8 +804,12 @@ impl Listener for PolicyEngine {
             }
         }
         self.evaluations.fetch_add(fired, Ordering::Relaxed);
+        let acts_before = self.actuations.load(Ordering::Relaxed);
         for (actor, d) in &decisions {
             self.apply(event.t_ns(), *actor, d);
+        }
+        if self.actuations.load(Ordering::Relaxed) > acts_before {
+            self.record_latency(started);
         }
     }
 }
@@ -763,6 +1097,126 @@ mod tests {
         );
         engine.step(10);
         assert_eq!(seen.load(Ordering::Relaxed), 0, "empty snapshot has seq 0");
+    }
+
+    #[test]
+    fn threshold_policy_fires_on_crossing_only() {
+        let knobs = registry_with("cap", 1, 32, 32);
+        let engine = PolicyEngine::new(knobs.clone());
+        let level = Arc::new(AtomicU64::new(0));
+        let l = level.clone();
+        let fired = Arc::new(AtomicU64::new(0));
+        let f = fired.clone();
+        engine.register_threshold(
+            FnPolicy::new("on-depth", move |_, trigger, _| {
+                assert!(matches!(trigger, Trigger::Threshold));
+                f.fetch_add(1, Ordering::Relaxed);
+                PolicyDecision::set("cap", 4)
+            }),
+            ThresholdWatch::gauge_above(move || l.load(Ordering::Relaxed) as f64, 10.0),
+        );
+        assert_eq!(engine.step(0), 0, "below threshold: no round, no capture");
+        level.store(20, Ordering::Relaxed);
+        assert_eq!(engine.step(1), 1, "crossing fires");
+        assert_eq!(knobs.value("cap"), Some(4));
+        assert_eq!(engine.step(2), 0, "still above: edge-triggered, no refire");
+        level.store(5, Ordering::Relaxed);
+        assert_eq!(engine.step(3), 0, "falling back re-arms silently");
+        level.store(30, Ordering::Relaxed);
+        assert_eq!(engine.step(4), 1, "fires again after re-arm");
+        assert_eq!(fired.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn counter_delta_watch_fires_every_n_increments() {
+        let knobs = registry_with("k", 0, 100, 0);
+        let engine = PolicyEngine::new(knobs);
+        let reg = lg_metrics::CounterRegistry::new();
+        let c = reg.striped_counter("events");
+        let fires = Arc::new(AtomicU64::new(0));
+        let f = fires.clone();
+        engine.register_threshold(
+            FnPolicy::new("batch", move |_, _, _| {
+                f.fetch_add(1, Ordering::Relaxed);
+                PolicyDecision::noop()
+            }),
+            ThresholdWatch::counter_delta(c.clone(), 10),
+        );
+        engine.step(0); // first check records the baseline
+        c.add(9);
+        engine.step(1);
+        assert_eq!(fires.load(Ordering::Relaxed), 0, "below delta");
+        c.add(1);
+        engine.step(2);
+        assert_eq!(fires.load(Ordering::Relaxed), 1, "accumulated to delta");
+        c.add(10);
+        engine.step(3);
+        assert_eq!(fires.load(Ordering::Relaxed), 2, "next batch");
+    }
+
+    #[test]
+    fn relative_change_watch_tracks_moves() {
+        let knobs = registry_with("k", 0, 100, 0);
+        let engine = PolicyEngine::new(knobs);
+        let p99 = Arc::new(Mutex::new(100.0f64));
+        let reader = p99.clone();
+        let fires = Arc::new(AtomicU64::new(0));
+        let f = fires.clone();
+        engine.register_threshold(
+            FnPolicy::new("p99-moved", move |_, _, _| {
+                f.fetch_add(1, Ordering::Relaxed);
+                PolicyDecision::noop()
+            }),
+            ThresholdWatch::relative_change(move || *reader.lock(), 0.10),
+        );
+        engine.step(0); // baseline at 100
+        *p99.lock() = 105.0;
+        engine.step(1);
+        assert_eq!(fires.load(Ordering::Relaxed), 0, "5% move stays quiet");
+        *p99.lock() = 120.0;
+        engine.step(2);
+        assert_eq!(fires.load(Ordering::Relaxed), 1, "20% move fires");
+        *p99.lock() = 119.0;
+        engine.step(3);
+        assert_eq!(fires.load(Ordering::Relaxed), 1, "small move off new base");
+        *p99.lock() = 60.0;
+        engine.step(4);
+        assert_eq!(fires.load(Ordering::Relaxed), 2, "big drop fires too");
+    }
+
+    #[test]
+    fn adaptation_latency_recorded_only_on_actuating_rounds() {
+        let knobs = registry_with("cap", 1, 32, 32);
+        let engine = PolicyEngine::new(knobs);
+        assert_eq!(engine.adaptation_latency_last_ns(), None);
+        assert_eq!(engine.adaptation_latency_mean_ns(), None);
+        engine.register_periodic(
+            FnPolicy::new("idle", |_, _, _| PolicyDecision::noop()),
+            10,
+            0,
+        );
+        engine.step(10);
+        assert_eq!(
+            engine.adaptation_latency_last_ns(),
+            None,
+            "no-actuation rounds record nothing"
+        );
+        let stamp = engine.latency_stamp();
+        assert_eq!(stamp.load(Ordering::Relaxed), 0);
+        engine.register_periodic(
+            FnPolicy::new("act", |_, _, _| PolicyDecision::set("cap", 8)),
+            10,
+            10,
+        );
+        engine.step(20);
+        assert!(engine.adaptation_latency_last_ns().is_some());
+        assert!(engine.adaptation_latency_mean_ns().is_some());
+        assert_eq!(engine.adaptation_rounds(), 1);
+        assert_eq!(
+            stamp.load(Ordering::Relaxed),
+            1,
+            "stamp moves with the record"
+        );
     }
 
     #[test]

@@ -25,9 +25,11 @@ use lg_metrics::stripe::{thread_index, CacheAligned, STRIPE_COUNT};
 use lg_metrics::Welford;
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Aggregated statistics for one task type.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct TaskProfile {
     /// Task type name (resolved at snapshot time).
     pub name: String,
@@ -89,16 +91,57 @@ impl ProfileCell {
     }
 }
 
-type Stripe = CacheAligned<Mutex<HashMap<TaskId, ProfileCell>>>;
+/// One profile shard: its cell map plus a write-generation stamp bumped
+/// after every mutation (the snapshot delta protocol's dirtiness signal).
+struct StripeData {
+    gen: AtomicU64,
+    cells: Mutex<HashMap<TaskId, ProfileCell>>,
+}
+
+type Stripe = CacheAligned<StripeData>;
+
+/// The persistent merged base behind [`ProfileListener::snapshot_shared`]:
+/// per-stripe cell copies taken at the generation recorded in `gens`, the
+/// merged+sorted profile vector they fold into, and a task-name cache so
+/// rebuilds don't re-intern `String`s.
+struct SnapCache {
+    valid: bool,
+    gens: [u64; STRIPE_COUNT],
+    copies: Vec<HashMap<TaskId, ProfileCell>>,
+    resolved: HashMap<TaskId, String>,
+    merged: Arc<ProfileSnapshot>,
+    total_completed: u64,
+}
+
+impl SnapCache {
+    fn new() -> Self {
+        Self {
+            valid: false,
+            gens: [0; STRIPE_COUNT],
+            copies: (0..STRIPE_COUNT).map(|_| HashMap::new()).collect(),
+            resolved: HashMap::new(),
+            merged: Arc::new(Vec::new()),
+            total_completed: 0,
+        }
+    }
+}
 
 /// Listener that aggregates task lifecycle events into profiles.
 ///
 /// Sharded per emitting thread (see the module docs): per-event work is an
 /// uncontended stripe lock, a hash lookup, and a Welford update; queries
-/// merge the stripes on demand.
+/// merge the stripes on demand. Each stripe carries a generation stamp
+/// bumped after every mutation, and [`snapshot_shared`] keeps a persistent
+/// merged base: a clean call returns the previous `Arc` with zero merges,
+/// a dirty call re-copies only the stripes whose stamp moved and re-folds
+/// the cached copies in fixed stripe order — bitwise-identical to a
+/// from-scratch merge once writers quiesce.
+///
+/// [`snapshot_shared`]: ProfileListener::snapshot_shared
 pub struct ProfileListener {
     names: TaskNames,
     stripes: Box<[Stripe]>,
+    cache: Mutex<SnapCache>,
 }
 
 impl ProfileListener {
@@ -107,13 +150,19 @@ impl ProfileListener {
         Self {
             names,
             stripes: (0..STRIPE_COUNT)
-                .map(|_| CacheAligned(Mutex::new(HashMap::new())))
+                .map(|_| {
+                    CacheAligned(StripeData {
+                        gen: AtomicU64::new(0),
+                        cells: Mutex::new(HashMap::new()),
+                    })
+                })
                 .collect(),
+            cache: Mutex::new(SnapCache::new()),
         }
     }
 
     #[inline]
-    fn stripe(&self) -> &Mutex<HashMap<TaskId, ProfileCell>> {
+    fn stripe(&self) -> &StripeData {
         &self.stripes[thread_index() & (STRIPE_COUNT - 1)].0
     }
 
@@ -121,15 +170,42 @@ impl ProfileListener {
     fn merged(&self) -> HashMap<TaskId, ProfileCell> {
         let mut out: HashMap<TaskId, ProfileCell> = HashMap::new();
         for stripe in self.stripes.iter() {
-            for (id, cell) in stripe.0.lock().iter() {
+            for (id, cell) in stripe.0.cells.lock().iter() {
                 out.entry(*id).or_default().merge(cell);
             }
         }
         out
     }
 
+    fn resolve_name(
+        names: &TaskNames,
+        resolved: &mut HashMap<TaskId, String>,
+        id: TaskId,
+    ) -> String {
+        if let Some(n) = resolved.get(&id) {
+            return n.clone();
+        }
+        match names.resolve(id) {
+            // Cache only successful resolutions: a placeholder could be
+            // interned later, and must not be pinned forever.
+            Some(n) => {
+                resolved.insert(id, n.clone());
+                n
+            }
+            None => format!("<task {}>", id.0),
+        }
+    }
+
     /// Snapshot of every task profile, sorted by name.
     pub fn snapshot(&self) -> ProfileSnapshot {
+        (*self.snapshot_shared().0).clone()
+    }
+
+    /// From-scratch snapshot that bypasses the merged-base cache: clones
+    /// and folds every stripe. Kept as the verification oracle (the delta
+    /// path must produce field-for-field identical output) and as the
+    /// benchmark baseline.
+    pub fn snapshot_uncached(&self) -> ProfileSnapshot {
         let mut out: Vec<TaskProfile> = self
             .merged()
             .iter()
@@ -145,30 +221,92 @@ impl ProfileListener {
         out
     }
 
+    /// The shared merged view plus delta accounting:
+    /// `(profiles, total_completed, dirty_stripes, clean_stripes)`.
+    ///
+    /// Reads each stripe's generation stamp (`Acquire`) *before* locking
+    /// and copying it, so a mutation racing the copy leaves a stale
+    /// recorded generation and the next call simply re-copies — staleness
+    /// can only over-refresh, never miss a write. When no stamp moved, the
+    /// previous `Arc` is returned untouched: zero locks on stripes, zero
+    /// Welford merges, zero allocation.
+    pub fn snapshot_shared(&self) -> (Arc<ProfileSnapshot>, u64, usize, usize) {
+        let mut cache = self.cache.lock();
+        let cache = &mut *cache;
+        let mut dirty = 0usize;
+        for (i, stripe) in self.stripes.iter().enumerate() {
+            let gen = stripe.0.gen.load(Ordering::Acquire);
+            if cache.valid && gen == cache.gens[i] {
+                continue;
+            }
+            cache.gens[i] = gen;
+            cache.copies[i] = stripe.0.cells.lock().clone();
+            dirty += 1;
+        }
+        if dirty > 0 || !cache.valid {
+            // Re-fold the cached copies in fixed stripe order — the same
+            // per-id merge sequence as `merged()`, so the result is
+            // bitwise-identical to a from-scratch recompute.
+            let mut folded: HashMap<TaskId, ProfileCell> = HashMap::new();
+            for copy in cache.copies.iter() {
+                for (id, cell) in copy.iter() {
+                    folded.entry(*id).or_default().merge(cell);
+                }
+            }
+            cache.total_completed = folded.values().map(|c| c.stats.count()).sum();
+            let mut out: Vec<TaskProfile> = folded
+                .iter()
+                .map(|(id, c)| {
+                    c.to_profile(Self::resolve_name(&self.names, &mut cache.resolved, *id))
+                })
+                .collect();
+            out.sort_by(|a, b| a.name.cmp(&b.name));
+            cache.merged = Arc::new(out);
+            cache.valid = true;
+        }
+        (
+            cache.merged.clone(),
+            cache.total_completed,
+            dirty,
+            STRIPE_COUNT - dirty,
+        )
+    }
+
     /// Profile for one task name, if any executions were recorded.
     pub fn get(&self, name: &str) -> Option<TaskProfile> {
         let id = self.names.lookup(name)?;
         let mut merged: Option<ProfileCell> = None;
         for stripe in self.stripes.iter() {
-            if let Some(cell) = stripe.0.lock().get(&id) {
+            if let Some(cell) = stripe.0.cells.lock().get(&id) {
                 merged.get_or_insert_with(ProfileCell::default).merge(cell);
             }
         }
         merged.map(|c| c.to_profile(name.to_owned()))
     }
 
-    /// Total completed tasks across all types.
+    /// Total completed tasks across all types (live fold of every stripe;
+    /// [`snapshot_shared`] carries a cached total coherent with its merge).
+    ///
+    /// [`snapshot_shared`]: ProfileListener::snapshot_shared
     pub fn total_completed(&self) -> u64 {
         self.stripes
             .iter()
-            .map(|s| s.0.lock().values().map(|c| c.stats.count()).sum::<u64>())
+            .map(|s| {
+                s.0.cells
+                    .lock()
+                    .values()
+                    .map(|c| c.stats.count())
+                    .sum::<u64>()
+            })
             .sum()
     }
 
-    /// Clears all profiles (used at measurement-epoch boundaries).
+    /// Clears all profiles (used at measurement-epoch boundaries). Bumps
+    /// every stripe's generation so cached merges notice the clear.
     pub fn reset(&self) {
         for stripe in self.stripes.iter() {
-            stripe.0.lock().clear();
+            stripe.0.cells.lock().clear();
+            stripe.0.gen.fetch_add(1, Ordering::Release);
         }
     }
 }
@@ -179,23 +317,29 @@ impl Listener for ProfileListener {
     }
 
     fn on_event(&self, event: &Event) {
+        // Each arm mutates under the stripe lock, then Release-bumps the
+        // stripe generation: a reader whose recorded generation matches a
+        // later Acquire-read is guaranteed its copy includes every
+        // completed mutation.
+        let stripe = self.stripe();
         match *event {
             Event::TaskBegin { task, .. } => {
-                self.stripe().lock().entry(task).or_default().active += 1;
+                stripe.cells.lock().entry(task).or_default().active += 1;
             }
             Event::TaskEnd {
                 task, elapsed_ns, ..
             } => {
-                let mut cells = self.stripe().lock();
+                let mut cells = stripe.cells.lock();
                 let c = cells.entry(task).or_default();
                 c.stats.update(elapsed_ns as f64);
                 c.active -= 1;
             }
             Event::TaskYield { task, .. } => {
-                self.stripe().lock().entry(task).or_default().yields += 1;
+                stripe.cells.lock().entry(task).or_default().yields += 1;
             }
-            _ => {}
+            _ => return,
         }
+        stripe.gen.fetch_add(1, Ordering::Release);
     }
 }
 
@@ -375,6 +519,42 @@ mod tests {
         assert_eq!(prof.count, 4000);
         assert_eq!(prof.active, 0);
         assert_eq!(prof.mean_ns, 7.0);
+    }
+
+    #[test]
+    fn shared_snapshot_reuses_arc_when_idle_and_matches_uncached() {
+        let (names, p) = setup();
+        run_task(&p, names.intern("a"), 0, 10);
+        let (s1, total1, dirty1, _) = p.snapshot_shared();
+        assert!(dirty1 >= 1, "first capture copies the written stripe");
+        assert_eq!(total1, 1);
+        // Idle: same Arc back, zero stripes copied.
+        let (s2, total2, dirty2, clean2) = p.snapshot_shared();
+        assert!(Arc::ptr_eq(&s1, &s2));
+        assert_eq!((dirty2, clean2), (0, STRIPE_COUNT));
+        assert_eq!(total2, 1);
+        assert_eq!(*s2, p.snapshot_uncached());
+        // A write dirties exactly the writer's stripe and the rebuild
+        // matches a from-scratch recompute field for field.
+        run_task(&p, names.intern("a"), 100, 30);
+        let (s3, total3, dirty3, _) = p.snapshot_shared();
+        assert!(!Arc::ptr_eq(&s2, &s3));
+        assert_eq!(dirty3, 1);
+        assert_eq!(total3, 2);
+        assert_eq!(*s3, p.snapshot_uncached());
+    }
+
+    #[test]
+    fn reset_invalidates_shared_snapshot() {
+        let (names, p) = setup();
+        run_task(&p, names.intern("a"), 0, 10);
+        let (s1, _, _, _) = p.snapshot_shared();
+        assert_eq!(s1.len(), 1);
+        p.reset();
+        let (s2, total, dirty, _) = p.snapshot_shared();
+        assert!(s2.is_empty());
+        assert_eq!(total, 0);
+        assert!(dirty >= 1, "reset bumps the cleared stripes' generations");
     }
 
     #[test]

@@ -11,12 +11,20 @@ use crate::listener::Listener;
 use lg_metrics::TimeSeries;
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Listener retaining per-metric sample history.
 pub struct SampleHistoryListener {
     names: TaskNames,
     capacity: usize,
     series: Mutex<HashMap<TaskId, TimeSeries>>,
+    /// Bumped after every accepted sample (and on [`clear`]); window-mean
+    /// metric sources use it as their dirtiness stamp so idle captures
+    /// reuse the previously computed mean.
+    ///
+    /// [`clear`]: SampleHistoryListener::clear
+    write_gen: Arc<AtomicU64>,
 }
 
 impl SampleHistoryListener {
@@ -27,7 +35,14 @@ impl SampleHistoryListener {
             names,
             capacity: capacity.max(4),
             series: Mutex::new(HashMap::new()),
+            write_gen: Arc::new(AtomicU64::new(0)),
         }
+    }
+
+    /// The write-generation stamp: unchanged between two reads ⇔ no sample
+    /// arrived in between.
+    pub fn write_stamp(&self) -> Arc<AtomicU64> {
+        self.write_gen.clone()
     }
 
     /// Latest `(t_ns, value)` for `metric`, if any samples arrived.
@@ -72,6 +87,7 @@ impl SampleHistoryListener {
     /// Clears all history.
     pub fn clear(&self) {
         self.series.lock().clear();
+        self.write_gen.fetch_add(1, Ordering::Release);
     }
 }
 
@@ -92,6 +108,8 @@ impl Listener for SampleHistoryListener {
                 .entry(metric)
                 .or_insert_with(|| TimeSeries::new(self.capacity))
                 .push(t_ns, value);
+            drop(series);
+            self.write_gen.fetch_add(1, Ordering::Release);
         }
     }
 }

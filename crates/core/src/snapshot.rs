@@ -13,12 +13,39 @@
 //! [`IntrospectionSnapshot::throughput_since`]), which is how the watchdog
 //! detects regressions and tuning sessions score epochs without touching
 //! any listener directly.
+//!
+//! ## Incremental capture
+//!
+//! Capture cost is proportional to *activity since the last round*, not to
+//! the amount of registered state. Every producer carries a generation
+//! stamp bumped on write (the third use of the Dispatcher/KnobRegistry
+//! pattern): counter registries fold a [`lg_metrics::StripedVersion`],
+//! profile stripes stamp themselves under their stripe lock, and metric
+//! sources may register with an explicit stamp
+//! ([`Introspection::register_gauge_stamped`]; window means inherit their
+//! sample history's stamp automatically). `capture` keeps the previous
+//! round's merged base — counter name table, counter values, profile
+//! merge, metric values — behind `Arc`s and re-reads only producers whose
+//! stamp moved; a fully idle capture returns Arc clones of everything with
+//! a fresh `t_ns`/`seq` and performs **zero** shard merges. The
+//! [`Introspection::merges`] / [`Introspection::skipped`] counter pair
+//! accounts shard-level merge work (profile stripes copied, counter
+//! registries re-folded) vs. cache reuse, so tests can assert the idle
+//! path stays free. [`Introspection::capture_uncached`] keeps the
+//! from-scratch path as the verification oracle and benchmark baseline:
+//! property tests assert both paths agree field for field at quiescence.
+//!
+//! `capture` never holds the registration lock while evaluating gauge
+//! closures: the source table is copy-on-write, so capture clones an `Arc`
+//! under a brief read lock and evaluates outside it. (Captures themselves
+//! serialise on the delta cache — a gauge closure must not call back into
+//! `capture`.)
 
 use crate::concurrency::ConcurrencyListener;
 use crate::profile::{ProfileListener, ProfileSnapshot, TaskProfile};
 use crate::samples::SampleHistoryListener;
-use lg_metrics::CounterRegistry;
-use parking_lot::RwLock;
+use lg_metrics::{CounterHandle, CounterRegistry, StripedCounter};
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -30,8 +57,8 @@ use std::sync::Arc;
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct MetricId(pub u32);
 
-/// One registered metric source, evaluated at capture time.
-enum Source {
+/// How a registered metric source produces its value at capture time.
+enum SourceKind {
     /// An instantaneous reading (an atomic the backend updates, a
     /// computed ratio, a meter total).
     Gauge(Box<dyn Fn() -> f64 + Send + Sync>),
@@ -43,12 +70,94 @@ enum Source {
     },
 }
 
+/// One registered metric source plus its optional dirtiness stamp.
+///
+/// Stamped sources are re-evaluated only when the stamp moved since the
+/// last capture; unstamped sources are treated as always-dirty (the
+/// closure is the only way to learn their value changed).
+struct SourceEntry {
+    kind: SourceKind,
+    stamp: Option<Arc<AtomicU64>>,
+}
+
+impl SourceEntry {
+    fn eval(&self) -> Option<f64> {
+        match &self.kind {
+            SourceKind::Gauge(read) => {
+                let v = read();
+                v.is_finite().then_some(v)
+            }
+            SourceKind::WindowMean {
+                history,
+                metric,
+                window_ns,
+            } => history.mean_over(metric, *window_ns),
+        }
+    }
+}
+
 struct Inner {
-    sources: Vec<Source>,
+    /// Copy-on-write: replaced wholesale on (re-)registration, so capture
+    /// can clone the `Arc` and evaluate closures outside the lock.
+    sources: Arc<Vec<Arc<SourceEntry>>>,
     by_name: HashMap<String, u32>,
     /// Metric names in id order, shared immutably with every snapshot.
     names: Arc<Vec<String>>,
-    counters: Vec<Arc<CounterRegistry>>,
+    /// Copy-on-write for the same reason as `sources`.
+    counters: Arc<Vec<Arc<CounterRegistry>>>,
+}
+
+/// Per-registry slice of the capture cache.
+struct RegCache {
+    init: bool,
+    write_version: u64,
+    structure: u64,
+    handles: Arc<Vec<(String, CounterHandle)>>,
+}
+
+impl RegCache {
+    fn new() -> Self {
+        Self {
+            init: false,
+            write_version: 0,
+            structure: 0,
+            handles: Arc::new(Vec::new()),
+        }
+    }
+}
+
+/// The persistent merged base `capture` deltas against.
+struct CaptureCache {
+    valid: bool,
+    /// Identity of the source table the cached values belong to.
+    sources: Arc<Vec<Arc<SourceEntry>>>,
+    /// Last-seen stamp per source (meaningless for unstamped entries).
+    stamps: Vec<u64>,
+    values: Arc<Vec<Option<f64>>>,
+    /// Identity of the registry list the counter cache belongs to.
+    regs_list: Arc<Vec<Arc<CounterRegistry>>>,
+    regs: Vec<RegCache>,
+    /// `positions[k][j]` = index in the merged vectors of registry `k`'s
+    /// `j`-th (name-sorted) counter.
+    positions: Vec<Vec<usize>>,
+    counter_names: Arc<Vec<String>>,
+    counter_values: Arc<Vec<u64>>,
+}
+
+impl CaptureCache {
+    fn new() -> Self {
+        Self {
+            valid: false,
+            sources: Arc::new(Vec::new()),
+            stamps: Vec::new(),
+            values: Arc::new(Vec::new()),
+            regs_list: Arc::new(Vec::new()),
+            regs: Vec::new(),
+            positions: Vec::new(),
+            counter_names: Arc::new(Vec::new()),
+            counter_values: Arc::new(Vec::new()),
+        }
+    }
 }
 
 /// The registration facade and capture engine for the read side.
@@ -61,6 +170,12 @@ pub struct Introspection {
     inner: RwLock<Inner>,
     /// Capture sequence, so consumers can tell snapshots apart.
     seq: AtomicU64,
+    cache: Mutex<CaptureCache>,
+    /// Shard-level merge work performed by `capture` (profile stripes
+    /// copied + counter registries re-folded).
+    merges: StripedCounter,
+    /// Shard-level merge work avoided by the delta cache.
+    skipped: StripedCounter,
 }
 
 impl Introspection {
@@ -71,23 +186,29 @@ impl Introspection {
             profiles,
             concurrency,
             inner: RwLock::new(Inner {
-                sources: Vec::new(),
+                sources: Arc::new(Vec::new()),
                 by_name: HashMap::new(),
                 names: Arc::new(Vec::new()),
-                counters: Vec::new(),
+                counters: Arc::new(Vec::new()),
             }),
             seq: AtomicU64::new(0),
+            cache: Mutex::new(CaptureCache::new()),
+            merges: StripedCounter::new(),
+            skipped: StripedCounter::new(),
         }
     }
 
-    fn register_source(&self, name: &str, source: Source) -> MetricId {
+    fn register_source(&self, name: &str, entry: SourceEntry) -> MetricId {
         let mut inner = self.inner.write();
+        let mut sources = (*inner.sources).clone();
         if let Some(&i) = inner.by_name.get(name) {
-            inner.sources[i as usize] = source;
+            sources[i as usize] = Arc::new(entry);
+            inner.sources = Arc::new(sources);
             return MetricId(i);
         }
-        let i = inner.sources.len() as u32;
-        inner.sources.push(source);
+        let i = sources.len() as u32;
+        sources.push(Arc::new(entry));
+        inner.sources = Arc::new(sources);
         inner.by_name.insert(name.to_owned(), i);
         let mut names = (*inner.names).clone();
         names.push(name.to_owned());
@@ -97,16 +218,50 @@ impl Introspection {
 
     /// Registers an instantaneous gauge evaluated at each capture.
     /// Re-registering a name replaces its source, keeping the id.
+    ///
+    /// An unstamped gauge is re-evaluated on every capture (the closure is
+    /// the only way to learn it changed); prefer
+    /// [`register_gauge_stamped`] when the producer can bump a stamp.
+    ///
+    /// [`register_gauge_stamped`]: Introspection::register_gauge_stamped
     pub fn register_gauge(
         &self,
         name: &str,
         read: impl Fn() -> f64 + Send + Sync + 'static,
     ) -> MetricId {
-        self.register_source(name, Source::Gauge(Box::new(read)))
+        self.register_source(
+            name,
+            SourceEntry {
+                kind: SourceKind::Gauge(Box::new(read)),
+                stamp: None,
+            },
+        )
+    }
+
+    /// Registers a gauge with a write-generation stamp: the closure runs
+    /// only on captures where `stamp` moved since the last capture, and
+    /// the cached value is reused otherwise. The producer must bump the
+    /// stamp (`Release`) *after* publishing the state `read` derives its
+    /// value from.
+    pub fn register_gauge_stamped(
+        &self,
+        name: &str,
+        stamp: Arc<AtomicU64>,
+        read: impl Fn() -> f64 + Send + Sync + 'static,
+    ) -> MetricId {
+        self.register_source(
+            name,
+            SourceEntry {
+                kind: SourceKind::Gauge(Box::new(read)),
+                stamp: Some(stamp),
+            },
+        )
     }
 
     /// Registers a trailing-window mean over a sampled series: each
-    /// capture reads `history.mean_over(metric, window_ns)`.
+    /// capture reads `history.mean_over(metric, window_ns)`. Stamped with
+    /// the history's write generation automatically, so quiescent series
+    /// cost nothing to re-capture.
     pub fn register_window_mean(
         &self,
         name: &str,
@@ -114,12 +269,16 @@ impl Introspection {
         metric: impl Into<String>,
         window_ns: u64,
     ) -> MetricId {
+        let stamp = history.write_stamp();
         self.register_source(
             name,
-            Source::WindowMean {
-                history,
-                metric: metric.into(),
-                window_ns,
+            SourceEntry {
+                kind: SourceKind::WindowMean {
+                    history,
+                    metric: metric.into(),
+                    window_ns,
+                },
+                stamp: Some(stamp),
             },
         )
     }
@@ -127,7 +286,10 @@ impl Introspection {
     /// Adds a counter registry whose counters appear (name-sorted) in
     /// every snapshot.
     pub fn register_counters(&self, counters: Arc<CounterRegistry>) {
-        self.inner.write().counters.push(counters);
+        let mut inner = self.inner.write();
+        let mut regs = (*inner.counters).clone();
+        regs.push(counters);
+        inner.counters = Arc::new(regs);
     }
 
     /// Resolves a metric name to its id, if registered.
@@ -140,39 +302,200 @@ impl Introspection {
         (*self.inner.read().names).clone()
     }
 
-    /// Materialises the point-in-time view: evaluates every metric
-    /// source, snapshots counters and per-task profiles, and reads the
-    /// concurrency gauges — all stamped with `t_ns`.
+    /// Shard merges performed by captures so far (profile stripes copied +
+    /// counter registries re-folded). An idle capture adds zero.
+    pub fn merges(&self) -> u64 {
+        self.merges.sum()
+    }
+
+    /// Shard merges avoided by the delta cache so far.
+    pub fn skipped(&self) -> u64 {
+        self.skipped.sum()
+    }
+
+    /// Materialises the point-in-time view: metric sources, counters,
+    /// per-task profiles, and the concurrency gauges — all stamped with
+    /// `t_ns`.
+    ///
+    /// Incremental: producers whose generation stamp did not move since
+    /// the previous capture are served from the persistent merged base
+    /// (see the module docs); a fully idle capture is a handful of stamp
+    /// folds plus Arc clones.
     pub fn capture(&self, t_ns: u64) -> IntrospectionSnapshot {
-        let inner = self.inner.read();
-        let values = inner
-            .sources
-            .iter()
-            .map(|s| match s {
-                Source::Gauge(read) => {
-                    let v = read();
-                    v.is_finite().then_some(v)
+        let (sources, names, regs_list) = {
+            let inner = self.inner.read();
+            (
+                inner.sources.clone(),
+                inner.names.clone(),
+                inner.counters.clone(),
+            )
+        };
+        let mut cache = self.cache.lock();
+        let cache = &mut *cache;
+
+        // --- metric sources: re-evaluate only unstamped or moved ---
+        let sources_changed = !cache.valid || !Arc::ptr_eq(&cache.sources, &sources);
+        if sources_changed {
+            cache.stamps = vec![0; sources.len()];
+            cache.sources = sources.clone();
+        }
+        let mut fresh: Vec<(usize, Option<f64>)> = Vec::new();
+        for (i, entry) in sources.iter().enumerate() {
+            let dirty = match &entry.stamp {
+                Some(stamp) => {
+                    // Acquire-read the stamp *before* evaluating, so a
+                    // write racing the eval leaves a stale recorded stamp
+                    // and the next capture re-evaluates.
+                    let g = stamp.load(Ordering::Acquire);
+                    let moved = sources_changed || g != cache.stamps[i];
+                    cache.stamps[i] = g;
+                    moved
                 }
-                Source::WindowMean {
-                    history,
-                    metric,
-                    window_ns,
-                } => history.mean_over(metric, *window_ns),
-            })
-            .collect();
-        let mut counters: Vec<(String, u64)> = inner
-            .counters
+                None => true,
+            };
+            if dirty {
+                fresh.push((i, entry.eval()));
+            }
+        }
+        if !fresh.is_empty() || sources_changed {
+            let mut values = if sources_changed {
+                vec![None; sources.len()]
+            } else {
+                (*cache.values).clone()
+            };
+            for (i, v) in fresh {
+                values[i] = v;
+            }
+            cache.values = Arc::new(values);
+        }
+
+        // --- counters: delta against the interned merged base ---
+        let list_changed = !cache.valid || !Arc::ptr_eq(&cache.regs_list, &regs_list);
+        if list_changed {
+            cache.regs = regs_list.iter().map(|_| RegCache::new()).collect();
+            cache.regs_list = regs_list.clone();
+        }
+        let mut layout_dirty = list_changed;
+        for (k, reg) in regs_list.iter().enumerate() {
+            let structure = reg.structure_version();
+            let rc = &mut cache.regs[k];
+            if !rc.init || rc.structure != structure {
+                rc.handles = reg.sorted_handles();
+                rc.structure = structure;
+                rc.init = true;
+                layout_dirty = true;
+            }
+        }
+        if layout_dirty {
+            // Rebuild the merged name table: concatenate each registry's
+            // (already name-sorted) table in registry order, then stable
+            // sort by name — the same order the old flat_map+sort
+            // produced, so duplicate names across registries keep their
+            // registry-order tie-break.
+            let mut order: Vec<(usize, usize)> = Vec::new();
+            for (k, rc) in cache.regs.iter().enumerate() {
+                for j in 0..rc.handles.len() {
+                    order.push((k, j));
+                }
+            }
+            order.sort_by(|a, b| {
+                cache.regs[a.0].handles[a.1]
+                    .0
+                    .cmp(&cache.regs[b.0].handles[b.1].0)
+            });
+            let mut merged_names = Vec::with_capacity(order.len());
+            let mut merged_values = Vec::with_capacity(order.len());
+            cache.positions = cache
+                .regs
+                .iter()
+                .map(|rc| vec![0; rc.handles.len()])
+                .collect();
+            for (k, reg) in regs_list.iter().enumerate() {
+                cache.regs[k].write_version = reg.write_version();
+            }
+            for (m, (k, j)) in order.iter().enumerate() {
+                let (name, handle) = &cache.regs[*k].handles[*j];
+                merged_names.push(name.clone());
+                merged_values.push(handle.get());
+                cache.positions[*k][*j] = m;
+            }
+            self.merges.add(regs_list.len() as u64);
+            cache.counter_names = Arc::new(merged_names);
+            cache.counter_values = Arc::new(merged_values);
+        } else {
+            let mut scattered: Option<Vec<u64>> = None;
+            for (k, reg) in regs_list.iter().enumerate() {
+                // Fold the write version *before* reading values: a write
+                // racing the reads is either included or re-detected next
+                // capture — never missed.
+                let wv = reg.write_version();
+                if cache.regs[k].write_version == wv {
+                    self.skipped.inc();
+                    continue;
+                }
+                self.merges.inc();
+                let values = scattered.get_or_insert_with(|| (*cache.counter_values).clone());
+                for (j, (_, handle)) in cache.regs[k].handles.iter().enumerate() {
+                    values[cache.positions[k][j]] = handle.get();
+                }
+                cache.regs[k].write_version = wv;
+            }
+            if let Some(values) = scattered {
+                cache.counter_values = Arc::new(values);
+            }
+        }
+
+        // --- profiles: shared merged base with per-stripe dirtiness ---
+        let (profiles, total_completed, dirty, clean) = self.profiles.snapshot_shared();
+        self.merges.add(dirty as u64);
+        self.skipped.add(clean as u64);
+
+        cache.valid = true;
+        IntrospectionSnapshot {
+            t_ns,
+            seq: self.seq.fetch_add(1, Ordering::Relaxed) + 1,
+            metric_names: names,
+            values: cache.values.clone(),
+            counter_names: cache.counter_names.clone(),
+            counter_values: cache.counter_values.clone(),
+            profiles,
+            total_completed,
+            active_tasks: self.concurrency.active_tasks(),
+            online_workers: self.concurrency.online_workers(),
+            peak_tasks: self.concurrency.peak_tasks(),
+        }
+    }
+
+    /// From-scratch capture that bypasses the delta cache entirely:
+    /// evaluates every source, re-collects and re-sorts every counter,
+    /// re-merges every profile stripe. The verification oracle for the
+    /// incremental path (property tests assert `capture` ≡
+    /// `capture_uncached` field for field at quiescence) and the
+    /// benchmark baseline.
+    pub fn capture_uncached(&self, t_ns: u64) -> IntrospectionSnapshot {
+        let (sources, names, regs_list) = {
+            let inner = self.inner.read();
+            (
+                inner.sources.clone(),
+                inner.names.clone(),
+                inner.counters.clone(),
+            )
+        };
+        let values: Vec<Option<f64>> = sources.iter().map(|s| s.eval()).collect();
+        let mut counters: Vec<(String, u64)> = regs_list
             .iter()
             .flat_map(|c| c.snapshot_counters())
             .collect();
         counters.sort_by(|a, b| a.0.cmp(&b.0));
+        let (counter_names, counter_values): (Vec<String>, Vec<u64>) = counters.into_iter().unzip();
         IntrospectionSnapshot {
             t_ns,
             seq: self.seq.fetch_add(1, Ordering::Relaxed) + 1,
-            metric_names: inner.names.clone(),
-            values,
-            counters,
-            profiles: self.profiles.snapshot(),
+            metric_names: names,
+            values: Arc::new(values),
+            counter_names: Arc::new(counter_names),
+            counter_values: Arc::new(counter_values),
+            profiles: Arc::new(self.profiles.snapshot_uncached()),
             total_completed: self.profiles.total_completed(),
             active_tasks: self.concurrency.active_tasks(),
             online_workers: self.concurrency.online_workers(),
@@ -187,14 +510,17 @@ impl std::fmt::Debug for Introspection {
         f.debug_struct("Introspection")
             .field("metrics", &inner.sources.len())
             .field("counter_registries", &inner.counters.len())
+            .field("merges", &self.merges.sum())
+            .field("skipped", &self.skipped.sum())
             .finish()
     }
 }
 
 /// A point-in-time view of everything the observation layer knows:
 /// registered metric values, counters, per-task profiles, and concurrency
-/// gauges. Immutable once captured; `Clone` is cheap-ish (the metric name
-/// table is shared).
+/// gauges. Immutable once captured; `Clone` is cheap — every bulk field
+/// (metric names and values, counter names and values, profiles) is a
+/// shared `Arc`, so cloning bumps five refcounts and copies six scalars.
 #[derive(Clone, Debug)]
 pub struct IntrospectionSnapshot {
     /// Capture time (virtual or wall, per the instance clock).
@@ -212,9 +538,13 @@ pub struct IntrospectionSnapshot {
     pub(crate) metric_names: Arc<Vec<String>>,
     /// Indexed by `MetricId`; `None` when a source had nothing to report
     /// (empty sample window, non-finite gauge).
-    pub(crate) values: Vec<Option<f64>>,
-    pub(crate) counters: Vec<(String, u64)>,
-    pub(crate) profiles: ProfileSnapshot,
+    pub(crate) values: Arc<Vec<Option<f64>>>,
+    /// Counter names, sorted, parallel to `counter_values`. Interned:
+    /// consecutive snapshots share the same `Arc` until a counter is
+    /// created.
+    pub(crate) counter_names: Arc<Vec<String>>,
+    pub(crate) counter_values: Arc<Vec<u64>>,
+    pub(crate) profiles: Arc<ProfileSnapshot>,
 }
 
 impl IntrospectionSnapshot {
@@ -229,9 +559,10 @@ impl IntrospectionSnapshot {
             online_workers: 0,
             peak_tasks: 0,
             metric_names: Arc::new(Vec::new()),
-            values: Vec::new(),
-            counters: Vec::new(),
-            profiles: Vec::new(),
+            values: Arc::new(Vec::new()),
+            counter_names: Arc::new(Vec::new()),
+            counter_values: Arc::new(Vec::new()),
+            profiles: Arc::new(Vec::new()),
         }
     }
 
@@ -261,20 +592,35 @@ impl IntrospectionSnapshot {
 
     /// A counter's value at capture time.
     pub fn counter(&self, name: &str) -> Option<u64> {
-        self.counters
-            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+        self.counter_names
+            .binary_search_by(|n| n.as_str().cmp(name))
             .ok()
-            .map(|i| self.counters[i].1)
+            .map(|i| self.counter_values[i])
     }
 
     /// All counters, name-sorted.
-    pub fn counters(&self) -> &[(String, u64)] {
-        &self.counters
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counter_names
+            .iter()
+            .map(|n| n.as_str())
+            .zip(self.counter_values.iter().copied())
+    }
+
+    /// Number of counters in this snapshot.
+    pub fn counter_count(&self) -> usize {
+        self.counter_names.len()
     }
 
     /// Per-task profiles at capture time.
     pub fn profiles(&self) -> &[TaskProfile] {
         &self.profiles
+    }
+
+    /// The shared profile vector itself. Consecutive idle captures return
+    /// the same `Arc` (pointer-equal), which is also how a multi-tenant
+    /// reader can hold many tenants' profiles without copying.
+    pub fn profiles_arc(&self) -> Arc<ProfileSnapshot> {
+        self.profiles.clone()
     }
 
     /// One task's profile, by name.
@@ -329,6 +675,41 @@ mod tests {
     }
 
     #[test]
+    fn unstamped_gauges_reevaluate_every_capture() {
+        let (_, _, intro) = facade();
+        let cell = Arc::new(Au64::new(1));
+        let c = cell.clone();
+        let id = intro.register_gauge("x", move || c.load(Ordering::Relaxed) as f64);
+        assert_eq!(intro.capture(0).value(id), Some(1.0));
+        cell.store(2, Ordering::Relaxed);
+        assert_eq!(intro.capture(1).value(id), Some(2.0));
+    }
+
+    #[test]
+    fn stamped_gauges_are_cached_until_the_stamp_moves() {
+        let (_, _, intro) = facade();
+        let cell = Arc::new(Au64::new(1));
+        let stamp = Arc::new(Au64::new(0));
+        let c = cell.clone();
+        let evals = Arc::new(Au64::new(0));
+        let e = evals.clone();
+        let id = intro.register_gauge_stamped("x", stamp.clone(), move || {
+            e.fetch_add(1, Ordering::Relaxed);
+            c.load(Ordering::Relaxed) as f64
+        });
+        assert_eq!(intro.capture(0).value(id), Some(1.0));
+        assert_eq!(evals.load(Ordering::Relaxed), 1);
+        // Value changed but stamp not bumped: the cached value is served
+        // and the closure does not run.
+        cell.store(2, Ordering::Relaxed);
+        assert_eq!(intro.capture(1).value(id), Some(1.0));
+        assert_eq!(evals.load(Ordering::Relaxed), 1);
+        stamp.fetch_add(1, Ordering::Release);
+        assert_eq!(intro.capture(2).value(id), Some(2.0));
+        assert_eq!(evals.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
     fn window_mean_reads_sample_history() {
         let names = TaskNames::new();
         let history = Arc::new(SampleHistoryListener::new(names.clone(), 64));
@@ -341,9 +722,16 @@ mod tests {
                 t_ns: t,
             });
         }
-        let id = intro.register_window_mean("power.mean", history, "power", 100);
+        let id = intro.register_window_mean("power.mean", history.clone(), "power", 100);
         let snap = intro.capture(30);
         assert_eq!(snap.value(id), Some(20.0));
+        // New samples move the stamp and refresh the cached mean.
+        history.on_event(&Event::SampleValue {
+            metric,
+            value: 60.0,
+            t_ns: 40,
+        });
+        assert_eq!(intro.capture(40).value(id), Some(30.0));
     }
 
     #[test]
@@ -357,8 +745,105 @@ mod tests {
         assert_eq!(snap.counter("a.one"), Some(1));
         assert_eq!(snap.counter("b.two"), Some(2));
         assert_eq!(snap.counter("missing"), None);
-        let names: Vec<&str> = snap.counters().iter().map(|(n, _)| n.as_str()).collect();
+        let names: Vec<&str> = snap.counters().map(|(n, _)| n).collect();
         assert_eq!(names, vec!["a.one", "b.two"]);
+    }
+
+    #[test]
+    fn counter_updates_between_captures_are_visible() {
+        let (_, _, intro) = facade();
+        let reg = Arc::new(CounterRegistry::new());
+        let c = reg.counter("c");
+        intro.register_counters(reg.clone());
+        c.add(1);
+        assert_eq!(intro.capture(0).counter("c"), Some(1));
+        c.add(2);
+        assert_eq!(intro.capture(1).counter("c"), Some(3));
+        // A counter created after the first capture appears too.
+        reg.counter("d").add(9);
+        let snap = intro.capture(2);
+        assert_eq!(snap.counter("d"), Some(9));
+        assert_eq!(snap.counter("c"), Some(3));
+    }
+
+    #[test]
+    fn idle_capture_performs_zero_shard_merges_and_shares_storage() {
+        let (profiles, _, intro) = facade();
+        let names = TaskNames::new();
+        let reg = Arc::new(CounterRegistry::new());
+        reg.counter("c").add(5);
+        intro.register_counters(reg.clone());
+        let stamp = Arc::new(Au64::new(0));
+        intro.register_gauge_stamped("g", stamp.clone(), || 1.0);
+        let task = names.intern("w");
+        profiles.on_event(&Event::TaskEnd {
+            task,
+            worker: 0,
+            t_ns: 10,
+            elapsed_ns: 10,
+        });
+        // Warm the cache.
+        let warm = intro.capture(0);
+        let merges_after_warm = intro.merges();
+        assert!(merges_after_warm > 0, "first capture merges dirty shards");
+
+        // Idle capture: zero merges, every shard skipped, storage shared.
+        let skipped_before = intro.skipped();
+        let idle = intro.capture(1);
+        assert_eq!(
+            intro.merges(),
+            merges_after_warm,
+            "idle capture merges nothing"
+        );
+        assert!(intro.skipped() > skipped_before);
+        assert!(Arc::ptr_eq(&warm.counter_values, &idle.counter_values));
+        assert!(Arc::ptr_eq(&warm.counter_names, &idle.counter_names));
+        assert!(Arc::ptr_eq(&warm.profiles, &idle.profiles));
+        assert!(Arc::ptr_eq(&warm.values, &idle.values));
+        assert_eq!(idle.t_ns, 1);
+        assert_eq!(idle.seq, warm.seq + 1);
+
+        // A write dirties exactly one registry again.
+        reg.counter("c").inc();
+        let after_write = intro.capture(2);
+        assert!(intro.merges() > merges_after_warm);
+        assert_eq!(after_write.counter("c"), Some(6));
+        assert!(!Arc::ptr_eq(
+            &idle.counter_values,
+            &after_write.counter_values
+        ));
+        assert!(
+            Arc::ptr_eq(&idle.counter_names, &after_write.counter_names),
+            "value writes reuse the interned name table"
+        );
+    }
+
+    #[test]
+    fn capture_uncached_matches_capture() {
+        let (profiles, _, intro) = facade();
+        let names = TaskNames::new();
+        let reg = Arc::new(CounterRegistry::new());
+        reg.counter("a").add(3);
+        reg.striped_counter("b").add(7);
+        intro.register_counters(reg);
+        intro.register_gauge("g", || 2.5);
+        let task = names.intern("w");
+        profiles.on_event(&Event::TaskEnd {
+            task,
+            worker: 0,
+            t_ns: 10,
+            elapsed_ns: 10,
+        });
+        for _ in 0..3 {
+            let snap = intro.capture(5);
+            let full = intro.capture_uncached(5);
+            assert_eq!(snap.t_ns, full.t_ns);
+            assert_eq!(snap.total_completed, full.total_completed);
+            assert_eq!(*snap.values, *full.values);
+            assert_eq!(*snap.counter_names, *full.counter_names);
+            assert_eq!(*snap.counter_values, *full.counter_values);
+            assert_eq!(*snap.profiles, *full.profiles);
+        }
     }
 
     #[test]
@@ -413,6 +898,9 @@ mod tests {
         assert_eq!(id, id2);
         assert_eq!(intro.capture(0).value(id), Some(2.0));
         assert_eq!(intro.metric_names(), vec!["g".to_string()]);
+        // Re-registering after captures invalidates the cached value.
+        intro.register_gauge("g", || 3.0);
+        assert_eq!(intro.capture(1).value(id), Some(3.0));
     }
 
     #[test]

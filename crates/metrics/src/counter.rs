@@ -10,8 +10,8 @@
 //! [`CounterRegistry::striped_counter`]) for counters hammered from many
 //! threads at once, where a shared cell would ping-pong its cache line.
 
-use crate::stripe::StripedCounter;
-use parking_lot::RwLock;
+use crate::stripe::{StripedCounter, StripedVersion};
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -29,8 +29,15 @@ enum CounterStorage {
 /// Backed either by one atomic cell or, when created through
 /// [`CounterRegistry::striped_counter`], by per-thread striped cells whose
 /// updates never contend across threads (reads fold the stripes).
+///
+/// Every update also bumps its registry's write-generation stamp
+/// ([`CounterRegistry::write_version`]) so incremental snapshot capture can
+/// skip registries that saw no writes since the last round.
 #[derive(Clone, Debug)]
-pub struct CounterHandle(Arc<CounterStorage>);
+pub struct CounterHandle {
+    storage: Arc<CounterStorage>,
+    version: Arc<StripedVersion>,
+}
 
 impl CounterHandle {
     /// Increments by 1.
@@ -42,18 +49,21 @@ impl CounterHandle {
     /// Increments by `n`.
     #[inline]
     pub fn add(&self, n: u64) {
-        match &*self.0 {
+        match &*self.storage {
             CounterStorage::Single(a) => {
                 a.fetch_add(n, Ordering::Relaxed);
             }
             CounterStorage::Striped(s) => s.add(n),
         }
+        // Release-bump after the value write: a reader that observes the
+        // new generation is guaranteed to read the new value.
+        self.version.bump();
     }
 
     /// Current value (striped counters fold their stripes).
     #[inline]
     pub fn get(&self) -> u64 {
-        match &*self.0 {
+        match &*self.storage {
             CounterStorage::Single(a) => a.load(Ordering::Relaxed),
             CounterStorage::Striped(s) => s.sum(),
         }
@@ -61,7 +71,7 @@ impl CounterHandle {
 
     /// Whether this counter uses striped storage.
     pub fn is_striped(&self) -> bool {
-        matches!(&*self.0, CounterStorage::Striped(_))
+        matches!(&*self.storage, CounterStorage::Striped(_))
     }
 }
 
@@ -108,6 +118,19 @@ impl GaugeHandle {
 pub struct CounterRegistry {
     counters: RwLock<HashMap<String, CounterHandle>>,
     gauges: RwLock<HashMap<String, GaugeHandle>>,
+    /// Bumped by every counter update (shared by all handles); readers
+    /// compare folds to skip re-reading a quiescent registry.
+    write_version: Arc<StripedVersion>,
+    /// Bumped when a counter is created (the name set changed).
+    structure: AtomicU64,
+    sorted: Mutex<SortedHandles>,
+}
+
+#[derive(Default)]
+struct SortedHandles {
+    structure: u64,
+    valid: bool,
+    handles: Arc<Vec<(String, CounterHandle)>>,
 }
 
 impl std::fmt::Debug for CounterRegistry {
@@ -125,15 +148,26 @@ impl CounterRegistry {
         Self::default()
     }
 
-    /// Returns the counter named `name`, creating it at zero if absent.
-    pub fn counter(&self, name: &str) -> CounterHandle {
+    fn get_or_create(&self, name: &str, make: impl FnOnce() -> CounterStorage) -> CounterHandle {
         if let Some(h) = self.counters.read().get(name) {
             return h.clone();
         }
         let mut w = self.counters.write();
-        w.entry(name.to_owned())
-            .or_insert_with(|| CounterHandle(Arc::new(CounterStorage::Single(AtomicU64::new(0)))))
-            .clone()
+        if let Some(h) = w.get(name) {
+            return h.clone();
+        }
+        let h = CounterHandle {
+            storage: Arc::new(make()),
+            version: self.write_version.clone(),
+        };
+        w.insert(name.to_owned(), h.clone());
+        self.structure.fetch_add(1, Ordering::Release);
+        h
+    }
+
+    /// Returns the counter named `name`, creating it at zero if absent.
+    pub fn counter(&self, name: &str) -> CounterHandle {
+        self.get_or_create(name, || CounterStorage::Single(AtomicU64::new(0)))
     }
 
     /// Returns the counter named `name`, creating it with striped storage
@@ -142,13 +176,7 @@ impl CounterRegistry {
     /// existing handle is returned unchanged — storage is fixed at
     /// creation, so opt in at the registration site, not at use sites.
     pub fn striped_counter(&self, name: &str) -> CounterHandle {
-        if let Some(h) = self.counters.read().get(name) {
-            return h.clone();
-        }
-        let mut w = self.counters.write();
-        w.entry(name.to_owned())
-            .or_insert_with(|| CounterHandle(Arc::new(CounterStorage::Striped(Box::default()))))
-            .clone()
+        self.get_or_create(name, || CounterStorage::Striped(Box::default()))
     }
 
     /// Returns the gauge named `name`, creating it at zero if absent.
@@ -164,14 +192,51 @@ impl CounterRegistry {
 
     /// Snapshot of every counter as `(name, value)`, sorted by name.
     pub fn snapshot_counters(&self) -> Vec<(String, u64)> {
-        let mut v: Vec<(String, u64)> = self
-            .counters
-            .read()
+        self.sorted_handles()
             .iter()
             .map(|(k, h)| (k.clone(), h.get()))
-            .collect();
-        v.sort();
-        v
+            .collect()
+    }
+
+    /// Fold of the write-generation stamp: unchanged between two reads ⇔
+    /// no counter update completed in between (a racing update shows up in
+    /// the next fold instead — see [`crate::stripe::StripedVersion`]).
+    pub fn write_version(&self) -> u64 {
+        self.write_version.get()
+    }
+
+    /// Generation of the counter *name set*; bumped when a counter is
+    /// created. Readers caching the sorted name table re-fetch it only
+    /// when this moves.
+    pub fn structure_version(&self) -> u64 {
+        self.structure.load(Ordering::Acquire)
+    }
+
+    /// The interned, name-sorted counter handle table, shared behind an
+    /// `Arc` and rebuilt only when [`structure_version`] moves — repeated
+    /// snapshot rounds clone an `Arc` instead of re-collecting and
+    /// re-sorting `String`s.
+    ///
+    /// [`structure_version`]: CounterRegistry::structure_version
+    pub fn sorted_handles(&self) -> Arc<Vec<(String, CounterHandle)>> {
+        // Read the structure generation *before* collecting, so a creation
+        // racing the rebuild leaves a stale recorded generation and the
+        // next call refreshes.
+        let structure = self.structure_version();
+        let mut cached = self.sorted.lock();
+        if !cached.valid || cached.structure != structure {
+            let mut v: Vec<(String, CounterHandle)> = self
+                .counters
+                .read()
+                .iter()
+                .map(|(k, h)| (k.clone(), h.clone()))
+                .collect();
+            v.sort_by(|a, b| a.0.cmp(&b.0));
+            cached.handles = Arc::new(v);
+            cached.structure = structure;
+            cached.valid = true;
+        }
+        cached.handles.clone()
     }
 
     /// Snapshot of every gauge as `(name, value)`, sorted by name.
@@ -302,6 +367,41 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(reg.counter("shared").get(), 80_000);
+    }
+
+    #[test]
+    fn write_version_moves_only_on_counter_writes() {
+        let reg = CounterRegistry::new();
+        let c = reg.counter("a");
+        let v0 = reg.write_version();
+        assert_eq!(reg.write_version(), v0, "idle registry is stable");
+        c.add(3);
+        let v1 = reg.write_version();
+        assert!(v1 > v0);
+        reg.gauge("g").set(9); // gauges are not snapshot state
+        reg.counter("a"); // lookups don't count as writes
+        assert_eq!(reg.write_version(), v1);
+        reg.striped_counter("hot").inc();
+        assert!(reg.write_version() > v1);
+    }
+
+    #[test]
+    fn sorted_handles_cache_is_reused_until_structure_changes() {
+        let reg = CounterRegistry::new();
+        reg.counter("b").inc();
+        reg.counter("a").inc();
+        let s0 = reg.structure_version();
+        let t1 = reg.sorted_handles();
+        let t2 = reg.sorted_handles();
+        assert!(StdArc::ptr_eq(&t1, &t2), "no structural change: same table");
+        assert_eq!(reg.structure_version(), s0);
+        let names: Vec<&str> = t1.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["a", "b"]);
+        reg.counter("c");
+        assert!(reg.structure_version() > s0);
+        let t3 = reg.sorted_handles();
+        assert!(!StdArc::ptr_eq(&t1, &t3));
+        assert_eq!(t3.len(), 3);
     }
 
     #[test]
