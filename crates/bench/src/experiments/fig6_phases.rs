@@ -7,19 +7,53 @@
 //! * **static-K** — fixed cap for the whole run;
 //! * **oracle** — per-phase best static cap (exhaustive, not realizable
 //!   online);
-//! * **adaptive** — a hill-climbing session re-started at every phase
-//!   boundary (the phase markers are the trigger), paying real search
-//!   epochs inside each phase.
+//! * **adaptive** — a hill-climbing session re-started at every detected
+//!   phase boundary, paying real search epochs inside each phase.
+//!
+//! The adaptive controller comes in three detection flavours
+//! ([`PhaseDetect`]): *oracle* (a-priori phase markers, the upper bound),
+//! *polling* (inspect the observed bytes-per-op signal every K control
+//! rounds), and *threshold* (a [`ThresholdWatch::relative_change`] on the
+//! same signal, edge-checked every round). Polling trades reaction time
+//! for inspection cost; the watch reacts within one round for the price
+//! of a cheap edge-check. The summary table reports the measured
+//! reaction delay of each flavour.
 //!
 //! Expected shape: adaptive total energy lands within ~10% of the oracle
 //! and clearly beats the best static configuration.
 
 use crate::experiments::common::{best_pow2_cap, run_steps};
 use crate::report::{fmt_f, write_csv, Table};
-use lg_core::{Clock as _, SessionConfig, SessionStep, TuningSession};
+use lg_core::{Clock as _, SessionConfig, SessionStep, ThresholdWatch, TuningSession};
 use lg_sim::workload_model::PhasedSimWorkload;
 use lg_sim::{MachineSpec, SimRuntime, SimWorkload};
 use lg_tuning::HillClimb;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// How the adaptive controller learns that the workload changed phase.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PhaseDetect {
+    /// A-priori phase markers: free and instant, but not realizable
+    /// online — the upper bound on reaction time.
+    Oracle,
+    /// Inspect the observed bytes-per-op signal every `K` control rounds
+    /// and restart when it moved; reacts up to `K` rounds late.
+    Polling(usize),
+    /// [`ThresholdWatch::relative_change`] on the same signal, polled as
+    /// a cheap edge-check every round; reacts within one round.
+    Threshold,
+}
+
+impl PhaseDetect {
+    fn label(self) -> String {
+        match self {
+            PhaseDetect::Oracle => "adaptive-oracle".into(),
+            PhaseDetect::Polling(k) => format!("adaptive-poll{k}"),
+            PhaseDetect::Threshold => "adaptive-watch".into(),
+        }
+    }
+}
 
 /// Result of one policy run.
 #[derive(Clone, Debug)]
@@ -104,17 +138,26 @@ pub fn run_oracle(spec: &MachineSpec, w: &PhasedSimWorkload, total_steps: usize)
     }
 }
 
-/// Adaptive: hill-climb session restarted at each phase boundary. Returns
-/// the result, the per-step cap trace, and the run's final introspection
-/// snapshot (the state-of-the-world block the report renders).
+/// Adaptive: hill-climb session restarted at each *detected* phase
+/// boundary. Returns the result, the per-step cap trace, the run's final
+/// introspection snapshot (the state-of-the-world block the report
+/// renders), and the reaction delay (in steps) of every restart after a
+/// true phase boundary.
+///
+/// The detection signal is the bytes-per-op ratio of the batch most
+/// recently executed — an intrinsic workload property the runtime
+/// observes for free, independent of the cap the tuner happens to be
+/// trying (so mid-phase search moves can never false-trigger a restart).
 pub fn run_adaptive(
     spec: &MachineSpec,
     w: &PhasedSimWorkload,
     total_steps: usize,
+    detect: PhaseDetect,
 ) -> (
     PolicyResult,
     Vec<(usize, i64)>,
     lg_core::IntrospectionSnapshot,
+    Vec<usize>,
 ) {
     let mut sim = SimRuntime::new(*spec);
     // Typed handles, resolved once: the cap by id, the energy gauge by
@@ -132,12 +175,31 @@ pub fn run_adaptive(
     let mut session: Option<TuningSession> = None;
     let mut last_phase = usize::MAX;
     let mut step = 0usize;
+    // The observed signal: bytes/op of the last executed batch. NaN until
+    // the first batch runs, which keeps the watch silent (non-finite
+    // readings never fire and never set a baseline).
+    let signal = Arc::new(AtomicU64::new(f64::NAN.to_bits()));
+    let mut watch = {
+        let s = signal.clone();
+        ThresholdWatch::relative_change(move || f64::from_bits(s.load(Ordering::Relaxed)), 0.5)
+    };
+    let mut reactions = Vec::new();
+    let period = w.period_steps;
     while step < total_steps {
-        let phase = w.phase_index(step);
-        if phase != last_phase {
-            // Phase boundary: restart the search from the current cap
+        let fired = match detect {
+            PhaseDetect::Oracle => w.phase_index(step) != last_phase,
+            PhaseDetect::Polling(k) => step.is_multiple_of(k.max(1)) && watch.poll(),
+            PhaseDetect::Threshold => watch.poll(),
+        };
+        if fired || session.is_none() {
+            // Detected boundary: restart the search from the current cap
             // (warm start — the previous phase's winner is the prior).
-            last_phase = phase;
+            last_phase = w.phase_index(step);
+            if fired && step > 0 {
+                // Ground truth (for measurement only): boundaries sit at
+                // multiples of the phase period.
+                reactions.push(step % period);
+            }
             let current = sim
                 .lg()
                 .knobs()
@@ -155,6 +217,8 @@ pub fn run_adaptive(
                 .with_introspection(sim.lg().introspection().clone()),
             );
         }
+        let active = w.active_at(step);
+        signal.store(active.bytes_per_op.to_bits(), Ordering::Relaxed);
         let s = session.as_mut().expect("session exists");
         if s.is_finished() {
             // Converged for this phase: run at the winner.
@@ -191,13 +255,22 @@ pub fn run_adaptive(
     let snapshot = sim.lg().snapshot();
     (
         PolicyResult {
-            name: "adaptive".into(),
+            name: detect.label(),
             time_s,
             energy_j: energy,
         },
         trace,
         snapshot,
+        reactions,
     )
+}
+
+/// Mean of the reaction delays, `0` when no restart was observed.
+pub fn mean_reaction_steps(reactions: &[usize]) -> f64 {
+    if reactions.is_empty() {
+        return 0.0;
+    }
+    reactions.iter().sum::<usize>() as f64 / reactions.len() as f64
 }
 
 /// Runs the experiment.
@@ -208,28 +281,45 @@ pub fn run(fast: bool) {
 
     let mut table = Table::new(
         "Fig 6 / summary: phase-alternating workload, total cost per policy",
-        &["policy", "time_s", "energy_j", "edp"],
+        &["policy", "time_s", "energy_j", "edp", "react_steps"],
     );
     let mut results = Vec::new();
     for cap in [4, 8, 16, 32] {
-        results.push(run_static(&spec, &w, total_steps, cap));
+        results.push((run_static(&spec, &w, total_steps, cap), None));
     }
-    results.push(run_oracle(&spec, &w, total_steps));
-    let (adaptive, trace, snapshot) = run_adaptive(&spec, &w, total_steps);
-    results.push(adaptive);
-    for r in &results {
+    results.push((run_oracle(&spec, &w, total_steps), None));
+    let mut trace = Vec::new();
+    let mut snapshot = None;
+    for detect in [
+        PhaseDetect::Oracle,
+        PhaseDetect::Polling(period / 4),
+        PhaseDetect::Threshold,
+    ] {
+        let (r, tr, snap, reactions) = run_adaptive(&spec, &w, total_steps, detect);
+        results.push((r, Some(mean_reaction_steps(&reactions))));
+        if detect == PhaseDetect::Threshold {
+            trace = tr;
+            snapshot = Some(snap);
+        }
+    }
+    let snapshot = snapshot.expect("threshold flavour always runs");
+    for (r, react) in &results {
         table.row(&[
             r.name.clone(),
             fmt_f(r.time_s),
             fmt_f(r.energy_j),
             fmt_f(r.edp()),
+            react.map_or_else(|| "-".into(), fmt_f),
         ]);
     }
     println!("{}", table.render());
     let p = write_csv(&table, "fig6_phases_summary");
     println!("wrote {}", p.display());
 
-    let mut trace_table = Table::new("Fig 6: adaptive cap trace (step, cap)", &["step", "cap"]);
+    let mut trace_table = Table::new(
+        "Fig 6: adaptive-watch cap trace (step, cap)",
+        &["step", "cap"],
+    );
     for (step, cap) in &trace {
         trace_table.push(&[step.to_string(), cap.to_string()]);
     }
@@ -253,7 +343,7 @@ mod tests {
         let static32 = run_static(&spec, &w, total, 32);
         let static4 = run_static(&spec, &w, total, 4);
         let oracle = run_oracle(&spec, &w, total);
-        let (adaptive, trace, snapshot) = run_adaptive(&spec, &w, total);
+        let (adaptive, trace, snapshot, _) = run_adaptive(&spec, &w, total, PhaseDetect::Oracle);
         assert!(
             snapshot.value_by_name("sim.energy_j").unwrap() > 0.0,
             "snapshot must carry the run's energy gauge"
@@ -286,6 +376,52 @@ mod tests {
         assert!(
             cap_a < cap_b,
             "memory phase should throttle below compute phase"
+        );
+    }
+
+    #[test]
+    fn threshold_detection_reacts_within_one_step() {
+        let spec = MachineSpec::server32();
+        let (w, period, phases) = phased(true);
+        let total = period * phases;
+        let (_, _, _, reactions) = run_adaptive(&spec, &w, total, PhaseDetect::Threshold);
+        assert_eq!(
+            reactions.len(),
+            phases - 1,
+            "one detected restart per true boundary"
+        );
+        assert!(
+            reactions.iter().all(|&d| d == 1),
+            "watch should react one step after every boundary, got {reactions:?}"
+        );
+    }
+
+    #[test]
+    fn polling_reacts_slower_than_threshold_but_still_adapts() {
+        let spec = MachineSpec::server32();
+        let (w, period, phases) = phased(true);
+        let total = period * phases;
+        let k = period / 4;
+        let (poll, trace, _, reactions) = run_adaptive(&spec, &w, total, PhaseDetect::Polling(k));
+        assert_eq!(reactions.len(), phases - 1);
+        assert!(
+            reactions.iter().all(|&d| d > 1 && d <= k),
+            "polling delay must sit in (1, {k}], got {reactions:?}"
+        );
+        let (watch, _, _, watch_reactions) = run_adaptive(&spec, &w, total, PhaseDetect::Threshold);
+        assert!(
+            mean_reaction_steps(&watch_reactions) < mean_reaction_steps(&reactions),
+            "threshold must react faster than polling on average"
+        );
+        // Slower detection still adapts (caps move) and stays in the same
+        // cost regime as the watch-driven controller.
+        let caps: std::collections::HashSet<i64> = trace.iter().map(|(_, c)| *c).collect();
+        assert!(caps.len() > 1, "polling controller cap never moved");
+        assert!(
+            watch.edp() <= poll.edp() * 1.10,
+            "watch edp {} should not trail polling edp {}",
+            watch.edp(),
+            poll.edp()
         );
     }
 

@@ -9,6 +9,7 @@
 pub mod abl1_dvfs;
 pub mod abl2_stall;
 pub mod common;
+pub mod fig10_tenancy;
 pub mod fig1_overhead;
 pub mod fig2_concurrency;
 pub mod fig3_convergence;
@@ -33,8 +34,8 @@ pub fn main() {
         .collect();
     let selected = if which.is_empty() || which.contains(&"all") {
         vec![
-            "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "tbl1", "tbl2",
-            "tbl3", "abl1", "abl2",
+            "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+            "tbl1", "tbl2", "tbl3", "abl1", "abl2",
         ]
     } else {
         which
@@ -56,6 +57,7 @@ pub fn run_one(name: &str, fast: bool) {
         "fig7" => fig7_dispatch::run(fast),
         "fig8" => fig8_faults::run(fast),
         "fig9" => fig9_overload::run(fast),
+        "fig10" => fig10_tenancy::run(fast),
         "tbl1" => tbl1_static_vs_adaptive::run(fast),
         "tbl2" => tbl2_coalescing::run(fast),
         "tbl3" => tbl3_search::run(fast),
@@ -63,7 +65,7 @@ pub fn run_one(name: &str, fast: bool) {
         "abl2" => abl2_stall::run(fast),
         other => {
             eprintln!(
-                "unknown experiment '{other}'; expected fig1..fig9, tbl1..tbl3, abl1, abl2, or all"
+                "unknown experiment '{other}'; expected fig1..fig10, tbl1..tbl3, abl1, abl2, or all"
             );
             std::process::exit(2);
         }

@@ -1,8 +1,8 @@
 //! # lg-bench — experiment harness and reporting
 //!
 //! Regenerates every table and figure of the reconstructed evaluation (see
-//! DESIGN.md §7 and EXPERIMENTS.md). The `experiments` binary exposes one
-//! subcommand per artifact (`fig1` … `fig7`, `tbl1` … `tbl3`, or `all`);
+//! DESIGN.md §8 and EXPERIMENTS.md). The `experiments` binary exposes one
+//! subcommand per artifact (`fig1` … `fig10`, `tbl1` … `tbl3`, or `all`);
 //! each writes a CSV under `target/experiments/` and prints an aligned
 //! table to stdout.
 //!

@@ -103,6 +103,15 @@ impl KnobSpec {
         self
     }
 
+    /// Rewrites the name under a tenant namespace (`"thread_cap"` →
+    /// `"t3.thread_cap"`), leaving bounds and metadata intact. Used by
+    /// the arbiter to mirror tenant allocation knobs into the governor's
+    /// flat registry without collisions.
+    pub fn scoped(mut self, tenant: crate::tenant::TenantId) -> Self {
+        self.name = tenant.scoped(&self.name);
+        self
+    }
+
     /// Sets the tuning scale.
     pub fn with_scale(mut self, scale: KnobScale) -> Self {
         self.scale = scale;
@@ -408,6 +417,12 @@ impl KnobRegistry {
     /// Resolves an id back to the knob's name.
     pub fn name(&self, id: KnobId) -> Option<String> {
         self.with_slot(id, |s| s.spec.name.clone())
+    }
+
+    /// Resolves a tenant-scoped name (`tenant` + `"thread_cap"` →
+    /// `"t3.thread_cap"`) to its id, if registered.
+    pub fn id_scoped(&self, tenant: crate::tenant::TenantId, name: &str) -> Option<KnobId> {
+        self.id(&tenant.scoped(name))
     }
 
     /// Runs `f` against the slot for `id`, resolving through the

@@ -58,6 +58,7 @@
 #![warn(missing_docs)]
 
 pub mod admission;
+pub mod arbiter;
 pub mod builtin;
 pub mod clock;
 pub mod concurrency;
@@ -71,24 +72,29 @@ pub mod profile;
 pub mod samples;
 pub mod session;
 pub mod snapshot;
+pub mod tenant;
 pub mod trace;
 pub mod watchdog;
 
 pub use admission::{
     AdmissionGate, AimdPolicy, Brownout, BrownoutPolicy, Bulkhead, BulkheadPermit, RequestClass,
 };
+pub use arbiter::{Arbiter, ArbiterConfig, RoundReport, TenantObs, TenantSpec};
 pub use builtin::{HighWatermarkPolicy, PowerCapPolicy};
 pub use clock::{Clock, VirtualClock, WallClock};
 pub use concurrency::ConcurrencyListener;
 pub use event::{Event, TaskId, TaskNames};
 pub use instance::{LookingGlass, LookingGlassBuilder, Timer};
 pub use journal::{ActuationJournal, ActuationRecord};
-pub use knob::{Knob, KnobId, KnobRegistry, KnobScale, KnobSpec, KnobTarget};
+pub use knob::{AtomicKnob, Knob, KnobId, KnobRegistry, KnobScale, KnobSpec, KnobTarget};
 pub use listener::{Dispatcher, Listener};
-pub use policy::{Policy, PolicyDecision, PolicyEngine, PolicyHandle, ThresholdWatch, Trigger};
+pub use policy::{
+    FnPolicy, Policy, PolicyDecision, PolicyEngine, PolicyHandle, ThresholdWatch, Trigger,
+};
 pub use profile::{ProfileListener, ProfileSnapshot, TaskProfile};
 pub use samples::SampleHistoryListener;
 pub use session::{EpochReport, SessionConfig, SessionStep, TuningSession};
 pub use snapshot::{Introspection, IntrospectionSnapshot, MetricId};
+pub use tenant::{SloClass, TenantId};
 pub use trace::{TraceListener, TraceRecord};
 pub use watchdog::RegressionWatchdog;

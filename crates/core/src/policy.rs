@@ -76,6 +76,13 @@ impl PolicyDecision {
         self.retire = true;
         self
     }
+
+    /// A decision setting one knob in a tenant's namespace: governor
+    /// policies write `set_scoped(t3, "thread_cap", 8)` to address the
+    /// mirror knob `"t3.thread_cap"` without hand-building the name.
+    pub fn set_scoped(tenant: crate::tenant::TenantId, knob: &str, value: i64) -> Self {
+        Self::set(tenant.scoped(knob), value)
+    }
 }
 
 /// A reactive adaptation rule.
@@ -202,6 +209,15 @@ impl ThresholdWatch {
                 last: None,
             },
         }
+    }
+
+    /// Edge-check outside an engine: returns true exactly once per
+    /// crossing, then re-arms per the watch kind's hysteresis rule.
+    /// Drivers that own their own control loop (e.g. a phase controller
+    /// stepping a simulation) can poll this directly instead of
+    /// registering the watch on a [`PolicyEngine`].
+    pub fn poll(&mut self) -> bool {
+        self.check()
     }
 
     /// Edge-check: returns true exactly once per crossing.

@@ -297,6 +297,17 @@ impl Introspection {
         self.inner.read().by_name.get(name).copied().map(MetricId)
     }
 
+    /// Resolves a tenant-scoped metric name (`tenant` + `"rate"` →
+    /// `"t3.rate"`) to its id, if registered. The arbiter registers its
+    /// per-tenant mirror gauges under this scheme.
+    pub fn metric_id_scoped(
+        &self,
+        tenant: crate::tenant::TenantId,
+        name: &str,
+    ) -> Option<MetricId> {
+        self.metric_id(&tenant.scoped(name))
+    }
+
     /// Names of all registered metrics, in id order.
     pub fn metric_names(&self) -> Vec<String> {
         (*self.inner.read().names).clone()
@@ -575,6 +586,12 @@ impl IntrospectionSnapshot {
     pub fn value_by_name(&self, name: &str) -> Option<f64> {
         let i = self.metric_names.iter().position(|n| n == name)?;
         self.values[i].as_ref().copied()
+    }
+
+    /// Tenant-scoped metric lookup: `value_scoped(t3, "rate")` reads
+    /// `"t3.rate"`. Edge/report use, like [`Self::value_by_name`].
+    pub fn value_scoped(&self, tenant: crate::tenant::TenantId, name: &str) -> Option<f64> {
+        self.value_by_name(&tenant.scoped(name))
     }
 
     /// Metric names in id order.

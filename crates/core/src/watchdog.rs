@@ -52,6 +52,10 @@ pub struct RegressionWatchdog {
     last_seen_seq: u64,
     pending: Option<Pending>,
     rollbacks: u64,
+    ignored: Vec<TaskId>,
+    /// Rate observed one evaluation ago — the last reading guaranteed to
+    /// predate any record that has appeared since the last journal scan.
+    prev_rate: Option<f64>,
 }
 
 impl RegressionWatchdog {
@@ -70,7 +74,19 @@ impl RegressionWatchdog {
             last_seen_seq: 0,
             pending: None,
             rollbacks: 0,
+            ignored: Vec::new(),
+            prev_rate: None,
         })
+    }
+
+    /// Excludes `actor`'s writes from suspect adoption. Budget governors
+    /// (e.g. the arbiter) rewrite the same knob every control round; without
+    /// this, each rewrite would replace the current suspect and reset its
+    /// baseline to the post-regression rate, masking the drop.
+    #[must_use]
+    pub fn with_ignored_actor(mut self: Box<Self>, actor: &str) -> Box<Self> {
+        self.ignored.push(self.journal.intern(actor));
+        self
     }
 
     /// Creates a watchdog reading `rate` (higher = better) and rolling
@@ -151,23 +167,33 @@ impl Policy for RegressionWatchdog {
             }
         }
         // Adopt the newest foreign actuation as the next suspect — skip
-        // our own writes and anything that is (or undoes) a rollback. The
-        // rate sampled *now* is the pre-verdict baseline.
+        // our own writes and anything that is (or undoes) a rollback. A
+        // record that appeared since the last scan landed *during* the
+        // interval the current rate covers (policy engines batch-apply
+        // decisions after the evaluation loop), so the clean pre-actuation
+        // baseline is the rate from one evaluation ago, falling back to
+        // the current rate on the first reading.
+        let baseline = self.prev_rate.unwrap_or(rate);
         let mut newest: Option<Pending> = None;
         for rec in self.journal.raw_records_since(self.last_seen_seq) {
             self.last_seen_seq = self.last_seen_seq.max(rec.seq);
-            if rec.policy != self.self_id && !rec.rolled_back && rec.rollback_of.is_none() {
+            if rec.policy != self.self_id
+                && !self.ignored.contains(&rec.policy)
+                && !rec.rolled_back
+                && rec.rollback_of.is_none()
+            {
                 newest = Some(Pending {
                     seq: rec.seq,
                     knob: rec.knob,
                     from: rec.from,
-                    baseline: rate,
+                    baseline,
                 });
             }
         }
         if newest.is_some() {
             self.pending = newest;
         }
+        self.prev_rate = Some(rate);
         decision
     }
 }

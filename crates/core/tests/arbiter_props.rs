@@ -1,0 +1,225 @@
+//! Property tests for the multi-tenant arbiter: the machine budget is
+//! an invariant, not a tendency.
+//!
+//! Three safety arguments the tenancy experiment (fig10) leans on:
+//!
+//! 1. **Budget** — under any interleaving of admits, evicts, manual
+//!    quarantines, and control rounds, the sum of live allocations
+//!    never exceeds the machine and every tenant stays inside its
+//!    `[min, max]` band.
+//! 2. **Fair share** — with no floor or ceiling binding, the pure
+//!    [`arbitrate`] kernel splits the budget proportionally to weights
+//!    (exact up to largest-remainder rounding).
+//! 3. **Replay** — folding any tenant's actuation journal (and the
+//!    governor's own) reproduces the live registry values: the journal
+//!    is a faithful history of who moved which knob where.
+
+use lg_core::arbiter::{arbitrate, replay_final_values, TenantObs};
+use lg_core::knob::{AtomicKnob, KnobSpec};
+use lg_core::{
+    Arbiter, ArbiterConfig, Clock, LookingGlass, SloClass, TenantId, TenantSpec, VirtualClock,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const TOTAL: i64 = 32;
+
+/// One step of a random governor schedule.
+#[derive(Clone, Debug)]
+enum Op {
+    /// Admit a tenant with the given weight/floor/ceiling/class.
+    Admit {
+        weight: u32,
+        min: i64,
+        max: i64,
+        latency: bool,
+    },
+    /// Evict the `i`-th live tenant (mod live count).
+    Evict(usize),
+    /// Manually quarantine the `i`-th live tenant for `rounds`.
+    Quarantine(usize, u64),
+    /// Run one control round.
+    Round,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // The offline proptest shim has no `prop_oneof!`; draw a flat tuple
+    // with a kind selector and map it to the variant.
+    ((0u8..4, 1u32..8, 1i64..5), (0usize..6, 1u64..4, 0u8..2)).prop_map(
+        |((kind, weight, min), (i, rounds, lat))| match kind {
+            0 => Op::Admit {
+                weight,
+                min,
+                max: min + 3 + (weight as i64 * 3) % 24,
+                latency: lat == 1,
+            },
+            1 => Op::Evict(i),
+            2 => Op::Quarantine(i, rounds),
+            _ => Op::Round,
+        },
+    )
+}
+
+struct Live {
+    id: TenantId,
+    lg: Arc<LookingGlass>,
+    min: i64,
+    max: i64,
+}
+
+fn tenant_lg(clock: &Arc<VirtualClock>, max: i64) -> Arc<LookingGlass> {
+    let lg = LookingGlass::builder().clock(clock.clone()).build();
+    lg.knobs().register(AtomicKnob::new(
+        KnobSpec::new("thread_cap", 1, max).with_unit("workers"),
+        max,
+    ));
+    lg
+}
+
+/// Drives a random schedule and returns the arbiter plus the live fleet
+/// (shared by the budget and replay properties).
+fn drive(ops: &[Op]) -> (Arc<VirtualClock>, Arc<Arbiter>, Vec<Live>) {
+    let clock = Arc::new(VirtualClock::new());
+    let gov = LookingGlass::builder().clock(clock.clone()).build();
+    let arb = Arbiter::with_instance(ArbiterConfig::new(TOTAL), gov);
+    let mut live: Vec<Live> = Vec::new();
+    let mut name = 0usize;
+    for op in ops {
+        clock.advance_by(1_000_000);
+        match op {
+            Op::Admit {
+                weight,
+                min,
+                max,
+                latency,
+            } => {
+                let floors: i64 = live.iter().map(|t| t.min).sum();
+                if floors + min > TOTAL {
+                    continue; // would oversubscribe — admit() rejects this by contract
+                }
+                let lg = tenant_lg(&clock, *max);
+                name += 1;
+                let slo = if *latency {
+                    SloClass::Latency
+                } else {
+                    SloClass::Batch
+                };
+                let spec = TenantSpec::new(format!("t{name}"), slo, *max)
+                    .with_min_threads(*min)
+                    .with_weight(*weight);
+                let id = arb.admit(lg.clone(), spec, "thread_cap");
+                live.push(Live {
+                    id,
+                    lg,
+                    min: *min,
+                    max: *max,
+                });
+            }
+            Op::Evict(i) => {
+                if !live.is_empty() {
+                    let t = live.remove(i % live.len());
+                    assert!(arb.evict(t.id));
+                }
+            }
+            Op::Quarantine(i, rounds) => {
+                if !live.is_empty() {
+                    let t = &live[i % live.len()];
+                    assert!(arb.quarantine(t.id, *rounds));
+                }
+            }
+            Op::Round => {
+                arb.control_round(clock.now_ns());
+            }
+        }
+        // The budget invariant must hold after *every* op, not only at
+        // quiescence: admit and evict both rebalance before returning.
+        let total: i64 = live.iter().map(|t| arb.allocation(t.id).unwrap()).sum();
+        assert!(
+            total <= TOTAL,
+            "budget exceeded: {total} > {TOTAL} after {op:?}"
+        );
+        for t in &live {
+            let a = arb.allocation(t.id).unwrap();
+            assert!(
+                a >= t.min && a <= t.max,
+                "allocation {a} outside [{}, {}]",
+                t.min,
+                t.max
+            );
+        }
+    }
+    (clock, arb, live)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Property 1: Σ allocations ≤ machine and min ≤ alloc ≤ max after
+    /// every admit/evict/quarantine/round, for any interleaving.
+    #[test]
+    fn thread_budget_is_invariant_under_interleaving(
+        ops in proptest::collection::vec(op_strategy(), 1..40),
+    ) {
+        drive(&ops);
+    }
+
+    /// Property 2: with no floor or ceiling binding, the arbitration
+    /// kernel is weighted-proportional: every allocation is the floor
+    /// or ceiling of its ideal share and the budget is spent exactly.
+    #[test]
+    fn fair_share_is_proportional_to_weights(
+        weights in proptest::collection::vec(1u32..20, 1..8),
+    ) {
+        let cfg = ArbiterConfig::new(TOTAL);
+        let obs: Vec<TenantObs> = weights
+            .iter()
+            .map(|&w| TenantObs {
+                weight: w,
+                slo: SloClass::Batch,
+                min: 0,
+                max: TOTAL,
+                pressure: 0.0,
+                power_w: 0.0,
+                quarantined: false,
+            })
+            .collect();
+        let alloc = arbitrate(&cfg, &obs);
+        prop_assert_eq!(alloc.iter().sum::<i64>(), TOTAL);
+        let wsum: f64 = weights.iter().map(|&w| w as f64).sum();
+        for (a, &w) in alloc.iter().zip(&weights) {
+            let ideal = TOTAL as f64 * w as f64 / wsum;
+            prop_assert!(
+                (*a as f64 - ideal).abs() < 1.0,
+                "alloc {} not within rounding of ideal {:.3}",
+                a,
+                ideal
+            );
+        }
+    }
+
+    /// Property 3: after any schedule, replaying each live tenant's
+    /// journal (and the governor's) lands on the live registry values.
+    #[test]
+    fn journal_replay_reproduces_final_knob_state(
+        ops in proptest::collection::vec(op_strategy(), 1..40),
+    ) {
+        let (_clock, arb, live) = drive(&ops);
+        for t in &live {
+            for (knob, v) in replay_final_values(t.lg.knobs().journal()) {
+                prop_assert_eq!(
+                    t.lg.knobs().value(&knob),
+                    Some(v),
+                    "tenant journal diverged on '{}'",
+                    knob
+                );
+            }
+        }
+        // Governor journal: mirrors of evicted tenants are deregistered,
+        // so only still-registered knobs are checked.
+        for (knob, v) in replay_final_values(arb.lg().knobs().journal()) {
+            if let Some(liv) = arb.lg().knobs().value(&knob) {
+                prop_assert_eq!(liv, v, "governor journal diverged on '{}'", knob);
+            }
+        }
+    }
+}

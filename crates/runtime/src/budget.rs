@@ -1,0 +1,168 @@
+//! Live worker-count resizing: the thread-budget knob.
+//!
+//! [`crate::ThreadCap`] *throttles* — an excluded worker parks on a
+//! condvar, but its OS thread stays resident, so the capacity it gives up
+//! cannot be handed to a sibling pool. [`ThreadBudget`] *releases*: a
+//! worker whose index falls outside the budget drains its LIFO slot and
+//! local deque back into the injector, hands its deque to the pool's
+//! parking shelf, and lets its OS thread exit. Raising the budget
+//! re-spawns workers onto their shelved deques (the stealers stay valid
+//! throughout because the deque object itself is reused).
+//!
+//! This is what makes cross-tenant thread reallocation by the
+//! [`lg_core::Arbiter`] real: shrinking one tenant's budget returns
+//! actual OS threads to the machine, not just idle parked ones.
+//!
+//! The budget implements [`lg_core::Knob`] (name `"thread_budget"`), so
+//! an external owner — an arbiter, a policy, a tuning session — resizes
+//! the pool through the same journaled write path as every other
+//! actuation. A budget write is asynchronous on the shrink side (workers
+//! exit at their next scheduling decision; tasks are never interrupted
+//! mid-body) and synchronous-best-effort on the grow side (the setter
+//! re-spawns workers whose deques are already shelved and waits briefly
+//! for stragglers).
+
+use crate::pool::PoolShared;
+use lg_core::{Knob, KnobSpec};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Weak};
+
+/// Shared thread-budget state. Cloning shares the budget.
+#[derive(Clone)]
+pub struct ThreadBudget {
+    inner: Arc<BudgetInner>,
+}
+
+struct BudgetInner {
+    /// Desired resident worker count; workers with index ≥ target exit.
+    target: AtomicUsize,
+    max: usize,
+    /// Back-reference to the pool, set once at pool construction, so a
+    /// knob write can trigger release wakes and re-spawns.
+    shared: Mutex<Weak<PoolShared>>,
+    /// Budget changes so far (lets tests and reports observe sets).
+    generation: AtomicUsize,
+}
+
+impl ThreadBudget {
+    /// Creates a budget over `max` workers, initially fully resident.
+    ///
+    /// # Panics
+    /// Panics if `max` is zero.
+    pub fn new(max: usize) -> Self {
+        assert!(max > 0, "pool must have at least one worker");
+        Self {
+            inner: Arc::new(BudgetInner {
+                target: AtomicUsize::new(max),
+                max,
+                shared: Mutex::new(Weak::new()),
+                generation: AtomicUsize::new(0),
+            }),
+        }
+    }
+
+    /// Current target resident worker count.
+    pub fn target(&self) -> usize {
+        self.inner.target.load(Ordering::Acquire)
+    }
+
+    /// Maximum (pool size).
+    pub fn max(&self) -> usize {
+        self.inner.max
+    }
+
+    /// Budget changes so far.
+    pub fn generation(&self) -> usize {
+        self.inner.generation.load(Ordering::Acquire)
+    }
+
+    /// True if worker `index` may stay resident under the current budget.
+    #[inline]
+    pub fn allows(&self, index: usize) -> bool {
+        index < self.target()
+    }
+
+    /// Sets the target, clamped to `1..=max`, then wakes excess workers
+    /// so they release their threads and re-spawns any missing ones.
+    pub fn set_target(&self, target: usize) {
+        let clamped = target.clamp(1, self.inner.max);
+        self.inner.target.store(clamped, Ordering::Release);
+        self.inner.generation.fetch_add(1, Ordering::Release);
+        let shared = self.inner.shared.lock().upgrade();
+        if let Some(shared) = shared {
+            shared.apply_budget();
+        }
+    }
+
+    /// Wires the back-reference; called once by the pool constructor.
+    pub(crate) fn attach(&self, shared: &Arc<PoolShared>) {
+        *self.inner.shared.lock() = Arc::downgrade(shared);
+    }
+}
+
+impl Knob for ThreadBudget {
+    fn spec(&self) -> KnobSpec {
+        KnobSpec::new("thread_budget", 1, self.inner.max as i64)
+            .with_unit("workers")
+            .with_default(self.inner.max as i64)
+    }
+    fn get(&self) -> i64 {
+        self.target() as i64
+    }
+    fn set(&self, value: i64) {
+        self.set_target(value.max(1) as usize);
+    }
+}
+
+impl std::fmt::Debug for ThreadBudget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadBudget")
+            .field("target", &self.target())
+            .field("max", &self.max())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_fully_resident() {
+        let b = ThreadBudget::new(4);
+        assert_eq!(b.target(), 4);
+        assert!(b.allows(3));
+    }
+
+    #[test]
+    fn set_clamps_to_bounds() {
+        let b = ThreadBudget::new(4);
+        b.set_target(0);
+        assert_eq!(b.target(), 1, "budget must never reach zero");
+        b.set_target(100);
+        assert_eq!(b.target(), 4);
+    }
+
+    #[test]
+    fn knob_interface() {
+        let b = ThreadBudget::new(8);
+        let spec = b.spec();
+        assert_eq!(spec.name, "thread_budget");
+        assert_eq!(spec.min, 1);
+        assert_eq!(spec.max, 8);
+        assert_eq!(spec.default, 8);
+        b.set(3);
+        assert_eq!(b.get(), 3);
+    }
+
+    #[test]
+    fn clones_share_state_and_generation_tracks() {
+        let a = ThreadBudget::new(4);
+        let b = a.clone();
+        assert_eq!(a.generation(), 0);
+        a.set_target(2);
+        assert_eq!(b.target(), 2);
+        assert_eq!(b.generation(), 1);
+    }
+}

@@ -12,6 +12,10 @@
 //! * [`throttle`] — the **thread cap**: workers whose index is ≥ the cap
 //!   park at task boundaries and resume when the cap rises. This is the
 //!   concurrency-throttling actuator the energy experiments drive.
+//! * [`budget`] — the **thread budget**: unlike the cap, shrinking the
+//!   budget releases worker OS threads (their deques are shelved and
+//!   reused on re-spawn), so a machine-wide arbiter can actually move
+//!   thread capacity between tenant pools.
 //! * [`task`] — named tasks and [`task::JoinHandle`]s. Task bodies use
 //!   inline small-closure storage ([`task::INLINE_BODY_BYTES`]), so the
 //!   steady-state spawn/execute path performs **no heap allocation**.
@@ -38,6 +42,7 @@
 
 #![warn(missing_docs)]
 
+pub mod budget;
 pub mod fault;
 pub mod par_iter;
 pub mod pool;
@@ -45,6 +50,7 @@ pub mod scope;
 pub mod task;
 pub mod throttle;
 
+pub use budget::ThreadBudget;
 pub use fault::{FaultConfig, InjectedFault};
 pub use par_iter::ParallelForStats;
 pub use pool::{PoolConfig, ThreadPool};

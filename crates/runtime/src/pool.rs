@@ -32,6 +32,7 @@
 //! [`crate::task::TaskBody`] constructors, so they exercise the same
 //! inline/boxed representation as real tasks.
 
+use crate::budget::ThreadBudget;
 use crate::fault::{FaultConfig, FaultState, TaskFault};
 use crate::task::{join_pair, BodyKind, JoinHandle, Task, TaskBody};
 use crate::throttle::ThreadCap;
@@ -40,6 +41,7 @@ use lg_core::{Event, LookingGlass};
 use lg_metrics::{CounterHandle, CounterRegistry};
 use parking_lot::{Condvar, Mutex};
 use std::cell::{Cell, UnsafeCell};
+use std::collections::HashMap;
 use std::sync::atomic::{fence, AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -114,6 +116,17 @@ struct LifoSlot {
 // access.
 unsafe impl Sync for LifoSlot {}
 
+/// Residency bookkeeping for budget-released workers: the deque of a
+/// released worker is shelved here (still referenced by its stealer, so
+/// the object must survive) until a grow re-spawns a thread onto it.
+struct ParkedWorkers {
+    deques: HashMap<usize, Deque<Task>>,
+    /// `live[i]` — worker `i` has a resident OS thread. Flipped under the
+    /// `parked` lock by the releasing worker itself (the commit point of
+    /// a release) and by the re-spawner.
+    live: Vec<bool>,
+}
+
 pub(crate) struct PoolShared {
     pub(crate) id: usize,
     injector: Injector<Task>,
@@ -121,6 +134,14 @@ pub(crate) struct PoolShared {
     slots: Vec<LifoSlot>,
     lg: Arc<LookingGlass>,
     cap: ThreadCap,
+    budget: ThreadBudget,
+    spin_rounds: usize,
+    parked: Mutex<ParkedWorkers>,
+    parked_cv: Condvar,
+    /// Join handles, indexed by worker; re-spawns replace their slot (the
+    /// old thread has exited by then, so dropping its handle is a no-op
+    /// detach).
+    handles: Mutex<Vec<Option<std::thread::JoinHandle<()>>>>,
     shutdown: AtomicBool,
     /// Tasks submitted and not yet finished (for `wait_idle`).
     pending: AtomicUsize,
@@ -152,7 +173,6 @@ pub(crate) struct PoolShared {
 pub struct ThreadPool {
     shared: Arc<PoolShared>,
     counters: Arc<CounterRegistry>,
-    handles: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl ThreadPool {
@@ -171,8 +191,10 @@ impl ThreadPool {
             })
             .collect();
         let cap = ThreadCap::new(config.workers);
+        let budget = ThreadBudget::new(config.workers);
         if config.register_knobs {
             lg.knobs().register(Arc::new(cap.clone()));
+            lg.knobs().register(Arc::new(budget.clone()));
             // The pool's counters ride along in every introspection
             // snapshot the instance captures.
             lg.introspection().register_counters(counters.clone());
@@ -184,6 +206,14 @@ impl ThreadPool {
             slots,
             lg,
             cap,
+            budget: budget.clone(),
+            spin_rounds: config.spin_rounds,
+            parked: Mutex::new(ParkedWorkers {
+                deques: HashMap::new(),
+                live: vec![true; config.workers],
+            }),
+            parked_cv: Condvar::new(),
+            handles: Mutex::new((0..config.workers).map(|_| None).collect()),
             shutdown: AtomicBool::new(false),
             pending: AtomicUsize::new(0),
             idle_workers: AtomicUsize::new(0),
@@ -212,23 +242,21 @@ impl ThreadPool {
             c_injected_panics: counters.counter("rt.injected_panics"),
             c_injected_stragglers: counters.counter("rt.injected_stragglers"),
         });
-        let handles = deques
-            .into_iter()
-            .enumerate()
-            .map(|(index, deque)| {
+        budget.attach(&shared);
+        {
+            let mut handles = shared.handles.lock();
+            for (index, deque) in deques.into_iter().enumerate() {
                 let shared = shared.clone();
                 let spin_rounds = config.spin_rounds;
-                std::thread::Builder::new()
-                    .name(format!("lg-worker-{index}"))
-                    .spawn(move || worker_loop(shared, deque, index, spin_rounds))
-                    .expect("failed to spawn worker")
-            })
-            .collect();
-        Self {
-            shared,
-            counters,
-            handles,
+                handles[index] = Some(
+                    std::thread::Builder::new()
+                        .name(format!("lg-worker-{index}"))
+                        .spawn(move || worker_loop(shared, deque, index, spin_rounds))
+                        .expect("failed to spawn worker"),
+                );
+            }
         }
+        Self { shared, counters }
     }
 
     /// The observation instance this pool reports to.
@@ -239,6 +267,26 @@ impl ThreadPool {
     /// The pool's thread-cap (also registered as knob `"thread_cap"`).
     pub fn thread_cap(&self) -> ThreadCap {
         self.shared.cap.clone()
+    }
+
+    /// The pool's thread-budget (also registered as knob
+    /// `"thread_budget"`). Unlike the cap, shrinking the budget actually
+    /// releases worker OS threads; growing re-spawns them.
+    pub fn thread_budget(&self) -> ThreadBudget {
+        self.shared.budget.clone()
+    }
+
+    /// Worker indices with a resident OS thread right now. Shrinking the
+    /// budget drops this (workers exit at their next scheduling
+    /// decision); growing it restores it.
+    pub fn resident_workers(&self) -> usize {
+        self.shared
+            .parked
+            .lock()
+            .live
+            .iter()
+            .filter(|l| **l)
+            .count()
     }
 
     /// Scheduling counters (`rt.spawned`, `rt.executed`, `rt.steals`,
@@ -537,6 +585,49 @@ impl PoolShared {
         }
     }
 
+    /// Reacts to a thread-budget write: wakes every parked or throttled
+    /// worker so over-budget ones release promptly, then re-spawns
+    /// workers whose indices came back inside the budget onto their
+    /// shelved deques. Waits (bounded) for an outgoing worker that has
+    /// committed to release but not yet shelved its deque.
+    pub(crate) fn apply_budget(self: &Arc<Self>) {
+        self.cap.wake_all();
+        {
+            let _g = self.idle_lock.lock();
+            self.idle_cv.notify_all();
+        }
+        let n = self.stealers.len();
+        for index in 0..n {
+            loop {
+                if self.shutdown.load(Ordering::Acquire) || !self.budget.allows(index) {
+                    break;
+                }
+                let mut parked = self.parked.lock();
+                if parked.live[index] {
+                    break;
+                }
+                if let Some(deque) = parked.deques.remove(&index) {
+                    parked.live[index] = true;
+                    drop(parked);
+                    let shared = self.clone();
+                    let spin_rounds = self.spin_rounds;
+                    let h = std::thread::Builder::new()
+                        .name(format!("lg-worker-{index}"))
+                        .spawn(move || worker_loop(shared, deque, index, spin_rounds))
+                        .expect("failed to respawn worker");
+                    // The old thread exited when it shelved this deque;
+                    // dropping its handle just detaches it.
+                    self.handles.lock()[index] = Some(h);
+                    break;
+                }
+                // Release committed but the deque is not shelved yet:
+                // wait for the outgoing worker (bounded, re-checked).
+                self.parked_cv
+                    .wait_for(&mut parked, std::time::Duration::from_millis(50));
+            }
+        }
+    }
+
     /// True if the calling thread is one of this pool's workers.
     pub(crate) fn is_current_worker(&self) -> bool {
         CURRENT_WORKER.with(|cw| matches!(cw.get(), Some((pool_id, ..)) if pool_id == self.id))
@@ -579,9 +670,27 @@ fn worker_loop(shared: Arc<PoolShared>, local: Deque<Task>, index: usize, spin_r
     });
     let mut online = true;
     let mut park_timeout = PARK_MIN;
+    let mut released = false;
     loop {
         if shared.shutdown.load(Ordering::Acquire) {
             break;
+        }
+        // Budget: a worker outside the budget gives its OS thread back.
+        // The flip of `live` under the parked lock is the commit point —
+        // a concurrent grow either sees `live == true` (we stay, because
+        // we re-check the budget under the same lock) or waits for the
+        // deque we shelve on the way out.
+        if !shared.budget.allows(index) {
+            let mut parked = shared.parked.lock();
+            if !shared.budget.allows(index) {
+                parked.live[index] = false;
+                released = true;
+            }
+            drop(parked);
+            if released {
+                break;
+            }
+            continue;
         }
         // Throttling: park if the cap excludes this worker. Drain the LIFO
         // slot first — a throttled worker must never sit on a task.
@@ -594,11 +703,12 @@ fn worker_loop(shared: Arc<PoolShared>, local: Deque<Task>, index: usize, spin_r
                 });
                 online = false;
             }
-            let allowed = shared
-                .cap
-                .wait_until_allowed(index, || shared.shutdown.load(Ordering::Acquire));
+            let allowed = shared.cap.wait_until_allowed(index, || {
+                shared.shutdown.load(Ordering::Acquire) || !shared.budget.allows(index)
+            });
             if !allowed {
-                break;
+                // Shutdown or budget release: the loop head decides which.
+                continue;
             }
             continue;
         }
@@ -642,8 +752,9 @@ fn worker_loop(shared: Arc<PoolShared>, local: Deque<Task>, index: usize, spin_r
         }
         shared.idle_workers.fetch_sub(1, Ordering::SeqCst);
     }
-    // Shutdown: anything still in the slot is dropped with the pool's
-    // other pending tasks (drop guards resolve joins).
+    // Exit (shutdown or budget release). On shutdown, anything still in
+    // the slot is dropped with the pool's other pending tasks (drop
+    // guards resolve joins); on release it re-enters the injector below.
     shared.drain_slot(index);
     if online {
         shared.lg.emit(&Event::WorkerStop {
@@ -651,7 +762,23 @@ fn worker_loop(shared: Arc<PoolShared>, local: Deque<Task>, index: usize, spin_r
             t_ns: shared.lg.now_ns(),
         });
     }
+    // Cleared before the deque moves: it holds a raw pointer to `local`.
     CURRENT_WORKER.with(|cw| cw.set(None));
+    if released {
+        // Hand queued work back to siblings, then shelve the deque (its
+        // stealer stays valid — the object is reused on re-spawn).
+        let mut n = 0;
+        while let Some(t) = local.pop() {
+            shared.injector.push(t);
+            n += 1;
+        }
+        if n > 0 {
+            shared.wake_workers(n);
+        }
+        let mut parked = shared.parked.lock();
+        parked.deques.insert(index, local);
+        shared.parked_cv.notify_all();
+    }
 }
 
 fn run_task(shared: &Arc<PoolShared>, task: Task, index: usize) {
@@ -694,7 +821,18 @@ impl Drop for ThreadPool {
             let _g = self.shared.idle_lock.lock();
             self.shared.idle_cv.notify_all();
         }
-        for h in self.handles.drain(..) {
+        {
+            let _g = self.shared.parked.lock();
+            self.shared.parked_cv.notify_all();
+        }
+        let handles: Vec<_> = self
+            .shared
+            .handles
+            .lock()
+            .iter_mut()
+            .map(Option::take)
+            .collect();
+        for h in handles.into_iter().flatten() {
             let _ = h.join();
         }
     }
@@ -968,6 +1106,72 @@ mod tests {
         }
         p.wait_idle();
         assert_eq!(count.load(Ordering::Relaxed), 500);
+    }
+
+    /// Spin until `resident_workers()` reaches `want` (bounded).
+    fn wait_resident(p: &ThreadPool, want: usize) {
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while p.resident_workers() != want && std::time::Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        assert_eq!(
+            p.resident_workers(),
+            want,
+            "resident worker count did not converge"
+        );
+    }
+
+    #[test]
+    fn budget_shrink_releases_os_threads_and_grow_respawns() {
+        let p = pool(4);
+        assert_eq!(p.resident_workers(), 4);
+        // Shrink through the knob path — the same write an arbiter makes.
+        p.lg().knobs().set("thread_budget", 1);
+        wait_resident(&p, 1);
+        // The shrunken pool still completes work.
+        let count = Arc::new(AtomicU64::new(0));
+        for _ in 0..100 {
+            let c = count.clone();
+            p.spawn_named("t", move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        p.wait_idle();
+        assert_eq!(count.load(Ordering::Relaxed), 100);
+        // Grow back: threads re-spawn onto their shelved deques.
+        p.thread_budget().set_target(4);
+        wait_resident(&p, 4);
+        let h = p.spawn("after", || 7);
+        assert_eq!(h.join().unwrap(), 7);
+    }
+
+    #[test]
+    fn budget_changes_mid_stream_lose_nothing() {
+        let p = pool(4);
+        let count = Arc::new(AtomicU64::new(0));
+        for burst in 0..10 {
+            p.thread_budget().set_target(1 + (burst % 4));
+            for _ in 0..50 {
+                let c = count.clone();
+                p.spawn_named("t", move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        }
+        p.wait_idle();
+        assert_eq!(count.load(Ordering::Relaxed), 500);
+        p.thread_budget().set_target(4);
+        wait_resident(&p, 4);
+    }
+
+    #[test]
+    fn drop_joins_workers_while_budget_shrunk() {
+        let p = pool(3);
+        p.thread_budget().set_target(1);
+        wait_resident(&p, 1);
+        p.spawn_named("x", || {});
+        p.wait_idle();
+        drop(p); // must not hang with two workers released
     }
 
     #[test]

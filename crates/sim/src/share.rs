@@ -1,0 +1,140 @@
+//! Machine-share model: carving one machine into per-tenant slices.
+//!
+//! An arbiter that moves thread capacity between tenants needs the
+//! simulated machine to follow: a tenant granted `k` of the machine's
+//! `N` cores should also get `k/N` of the shared memory bandwidth and
+//! carry `k/N` of the package idle power, so that per-tenant energy and
+//! roofline behaviour stay physical under repartitioning. A
+//! [`MachineShares`] does exactly that bookkeeping: [`MachineShares::sub_spec`]
+//! produces the [`MachineSpec`] of a `k`-core slice, and
+//! [`MachineShares::split`] carves a full partition at once.
+//!
+//! Conservation properties (tested below): summing the slices of any
+//! partition recovers the whole machine's cores, bandwidth, and idle
+//! power to within rounding, and per-core dynamic power is unchanged —
+//! a slice is a smaller machine, not a different one.
+
+use crate::machine::MachineSpec;
+use lg_metrics::PowerModel;
+
+/// Carves per-tenant [`MachineSpec`] slices out of one host machine.
+#[derive(Clone, Copy, Debug)]
+pub struct MachineShares {
+    host: MachineSpec,
+}
+
+impl MachineShares {
+    /// Wraps a host machine for slicing.
+    ///
+    /// # Panics
+    /// Panics if the spec fails [`MachineSpec::validate`].
+    pub fn new(host: MachineSpec) -> Self {
+        host.validate();
+        Self { host }
+    }
+
+    /// The whole machine.
+    pub fn host(&self) -> &MachineSpec {
+        &self.host
+    }
+
+    /// The spec of a slice holding `threads` of the host's cores:
+    /// bandwidth and idle power scale with the core fraction; per-core
+    /// compute rate, dynamic power, scheduling overhead, and the stall
+    /// floor are per-core properties and carry over unchanged.
+    ///
+    /// # Panics
+    /// Panics if `threads` is zero or exceeds the host's core count.
+    pub fn sub_spec(&self, threads: usize) -> MachineSpec {
+        assert!(threads > 0, "a machine share needs at least one core");
+        assert!(
+            threads <= self.host.cores,
+            "share of {threads} cores exceeds host's {}",
+            self.host.cores
+        );
+        let frac = threads as f64 / self.host.cores as f64;
+        MachineSpec {
+            cores: threads,
+            core_flops: self.host.core_flops,
+            mem_bw: self.host.mem_bw * frac,
+            power: PowerModel::new(self.host.power.p_idle * frac, self.host.power.p_core),
+            sched_overhead_ns: self.host.sched_overhead_ns,
+            stall_intensity: self.host.stall_intensity,
+        }
+    }
+
+    /// Carves one slice per entry of `threads`.
+    ///
+    /// # Panics
+    /// Panics if any entry is zero or the entries sum past the host's
+    /// core count (a partition must not oversubscribe the machine).
+    pub fn split(&self, threads: &[usize]) -> Vec<MachineSpec> {
+        let total: usize = threads.iter().sum();
+        assert!(
+            total <= self.host.cores,
+            "partition of {total} cores oversubscribes host's {}",
+            self.host.cores
+        );
+        threads.iter().map(|&t| self.sub_spec(t)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sub_spec_scales_bandwidth_and_idle_power() {
+        let shares = MachineShares::new(MachineSpec::server32());
+        let half = shares.sub_spec(16);
+        assert_eq!(half.cores, 16);
+        assert!((half.mem_bw - 12e9).abs() < 1.0);
+        let host = shares.host();
+        assert!((half.power.p_idle - host.power.p_idle / 2.0).abs() < 1e-9);
+        assert_eq!(half.power.p_core, host.power.p_core);
+        assert_eq!(half.core_flops, host.core_flops);
+        half.validate();
+    }
+
+    #[test]
+    fn split_conserves_cores_bandwidth_and_idle_power() {
+        let shares = MachineShares::new(MachineSpec::server32());
+        let host = *shares.host();
+        for partition in [vec![8, 24], vec![16, 16], vec![1, 1, 30], vec![32]] {
+            let slices = shares.split(&partition);
+            let cores: usize = slices.iter().map(|s| s.cores).sum();
+            let bw: f64 = slices.iter().map(|s| s.mem_bw).sum();
+            let idle: f64 = slices.iter().map(|s| s.power.p_idle).sum();
+            assert_eq!(cores, 32);
+            assert!((bw - host.mem_bw).abs() < 1e-3, "partition {partition:?}");
+            assert!((idle - host.power.p_idle).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sub_partitions_allowed() {
+        // A partition may leave cores idle (quarantined tenant at floor).
+        let shares = MachineShares::new(MachineSpec::server32());
+        let slices = shares.split(&[4, 8]);
+        assert_eq!(slices.len(), 2);
+        assert_eq!(slices[0].cores + slices[1].cores, 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "oversubscribes")]
+    fn oversubscription_rejected() {
+        let shares = MachineShares::new(MachineSpec::server32());
+        shares.split(&[20, 20]);
+    }
+
+    #[test]
+    fn bandwidth_knee_moves_with_the_slice() {
+        // A 4-bytes/op workload's knee sits at 6 cores on the full server;
+        // a half-machine slice halves the knee too — the slice behaves
+        // like a proportionally smaller machine.
+        let shares = MachineShares::new(MachineSpec::server32());
+        let full_knee = shares.host().bandwidth_knee(4.0);
+        let half_knee = shares.sub_spec(16).bandwidth_knee(4.0);
+        assert!((half_knee - full_knee / 2.0).abs() < 1e-9);
+    }
+}

@@ -139,6 +139,10 @@ pub struct SimRuntime {
     power_gauge: Arc<AtomicU64>,
     tasks_done: u64,
     ops_done: f64,
+    /// Ops advanced on *any* running task, completed or not — the
+    /// continuous progress signal (`ops_done` is quantized to whole-task
+    /// completions, useless inside a round shorter than a task).
+    ops_progressed: f64,
 }
 
 impl SimRuntime {
@@ -201,6 +205,7 @@ impl SimRuntime {
             power_gauge,
             tasks_done: 0,
             ops_done: 0.0,
+            ops_progressed: 0.0,
         }
     }
 
@@ -269,6 +274,14 @@ impl SimRuntime {
     /// Total energy integrated since construction (J).
     pub fn total_energy_j(&self) -> f64 {
         self.meter.energy_j()
+    }
+
+    /// Total ops advanced since construction, counting partial progress
+    /// on in-flight tasks — continuous where task completions are
+    /// quantized, so suitable for per-round throughput/efficiency
+    /// signals.
+    pub fn total_ops_progressed(&self) -> f64 {
+        self.ops_progressed
     }
 
     /// Total tasks completed since construction.
@@ -350,6 +363,59 @@ impl SimRuntime {
         self.power_gauge.store(watts.to_bits(), Ordering::Relaxed);
     }
 
+    /// One DES step over the running set: sample power, advance by the
+    /// earliest phase completion (capped at `max_dt_ns`), progress every
+    /// running task, collect completions. Returns false when nothing is
+    /// running.
+    fn step_running(&mut self, max_dt_ns: u64) -> bool {
+        if self.running.is_empty() {
+            return false;
+        }
+        let rates = self.current_rates();
+        self.sample_power(&rates);
+        // Time until the first phase completion.
+        let mut dt_s = f64::INFINITY;
+        for (r, &rate) in self.running.iter().zip(&rates) {
+            if rate > 0.0 {
+                dt_s = dt_s.min(r.remaining_ops / rate);
+            }
+        }
+        assert!(dt_s.is_finite(), "no task can make progress");
+        let dt_ns = ((dt_s * 1e9).ceil().max(1.0) as u64).min(max_dt_ns.max(1));
+        self.clock.advance_by(dt_ns);
+        let now = self.clock.now_ns();
+        let actual_dt_s = dt_ns as f64 * 1e-9;
+        // Progress every running task; collect completions.
+        let mut still_running = Vec::with_capacity(self.running.len());
+        for (mut r, rate) in self.running.drain(..).zip(rates.iter()) {
+            self.ops_progressed += (rate * actual_dt_s).min(r.remaining_ops.max(0.0));
+            r.remaining_ops -= rate * actual_dt_s;
+            if r.remaining_ops <= 1e-6 {
+                match r.phase {
+                    Phase::Overhead => {
+                        r.phase = Phase::Body;
+                        r.remaining_ops = r.body_ops;
+                        still_running.push(r);
+                    }
+                    Phase::Body => {
+                        self.lg.emit(&Event::TaskEnd {
+                            task: r.id,
+                            worker: r.worker,
+                            t_ns: now,
+                            elapsed_ns: now.saturating_sub(r.started_ns),
+                        });
+                        self.tasks_done += 1;
+                        self.ops_done += r.body_ops;
+                    }
+                }
+            } else {
+                still_running.push(r);
+            }
+        }
+        self.running = still_running;
+        true
+    }
+
     /// Runs until both the queue and the running set are empty. Returns a
     /// report covering exactly this call.
     pub fn run_until_idle(&mut self) -> SimRunReport {
@@ -359,50 +425,9 @@ impl SimRuntime {
         let ops0 = self.ops_done;
         loop {
             self.fill_slots();
-            if self.running.is_empty() {
+            if !self.step_running(u64::MAX) {
                 break;
             }
-            let rates = self.current_rates();
-            self.sample_power(&rates);
-            // Time until the first phase completion.
-            let mut dt_s = f64::INFINITY;
-            for (r, &rate) in self.running.iter().zip(&rates) {
-                if rate > 0.0 {
-                    dt_s = dt_s.min(r.remaining_ops / rate);
-                }
-            }
-            assert!(dt_s.is_finite(), "no task can make progress");
-            let dt_ns = (dt_s * 1e9).ceil().max(1.0) as u64;
-            self.clock.advance_by(dt_ns);
-            let now = self.clock.now_ns();
-            let actual_dt_s = dt_ns as f64 * 1e-9;
-            // Progress every running task; collect completions.
-            let mut still_running = Vec::with_capacity(self.running.len());
-            for (mut r, rate) in self.running.drain(..).zip(rates.iter()) {
-                r.remaining_ops -= rate * actual_dt_s;
-                if r.remaining_ops <= 1e-6 {
-                    match r.phase {
-                        Phase::Overhead => {
-                            r.phase = Phase::Body;
-                            r.remaining_ops = r.body_ops;
-                            still_running.push(r);
-                        }
-                        Phase::Body => {
-                            self.lg.emit(&Event::TaskEnd {
-                                task: r.id,
-                                worker: r.worker,
-                                t_ns: now,
-                                elapsed_ns: now.saturating_sub(r.started_ns),
-                            });
-                            self.tasks_done += 1;
-                            self.ops_done += r.body_ops;
-                        }
-                    }
-                } else {
-                    still_running.push(r);
-                }
-            }
-            self.running = still_running;
         }
         // Close the power integral at idle.
         let idle_rates: Vec<f64> = Vec::new();
@@ -413,6 +438,50 @@ impl SimRuntime {
             tasks: self.tasks_done - tasks0,
             ops: self.ops_done - ops0,
         }
+    }
+
+    /// Runs until virtual time `t_end_ns`, leaving unfinished work in
+    /// place: queued tasks stay queued and running tasks keep their
+    /// progress, resuming on the next call. The clock lands exactly on
+    /// `t_end_ns` (idling through any work-free tail), which is what lets
+    /// a tenant's machine advance in lockstep with an external
+    /// authoritative clock instead of running ahead through its backlog.
+    /// Returns a report covering exactly this call. A no-op if the clock
+    /// is already at or past `t_end_ns`.
+    pub fn run_until(&mut self, t_end_ns: u64) -> SimRunReport {
+        let t0 = self.clock.now_ns();
+        let e0 = self.meter.energy_j();
+        let tasks0 = self.tasks_done;
+        let ops0 = self.ops_done;
+        while self.clock.now_ns() < t_end_ns {
+            self.fill_slots();
+            let budget_ns = t_end_ns - self.clock.now_ns();
+            if !self.step_running(budget_ns) {
+                // No runnable work: close the integral at this instant
+                // (the meter credits the *previous* power over each span,
+                // and the last sample was taken before the final task
+                // drained), then idle to the boundary.
+                let idle_rates: Vec<f64> = Vec::new();
+                self.sample_power(&idle_rates);
+                self.clock.advance_by(budget_ns);
+                self.sample_power(&idle_rates);
+            }
+        }
+        // Close the power integral at the boundary state.
+        let rates = self.current_rates();
+        self.sample_power(&rates);
+        SimRunReport {
+            elapsed_ns: self.clock.now_ns() - t0,
+            energy_j: self.meter.energy_j() - e0,
+            tasks: self.tasks_done - tasks0,
+            ops: self.ops_done - ops0,
+        }
+    }
+
+    /// Tasks queued but not yet started plus tasks in progress — the
+    /// tenant-side backlog signal.
+    pub fn backlog(&self) -> usize {
+        self.queue.len() + self.running.len()
     }
 
     /// Advances virtual time by `dt_ns` with the machine idle (between
@@ -703,5 +772,71 @@ mod tests {
         let sim = SimRuntime::new(machine(8, 1e9, 1e9));
         let space = sim.lg().knobs().space_for(&["thread_cap"]);
         assert_eq!(space.dims()[0].all_values(), &[1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn run_until_lands_exactly_on_boundary() {
+        let mut sim = SimRuntime::new(machine(4, 1e9, 1e12));
+        // 1 ms of work, stepped to a 0.3 ms boundary: clock must stop
+        // exactly there with the task still in flight.
+        sim.submit(SimTask::new("t", 1e6, 0.0));
+        let r = sim.run_until(300_000);
+        assert_eq!(sim.clock().now_ns(), 300_000);
+        assert_eq!(r.elapsed_ns, 300_000);
+        assert_eq!(r.tasks, 0);
+        assert_eq!(sim.backlog(), 1);
+        // Idle boundary: no work at all still advances the clock.
+        let mut idle = SimRuntime::new(machine(4, 1e9, 1e12));
+        idle.run_until(500_000);
+        assert_eq!(idle.clock().now_ns(), 500_000);
+    }
+
+    #[test]
+    fn run_until_conserves_work_and_energy_vs_one_shot() {
+        let make = || {
+            let mut sim = SimRuntime::new(machine(4, 1e9, 1e12));
+            sim.submit_all((0..16).map(|_| SimTask::new("t", 1e6, 0.0)));
+            sim
+        };
+        let mut whole = make();
+        let r_whole = whole.run_until_idle();
+        let mut stepped = make();
+        let mut tasks = 0;
+        // Step in uneven slices past the one-shot's finish time.
+        for t in [100_000u64, 1_000_000, 1_234_567, 9_000_000] {
+            tasks += stepped.run_until(t).tasks;
+        }
+        assert_eq!(tasks, r_whole.tasks);
+        assert_eq!(stepped.backlog(), 0);
+        // Same work completed at the same times: energy up to the one-shot
+        // finish matches; the stepped run then idles to 9 ms, adding only
+        // idle power (10 W) for the remainder.
+        let idle_tail_j = (9_000_000 - r_whole.elapsed_ns) as f64 * 1e-9 * 10.0;
+        let total = stepped.total_energy_j();
+        assert!(
+            (total - (r_whole.energy_j + idle_tail_j)).abs() < 1e-6,
+            "stepped {total} vs one-shot {} + idle tail {idle_tail_j}",
+            r_whole.energy_j
+        );
+    }
+
+    #[test]
+    fn run_until_honors_cap_changes_between_slices() {
+        // 8 cores, cap dropped to 2 half-way. Running tasks are never
+        // preempted, but everything still queued must trickle out 2-wide.
+        let mut sim = SimRuntime::new(machine(8, 1e9, 1e15));
+        sim.submit_all((0..16).map(|_| SimTask::new("t", 1e7, 0.0)));
+        // First wave of 8 × 10 ms tasks is in flight; 8 more are queued.
+        sim.run_until(5_000_000);
+        sim.set_cap(2);
+        let r = sim.run_until_idle();
+        // First wave finishes at 10 ms (5 ms into the tail); the queued 8
+        // then run 2 at a time: 4 rounds × 10 ms = 40 ms. Tail = 45 ms.
+        assert!(
+            (r.elapsed_ns as f64 - 45e6).abs() < 1e4,
+            "tail took {} ns",
+            r.elapsed_ns
+        );
+        assert_eq!(sim.total_tasks(), 16);
     }
 }

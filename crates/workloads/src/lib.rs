@@ -19,6 +19,7 @@
 //! | phase alternator | [`phased`] | alternates memory/compute phases |
 //! | parcel storm | [`parcel_storm`] | offered-load generator for lg-net |
 //! | serving scenario | [`serve`] | open-loop arrivals, admission control, saturation |
+//! | two-tenant colocation | [`tenants`] | serve + batch tenants under one arbiter |
 
 #![warn(missing_docs)]
 
@@ -29,6 +30,7 @@ pub mod phased;
 pub mod serve;
 pub mod stencil1d;
 pub mod stencil2d;
+pub mod tenants;
 pub mod uts;
 
 pub use compute::ComputeKernel;
@@ -37,3 +39,4 @@ pub use phased::PhasedWorkload;
 pub use serve::{ArrivalGen, ArrivalPattern, ServeConfig, ServeEngine, ServeReport};
 pub use stencil1d::Stencil1d;
 pub use stencil2d::Stencil2d;
+pub use tenants::{BatchTenant, ServeTenant};

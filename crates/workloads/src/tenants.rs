@@ -1,0 +1,416 @@
+//! Two-tenant colocation scenario: a latency-SLO serving tenant and a
+//! throughput-oriented batch tenant sharing one machine under an
+//! `lg_core::Arbiter`.
+//!
+//! The pieces here are the *tenant-side* halves of the multi-tenancy
+//! evaluation (fig 10): each wraps a full looking-glass instance and
+//! publishes exactly the signals the machine-wide governor arbitrates
+//! over.
+//!
+//! * [`ServeTenant`] — the open-loop serving pipeline from
+//!   [`crate::serve`], with the **bulkhead limit as its thread knob**:
+//!   one concurrency slot stands in for one worker thread, so the
+//!   arbiter moving "threads" between tenants moves real admission
+//!   capacity. Pressure signal: the end-to-end window p99 against the
+//!   deadline budget.
+//! * [`BatchTenant`] — a job stream on a simulated machine slice
+//!   ([`lg_sim::MachineShares`]), stepped in lockstep with the
+//!   authoritative clock via [`lg_sim::SimRuntime::run_until`]. It
+//!   publishes `batch.power_w` (mean package watts over the last step)
+//!   for the governor's power envelope and `batch.backlog` for its own
+//!   local policies.
+//! * [`BatchTenant::install_greedy`] — a deliberately selfish
+//!   tenant-local policy that doubles the batch thread cap whenever
+//!   backlog builds. During a memory-storm phase the extra threads add
+//!   power but no throughput; the tenant's own regression watchdog
+//!   ([`BatchTenant::install_watchdog`], rate = jobs per joule) rolls
+//!   the grab back, and the rollback record is what the arbiter's
+//!   noisy-neighbor quarantine keys on.
+
+use lg_core::{
+    AdmissionGate, Brownout, BrownoutPolicy, Bulkhead, FnPolicy, Knob, LookingGlass,
+    PolicyDecision, RegressionWatchdog, VirtualClock,
+};
+use lg_metrics::CounterRegistry;
+use lg_net::{ReliableConfig, ReliableLink, TransportCost};
+use lg_sim::{MachineSpec, SimRunReport, SimRuntime, SimTask};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::serve::{ServeConfig, ServeEngine, ServeReport};
+
+/// A latency-class tenant: the serving pipeline with its bulkhead limit
+/// exposed as the arbitrated thread knob (`serve.bulkhead_limit`).
+pub struct ServeTenant {
+    lg: Arc<LookingGlass>,
+    counters: Arc<CounterRegistry>,
+    engine: ServeEngine,
+    control_period_ns: u64,
+}
+
+impl ServeTenant {
+    /// Builds the tenant on the shared authoritative `clock`. `knee` is
+    /// both the service-stage contention knee and the bulkhead ceiling —
+    /// the most threads the arbiter could ever grant. The wire is clean;
+    /// in this scenario the noise comes from the sibling tenant, not the
+    /// network.
+    pub fn new(clock: Arc<VirtualClock>, knee: usize, seed: u64) -> Self {
+        let lg = LookingGlass::builder().clock(clock).build();
+        let counters = Arc::new(CounterRegistry::new());
+        lg.introspection().register_counters(counters.clone());
+
+        let bulkhead = Bulkhead::new("serve.bulkhead_limit", 1, knee as i64, knee as i64);
+        let gate = AdmissionGate::new("serve.admit_rate", 100, 1_000_000, 1_000_000, 64.0, 8.0);
+        let brownout = Brownout::new("serve.shed_level");
+        let link = ReliableLink::new(TransportCost::cluster(), ReliableConfig::default(), seed);
+
+        lg.knobs().register(bulkhead.limit_knob().clone());
+        lg.knobs().register(gate.rate_knob().clone());
+        lg.knobs().register(brownout.level_knob().clone());
+        lg.knobs().register(link.retry_budget_knob().clone());
+
+        let config = ServeConfig {
+            knee,
+            ..ServeConfig::default()
+        };
+        let control_period_ns = config.control_period_ns;
+        let mut engine = ServeEngine::new(link, config, bulkhead, gate, brownout);
+        engine.bind_introspection(lg.introspection());
+        engine.bind_metrics(&counters);
+        Self {
+            lg,
+            counters,
+            engine,
+            control_period_ns,
+        }
+    }
+
+    /// The tenant's looking-glass instance (what gets admitted to the
+    /// arbiter).
+    pub fn lg(&self) -> &Arc<LookingGlass> {
+        &self.lg
+    }
+
+    /// The tenant's counter registry.
+    pub fn counters(&self) -> &Arc<CounterRegistry> {
+        &self.counters
+    }
+
+    /// The engine's control-round period, ns.
+    pub fn control_period_ns(&self) -> u64 {
+        self.control_period_ns
+    }
+
+    /// Installs the tenant-local brownout: sheds optional work when the
+    /// end-to-end window p99 crosses `shed_above_ns`, recovers below
+    /// half that. The *thread* side of adaptation belongs to the
+    /// arbiter; shedding stays with the tenant because only it knows
+    /// which requests are optional.
+    pub fn install_brownout(&self, shed_above_ns: f64) {
+        let e2e = self
+            .lg
+            .introspection()
+            .metric_id("serve.p99_window_ns")
+            .expect("serve gauges bound");
+        self.lg.policy_engine().register_periodic(
+            BrownoutPolicy::new("serve.shed_level", e2e, shed_above_ns, shed_above_ns / 2.0)
+                .with_max_level(4),
+            self.control_period_ns,
+            0,
+        );
+    }
+
+    /// Runs the arrival stream to completion (see
+    /// [`ServeEngine::run`]), invoking `on_round` each control round.
+    pub fn run(
+        &mut self,
+        arrivals: &[crate::serve::Request],
+        on_round: impl FnMut(u64),
+    ) -> ServeReport {
+        self.engine.run(arrivals, on_round)
+    }
+
+    /// The engine (for gauges and reports).
+    pub fn engine(&self) -> &ServeEngine {
+        &self.engine
+    }
+}
+
+/// A batch-class tenant: a deterministic job stream on a simulated
+/// machine slice, stepped in lockstep with the authoritative clock.
+pub struct BatchTenant {
+    rt: SimRuntime,
+    jobs_per_sec: f64,
+    job_ops: f64,
+    horizon_ns: u64,
+    storm: Option<(u64, u64)>,
+    calm_bpo: f64,
+    storm_bpo: f64,
+    next_job: u64,
+    jobs_done: Arc<AtomicU64>,
+    /// f64 bits: total ops progressed (partial progress included). Ops
+    /// are continuous where job completions are quantized (a storm job
+    /// outlives many rounds), so the watchdog's efficiency signal diffs
+    /// ops, not jobs.
+    ops_done: Arc<AtomicU64>,
+    good_jobs: u64,
+    power_w: Arc<AtomicU64>,
+    backlog: Arc<AtomicU64>,
+}
+
+impl BatchTenant {
+    /// Builds the tenant on its own machine slice. `spec` should come
+    /// from [`lg_sim::MachineShares::sub_spec`] of the colocated host;
+    /// jobs are sized to 1 ms of one core's compute. Arrivals are
+    /// deterministic (job `k` due at `k / jobs_per_sec`) and stop at
+    /// `horizon_ns`.
+    ///
+    /// The slice runs on its **own** virtual clock, advanced to the
+    /// authoritative time by each [`BatchTenant::step`] — the governor
+    /// owns the cadence, the tenant only ever catches up to it.
+    pub fn new(spec: MachineSpec, jobs_per_sec: f64, horizon_ns: u64) -> Self {
+        assert!(jobs_per_sec > 0.0, "batch tenant needs a job rate");
+        let job_ops = spec.core_flops * 1e-3;
+        let rt = SimRuntime::new(spec);
+        let power_w = Arc::new(AtomicU64::new(0f64.to_bits()));
+        let pw = power_w.clone();
+        rt.lg()
+            .introspection()
+            .register_gauge("batch.power_w", move || {
+                f64::from_bits(pw.load(Ordering::Relaxed))
+            });
+        let backlog = Arc::new(AtomicU64::new(0));
+        let bl = backlog.clone();
+        rt.lg()
+            .introspection()
+            .register_gauge("batch.backlog", move || bl.load(Ordering::Relaxed) as f64);
+        Self {
+            rt,
+            jobs_per_sec,
+            job_ops,
+            horizon_ns,
+            storm: None,
+            calm_bpo: 0.25,
+            storm_bpo: 100.0,
+            next_job: 0,
+            jobs_done: Arc::new(AtomicU64::new(0)),
+            ops_done: Arc::new(AtomicU64::new(0f64.to_bits())),
+            good_jobs: 0,
+            power_w,
+            backlog,
+        }
+    }
+
+    /// Declares a memory-storm window `[start_ns, end_ns)`: jobs
+    /// arriving inside it are bandwidth bombs (100 bytes/op — far past
+    /// any slice's roofline knee), outside it they are compute-bound
+    /// (0.25 bytes/op). During the storm, extra threads add power but
+    /// no throughput — the noisy-neighbor signature.
+    pub fn with_storm(mut self, start_ns: u64, end_ns: u64) -> Self {
+        assert!(start_ns < end_ns, "storm window must be non-empty");
+        self.storm = Some((start_ns, end_ns));
+        self
+    }
+
+    /// The tenant's looking-glass instance.
+    pub fn lg(&self) -> &Arc<LookingGlass> {
+        self.rt.lg()
+    }
+
+    /// Jobs completed in total (shared counter, live).
+    pub fn jobs_done(&self) -> u64 {
+        self.jobs_done.load(Ordering::Relaxed)
+    }
+
+    /// Jobs completed while the authoritative clock was still inside the
+    /// arrival horizon — the goodput contribution.
+    pub fn good_jobs(&self) -> u64 {
+        self.good_jobs
+    }
+
+    /// Current backlog (queued + in flight).
+    pub fn backlog(&self) -> u64 {
+        self.backlog.load(Ordering::Relaxed)
+    }
+
+    /// Total ops advanced on the slice so far, including partial progress
+    /// on in-flight jobs — the continuous signal the watchdog rates.
+    pub fn ops_progressed(&self) -> f64 {
+        f64::from_bits(self.ops_done.load(Ordering::Relaxed))
+    }
+
+    /// Advances the slice to the authoritative time `now_ns`: submits
+    /// every job due by then and runs the machine up to the boundary.
+    /// Refreshes `batch.power_w` (mean watts over the step) and
+    /// `batch.backlog`. Returns the slice's run report.
+    pub fn step(&mut self, now_ns: u64) -> SimRunReport {
+        loop {
+            let due = (self.next_job as f64 / self.jobs_per_sec * 1e9) as u64;
+            if due > now_ns || due >= self.horizon_ns {
+                break;
+            }
+            let in_storm = self.storm.is_some_and(|(s, e)| due >= s && due < e);
+            let bpo = if in_storm {
+                self.storm_bpo
+            } else {
+                self.calm_bpo
+            };
+            let name = if in_storm { "storm" } else { "batch" };
+            self.rt
+                .submit(SimTask::new(name, self.job_ops, self.job_ops * bpo));
+            self.next_job += 1;
+        }
+        let r = self.rt.run_until(now_ns);
+        self.jobs_done.fetch_add(r.tasks, Ordering::Relaxed);
+        self.ops_done
+            .store(self.rt.total_ops_progressed().to_bits(), Ordering::Relaxed);
+        if now_ns <= self.horizon_ns {
+            self.good_jobs += r.tasks;
+        }
+        if r.elapsed_ns > 0 {
+            let mean_w = r.energy_j / (r.elapsed_ns as f64 * 1e-9);
+            self.power_w.store(mean_w.to_bits(), Ordering::Relaxed);
+        }
+        self.backlog
+            .store(self.rt.backlog() as u64, Ordering::Relaxed);
+        r
+    }
+
+    /// Installs the selfish scale-up policy: whenever backlog exceeds
+    /// `backlog_threshold` jobs, double the local `thread_cap` (up to
+    /// the slice's core count). Healthy when work is compute-bound;
+    /// pure power waste during a memory storm — which is exactly the
+    /// behaviour the watchdog + arbiter quarantine are there to punish.
+    pub fn install_greedy(&self, backlog_threshold: u64, period_ns: u64) {
+        let backlog = self.backlog.clone();
+        let cap = self.rt.cap_knob().clone();
+        let max = self.rt.spec().cores as i64;
+        self.rt.lg().policy_engine().register_periodic(
+            FnPolicy::new("greedy-scale-up", move |_, _, _| {
+                let cur = cap.get();
+                if backlog.load(Ordering::Relaxed) > backlog_threshold && cur < max {
+                    PolicyDecision::set("thread_cap", (cur * 2).min(max))
+                } else {
+                    PolicyDecision::noop()
+                }
+            }),
+            period_ns,
+            0,
+        );
+    }
+
+    /// Installs the tenant's own regression watchdog over **efficiency**
+    /// (ops per joule ≈ ops-per-round / mean watts): any actuation
+    /// followed by an efficiency collapse of more than `drop_frac` is
+    /// rolled back through the journal — and the rollback record is the
+    /// arbiter's quarantine signal.
+    pub fn install_watchdog(&self, drop_frac: f64, period_ns: u64) {
+        let ops = self.ops_done.clone();
+        let power = self.power_w.clone();
+        let mut last = 0f64;
+        let lg = self.rt.lg();
+        lg.policy_engine().register_periodic(
+            RegressionWatchdog::new(
+                lg.policy_engine().journal().clone(),
+                move || {
+                    let o = f64::from_bits(ops.load(Ordering::Relaxed));
+                    let dops = (o - last).max(0.0);
+                    last = o;
+                    dops / f64::from_bits(power.load(Ordering::Relaxed)).max(1.0)
+                },
+                drop_frac,
+            )
+            .with_ignored_actor("arbiter"),
+            period_ns,
+            0,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lg_core::Clock;
+    use lg_sim::MachineShares;
+
+    fn slice(threads: usize) -> MachineSpec {
+        MachineShares::new(MachineSpec::server32()).sub_spec(threads)
+    }
+
+    #[test]
+    fn batch_tenant_keeps_up_with_feasible_load() {
+        // 8 cores × 1k jobs/s-per-core capacity against 4k jobs/s.
+        let mut t = BatchTenant::new(slice(8), 4_000.0, 100_000_000);
+        for k in 1..=20u64 {
+            t.step(k * 5_000_000);
+        }
+        // 100 ms × 4k/s = 400 jobs, minus at most a step of slack.
+        assert!(t.jobs_done() >= 380, "done {}", t.jobs_done());
+        assert!(t.backlog() < 30, "backlog {}", t.backlog());
+        assert_eq!(t.lg().clock().now_ns(), 100_000_000);
+    }
+
+    #[test]
+    fn storm_jobs_stall_and_build_backlog() {
+        let mut t = BatchTenant::new(slice(8), 4_000.0, 100_000_000).with_storm(0, 100_000_000);
+        for k in 1..=10u64 {
+            t.step(k * 10_000_000);
+        }
+        // Bandwidth-bound: the slice's knee for 100 B/op sits far below
+        // one core, so almost nothing completes.
+        assert!(t.jobs_done() < 40, "done {}", t.jobs_done());
+        assert!(t.backlog() > 300, "backlog {}", t.backlog());
+    }
+
+    #[test]
+    fn power_gauge_tracks_mean_watts() {
+        let mut t = BatchTenant::new(slice(16), 8_000.0, 1_000_000_000);
+        t.step(50_000_000);
+        let w = t.lg().snapshot().value_by_name("batch.power_w").unwrap();
+        // Slice idle power is 12.5 W; 16 busy cores add up to 72 W.
+        assert!(w > 12.0 && w < 90.0, "mean power {w}");
+    }
+
+    #[test]
+    fn greedy_grows_cap_and_watchdog_rolls_it_back_in_storm() {
+        let mut t =
+            BatchTenant::new(slice(16), 8_000.0, 1_000_000_000).with_storm(0, 1_000_000_000);
+        t.lg().knobs().set("thread_cap", 4);
+        t.install_greedy(100, 10_000_000);
+        t.install_watchdog(0.25, 10_000_000);
+        let mut rolled_back = false;
+        for k in 1..=40u64 {
+            let now = k * 10_000_000;
+            t.step(now);
+            t.lg().policy_engine().step(now);
+            rolled_back |= t
+                .lg()
+                .knobs()
+                .journal()
+                .records()
+                .iter()
+                .any(|r| r.rolled_back);
+        }
+        let grabbed = t
+            .lg()
+            .knobs()
+            .journal()
+            .records()
+            .iter()
+            .any(|r| r.policy == "greedy-scale-up");
+        assert!(grabbed, "greedy policy never fired");
+        assert!(rolled_back, "watchdog never rolled the grab back");
+    }
+
+    #[test]
+    fn serve_tenant_exposes_arbitrable_knob_and_pressure() {
+        let clock = Arc::new(VirtualClock::new());
+        let t = ServeTenant::new(clock, 32, 7);
+        assert_eq!(t.lg().knobs().value("serve.bulkhead_limit"), Some(32));
+        assert!(t
+            .lg()
+            .introspection()
+            .metric_id("serve.p99_window_ns")
+            .is_some());
+    }
+}

@@ -1,0 +1,152 @@
+//! Two tenants, one machine, one governor.
+//!
+//! ```sh
+//! cargo run --release --example multi_tenant
+//! ```
+//!
+//! A latency-class serving pipeline and a batch-class simulated compute
+//! slice are colocated on a 32-thread machine under an [`Arbiter`]. Each
+//! tenant is a full looking-glass instance — own knobs, journal,
+//! policies — and the governor only ever talks to them through their
+//! actuation journals. Two acts:
+//!
+//! 1. **Spike** — serve traffic doubles mid-run; the serve tenant's p99
+//!    pressure crosses its SLO and the arbiter preempts threads from the
+//!    batch tenant (never below its floor), then hands them back when
+//!    the spike passes.
+//! 2. **Noisy neighbor** — the batch jobs turn into bandwidth bombs and
+//!    a selfish local policy doubles the batch `thread_cap` anyway; its
+//!    own regression watchdog (ops per joule) rolls the grab back, and
+//!    the rollback record trips the arbiter's quarantine: the tenant is
+//!    pinned to its floor and re-pinned every round it fights back.
+//!
+//! Everything runs on one shared virtual clock, so the run is
+//! deterministic on any host.
+
+use looking_glass::core::{Arbiter, ArbiterConfig, SloClass, TenantSpec, VirtualClock};
+use looking_glass::sim::{MachineShares, MachineSpec};
+use looking_glass::workloads::serve::{ArrivalGen, ArrivalPattern};
+use looking_glass::workloads::{BatchTenant, ServeTenant};
+use std::sync::Arc;
+
+const HORIZON_NS: u64 = 400_000_000; // 400 ms
+const TOTAL_THREADS: i64 = 32;
+
+fn main() {
+    let clock = Arc::new(VirtualClock::new());
+
+    // Tenant 1: the fig9 serving pipeline; its bulkhead limit IS its
+    // thread share (one slot ≈ 1k req/s of capacity).
+    let mut serve = ServeTenant::new(clock.clone(), 32, 7);
+    serve.install_brownout(50e6);
+
+    // Tenant 2: a simulated 28-core compute slice fed 8k jobs/s, with a
+    // mid-run storm of bandwidth-bound jobs and a greedy local policy —
+    // guarded by its own watchdog (rate = ops per joule).
+    let host = MachineSpec {
+        stall_intensity: 1.0,
+        ..MachineSpec::server32()
+    };
+    let mut batch = BatchTenant::new(MachineShares::new(host).sub_spec(28), 8_000.0, HORIZON_NS)
+        .with_storm(HORIZON_NS / 4, HORIZON_NS / 2);
+    let period = serve.control_period_ns();
+    batch.install_greedy(250, period);
+    batch.install_watchdog(0.25, period);
+
+    // The governor: machine budget, power envelope, quarantine policy.
+    let arb = Arbiter::with_instance(
+        ArbiterConfig::new(TOTAL_THREADS)
+            .with_power_cap_w(130.0)
+            .with_quarantine_rounds(8),
+        looking_glass::core::LookingGlass::builder()
+            .clock(clock.clone())
+            .build(),
+    );
+    let ts = arb.admit(
+        serve.lg().clone(),
+        TenantSpec::new("serve", SloClass::Latency, TOTAL_THREADS)
+            .with_min_threads(2)
+            .with_pressure("serve.p99_window_ns", 25e6),
+        "serve.bulkhead_limit",
+    );
+    let tb = arb.admit(
+        batch.lg().clone(),
+        TenantSpec::new("batch", SloClass::Batch, 28)
+            .with_min_threads(2)
+            .with_power_metric("batch.power_w"),
+        "thread_cap",
+    );
+
+    // Serve traffic: 8k req/s base, 2x spike over the middle half.
+    let requests = ArrivalGen {
+        pattern: ArrivalPattern::Spike {
+            base_per_sec: 8_000.0,
+            factor: 2.0,
+            start_ns: HORIZON_NS / 4,
+            end_ns: HORIZON_NS / 2,
+        },
+        seed: 7,
+        optional_frac: 0.3,
+        service_mean_ns: 1_000_000,
+        mandatory_budget_ns: 50_000_000,
+        optional_budget_ns: 25_000_000,
+        dests: 4,
+    }
+    .generate(HORIZON_NS);
+
+    println!("round  t_ms  serve  batch  quarantined  writes");
+    let report = serve.run(&requests, |t| {
+        clock.advance_to(t);
+        batch.step(t);
+        let r = arb.control_round(t);
+        if (t / period).is_multiple_of(4) || !r.quarantined.is_empty() {
+            println!(
+                "{:>5} {:>5}  {:>5} {:>6}  {:>11} {:>7}",
+                r.round,
+                t / 1_000_000,
+                arb.allocation(ts).unwrap(),
+                arb.allocation(tb).unwrap(),
+                if r.quarantined.is_empty() {
+                    "-"
+                } else {
+                    "batch"
+                },
+                r.knob_writes,
+            );
+        }
+    });
+
+    let horizon_s = HORIZON_NS as f64 / 1e9;
+    println!(
+        "\nserve: goodput {:.3}, {} of {} on time",
+        report.goodput_frac(),
+        report.goodput,
+        report.offered
+    );
+    println!(
+        "batch: {} jobs done ({:.0} jobs/s)",
+        batch.good_jobs(),
+        batch.good_jobs() as f64 / horizon_s
+    );
+    println!(
+        "governor: {} rounds, {} quarantine entries",
+        arb.round(),
+        arb.quarantine_entries()
+    );
+
+    // The run's safety facts, asserted: budget held, the watchdog fired,
+    // the arbiter quarantined the noisy tenant at least once.
+    assert!(
+        arb.quarantine_entries() > 0,
+        "storm never tripped quarantine"
+    );
+    let rolled_back = batch
+        .lg()
+        .knobs()
+        .journal()
+        .records()
+        .iter()
+        .any(|r| r.rolled_back);
+    assert!(rolled_back, "watchdog never rolled the greedy grab back");
+    println!("ok: budget held, greedy grab rolled back, quarantine fired");
+}
