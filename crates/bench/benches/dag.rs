@@ -1,0 +1,97 @@
+//! Criterion benches for the DAG scheduling path (backs Fig 11).
+//!
+//! * `dep_decrement` — the per-edge release cost: a long chain is pure
+//!   decrement → promote → run, so chain/node gives the marginal cost of
+//!   one dependency resolution (the path the zero-alloc gate freezes).
+//! * `ready_promotion` — a star fan-out (1 root → N leaves): one
+//!   completion releases N nodes at once, stressing the succ-list walk
+//!   and enqueue burst.
+//! * `makespan_tree` / `makespan_sweep` — end-to-end DAG execution of
+//!   the two depth-dominated patterns at 1/4/8 workers, with real
+//!   busywork bodies: the macro view of the same machinery.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lg_core::LookingGlass;
+use lg_runtime::{PoolConfig, ThreadPool};
+use lg_workloads::dag::{generate, run_on_pool, CostModel, DagConfig, DagPattern};
+
+fn pool(workers: usize) -> ThreadPool {
+    ThreadPool::new(
+        LookingGlass::builder().build(),
+        PoolConfig::with_workers(workers),
+    )
+}
+
+fn bench_dep_decrement(c: &mut Criterion) {
+    let p = pool(1);
+    let chain = 1024u64;
+    let mut group = c.benchmark_group("dag_dep_decrement");
+    group.throughput(Throughput::Elements(chain));
+    group.bench_function(format!("chain_{chain}"), |b| {
+        b.iter(|| {
+            p.dag_scope(|g| {
+                let mut prev = g.spawn_after("dag_chain", &[], || {});
+                for _ in 0..chain {
+                    prev = g.spawn_after("dag_chain", &[prev], || {});
+                }
+            });
+        })
+    });
+    group.finish();
+}
+
+fn bench_ready_promotion(c: &mut Criterion) {
+    let p = pool(4);
+    let fan = 512u64;
+    let mut group = c.benchmark_group("dag_ready_promotion");
+    group.throughput(Throughput::Elements(fan));
+    group.bench_function(format!("fan_{fan}"), |b| {
+        b.iter(|| {
+            p.dag_scope(|g| {
+                let root = g.spawn_after("dag_root", &[], || {});
+                for _ in 0..fan {
+                    g.spawn_after("dag_leaf", &[root], || {});
+                }
+            });
+        })
+    });
+    group.finish();
+}
+
+fn bench_makespan(c: &mut Criterion) {
+    for (label, pattern, width, depth) in [
+        ("makespan_tree", DagPattern::Tree, 64, 0),
+        ("makespan_sweep", DagPattern::Sweep, 8, 48),
+    ] {
+        let spec = generate(
+            &DagConfig {
+                pattern,
+                width,
+                depth,
+                grain_ops: 2e4,
+                grain_spread: 3.0,
+                comm_bytes: 0.0,
+                seed: 11,
+            },
+            &CostModel::default(),
+        );
+        let mut group = c.benchmark_group(format!("dag_{label}"));
+        group.throughput(Throughput::Elements(spec.nodes() as u64));
+        for workers in [1usize, 4, 8] {
+            let p = pool(workers);
+            let spec = spec.clone();
+            group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, _| {
+                b.iter(|| run_on_pool(&p, &spec, 1e-2))
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_dep_decrement,
+    bench_ready_promotion,
+    bench_makespan
+);
+criterion_main!(benches);

@@ -10,6 +10,7 @@ pub mod abl1_dvfs;
 pub mod abl2_stall;
 pub mod common;
 pub mod fig10_tenancy;
+pub mod fig11_dag;
 pub mod fig1_overhead;
 pub mod fig2_concurrency;
 pub mod fig3_convergence;
@@ -35,7 +36,7 @@ pub fn main() {
     let selected = if which.is_empty() || which.contains(&"all") {
         vec![
             "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
-            "tbl1", "tbl2", "tbl3", "abl1", "abl2",
+            "fig11", "tbl1", "tbl2", "tbl3", "abl1", "abl2",
         ]
     } else {
         which
@@ -58,6 +59,7 @@ pub fn run_one(name: &str, fast: bool) {
         "fig8" => fig8_faults::run(fast),
         "fig9" => fig9_overload::run(fast),
         "fig10" => fig10_tenancy::run(fast),
+        "fig11" => fig11_dag::run(fast),
         "tbl1" => tbl1_static_vs_adaptive::run(fast),
         "tbl2" => tbl2_coalescing::run(fast),
         "tbl3" => tbl3_search::run(fast),

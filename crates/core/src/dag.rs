@@ -1,0 +1,421 @@
+//! Online critical-path introspection for DAG-structured work.
+//!
+//! [`DagStats`] is the write side: a runtime executing a dependency graph
+//! calls [`DagStats::on_release`] when a node becomes ready (all
+//! dependencies done, task enqueued) and [`DagStats::on_complete`] when
+//! its body finishes. Both are striped-atomic bumps — no locks, no
+//! allocation — so they sit on the scheduler's release hot path at the
+//! same cost class as the existing `rt.*` counters.
+//!
+//! From those two hooks the read side derives three gauges, folded into
+//! [`IntrospectionSnapshot`](crate::IntrospectionSnapshot) through
+//! [`DagStats::register_on`]:
+//!
+//! * **`dag.critical_path_len`** — remaining critical-path length in
+//!   nanoseconds (cost-model units). Live nodes are bucketed by the log2
+//!   of their *height* (downstream cost including the node itself, the
+//!   classic upward rank of list scheduling); the topmost non-empty
+//!   bucket bounds the longest chain still outstanding. This is exact to
+//!   bucket resolution: a node whose dependencies are unmet always has a
+//!   live ancestor of strictly greater height, so the maximum over
+//!   *released-but-incomplete* nodes equals the maximum over all
+//!   incomplete nodes.
+//! * **`dag.ready_width`** — released-but-incomplete node count: how much
+//!   parallelism the DAG is currently offering the pool.
+//! * **`dag.slack_p50`** — median slack (critical-path length minus the
+//!   node's own height) over released nodes, from a striped histogram.
+//!   Low slack ⇒ most ready work *is* the critical path ⇒ priority
+//!   placement pays; high slack ⇒ plenty of off-path work to soak
+//!   workers.
+//!
+//! The gauges are registered **stamped**: an idle DAG (no release or
+//! completion since the last capture) contributes a cached value and no
+//! fold, matching the incremental-introspection contract of PR 7.
+//!
+//! [`CriticalPathPolicy`] closes the loop: it reads those gauges from the
+//! round snapshot and steers the runtime's `dag.critical_bias` knob (and
+//! optionally a chunk-grain knob) through the journaled knob plane.
+
+use crate::policy::{Policy, PolicyDecision, Trigger};
+use crate::snapshot::{Introspection, IntrospectionSnapshot};
+use lg_metrics::{StripedCounter, StripedGauge};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Number of log2 height buckets. Bucket `b` covers heights in
+/// `[2^(b-1), 2^b)` ns; 48 buckets span sub-ns grains to ~3 days.
+const BUCKETS: usize = 48;
+
+/// Striped release/completion statistics for one executing DAG (or a
+/// family of DAGs sharing a scheduler — the gauges simply aggregate).
+///
+/// Heights are in nanoseconds of estimated cost (any monotone cost-model
+/// unit works; the generator in `lg-workloads::dag` uses
+/// ops/flops + bytes/bandwidth).
+pub struct DagStats {
+    /// Released-but-incomplete node count.
+    ready: StripedGauge,
+    /// Live-node count per log2(height) bucket.
+    live: Vec<StripedGauge>,
+    /// Released-node count per log2(slack) bucket (cumulative histogram
+    /// source for the p50 gauge).
+    slack: Vec<StripedCounter>,
+    /// Write stamp for the stamped gauges: bumped on every release and
+    /// completion, so idle captures skip the fold.
+    stamp: Arc<AtomicU64>,
+}
+
+impl DagStats {
+    /// Creates an empty stats block.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self {
+            ready: StripedGauge::new(),
+            live: (0..BUCKETS).map(|_| StripedGauge::new()).collect(),
+            slack: (0..BUCKETS).map(|_| StripedCounter::new()).collect(),
+            stamp: Arc::new(AtomicU64::new(0)),
+        })
+    }
+
+    fn bucket(height_ns: u64) -> usize {
+        ((u64::BITS - height_ns.leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+
+    /// Upper edge (ns) of a bucket, used as the reported estimate.
+    fn bucket_edge(b: usize) -> f64 {
+        (1u64 << b) as f64
+    }
+
+    /// Records a node whose last dependency just completed (it is now
+    /// queued or running). `height_ns` is the node's downstream cost
+    /// including itself.
+    pub fn on_release(&self, height_ns: u64) {
+        self.ready.add(1);
+        let own = Self::bucket(height_ns);
+        self.live[own].add(1);
+        // Slack at bucket resolution: both sides use bucket edges, so a
+        // node in the topmost live bucket records zero slack rather than
+        // the up-to-2× phantom the edge estimate would otherwise leave.
+        let cp = self.critical_path_ns();
+        let slack = (cp - Self::bucket_edge(own)).max(0.0) as u64;
+        self.slack[Self::bucket(slack)].inc();
+        self.stamp.fetch_add(1, Ordering::Release);
+    }
+
+    /// Records a released node whose body finished (or was abandoned —
+    /// the pair must balance [`DagStats::on_release`]).
+    pub fn on_complete(&self, height_ns: u64) {
+        self.ready.add(-1);
+        self.live[Self::bucket(height_ns)].add(-1);
+        self.stamp.fetch_add(1, Ordering::Release);
+    }
+
+    /// Remaining critical-path estimate in ns: the upper edge of the
+    /// highest non-empty live bucket, 0 when no node is live.
+    pub fn critical_path_ns(&self) -> f64 {
+        for b in (0..BUCKETS).rev() {
+            if self.live[b].sum() > 0 {
+                return Self::bucket_edge(b);
+            }
+        }
+        0.0
+    }
+
+    /// Released-but-incomplete node count.
+    pub fn ready_width(&self) -> f64 {
+        self.ready.sum().max(0) as f64
+    }
+
+    /// Median slack (ns) over all releases so far, 0 before any release.
+    pub fn slack_p50_ns(&self) -> f64 {
+        let counts: Vec<u64> = self.slack.iter().map(|c| c.sum()).collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let mut seen = 0u64;
+        for (b, c) in counts.iter().enumerate() {
+            seen += c;
+            if seen * 2 >= total {
+                return Self::bucket_edge(b);
+            }
+        }
+        Self::bucket_edge(BUCKETS - 1)
+    }
+
+    /// Registers the three `dag.*` gauges on an [`Introspection`] facade.
+    /// All three share one write stamp, so captures while the DAG is idle
+    /// reuse the previous values without folding the stripes.
+    pub fn register_on(self: &Arc<Self>, intro: &Introspection) {
+        let s = self.clone();
+        intro.register_gauge_stamped("dag.critical_path_len", self.stamp.clone(), move || {
+            s.critical_path_ns()
+        });
+        let s = self.clone();
+        intro.register_gauge_stamped("dag.ready_width", self.stamp.clone(), move || {
+            s.ready_width()
+        });
+        let s = self.clone();
+        intro.register_gauge_stamped("dag.slack_p50", self.stamp.clone(), move || {
+            s.slack_p50_ns()
+        });
+    }
+}
+
+/// Steers DAG scheduling from the `dag.*` gauges.
+///
+/// Control law, evaluated per round against the shared snapshot:
+///
+/// * **Priority bias** (`dag.critical_bias`, 0/1): enable while ready
+///   width is scarce relative to the worker count (every placement
+///   decision matters — the critical path must not wait behind off-path
+///   work), disable when the DAG offers abundant width *and* median slack
+///   is a large fraction of the remaining critical path (any order keeps
+///   the workers busy, so skip the priority lane's displacement traffic).
+/// * **Chunk grain** (optional): halve the grain when ready width can't
+///   fill the workers (more, smaller tasks ⇒ more overlap), double it
+///   when width exceeds `16×` workers (fewer, larger tasks ⇒ less
+///   per-task overhead), clamped to the given bounds.
+///
+/// Decisions only carry a knob write when the value *changes*, so the
+/// actuation journal records transitions, not steady-state re-asserts.
+pub struct CriticalPathPolicy {
+    name: String,
+    bias_knob: crate::knob::KnobTarget,
+    chunk_knob: Option<(crate::knob::KnobTarget, i64, i64)>,
+    workers: i64,
+    last_bias: Option<i64>,
+    chunk: Option<i64>,
+}
+
+impl CriticalPathPolicy {
+    /// A policy steering `bias_knob` for a pool of `workers` threads.
+    pub fn new(bias_knob: impl Into<crate::knob::KnobTarget>, workers: usize) -> Self {
+        Self {
+            name: "critical-path".to_string(),
+            bias_knob: bias_knob.into(),
+            chunk_knob: None,
+            workers: workers.max(1) as i64,
+            last_bias: None,
+            chunk: None,
+        }
+    }
+
+    /// Also steer a chunk-grain knob between `min` and `max`, starting
+    /// from `initial`.
+    pub fn with_chunk_knob(
+        mut self,
+        knob: impl Into<crate::knob::KnobTarget>,
+        initial: i64,
+        min: i64,
+        max: i64,
+    ) -> Self {
+        self.chunk_knob = Some((knob.into(), min, max));
+        self.chunk = Some(initial.clamp(min, max));
+        self
+    }
+}
+
+impl Policy for CriticalPathPolicy {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn evaluate(
+        &mut self,
+        _now_ns: u64,
+        _trigger: Trigger<'_>,
+        snapshot: &IntrospectionSnapshot,
+    ) -> PolicyDecision {
+        let (Some(ready), Some(cp)) = (
+            snapshot.value_by_name("dag.ready_width"),
+            snapshot.value_by_name("dag.critical_path_len"),
+        ) else {
+            return PolicyDecision::noop();
+        };
+        let slack = snapshot.value_by_name("dag.slack_p50").unwrap_or(0.0);
+        let w = self.workers as f64;
+        let want_bias = if ready < 4.0 * w {
+            1
+        } else if ready >= 8.0 * w && cp > 0.0 && slack >= 0.25 * cp {
+            0
+        } else {
+            self.last_bias.unwrap_or(1)
+        };
+        let mut decision = PolicyDecision::noop();
+        if self.last_bias != Some(want_bias) {
+            self.last_bias = Some(want_bias);
+            decision.sets.push((self.bias_knob.clone(), want_bias));
+        }
+        if let (Some((knob, min, max)), Some(chunk)) = (&self.chunk_knob, self.chunk) {
+            let want_chunk = if ready < w {
+                (chunk / 2).max(*min)
+            } else if ready > 16.0 * w {
+                (chunk * 2).min(*max)
+            } else {
+                chunk
+            };
+            if want_chunk != chunk {
+                self.chunk = Some(want_chunk);
+                decision.sets.push((knob.clone(), want_chunk));
+            }
+        }
+        decision
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::concurrency::ConcurrencyListener;
+    use crate::event::TaskNames;
+    use crate::knob::{AtomicKnob, Knob, KnobRegistry, KnobSpec};
+    use crate::policy::PolicyEngine;
+    use crate::profile::ProfileListener;
+
+    fn intro() -> Introspection {
+        let names = TaskNames::new();
+        let profiles = Arc::new(ProfileListener::new(names.clone()));
+        let concurrency = Arc::new(ConcurrencyListener::new(64));
+        Introspection::new(profiles, concurrency)
+    }
+
+    #[test]
+    fn release_complete_pairs_balance() {
+        let s = DagStats::new();
+        assert_eq!(s.ready_width(), 0.0);
+        assert_eq!(s.critical_path_ns(), 0.0);
+        s.on_release(1_000);
+        s.on_release(500);
+        assert_eq!(s.ready_width(), 2.0);
+        assert!(s.critical_path_ns() >= 1_000.0);
+        s.on_complete(1_000);
+        s.on_complete(500);
+        assert_eq!(s.ready_width(), 0.0);
+        assert_eq!(s.critical_path_ns(), 0.0);
+    }
+
+    #[test]
+    fn critical_path_tracks_highest_live_bucket() {
+        let s = DagStats::new();
+        s.on_release(10);
+        s.on_release(100_000);
+        let high = s.critical_path_ns();
+        assert!((100_000.0..400_000.0).contains(&high), "{high}");
+        s.on_complete(100_000);
+        let low = s.critical_path_ns();
+        assert!((10.0..40.0).contains(&low), "{low}");
+    }
+
+    #[test]
+    fn slack_p50_moves_with_mix() {
+        let s = DagStats::new();
+        // All releases at full height: slack ~ 0.
+        for _ in 0..10 {
+            s.on_release(1 << 20);
+        }
+        assert!(s.slack_p50_ns() <= 2.0, "{}", s.slack_p50_ns());
+        for _ in 0..10 {
+            s.on_complete(1 << 20);
+        }
+        // Majority far below the deepest live node: slack ~ cp.
+        s.on_release(1 << 20);
+        for _ in 0..40 {
+            s.on_release(16);
+        }
+        assert!(s.slack_p50_ns() >= (1 << 19) as f64, "{}", s.slack_p50_ns());
+    }
+
+    #[test]
+    fn gauges_fold_through_snapshots() {
+        let intro = intro();
+        let s = DagStats::new();
+        s.register_on(&intro);
+        s.on_release(2_000);
+        s.on_release(50);
+        let snap = intro.capture(1);
+        assert_eq!(snap.value_by_name("dag.ready_width"), Some(2.0));
+        assert!(snap.value_by_name("dag.critical_path_len").unwrap() >= 2_000.0);
+        assert!(snap.value_by_name("dag.slack_p50").is_some());
+    }
+
+    #[test]
+    fn policy_enables_bias_when_width_scarce() {
+        let intro = intro();
+        let s = DagStats::new();
+        s.register_on(&intro);
+        for _ in 0..3 {
+            s.on_release(1_000);
+        }
+        let snap = intro.capture(1);
+        let mut p = CriticalPathPolicy::new("dag.critical_bias", 8);
+        let d = p.evaluate(1, Trigger::Periodic, &snap);
+        assert_eq!(d.sets.len(), 1);
+        assert_eq!(d.sets[0].1, 1);
+        // Same state again: no new write (journal records transitions).
+        let d2 = p.evaluate(2, Trigger::Periodic, &snap);
+        assert!(d2.sets.is_empty());
+    }
+
+    #[test]
+    fn policy_disables_bias_when_wide_and_slack_rich() {
+        let intro = intro();
+        let s = DagStats::new();
+        s.register_on(&intro);
+        // One deep node, many shallow ones: width 65 >> 8 workers, slack
+        // near the full critical path.
+        s.on_release(1 << 20);
+        for _ in 0..64 {
+            s.on_release(8);
+        }
+        let snap = intro.capture(1);
+        let mut p = CriticalPathPolicy::new("dag.critical_bias", 2);
+        let d = p.evaluate(1, Trigger::Periodic, &snap);
+        assert_eq!(d.sets, vec![("dag.critical_bias".into(), 0)]);
+    }
+
+    #[test]
+    fn policy_steers_chunk_grain_within_bounds() {
+        let intro = intro();
+        let s = DagStats::new();
+        s.register_on(&intro);
+        s.on_release(1_000); // width 1 < workers ⇒ halve
+        let snap = intro.capture(1);
+        let mut p =
+            CriticalPathPolicy::new("dag.critical_bias", 4).with_chunk_knob("chunk", 64, 16, 256);
+        let d = p.evaluate(1, Trigger::Periodic, &snap);
+        assert!(d.sets.contains(&("chunk".into(), 32)));
+    }
+
+    #[test]
+    fn policy_noops_without_dag_gauges() {
+        let intro = intro();
+        let snap = intro.capture(1);
+        let mut p = CriticalPathPolicy::new("dag.critical_bias", 4);
+        assert_eq!(
+            p.evaluate(1, Trigger::Periodic, &snap),
+            PolicyDecision::noop()
+        );
+    }
+
+    #[test]
+    fn policy_writes_flow_through_engine_journal() {
+        let knobs = Arc::new(KnobRegistry::new());
+        let bias = AtomicKnob::new(KnobSpec::new("dag.critical_bias", 0, 1), 1);
+        knobs.register(bias.clone());
+        bias.set(0);
+        let intro = Arc::new(intro());
+        let s = DagStats::new();
+        s.register_on(&intro);
+        s.on_release(1_000);
+        let engine = PolicyEngine::new(knobs.clone());
+        engine.attach_introspection(intro);
+        engine.register_periodic(
+            Box::new(CriticalPathPolicy::new("dag.critical_bias", 8)),
+            1,
+            0,
+        );
+        engine.step(5);
+        assert_eq!(knobs.value("dag.critical_bias"), Some(1));
+        assert!(knobs.change_count() >= 1);
+    }
+}

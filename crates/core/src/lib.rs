@@ -62,6 +62,7 @@ pub mod arbiter;
 pub mod builtin;
 pub mod clock;
 pub mod concurrency;
+pub mod dag;
 pub mod event;
 pub mod instance;
 pub mod journal;
@@ -83,6 +84,7 @@ pub use arbiter::{Arbiter, ArbiterConfig, RoundReport, TenantObs, TenantSpec};
 pub use builtin::{HighWatermarkPolicy, PowerCapPolicy};
 pub use clock::{Clock, VirtualClock, WallClock};
 pub use concurrency::ConcurrencyListener;
+pub use dag::{CriticalPathPolicy, DagStats};
 pub use event::{Event, TaskId, TaskNames};
 pub use instance::{LookingGlass, LookingGlassBuilder, Timer};
 pub use journal::{ActuationJournal, ActuationRecord};

@@ -41,7 +41,7 @@ use crate::journal::ActuationJournal;
 use crate::knob::{KnobRegistry, KnobTarget};
 use crate::listener::Listener;
 use crate::snapshot::{Introspection, IntrospectionSnapshot};
-use lg_metrics::{CounterHandle, Welford};
+use lg_metrics::{CounterHandle, HighWaterArm, Welford};
 use parking_lot::{Mutex, RwLock};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -151,6 +151,13 @@ enum WatchKind {
         frac: f64,
         last: Option<f64>,
     },
+    /// Write-side variant of [`WatchKind::CounterDelta`]: the counter's
+    /// *writers* arm the crossing (a [`HighWaterArm`] latched from
+    /// `CounterHandle::add`), so the engine's scan is a single `Acquire`
+    /// load instead of a striped fold — and when every threshold policy
+    /// uses this kind, idle [`PolicyEngine::step`]s skip the scan (and the
+    /// policies lock) entirely.
+    CounterArmed { arm: HighWaterArm, delta: u64 },
 }
 
 impl ThresholdWatch {
@@ -190,6 +197,29 @@ impl ThresholdWatch {
                 counter,
                 delta,
                 last: None,
+            },
+        }
+    }
+
+    /// Write-side equivalent of [`ThresholdWatch::counter_delta`]: arms a
+    /// [`HighWaterArm`] on `counter` **immediately** (so unlike the scan
+    /// variant, which spends its first check recording a baseline, the
+    /// first `delta` increments from *now* fire the watch — matching the
+    /// scan variant checked once at registration time). Crossings are
+    /// detected by the counter's writers, not by the engine's scan: an
+    /// idle engine whose threshold policies all use armed watches steps
+    /// without touching the counter at all. Each firing re-arms `delta`
+    /// above the total accumulated at consumption time — the same
+    /// re-baselining (`last = cur`) the scan variant performs.
+    ///
+    /// # Panics
+    /// Panics if `delta` is zero.
+    pub fn counter_delta_armed(counter: &CounterHandle, delta: u64) -> Self {
+        assert!(delta > 0, "counter delta must be positive");
+        Self {
+            kind: WatchKind::CounterArmed {
+                arm: counter.arm_high_water(delta),
+                delta,
             },
         }
     }
@@ -288,6 +318,39 @@ impl ThresholdWatch {
                     }
                 }
             }
+            WatchKind::CounterArmed { arm, delta } => {
+                if arm.fired() {
+                    arm.rearm(*delta);
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// True when crossings are detected by the counter's writers, so the
+    /// engine need not scan this watch while no arm has latched.
+    fn is_write_armed(&self) -> bool {
+        matches!(self.kind, WatchKind::CounterArmed { .. })
+    }
+
+    /// Routes latch notifications to `stamp` (bumped from the writing
+    /// thread, once per latch). No-op for scan-based kinds.
+    fn route_latches_to(&self, stamp: Arc<AtomicU64>) {
+        if let WatchKind::CounterArmed { arm, .. } = &self.kind {
+            arm.set_hook(move || {
+                stamp.fetch_add(1, Ordering::Release);
+            });
+        }
+    }
+
+    /// Detaches any write-side arm from its counter's write path. Called
+    /// when the owning policy is deregistered, retired, or quarantined so
+    /// abandoned watches stop taxing the counter's writers.
+    fn detach(&self) {
+        if let WatchKind::CounterArmed { arm, .. } = &self.kind {
+            arm.disarm();
         }
     }
 }
@@ -299,6 +362,7 @@ impl std::fmt::Debug for ThresholdWatch {
             WatchKind::GaugeBelow { threshold, .. } => format!("gauge_below({threshold})"),
             WatchKind::CounterDelta { delta, .. } => format!("counter_delta({delta})"),
             WatchKind::RelChange { frac, .. } => format!("relative_change({frac})"),
+            WatchKind::CounterArmed { delta, .. } => format!("counter_delta_armed({delta})"),
         };
         f.debug_tuple("ThresholdWatch").field(&name).finish()
     }
@@ -365,6 +429,18 @@ pub struct PolicyEngine {
     /// Bumped whenever a new latency is recorded — the dirtiness stamp
     /// for the `policy.adaptation_latency_ns` snapshot gauge.
     latency_stamp: Arc<AtomicU64>,
+    /// Bumped (from the *writing* thread) whenever a write-side armed
+    /// watch latches. `step` compares it against `armed_seen` to decide
+    /// whether armed watches could possibly have anything to report.
+    armed_stamp: Arc<AtomicU64>,
+    /// The `armed_stamp` value the last full scan started from.
+    armed_seen: AtomicU64,
+    /// Live policies that *require* a per-step scan (periodic due dates,
+    /// scan-based threshold watches). When zero, a step with a clean
+    /// `armed_stamp` returns without taking the policies lock.
+    scan_needed: AtomicU64,
+    /// Steps that returned through the armed fast path (diagnostic).
+    fast_steps: AtomicU64,
 }
 
 impl PolicyEngine {
@@ -392,6 +468,10 @@ impl PolicyEngine {
             last_latency_ns: AtomicU64::new(u64::MAX),
             latency_stats: Mutex::new(Welford::default()),
             latency_stamp: Arc::new(AtomicU64::new(0)),
+            armed_stamp: Arc::new(AtomicU64::new(0)),
+            armed_seen: AtomicU64::new(0),
+            scan_needed: AtomicU64::new(0),
+            fast_steps: AtomicU64::new(0),
         })
     }
 
@@ -411,6 +491,23 @@ impl PolicyEngine {
         }
     }
 
+    /// Recounts the live policies whose trigger can only be detected by
+    /// scanning under the lock. Called whenever the policy set (or a
+    /// policy's quarantine state) changes; `ps` is the already-locked
+    /// vector so the count is coherent with the change that prompted it.
+    fn recompute_scan_needed(&self, ps: &[Registered]) {
+        let n = ps
+            .iter()
+            .filter(|r| !r.quarantined)
+            .filter(|r| match &r.kind {
+                Kind::Periodic { .. } => true,
+                Kind::Threshold { watch, .. } => !watch.is_write_armed(),
+                Kind::Triggered { .. } => false,
+            })
+            .count() as u64;
+        self.scan_needed.store(n, Ordering::Release);
+    }
+
     /// Registers a periodic policy first due at `now_ns + period_ns`.
     pub fn register_periodic(
         &self,
@@ -421,7 +518,8 @@ impl PolicyEngine {
         assert!(period_ns > 0, "period must be positive");
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let actor = self.knobs.actor(policy.name());
-        self.policies.lock().push(Registered {
+        let mut ps = self.policies.lock();
+        ps.push(Registered {
             id,
             policy,
             actor,
@@ -432,6 +530,7 @@ impl PolicyEngine {
             consecutive_panics: 0,
             quarantined: false,
         });
+        self.recompute_scan_needed(&ps);
         PolicyHandle(id)
     }
 
@@ -463,7 +562,11 @@ impl PolicyEngine {
     ) -> PolicyHandle {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let actor = self.knobs.actor(policy.name());
-        self.policies.lock().push(Registered {
+        // Write-side armed watches notify the engine through the armed
+        // stamp, so idle steps need not even glance at them.
+        watch.route_latches_to(self.armed_stamp.clone());
+        let mut ps = self.policies.lock();
+        ps.push(Registered {
             id,
             policy,
             actor,
@@ -474,15 +577,29 @@ impl PolicyEngine {
             consecutive_panics: 0,
             quarantined: false,
         });
+        self.recompute_scan_needed(&ps);
         PolicyHandle(id)
     }
 
-    /// Deregisters a policy; returns true if it was present.
+    /// Deregisters a policy; returns true if it was present. A write-side
+    /// armed watch is detached from its counter's write path.
     pub fn deregister(&self, handle: PolicyHandle) -> bool {
         let mut ps = self.policies.lock();
         let before = ps.len();
-        ps.retain(|r| r.id != handle.0);
-        ps.len() != before
+        ps.retain(|r| {
+            if r.id != handle.0 {
+                return true;
+            }
+            if let Kind::Threshold { watch, .. } = &r.kind {
+                watch.detach();
+            }
+            false
+        });
+        let removed = ps.len() != before;
+        if removed {
+            self.recompute_scan_needed(&ps);
+        }
+        removed
     }
 
     /// Number of registered policies.
@@ -503,6 +620,14 @@ impl PolicyEngine {
     /// Total policy evaluations that panicked (and were contained).
     pub fn panics(&self) -> u64 {
         self.panics.load(Ordering::Relaxed)
+    }
+
+    /// Steps that returned through the armed fast path — no policies
+    /// lock, no watch scan, no snapshot. Non-zero only when every live
+    /// policy's trigger is push-based (write-side armed watches and
+    /// event-triggered policies) and no arm latched since the last scan.
+    pub fn fast_path_steps(&self) -> u64 {
+        self.fast_steps.load(Ordering::Relaxed)
     }
 
     /// Adaptation latency of the most recent round that actuated a knob:
@@ -654,6 +779,20 @@ impl PolicyEngine {
     /// of evaluations (panicked evaluations included).
     pub fn step(&self, now_ns: u64) -> usize {
         let started = Instant::now();
+        // Armed fast path: when every live policy's trigger is pushed to
+        // the engine (write-side armed watches, event-triggered policies)
+        // and no arm has latched since the last scan, the step is two
+        // atomic loads — no lock, no watch scan. The stamp is sampled
+        // *before* deciding, and recorded before scanning, so a latch
+        // racing the scan at worst costs one redundant scan next step.
+        let stamp = self.armed_stamp.load(Ordering::Acquire);
+        if self.scan_needed.load(Ordering::Acquire) == 0
+            && stamp == self.armed_seen.load(Ordering::Relaxed)
+        {
+            self.fast_steps.fetch_add(1, Ordering::Relaxed);
+            return 0;
+        }
+        self.armed_seen.store(stamp, Ordering::Relaxed);
         // Cheap scan: edge-check every threshold watch. Watches must be
         // checked even when no periodic policy is due — crossings are the
         // whole point of not polling.
@@ -718,8 +857,27 @@ impl PolicyEngine {
                 }
             }
             if !retired.is_empty() {
-                ps.retain(|r| !retired.contains(&r.id));
+                ps.retain(|r| {
+                    if !retired.contains(&r.id) {
+                        return true;
+                    }
+                    if let Kind::Threshold { watch, .. } = &r.kind {
+                        watch.detach();
+                    }
+                    false
+                });
             }
+            // Quarantined policies are skipped forever; detach their arms
+            // so abandoned watches stop taxing the counter's writers
+            // (disarm is idempotent — repeat detaches are no-ops).
+            for r in ps.iter() {
+                if r.quarantined {
+                    if let Kind::Threshold { watch, .. } = &r.kind {
+                        watch.detach();
+                    }
+                }
+            }
+            self.recompute_scan_needed(&ps);
         }
         // Apply outside the policy lock: knob sets may be observed by
         // listeners that re-enter the engine.
@@ -1168,6 +1326,143 @@ mod tests {
         c.add(10);
         engine.step(3);
         assert_eq!(fires.load(Ordering::Relaxed), 2, "next batch");
+    }
+
+    #[test]
+    fn armed_watch_fires_without_engine_scanning() {
+        let knobs = registry_with("k", 0, 100, 0);
+        let engine = PolicyEngine::new(knobs.clone());
+        let reg = lg_metrics::CounterRegistry::new();
+        let c = reg.striped_counter("events");
+        engine.register_threshold(
+            FnPolicy::new("batch", |_, _, _| PolicyDecision::set("k", 7)),
+            ThresholdWatch::counter_delta_armed(&c, 10),
+        );
+        // No latch yet: steps take the armed fast path — no lock, no scan.
+        assert_eq!(engine.step(0), 0);
+        assert_eq!(engine.step(1), 0);
+        assert_eq!(engine.fast_path_steps(), 2);
+        c.add(9);
+        assert_eq!(engine.step(2), 0, "below delta stays fast");
+        assert_eq!(engine.fast_path_steps(), 3);
+        c.add(1); // latches from the writing thread
+        assert_eq!(engine.step(3), 1, "latched arm triggers a round");
+        assert_eq!(knobs.value("k"), Some(7));
+        assert_eq!(
+            engine.fast_path_steps(),
+            3,
+            "latched step took the slow path"
+        );
+        assert_eq!(engine.step(4), 0, "consumed and re-armed: fast again");
+        assert_eq!(engine.fast_path_steps(), 4);
+        c.add(10);
+        assert_eq!(engine.step(5), 1, "re-armed delta above consumption point");
+    }
+
+    #[test]
+    fn armed_and_scanned_counter_watches_are_equivalent() {
+        // Drive the exact same add/step schedule through a scan-based
+        // counter_delta engine and a write-side armed engine; every
+        // step must agree on rounds fired, total evaluations, actuations,
+        // and the resulting knob value. (The scan variant spends its
+        // first check on a baseline of 0 — the armed variant bakes that
+        // baseline in at construction — so no warm-up step is needed for
+        // either.)
+        let schedule: &[&[u64]] = &[
+            &[],     // idle step
+            &[3, 4], // accumulate 7 < 10
+            &[2, 1], // cross to 10
+            &[],     // quiet after consumption
+            &[25],   // overshoot: one latch, not two
+            &[],     // quiet
+            &[9],    // 9 above the re-baselined level
+            &[1],    // cross again
+        ];
+        let k_scan = registry_with("k", 0, 1000, 0);
+        let k_arm = registry_with("k", 0, 1000, 0);
+        let e_scan = PolicyEngine::new(k_scan.clone());
+        let e_arm = PolicyEngine::new(k_arm.clone());
+        let reg = lg_metrics::CounterRegistry::new();
+        let c_scan = reg.striped_counter("scan");
+        let c_arm = reg.striped_counter("arm");
+        e_scan.register_threshold(
+            FnPolicy::new("w", |now, _, _| PolicyDecision::set("k", now as i64)),
+            ThresholdWatch::counter_delta(c_scan.clone(), 10),
+        );
+        e_scan.step(0); // scan variant: baseline-recording check
+        e_arm.register_threshold(
+            FnPolicy::new("w", |now, _, _| PolicyDecision::set("k", now as i64)),
+            ThresholdWatch::counter_delta_armed(&c_arm, 10),
+        );
+        e_arm.step(0);
+        for (i, adds) in schedule.iter().enumerate() {
+            let now = (i + 1) as u64;
+            for &n in adds.iter() {
+                c_scan.add(n);
+                c_arm.add(n);
+            }
+            let r_scan = e_scan.step(now);
+            let r_arm = e_arm.step(now);
+            assert_eq!(r_scan, r_arm, "step {now}: rounds diverged");
+            assert_eq!(
+                k_scan.value("k"),
+                k_arm.value("k"),
+                "step {now}: knob values diverged"
+            );
+        }
+        assert_eq!(e_scan.evaluations(), e_arm.evaluations());
+        assert_eq!(e_scan.actuations(), e_arm.actuations());
+        assert!(
+            e_scan.evaluations() >= 3,
+            "schedule crossed at least 3 times"
+        );
+        assert!(
+            e_arm.fast_path_steps() > 0,
+            "armed engine skipped scans on quiet steps"
+        );
+        assert_eq!(e_scan.fast_path_steps(), 0, "scan engine always scans");
+    }
+
+    #[test]
+    fn deregistering_armed_watch_detaches_the_arm() {
+        let knobs = registry_with("k", 0, 100, 0);
+        let engine = PolicyEngine::new(knobs.clone());
+        let reg = lg_metrics::CounterRegistry::new();
+        let c = reg.striped_counter("events");
+        let h = engine.register_threshold(
+            FnPolicy::new("batch", |_, _, _| PolicyDecision::set("k", 7)),
+            ThresholdWatch::counter_delta_armed(&c, 10),
+        );
+        assert!(engine.deregister(h));
+        c.add(100);
+        assert_eq!(engine.step(1), 0, "detached arm no longer triggers");
+        assert_eq!(knobs.value("k"), Some(0));
+    }
+
+    #[test]
+    fn periodic_policy_disables_the_armed_fast_path() {
+        let knobs = registry_with("k", 0, 100, 0);
+        let engine = PolicyEngine::new(knobs);
+        let reg = lg_metrics::CounterRegistry::new();
+        let c = reg.striped_counter("events");
+        engine.register_threshold(
+            FnPolicy::new("batch", |_, _, _| PolicyDecision::noop()),
+            ThresholdWatch::counter_delta_armed(&c, 10),
+        );
+        let h = engine.register_periodic(
+            FnPolicy::new("tick", |_, _, _| PolicyDecision::noop()),
+            100,
+            0,
+        );
+        engine.step(1);
+        assert_eq!(
+            engine.fast_path_steps(),
+            0,
+            "periodic due dates need the scan"
+        );
+        engine.deregister(h);
+        engine.step(2);
+        assert_eq!(engine.fast_path_steps(), 1, "fast path restored");
     }
 
     #[test]

@@ -13,7 +13,7 @@
 use crate::stripe::{StripedCounter, StripedVersion};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 #[derive(Debug)]
@@ -37,6 +37,7 @@ enum CounterStorage {
 pub struct CounterHandle {
     storage: Arc<CounterStorage>,
     version: Arc<StripedVersion>,
+    arms: Arc<ArmSet>,
 }
 
 impl CounterHandle {
@@ -58,6 +59,11 @@ impl CounterHandle {
         // Release-bump after the value write: a reader that observes the
         // new generation is guaranteed to read the new value.
         self.version.bump();
+        // Write-side threshold arms: one relaxed load on the (usual)
+        // unarmed path.
+        if self.arms.count.load(Ordering::Relaxed) != 0 {
+            self.arms.record(n);
+        }
     }
 
     /// Current value (striped counters fold their stripes).
@@ -72,6 +78,135 @@ impl CounterHandle {
     /// Whether this counter uses striped storage.
     pub fn is_striped(&self) -> bool {
         matches!(&*self.storage, CounterStorage::Striped(_))
+    }
+
+    /// Arms a write-side high-water mark: after `delta` more units have
+    /// been added (across all clones of this handle), the arm latches
+    /// [`HighWaterArm::fired`] and runs its hook — *from the writing
+    /// thread, at add time*. A consumer re-arms with
+    /// [`HighWaterArm::rearm`]; increments keep accumulating while the
+    /// arm is latched, so a late re-arm measures from the true current
+    /// total, not from the crossing.
+    ///
+    /// This is the push alternative to polling [`CounterHandle::get`]:
+    /// an idle counter costs its watchers nothing, and an armed-but-quiet
+    /// counter costs each `add` one extra relaxed load.
+    ///
+    /// # Panics
+    /// Panics if `delta` is zero.
+    pub fn arm_high_water(&self, delta: u64) -> HighWaterArm {
+        assert!(delta > 0, "high-water delta must be positive");
+        let inner = Arc::new(ArmInner {
+            running: AtomicU64::new(0),
+            level: AtomicU64::new(delta),
+            fired: AtomicBool::new(false),
+            hook: Mutex::new(None),
+        });
+        {
+            let mut list = self.arms.list.write();
+            list.push(inner.clone());
+            self.arms.count.store(list.len(), Ordering::Release);
+        }
+        HighWaterArm {
+            set: self.arms.clone(),
+            inner,
+        }
+    }
+}
+
+/// The arms attached to one counter. `count` mirrors `list.len()` so the
+/// write hot path can skip the lock entirely while unarmed.
+#[derive(Debug, Default)]
+struct ArmSet {
+    count: AtomicUsize,
+    list: RwLock<Vec<Arc<ArmInner>>>,
+}
+
+impl ArmSet {
+    #[cold]
+    fn record(&self, n: u64) {
+        for arm in self.list.read().iter() {
+            // Accumulate unconditionally (also while latched): `running`
+            // is the arm's private total, which keeps re-arm levels
+            // aligned with every add that ever happened.
+            let total = arm.running.fetch_add(n, Ordering::AcqRel) + n;
+            if total >= arm.level.load(Ordering::Acquire) && !arm.fired.swap(true, Ordering::AcqRel)
+            {
+                if let Some(hook) = &*arm.hook.lock() {
+                    hook();
+                }
+            }
+        }
+    }
+}
+
+struct ArmInner {
+    /// Units added since arming (never reset; levels move instead).
+    running: AtomicU64,
+    /// Latch when `running` reaches this.
+    level: AtomicU64,
+    fired: AtomicBool,
+    /// Run once per latch, from the crossing writer's thread. Must be
+    /// cheap and non-blocking (typical: bump a pending flag, wake an
+    /// engine).
+    hook: Mutex<Option<Box<dyn Fn() + Send + Sync>>>,
+}
+
+impl std::fmt::Debug for ArmInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ArmInner")
+            .field("running", &self.running)
+            .field("level", &self.level)
+            .field("fired", &self.fired)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Consumer handle to a write-side high-water mark on a counter; created
+/// by [`CounterHandle::arm_high_water`]. Cloneable (clones share the
+/// latch).
+#[derive(Clone, Debug)]
+pub struct HighWaterArm {
+    set: Arc<ArmSet>,
+    inner: Arc<ArmInner>,
+}
+
+impl HighWaterArm {
+    /// Installs the hook run (once per latch) from the thread whose add
+    /// crossed the level. Replaces any previous hook.
+    pub fn set_hook(&self, hook: impl Fn() + Send + Sync + 'static) {
+        *self.inner.hook.lock() = Some(Box::new(hook));
+    }
+
+    /// True while latched (the level was crossed and no re-arm happened).
+    pub fn fired(&self) -> bool {
+        self.inner.fired.load(Ordering::Acquire)
+    }
+
+    /// Units added since arming.
+    pub fn accumulated(&self) -> u64 {
+        self.inner.running.load(Ordering::Acquire)
+    }
+
+    /// Consumes a latch: the next latch happens `delta` units after the
+    /// total observed *now* — identical to a scan-style delta watch
+    /// re-baselining at its firing check.
+    ///
+    /// # Panics
+    /// Panics if `delta` is zero.
+    pub fn rearm(&self, delta: u64) {
+        assert!(delta > 0, "high-water delta must be positive");
+        let base = self.inner.running.load(Ordering::Acquire);
+        self.inner.level.store(base + delta, Ordering::Release);
+        self.inner.fired.store(false, Ordering::Release);
+    }
+
+    /// Detaches the arm from its counter: subsequent adds no longer pay
+    /// for it and the hook never runs again.
+    pub fn disarm(&self) {
+        let mut list = self.set.list.write();
+        list.retain(|a| !Arc::ptr_eq(a, &self.inner));
+        self.set.count.store(list.len(), Ordering::Release);
     }
 }
 
@@ -159,6 +294,7 @@ impl CounterRegistry {
         let h = CounterHandle {
             storage: Arc::new(make()),
             version: self.write_version.clone(),
+            arms: Arc::new(ArmSet::default()),
         };
         w.insert(name.to_owned(), h.clone());
         self.structure.fetch_add(1, Ordering::Release);
@@ -402,6 +538,107 @@ mod tests {
         let t3 = reg.sorted_handles();
         assert!(!StdArc::ptr_eq(&t1, &t3));
         assert_eq!(t3.len(), 3);
+    }
+
+    #[test]
+    fn high_water_arm_latches_on_crossing() {
+        let reg = CounterRegistry::new();
+        let c = reg.counter("x");
+        let arm = c.arm_high_water(10);
+        c.add(9);
+        assert!(!arm.fired());
+        c.add(1);
+        assert!(arm.fired());
+        // Latched, not repeating: further adds keep it latched.
+        c.add(100);
+        assert!(arm.fired());
+        assert_eq!(arm.accumulated(), 110);
+    }
+
+    #[test]
+    fn high_water_rearm_measures_from_current_total() {
+        let reg = CounterRegistry::new();
+        let c = reg.counter("x");
+        let arm = c.arm_high_water(10);
+        c.add(25); // latched at 10, accumulated 25
+        assert!(arm.fired());
+        arm.rearm(10); // next latch at 35
+        assert!(!arm.fired());
+        c.add(9);
+        assert!(!arm.fired());
+        c.add(1);
+        assert!(arm.fired());
+    }
+
+    #[test]
+    fn high_water_hook_runs_once_per_latch_from_writer() {
+        let reg = CounterRegistry::new();
+        let c = reg.counter("x");
+        let arm = c.arm_high_water(5);
+        let fires = StdArc::new(std::sync::atomic::AtomicU64::new(0));
+        let f = fires.clone();
+        arm.set_hook(move || {
+            f.fetch_add(1, Ordering::Relaxed);
+        });
+        for _ in 0..20 {
+            c.inc();
+        }
+        assert_eq!(fires.load(Ordering::Relaxed), 1);
+        arm.rearm(5);
+        for _ in 0..20 {
+            c.inc();
+        }
+        assert_eq!(fires.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn disarm_detaches_from_the_write_path() {
+        let reg = CounterRegistry::new();
+        let c = reg.counter("x");
+        let arm = c.arm_high_water(5);
+        c.add(2);
+        arm.disarm();
+        c.add(100);
+        assert!(!arm.fired());
+        assert_eq!(arm.accumulated(), 2);
+    }
+
+    #[test]
+    fn arms_see_adds_from_all_handle_clones() {
+        let reg = CounterRegistry::new();
+        let a = reg.striped_counter("hot");
+        let arm = a.arm_high_water(8);
+        let b = reg.counter("hot"); // same counter, separate handle
+        b.add(4);
+        a.add(4);
+        assert!(arm.fired());
+    }
+
+    #[test]
+    fn concurrent_armed_adds_latch_exactly_once() {
+        let reg = StdArc::new(CounterRegistry::new());
+        let c = reg.striped_counter("shared");
+        let arm = c.arm_high_water(1_000);
+        let fires = StdArc::new(std::sync::atomic::AtomicU64::new(0));
+        let f = fires.clone();
+        arm.set_hook(move || {
+            f.fetch_add(1, Ordering::Relaxed);
+        });
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let reg = reg.clone();
+            handles.push(std::thread::spawn(move || {
+                let c = reg.counter("shared");
+                for _ in 0..10_000 {
+                    c.inc();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(arm.accumulated(), 80_000);
+        assert_eq!(fires.load(Ordering::Relaxed), 1);
     }
 
     #[test]

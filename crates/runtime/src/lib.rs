@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod budget;
+pub mod dag;
 pub mod fault;
 pub mod par_iter;
 pub mod pool;
@@ -51,6 +52,7 @@ pub mod task;
 pub mod throttle;
 
 pub use budget::ThreadBudget;
+pub use dag::{DagHint, DagNodeId, DagScope};
 pub use fault::{FaultConfig, InjectedFault};
 pub use par_iter::ParallelForStats;
 pub use pool::{PoolConfig, ThreadPool};

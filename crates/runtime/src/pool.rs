@@ -37,6 +37,7 @@ use crate::fault::{FaultConfig, FaultState, TaskFault};
 use crate::task::{join_pair, BodyKind, JoinHandle, Task, TaskBody};
 use crate::throttle::ThreadCap;
 use crossbeam::deque::{Injector, Stealer, Worker as Deque};
+use lg_core::knob::{AtomicKnob, KnobSpec};
 use lg_core::{Event, LookingGlass};
 use lg_metrics::{CounterHandle, CounterRegistry};
 use parking_lot::{Condvar, Mutex};
@@ -155,6 +156,11 @@ pub(crate) struct PoolShared {
     idle_waiters_cv: Condvar,
     panics: AtomicUsize,
     faults: Option<FaultState>,
+    /// `dag.critical_bias` — 1 routes critical-path DAG tasks through the
+    /// priority lane (LIFO slot / front-of-queue), 0 disables the bias so
+    /// they take the normal steal path. Policy-steerable (see
+    /// `lg_core::dag::CriticalPathPolicy`).
+    dag_bias: Arc<AtomicKnob>,
     c_spawned: CounterHandle,
     c_executed: CounterHandle,
     c_steals: CounterHandle,
@@ -163,6 +169,7 @@ pub(crate) struct PoolShared {
     c_boxed_tasks: CounterHandle,
     c_batch_spawns: CounterHandle,
     c_lifo_hits: CounterHandle,
+    c_priority_pushes: CounterHandle,
     c_injected_panics: CounterHandle,
     c_injected_stragglers: CounterHandle,
 }
@@ -192,9 +199,16 @@ impl ThreadPool {
             .collect();
         let cap = ThreadCap::new(config.workers);
         let budget = ThreadBudget::new(config.workers);
+        let dag_bias = AtomicKnob::new(
+            KnobSpec::new("dag.critical_bias", 0, 1)
+                .with_unit("bool")
+                .with_default(1),
+            1,
+        );
         if config.register_knobs {
             lg.knobs().register(Arc::new(cap.clone()));
             lg.knobs().register(Arc::new(budget.clone()));
+            lg.knobs().register(dag_bias.clone());
             // The pool's counters ride along in every introspection
             // snapshot the instance captures.
             lg.introspection().register_counters(counters.clone());
@@ -222,6 +236,7 @@ impl ThreadPool {
             idle_waiters_lock: Mutex::new(()),
             idle_waiters_cv: Condvar::new(),
             panics: AtomicUsize::new(0),
+            dag_bias,
             faults: config
                 .faults
                 .as_ref()
@@ -239,6 +254,7 @@ impl ThreadPool {
             c_boxed_tasks: counters.striped_counter("rt.boxed_tasks"),
             c_batch_spawns: counters.striped_counter("rt.batch_spawns"),
             c_lifo_hits: counters.striped_counter("rt.lifo_hits"),
+            c_priority_pushes: counters.striped_counter("rt.priority_pushes"),
             c_injected_panics: counters.counter("rt.injected_panics"),
             c_injected_stragglers: counters.counter("rt.injected_stragglers"),
         });
@@ -274,6 +290,14 @@ impl ThreadPool {
     /// releases worker OS threads; growing re-spawns them.
     pub fn thread_budget(&self) -> ThreadBudget {
         self.shared.budget.clone()
+    }
+
+    /// The `dag.critical_bias` knob: 1 (default) routes critical-path DAG
+    /// tasks through the priority lane, 0 sends them down the normal
+    /// steal path. Registered on the instance's knob registry when
+    /// `register_knobs` is set, so policies steer it by name.
+    pub fn dag_bias_knob(&self) -> Arc<AtomicKnob> {
+        self.shared.dag_bias.clone()
     }
 
     /// Worker indices with a resident OS thread right now. Shrinking the
@@ -487,6 +511,51 @@ impl PoolShared {
             self.injector.push(task);
             self.wake_workers(1);
         }
+    }
+
+    /// Priority push for critical-path DAG tasks: on a worker of this
+    /// pool, the task takes the LIFO slot (runs next, caches hot) and any
+    /// displaced occupant goes to the *front* of the local deque so it
+    /// stays ahead of older queued work; from outside, the task enters
+    /// the injector at the steal end so the next batch-steal returns it
+    /// first. With the `dag.critical_bias` knob at 0 this degrades to a
+    /// normal [`PoolShared::push`].
+    pub(crate) fn push_priority(&self, task: Task) {
+        if !self.dag_bias_enabled() {
+            self.push(task);
+            return;
+        }
+        let task = self.admit(task);
+        self.c_priority_pushes.inc();
+        let mut task = Some(task);
+        CURRENT_WORKER.with(|cw| {
+            if let Some((pool_id, idx, deque)) = cw.get() {
+                if pool_id == self.id {
+                    // SAFETY: same argument as `push` — this thread is
+                    // worker `idx` of this pool, sole owner of its slot,
+                    // and the deque pointer is live for the duration of
+                    // any task body.
+                    let displaced = unsafe {
+                        (*self.slots[idx].cell.get()).replace(task.take().expect("task present"))
+                    };
+                    if let Some(displaced) = displaced {
+                        unsafe { (*deque).push_front(displaced) };
+                        self.wake_workers(1);
+                    }
+                }
+            }
+        });
+        if let Some(task) = task {
+            self.injector.push_front(task);
+            self.wake_workers(1);
+        }
+    }
+
+    /// True while the `dag.critical_bias` knob routes critical tasks
+    /// through the priority lane.
+    pub(crate) fn dag_bias_enabled(&self) -> bool {
+        use lg_core::knob::Knob;
+        self.dag_bias.get() != 0
     }
 
     /// Pushes a pre-built chunk set into the injector in one operation and
@@ -893,6 +962,7 @@ mod tests {
             "rt.boxed_tasks",
             "rt.batch_spawns",
             "rt.lifo_hits",
+            "rt.priority_pushes",
         ] {
             assert!(p.counters().counter(name).is_striped(), "{name}");
         }

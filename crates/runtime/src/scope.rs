@@ -36,26 +36,45 @@ struct ScopeState {
     panicked: AtomicUsize,
 }
 
-/// A scoped task's completion hook: one per task, run by the worker after
-/// the `TaskEnd` event (or dropped with a discarded task), decrementing
-/// the scope's remaining-task barrier either way. Concrete — not a boxed
-/// closure — so attaching it to a task allocates nothing.
-pub(crate) struct Completion {
-    state: Arc<ScopeState>,
+/// A task's completion hook: one per task, run by the worker after the
+/// `TaskEnd` event (or dropped with a discarded task). Concrete — not a
+/// boxed closure — so attaching it to a task allocates nothing. Two
+/// flavours: fork-join scopes decrement a barrier, DAG scopes also
+/// release successor tasks (see [`crate::dag`]).
+pub(crate) enum Completion {
+    /// Decrements a [`ThreadPool::scope`] barrier.
+    Scope(ScopeCompletion),
+    /// Releases DAG successors, then decrements the DAG-scope barrier.
+    Dag(crate::dag::DagCompletion),
 }
 
 impl Completion {
-    /// Records the task's outcome. Consumes `self`; the barrier decrement
-    /// happens in `Drop`, so a completion that is never `run` (its task
-    /// was discarded at shutdown) still releases the scope.
+    /// Records the task's outcome. Consumes `self`; the structural work
+    /// (barrier decrement, successor release) happens in `Drop`, so a
+    /// completion that is never `run` (its task was discarded at
+    /// shutdown) still releases the scope.
     pub(crate) fn run(self, panicked: bool) {
+        match self {
+            Completion::Scope(c) => c.run(panicked),
+            Completion::Dag(c) => c.run(panicked),
+        }
+    }
+}
+
+/// The fork-join flavour: decrements the scope's remaining-task barrier.
+pub(crate) struct ScopeCompletion {
+    state: Arc<ScopeState>,
+}
+
+impl ScopeCompletion {
+    fn run(self, panicked: bool) {
         if panicked {
             self.state.panicked.fetch_add(1, Ordering::AcqRel);
         }
     }
 }
 
-impl Drop for Completion {
+impl Drop for ScopeCompletion {
     fn drop(&mut self) {
         if self.state.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
             let _g = self.state.lock.lock();
@@ -74,9 +93,9 @@ pub struct Scope<'scope, 'pool> {
 impl<'scope> Scope<'scope, '_> {
     fn completion(&self) -> Completion {
         self.state.remaining.fetch_add(1, Ordering::AcqRel);
-        Completion {
+        Completion::Scope(ScopeCompletion {
             state: self.state.clone(),
-        }
+        })
     }
 
     /// Spawns a named task that may borrow from the enclosing scope.

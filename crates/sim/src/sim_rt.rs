@@ -35,6 +35,11 @@ pub struct SimTask {
     pub ops: f64,
     /// Bytes of memory traffic the task generates.
     pub bytes: f64,
+    /// Caller-chosen correlation tag, reported back through
+    /// [`SimRuntime::take_completions`]. External schedulers (e.g. the DAG
+    /// driver) use it to map a completion back to their own node identity.
+    /// Zero by default.
+    pub tag: u64,
 }
 
 impl SimTask {
@@ -49,7 +54,14 @@ impl SimTask {
             name: name.into(),
             ops,
             bytes,
+            tag: 0,
         }
+    }
+
+    /// Sets the correlation tag (builder style).
+    pub fn with_tag(mut self, tag: u64) -> Self {
+        self.tag = tag;
+        self
     }
 
     /// Bytes per op (traffic intensity).
@@ -74,6 +86,7 @@ struct Running {
     body_ops: f64,
     bpo: f64,
     started_ns: u64,
+    tag: u64,
 }
 
 /// Summary of one [`SimRuntime::run_until_idle`] call.
@@ -143,6 +156,9 @@ pub struct SimRuntime {
     /// continuous progress signal (`ops_done` is quantized to whole-task
     /// completions, useless inside a round shorter than a task).
     ops_progressed: f64,
+    /// `(tag, completion time)` of every finished task since the last
+    /// [`SimRuntime::take_completions`], in completion order.
+    completions: Vec<(u64, u64)>,
 }
 
 impl SimRuntime {
@@ -206,6 +222,7 @@ impl SimRuntime {
             tasks_done: 0,
             ops_done: 0.0,
             ops_progressed: 0.0,
+            completions: Vec::new(),
         }
     }
 
@@ -324,6 +341,7 @@ impl SimRuntime {
                 body_ops: task.ops,
                 bpo: task.bytes_per_op(),
                 started_ns: now,
+                tag: task.tag,
             });
         }
     }
@@ -406,6 +424,7 @@ impl SimRuntime {
                         });
                         self.tasks_done += 1;
                         self.ops_done += r.body_ops;
+                        self.completions.push((r.tag, now));
                     }
                 }
             } else {
@@ -476,6 +495,24 @@ impl SimRuntime {
             tasks: self.tasks_done - tasks0,
             ops: self.ops_done - ops0,
         }
+    }
+
+    /// Advances the simulation by exactly one rate-change boundary: fills
+    /// free slots from the queue, then steps to the earliest phase
+    /// completion. Returns `false` when there was nothing to run — the
+    /// hook an *external* scheduler (one that withholds tasks until their
+    /// dependencies resolve, like the DAG driver) uses to interleave its
+    /// own release decisions with the fluid model. Completions land in
+    /// [`SimRuntime::take_completions`].
+    pub fn step_boundary(&mut self) -> bool {
+        self.fill_slots();
+        self.step_running(u64::MAX)
+    }
+
+    /// Drains the `(tag, completion time ns)` log of tasks finished since
+    /// the last call, in completion order (ties in task-list order).
+    pub fn take_completions(&mut self) -> Vec<(u64, u64)> {
+        std::mem::take(&mut self.completions)
     }
 
     /// Tasks queued but not yet started plus tasks in progress — the
@@ -772,6 +809,25 @@ mod tests {
         let sim = SimRuntime::new(machine(8, 1e9, 1e9));
         let space = sim.lg().knobs().space_for(&["thread_cap"]);
         assert_eq!(space.dims()[0].all_values(), &[1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn step_boundary_drives_tagged_completions() {
+        let mut sim = SimRuntime::new(machine(2, 1e9, 1e15));
+        // 2 cores, 3 tasks: tags 7 and 8 run first (1 ms, 2 ms), tag 9
+        // starts when 7 finishes and ends at 1 ms + 3 ms = 4 ms.
+        sim.submit(SimTask::new("a", 1e6, 0.0).with_tag(7));
+        sim.submit(SimTask::new("b", 2e6, 0.0).with_tag(8));
+        sim.submit(SimTask::new("c", 3e6, 0.0).with_tag(9));
+        while sim.step_boundary() {}
+        let done = sim.take_completions();
+        let tags: Vec<u64> = done.iter().map(|&(tag, _)| tag).collect();
+        assert_eq!(tags, vec![7, 8, 9]);
+        assert!((done[0].1 as f64 - 1e6).abs() < 10.0);
+        assert!((done[1].1 as f64 - 2e6).abs() < 10.0);
+        assert!((done[2].1 as f64 - 4e6).abs() < 10.0);
+        assert!(sim.take_completions().is_empty(), "log drained");
+        assert!(!sim.step_boundary(), "idle runtime reports no work");
     }
 
     #[test]

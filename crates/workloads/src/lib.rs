@@ -11,6 +11,7 @@
 //!
 //! | Workload | Module | Character |
 //! |---|---|---|
+//! | DAG matrix | [`dag`] | Task Bench-style dependency patterns |
 //! | 1-D heat stencil | [`stencil1d`] | memory-bound, iterative |
 //! | 2-D heat stencil | [`stencil2d`] | memory-bound, blocked |
 //! | transcendental kernel | [`compute`] | compute-bound |
@@ -24,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod compute;
+pub mod dag;
 pub mod fib;
 pub mod parcel_storm;
 pub mod phased;
@@ -34,6 +36,7 @@ pub mod tenants;
 pub mod uts;
 
 pub use compute::ComputeKernel;
+pub use dag::{CostModel, DagConfig, DagPattern, DagSched, DagSpec};
 pub use parcel_storm::ParcelStorm;
 pub use phased::PhasedWorkload;
 pub use serve::{ArrivalGen, ArrivalPattern, ServeConfig, ServeEngine, ServeReport};

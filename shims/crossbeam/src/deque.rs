@@ -53,6 +53,17 @@ impl<T> Worker<T> {
             .push_back(task);
     }
 
+    /// Pushes a task onto the *pop* end, so the owner runs it next —
+    /// ahead of everything already queued. Deviation from crossbeam
+    /// (which has no front push); the runtime uses it as the priority
+    /// lane for critical-path DAG tasks displaced from the LIFO slot.
+    pub fn push_front(&self, task: T) {
+        self.queue
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push_front(task);
+    }
+
     /// Pops the owner's next task.
     pub fn pop(&self) -> Option<T> {
         self.queue
@@ -130,6 +141,17 @@ impl<T> Injector<T> {
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .push_back(task);
+    }
+
+    /// Pushes a task at the *steal* end, so the next `steal_batch_and_pop`
+    /// returns it first. Deviation from crossbeam (which has no front
+    /// push); this is the injector's priority lane for critical-path DAG
+    /// tasks released from a non-worker thread.
+    pub fn push_front(&self, task: T) {
+        self.queue
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push_front(task);
     }
 
     /// True if nothing is queued right now.
@@ -248,6 +270,26 @@ mod tests {
             }
         }
         assert_eq!(seen, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn worker_push_front_runs_next() {
+        let w = Worker::new_fifo();
+        w.push(1);
+        w.push(2);
+        w.push_front(99);
+        assert_eq!(w.pop(), Some(99));
+        assert_eq!(w.pop(), Some(1));
+    }
+
+    #[test]
+    fn injector_push_front_steals_first() {
+        let inj = Injector::new();
+        inj.push(1);
+        inj.push(2);
+        inj.push_front(99);
+        let w = Worker::new_fifo();
+        assert_eq!(inj.steal_batch_and_pop(&w), Steal::Success(99));
     }
 
     #[test]
