@@ -9,11 +9,19 @@
 //! steady-state observation cost, not actuation churn.
 //!
 //! Fleets of 1 / 16 / 64 tenants, each a full [`LookingGlass`] with its
-//! own `thread_cap` knob, admitted under equal weights.
+//! own `thread_cap` knob, admitted under equal weights. The
+//! `demand_aware_*` variants admit every tenant with a native demand
+//! probe (saturating profile over a declared width), so each round also
+//! evaluates 64 probes and runs the marginal-utility transfer pass —
+//! the fig10 target is ≤ 35 µs for the idle 64-tenant demand-aware
+//! round.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use lg_core::knob::{AtomicKnob, KnobSpec};
-use lg_core::{Arbiter, ArbiterConfig, Clock, LookingGlass, SloClass, TenantSpec, VirtualClock};
+use lg_core::{
+    Arbiter, ArbiterConfig, Clock, DemandClass, DemandProfile, LookingGlass, SloClass, TenantSpec,
+    VirtualClock,
+};
 use std::sync::Arc;
 
 const PERIOD_NS: u64 = 10_000_000;
@@ -25,7 +33,7 @@ struct Fleet {
     _tenants: Vec<Arc<LookingGlass>>,
 }
 
-fn fleet(n: usize) -> Fleet {
+fn fleet(n: usize, demand_aware: bool) -> Fleet {
     let clock = Arc::new(VirtualClock::new());
     let gov = LookingGlass::builder().clock(clock.clone()).build();
     // Budget scales with the fleet so every tenant's floor fits.
@@ -37,11 +45,16 @@ fn fleet(n: usize) -> Fleet {
             KnobSpec::new("thread_cap", 1, 8).with_unit("workers"),
             8,
         ));
-        arb.admit(
-            lg.clone(),
-            TenantSpec::new(format!("t{i}"), SloClass::Batch, 8).with_min_threads(1),
-            "thread_cap",
-        );
+        let mut spec = TenantSpec::new(format!("t{i}"), SloClass::Batch, 8).with_min_threads(1);
+        if demand_aware {
+            // A stable declared width: the probe runs every round, but a
+            // settled fleet still must not actuate.
+            let width = 2.0 + (i % 4) as f64;
+            spec = spec.with_demand_probe(move |_snap, alloc| {
+                DemandProfile::saturating(DemandClass::Batch, 0.0, width, alloc)
+            });
+        }
+        arb.admit(lg.clone(), spec, "thread_cap");
         tenants.push(lg);
     }
     // Settle: the first round performs the initial writes; every round
@@ -58,12 +71,23 @@ fn fleet(n: usize) -> Fleet {
 fn bench_control_round(c: &mut Criterion) {
     let mut g = c.benchmark_group("arbiter_round");
     for n in [1usize, 16, 64] {
-        let f = fleet(n);
+        let f = fleet(n, false);
         g.bench_function(format!("idle_{n}_tenants"), |b| {
             b.iter(|| {
                 f.clock.advance_by(PERIOD_NS);
                 let r = f.arb.control_round(f.clock.now_ns());
                 assert_eq!(r.knob_writes, 0, "idle round must not actuate");
+                r.total_allocated
+            })
+        });
+    }
+    for n in [16usize, 64] {
+        let f = fleet(n, true);
+        g.bench_function(format!("demand_aware_{n}_tenants"), |b| {
+            b.iter(|| {
+                f.clock.advance_by(PERIOD_NS);
+                let r = f.arb.control_round(f.clock.now_ns());
+                assert_eq!(r.knob_writes, 0, "settled demand round must not actuate");
                 r.total_allocated
             })
         });

@@ -17,22 +17,53 @@
 //!   latency would let the governor's own backlog poison it into a
 //!   limit-1 death spiral), and a hysteresis brownout on the shed level
 //!   driven by the *end-to-end* window p99 — shed optional work early
-//!   instead of missing mandatory work late. A regression watchdog over
-//!   the per-round completion rate backstops the controllers and rolls
-//!   back any actuation that collapses it.
+//!   instead of missing mandatory work late. Both controllers are
+//!   **threshold-triggered** ([`lg_core::ThresholdWatch::relative_change`]
+//!   on their own sensing gauge): they evaluate only in rounds where the
+//!   signal actually moved, so a quiet tail costs a cheap watch scan,
+//!   not a capture — the run reports its reaction-round counts. A
+//!   regression watchdog over the per-round completion rate backstops
+//!   the controllers and rolls back any actuation that collapses it.
 //!
 //! Everything runs in virtual time from seeded RNGs, so a given
 //! `(load, policy, seed)` triple replays bit-for-bit.
 
 use crate::report::{fmt_f, write_csv, Table};
+use lg_core::snapshot::IntrospectionSnapshot;
 use lg_core::{
-    AdmissionGate, AimdPolicy, Brownout, BrownoutPolicy, Bulkhead, LookingGlass,
-    RegressionWatchdog, VirtualClock,
+    AdmissionGate, AimdPolicy, Brownout, BrownoutPolicy, Bulkhead, LookingGlass, Policy,
+    PolicyDecision, RegressionWatchdog, ThresholdWatch, VirtualClock,
 };
 use lg_metrics::CounterRegistry;
 use lg_net::{FaultPlan, ReliableConfig, ReliableLink, ReliableReport, TransportCost};
 use lg_workloads::serve::{ArrivalGen, ArrivalPattern, ServeConfig, ServeEngine, ServeReport};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Wraps a policy and counts its evaluations. Registered under a
+/// [`ThresholdWatch`], the count is exactly the number of *reaction
+/// rounds* — rounds where the watched signal moved enough to wake the
+/// controller — which the experiment gates against the total round
+/// count to prove the trigger path is actually sparse.
+struct Counted {
+    inner: Box<dyn Policy>,
+    reactions: Arc<AtomicU64>,
+}
+
+impl Policy for Counted {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+    fn evaluate(
+        &mut self,
+        now_ns: u64,
+        trigger: lg_core::policy::Trigger<'_>,
+        snapshot: &IntrospectionSnapshot,
+    ) -> PolicyDecision {
+        self.reactions.fetch_add(1, Ordering::Relaxed);
+        self.inner.evaluate(now_ns, trigger, snapshot)
+    }
+}
 
 /// How the serving knobs are governed during the run.
 #[derive(Clone, Copy, Debug)]
@@ -83,6 +114,12 @@ pub struct OverloadResult {
     pub knob_writes: u64,
     /// Watchdog rollbacks (journal records marked rolled back).
     pub watchdog_rollbacks: u64,
+    /// Control rounds driven through the policy engine.
+    pub control_rounds: u64,
+    /// Rounds where the AIMD bulkhead's threshold watch woke it.
+    pub aimd_reactions: u64,
+    /// Rounds where the brownout's threshold watch woke it.
+    pub brownout_reactions: u64,
     /// Mean adaptation latency (trigger sensed → knob write journaled),
     /// µs. Wall-clock, so it varies run to run; `NaN` when the run never
     /// actuated (static policies).
@@ -106,6 +143,9 @@ impl PartialEq for OverloadResult {
             && self.p999_ms == other.p999_ms
             && self.knob_writes == other.knob_writes
             && self.watchdog_rollbacks == other.watchdog_rollbacks
+            && self.control_rounds == other.control_rounds
+            && self.aimd_reactions == other.aimd_reactions
+            && self.brownout_reactions == other.brownout_reactions
             && self.serve == other.serve
             && self.link == other.link
     }
@@ -121,6 +161,11 @@ const ADAPTIVE_INITIAL_LIMIT: i64 = 16;
 /// The AIMD governor probes no higher than this: far enough past the
 /// knee to find it, close enough that a probe cannot wreck the tail.
 const AIMD_MAX_LIMIT: i64 = 64;
+/// Relative move of a controller's sensing window-p99 that wakes it.
+/// Under traffic the windows jitter well past this every few rounds, so
+/// the controllers stay live through the spike; once the stream drains
+/// the gauges freeze and the engine's step is a watch scan, no capture.
+const REACT_FRAC: f64 = 0.10;
 
 fn storm_plan(seed: u64, storm: Storm) -> FaultPlan {
     match storm {
@@ -216,6 +261,8 @@ pub fn simulate(
     engine.bind_introspection(lg.introspection());
     engine.bind_metrics(&counters);
 
+    let aimd_reactions = Arc::new(AtomicU64::new(0));
+    let brownout_reactions = Arc::new(AtomicU64::new(0));
     if matches!(policy, ServePolicy::Adaptive) {
         // Signal separation is what keeps the loop stable: the AIMD
         // governor senses *service-stage* latency — the knee's signature
@@ -236,23 +283,36 @@ pub fn simulate(
         // AIMD trigger here: the storm opens breakers on every flap
         // cycle, and halving concurrency for a fault the bulkhead cannot
         // fix just starves the recovery.
-        lg.policy_engine().register_periodic(
-            AimdPolicy::new(
-                "serve.bulkhead_limit",
-                BULKHEAD_MIN,
-                AIMD_MAX_LIMIT,
-                ADAPTIVE_INITIAL_LIMIT,
-                2,
-                0.7,
-            )
-            .on_latency_above(service_p99, 12e6),
-            control_period,
-            0,
+        // Threshold-triggered, not periodic: each controller sleeps
+        // behind a relative-change watch on the very gauge it senses,
+        // and only rounds where that window moved become evaluation
+        // (reaction) rounds. The counts are part of the result so the
+        // gates can assert the trigger path both fired and stayed
+        // sparse.
+        let sg = engine.gauges().clone();
+        lg.policy_engine().register_threshold(
+            Box::new(Counted {
+                inner: AimdPolicy::new(
+                    "serve.bulkhead_limit",
+                    BULKHEAD_MIN,
+                    AIMD_MAX_LIMIT,
+                    ADAPTIVE_INITIAL_LIMIT,
+                    2,
+                    0.7,
+                )
+                .on_latency_above(service_p99, 12e6),
+                reactions: aimd_reactions.clone(),
+            }),
+            ThresholdWatch::relative_change(move || sg.service_p99_window_ns() as f64, REACT_FRAC),
         );
-        lg.policy_engine().register_periodic(
-            BrownoutPolicy::new("serve.shed_level", e2e_p99, 40e6, 20e6).with_max_level(4),
-            control_period,
-            0,
+        let eg = engine.gauges().clone();
+        lg.policy_engine().register_threshold(
+            Box::new(Counted {
+                inner: BrownoutPolicy::new("serve.shed_level", e2e_p99, 40e6, 20e6)
+                    .with_max_level(4),
+                reactions: brownout_reactions.clone(),
+            }),
+            ThresholdWatch::relative_change(move || eg.p99_window_ns() as f64, REACT_FRAC),
         );
         // Backstop, not controller: only a post-actuation collapse of
         // the completion rate (>75% round-over-round) triggers a
@@ -286,8 +346,10 @@ pub fn simulate(
 
     let trace = std::env::var("LG_FIG9_TRACE").is_ok();
     let gauges = engine.gauges().clone();
+    let mut control_rounds = 0u64;
     let serve = engine.run(&requests, |t| {
         clock.advance_to(t);
+        control_rounds += 1;
         lg.policy_engine().step(t);
         if trace {
             println!(
@@ -327,6 +389,9 @@ pub fn simulate(
         p999_ms: serve.p999_latency_ns as f64 / 1e6,
         knob_writes,
         watchdog_rollbacks,
+        control_rounds,
+        aimd_reactions: aimd_reactions.load(Ordering::Relaxed),
+        brownout_reactions: brownout_reactions.load(Ordering::Relaxed),
         adapt_latency_mean_us,
         serve,
         link,
@@ -374,6 +439,8 @@ pub fn run(fast: bool) {
             "p999_ms",
             "knob_writes",
             "rollbacks",
+            "reactions",
+            "rounds",
             "adapt_lat_us",
         ],
     );
@@ -391,6 +458,8 @@ pub fn run(fast: bool) {
                 fmt_f(r.p999_ms),
                 r.knob_writes.to_string(),
                 r.watchdog_rollbacks.to_string(),
+                format!("{}+{}", r.aimd_reactions, r.brownout_reactions),
+                r.control_rounds.to_string(),
                 if r.adapt_latency_mean_us.is_nan() {
                     "-".into()
                 } else {
@@ -458,6 +527,23 @@ mod tests {
         );
         // The controllers actually acted, through the journal.
         assert!(adaptive.knob_writes > 0, "no journaled actuations");
+        // The threshold watches both woke their controllers and kept
+        // them asleep in quiet rounds: reaction rounds are nonzero but
+        // a strict subset of control rounds.
+        assert!(
+            adaptive.aimd_reactions > 0 && adaptive.brownout_reactions > 0,
+            "threshold watches never fired: aimd {} brownout {}",
+            adaptive.aimd_reactions,
+            adaptive.brownout_reactions
+        );
+        assert!(
+            adaptive.aimd_reactions < adaptive.control_rounds
+                && adaptive.brownout_reactions < adaptive.control_rounds,
+            "controllers woke every round ({} / {} of {}): the trigger path is not sparse",
+            adaptive.aimd_reactions,
+            adaptive.brownout_reactions,
+            adaptive.control_rounds
+        );
         // ...and every actuating round stamped its trigger→journal
         // latency (wall-clock, so only finiteness is asserted).
         assert!(

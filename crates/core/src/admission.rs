@@ -29,6 +29,7 @@
 //! applies them via the [`KnobRegistry`](crate::KnobRegistry) — clamped,
 //! journaled, visible to the watchdog.
 
+use crate::arbiter::{DemandClass, DemandProfile};
 use crate::knob::{AtomicKnob, Knob, KnobSpec, KnobTarget};
 use crate::policy::{Policy, PolicyDecision, Trigger};
 use crate::snapshot::{IntrospectionSnapshot, MetricId};
@@ -572,6 +573,34 @@ impl Policy for BrownoutPolicy {
     }
 }
 
+/// The serve plane's native [`DemandProfile`], from live admission-side
+/// signals: queue depth, in-flight count, SLO pressure, and whether the
+/// gate or brownout is currently shedding.
+///
+/// Useful width is the plane's visible concurrency (in-flight + queued)
+/// with 2× headroom so a burst admits before the next arbitration round,
+/// capped at `max_width`. Two overrides pin the width to `max_width`
+/// outright: SLO pressure ≥ 1 (latency targets are being missed — a
+/// stale width estimate must not throttle the recovery) and active
+/// shedding (the admission plane is already turning work away, so
+/// demand provably exceeds whatever width the queue shows).
+pub fn serve_demand(
+    pressure: f64,
+    queue_depth: f64,
+    in_flight: f64,
+    shedding: bool,
+    max_width: i64,
+    alloc: i64,
+) -> DemandProfile {
+    let max_w = max_width.max(1) as f64;
+    let width = if pressure >= 1.0 || shedding {
+        max_w
+    } else {
+        (2.0 * (queue_depth.max(0.0) + in_flight.max(0.0))).min(max_w)
+    };
+    DemandProfile::saturating(DemandClass::Serve, pressure, width, alloc)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -766,5 +795,21 @@ mod tests {
         lat.store(1_000_000, Ordering::Relaxed);
         let d = p.evaluate(3, Trigger::Periodic, &intro.capture(3));
         assert_eq!(d.sets[0].1, 0);
+    }
+
+    #[test]
+    fn serve_demand_widths_track_load_and_overload() {
+        // Light load: width is 2× visible concurrency, well below max.
+        let light = serve_demand(0.2, 3.0, 2.0, false, 64, 8);
+        assert_eq!(light.class, DemandClass::Serve);
+        assert_eq!(light.useful_width, Some(10.0));
+        // Past the SLO: width pins to max regardless of the queue.
+        let hot = serve_demand(1.4, 0.0, 1.0, false, 64, 8);
+        assert_eq!(hot.useful_width, Some(64.0));
+        assert_eq!(hot.utility_up, 1.0);
+        // Shedding pins the width too — the gate turning work away is
+        // proof demand exceeds the visible queue.
+        let shed = serve_demand(0.5, 0.0, 0.0, true, 64, 8);
+        assert_eq!(shed.useful_width, Some(64.0));
     }
 }

@@ -21,9 +21,12 @@
 //!    number of rounds;
 //! 4. **arbitrates** the machine budgets — total worker threads, an
 //!    optional power envelope, an optional sampling-bandwidth budget —
-//!    via the pure function [`arbitrate`] (weighted fair share with
-//!    min/max water-filling, largest-remainder rounding, and
-//!    latency-over-batch preemption);
+//!    via the pure function [`arbitrate`]: weighted water-filling with
+//!    largest-remainder rounding over each tenant's *declared useful
+//!    width* (a [`DemandProfile`]), latency-over-batch preemption, and a
+//!    marginal-utility transfer pass that moves threads from the tenant
+//!    whose last thread buys the least to the tenant whose next thread
+//!    buys the most;
 //! 5. **actuates** by writing each tenant's thread knob through the
 //!    *tenant's* journal (actor `"arbiter"`), and mirrors the decision
 //!    into its own governor registry (knob `"t<i>.threads"`, actor
@@ -47,9 +50,10 @@ use crate::event::TaskId;
 use crate::instance::LookingGlass;
 use crate::journal::ActuationJournal;
 use crate::knob::{AtomicKnob, KnobId, KnobSpec};
-use crate::snapshot::MetricId;
+use crate::snapshot::{IntrospectionSnapshot, MetricId};
 use crate::tenant::{SloClass, TenantId};
 use parking_lot::Mutex;
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -112,6 +116,144 @@ impl ArbiterConfig {
     }
 }
 
+/// Which plane a [`DemandProfile`] came from. Purely descriptive for
+/// pressure-shim tenants; for native publishers it gates the
+/// marginal-utility transfer pass (legacy `Pressure` profiles carry no
+/// utility signal and never participate).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DemandClass {
+    /// Legacy scalar-pressure shim ([`DemandProfile::from_pressure`]).
+    Pressure,
+    /// Request-serving plane: queue depth + admission shed rate.
+    Serve,
+    /// DAG plane: ready-frontier width + critical-path tail.
+    Dag,
+    /// Throughput batch plane: occupancy / steal rate.
+    Batch,
+}
+
+/// What one tenant tells the governor about its resource demand this
+/// round — the typed replacement for the bare `metric / threshold`
+/// pressure scalar.
+///
+/// The profile carries three orthogonal signals:
+///
+/// * `pressure` — how badly the tenant is missing its SLO (≥ 1 means
+///   missing; keys latency-over-batch preemption exactly as before);
+/// * `useful_width` — how many threads the tenant can *currently use*
+///   (a serve plane's in-flight + queued headroom, a DAG plane's ready
+///   frontier). Threads beyond it have zero marginal utility, so the
+///   allocator caps the tenant there and re-shares the difference;
+/// * `utility_up` / `utility_down` — the estimated marginal benefit of
+///   one more thread and marginal cost of one fewer, in [0, 1]. The
+///   transfer pass moves threads from the tenant whose last thread buys
+///   the least to the tenant whose next thread buys the most.
+#[derive(Clone, Copy, Debug)]
+pub struct DemandProfile {
+    /// SLO pressure ratio; ≥ 1 means the tenant is under pressure.
+    pub pressure: f64,
+    /// Parallelizable headroom: threads the tenant can use right now.
+    /// `None` means unknown/unbounded (the tenant's ceiling applies).
+    pub useful_width: Option<f64>,
+    /// Marginal utility of +1 thread, in [0, 1].
+    pub utility_up: f64,
+    /// Marginal utility lost by −1 thread, in [0, 1].
+    pub utility_down: f64,
+    /// Which plane published this profile.
+    pub class: DemandClass,
+}
+
+impl DemandProfile {
+    /// The shim from the legacy scalar path: pressure only, no width,
+    /// no utility signal. Tenants built with
+    /// [`TenantSpec::with_pressure`] publish exactly this, so the
+    /// allocator reproduces the old behaviour bit-for-bit.
+    pub fn from_pressure(pressure: f64) -> Self {
+        Self {
+            pressure,
+            useful_width: None,
+            utility_up: 0.0,
+            utility_down: 0.0,
+            class: DemandClass::Pressure,
+        }
+    }
+
+    /// A native profile whose utilities saturate against the declared
+    /// width: `utility_up` is how much of one extra thread would still
+    /// land inside `width` given the current `alloc`, `utility_down`
+    /// how much of the last held thread is inside it. A tenant whose
+    /// frontier is wider than its allocation reports
+    /// `up = down = 1` (wants more, hurts to shrink); one allocated past
+    /// its frontier reports `up = 0` and a fractional `down`.
+    pub fn saturating(class: DemandClass, pressure: f64, width: f64, alloc: i64) -> Self {
+        let width = width.max(0.0);
+        let a = alloc.max(0) as f64;
+        Self {
+            pressure,
+            useful_width: Some(width),
+            utility_up: (width - a).clamp(0.0, 1.0),
+            utility_down: (width - a + 1.0).clamp(0.0, 1.0),
+            class,
+        }
+    }
+}
+
+impl Default for DemandProfile {
+    fn default() -> Self {
+        Self::from_pressure(0.0)
+    }
+}
+
+/// Signature of a native demand publisher: the tenant's fresh snapshot
+/// and current allocation in, a [`DemandProfile`] out.
+pub type DemandProbe = Arc<dyn Fn(&IntrospectionSnapshot, i64) -> DemandProfile + Send + Sync>;
+
+/// How a tenant's [`DemandProfile`] is produced each round.
+#[derive(Default)]
+pub enum DemandSource {
+    /// No signal: the tenant always reports the default profile.
+    #[default]
+    None,
+    /// Legacy scalar path: read `metric` from the tenant's snapshot and
+    /// publish `DemandProfile::from_pressure(metric / threshold)`.
+    Pressure {
+        /// Metric name in the tenant's own introspection.
+        metric: String,
+        /// SLO threshold the metric is compared against.
+        threshold: f64,
+    },
+    /// Native publisher: called with the tenant's fresh snapshot and its
+    /// current allocation; the plane computes its own profile.
+    Probe(DemandProbe),
+}
+
+impl Clone for DemandSource {
+    fn clone(&self) -> Self {
+        match self {
+            Self::None => Self::None,
+            Self::Pressure { metric, threshold } => Self::Pressure {
+                metric: metric.clone(),
+                threshold: *threshold,
+            },
+            Self::Probe(f) => Self::Probe(f.clone()),
+        }
+    }
+}
+
+impl fmt::Debug for DemandSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::None => f.write_str("DemandSource::None"),
+            Self::Pressure { metric, threshold } => f
+                .debug_struct("DemandSource::Pressure")
+                .field("metric", metric)
+                .field("threshold", threshold)
+                .finish(),
+            Self::Probe(_) => f.write_str("DemandSource::Probe(..)"),
+        }
+    }
+}
+
 /// Declared identity and resource envelope of one tenant.
 #[derive(Clone, Debug)]
 pub struct TenantSpec {
@@ -125,10 +267,10 @@ pub struct TenantSpec {
     pub min_threads: i64,
     /// Thread ceiling.
     pub max_threads: i64,
-    /// Optional pressure signal: a metric name in the tenant's own
-    /// introspection plus the SLO threshold it is compared against.
-    /// `metric / threshold ≥ 1` means the tenant is under pressure.
-    pub pressure_metric: Option<(String, f64)>,
+    /// How the tenant's [`DemandProfile`] is produced each round — the
+    /// legacy `metric / threshold` scalar ([`Self::with_pressure`]) or a
+    /// native plane publisher ([`Self::with_demand_probe`]).
+    pub demand: DemandSource,
     /// Optional power gauge (metric name in the tenant's introspection,
     /// watts) feeding the machine power envelope.
     pub power_metric: Option<String>,
@@ -150,7 +292,7 @@ impl TenantSpec {
             weight: 1,
             min_threads: 1,
             max_threads,
-            pressure_metric: None,
+            demand: DemandSource::None,
             power_metric: None,
             sampling_knob: None,
         }
@@ -169,10 +311,25 @@ impl TenantSpec {
         self
     }
 
-    /// Names the pressure metric and its SLO threshold.
+    /// Names the pressure metric and its SLO threshold — the legacy
+    /// scalar path, kept as a shim: the tenant publishes
+    /// `DemandProfile::from_pressure(metric / threshold)`.
     pub fn with_pressure(mut self, metric: impl Into<String>, threshold: f64) -> Self {
         assert!(threshold > 0.0, "pressure threshold must be positive");
-        self.pressure_metric = Some((metric.into(), threshold));
+        self.demand = DemandSource::Pressure {
+            metric: metric.into(),
+            threshold,
+        };
+        self
+    }
+
+    /// Installs a native demand publisher: called each round with the
+    /// tenant's fresh snapshot and current allocation.
+    pub fn with_demand_probe(
+        mut self,
+        probe: impl Fn(&IntrospectionSnapshot, i64) -> DemandProfile + Send + Sync + 'static,
+    ) -> Self {
+        self.demand = DemandSource::Probe(Arc::new(probe));
         self
     }
 
@@ -202,12 +359,24 @@ pub struct TenantObs {
     pub min: i64,
     /// Thread ceiling.
     pub max: i64,
-    /// Pressure ratio: metric / SLO threshold; ≥ 1 means under pressure.
-    pub pressure: f64,
+    /// The tenant's demand profile for this round.
+    pub demand: DemandProfile,
     /// Observed power draw, watts (0 if the tenant has no power gauge).
     pub power_w: f64,
     /// Whether the tenant is currently quarantined (pinned to `min`).
     pub quarantined: bool,
+}
+
+impl TenantObs {
+    /// The ceiling the allocator actually fills toward: the declared
+    /// useful width (rounded up, clamped into `[min, max]`), or `max`
+    /// when the tenant publishes no width.
+    pub fn effective_cap(&self) -> i64 {
+        match self.demand.useful_width {
+            Some(w) if w.is_finite() => (w.ceil() as i64).clamp(self.min, self.max),
+            _ => self.max,
+        }
+    }
 }
 
 /// What one control round decided.
@@ -272,12 +441,13 @@ struct TenantState {
     power_id: Option<MetricId>,
     g_pressure: MirrorGauge,
     g_rate: MirrorGauge,
+    g_width: MirrorGauge,
     /// Journal high-water mark: records at or below it were scanned.
     last_seq: u64,
     last_completed: u64,
     last_t_ns: u64,
-    /// Last observed pressure/power (reused on admit/evict rebalance).
-    pressure: f64,
+    /// Last observed demand/power (reused on admit/evict rebalance).
+    demand: DemandProfile,
     power_w: f64,
     quarantine_left: u64,
     alloc: i64,
@@ -291,10 +461,35 @@ impl TenantState {
             slo: self.spec.slo,
             min: self.spec.min_threads,
             max: self.spec.max_threads,
-            pressure: self.pressure,
+            demand: self.demand,
             power_w: self.power_w,
             quarantined: self.quarantine_left > 0,
         }
+    }
+
+    /// Re-evaluates the tenant's demand source against a fresh snapshot
+    /// (resolving late-registered pressure metrics lazily) and mirrors
+    /// the result into the governor gauges.
+    fn refresh_demand(&mut self, snap: &IntrospectionSnapshot) {
+        self.demand = match &self.spec.demand {
+            DemandSource::None => DemandProfile::default(),
+            DemandSource::Pressure { metric, threshold } => {
+                if self.pressure_id.is_none() {
+                    self.pressure_id = self.lg.introspection().metric_id(metric);
+                }
+                let p = self
+                    .pressure_id
+                    .and_then(|id| snap.value(id))
+                    .map(|v| v / threshold)
+                    .unwrap_or(0.0);
+                DemandProfile::from_pressure(p)
+            }
+            DemandSource::Probe(probe) => probe(snap, self.alloc),
+        };
+        self.g_pressure.set(self.demand.pressure);
+        // Width mirror: −1 encodes "unbounded" so the gauge stays still
+        // for legacy tenants instead of oscillating on NaN bit patterns.
+        self.g_width.set(self.demand.useful_width.unwrap_or(-1.0));
     }
 }
 
@@ -451,7 +646,12 @@ impl Arbiter {
 
         let g_pressure = MirrorGauge::new();
         let g_rate = MirrorGauge::new();
-        for (suffix, g) in [("pressure", &g_pressure), ("rate", &g_rate)] {
+        let g_width = MirrorGauge::new();
+        for (suffix, g) in [
+            ("pressure", &g_pressure),
+            ("rate", &g_rate),
+            ("width", &g_width),
+        ] {
             let value = g.value.clone();
             self.lg.introspection().register_gauge_stamped(
                 &id.scoped(suffix),
@@ -460,16 +660,12 @@ impl Arbiter {
             );
         }
 
-        let pressure_id = spec
-            .pressure_metric
-            .as_ref()
-            .and_then(|(m, _)| lg.introspection().metric_id(m));
         let power_id = spec
             .power_metric
             .as_ref()
             .and_then(|m| lg.introspection().metric_id(m));
         let last_seq = lg.knobs().journal().total_recorded();
-        inner.slots[slot] = Some(TenantState {
+        let mut state = TenantState {
             id,
             spec,
             lg,
@@ -478,19 +674,29 @@ impl Arbiter {
             actor,
             watchdog_actor,
             mirror_knob,
-            pressure_id,
+            pressure_id: None,
             power_id,
             g_pressure,
             g_rate,
+            g_width,
             last_seq,
             last_completed: 0,
             last_t_ns: t_ns,
-            pressure: 0.0,
+            demand: DemandProfile::default(),
             power_w: 0.0,
             quarantine_left: 0,
             alloc: 0,
             last_sampling_period: 0,
-        });
+        };
+        // Close the stale-signal window: evaluate the tenant's demand
+        // source against a fresh snapshot *before* the admit-time
+        // rebalance, so a tenant arriving hot (pressure metric already
+        // past its SLO, frontier already wide) is arbitrated on its real
+        // signal rather than a zero placeholder.
+        let snap = state.lg.introspection().capture(t_ns);
+        state.refresh_demand(&snap);
+        state.power_w = state.power_id.and_then(|id| snap.value(id)).unwrap_or(0.0);
+        inner.slots[slot] = Some(state);
         self.rebalance_locked(&mut inner, t_ns);
         id
     }
@@ -508,6 +714,7 @@ impl Arbiter {
         };
         state.g_pressure.set(0.0);
         state.g_rate.set(0.0);
+        state.g_width.set(0.0);
         self.lg.knobs().deregister(&id.scoped("threads"));
         self.rebalance_locked(&mut inner, t_ns);
         true
@@ -542,21 +749,14 @@ impl Arbiter {
                 state.quarantine_left = state.quarantine_left.saturating_sub(1);
             }
 
-            // Resolve late-registered metrics, then read the signals.
-            if state.pressure_id.is_none() {
-                if let Some((m, _)) = state.spec.pressure_metric.as_ref() {
-                    state.pressure_id = state.lg.introspection().metric_id(m);
-                }
-            }
+            // Re-evaluate the demand source (resolving late-registered
+            // metrics lazily) and read the power gauge.
+            state.refresh_demand(&snap);
             if state.power_id.is_none() {
                 if let Some(m) = state.spec.power_metric.as_ref() {
                     state.power_id = state.lg.introspection().metric_id(m);
                 }
             }
-            state.pressure = match (state.pressure_id, state.spec.pressure_metric.as_ref()) {
-                (Some(id), Some((_, thr))) => snap.value(id).map(|v| v / thr).unwrap_or(0.0),
-                _ => 0.0,
-            };
             state.power_w = state.power_id.and_then(|id| snap.value(id)).unwrap_or(0.0);
 
             let dt_s = t_ns.saturating_sub(state.last_t_ns) as f64 / 1e9;
@@ -567,7 +767,6 @@ impl Arbiter {
             };
             state.last_completed = snap.total_completed;
             state.last_t_ns = t_ns;
-            state.g_pressure.set(state.pressure);
             state.g_rate.set(rate);
         }
 
@@ -654,7 +853,24 @@ impl Arbiter {
 
 /// The pure allocator: weighted fair share over `[min, max]` envelopes
 /// with water-filling, largest-remainder rounding, quarantine pinning,
-/// an optional power envelope, and latency-over-batch preemption.
+/// an optional power envelope, latency-over-batch preemption, and a
+/// demand-aware marginal-utility transfer pass.
+///
+/// Demand awareness enters in two places:
+///
+/// * each tenant's declared [`useful_width`](DemandProfile::useful_width)
+///   caps how far the water-fill and preemption fill it — threads beyond
+///   a tenant's ready frontier buy nothing, so they are re-shared toward
+///   tenants that can still use them (or left unallocated when nobody
+///   can: budget released, not burned);
+/// * after the fill, threads migrate one at a time from the
+///   non-quarantined tenant whose last thread has the lowest
+///   [`utility_down`](DemandProfile::utility_down) to the one whose next
+///   thread has the highest [`utility_up`](DemandProfile::utility_up),
+///   while the gain is strict. Legacy
+///   [`from_pressure`](DemandProfile::from_pressure) profiles carry no
+///   utility signal and never participate, so an all-legacy input
+///   reproduces the pressure-only allocator exactly.
 ///
 /// Guarantees, for any input with Σ min ≤ `total_threads`:
 /// * Σ result ≤ `config.total_threads`;
@@ -666,6 +882,7 @@ pub fn arbitrate(config: &ArbiterConfig, obs: &[TenantObs]) -> Vec<i64> {
         return Vec::new();
     }
     let floors: i64 = obs.iter().map(|o| o.min).sum();
+    let cap: Vec<i64> = obs.iter().map(|o| o.effective_cap()).collect();
 
     // Power envelope: scale the thread budget down toward the floors
     // when the fleet draws beyond the cap.
@@ -715,13 +932,13 @@ pub fn arbitrate(config: &ArbiterConfig, obs: &[TenantObs]) -> Vec<i64> {
         }
         let over: Vec<usize> = shares
             .iter()
-            .filter(|&&(i, s)| s >= obs[i].max as f64)
+            .filter(|&&(i, s)| s >= cap[i] as f64)
             .map(|&(i, _)| i)
             .collect();
         if !over.is_empty() {
             for i in over {
-                alloc[i] = Some(obs[i].max);
-                budget -= obs[i].max;
+                alloc[i] = Some(cap[i]);
+                budget -= cap[i];
             }
             continue;
         }
@@ -732,7 +949,7 @@ pub fn arbitrate(config: &ArbiterConfig, obs: &[TenantObs]) -> Vec<i64> {
         for &i in &active {
             let share = budget as f64 * obs[i].weight as f64 / wsum;
             let base = share.floor() as i64;
-            alloc[i] = Some(base.clamp(obs[i].min, obs[i].max));
+            alloc[i] = Some(base.clamp(obs[i].min, cap[i]));
             used += alloc[i].unwrap();
             rem.push((i, share - share.floor()));
         }
@@ -743,7 +960,7 @@ pub fn arbitrate(config: &ArbiterConfig, obs: &[TenantObs]) -> Vec<i64> {
                 break;
             }
             let a = alloc[i].unwrap();
-            if a < obs[i].max {
+            if a < cap[i] {
                 alloc[i] = Some(a + 1);
                 leftover -= 1;
             }
@@ -754,17 +971,20 @@ pub fn arbitrate(config: &ArbiterConfig, obs: &[TenantObs]) -> Vec<i64> {
 
     // Priority preemption: a latency tenant whose pressure signal is at
     // or past its SLO takes capacity from batch tenants (lowest weight
-    // first), never below a batch floor, never above its own ceiling.
+    // first), never below a batch floor, never above its own useful
+    // width (a pressured tenant that cannot absorb more threads takes
+    // nothing).
     if config.preemption {
         let mut donors: Vec<usize> = (0..obs.len())
             .filter(|&i| obs[i].slo == SloClass::Batch && !obs[i].quarantined)
             .collect();
         donors.sort_by_key(|&i| (obs[i].weight, i));
         for i in 0..obs.len() {
-            if obs[i].slo != SloClass::Latency || obs[i].quarantined || obs[i].pressure < 1.0 {
+            if obs[i].slo != SloClass::Latency || obs[i].quarantined || obs[i].demand.pressure < 1.0
+            {
                 continue;
             }
-            let mut need = obs[i].max - alloc[i];
+            let mut need = cap[i] - alloc[i];
             for &d in &donors {
                 if need <= 0 {
                     break;
@@ -777,6 +997,52 @@ pub fn arbitrate(config: &ArbiterConfig, obs: &[TenantObs]) -> Vec<i64> {
                     need -= take;
                 }
             }
+        }
+    }
+
+    // Marginal-utility transfer: among tenants that publish native
+    // profiles, migrate single threads from the holder whose last thread
+    // buys the least (`utility_down`) to the claimant whose next thread
+    // buys the most (`utility_up`), while the move is a strict
+    // improvement. One-way guards — a donor never receives back, a
+    // receiver never donates — make every move final, so the pass
+    // terminates and allocations cannot churn between equal-utility
+    // tenants.
+    if config.preemption {
+        let eligible =
+            |i: usize| obs[i].demand.class != DemandClass::Pressure && !obs[i].quarantined;
+        let mut gave = vec![false; obs.len()];
+        let mut took = vec![false; obs.len()];
+        loop {
+            let recv = (0..obs.len())
+                .filter(|&i| eligible(i) && !gave[i] && alloc[i] < cap[i])
+                .max_by(|&a, &b| {
+                    obs[a]
+                        .demand
+                        .utility_up
+                        .partial_cmp(&obs[b].demand.utility_up)
+                        .unwrap()
+                        .then(b.cmp(&a))
+                });
+            let Some(r) = recv else { break };
+            let donor = (0..obs.len())
+                .filter(|&i| i != r && eligible(i) && !took[i] && alloc[i] > obs[i].min)
+                .min_by(|&a, &b| {
+                    obs[a]
+                        .demand
+                        .utility_down
+                        .partial_cmp(&obs[b].demand.utility_down)
+                        .unwrap()
+                        .then(a.cmp(&b))
+                });
+            let Some(d) = donor else { break };
+            if obs[r].demand.utility_up <= obs[d].demand.utility_down + 1e-9 {
+                break;
+            }
+            alloc[d] -= 1;
+            alloc[r] += 1;
+            gave[d] = true;
+            took[r] = true;
         }
     }
     alloc
@@ -809,7 +1075,7 @@ mod tests {
             slo,
             min,
             max,
-            pressure: 0.0,
+            demand: DemandProfile::default(),
             power_w: 0.0,
             quarantined: false,
         }
@@ -858,7 +1124,7 @@ mod tests {
             obs(1, SloClass::Latency, 1, 24),
             obs(1, SloClass::Batch, 4, 32),
         ];
-        o[0].pressure = 1.5;
+        o[0].demand = DemandProfile::from_pressure(1.5);
         let a = arbitrate(&cfg, &o);
         assert_eq!(a, vec![24, 8]);
         assert_eq!(a.iter().sum::<i64>(), 32);
@@ -871,9 +1137,79 @@ mod tests {
             obs(1, SloClass::Latency, 1, 32),
             obs(1, SloClass::Batch, 1, 32),
         ];
-        o[0].pressure = 2.0;
+        o[0].demand = DemandProfile::from_pressure(2.0);
         let a = arbitrate(&cfg, &o);
         assert_eq!(a, vec![16, 16]);
+    }
+
+    #[test]
+    fn useful_width_caps_the_fill_and_reshares() {
+        let cfg = ArbiterConfig::new(32);
+        let mut o = vec![
+            obs(1, SloClass::Latency, 1, 32),
+            obs(1, SloClass::Batch, 1, 32),
+        ];
+        // Tenant 0 can only use ~6 threads right now: its cap binds and
+        // the difference flows to tenant 1.
+        o[0].demand = DemandProfile::saturating(DemandClass::Serve, 0.0, 6.0, 0);
+        let a = arbitrate(&cfg, &o);
+        assert_eq!(a, vec![6, 26]);
+        assert_eq!(a.iter().sum::<i64>(), 32);
+    }
+
+    #[test]
+    fn narrow_frontiers_release_budget_instead_of_burning_it() {
+        let cfg = ArbiterConfig::new(32);
+        let mut o = vec![
+            obs(1, SloClass::Batch, 1, 32),
+            obs(1, SloClass::Batch, 1, 32),
+        ];
+        // Both tenants are in their tails: nobody can use more than a
+        // few threads, so the governor leaves the rest unallocated.
+        o[0].demand = DemandProfile::saturating(DemandClass::Dag, 0.0, 2.0, 0);
+        o[1].demand = DemandProfile::saturating(DemandClass::Batch, 0.0, 3.0, 0);
+        let a = arbitrate(&cfg, &o);
+        assert_eq!(a, vec![2, 3]);
+        assert!(a.iter().sum::<i64>() < 32);
+    }
+
+    #[test]
+    fn utility_transfer_moves_threads_toward_the_wide_frontier() {
+        let cfg = ArbiterConfig::new(8);
+        let mut o = vec![obs(1, SloClass::Batch, 1, 8), obs(1, SloClass::Batch, 1, 8)];
+        // Equal weights → 4/4 from water-filling. Tenant 0's last
+        // thread buys almost nothing; tenant 1's next thread buys a lot.
+        o[0].demand = DemandProfile {
+            pressure: 0.0,
+            useful_width: None,
+            utility_up: 0.0,
+            utility_down: 0.1,
+            class: DemandClass::Batch,
+        };
+        o[1].demand = DemandProfile {
+            pressure: 0.0,
+            useful_width: None,
+            utility_up: 0.9,
+            utility_down: 0.9,
+            class: DemandClass::Dag,
+        };
+        let a = arbitrate(&cfg, &o);
+        // Threads migrate down to the donor's floor (utilities are this
+        // round's declaration; the floor is the backstop), and the
+        // one-way guards keep them from sloshing back.
+        assert_eq!(a, vec![1, 7]);
+        assert_eq!(a.iter().sum::<i64>(), 8);
+    }
+
+    #[test]
+    fn legacy_pressure_profiles_never_enter_the_transfer_pass() {
+        let cfg = ArbiterConfig::new(8);
+        let mut o = vec![obs(1, SloClass::Batch, 1, 8), obs(1, SloClass::Batch, 1, 8)];
+        // from_pressure carries no utility signal: the allocation must
+        // be identical to plain weighted fair share.
+        o[0].demand = DemandProfile::from_pressure(0.3);
+        o[1].demand = DemandProfile::from_pressure(0.9);
+        assert_eq!(arbitrate(&cfg, &o), vec![4, 4]);
     }
 
     #[test]
@@ -1104,6 +1440,81 @@ mod tests {
         // The governor snapshot mirrors the fleet under scoped names.
         let snap = arb.lg().introspection().capture(clock.now_ns());
         assert!(snap.value_scoped(ts, "pressure").unwrap() < 1.0);
+    }
+
+    #[test]
+    fn admit_evaluates_demand_before_first_rebalance() {
+        // Regression: a tenant admitted with its pressure metric already
+        // past the SLO used to be seeded with pressure 0.0 and wait a
+        // full control round before preempting. The admit-time rebalance
+        // must see the live signal.
+        let clock = Arc::new(VirtualClock::new());
+        let arb = Arbiter::with_instance(ArbiterConfig::new(32), tenant_lg(&clock));
+        let batch = tenant_lg(&clock);
+        cap_knob(&batch, 32);
+        let tb = arb.admit(
+            batch,
+            TenantSpec::new("batch", SloClass::Batch, 32).with_min_threads(4),
+            "thread_cap",
+        );
+        let serve = tenant_lg(&clock);
+        cap_knob(&serve, 24);
+        let p99 = Arc::new(AtomicU64::new(25_000_000));
+        let p = p99.clone();
+        serve
+            .introspection()
+            .register_gauge("p99_ns", move || p.load(Ordering::Relaxed) as f64);
+        let ts = arb.admit(
+            serve,
+            TenantSpec::new("serve", SloClass::Latency, 24).with_pressure("p99_ns", 10_000_000.0),
+            "thread_cap",
+        );
+        // No control round has run, yet the hot tenant already preempted.
+        assert_eq!(arb.allocation(ts), Some(24));
+        assert_eq!(arb.allocation(tb), Some(8));
+    }
+
+    #[test]
+    fn demand_probe_feeds_native_profile_through_rounds() {
+        let clock = Arc::new(VirtualClock::new());
+        let arb = Arbiter::with_instance(ArbiterConfig::new(32), tenant_lg(&clock));
+        let legacy = tenant_lg(&clock);
+        cap_knob(&legacy, 32);
+        let tl = arb.admit(
+            legacy,
+            TenantSpec::new("legacy", SloClass::Batch, 32),
+            "thread_cap",
+        );
+        let dag = tenant_lg(&clock);
+        cap_knob(&dag, 32);
+        let width = Arc::new(AtomicU64::new(24));
+        let w = width.clone();
+        let td = arb.admit(
+            dag,
+            TenantSpec::new("dag", SloClass::Batch, 32).with_demand_probe(move |_snap, alloc| {
+                DemandProfile::saturating(
+                    DemandClass::Dag,
+                    0.0,
+                    w.load(Ordering::Relaxed) as f64,
+                    alloc,
+                )
+            }),
+            "thread_cap",
+        );
+        clock.advance_by(1_000_000);
+        arb.control_round(clock.now_ns());
+        // Wide frontier: the DAG tenant holds its fair share.
+        assert_eq!(arb.allocation(td), Some(16));
+
+        // Tail sets in: the frontier narrows, threads flow back.
+        width.store(3, Ordering::Relaxed);
+        clock.advance_by(1_000_000);
+        arb.control_round(clock.now_ns());
+        assert_eq!(arb.allocation(td), Some(3));
+        assert_eq!(arb.allocation(tl), Some(29));
+        // The governor mirrors the declared width.
+        let snap = arb.lg().introspection().capture(clock.now_ns());
+        assert_eq!(snap.value_scoped(td, "width"), Some(3.0));
     }
 
     #[test]

@@ -36,6 +36,7 @@
 //! round snapshot and steers the runtime's `dag.critical_bias` knob (and
 //! optionally a chunk-grain knob) through the journaled knob plane.
 
+use crate::arbiter::{DemandClass, DemandProfile};
 use crate::policy::{Policy, PolicyDecision, Trigger};
 use crate::snapshot::{Introspection, IntrospectionSnapshot};
 use lg_metrics::{StripedCounter, StripedGauge};
@@ -142,6 +143,16 @@ impl DagStats {
         Self::bucket_edge(BUCKETS - 1)
     }
 
+    /// The DAG plane's native [`DemandProfile`]: useful width is the
+    /// ready frontier (threads beyond it have zero marginal utility —
+    /// they idle until a dependency resolves), so during a wide phase
+    /// the profile claims threads aggressively and as the critical-path
+    /// tail sets in (`ready_width` collapsing toward the chain) it
+    /// releases them without any explicit hand-back protocol.
+    pub fn demand_profile(&self, alloc: i64) -> DemandProfile {
+        DemandProfile::saturating(DemandClass::Dag, 0.0, self.ready_width(), alloc)
+    }
+
     /// Registers the three `dag.*` gauges on an [`Introspection`] facade.
     /// All three share one write stamp, so captures while the DAG is idle
     /// reuse the previous values without folding the stripes.
@@ -183,6 +194,10 @@ pub struct CriticalPathPolicy {
     bias_knob: crate::knob::KnobTarget,
     chunk_knob: Option<(crate::knob::KnobTarget, i64, i64)>,
     workers: i64,
+    /// Live worker count, when the pool is governed at runtime (an
+    /// arbiter rewriting the thread budget between rounds). Overrides
+    /// the static `workers` baseline.
+    workers_source: Option<Arc<dyn Fn() -> i64 + Send + Sync>>,
     last_bias: Option<i64>,
     chunk: Option<i64>,
 }
@@ -195,9 +210,19 @@ impl CriticalPathPolicy {
             bias_knob: bias_knob.into(),
             chunk_knob: None,
             workers: workers.max(1) as i64,
+            workers_source: None,
             last_bias: None,
             chunk: None,
         }
+    }
+
+    /// Reads the worker count live each evaluation instead of the
+    /// construction-time constant — the control law then tracks a
+    /// governor resizing the pool (e.g. an arbiter's thread-budget
+    /// writes) without re-registering the policy.
+    pub fn with_workers_source(mut self, source: Arc<dyn Fn() -> i64 + Send + Sync>) -> Self {
+        self.workers_source = Some(source);
+        self
     }
 
     /// Also steer a chunk-grain knob between `min` and `max`, starting
@@ -233,7 +258,10 @@ impl Policy for CriticalPathPolicy {
             return PolicyDecision::noop();
         };
         let slack = snapshot.value_by_name("dag.slack_p50").unwrap_or(0.0);
-        let w = self.workers as f64;
+        let w = match &self.workers_source {
+            Some(src) => src().max(1) as f64,
+            None => self.workers as f64,
+        };
         let want_bias = if ready < 4.0 * w {
             1
         } else if ready >= 8.0 * w && cp > 0.0 && slack >= 0.25 * cp {
@@ -384,6 +412,53 @@ mod tests {
             CriticalPathPolicy::new("dag.critical_bias", 4).with_chunk_knob("chunk", 64, 16, 256);
         let d = p.evaluate(1, Trigger::Periodic, &snap);
         assert!(d.sets.contains(&("chunk".into(), 32)));
+    }
+
+    #[test]
+    fn demand_profile_claims_wide_and_releases_in_tail() {
+        let s = DagStats::new();
+        for _ in 0..24 {
+            s.on_release(1_000);
+        }
+        // Wide frontier, allocation below it: full marginal utility.
+        let wide = s.demand_profile(8);
+        assert_eq!(wide.useful_width, Some(24.0));
+        assert_eq!(wide.utility_up, 1.0);
+        assert_eq!(wide.utility_down, 1.0);
+        // Tail: the chain is all that remains — extra threads are dead
+        // weight and the profile says so.
+        for _ in 0..23 {
+            s.on_complete(1_000);
+        }
+        let tail = s.demand_profile(8);
+        assert_eq!(tail.useful_width, Some(1.0));
+        assert_eq!(tail.utility_up, 0.0);
+        assert_eq!(tail.utility_down, 0.0);
+    }
+
+    #[test]
+    fn workers_source_overrides_static_count() {
+        let intro = intro();
+        let s = DagStats::new();
+        s.register_on(&intro);
+        // Width 65 with rich slack: bias turns off for a 2-worker pool,
+        // stays on for a 32-worker pool reading the same snapshot.
+        s.on_release(1 << 20);
+        for _ in 0..64 {
+            s.on_release(8);
+        }
+        let snap = intro.capture(1);
+        let live = Arc::new(std::sync::atomic::AtomicI64::new(32));
+        let l = live.clone();
+        let mut p = CriticalPathPolicy::new("dag.critical_bias", 2)
+            .with_workers_source(Arc::new(move || l.load(Ordering::Relaxed)));
+        let d = p.evaluate(1, Trigger::Periodic, &snap);
+        assert_eq!(d.sets, vec![("dag.critical_bias".into(), 1)]);
+        // The governor shrinks the pool: the same width now reads as
+        // abundant and the next evaluation flips the bias off.
+        live.store(2, Ordering::Relaxed);
+        let d2 = p.evaluate(2, Trigger::Periodic, &snap);
+        assert_eq!(d2.sets, vec![("dag.critical_bias".into(), 0)]);
     }
 
     #[test]

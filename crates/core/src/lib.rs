@@ -80,7 +80,10 @@ pub mod watchdog;
 pub use admission::{
     AdmissionGate, AimdPolicy, Brownout, BrownoutPolicy, Bulkhead, BulkheadPermit, RequestClass,
 };
-pub use arbiter::{Arbiter, ArbiterConfig, RoundReport, TenantObs, TenantSpec};
+pub use arbiter::{
+    Arbiter, ArbiterConfig, DemandClass, DemandProbe, DemandProfile, DemandSource, RoundReport,
+    TenantObs, TenantSpec,
+};
 pub use builtin::{HighWatermarkPolicy, PowerCapPolicy};
 pub use clock::{Clock, VirtualClock, WallClock};
 pub use concurrency::ConcurrencyListener;

@@ -99,6 +99,16 @@ impl ThreadBudget {
     pub(crate) fn attach(&self, shared: &Arc<PoolShared>) {
         *self.inner.shared.lock() = Arc::downgrade(shared);
     }
+
+    /// A live worker-count closure for consumers that must track budget
+    /// writes between their own evaluations — e.g.
+    /// `CriticalPathPolicy::with_workers_source`, whose width-vs-workers
+    /// control law would otherwise compare the DAG's frontier against a
+    /// pool size the arbiter shrank two rounds ago.
+    pub fn workers_source(&self) -> Arc<dyn Fn() -> i64 + Send + Sync> {
+        let budget = self.clone();
+        Arc::new(move || budget.target() as i64)
+    }
 }
 
 impl Knob for ThreadBudget {
@@ -164,5 +174,49 @@ mod tests {
         a.set_target(2);
         assert_eq!(b.target(), 2);
         assert_eq!(b.generation(), 1);
+    }
+
+    #[test]
+    fn workers_source_tracks_budget_writes() {
+        let b = ThreadBudget::new(16);
+        let src = b.workers_source();
+        assert_eq!(src(), 16);
+        b.set_target(5);
+        assert_eq!(src(), 5, "source must read the live target, not a copy");
+    }
+
+    #[test]
+    fn critical_path_policy_follows_the_governed_budget() {
+        use lg_core::dag::DagStats;
+        use lg_core::policy::Trigger;
+        use lg_core::snapshot::Introspection;
+        use lg_core::Policy;
+
+        // A frontier of ~65 ready nodes with rich slack: abundant for a
+        // 4-worker pool (bias off), scarce once the arbiter grows the
+        // budget to 32 (bias back on). The policy must see the *live*
+        // budget, not its construction-time worker count.
+        let names = lg_core::TaskNames::new();
+        let profiles = Arc::new(lg_core::ProfileListener::new(names.clone()));
+        let concurrency = Arc::new(lg_core::ConcurrencyListener::new(64));
+        let intro = Introspection::new(profiles, concurrency);
+        let stats = DagStats::new();
+        stats.register_on(&intro);
+        stats.on_release(1 << 20);
+        for _ in 0..64 {
+            stats.on_release(8);
+        }
+        let snap = intro.capture(1);
+
+        let budget = ThreadBudget::new(32);
+        budget.set_target(4);
+        let mut policy = lg_core::CriticalPathPolicy::new("dag.critical_bias", 9999)
+            .with_workers_source(budget.workers_source());
+        let d = policy.evaluate(1, Trigger::Periodic, &snap);
+        assert_eq!(d.sets, vec![("dag.critical_bias".into(), 0)]);
+
+        budget.set_target(32);
+        let d2 = policy.evaluate(2, Trigger::Periodic, &snap);
+        assert_eq!(d2.sets, vec![("dag.critical_bias".into(), 1)]);
     }
 }

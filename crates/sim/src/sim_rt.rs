@@ -509,6 +509,37 @@ impl SimRuntime {
         self.step_running(u64::MAX)
     }
 
+    /// Runs toward `t_end_ns` but returns at the first task completion,
+    /// leaving the clock at the completion instant. This is the lockstep
+    /// hook for external dependency tracking: a DAG driver can release
+    /// successors the moment their predecessor finishes and still land
+    /// exactly on `t_end_ns` (idling through any work-free tail) without
+    /// ever running past it — [`SimRuntime::step_boundary`] overshoots an
+    /// external deadline, [`SimRuntime::run_until`] batches completions
+    /// until the boundary and stalls dependency releases. Returns `true`
+    /// if a completion occurred before the boundary.
+    pub fn run_until_event(&mut self, t_end_ns: u64) -> bool {
+        let baseline = self.completions.len();
+        while self.clock.now_ns() < t_end_ns {
+            self.fill_slots();
+            let budget_ns = t_end_ns - self.clock.now_ns();
+            if !self.step_running(budget_ns) {
+                let idle_rates: Vec<f64> = Vec::new();
+                self.sample_power(&idle_rates);
+                self.clock.advance_by(budget_ns);
+                self.sample_power(&idle_rates);
+            }
+            if self.completions.len() > baseline {
+                return true;
+            }
+        }
+        // Close the power integral at the boundary state, as run_until
+        // does — the next caller may idle for a long span.
+        let rates = self.current_rates();
+        self.sample_power(&rates);
+        false
+    }
+
     /// Drains the `(tag, completion time ns)` log of tasks finished since
     /// the last call, in completion order (ties in task-list order).
     pub fn take_completions(&mut self) -> Vec<(u64, u64)> {
@@ -709,6 +740,38 @@ mod tests {
         );
         let no_overhead_fine = run(10_000, 0);
         assert!((no_overhead_fine as f64 / 1e9 - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn run_until_event_stops_at_first_completion() {
+        let mut sim = SimRuntime::new(machine(4, 1e9, 1e12));
+        sim.submit(SimTask::new("a", 1e6, 0.0).with_tag(1)); // 1 ms
+        sim.submit(SimTask::new("b", 3e6, 0.0).with_tag(2)); // 3 ms
+                                                             // First event well before the 10 ms boundary.
+        assert!(sim.run_until_event(10_000_000));
+        let done = sim.take_completions();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].0, 1);
+        assert!((sim.clock().now_ns() as f64 - 1e6).abs() < 10.0);
+        // Second event at ~3 ms.
+        assert!(sim.run_until_event(10_000_000));
+        assert_eq!(sim.take_completions()[0].0, 2);
+        // Nothing left: the clock idles exactly to the boundary.
+        assert!(!sim.run_until_event(10_000_000));
+        assert_eq!(sim.clock().now_ns(), 10_000_000);
+    }
+
+    #[test]
+    fn run_until_event_never_passes_the_boundary() {
+        let mut sim = SimRuntime::new(machine(4, 1e9, 1e12));
+        sim.submit(SimTask::new("long", 5e6, 0.0).with_tag(7)); // 5 ms
+                                                                // The task would complete at 5 ms; the boundary is 2 ms.
+        assert!(!sim.run_until_event(2_000_000));
+        assert_eq!(sim.clock().now_ns(), 2_000_000);
+        assert!(sim.take_completions().is_empty());
+        // Progress was retained: the remainder finishes at ~5 ms.
+        assert!(sim.run_until_event(10_000_000));
+        assert!((sim.clock().now_ns() as f64 - 5e6).abs() < 10.0);
     }
 
     #[test]

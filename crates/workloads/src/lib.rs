@@ -42,4 +42,4 @@ pub use phased::PhasedWorkload;
 pub use serve::{ArrivalGen, ArrivalPattern, ServeConfig, ServeEngine, ServeReport};
 pub use stencil1d::Stencil1d;
 pub use stencil2d::Stencil2d;
-pub use tenants::{BatchTenant, ServeTenant};
+pub use tenants::{BatchTenant, DagTenant, ServeTenant};

@@ -26,10 +26,25 @@
 //!   ([`BatchTenant::install_watchdog`], rate = jobs per joule) rolls
 //!   the grab back, and the rollback record is what the arbiter's
 //!   noisy-neighbor quarantine keys on.
+//! * [`DagTenant`] — a dependency graph ([`crate::dag::DagSpec`]) drained
+//!   on its own machine slice in lockstep with the authoritative clock
+//!   ([`lg_sim::SimRuntime::run_until_event`] releases successors at the
+//!   exact completion instant instead of batching them to the round
+//!   boundary). Its demand profile comes from live
+//!   [`DagStats`]: useful width = the ready frontier, so the governor
+//!   preempts *toward* it while the frontier is wide and takes the
+//!   threads back as the critical-path tail sets in.
+//!
+//! Each tenant exposes a `demand_probe()` — the native
+//! [`DemandProfile`] publisher its admission `TenantSpec` installs via
+//! `with_demand_probe` — alongside the legacy pressure-metric path, so
+//! experiments can compare pressure-only and demand-aware arbitration
+//! over identical workloads.
 
+use lg_core::dag::DagStats;
 use lg_core::{
-    AdmissionGate, Brownout, BrownoutPolicy, Bulkhead, FnPolicy, Knob, LookingGlass,
-    PolicyDecision, RegressionWatchdog, VirtualClock,
+    admission::serve_demand, AdmissionGate, Brownout, BrownoutPolicy, Bulkhead, DemandProbe,
+    DemandProfile, FnPolicy, Knob, LookingGlass, PolicyDecision, RegressionWatchdog, VirtualClock,
 };
 use lg_metrics::CounterRegistry;
 use lg_net::{ReliableConfig, ReliableLink, TransportCost};
@@ -46,6 +61,7 @@ pub struct ServeTenant {
     counters: Arc<CounterRegistry>,
     engine: ServeEngine,
     control_period_ns: u64,
+    knee: usize,
 }
 
 impl ServeTenant {
@@ -82,7 +98,29 @@ impl ServeTenant {
             counters,
             engine,
             control_period_ns,
+            knee,
         }
+    }
+
+    /// The serve plane's native demand publisher
+    /// ([`lg_core::admission::serve_demand`]): width from live queue
+    /// depth + in-flight with burst headroom, pinned to the bulkhead
+    /// ceiling while the p99 misses `p99_slo_ns` or the shed counter is
+    /// still climbing.
+    pub fn demand_probe(&self, p99_slo_ns: f64) -> DemandProbe {
+        let max_width = self.knee as i64;
+        let last_shed = Arc::new(AtomicU64::new(0));
+        Arc::new(move |snap, alloc| {
+            let pressure = snap
+                .value_by_name("serve.p99_window_ns")
+                .map(|v| v / p99_slo_ns)
+                .unwrap_or(0.0);
+            let queue = snap.value_by_name("serve.queue_depth").unwrap_or(0.0);
+            let in_flight = snap.value_by_name("serve.in_flight").unwrap_or(0.0);
+            let shed = snap.counter("serve.shed").unwrap_or(0);
+            let shedding = shed > last_shed.swap(shed, Ordering::Relaxed);
+            serve_demand(pressure, queue, in_flight, shedding, max_width, alloc)
+        })
     }
 
     /// The tenant's looking-glass instance (what gets admitted to the
@@ -276,6 +314,18 @@ impl BatchTenant {
         r
     }
 
+    /// The batch plane's native demand publisher: useful width is the
+    /// live backlog (each queued or in-flight job occupies one core)
+    /// capped at the slice's core count — an idle batch tenant offers
+    /// its share back, a backlogged one claims every core it has.
+    pub fn demand_probe(&self) -> DemandProbe {
+        let cores = self.rt.spec().cores as f64;
+        Arc::new(move |snap, alloc| {
+            let backlog = snap.value_by_name("batch.backlog").unwrap_or(0.0);
+            DemandProfile::saturating(lg_core::DemandClass::Batch, 0.0, backlog.min(cores), alloc)
+        })
+    }
+
     /// Installs the selfish scale-up policy: whenever backlog exceeds
     /// `backlog_threshold` jobs, double the local `thread_cap` (up to
     /// the slice's core count). Healthy when work is compute-bound;
@@ -324,6 +374,141 @@ impl BatchTenant {
             period_ns,
             0,
         );
+    }
+}
+
+/// A DAG-draining tenant: a [`crate::dag::DagSpec`] executed on its own
+/// machine slice, critical-path-first, in lockstep with the
+/// authoritative clock. The arbiter governs its `thread_cap` knob; the
+/// tenant publishes its demand from live [`DagStats`] — wide frontier ⇒
+/// claim threads, critical-path tail ⇒ release them.
+pub struct DagTenant {
+    rt: SimRuntime,
+    spec: crate::dag::DagSpec,
+    stats: Arc<DagStats>,
+    /// Unmet-dependency count per node.
+    remaining: Vec<u32>,
+    /// Released (deps met) but not yet submitted nodes.
+    ready: Vec<usize>,
+    in_flight: usize,
+    completed: usize,
+    finish_ns: Option<u64>,
+}
+
+impl DagTenant {
+    /// Builds the tenant on its own slice. The `dag.*` gauges are
+    /// registered on the slice's introspection, so the tenant's own
+    /// policies (and the governor's snapshot mirror) see the frontier.
+    pub fn new(machine: MachineSpec, spec: crate::dag::DagSpec) -> Self {
+        let rt = SimRuntime::new(machine);
+        let stats = DagStats::new();
+        stats.register_on(rt.lg().introspection());
+        let n = spec.nodes();
+        let remaining: Vec<u32> = (0..n)
+            .map(|i| spec.pred_off[i + 1] - spec.pred_off[i])
+            .collect();
+        let mut ready = Vec::new();
+        for (i, &r) in remaining.iter().enumerate() {
+            if r == 0 {
+                ready.push(i);
+                stats.on_release(spec.height_ns[i]);
+            }
+        }
+        Self {
+            rt,
+            spec,
+            stats,
+            remaining,
+            ready,
+            in_flight: 0,
+            completed: 0,
+            finish_ns: None,
+        }
+    }
+
+    /// The tenant's looking-glass instance (carries the `thread_cap`
+    /// knob the arbiter writes and the `dag.*` gauges).
+    pub fn lg(&self) -> &Arc<LookingGlass> {
+        self.rt.lg()
+    }
+
+    /// The live frontier statistics.
+    pub fn stats(&self) -> &Arc<DagStats> {
+        &self.stats
+    }
+
+    /// Nodes whose bodies have finished.
+    pub fn completed(&self) -> usize {
+        self.completed
+    }
+
+    /// True once every node has completed.
+    pub fn done(&self) -> bool {
+        self.completed == self.spec.nodes()
+    }
+
+    /// Virtual completion time of the last node, once [`Self::done`].
+    pub fn makespan_ns(&self) -> Option<u64> {
+        self.finish_ns
+    }
+
+    /// The DAG plane's native demand publisher, straight from
+    /// [`DagStats::demand_profile`]: threads beyond the ready frontier
+    /// have zero marginal utility.
+    pub fn demand_probe(&self) -> DemandProbe {
+        let stats = self.stats.clone();
+        Arc::new(move |_snap, alloc| stats.demand_profile(alloc))
+    }
+
+    /// Advances the slice to the authoritative time `now_ns`,
+    /// interleaving submission and successor release at event
+    /// resolution: ready nodes are submitted critical-path-first while
+    /// the governed `thread_cap` has room, and each completion releases
+    /// its successors at the exact completion instant — so a thread
+    /// granted mid-round is put to work mid-round, and the frontier
+    /// gauges are honest at every event.
+    pub fn step(&mut self, now_ns: u64) {
+        loop {
+            let cap = (self.rt.cap_knob().get().max(1) as usize).min(self.rt.spec().cores);
+            while self.in_flight < cap && !self.ready.is_empty() {
+                let pick = self
+                    .ready
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|&(_, &node)| self.spec.height_ns[node])
+                    .map_or(0, |(idx, _)| idx);
+                let node = self.ready.swap_remove(pick);
+                self.rt.submit(
+                    SimTask::new(
+                        self.spec.config.pattern.name(),
+                        self.spec.ops[node],
+                        self.spec.bytes[node],
+                    )
+                    .with_tag(node as u64),
+                );
+                self.in_flight += 1;
+            }
+            let event = self.rt.run_until_event(now_ns);
+            for (tag, t_ns) in self.rt.take_completions() {
+                let node = tag as usize;
+                self.completed += 1;
+                self.in_flight -= 1;
+                self.stats.on_complete(self.spec.height_ns[node]);
+                for &s in self.spec.succs_of(node) {
+                    self.remaining[s as usize] -= 1;
+                    if self.remaining[s as usize] == 0 {
+                        self.ready.push(s as usize);
+                        self.stats.on_release(self.spec.height_ns[s as usize]);
+                    }
+                }
+                if self.completed == self.spec.nodes() {
+                    self.finish_ns = Some(t_ns);
+                }
+            }
+            if !event {
+                break;
+            }
+        }
     }
 }
 
@@ -412,5 +597,83 @@ mod tests {
             .introspection()
             .metric_id("serve.p99_window_ns")
             .is_some());
+    }
+
+    #[test]
+    fn serve_probe_publishes_width_from_live_gauges() {
+        let clock = Arc::new(VirtualClock::new());
+        let t = ServeTenant::new(clock, 32, 7);
+        let probe = t.demand_probe(25e6);
+        let snap = t.lg().introspection().capture(0);
+        let d = probe(&snap, 8);
+        // Idle pipeline: nothing in flight, nothing queued, no shed —
+        // the plane offers its threads back.
+        assert_eq!(d.class, lg_core::DemandClass::Serve);
+        assert_eq!(d.useful_width, Some(0.0));
+        assert!(d.pressure < 1.0);
+    }
+
+    #[test]
+    fn batch_probe_width_follows_backlog() {
+        let mut t = BatchTenant::new(slice(8), 4_000.0, 100_000_000).with_storm(0, 100_000_000);
+        let probe = t.demand_probe();
+        for k in 1..=10u64 {
+            t.step(k * 10_000_000);
+        }
+        // Storm backlog far exceeds the slice: width pins to the cores.
+        let snap = t.lg().introspection().capture(100_000_000);
+        let d = probe(&snap, 4);
+        assert_eq!(d.useful_width, Some(8.0));
+        assert_eq!(d.utility_up, 1.0);
+    }
+
+    fn sweep_dag(width: usize, depth: usize) -> crate::dag::DagSpec {
+        let cfg = crate::dag::DagConfig {
+            pattern: crate::dag::DagPattern::Sweep,
+            width,
+            depth,
+            seed: 11,
+            ..Default::default()
+        };
+        crate::dag::generate(&cfg, &crate::dag::CostModel::default())
+    }
+
+    #[test]
+    fn dag_tenant_drains_in_lockstep_and_reports_makespan() {
+        let mut t = DagTenant::new(slice(8), sweep_dag(8, 12));
+        assert!(!t.done());
+        let mut now = 0u64;
+        while !t.done() {
+            now += 1_000_000;
+            t.step(now);
+            assert!(t.lg().clock().now_ns() <= now);
+        }
+        let makespan = t.makespan_ns().unwrap();
+        assert!(makespan > 0 && makespan <= now);
+        assert_eq!(t.completed(), t.spec.nodes());
+        // Frontier fully drained: the stats agree.
+        assert_eq!(t.stats().ready_width(), 0.0);
+        assert_eq!(t.stats().critical_path_ns(), 0.0);
+    }
+
+    #[test]
+    fn dag_probe_claims_wide_then_releases_in_tail() {
+        // Sweep contracts toward a single chain: wide at the top, width
+        // 1 in the tail.
+        let mut t = DagTenant::new(slice(8), sweep_dag(16, 16));
+        let probe = t.demand_probe();
+        let snap = t.lg().introspection().capture(0);
+        let early = probe(&snap, 2);
+        assert!(early.useful_width.unwrap() >= 8.0, "{early:?}");
+        assert_eq!(early.utility_up, 1.0);
+        // Drain almost everything: the tail is the critical chain.
+        let mut now = 0u64;
+        while !t.done() {
+            now += 1_000_000;
+            t.step(now);
+        }
+        let late = probe(&snap, 2);
+        assert_eq!(late.useful_width, Some(0.0));
+        assert_eq!(late.utility_up, 0.0);
     }
 }

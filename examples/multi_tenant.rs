@@ -19,14 +19,23 @@
 //!    own regression watchdog (ops per joule) rolls the grab back, and
 //!    the rollback record trips the arbiter's quarantine: the tenant is
 //!    pinned to its floor and re-pinned every round it fights back.
+//! 3. **Demand-aware re-sharing** — a fresh machine colocates the
+//!    serving tenant with a [`DagTenant`] draining a wide stencil DAG,
+//!    and both publish native [`looking_glass::core::DemandProfile`]s
+//!    instead of scalar pressure: serve declares its useful width from
+//!    live queue depth, the DAG declares its ready frontier. The
+//!    governor hands serve's unused share to the DAG while the frontier
+//!    is wide and takes the threads back as the critical-path tail sets
+//!    in — finishing on the floor it started from.
 //!
 //! Everything runs on one shared virtual clock, so the run is
 //! deterministic on any host.
 
 use looking_glass::core::{Arbiter, ArbiterConfig, SloClass, TenantSpec, VirtualClock};
 use looking_glass::sim::{MachineShares, MachineSpec};
+use looking_glass::workloads::dag::{generate, CostModel, DagConfig, DagPattern};
 use looking_glass::workloads::serve::{ArrivalGen, ArrivalPattern};
-use looking_glass::workloads::{BatchTenant, ServeTenant};
+use looking_glass::workloads::{BatchTenant, DagTenant, ServeTenant};
 use std::sync::Arc;
 
 const HORIZON_NS: u64 = 400_000_000; // 400 ms
@@ -149,4 +158,104 @@ fn main() {
         .any(|r| r.rolled_back);
     assert!(rolled_back, "watchdog never rolled the greedy grab back");
     println!("ok: budget held, greedy grab rolled back, quarantine fired");
+
+    // ── Act 3: demand-aware re-sharing across serve + DAG ──────────────
+    // A fresh machine: light serve traffic next to a wide stencil DAG,
+    // both publishing native demand profiles.
+    let clock = Arc::new(VirtualClock::new());
+    let mut serve = ServeTenant::new(clock.clone(), 32, 9);
+    let dag_spec = generate(
+        &DagConfig {
+            pattern: DagPattern::Stencil1d,
+            width: 28,
+            depth: 10,
+            grain_ops: 3e6,
+            grain_spread: 0.5,
+            comm_bytes: 0.0,
+            seed: 9,
+        },
+        &CostModel::default(),
+    );
+    let mut dag = DagTenant::new(
+        MachineShares::new(MachineSpec::server32()).sub_spec(28),
+        dag_spec,
+    );
+    let arb = Arbiter::with_instance(
+        ArbiterConfig::new(TOTAL_THREADS),
+        looking_glass::core::LookingGlass::builder()
+            .clock(clock.clone())
+            .build(),
+    );
+    let sp = serve.demand_probe(25e6);
+    let ts = arb.admit(
+        serve.lg().clone(),
+        TenantSpec::new("serve", SloClass::Latency, TOTAL_THREADS)
+            .with_min_threads(2)
+            .with_demand_probe(move |snap, alloc| sp(snap, alloc)),
+        "serve.bulkhead_limit",
+    );
+    let dp = dag.demand_probe();
+    let td = arb.admit(
+        dag.lg().clone(),
+        TenantSpec::new("dag", SloClass::Batch, 28)
+            .with_min_threads(2)
+            .with_demand_probe(move |snap, alloc| dp(snap, alloc)),
+        "thread_cap",
+    );
+
+    // Light, steady serve load: its declared width sits far below its
+    // fair share, and that headroom is what the DAG gets to borrow.
+    let requests = ArrivalGen {
+        pattern: ArrivalPattern::Spike {
+            base_per_sec: 3_000.0,
+            factor: 2.0,
+            start_ns: HORIZON_NS / 4,
+            end_ns: HORIZON_NS / 2,
+        },
+        seed: 9,
+        optional_frac: 0.3,
+        service_mean_ns: 1_000_000,
+        mandatory_budget_ns: 50_000_000,
+        optional_budget_ns: 25_000_000,
+        dests: 4,
+    }
+    .generate(HORIZON_NS);
+
+    println!("\nround  t_ms  serve    dag  frontier");
+    let mut peak_dag = 0i64;
+    let mut tail_dag = i64::MAX;
+    serve.run(&requests, |t| {
+        clock.advance_to(t);
+        dag.step(t);
+        let r = arb.control_round(t);
+        let a = arb.allocation(td).unwrap();
+        peak_dag = peak_dag.max(a);
+        tail_dag = a;
+        if (t / period).is_multiple_of(4) {
+            println!(
+                "{:>5} {:>5}  {:>5} {:>6}  {:>8.0}",
+                r.round,
+                t / 1_000_000,
+                arb.allocation(ts).unwrap(),
+                a,
+                dag.stats().ready_width(),
+            );
+        }
+    });
+
+    assert!(dag.done(), "DAG failed to drain within the horizon");
+    println!(
+        "dag: {} nodes drained, makespan {:.1} ms",
+        dag.completed(),
+        dag.makespan_ns().unwrap() as f64 / 1e6
+    );
+    // The demand-aware story, asserted: the governor pushed the DAG
+    // past its fair half while the frontier was wide, and the drained
+    // tenant ends back on its floor.
+    assert!(
+        peak_dag > TOTAL_THREADS / 2,
+        "DAG never got past fair share: peak {peak_dag}"
+    );
+    assert_eq!(tail_dag, 2, "drained DAG should end on its floor");
+    println!("ok: frontier claimed {peak_dag} threads at peak, floor restored after the tail");
 }
